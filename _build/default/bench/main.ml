@@ -1,0 +1,484 @@
+(* Benchmark harness regenerating every performance claim of the paper
+   (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+   paper-vs-measured record).
+
+   The paper has no quantitative tables; its evaluation claims (Sections 1,
+   3.3.2 and 5) are about event-processing behaviour, which we measure in
+   VIRTUAL time on the discrete-event scheduler: latency numbers below are
+   the virtual seconds an update waits before reaching the display.
+   Engine costs themselves (graph throughput, layout, compilation) are real
+   wall-clock microbenchmarks via bechamel at the end.
+
+   Run with:  dune exec bench/main.exe *)
+
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+module Stats = Elm_core.Stats
+
+let section title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+let with_world body =
+  let result = ref None in
+  Cml.run (fun () -> result := Some (body ()));
+  Option.get !result
+
+(* Cost functions must not charge virtual time while defaults are computed
+   at graph construction (Section 3.1); arm them after the build. *)
+let costly armed cost f x =
+  if !armed then Cml.sleep cost;
+  f x
+
+(* ------------------------------------------------------------------ *)
+(* B1: responsiveness — syncEg vs asyncEg (Section 5).
+
+     syncEg  = lift2 (,) Mouse.x (lift f Mouse.y)
+     asyncEg = lift2 (,) Mouse.x (async (lift f Mouse.y))
+
+   One slow Mouse.y event triggers f; Mouse.x then updates every 100ms.
+   We report the mean and max display latency of the Mouse.x updates as f's
+   cost grows: the sync column grows with the cost, the async column
+   doesn't. *)
+
+let b1_run ~use_async ~cost =
+  with_world (fun () ->
+      let armed = ref false in
+      let mouse_x = Signal.input ~name:"Mouse.x" 0 in
+      let mouse_y = Signal.input ~name:"Mouse.y" 0 in
+      let slow = Signal.lift (costly armed cost Fun.id) mouse_y in
+      let branch = if use_async then Signal.async slow else slow in
+      let s = Signal.pair mouse_x branch in
+      let rt = Runtime.start s in
+      armed := true;
+      let injections = ref [] in
+      Cml.spawn (fun () ->
+          Cml.sleep 0.05;
+          Runtime.inject rt mouse_y 1;
+          for i = 1 to 10 do
+            Cml.sleep 0.1;
+            injections := (Cml.now (), i) :: !injections;
+            Runtime.inject rt mouse_x i
+          done);
+      (rt, injections))
+
+let b1_latencies (rt, injections) =
+  List.filter_map
+    (fun (t_inj, x) ->
+      List.find_map
+        (fun (t_disp, (vx, _)) -> if vx = x then Some (t_disp -. t_inj) else None)
+        (Runtime.changes rt))
+    (List.rev !injections)
+
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let maxf xs = List.fold_left Float.max 0.0 xs
+
+let bench_b1 () =
+  section "B1  Responsiveness: syncEg vs asyncEg (Section 5)";
+  Printf.printf "mouse-update display latency (virtual s) vs cost of f\n";
+  Printf.printf "%10s  %10s %10s  %12s %12s\n" "cost(f)" "sync mean" "sync max"
+    "async mean" "async max";
+  List.iter
+    (fun cost ->
+      let sync = b1_latencies (b1_run ~use_async:false ~cost) in
+      let asy = b1_latencies (b1_run ~use_async:true ~cost) in
+      Printf.printf "%10.1f  %10.3f %10.3f  %12.4f %12.4f\n" cost (mean sync)
+        (maxf sync) (mean asy) (maxf asy))
+    [ 0.0; 0.5; 2.0; 10.0; 50.0; 200.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* B2: pipelined vs non-pipelined execution (Section 5: "it is possible to
+   write programs such that the pipelined evaluation of signals has
+   arbitrarily better performance ... by ensuring that the signal graph is
+   sufficiently deep").
+
+   M events through an N-deep chain of lift nodes, each costing c = 1s.
+   Sequential makespan is M*N*c; pipelined is (M+N-1)*c. *)
+
+let b2_makespan ~mode ~depth ~events ~cost =
+  let rt =
+    with_world (fun () ->
+        let armed = ref false in
+        let src = Signal.input 0 in
+        let rec build s n =
+          if n = 0 then s
+          else build (Signal.lift (costly armed cost (fun x -> x + 1)) s) (n - 1)
+        in
+        let rt = Runtime.start ~mode (build src depth) in
+        armed := true;
+        for i = 1 to events do
+          Runtime.inject rt src i
+        done;
+        rt)
+  in
+  match List.rev (Runtime.changes rt) with
+  | (t, _) :: _ -> t
+  | [] -> 0.0
+
+let bench_b2 () =
+  section "B2  Pipelining: makespan of 8 events through an N-deep graph";
+  Printf.printf "node cost 1.0s; sequential model M*N, pipelined model M+N-1\n";
+  Printf.printf "%6s  %12s %12s %9s\n" "depth" "sequential" "pipelined" "speedup";
+  List.iter
+    (fun depth ->
+      let events = 8 in
+      let cost = 1.0 in
+      let seq = b2_makespan ~mode:Runtime.Sequential ~depth ~events ~cost in
+      let pipe = b2_makespan ~mode:Runtime.Pipelined ~depth ~events ~cost in
+      Printf.printf "%6d  %12.1f %12.1f %8.2fx\n" depth seq pipe (seq /. pipe))
+    [ 1; 2; 4; 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* B3: push-based discrete signals avoid needless recomputation (Sections
+   1-2). An expensive node depends on a slow input while an unrelated fast
+   input fires k times as often. Push (memoized, the paper) recomputes the
+   expensive function once per slow event; the recompute-always baseline
+   (pull-style) pays for every event; continuous sampling at rate R would
+   pay R per second regardless of events. *)
+
+let b3_counts ~memoize ~fast_events =
+  let rt =
+    with_world (fun () ->
+        let slow = Signal.input ~name:"slow" 0 in
+        let fast = Signal.input ~name:"fast" 0 in
+        let expensive = Signal.lift ~name:"expensive" (fun x -> x * x) slow in
+        let s = Signal.lift2 (fun e f -> e + f) expensive fast in
+        let rt = Runtime.start ~memoize s in
+        Runtime.inject rt slow 7;
+        for i = 1 to fast_events do
+          Runtime.inject rt fast i
+        done;
+        rt)
+  in
+  let stats = Runtime.stats rt in
+  (stats.Stats.applications, Stats.total_computations stats)
+
+let bench_b3 () =
+  section "B3  Push vs pull: recomputations of an expensive node";
+  Printf.printf
+    "1 slow event + N unrelated fast events; sampling model at 60Hz over N*0.1s\n";
+  Printf.printf "%6s  %10s %16s %14s\n" "N" "push" "recompute-all" "sampling@60";
+  List.iter
+    (fun n ->
+      let _, push = b3_counts ~memoize:true ~fast_events:n in
+      let _, pull = b3_counts ~memoize:false ~fast_events:n in
+      let sampling = int_of_float (60.0 *. (float_of_int n *. 0.1)) in
+      Printf.printf "%6d  %10d %16d %14d\n" n push pull sampling)
+    [ 10; 100; 1000 ]
+
+(* ------------------------------------------------------------------ *)
+(* B4: NoChange is memoization AND correctness (Section 3.3.2): the
+   key-press counter steps only on key events, no matter how many mouse
+   events interleave; message traffic stays one-per-node-per-event. *)
+
+let bench_b4 () =
+  section "B4  NoChange: foldp correctness and message accounting";
+  let keys = 5 in
+  let mouse = 200 in
+  let rt =
+    with_world (fun () ->
+        let key = Signal.input ~name:"key" 0 in
+        let pos = Signal.input ~name:"mouse" (0, 0) in
+        let presses = Signal.count key in
+        let s = Signal.lift2 (fun c _ -> c) presses pos in
+        let rt = Runtime.start s in
+        for i = 1 to keys do
+          Runtime.inject rt key i
+        done;
+        for i = 1 to mouse do
+          Runtime.inject rt pos (i, i)
+        done;
+        rt)
+  in
+  let stats = Runtime.stats rt in
+  Printf.printf "events: %d key + %d mouse\n" keys mouse;
+  Printf.printf "fold steps       : %d   (= key events: counter is correct)\n"
+    stats.Stats.fold_steps;
+  Printf.printf "lift applications: %d   (= total events: the display pair)\n"
+    stats.Stats.applications;
+  Printf.printf "edge messages    : %d   (nodes emit one message per event)\n"
+    stats.Stats.messages;
+  Printf.printf "final count      : %d\n" (fst ((fun c -> (c, ())) (Runtime.current rt)))
+
+(* ------------------------------------------------------------------ *)
+(* B5: the Fig. 8 wordPairs timeline — display interleavings, sync vs
+   async. *)
+
+let bench_b5 () =
+  section "B5  wordPairs timeline (Fig. 8b vs 8c, translation costs 5s)";
+  let timeline ~use_async =
+    let rt =
+      with_world (fun () ->
+          let armed = ref false in
+          let words = Signal.input ~name:"words" "" in
+          let pairs =
+            Signal.lift2
+              (fun w f -> (w, f))
+              words
+              (Signal.lift (costly armed 5.0 Felm.Builtins.translate_word) words)
+          in
+          let pairs = if use_async then Signal.async pairs else pairs in
+          let mouse = Signal.input ~name:"mouse" 0 in
+          let rt = Runtime.start (Signal.pair pairs mouse) in
+          armed := true;
+          Cml.spawn (fun () ->
+              Cml.sleep 1.0;
+              Runtime.inject rt words "hello";
+              Cml.sleep 1.0;
+              Runtime.inject rt mouse 1;
+              Cml.sleep 1.0;
+              Runtime.inject rt mouse 2);
+          rt)
+    in
+    Runtime.changes rt
+  in
+  let print_timeline label changes =
+    Printf.printf "%s\n" label;
+    List.iter
+      (fun (t, ((en, fr), m)) ->
+        Printf.printf "  [%6.2fs] pair=(%s,%s) mouse=%d\n" t en fr m)
+      changes
+  in
+  print_timeline "synchronous (8b): mouse events wait for the translator"
+    (timeline ~use_async:false);
+  print_timeline "async (8c): mouse events jump ahead" (timeline ~use_async:true)
+
+(* ------------------------------------------------------------------ *)
+(* B8 (virtual part): Automaton.run vs native foldp — same outputs, same
+   event costs; Section 4.3's equivalence, measured. *)
+
+let bench_b8_virtual () =
+  section "B8  Automaton embedding vs native foldp (Section 4.3)";
+  let events = List.init 1000 (fun i -> i) in
+  let drive mk =
+    let rt =
+      with_world (fun () ->
+          let src = Signal.input 0 in
+          let rt = Runtime.start (mk src) in
+          List.iter (fun v -> Runtime.inject rt src v) events;
+          rt)
+    in
+    (Runtime.current rt, (Runtime.stats rt).Stats.fold_steps)
+  in
+  let v1, steps1 = drive (fun s -> Signal.foldp ( + ) 0 s) in
+  let v2, steps2 = drive (fun s -> Automaton.run (Automaton.init ( + ) 0) 0 s) in
+  Printf.printf "foldp:          sum=%d fold_steps=%d\n" v1 steps1;
+  Printf.printf "Automaton.run:  sum=%d fold_steps=%d\n" v2 steps2;
+  Printf.printf "outputs agree: %b\n" (v1 = v2)
+
+(* ------------------------------------------------------------------ *)
+(* B9 (ablation): let-sharing vs duplication. The paper's REDUCE rule
+   deliberately refuses to substitute signal-bound lets so that signal
+   expressions are not duplicated (Section 3.3.1). Here a shared expensive
+   node is consumed by k consumers, against the ablated program where each
+   consumer gets its own copy. *)
+
+let b9_counts ~shared ~consumers ~events =
+  let rt =
+    with_world (fun () ->
+        let src = Signal.input 0 in
+        let expensive () = Signal.lift ~name:"expensive" (fun x -> x * x) src in
+        let the_shared = expensive () in
+        let inputs =
+          List.init consumers (fun _ -> if shared then the_shared else expensive ())
+        in
+        let s = Signal.lift_list (List.fold_left ( + ) 0) inputs in
+        let rt = Runtime.start s in
+        for i = 1 to events do
+          Runtime.inject rt src i
+        done;
+        rt)
+  in
+  (Runtime.stats rt).Stats.applications
+
+let bench_b9 () =
+  section "B9  Ablation: let-sharing vs duplicated signal expressions";
+  Printf.printf
+    "applications for 100 events, k consumers of one expensive node\n";
+  Printf.printf "%4s  %10s %12s\n" "k" "shared" "duplicated";
+  List.iter
+    (fun k ->
+      let shared = b9_counts ~shared:true ~consumers:k ~events:100 in
+      let dup = b9_counts ~shared:false ~consumers:k ~events:100 in
+      Printf.printf "%4d  %10d %12d\n" k shared dup)
+    [ 1; 2; 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* B10 (ablation): cost of async boundaries. Every async node is a source:
+   each of its updates is a fresh global event, and every source must answer
+   every event. Wrapping a whole pipeline in one async is cheap; wrapping
+   every stage multiplies dispatches. *)
+
+let b10_counts ~per_stage ~depth ~events =
+  let rt =
+    with_world (fun () ->
+        let src = Signal.input 0 in
+        let rec build s n =
+          if n = 0 then s
+          else
+            let stage = Signal.lift (fun x -> x + 1) s in
+            build (if per_stage then Signal.async stage else stage) (n - 1)
+        in
+        let built = build src depth in
+        let s = if per_stage then built else Signal.async built in
+        let rt = Runtime.start s in
+        for i = 1 to events do
+          Runtime.inject rt src i
+        done;
+        rt)
+  in
+  let stats = Runtime.stats rt in
+  (stats.Stats.events, stats.Stats.messages, List.length (Runtime.changes rt))
+
+let bench_b10 () =
+  section "B10 Ablation: one async boundary vs async at every stage";
+  Printf.printf "20 events through a depth-N chain; dispatches and messages\n";
+  Printf.printf "%6s  %22s  %22s\n" "depth" "one async (ev/msg)" "per-stage (ev/msg)";
+  List.iter
+    (fun depth ->
+      let e1, m1, c1 = b10_counts ~per_stage:false ~depth ~events:20 in
+      let e2, m2, c2 = b10_counts ~per_stage:true ~depth ~events:20 in
+      Printf.printf "%6d  %10d /%9d  %10d /%9d   (outputs %d = %d)\n" depth e1
+        m1 e2 m2 c1 c2)
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock microbenchmarks via bechamel: the real costs of the engine,
+   the layout library (B6) and the compiler (B7). *)
+
+let make_chain_runtime depth =
+  (* wall-clock: no sleeps, just propagation machinery *)
+  let src = Signal.input 0 in
+  let rec build s n = if n = 0 then s else build (Signal.lift (fun x -> x + 1) s) (n - 1) in
+  (src, build src depth)
+
+let bench_graph_throughput depth () =
+  with_world (fun () ->
+      let src, top = make_chain_runtime depth in
+      let rt = Runtime.start top in
+      for i = 1 to 100 do
+        Runtime.inject rt src i
+      done;
+      Runtime.current rt)
+
+let big_element n =
+  let module E = Gui.Element in
+  let rec build n =
+    if n = 0 then E.plain_text "leaf"
+    else
+      E.flow E.Down
+        [ E.plain_text "row"; E.beside (build (n - 1)) (E.spacer 10 10) ]
+  in
+  build n
+
+let compiler_source n =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "base = lift (\\x -> x + 1) Mouse.x\n";
+  for i = 1 to n do
+    Buffer.add_string buf
+      (Printf.sprintf "step%d x = x * %d + %d\n" i i (i mod 7))
+  done;
+  Buffer.add_string buf "combined = lift2 (\\a b -> a + b) base (lift (\\x -> ";
+  for i = 1 to n do
+    Buffer.add_string buf (Printf.sprintf "step%d (" i)
+  done;
+  Buffer.add_string buf "x";
+  Buffer.add_string buf (String.make n ')');
+  Buffer.add_string buf ") Window.width)\nmain = combined\n";
+  Buffer.contents buf
+
+let micro_benchmarks () =
+  section "Wall-clock microbenchmarks (bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let felm_src = compiler_source 20 in
+  let felm_loc = List.length (String.split_on_char '\n' felm_src) in
+  let element = big_element 30 in
+  let tests =
+    [
+      Test.make ~name:"scheduler: spawn+run 100 threads"
+        (Staged.stage (fun () ->
+             Cml.run (fun () ->
+                 for _ = 1 to 100 do
+                   Cml.spawn (fun () -> Cml.yield ())
+                 done)));
+      Test.make ~name:"mailbox: 1000 send/recv"
+        (Staged.stage (fun () ->
+             Cml.run_value (fun () ->
+                 let mb = Cml.Mailbox.create () in
+                 for i = 1 to 1000 do
+                   Cml.Mailbox.send mb i
+                 done;
+                 let acc = ref 0 in
+                 for _ = 1 to 1000 do
+                   acc := !acc + Cml.Mailbox.recv mb
+                 done;
+                 !acc)));
+      Test.make ~name:"engine: 100 events x depth-10 chain"
+        (Staged.stage (bench_graph_throughput 10));
+      Test.make ~name:"engine: 100 events x depth-50 chain"
+        (Staged.stage (bench_graph_throughput 50));
+      Test.make ~name:"B6 layout: build+HTML render (depth 30)"
+        (Staged.stage (fun () -> ignore (Gui.Html_render.render element)));
+      Test.make ~name:"B6 layout: build element tree (depth 30)"
+        (Staged.stage (fun () -> ignore (big_element 30)));
+      Test.make ~name:"B7 compiler: parse+check (23 decls)"
+        (Staged.stage (fun () ->
+             let p = Felm.Program.of_source felm_src in
+             ignore (Felm.Typecheck.check_program p)));
+      Test.make ~name:"B7 compiler: parse+check+emit JS"
+        (Staged.stage (fun () ->
+             let p = Felm.Program.of_source felm_src in
+             ignore (Felm.Typecheck.check_program p);
+             ignore (Felm_js.Emit.compile_program p)));
+      Test.make ~name:"B8 automaton: 1000 steps"
+        (Staged.stage (fun () ->
+             ignore (Automaton.run_list (Automaton.init ( + ) 0) (List.init 1000 Fun.id))));
+      Test.make ~name:"felm: normalize wordPairs (small-step)"
+        (Staged.stage (fun () ->
+             let p =
+               Felm.Program.of_source
+                 "input words : signal string = \"\"\n\
+                  wordPairs = lift2 (\\a b -> (a, b)) words (lift translate words)\n\
+                  main = wordPairs"
+             in
+             ignore (Felm.Eval.normalize p.Felm.Program.main)));
+    ]
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"micro" tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) ->
+        if est > 1e6 then Printf.printf "%-55s %10.2f ms/run\n" name (est /. 1e6)
+        else if est > 1e3 then Printf.printf "%-55s %10.2f us/run\n" name (est /. 1e3)
+        else Printf.printf "%-55s %10.1f ns/run\n" name est
+      | Some [] | None -> Printf.printf "%-55s (no estimate)\n" name)
+    (List.sort compare rows);
+  Printf.printf
+    "\nB7 note: the compiler source used above is %d lines of FElm.\n" felm_loc
+
+let () =
+  print_endline "FElm / Elm reproduction benchmarks";
+  print_endline "(virtual-time experiments first, wall-clock micro at the end)";
+  bench_b1 ();
+  bench_b2 ();
+  bench_b3 ();
+  bench_b4 ();
+  bench_b5 ();
+  bench_b8_virtual ();
+  bench_b9 ();
+  bench_b10 ();
+  micro_benchmarks ();
+  print_endline "\ndone."

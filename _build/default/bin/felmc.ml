@@ -1,0 +1,176 @@
+(* felmc: the FElm compiler and interpreter command-line tool.
+
+   Subcommands:
+     check    parse, resolve and type-check a program
+     run      interpret a program against an event trace (virtual time)
+     compile  emit JavaScript/HTML (the paper's Section 5 compiler)
+     graph    emit the signal graph as Graphviz DOT (Figs. 7-8) *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_output out text =
+  match out with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out_bin path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+let or_die f =
+  try f () with
+  | Felm.Lexer.Lex_error (msg, loc) ->
+    Printf.eprintf "Lexical error at %s: %s\n"
+      (Format.asprintf "%a" Felm.Ast.pp_loc loc)
+      msg;
+    exit 1
+  | Felm.Parser.Parse_error (msg, loc) ->
+    Printf.eprintf "Syntax error at %s: %s\n"
+      (Format.asprintf "%a" Felm.Ast.pp_loc loc)
+      msg;
+    exit 1
+  | Felm.Program.Error (msg, loc) ->
+    Printf.eprintf "Error at %s: %s\n"
+      (Format.asprintf "%a" Felm.Ast.pp_loc loc)
+      msg;
+    exit 1
+  | Felm.Typecheck.Type_error (msg, loc) ->
+    Printf.eprintf "Type error at %s: %s\n"
+      (Format.asprintf "%a" Felm.Ast.pp_loc loc)
+      msg;
+    exit 1
+  | Felm.Trace.Trace_error (msg, line) ->
+    Printf.eprintf "Trace error on line %d: %s\n" line msg;
+    exit 1
+
+let load_checked path =
+  let program = Felm.Program.of_source (read_file path) in
+  let ty = Felm.Typecheck.check_program program in
+  (program, ty)
+
+(* ------------------------------------------------------------------ *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"FElm source file.")
+
+let check_cmd =
+  let run file =
+    or_die (fun () ->
+        let _, ty = load_checked file in
+        Printf.printf "%s : %s\n" (Filename.basename file) (Felm.Ty.to_string ty))
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse, resolve and type-check a FElm program.")
+    Term.(const run $ file_arg)
+
+let run_cmd =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "trace"; "t" ] ~docv:"TRACE" ~doc:"Event trace file to replay.")
+  in
+  let seq_arg =
+    Arg.(
+      value & flag
+      & info [ "sequential" ]
+          ~doc:"Use the non-pipelined baseline scheduler instead of the \
+                paper's pipelined semantics.")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print runtime counters at exit.")
+  in
+  let run file trace sequential print_stats =
+    or_die (fun () ->
+        let program, ty = load_checked file in
+        let events =
+          match trace with
+          | None -> []
+          | Some path ->
+            let evs = Felm.Trace.parse (read_file path) in
+            Felm.Trace.validate program evs;
+            evs
+        in
+        let mode =
+          if sequential then Elm_core.Runtime.Sequential
+          else Elm_core.Runtime.Pipelined
+        in
+        let outcome = Felm.Interp.run ~mode program ~trace:events in
+        Printf.printf "-- %s : %s\n" (Filename.basename file) (Felm.Ty.to_string ty);
+        if outcome.Felm.Interp.displays = [] then
+          Printf.printf "value: %s\n" (Felm.Value.show outcome.Felm.Interp.final)
+        else
+          List.iter
+            (fun (t, v) -> Printf.printf "[%8.3f] %s\n" t (Felm.Value.show v))
+            outcome.Felm.Interp.displays;
+        if outcome.Felm.Interp.skipped_events > 0 then
+          Printf.printf "(%d trace events targeted unused inputs)\n"
+            outcome.Felm.Interp.skipped_events;
+        match outcome.Felm.Interp.stats with
+        | Some stats when print_stats ->
+          Format.printf "stats: %a@." Elm_core.Stats.pp stats
+        | Some _ | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Interpret a FElm program against an event trace.")
+    Term.(const run $ file_arg $ trace_arg $ seq_arg $ stats_arg)
+
+let compile_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output file (default: stdout).")
+  in
+  let js_only_arg =
+    Arg.(
+      value & flag
+      & info [ "js" ] ~doc:"Emit plain JavaScript for embedding, not an HTML page.")
+  in
+  let run file out js_only =
+    or_die (fun () ->
+        let program, _ = load_checked file in
+        let text =
+          if js_only then Felm_js.Emit.compile_program program
+          else Felm_js.Html.page ~title:(Filename.basename file) program
+        in
+        write_output out text)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile a FElm program to JavaScript/HTML (Section 5).")
+    Term.(const run $ file_arg $ out_arg $ js_only_arg)
+
+let graph_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output file (default: stdout).")
+  in
+  let run file out =
+    or_die (fun () ->
+        let program, _ = load_checked file in
+        let g, root = Felm.Denote.run_program program in
+        let root_id =
+          match root with Felm.Value.Vsignal id -> Some id | _ -> None
+        in
+        write_output out
+          (Felm.Sgraph.to_dot ~label:(Filename.basename file) g ~root:root_id))
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Emit the program's signal graph as Graphviz DOT (Figs. 7-8).")
+    Term.(const run $ file_arg $ out_arg)
+
+let () =
+  let info =
+    Cmd.info "felmc" ~version:"1.0.0"
+      ~doc:"Compiler and interpreter for FElm, the core calculus of \
+            'Asynchronous Functional Reactive Programming for GUIs' (PLDI 2013)."
+  in
+  exit (Cmd.eval (Cmd.group info [ check_cmd; run_cmd; compile_cmd; graph_cmd ]))

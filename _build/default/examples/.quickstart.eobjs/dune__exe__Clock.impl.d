@@ -1,0 +1,1 @@
+examples/clock.ml: Elm_core Elm_std Gui List Printf

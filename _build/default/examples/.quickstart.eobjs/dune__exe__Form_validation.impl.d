@@ -1,0 +1,1 @@
+examples/form_validation.ml: Elm_core Elm_std Fun Gui Printf Result String

@@ -1,0 +1,1 @@
+examples/form_validation.mli:

@@ -1,0 +1,1 @@
+examples/graphing.ml: Cml Elm_core Elm_std Float Gui List Printf

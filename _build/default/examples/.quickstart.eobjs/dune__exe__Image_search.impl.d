@@ -1,0 +1,1 @@
+examples/image_search.ml: Elm_core Elm_std Gui Printf

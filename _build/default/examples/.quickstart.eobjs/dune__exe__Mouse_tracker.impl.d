@@ -1,0 +1,1 @@
+examples/mouse_tracker.ml: Elm_core Elm_std Format Gui Printf

@@ -1,0 +1,1 @@
+examples/pong.ml: Buffer Elm_core Elm_std Float Gui Printf

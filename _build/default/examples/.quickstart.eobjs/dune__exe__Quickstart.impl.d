@@ -1,0 +1,1 @@
+examples/quickstart.ml: Gui List Printf String

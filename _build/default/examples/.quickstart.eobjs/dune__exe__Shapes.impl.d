@@ -1,0 +1,1 @@
+examples/shapes.ml: Gui List Printf

@@ -1,0 +1,1 @@
+examples/slideshow.ml: Elm_core Elm_std Gui List Printf

@@ -1,0 +1,1 @@
+examples/slideshow.mli:

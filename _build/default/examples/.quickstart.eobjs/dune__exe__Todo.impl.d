@@ -1,0 +1,1 @@
+examples/todo.ml: Elm_core Elm_std Gui List Printf

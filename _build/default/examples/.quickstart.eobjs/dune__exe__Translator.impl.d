@@ -1,0 +1,1 @@
+examples/translator.ml: Cml Elm_core Elm_std Felm Printf

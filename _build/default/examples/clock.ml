@@ -1,0 +1,49 @@
+(* The "nine-line analog clock" the paper mentions among the Elm website
+   examples (Section 5), built from Time.every + collage. The reactive part
+   really is nine lines; the rest is printing.
+
+   Run with:  dune exec examples/clock.exe *)
+
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+module World = Elm_std.World
+module Time = Elm_std.Time
+module E = Gui.Element
+module F = Gui.Form
+module Color = Gui.Color
+
+(* --- the nine lines --- *)
+let hand length turn_fraction color =
+  let angle = F.degrees (90.0 -. (360.0 *. turn_fraction)) in
+  F.traced (F.solid color)
+    (F.segment (0.0, 0.0) (length *. cos angle, length *. sin angle))
+
+let clock_face seconds =
+  E.collage 120 120
+    [
+      F.outlined (F.solid Color.charcoal) (F.circle 55.0);
+      hand 50.0 (seconds /. 60.0) Color.red;
+      hand 40.0 (seconds /. 3600.0) Color.black;
+      hand 30.0 (seconds /. 43200.0) Color.gray;
+    ]
+(* --- end of the nine lines --- *)
+
+let () =
+  print_endline "== Analog clock: lift clockFace (Time.every second) ==";
+  ignore
+    (World.run (fun () ->
+         let timer = Time.every (15.0 *. Time.second) in
+         let main = Signal.lift clock_face (Time.signal timer) in
+         let rt = Runtime.start main in
+         Runtime.on_change rt (fun t face ->
+             let forms =
+               match E.prim_of face with E.Prim_collage fs -> fs | _ -> []
+             in
+             Printf.printf "\n[t=%4.0fs] clock frame (SVG, %d forms):\n" t
+               (List.length forms);
+             if t <= 30.0 then
+               print_endline
+                 (Gui.Svg_render.render_forms ~width:120 ~height:120 forms)
+             else print_endline "  (svg elided)");
+         Time.drive timer rt ~until:60.0;
+         rt))

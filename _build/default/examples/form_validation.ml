@@ -1,0 +1,76 @@
+(* Forms with client-side error checking — another of the Section 5
+   applications. Two text fields (name, email) validate reactively: the
+   error display is a pure function of the current field values, recomputed
+   per keystroke by the signal graph, and the submit button only counts
+   presses made while the form is valid (keep_when).
+
+   Run with:  dune exec examples/form_validation.exe *)
+
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+module World = Elm_std.World
+module Input = Elm_std.Input_widgets
+module E = Gui.Element
+
+let validate_name name =
+  if name = "" then Error "name is required"
+  else if String.length name < 2 then Error "name is too short"
+  else Ok name
+
+let validate_email email =
+  if email = "" then Error "email is required"
+  else if not (String.contains email '@') then Error "email needs an @"
+  else Ok email
+
+let describe = function Ok _ -> "ok" | Error e -> "ERROR: " ^ e
+
+let () =
+  print_endline "== Reactive form validation ==";
+  let submissions = ref [] in
+  ignore
+    (World.run (fun () ->
+         let name_field = Input.text "Name" in
+         let email_field = Input.text "Email" in
+         let submit = Input.button "Submit" in
+         let validity =
+           Signal.lift2
+             (fun n e -> (validate_name n, validate_email e))
+             name_field.Input.value email_field.Input.value
+         in
+         let is_valid =
+           Signal.lift (fun (n, e) -> Result.is_ok n && Result.is_ok e) validity
+         in
+         (* only count submit presses made while the form is valid: sample
+            the validity at each press, then count the true samples.
+            (keep_when would also fire when the gate opens — Elm's rising-
+            edge semantics — which is not what a submit button wants.) *)
+         let accepted =
+           Signal.count_if Fun.id (Signal.sample_on submit.Input.presses is_valid)
+         in
+         let scene (vn, ve) n_accepted =
+           E.flow E.Down
+             [
+               E.plain_text ("name:  " ^ describe vn);
+               E.plain_text ("email: " ^ describe ve);
+               E.plain_text (Printf.sprintf "accepted submissions: %d" n_accepted);
+             ]
+         in
+         let main = Signal.lift2 scene validity accepted in
+         let rt = Runtime.start main in
+         Runtime.on_change rt (fun t e ->
+             Printf.printf "[%4.1fs]\n%s\n\n" t (Gui.Ascii_render.render e));
+         Runtime.on_change rt (fun t _ -> submissions := t :: !submissions);
+         World.script
+           [
+             (1.0, fun () -> submit.Input.press rt);
+             (* invalid: ignored *)
+             (2.0, fun () -> name_field.Input.set rt "Ada");
+             (3.0, fun () -> email_field.Input.set rt "ada");
+             (* still invalid *)
+             (4.0, fun () -> submit.Input.press rt);
+             (5.0, fun () -> email_field.Input.set rt "ada@lovelace.org");
+             (6.0, fun () -> submit.Input.press rt);
+             (* accepted *)
+           ];
+         rt));
+  print_endline "(only the final submit was accepted)"

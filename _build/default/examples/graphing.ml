@@ -1,0 +1,69 @@
+(* Graphing: Section 5 lists "a graphing library that handles cartesian and
+   radial coordinates" among the applications built on Elm's functional
+   graphics. This example plots a live signal: the history of the mouse's
+   x-coordinate, collected with foldp, rendered as a cartesian line plot and
+   a radial plot, written to SVG.
+
+   Run with:  dune exec examples/graphing.exe *)
+
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+module World = Elm_std.World
+module Mouse = Elm_std.Mouse
+module E = Gui.Element
+module Plot = Gui.Plot
+
+let () =
+  print_endline "== Graphing a signal: plot (history Mouse.x) ==";
+  let final = ref E.empty in
+  ignore
+    (World.run (fun () ->
+         (* collect (time, x) samples with foldp *)
+         let history =
+           Signal.foldp
+             (fun x acc -> (Cml.now (), float_of_int x) :: acc)
+             [] Mouse.x
+         in
+         let plot samples =
+           let points = List.rev_map (fun (t, x) -> (t, x)) samples in
+           Plot.cartesian ~width:320 ~height:200 ~draw_points:true
+             [ Plot.series ~label:"Mouse.x over time" ~color:Gui.Color.blue points ]
+         in
+         let main = Signal.lift plot history in
+         let rt = Runtime.start main in
+         Runtime.on_change rt (fun _ e -> final := e);
+         World.script
+           (List.mapi
+              (fun i x -> (0.25 *. float_of_int (i + 1), fun () -> Mouse.move rt (x, 0)))
+              [ 10; 40; 25; 70; 55; 90; 60; 120 ]);
+         rt));
+  let collage = !final in
+  Printf.printf "final plot element: %dx%d\n" (E.width_of collage)
+    (E.height_of collage);
+  let svg_of e =
+    match E.prim_of e with
+    | E.Prim_flow (_, plot :: _) -> (
+      match E.prim_of plot with
+      | E.Prim_collage forms ->
+        Gui.Svg_render.render_forms ~width:(E.width_of plot)
+          ~height:(E.height_of plot) forms
+      | _ -> "")
+    | _ -> ""
+  in
+  let oc = open_out "mouse_plot.svg" in
+  output_string oc (svg_of collage);
+  close_out oc;
+  print_endline "(cartesian plot written to mouse_plot.svg)";
+
+  (* and a radial plot of a rose curve, r = cos(3 theta) *)
+  let rose =
+    List.init 121 (fun i ->
+        let theta = Float.pi *. float_of_int i /. 60.0 in
+        (theta, Float.abs (cos (3.0 *. theta))))
+  in
+  let radial = Plot.radial [ Plot.series ~label:"r = |cos 3t|" rose ] in
+  let oc = open_out "rose_plot.svg" in
+  output_string oc (svg_of radial);
+  close_out oc;
+  print_endline "(radial plot written to rose_plot.svg)";
+  Printf.printf "radial element: %dx%d\n" (E.width_of radial) (E.height_of radial)

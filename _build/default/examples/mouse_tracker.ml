@@ -1,0 +1,35 @@
+(* Example 2 (Fig. 2): main = lift asText Mouse.position.
+
+   A scripted user sweeps the mouse; every display update is printed with
+   its virtual timestamp. Run with:  dune exec examples/mouse_tracker.exe *)
+
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+module World = Elm_std.World
+module Mouse = Elm_std.Mouse
+module E = Gui.Element
+
+let () =
+  print_endline "== Example 2 (Fig. 2): main = lift asText Mouse.position ==";
+  let rt =
+    World.run (fun () ->
+        let main =
+          Signal.lift
+            (fun (x, y) -> E.as_text (Printf.sprintf "(%d,%d)" x y))
+            Mouse.position
+        in
+        let rt = Runtime.start main in
+        Runtime.on_change rt (fun t element ->
+            Printf.printf "[%5.2fs] screen now shows: %s\n" t
+              (Gui.Ascii_render.render element));
+        World.script
+          [
+            (0.25, fun () -> Mouse.move rt (10, 4));
+            (0.50, fun () -> Mouse.move rt (25, 12));
+            (0.75, fun () -> Mouse.move rt (40, 30));
+            (1.00, fun () -> Mouse.move rt (55, 31));
+          ];
+        rt)
+  in
+  let stats = Runtime.stats rt in
+  Format.printf "\nruntime counters: %a@." Elm_core.Stats.pp stats

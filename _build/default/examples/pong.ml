@@ -1,0 +1,109 @@
+(* Pong: "Elm has also been used to make Pong and other games, which require
+   highly interactive GUIs" (Section 5).
+
+   The game state is a foldp over merged inputs (frame ticks and paddle
+   commands from Keyboard.arrows), the classic Elm game architecture:
+
+     input = merge (FrameTick <$ Time.fps 10) (Paddle <$> Keyboard.arrows)
+     state = foldp step initial_state input
+     main  = lift render state
+
+   A scripted player defends for a while; frames render as ASCII.
+   Run with:  dune exec examples/pong.exe *)
+
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+module World = Elm_std.World
+module Keyboard = Elm_std.Keyboard
+module Time = Elm_std.Time
+module E = Gui.Element
+
+let width = 40
+let height = 12
+
+type state = {
+  ball_x : int;
+  ball_y : int;
+  dx : int;
+  dy : int;
+  paddle : int;  (** y of paddle top, left wall; 3 cells tall *)
+  score : int;
+  balls_lost : int;
+}
+
+let initial =
+  { ball_x = 20; ball_y = 6; dx = -1; dy = 1; paddle = 5; score = 0; balls_lost = 0 }
+
+type event =
+  | Tick
+  | Move of int  (** -1 up, +1 down *)
+
+let step event st =
+  match event with
+  | Move d -> { st with paddle = max 0 (min (height - 3) (st.paddle + d)) }
+  | Tick ->
+    let x = st.ball_x + st.dx in
+    let y = st.ball_y + st.dy in
+    let dy = if y <= 0 || y >= height - 1 then -st.dy else st.dy in
+    let y = max 0 (min (height - 1) y) in
+    if x <= 0 then
+      if y >= st.paddle && y < st.paddle + 3 then
+        (* bounce off the paddle *)
+        { st with ball_x = 1; ball_y = y; dx = 1; dy; score = st.score + 1 }
+      else
+        (* missed: serve a new ball *)
+        { st with ball_x = width / 2; ball_y = 3; dx = -1; dy = 1;
+          balls_lost = st.balls_lost + 1 }
+    else if x >= width - 1 then { st with ball_x = width - 2; ball_y = y; dx = -1; dy }
+    else { st with ball_x = x; ball_y = y; dx = st.dx; dy }
+
+let render st =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "score: %d   lost: %d\n" st.score st.balls_lost);
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      let c =
+        if x = st.ball_x && y = st.ball_y then 'o'
+        else if x = 0 && y >= st.paddle && y < st.paddle + 3 then '|'
+        else if y = 0 || y = height - 1 then '-'
+        else ' '
+      in
+      Buffer.add_char buf c
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let () =
+  print_endline "== Pong on the signal runtime ==";
+  let final = ref initial in
+  ignore
+    (World.run (fun () ->
+         let fps = Time.fps 10.0 in
+         let ticks = Signal.lift (fun _ -> Tick) (Time.signal fps) in
+         let moves =
+           Signal.lift (fun (_, dy) -> Move (-dy)) Keyboard.arrows
+         in
+         let events = Signal.merge moves ticks in
+         let state = Signal.foldp step initial events in
+         let main = Signal.lift (fun st -> (st, E.as_text (render st))) state in
+         let rt = Runtime.start main in
+         Runtime.on_change rt (fun t (st, _) ->
+             final := st;
+             (* print a frame twice a second *)
+             if Float.rem t 0.5 < 0.05 then
+               Printf.printf "[t=%4.1f]\n%s\n" t (render st));
+         Time.drive fps rt ~until:6.0;
+         (* the scripted player chases the ball *)
+         World.script
+           [
+             (0.9, fun () -> Keyboard.tap rt Keyboard.up_arrow);
+             (1.6, fun () -> Keyboard.tap rt Keyboard.up_arrow);
+             (2.8, fun () -> Keyboard.tap rt Keyboard.down_arrow);
+             (4.0, fun () -> Keyboard.tap rt Keyboard.down_arrow);
+             (5.0, fun () -> Keyboard.tap rt Keyboard.up_arrow);
+           ];
+         rt));
+  Printf.printf "final: %d returns, %d balls lost\n" !final.score
+    !final.balls_lost

@@ -1,0 +1,36 @@
+(* Quickstart: the paper's Example 1 (Fig. 1).
+
+     content = flow down [ plainText "Welcome to Elm!"
+                         , image 150 50 "flower.jpg"
+                         , asText (reverse [1..9]) ]
+     main = container 180 100 middle content
+
+   Prints the layout as ASCII art and as the HTML page the real Elm runtime
+   would build. Run with:  dune exec examples/quickstart.exe *)
+
+module E = Gui.Element
+
+let () =
+  let reversed_list =
+    "["
+    ^ String.concat "," (List.rev_map string_of_int [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ])
+    ^ "]"
+  in
+  let content =
+    E.flow E.Down
+      [
+        E.plain_text "Welcome to Elm!";
+        E.image 150 50 "flower.jpg";
+        E.as_text reversed_list;
+      ]
+  in
+  let main = E.container 180 100 E.Middle content in
+  print_endline "== Example 1 (Fig. 1): purely functional layout ==";
+  Printf.printf "content: %dx%d, container: %dx%d\n\n"
+    (E.width_of content) (E.height_of content) (E.width_of main)
+    (E.height_of main);
+  print_endline (Gui.Ascii_render.render main);
+  print_endline "\n-- The same element as HTML (truncated) --";
+  let html = Gui.Html_render.to_page ~title:"Example 1" main in
+  print_endline (String.sub html 0 (min 400 (String.length html)));
+  Printf.printf "... (%d bytes total)\n" (String.length html)

@@ -1,0 +1,49 @@
+(* Fig. 12: creating and combining shapes with the collage API.
+
+     square   = rect 70 70
+     pentagon = ngon 5 20
+     circle   = oval 50 50
+     zigzag   = path [ (0,0), (10,10), (0,30), (10,40) ]
+     main = collage 140 140
+       [ filled green pentagon,
+         outlined (dashed blue) circle,
+         rotate (degrees 70) (outlined (solid black) square),
+         move 40 40 (trace (solid red) zigzag) ]
+
+   Writes the collage as SVG to shapes.svg and prints it.
+   Run with:  dune exec examples/shapes.exe *)
+
+module E = Gui.Element
+module F = Gui.Form
+module Color = Gui.Color
+
+let () =
+  let square = F.rect 70.0 70.0 in
+  let pentagon = F.ngon 5 20.0 in
+  let circle = F.oval 50.0 50.0 in
+  let zigzag = F.path [ (0.0, 0.0); (10.0, 10.0); (0.0, 30.0); (10.0, 40.0) ] in
+  let main =
+    E.collage 140 140
+      [
+        F.filled Color.green pentagon;
+        F.outlined (F.dashed Color.blue) circle;
+        F.rotate (F.degrees 70.0) (F.outlined (F.solid Color.black) square);
+        F.move (40.0, 40.0) (F.traced (F.solid Color.red) zigzag);
+      ]
+  in
+  let forms = match E.prim_of main with E.Prim_collage fs -> fs | _ -> [] in
+  let svg = Gui.Svg_render.render_forms ~width:140 ~height:140 forms in
+  print_endline "== Fig. 12: shapes combined with collage ==";
+  print_endline svg;
+  let oc = open_out "shapes.svg" in
+  output_string oc svg;
+  close_out oc;
+  print_endline "\n(written to shapes.svg)";
+  List.iteri
+    (fun i f ->
+      match F.bounding_box f with
+      | Some ((lx, ly), (hx, hy)) ->
+        Printf.printf "form %d bounding box: (%.1f,%.1f) .. (%.1f,%.1f)\n" i lx
+          ly hx hy
+      | None -> ())
+    forms

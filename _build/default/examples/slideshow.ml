@@ -1,0 +1,69 @@
+(* Fig. 14: a slide show reacting to three different user inputs.
+
+     pics = [ "shells.jpg", "car.jpg", "book.jpg" ]
+     display i = image 475 315 (ith (i `mod` length pics) pics)
+     index1 = count Mouse.clicks
+     index2 = count (Time.every (3 * second))
+     index3 = count Keyboard.lastPressed
+     main = lift display index1
+
+   Run with:  dune exec examples/slideshow.exe *)
+
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+module World = Elm_std.World
+module Mouse = Elm_std.Mouse
+module Keyboard = Elm_std.Keyboard
+module Time = Elm_std.Time
+module E = Gui.Element
+
+let pics = [ "shells.jpg"; "car.jpg"; "book.jpg" ]
+
+let display i = E.image 475 315 (List.nth pics (i mod List.length pics))
+
+let show_slide t element =
+  match E.prim_of element with
+  | E.Prim_image { src; _ } -> Printf.printf "[%5.2fs] showing %s\n" t src
+  | _ -> ()
+
+let with_clicks () =
+  print_endline "\n-- index1 = count Mouse.clicks --";
+  ignore
+    (World.run (fun () ->
+         let main = Signal.lift display (Signal.count Mouse.clicks) in
+         let rt = Runtime.start main in
+         Runtime.on_change rt show_slide;
+         World.script
+           (List.map (fun t -> (t, fun () -> Mouse.click rt)) [ 0.5; 1.0; 1.5; 2.0 ]);
+         rt))
+
+let with_timer () =
+  print_endline "\n-- index2 = count (Time.every (3 * second)) --";
+  ignore
+    (World.run (fun () ->
+         let timer = Time.every (3.0 *. Time.second) in
+         let main = Signal.lift display (Signal.count (Time.signal timer)) in
+         let rt = Runtime.start main in
+         Runtime.on_change rt show_slide;
+         Time.drive timer rt ~until:10.0;
+         rt))
+
+let with_keys () =
+  print_endline "\n-- index3 = count Keyboard.lastPressed --";
+  ignore
+    (World.run (fun () ->
+         let main = Signal.lift display (Signal.count Keyboard.last_pressed) in
+         let rt = Runtime.start main in
+         Runtime.on_change rt show_slide;
+         World.script
+           [
+             (0.3, fun () -> Keyboard.tap rt 32);
+             (0.6, fun () -> Keyboard.tap rt 32);
+           ];
+         rt))
+
+let () =
+  print_endline "== Fig. 14: a slide show from three kinds of input ==";
+  with_clicks ();
+  with_timer ();
+  with_keys ()

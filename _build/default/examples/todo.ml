@@ -1,0 +1,88 @@
+(* A todo-list application in the classic Elm architecture, a decade before
+   it had the name: user interactions become one merged event signal, the
+   model is a foldp over it, and the view is a pure function of the model.
+
+     events = merge (Add <$ sampleOn addClicks field.value)
+                    (merge (Toggle <$> digitKeys) (ClearDone <$ clearClicks))
+     model  = foldp step [] events
+     main   = lift render model
+
+   Run with:  dune exec examples/todo.exe *)
+
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+module World = Elm_std.World
+module Keyboard = Elm_std.Keyboard
+module Input = Elm_std.Input_widgets
+module E = Gui.Element
+
+type item = {
+  title : string;
+  completed : bool;
+}
+
+type event =
+  | Add of string
+  | Toggle of int  (** 1-based item index. *)
+  | Clear_done
+  | Noop
+
+let step event model =
+  match event with
+  | Add "" | Noop -> model
+  | Add title -> model @ [ { title; completed = false } ]
+  | Toggle n ->
+    List.mapi
+      (fun i item ->
+        if i + 1 = n then { item with completed = not item.completed } else item)
+      model
+  | Clear_done -> List.filter (fun item -> not item.completed) model
+
+let render model =
+  let remaining = List.length (List.filter (fun i -> not i.completed) model) in
+  E.flow E.Down
+    (E.plain_text (Printf.sprintf "todo (%d remaining)" remaining)
+     :: E.plain_text "-----------------------"
+     :: List.mapi
+          (fun i item ->
+            E.plain_text
+              (Printf.sprintf "%d.[%s] %s" (i + 1)
+                 (if item.completed then "x" else " ")
+                 item.title))
+          model)
+
+let () =
+  print_endline "== Todo: merged events -> foldp model -> pure view ==";
+  ignore
+    (World.run (fun () ->
+         let field = Input.text "What needs doing?" in
+         let add = Input.button "Add" in
+         let clear = Input.button "Clear completed" in
+         let adds =
+           Signal.lift (fun title -> Add title)
+             (Signal.sample_on add.Input.presses field.Input.value)
+         in
+         let toggles =
+           Signal.lift
+             (fun k -> if k >= 49 && k <= 57 then Toggle (k - 48) else Noop)
+             Keyboard.last_pressed
+         in
+         let clears = Signal.lift (fun () -> Clear_done) clear.Input.presses in
+         let events = Signal.merge adds (Signal.merge toggles clears) in
+         let model = Signal.foldp step [] events in
+         let main = Signal.lift render model in
+         let rt = Runtime.start main in
+         Runtime.on_change rt (fun t view ->
+             Printf.printf "[%4.1fs]\n%s\n\n" t (Gui.Ascii_render.render view));
+         World.script
+           [
+             (1.0, fun () -> field.Input.set rt "buy milk");
+             (1.1, fun () -> add.Input.press rt);
+             (2.0, fun () -> field.Input.set rt "write FRP paper");
+             (2.1, fun () -> add.Input.press rt);
+             (3.0, fun () -> Keyboard.tap rt 49);
+             (* toggle item 1 *)
+             (4.0, fun () -> clear.Input.press rt);
+           ];
+         rt));
+  print_endline "(item 1 was completed and cleared)"

@@ -1,0 +1,66 @@
+(* Section 3.3.2's wordPairs example (Fig. 8): why FRP must be synchronous,
+   and where async is safe.
+
+     wordPairs = lift2 (,) words (lift toFrench words)           -- Fig. 8(a)
+     lift2 (,) wordPairs Mouse.position                          -- Fig. 8(b)
+     lift2 (,) (async wordPairs) Mouse.position                  -- Fig. 8(c)
+
+   Run with:  dune exec examples/translator.exe *)
+
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+module World = Elm_std.World
+module Mouse = Elm_std.Mouse
+
+let translation_cost = 5.0
+
+let armed = ref false
+
+let to_french w =
+  if !armed then Cml.sleep translation_cost;
+  Felm.Builtins.translate_word w
+
+let word_pairs words =
+  Signal.lift2 ~name:"wordPairs" (fun w f -> (w, f)) words
+    (Signal.lift ~name:"toFrench" to_french words)
+
+let print_graph () =
+  armed := false;
+  (* defaults are computed during construction; no scheduler here *)
+  let words = Signal.input ~name:"words" "" in
+  let program = Signal.lift2 ~name:"scene" (fun p m -> (p, m))
+      (Signal.async (word_pairs words)) Mouse.position in
+  print_endline "-- Fig. 8(c) as Graphviz DOT --";
+  print_endline (Signal.to_dot ~label:"Fig. 8(c): async wordPairs" program)
+
+let session ~use_async =
+  Printf.printf "\n-- %s --\n"
+    (if use_async then "Fig. 8(c): async wordPairs, mouse can jump ahead"
+     else "Fig. 8(b): synchronous, mouse waits for the translator");
+  armed := false;
+  ignore
+    (World.run (fun () ->
+         let words = Signal.input ~name:"words" "" in
+         let pairs = word_pairs words in
+         let pairs = if use_async then Signal.async pairs else pairs in
+         let main = Signal.lift2 (fun p m -> (p, m)) pairs Mouse.position in
+         let rt = Runtime.start main in
+         armed := true;
+         Runtime.on_change rt (fun t ((en, fr), (mx, my)) ->
+             Printf.printf "[%6.2fs] pair=(%s,%s) mouse=(%d,%d)\n" t en fr mx my);
+         World.script
+           [
+             (1.0, fun () -> Runtime.inject rt words "hello");
+             (2.0, fun () -> Mouse.move rt (5, 5));
+             (3.0, fun () -> Runtime.inject rt words "world");
+             (4.0, fun () -> Mouse.move rt (9, 9));
+           ];
+         rt))
+
+let () =
+  print_endline "== wordPairs: synchronization vs. asynchrony (Section 3.3.2) ==";
+  Printf.printf "(each translation costs %.0fs of virtual time)\n" translation_cost;
+  session ~use_async:false;
+  session ~use_async:true;
+  print_endline "";
+  print_graph ()

@@ -1,0 +1,95 @@
+module Signal = Elm_core.Signal
+
+type ('a, 'b) t = Step of ('a -> ('a, 'b) t * 'b)
+
+let step input (Step f) = f input
+
+let rec pure f = Step (fun a -> (pure f, f a))
+
+let rec init f state = Step (fun a ->
+    let state' = f a state in
+    (init f state', state'))
+
+(* Verbatim from Section 4.3:
+     run automaton base inputs =
+       let step' input (Step f, _) = f input
+       in lift snd (foldp step' (automaton, base) inputs) *)
+let run automaton base inputs =
+  let step' input (Step f, _) = f input in
+  Signal.lift ~name:"run" snd (Signal.foldp step' (automaton, base) inputs)
+
+let run_list automaton inputs =
+  let rec go acc auto = function
+    | [] -> List.rev acc
+    | x :: rest ->
+      let auto', y = step x auto in
+      go (y :: acc) auto' rest
+  in
+  go [] automaton inputs
+
+(* Also verbatim: foldp f base inputs = run (init f base) base inputs *)
+let foldp_via_run f base inputs = run (init f base) base inputs
+
+let arr = pure
+
+let rec ( >>> ) (Step f) (Step g) =
+  Step (fun a ->
+      let f', b = f a in
+      let g', c = g b in
+      (f' >>> g', c))
+
+let ( <<< ) g f = f >>> g
+
+let rec first (Step f) =
+  Step (fun (a, c) ->
+      let f', b = f a in
+      (first f', (b, c)))
+
+let rec second (Step f) =
+  Step (fun (c, a) ->
+      let f', b = f a in
+      (second f', (c, b)))
+
+let rec ( *** ) (Step f) (Step g) =
+  Step (fun (a, c) ->
+      let f', b = f a in
+      let g', d = g c in
+      (f' *** g', (b, d)))
+
+let rec ( &&& ) (Step f) (Step g) =
+  Step (fun a ->
+      let f', b = f a in
+      let g', c = g a in
+      (f' &&& g', (b, c)))
+
+let rec combine autos =
+  Step (fun a ->
+      let stepped = List.map (step a) autos in
+      (combine (List.map fst stepped), List.map snd stepped))
+
+let rec loop state (Step f) =
+  Step (fun a ->
+      let f', (b, state') = f (a, state) in
+      (loop state' f', b))
+
+(* Written as a syntactic value so the type generalizes ('a, int) t. *)
+let rec count_from c = Step (fun _ -> (count_from (c + 1), c + 1))
+let count = Step (fun _ -> (count_from 1, 1))
+
+let average window =
+  let push x (queue, sum, len) =
+    let queue = queue @ [ x ] in
+    let sum = sum +. x in
+    if len < window then (queue, sum, len + 1)
+    else
+      match queue with
+      | oldest :: rest -> (rest, sum -. oldest, len)
+      | [] -> (queue, sum, len)
+  in
+  let rec go state =
+    Step
+      (fun x ->
+        let (_, sum, len) as state' = push x state in
+        (go state', sum /. float_of_int len))
+  in
+  go ([], 0.0, 0)

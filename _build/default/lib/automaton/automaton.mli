@@ -1,0 +1,69 @@
+(** Discrete Arrowized FRP embedded in Elm (paper Section 4.3).
+
+    An [('a, 'b) t] is a signal function: a pure data structure that, given
+    an input ['a], produces an output ['b] and its own next step. Because an
+    automaton has no innate dependency on inputs, it can be created
+    dynamically, collected in lists, and switched in and out of a program —
+    all without signals-of-signals. This is the paper's [Automaton] library,
+    "based on the naive continuation-based implementation described in the
+    first AFRP paper". *)
+
+type ('a, 'b) t = Step of ('a -> ('a, 'b) t * 'b)
+
+val step : 'a -> ('a, 'b) t -> ('a, 'b) t * 'b
+(** Feed one input; get the next automaton and the output. *)
+
+val pure : ('a -> 'b) -> ('a, 'b) t
+(** A stateless automaton applying the same function forever. *)
+
+val init : ('a -> 'b -> 'b) -> 'b -> ('a, 'b) t
+(** [init f b] is a stateful automaton: on input [a] the state [b] becomes
+    [f a b], which is also the output. Note the similarity with
+    {!Elm_core.Signal.foldp} — the paper defines each in terms of the
+    other. *)
+
+val run : ('a, 'b) t -> 'b -> 'a Elm_core.Signal.t -> 'b Elm_core.Signal.t
+(** Feed a signal through an automaton, stepping on every change: the
+    paper's [run], defined with [foldp] exactly as printed in Section 4.3. *)
+
+val run_list : ('a, 'b) t -> 'a list -> 'b list
+(** Step an automaton through a list of inputs (no signals involved);
+    convenient for tests and property checks. *)
+
+val foldp_via_run : ('a -> 'b -> 'b) -> 'b -> 'a Elm_core.Signal.t -> 'b Elm_core.Signal.t
+(** The other direction of the paper's equivalence: [foldp] defined from
+    {!run} and {!init}: [foldp f base inputs = run (init f base) base inputs]. *)
+
+(** {1 Arrow combinators} *)
+
+val ( >>> ) : ('a, 'b) t -> ('b, 'c) t -> ('a, 'c) t
+(** Left-to-right composition. *)
+
+val ( <<< ) : ('b, 'c) t -> ('a, 'b) t -> ('a, 'c) t
+
+val arr : ('a -> 'b) -> ('a, 'b) t
+(** Synonym for {!pure} (the classic arrow name). *)
+
+val first : ('a, 'b) t -> ('a * 'c, 'b * 'c) t
+val second : ('a, 'b) t -> ('c * 'a, 'c * 'b) t
+
+val ( *** ) : ('a, 'b) t -> ('c, 'd) t -> ('a * 'c, 'b * 'd) t
+(** Pair two automata side by side. *)
+
+val ( &&& ) : ('a, 'b) t -> ('a, 'c) t -> ('a, 'b * 'c) t
+(** Fan out one input to two automata. *)
+
+val combine : ('a, 'b) t list -> ('a, 'b list) t
+(** A dynamic collection: step every automaton with the same input. *)
+
+val loop : 'c -> ('a * 'c, 'b * 'c) t -> ('a, 'b) t
+(** Feed part of the output back as state on the next step (one-step
+    feedback, the discrete analogue of the arrow [loop]). *)
+
+(** {1 Stock automata (the Elm Automaton library)} *)
+
+val count : ('a, int) t
+(** Number of inputs seen so far. *)
+
+val average : int -> (float, float) t
+(** Sliding average over a window of the given size. *)

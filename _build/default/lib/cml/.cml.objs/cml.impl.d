@@ -1,0 +1,1 @@
+lib/cml/cml.ml: Chan Mailbox Multicast Pqueue Scheduler

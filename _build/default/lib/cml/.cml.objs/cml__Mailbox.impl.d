@@ -1,0 +1,1 @@
+lib/cml/mailbox.ml: Queue Scheduler

@@ -1,0 +1,1 @@
+lib/cml/multicast.ml: List Mailbox

@@ -1,0 +1,1 @@
+lib/cml/pqueue.ml: List

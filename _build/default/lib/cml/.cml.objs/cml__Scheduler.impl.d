@@ -1,0 +1,1 @@
+lib/cml/scheduler.ml: Effect Float Fun Int Pqueue Printf Queue

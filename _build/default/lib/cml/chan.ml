@@ -1,0 +1,52 @@
+(* A waiting receiver may be registered on several channels at once (by
+   [select_recv]); the [claimed] cell makes sure only one sender resumes it. *)
+type 'a waiter = { claimed : bool ref; k : 'a Scheduler.cont }
+
+type 'a t = {
+  senders : ('a * unit Scheduler.cont) Queue.t;
+  receivers : 'a waiter Queue.t;
+  name : string option;
+}
+
+let create ?name () =
+  { senders = Queue.create (); receivers = Queue.create (); name }
+
+let name t = t.name
+
+let rec pop_live_receiver t =
+  match Queue.take_opt t.receivers with
+  | None -> None
+  | Some w -> if !(w.claimed) then pop_live_receiver t else Some w
+
+let send t v =
+  match pop_live_receiver t with
+  | Some w ->
+    w.claimed := true;
+    Scheduler.resume w.k v
+  | None -> Scheduler.suspend (fun k -> Queue.push (v, k) t.senders)
+
+let recv t =
+  match Queue.take_opt t.senders with
+  | Some (v, k) ->
+    Scheduler.resume k ();
+    v
+  | None ->
+    Scheduler.suspend (fun k ->
+        Queue.push { claimed = ref false; k } t.receivers)
+
+let select_recv chans =
+  let rec try_ready = function
+    | [] -> None
+    | c :: rest -> (
+      match Queue.take_opt c.senders with
+      | Some (v, k) ->
+        Scheduler.resume k ();
+        Some v
+      | None -> try_ready rest)
+  in
+  match try_ready chans with
+  | Some v -> v
+  | None ->
+    Scheduler.suspend (fun k ->
+        let claimed = ref false in
+        List.iter (fun c -> Queue.push { claimed; k } c.receivers) chans)

@@ -1,0 +1,22 @@
+(** Synchronous (rendezvous) channel, CML's basic [channel].
+
+    Both {!send} and {!recv} block until a partner arrives. Completes the CML
+    substrate; the signal runtime itself uses {!Mailbox} and {!Multicast}. *)
+
+type 'a t
+
+val create : ?name:string -> unit -> 'a t
+
+val name : 'a t -> string option
+
+val send : 'a t -> 'a -> unit
+(** Block until a receiver takes the value. *)
+
+val recv : 'a t -> 'a
+(** Block until a sender provides a value. *)
+
+val select_recv : 'a t list -> 'a
+(** Receive from whichever channel has a sender ready first. If several are
+    ready, the earliest channel in the list wins; otherwise the caller blocks
+    until the first send on any of them. Senders on the losing channels are
+    left untouched. *)

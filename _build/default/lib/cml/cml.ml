@@ -1,0 +1,24 @@
+(** Concurrent-ML-style cooperative concurrency with a virtual clock.
+
+    This library is the substrate the paper's semantics targets: Section
+    3.3.2 defines signal evaluation "by translation to Concurrent ML", with
+    one thread per signal-graph node, mailboxes on edges, and multicast
+    channels for event notification. See {!Scheduler} for the virtual-time
+    (discrete-event) execution model that replaces the authors' browser
+    testbed. *)
+
+module Scheduler = Scheduler
+module Mailbox = Mailbox
+module Chan = Chan
+module Multicast = Multicast
+module Pqueue = Pqueue
+
+(* Shortcuts used pervasively by the runtime, examples and benches. *)
+
+let spawn = Scheduler.spawn
+let run = Scheduler.run
+let run_value = Scheduler.run_value
+let yield = Scheduler.yield
+let sleep = Scheduler.sleep
+let now = Scheduler.now
+let running = Scheduler.running

@@ -1,0 +1,24 @@
+type 'a t = {
+  buf : 'a Queue.t;
+  readers : 'a Scheduler.cont Queue.t;
+  name : string option;
+}
+
+let create ?name () = { buf = Queue.create (); readers = Queue.create (); name }
+
+let name t = t.name
+
+(* Invariant: readers is non-empty only when buf is empty. *)
+let send t v =
+  match Queue.take_opt t.readers with
+  | Some k -> Scheduler.resume k v
+  | None -> Queue.push v t.buf
+
+let recv t =
+  match Queue.take_opt t.buf with
+  | Some v -> v
+  | None -> Scheduler.suspend (fun k -> Queue.push k t.readers)
+
+let recv_opt t = Queue.take_opt t.buf
+
+let length t = Queue.length t.buf

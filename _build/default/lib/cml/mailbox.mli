@@ -1,0 +1,25 @@
+(** Buffered channel with non-blocking send, CML's [mailbox].
+
+    The paper's translation (Fig. 9-10) publishes every signal node's output
+    on a mailbox and feeds the global event dispatcher through one: "the
+    newEvent mailbox is a FIFO queue, preserving the order of events". *)
+
+type 'a t
+
+val create : ?name:string -> unit -> 'a t
+
+val name : 'a t -> string option
+
+val send : 'a t -> 'a -> unit
+(** Enqueue a value. Never blocks. If a thread is blocked in {!recv}, it is
+    scheduled to receive this value (FIFO among waiting readers). *)
+
+val recv : 'a t -> 'a
+(** Dequeue the oldest value, blocking the calling thread until one is
+    available. *)
+
+val recv_opt : 'a t -> 'a option
+(** Non-blocking variant: [None] when the mailbox is empty. *)
+
+val length : 'a t -> int
+(** Number of buffered (undelivered) values. *)

@@ -1,0 +1,21 @@
+type 'a port = 'a Mailbox.t
+
+type 'a t = {
+  mutable ports : 'a port list; (* reverse subscription order *)
+  name : string option;
+}
+
+let create ?name () = { ports = []; name }
+
+let port t =
+  let p = Mailbox.create ?name:t.name () in
+  t.ports <- p :: t.ports;
+  p
+
+let send t v = List.iter (fun p -> Mailbox.send p v) (List.rev t.ports)
+
+let recv = Mailbox.recv
+
+let port_length = Mailbox.length
+
+let port_count t = List.length t.ports

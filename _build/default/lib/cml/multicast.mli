@@ -1,0 +1,27 @@
+(** Multicast channel with ports, CML's [mChannel]/[port].
+
+    A send is delivered to every port that existed at the time of the send,
+    each port buffering independently (a port is a private {!Mailbox}). The
+    paper uses multicast channels for the global [eventNotify] broadcast and
+    for let-bound signals consumed by several nodes (Fig. 10-11). *)
+
+type 'a t
+
+type 'a port
+
+val create : ?name:string -> unit -> 'a t
+
+val port : 'a t -> 'a port
+(** Subscribe. The port receives every value sent after this call. *)
+
+val send : 'a t -> 'a -> unit
+(** Deliver to all current ports, in subscription order. Never blocks. *)
+
+val recv : 'a port -> 'a
+(** Blocking receive of the next value on this port. *)
+
+val port_length : 'a port -> int
+(** Values buffered on this port and not yet received. *)
+
+val port_count : 'a t -> int
+(** Number of subscribed ports. *)

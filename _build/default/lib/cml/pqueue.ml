@@ -1,0 +1,58 @@
+type ('p, 'a) heap =
+  | Empty
+  | Node of 'p * 'a * ('p, 'a) heap list
+
+type ('p, 'a) t = {
+  compare : 'p -> 'p -> int;
+  heap : ('p, 'a) heap;
+  size : int;
+}
+
+let empty ~compare = { compare; heap = Empty; size = 0 }
+
+let is_empty q = q.size = 0
+
+let size q = q.size
+
+let meld compare h1 h2 =
+  match h1, h2 with
+  | Empty, h | h, Empty -> h
+  | Node (p1, x1, c1), Node (p2, x2, c2) ->
+    if compare p1 p2 <= 0 then Node (p1, x1, h2 :: c1)
+    else Node (p2, x2, h1 :: c2)
+
+let insert q p x =
+  { q with heap = meld q.compare q.heap (Node (p, x, [])); size = q.size + 1 }
+
+let min q =
+  match q.heap with
+  | Empty -> None
+  | Node (p, x, _) -> Some (p, x)
+
+(* Two-pass pairing: meld children left-to-right in pairs, then fold the
+   results right-to-left. This gives the amortized O(log n) bound. *)
+let rec meld_pairs compare = function
+  | [] -> Empty
+  | [ h ] -> h
+  | h1 :: h2 :: rest -> meld compare (meld compare h1 h2) (meld_pairs compare rest)
+
+let pop_min q =
+  match q.heap with
+  | Empty -> None
+  | Node (p, x, children) ->
+    let heap = meld_pairs q.compare children in
+    Some (p, x, { q with heap; size = q.size - 1 })
+
+let merge q1 q2 =
+  { q1 with heap = meld q1.compare q1.heap q2.heap; size = q1.size + q2.size }
+
+let of_list ~compare bindings =
+  List.fold_left (fun q (p, x) -> insert q p x) (empty ~compare) bindings
+
+let to_sorted_list q =
+  let rec drain acc q =
+    match pop_min q with
+    | None -> List.rev acc
+    | Some (p, x, q') -> drain ((p, x) :: acc) q'
+  in
+  drain [] q

@@ -1,0 +1,34 @@
+(** Purely functional pairing-heap priority queue.
+
+    Used by the scheduler's timer wheel, where priorities are
+    [(wake_time, sequence_number)] pairs so that timers firing at the same
+    virtual instant preserve FIFO order. *)
+
+type ('p, 'a) t
+(** A min-priority queue with priorities of type ['p] and elements of type
+    ['a]. *)
+
+val empty : compare:('p -> 'p -> int) -> ('p, 'a) t
+(** The empty queue ordered by [compare]. *)
+
+val is_empty : ('p, 'a) t -> bool
+
+val size : ('p, 'a) t -> int
+(** Number of elements. O(1). *)
+
+val insert : ('p, 'a) t -> 'p -> 'a -> ('p, 'a) t
+(** [insert q p x] adds element [x] with priority [p]. O(1). *)
+
+val min : ('p, 'a) t -> ('p * 'a) option
+(** Minimum-priority binding, if any. O(1). *)
+
+val pop_min : ('p, 'a) t -> ('p * 'a * ('p, 'a) t) option
+(** Remove and return the minimum-priority binding. Amortized O(log n). *)
+
+val merge : ('p, 'a) t -> ('p, 'a) t -> ('p, 'a) t
+(** Meld two queues that were created with the same comparison. O(1). *)
+
+val of_list : compare:('p -> 'p -> int) -> ('p * 'a) list -> ('p, 'a) t
+
+val to_sorted_list : ('p, 'a) t -> ('p * 'a) list
+(** All bindings in increasing priority order. *)

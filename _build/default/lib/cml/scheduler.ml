@@ -1,0 +1,121 @@
+open Effect
+open Effect.Deep
+
+type 'a cont = ('a, unit) continuation
+
+type _ Effect.t += Suspend : ('a cont -> unit) -> 'a Effect.t
+
+exception Already_running
+exception Not_running
+exception Stuck of string
+
+type state = {
+  run_queue : (unit -> unit) Queue.t;
+  mutable timers : (float * int, unit cont) Pqueue.t;
+  mutable timer_seq : int;
+  mutable clock : float;
+  mutable live : bool;
+  mutable spawned : int;
+  mutable switches : int;
+}
+
+let compare_timer (t1, s1) (t2, s2) =
+  match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+
+let st =
+  {
+    run_queue = Queue.create ();
+    timers = Pqueue.empty ~compare:compare_timer;
+    timer_seq = 0;
+    clock = 0.0;
+    live = false;
+    spawned = 0;
+    switches = 0;
+  }
+
+let running () = st.live
+let now () = st.clock
+let spawned_count () = st.spawned
+let switch_count () = st.switches
+
+(* Run one thread segment under the effect handler. A [Suspend f] effect
+   stops the segment and hands the continuation to [f]; the segment also ends
+   when the thread returns. *)
+let exec (thunk : unit -> unit) : unit =
+  match_with thunk ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend f -> Some (fun (k : (a, unit) continuation) -> f k)
+          | _ -> None);
+    }
+
+let spawn f =
+  st.spawned <- st.spawned + 1;
+  Queue.push (fun () -> exec f) st.run_queue
+
+let suspend f =
+  if not st.live then raise Not_running;
+  perform (Suspend f)
+
+let resume (k : 'a cont) (v : 'a) =
+  Queue.push (fun () -> continue k v) st.run_queue
+
+let yield () = suspend (fun k -> resume k ())
+
+let sleep d =
+  if not st.live then raise Not_running;
+  if d <= 0.0 then yield ()
+  else
+    suspend (fun k ->
+        let seq = st.timer_seq in
+        st.timer_seq <- seq + 1;
+        st.timers <- Pqueue.insert st.timers (st.clock +. d, seq) k)
+
+let reset () =
+  Queue.clear st.run_queue;
+  st.timers <- Pqueue.empty ~compare:compare_timer;
+  st.timer_seq <- 0;
+  st.clock <- 0.0;
+  st.spawned <- 0;
+  st.switches <- 0
+
+let run ?(max_switches = max_int) main =
+  if st.live then raise Already_running;
+  reset ();
+  st.live <- true;
+  st.spawned <- 1;
+  (* the main thread *)
+  Queue.push (fun () -> exec main) st.run_queue;
+  let finish () =
+    st.live <- false;
+    Queue.clear st.run_queue
+  in
+  let rec loop () =
+    match Queue.take_opt st.run_queue with
+    | Some segment ->
+      st.switches <- st.switches + 1;
+      if st.switches > max_switches then
+        raise (Stuck (Printf.sprintf "exceeded %d context switches" max_switches));
+      segment ();
+      loop ()
+    | None -> (
+      match Pqueue.pop_min st.timers with
+      | Some ((time, _), k, rest) ->
+        st.timers <- rest;
+        if time > st.clock then st.clock <- time;
+        Queue.push (fun () -> continue k ()) st.run_queue;
+        loop ()
+      | None -> ())
+  in
+  Fun.protect ~finally:finish loop
+
+let run_value ?max_switches main =
+  let result = ref None in
+  run ?max_switches (fun () -> result := Some (main ()));
+  match !result with
+  | Some v -> v
+  | None -> raise (Stuck "main thread blocked forever")

@@ -1,0 +1,75 @@
+(** Deterministic cooperative scheduler with a virtual clock.
+
+    This is the concurrency substrate that the paper's Figures 9-11 translate
+    signal terms into: green threads ("each node in a signal graph has its own
+    thread of control"), created with {!spawn} and communicating through the
+    channel abstractions built on {!suspend}/{!resume}.
+
+    Scheduling is a FIFO run queue, so executions are deterministic. Blocking
+    on time is *virtual*: {!sleep} parks the thread on a timer heap, and when
+    no thread is runnable the clock jumps to the next timer. This turns the
+    scheduler into a discrete-event simulator, which is how we reproduce the
+    paper's responsiveness experiments (long-running computation and network
+    latency become virtual sleeps) without the authors' browser testbed. *)
+
+type 'a cont
+(** A suspended thread waiting for a value of type ['a]. One-shot. *)
+
+exception Already_running
+(** Raised by {!run} when invoked from inside a running scheduler. *)
+
+exception Not_running
+(** Raised by operations that require a running scheduler ({!sleep},
+    {!suspend}, {!yield}) when called outside {!run}. *)
+
+exception Stuck of string
+(** Raised by {!run_value} when the main thread blocked forever. *)
+
+val run : ?max_switches:int -> (unit -> unit) -> unit
+(** [run main] resets the scheduler state, executes [main] and every thread it
+    spawns until quiescence: no thread is runnable and no timer is pending.
+    Threads still blocked on a channel at quiescence are dropped (a reactive
+    program's node threads wait forever for the next event by design).
+    [max_switches] bounds context switches and raises [Stuck] when exceeded,
+    which keeps accidental livelocks out of the test suite.
+
+    Exceptions raised by any thread propagate out of [run]. *)
+
+val run_value : ?max_switches:int -> (unit -> 'a) -> 'a
+(** Like {!run} but returns the main thread's result.
+    @raise Stuck if the main thread never finished. *)
+
+val running : unit -> bool
+(** Whether a scheduler is currently executing. *)
+
+val spawn : (unit -> unit) -> unit
+(** Queue a new thread. May be called from inside a running scheduler or
+    before {!run} (the thread then starts when {!run} begins). *)
+
+val yield : unit -> unit
+(** Reschedule the current thread at the back of the run queue. *)
+
+val suspend : ('a cont -> unit) -> 'a
+(** Capture the current thread as a continuation and hand it to the callback,
+    which stores it somewhere (e.g. a channel's wait queue). The thread
+    resumes with value [v] when someone calls [resume k v]. *)
+
+val resume : 'a cont -> 'a -> unit
+(** Schedule a suspended thread to continue with the given value. FIFO with
+    respect to other runnable threads. *)
+
+val now : unit -> float
+(** Current virtual time, in seconds. After a {!run} returns, reports the
+    final virtual time of that run; 0.0 before the first run. *)
+
+val sleep : float -> unit
+(** Block the current thread for the given amount of virtual time. Negative
+    or zero durations behave like {!yield} at the current instant. *)
+
+(** {2 Introspection} *)
+
+val spawned_count : unit -> int
+(** Threads spawned since the current (or last) {!run} started. *)
+
+val switch_count : unit -> int
+(** Context switches since the current (or last) {!run} started. *)

@@ -1,0 +1,1 @@
+lib/containers/dict.ml: List Stdlib

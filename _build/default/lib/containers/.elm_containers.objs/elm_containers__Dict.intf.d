@@ -1,0 +1,1 @@
+lib/containers/dict.mli:

@@ -1,0 +1,1 @@
+lib/containers/elm_set.ml: Dict List

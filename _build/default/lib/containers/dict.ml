@@ -1,0 +1,147 @@
+type ('k, 'v) t =
+  | Leaf
+  | Node of {
+      left : ('k, 'v) t;
+      key : 'k;
+      value : 'v;
+      right : ('k, 'v) t;
+      height : int;
+    }
+
+let empty = Leaf
+
+let height = function Leaf -> 0 | Node { height; _ } -> height
+
+let mk left key value right =
+  Node { left; key; value; right; height = 1 + Stdlib.max (height left) (height right) }
+
+let singleton key value = mk Leaf key value Leaf
+
+let is_empty = function Leaf -> true | Node _ -> false
+
+let rec size = function
+  | Leaf -> 0
+  | Node { left; right; _ } -> 1 + size left + size right
+
+(* Standard AVL rebalancing: [balance l k v r] assumes l and r are valid AVL
+   trees whose heights differ by at most 2. *)
+let balance l k v r =
+  let hl = height l in
+  let hr = height r in
+  if hl > hr + 1 then
+    match l with
+    | Node { left = ll; key = lk; value = lv; right = lr; _ } ->
+      if height ll >= height lr then mk ll lk lv (mk lr k v r)
+      else (
+        match lr with
+        | Node { left = lrl; key = lrk; value = lrv; right = lrr; _ } ->
+          mk (mk ll lk lv lrl) lrk lrv (mk lrr k v r)
+        | Leaf -> assert false)
+    | Leaf -> assert false
+  else if hr > hl + 1 then
+    match r with
+    | Node { left = rl; key = rk; value = rv; right = rr; _ } ->
+      if height rr >= height rl then mk (mk l k v rl) rk rv rr
+      else (
+        match rl with
+        | Node { left = rll; key = rlk; value = rlv; right = rlr; _ } ->
+          mk (mk l k v rll) rlk rlv (mk rlr rk rv rr)
+        | Leaf -> assert false)
+    | Leaf -> assert false
+  else mk l k v r
+
+let rec insert key value = function
+  | Leaf -> singleton key value
+  | Node { left; key = k; value = v; right; _ } ->
+    let c = Stdlib.compare key k in
+    if c = 0 then mk left key value right
+    else if c < 0 then balance (insert key value left) k v right
+    else balance left k v (insert key value right)
+
+let rec find_min = function
+  | Leaf -> None
+  | Node { left = Leaf; key; value; _ } -> Some (key, value)
+  | Node { left; _ } -> find_min left
+
+let rec find_max = function
+  | Leaf -> None
+  | Node { right = Leaf; key; value; _ } -> Some (key, value)
+  | Node { right; _ } -> find_max right
+
+let rec remove_min = function
+  | Leaf -> Leaf
+  | Node { left = Leaf; right; _ } -> right
+  | Node { left; key; value; right; _ } -> balance (remove_min left) key value right
+
+let rec remove key = function
+  | Leaf -> Leaf
+  | Node { left; key = k; value = v; right; _ } ->
+    let c = Stdlib.compare key k in
+    if c < 0 then balance (remove key left) k v right
+    else if c > 0 then balance left k v (remove key right)
+    else (
+      match right with
+      | Leaf -> left
+      | Node _ -> (
+        match find_min right with
+        | Some (sk, sv) -> balance left sk sv (remove_min right)
+        | None -> assert false))
+
+let rec get key = function
+  | Leaf -> None
+  | Node { left; key = k; value; right; _ } ->
+    let c = Stdlib.compare key k in
+    if c = 0 then Some value else if c < 0 then get key left else get key right
+
+let member key d = get key d <> None
+
+let update key f d =
+  match f (get key d) with
+  | Some v -> insert key v d
+  | None -> remove key d
+
+let rec fold f d acc =
+  match d with
+  | Leaf -> acc
+  | Node { left; key; value; right; _ } ->
+    fold f right (f key value (fold f left acc))
+
+let rec map f = function
+  | Leaf -> Leaf
+  | Node { left; key; value; right; height } ->
+    Node { left = map f left; key; value = f key value; right = map f right; height }
+
+let to_list d = List.rev (fold (fun k v acc -> (k, v) :: acc) d [])
+
+let of_list bindings =
+  List.fold_left (fun d (k, v) -> insert k v d) empty bindings
+
+let filter pred d =
+  fold (fun k v acc -> if pred k v then insert k v acc else acc) d empty
+
+(* left-biased: bindings of [a] win on common keys, like Elm's Dict.union *)
+let union a b =
+  fold (fun k v acc -> if member k acc then acc else insert k v acc) b a
+
+let intersect a b = filter (fun k _ -> member k b) a
+
+let diff a b = filter (fun k _ -> not (member k b)) a
+
+let keys d = List.rev (fold (fun k _ acc -> k :: acc) d [])
+
+let values d = List.rev (fold (fun _ v acc -> v :: acc) d [])
+
+let rec check_balanced = function
+  | Leaf -> true
+  | Node { left; right; height = h; _ } ->
+    abs (height left - height right) <= 1
+    && h = 1 + Stdlib.max (height left) (height right)
+    && check_balanced left && check_balanced right
+
+let check_ordered d =
+  let ks = keys d in
+  let rec strictly_increasing = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> Stdlib.compare a b < 0 && strictly_increasing rest
+  in
+  strictly_increasing ks

@@ -1,0 +1,62 @@
+(** Persistent dictionaries (paper Section 4: "Elm libraries provide data
+    structures such as options, lists, sets, and dictionaries").
+
+    An AVL tree over polymorphic keys compared with [Stdlib.compare] (Elm's
+    [Dict] is likewise restricted to comparable keys). All operations are
+    purely functional. *)
+
+type ('k, 'v) t
+
+val empty : ('k, 'v) t
+
+val singleton : 'k -> 'v -> ('k, 'v) t
+
+val is_empty : ('k, 'v) t -> bool
+
+val size : ('k, 'v) t -> int
+(** O(n). *)
+
+val insert : 'k -> 'v -> ('k, 'v) t -> ('k, 'v) t
+(** Replaces an existing binding. O(log n). *)
+
+val update : 'k -> ('v option -> 'v option) -> ('k, 'v) t -> ('k, 'v) t
+(** Elm's [update]: transform the binding (insert, modify or delete). *)
+
+val remove : 'k -> ('k, 'v) t -> ('k, 'v) t
+(** O(log n); identity when absent. *)
+
+val get : 'k -> ('k, 'v) t -> 'v option
+
+val member : 'k -> ('k, 'v) t -> bool
+
+val find_min : ('k, 'v) t -> ('k * 'v) option
+
+val find_max : ('k, 'v) t -> ('k * 'v) option
+
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+(** In increasing key order. *)
+
+val map : ('k -> 'v -> 'w) -> ('k, 'v) t -> ('k, 'w) t
+
+val filter : ('k -> 'v -> bool) -> ('k, 'v) t -> ('k, 'v) t
+
+val union : ('k, 'v) t -> ('k, 'v) t -> ('k, 'v) t
+(** Left-biased, like Elm. *)
+
+val intersect : ('k, 'v) t -> ('k, 'v) t -> ('k, 'v) t
+(** Keep left bindings whose key is also in the right dict. *)
+
+val diff : ('k, 'v) t -> ('k, 'v) t -> ('k, 'v) t
+
+val keys : ('k, 'v) t -> 'k list
+val values : ('k, 'v) t -> 'v list
+val to_list : ('k, 'v) t -> ('k * 'v) list
+val of_list : ('k * 'v) list -> ('k, 'v) t
+
+(** {1 Structural checks (for property tests)} *)
+
+val check_balanced : ('k, 'v) t -> bool
+(** AVL invariant: every node's children differ in height by at most 1. *)
+
+val check_ordered : ('k, 'v) t -> bool
+(** Strict key ordering in-order. *)

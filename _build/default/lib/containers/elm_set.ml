@@ -1,0 +1,19 @@
+type 'a t = ('a, unit) Dict.t
+
+let empty = Dict.empty
+let singleton x = Dict.singleton x ()
+let is_empty = Dict.is_empty
+let size = Dict.size
+let insert x s = Dict.insert x () s
+let remove = Dict.remove
+let member = Dict.member
+let union = Dict.union
+let intersect = Dict.intersect
+let diff = Dict.diff
+let fold f s acc = Dict.fold (fun x () acc -> f x acc) s acc
+let filter pred = Dict.filter (fun x () -> pred x)
+let to_list s = Dict.keys s
+let of_list xs = List.fold_left (fun s x -> insert x s) empty xs
+let map f s = of_list (List.map f (to_list s))
+let subset a b = fold (fun x ok -> ok && member x b) a true
+let equal a b = to_list a = to_list b

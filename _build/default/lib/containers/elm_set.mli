@@ -1,0 +1,24 @@
+(** Persistent sets over comparable elements (paper Section 4), implemented
+    on {!Dict}. *)
+
+type 'a t
+
+val empty : 'a t
+val singleton : 'a -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val insert : 'a -> 'a t -> 'a t
+val remove : 'a -> 'a t -> 'a t
+val member : 'a -> 'a t -> bool
+val union : 'a t -> 'a t -> 'a t
+val intersect : 'a t -> 'a t -> 'a t
+val diff : 'a t -> 'a t -> 'a t
+val fold : ('a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+val filter : ('a -> bool) -> 'a t -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val to_list : 'a t -> 'a list
+(** In increasing order. *)
+
+val of_list : 'a list -> 'a t
+val subset : 'a t -> 'a t -> bool
+val equal : 'a t -> 'a t -> bool

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Cml Event List Printf Signal Stats

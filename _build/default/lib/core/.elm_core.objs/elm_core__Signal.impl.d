@@ -1,0 +1,1 @@
+lib/core/signal.ml: Buffer Cml Event Fun Hashtbl List Printf String

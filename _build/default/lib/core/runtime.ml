@@ -1,0 +1,426 @@
+module Mailbox = Cml.Mailbox
+module Multicast = Cml.Multicast
+
+type mode =
+  | Pipelined
+  | Sequential
+
+type 'a t = {
+  gen : int;
+  mode : mode;
+  stats : Stats.t;
+  new_event : int Mailbox.t;
+  mutable current : 'a;
+  mutable rev_changes : (float * 'a) list;
+  mutable rev_messages : (float * 'a Event.t) list;
+  mutable listeners : (float -> 'a -> unit) list;
+  mutable sources : (int * string) list;
+}
+
+type ctx = {
+  rt_gen : int;
+  memoize : bool;
+  c_stats : Stats.t;
+  c_new_event : int Mailbox.t;
+  notify : int Multicast.t;
+  mutable c_sources : (int * string) list;
+}
+
+let generation = ref 0
+
+let emit ctx out msg =
+  ctx.c_stats.messages <- ctx.c_stats.messages + 1;
+  Multicast.send out msg
+
+(* Source nodes (inputs, constants, async): the Fig. 10 translation of
+   ⟨id, mc, v⟩. The thread answers every dispatcher notification with exactly
+   one message: the freshly arrived value when the event is its own, a
+   [No_change] of the latest value otherwise. *)
+let source_node ctx ~source_id ~name ~default ~value_mb =
+  let out = Multicast.create () in
+  let notify_port = Multicast.port ctx.notify in
+  ctx.c_sources <- (source_id, name) :: ctx.c_sources;
+  Cml.spawn (fun () ->
+      let rec loop prev =
+        let eid = Multicast.recv notify_port in
+        let msg =
+          if eid = source_id then Event.Change (Mailbox.recv value_mb)
+          else Event.No_change prev
+        in
+        emit ctx out msg;
+        loop (Event.body msg)
+      in
+      loop default);
+  out
+
+(* Lift-style nodes share this loop. [round] blocks until one message per
+   incoming edge is available and returns whether any of them changed plus a
+   thunk recomputing the node's function on the current input bodies. *)
+let lift_node ctx ~default ~round =
+  let out = Multicast.create () in
+  Cml.spawn (fun () ->
+      let rec loop prev =
+        let changed, compute = round () in
+        let msg =
+          if changed then begin
+            ctx.c_stats.applications <- ctx.c_stats.applications + 1;
+            Event.Change (compute ())
+          end
+          else begin
+            if not ctx.memoize then begin
+              ctx.c_stats.recomputations <- ctx.c_stats.recomputations + 1;
+              ignore (compute ())
+            end;
+            Event.No_change prev
+          end
+        in
+        emit ctx out msg;
+        loop (Event.body msg)
+      in
+      loop default);
+  out
+
+let rec build : type b. ctx -> b Signal.t -> b Signal.inst =
+ fun ctx s ->
+  match Signal.get_inst s with
+  | Some i when i.gen = ctx.rt_gen -> i
+  | Some _ | None ->
+    let i = build_fresh ctx s in
+    Signal.set_inst s i;
+    i
+
+and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
+ fun ctx s ->
+  let default = Signal.default s in
+  let plain out = { Signal.gen = ctx.rt_gen; out; push = None } in
+  match Signal.kind s with
+  | Signal.Constant ->
+    (* A constant is a source whose event never fires: it answers every
+       notification with [No_change default]. *)
+    let value_mb = Mailbox.create () in
+    plain
+      (source_node ctx ~source_id:(Signal.id s) ~name:(Signal.name s) ~default
+         ~value_mb)
+  | Signal.Input ->
+    let value_mb = Mailbox.create () in
+    let source_id = Signal.id s in
+    let out = source_node ctx ~source_id ~name:(Signal.name s) ~default ~value_mb in
+    let push v =
+      (* Value first, notification second: when the dispatcher broadcasts
+         this event id, the source thread finds the value waiting. *)
+      Mailbox.send value_mb v;
+      Mailbox.send ctx.c_new_event source_id
+    in
+    { Signal.gen = ctx.rt_gen; out; push = Some push }
+  | Signal.Lift1 (f, a) ->
+    let ia = build ctx a in
+    let pa = Multicast.port ia.out in
+    let round () =
+      let ma = Multicast.recv pa in
+      (Event.is_change ma, fun () -> f (Event.body ma))
+    in
+    plain (lift_node ctx ~default ~round)
+  | Signal.Lift2 (f, a, b) ->
+    let ia = build ctx a in
+    let ib = build ctx b in
+    let pa = Multicast.port ia.out in
+    let pb = Multicast.port ib.out in
+    let round () =
+      let ma = Multicast.recv pa in
+      let mb = Multicast.recv pb in
+      ( Event.is_change ma || Event.is_change mb,
+        fun () -> f (Event.body ma) (Event.body mb) )
+    in
+    plain (lift_node ctx ~default ~round)
+  | Signal.Lift3 (f, a, b, c) ->
+    let ia = build ctx a in
+    let ib = build ctx b in
+    let ic = build ctx c in
+    let pa = Multicast.port ia.out in
+    let pb = Multicast.port ib.out in
+    let pc = Multicast.port ic.out in
+    let round () =
+      let ma = Multicast.recv pa in
+      let mb = Multicast.recv pb in
+      let mc = Multicast.recv pc in
+      ( Event.is_change ma || Event.is_change mb || Event.is_change mc,
+        fun () -> f (Event.body ma) (Event.body mb) (Event.body mc) )
+    in
+    plain (lift_node ctx ~default ~round)
+  | Signal.Lift4 (f, a, b, c, d) ->
+    let ia = build ctx a in
+    let ib = build ctx b in
+    let ic = build ctx c in
+    let idd = build ctx d in
+    let pa = Multicast.port ia.out in
+    let pb = Multicast.port ib.out in
+    let pc = Multicast.port ic.out in
+    let pd = Multicast.port idd.out in
+    let round () =
+      let ma = Multicast.recv pa in
+      let mb = Multicast.recv pb in
+      let mc = Multicast.recv pc in
+      let md = Multicast.recv pd in
+      ( Event.is_change ma || Event.is_change mb || Event.is_change mc
+        || Event.is_change md,
+        fun () ->
+          f (Event.body ma) (Event.body mb) (Event.body mc) (Event.body md) )
+    in
+    plain (lift_node ctx ~default ~round)
+  | Signal.Lift_list (_, []) ->
+    (* No incoming edges: a node loop would spin. Behave as a constant. *)
+    let value_mb = Mailbox.create () in
+    plain
+      (source_node ctx ~source_id:(Signal.id s) ~name:(Signal.name s) ~default
+         ~value_mb)
+  | Signal.Lift_list (f, ds) ->
+    let ports =
+      List.map
+        (fun d ->
+          let i = build ctx d in
+          Multicast.port i.Signal.out)
+        ds
+    in
+    let round () =
+      let msgs = List.map Multicast.recv ports in
+      ( List.exists Event.is_change msgs,
+        fun () -> f (List.map Event.body msgs) )
+    in
+    plain (lift_node ctx ~default ~round)
+  | Signal.Foldp (f, src) ->
+    let isrc = build ctx src in
+    let p = Multicast.port isrc.out in
+    let out = Multicast.create () in
+    Cml.spawn (fun () ->
+        let rec loop acc =
+          let msg =
+            match Multicast.recv p with
+            | Event.Change v ->
+              ctx.c_stats.fold_steps <- ctx.c_stats.fold_steps + 1;
+              Event.Change (f v acc)
+            | Event.No_change _ -> Event.No_change acc
+          in
+          emit ctx out msg;
+          loop (Event.body msg)
+        in
+        loop default);
+    plain out
+  | Signal.Async inner ->
+    (* Fig. 10's async translation: build the inner subgraph normally, then
+       forward each of its changes to a fresh source node by registering a
+       new global event. Ordering between the subgraph and the rest of the
+       program is thereby relaxed, but preserved within each. *)
+    let iinner = build ctx inner in
+    let inner_port = Multicast.port iinner.out in
+    let value_mb = Mailbox.create () in
+    let source_id = Signal.id s in
+    let out =
+      source_node ctx ~source_id ~name:(Signal.name s) ~default ~value_mb
+    in
+    Cml.spawn (fun () ->
+        let rec forward () =
+          (match Multicast.recv inner_port with
+          | Event.No_change _ -> ()
+          | Event.Change v ->
+            Mailbox.send value_mb v;
+            ctx.c_stats.async_events <- ctx.c_stats.async_events + 1;
+            Mailbox.send ctx.c_new_event source_id);
+          forward ()
+        in
+        forward ());
+    plain out
+  | Signal.Delay (d, inner) ->
+    (* Like async, but each change re-enters the dispatcher [d] virtual
+       seconds later. One thread per pending value keeps delivery at the
+       right absolute time while preserving order (equal delays). *)
+    let iinner = build ctx inner in
+    let inner_port = Multicast.port iinner.Signal.out in
+    let value_mb = Mailbox.create () in
+    let source_id = Signal.id s in
+    let out =
+      source_node ctx ~source_id ~name:(Signal.name s) ~default ~value_mb
+    in
+    Cml.spawn (fun () ->
+        let rec forward () =
+          (match Multicast.recv inner_port with
+          | Event.No_change _ -> ()
+          | Event.Change v ->
+            Cml.spawn (fun () ->
+                Cml.sleep d;
+                Mailbox.send value_mb v;
+                ctx.c_stats.async_events <- ctx.c_stats.async_events + 1;
+                Mailbox.send ctx.c_new_event source_id));
+          forward ()
+        in
+        forward ());
+    plain out
+  | Signal.Merge (a, b) ->
+    let ia = build ctx a in
+    let ib = build ctx b in
+    let pa = Multicast.port ia.out in
+    let pb = Multicast.port ib.out in
+    let out = Multicast.create () in
+    Cml.spawn (fun () ->
+        let rec loop prev =
+          let ma = Multicast.recv pa in
+          let mb = Multicast.recv pb in
+          let msg =
+            match ma, mb with
+            | Event.Change v, _ -> Event.Change v
+            | Event.No_change _, Event.Change v -> Event.Change v
+            | Event.No_change _, Event.No_change _ -> Event.No_change prev
+          in
+          emit ctx out msg;
+          loop (Event.body msg)
+        in
+        loop default);
+    plain out
+  | Signal.Drop_repeats (eq, src) ->
+    let isrc = build ctx src in
+    let p = Multicast.port isrc.out in
+    let out = Multicast.create () in
+    Cml.spawn (fun () ->
+        let rec loop prev =
+          let msg =
+            match Multicast.recv p with
+            | Event.Change v when not (eq v prev) -> Event.Change v
+            | Event.Change v | Event.No_change v ->
+              ignore v;
+              Event.No_change prev
+          in
+          emit ctx out msg;
+          loop (Event.body msg)
+        in
+        loop default);
+    plain out
+  | Signal.Sample_on (ticks, src) ->
+    let iticks = build ctx ticks in
+    let isrc = build ctx src in
+    let pt = Multicast.port iticks.Signal.out in
+    let ps = Multicast.port isrc.out in
+    let out = Multicast.create () in
+    Cml.spawn (fun () ->
+        let rec loop prev =
+          let mt = Multicast.recv pt in
+          let ms = Multicast.recv ps in
+          let msg =
+            if Event.is_change mt then Event.Change (Event.body ms)
+            else Event.No_change prev
+          in
+          emit ctx out msg;
+          loop (Event.body msg)
+        in
+        loop default);
+    plain out
+  | Signal.Keep_when (gate, src, _base) ->
+    let igate = build ctx gate in
+    let isrc = build ctx src in
+    let pg = Multicast.port igate.Signal.out in
+    let ps = Multicast.port isrc.out in
+    let out = Multicast.create () in
+    Cml.spawn (fun () ->
+        (* Emits while the gate is open, and also on the gate's rising edge
+           so the kept signal resynchronizes with its source. *)
+        let rec loop gate_prev prev =
+          let mg = Multicast.recv pg in
+          let ms = Multicast.recv ps in
+          let gate_now = Event.body mg in
+          let rising = gate_now && not gate_prev in
+          let msg =
+            if gate_now && (Event.is_change ms || rising) then
+              Event.Change (Event.body ms)
+            else Event.No_change prev
+          in
+          emit ctx out msg;
+          loop gate_now (Event.body msg)
+        in
+        loop (Signal.default gate) default);
+    plain out
+
+let start ?(mode = Pipelined) ?(memoize = true) root =
+  if not (Cml.running ()) then
+    invalid_arg "Runtime.start: must be called inside Cml.run";
+  incr generation;
+  let stats = Stats.create () in
+  let new_event = Mailbox.create ~name:"newEvent" () in
+  let notify = Multicast.create ~name:"eventNotify" () in
+  let ctx =
+    {
+      rt_gen = !generation;
+      memoize;
+      c_stats = stats;
+      c_new_event = new_event;
+      notify;
+      c_sources = [];
+    }
+  in
+  let root_inst = build ctx root in
+  let rt =
+    {
+      gen = ctx.rt_gen;
+      mode;
+      stats;
+      new_event;
+      current = Signal.default root;
+      rev_changes = [];
+      rev_messages = [];
+      listeners = [];
+      sources = List.rev ctx.c_sources;
+    }
+  in
+  let ack = Mailbox.create ~name:"displayAck" () in
+  (* Display loop (Fig. 11): funnel values from the root's channel to the
+     "screen" (here: the runtime record and registered listeners). *)
+  let display_port = Multicast.port root_inst.Signal.out in
+  Cml.spawn (fun () ->
+      let rec display () =
+        let msg = Multicast.recv display_port in
+        let time = Cml.now () in
+        rt.rev_messages <- (time, msg) :: rt.rev_messages;
+        (match msg with
+        | Event.Change v ->
+          rt.current <- v;
+          rt.rev_changes <- (time, v) :: rt.rev_changes;
+          List.iter (fun f -> f time v) (List.rev rt.listeners)
+        | Event.No_change _ -> ());
+        (match mode with
+        | Sequential -> Mailbox.send ack ()
+        | Pipelined -> ());
+        display ()
+      in
+      display ());
+  (* Global event dispatcher (Fig. 11). In [Sequential] mode it waits for
+     the display loop's acknowledgement, serializing whole-graph passes. *)
+  Cml.spawn (fun () ->
+      let rec dispatch () =
+        let eid = Mailbox.recv new_event in
+        stats.events <- stats.events + 1;
+        Multicast.send notify eid;
+        (match mode with
+        | Sequential -> Mailbox.recv ack
+        | Pipelined -> ());
+        dispatch ()
+      in
+      dispatch ());
+  rt
+
+let try_inject rt input v =
+  match Signal.get_inst input with
+  | Some { Signal.gen; push = Some push; _ } when gen = rt.gen ->
+    push v;
+    true
+  | Some _ | None -> false
+
+let inject rt input v =
+  if not (try_inject rt input v) then
+    invalid_arg
+      (Printf.sprintf "Runtime.inject: %s (node %d) is not an input of this runtime"
+         (Signal.name input) (Signal.id input))
+
+let generation rt = rt.gen
+let current rt = rt.current
+let changes rt = List.rev rt.rev_changes
+let message_log rt = List.rev rt.rev_messages
+let on_change rt f = rt.listeners <- rt.listeners @ [ f ]
+let stats rt = rt.stats
+let source_ids rt = rt.sources

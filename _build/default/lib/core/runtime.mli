@@ -1,0 +1,74 @@
+(** Instantiation and execution of signal graphs.
+
+    {!start} performs the paper's Fig. 10 translation at runtime: every node
+    of the {!Signal.t} DAG gets its own green thread and a multicast output
+    channel; source nodes subscribe to the global [eventNotify] broadcast;
+    and the Fig. 11 runtime loops — the global event dispatcher and the
+    display loop — are spawned alongside. All of it runs on the {!Cml}
+    cooperative scheduler and must therefore be called inside {!Cml.run}.
+
+    {b Execution modes.} The paper's semantics is synchronous but
+    {e pipelined}: an event's value need not have fully propagated before the
+    next event enters the graph, yet every node processes events in global
+    order. That is [Pipelined], the default. [Sequential] is the
+    non-pipelined baseline used by the Section 5 comparison: the dispatcher
+    waits for the display loop to acknowledge each event before dispatching
+    the next, so at most one event is in flight.
+
+    [memoize:false] disables the [No_change] short-circuit in lift nodes
+    (they re-apply their function on unchanged inputs, counted in
+    {!Stats.t.recomputations}) while preserving output semantics; it is the
+    pull-style recomputation baseline of experiment B3. *)
+
+type mode =
+  | Pipelined  (** Paper semantics: nodes run concurrently, FIFO edges. *)
+  | Sequential  (** Baseline: one event fully displayed before the next. *)
+
+type 'a t
+(** A running instantiation of a signal graph with output type ['a]. *)
+
+val start : ?mode:mode -> ?memoize:bool -> 'a Signal.t -> 'a t
+(** Instantiate the graph and spawn its threads. Must be called inside
+    {!Cml.run}. A signal node belongs to at most one live runtime; starting a
+    new runtime over the same nodes re-instantiates them.
+    @raise Invalid_argument outside a running scheduler. *)
+
+val inject : _ t -> 'b Signal.t -> 'b -> unit
+(** [inject rt input v] delivers an external event: the new value [v] for
+    [input] (a node created with {!Signal.input}) is queued and a global
+    event is registered with the dispatcher. Events are processed in
+    injection order (the [newEvent] mailbox "is a FIFO queue, preserving the
+    order of events", Fig. 11).
+    @raise Invalid_argument if [input] is not an input node of this
+    runtime. *)
+
+val try_inject : _ t -> 'b Signal.t -> 'b -> bool
+(** Like {!inject} but returns [false] when the node is not an input of
+    this runtime. Input-library drivers use this: a browser fires mouse and
+    key events whether or not the program subscribes to them. *)
+
+val current : 'a t -> 'a
+(** Latest displayed value (the default until the first change). *)
+
+val changes : 'a t -> (float * 'a) list
+(** Every [Change] received by the display loop, oldest first, with the
+    virtual time of its arrival. This is the observable behaviour used
+    throughout tests and benches: what the screen showed, and when. *)
+
+val message_log : 'a t -> (float * 'a Event.t) list
+(** Every message (including [No_change]) at the display loop, oldest
+    first. One entry per dispatched event, which tests use to check the
+    "exactly one message per node per event" invariant. *)
+
+val on_change : 'a t -> (float -> 'a -> unit) -> unit
+(** Register a callback run by the display loop on each change. *)
+
+val stats : _ t -> Stats.t
+
+val generation : _ t -> int
+(** A number unique to this runtime instance; used by input libraries that
+    keep per-runtime driver state (e.g. the set of held keys). *)
+
+val source_ids : _ t -> (int * string) list
+(** Identifier and name of every source node registered with the
+    dispatcher. *)

@@ -1,0 +1,221 @@
+type 'a inst = {
+  gen : int;
+  out : 'a Event.t Cml.Multicast.t;
+  push : ('a -> unit) option;
+}
+
+type 'a t = {
+  node_id : int;
+  node_name : string;
+  node_default : 'a;
+  node_kind : 'a kind;
+  mutable node_inst : 'a inst option;
+}
+
+and 'a kind =
+  | Constant
+  | Input
+  | Lift1 : ('b -> 'a) * 'b t -> 'a kind
+  | Lift2 : ('b -> 'c -> 'a) * 'b t * 'c t -> 'a kind
+  | Lift3 : ('b -> 'c -> 'd -> 'a) * 'b t * 'c t * 'd t -> 'a kind
+  | Lift4 : ('b -> 'c -> 'd -> 'e -> 'a) * 'b t * 'c t * 'd t * 'e t -> 'a kind
+  | Lift_list : ('b list -> 'a) * 'b t list -> 'a kind
+  | Foldp : ('b -> 'a -> 'a) * 'b t -> 'a kind
+  | Async : 'a t -> 'a kind
+  | Delay : float * 'a t -> 'a kind
+  | Merge of 'a t * 'a t
+  | Drop_repeats of ('a -> 'a -> bool) * 'a t
+  | Sample_on : 'b t * 'a t -> 'a kind
+  | Keep_when of bool t * 'a t * 'a
+
+type packed = Pack : 'a t -> packed
+
+let counter = ref 0
+
+(* The paper's [guid] (Fig. 9). *)
+let fresh_id () =
+  incr counter;
+  !counter
+
+let make ?name ~fallback_name default kind =
+  {
+    node_id = fresh_id ();
+    node_name = (match name with Some n -> n | None -> fallback_name);
+    node_default = default;
+    node_kind = kind;
+    node_inst = None;
+  }
+
+let id t = t.node_id
+let name t = t.node_name
+let default t = t.node_default
+let kind t = t.node_kind
+let get_inst t = t.node_inst
+let set_inst t i = t.node_inst <- Some i
+
+let constant ?name v = make ?name ~fallback_name:"constant" v Constant
+
+let input ?name v = make ?name ~fallback_name:"input" v Input
+
+let lift ?name f s =
+  make ?name ~fallback_name:"lift" (f s.node_default) (Lift1 (f, s))
+
+let lift2 ?name f a b =
+  make ?name ~fallback_name:"lift2"
+    (f a.node_default b.node_default)
+    (Lift2 (f, a, b))
+
+let lift3 ?name f a b c =
+  make ?name ~fallback_name:"lift3"
+    (f a.node_default b.node_default c.node_default)
+    (Lift3 (f, a, b, c))
+
+let lift4 ?name f a b c d =
+  make ?name ~fallback_name:"lift4"
+    (f a.node_default b.node_default c.node_default d.node_default)
+    (Lift4 (f, a, b, c, d))
+
+(* Higher arities are derived by lifting a partially-applied function and
+   applying it with [lift2]; the intermediate node is observationally
+   transparent. *)
+let apply_node ?name g x = lift2 ?name (fun h v -> h v) g x
+
+let lift5 ?name f a b c d e = apply_node ?name (lift4 f a b c d) e
+let lift6 ?name f a b c d e g = apply_node ?name (lift5 f a b c d e) g
+let lift7 ?name f a b c d e g h = apply_node ?name (lift6 f a b c d e g) h
+let lift8 ?name f a b c d e g h i = apply_node ?name (lift7 f a b c d e g h) i
+
+let lift_list ?name f deps =
+  make ?name ~fallback_name:"liftn"
+    (f (List.map (fun s -> s.node_default) deps))
+    (Lift_list (f, deps))
+
+let foldp ?name step init s =
+  make ?name ~fallback_name:"foldp" init (Foldp (step, s))
+
+let async ?name s = make ?name ~fallback_name:"async" s.node_default (Async s)
+
+let delay ?name d s = make ?name ~fallback_name:"delay" s.node_default (Delay (d, s))
+
+let merge ?name a b =
+  make ?name ~fallback_name:"merge" a.node_default (Merge (a, b))
+
+let drop_repeats ?name ?(eq = ( = )) s =
+  make ?name ~fallback_name:"dropRepeats" s.node_default (Drop_repeats (eq, s))
+
+let sample_on ?name ticks s =
+  make ?name ~fallback_name:"sampleOn" s.node_default (Sample_on (ticks, s))
+
+let keep_when ?name gate base s =
+  let default = if gate.node_default then s.node_default else base in
+  make ?name ~fallback_name:"keepWhen" default (Keep_when (gate, s, base))
+
+let drop_when ?name gate base s = keep_when ?name (lift not gate) base s
+
+let count ?name s =
+  foldp ~name:(match name with Some n -> n | None -> "count")
+    (fun _ c -> c + 1)
+    0 s
+
+let count_if ?name pred s =
+  foldp ~name:(match name with Some n -> n | None -> "countIf")
+    (fun v c -> if pred v then c + 1 else c)
+    0 s
+
+let delay1 ?name init s =
+  (* Accumulator is (emit, stored): each change emits the previously stored
+     value; the first change therefore emits [init]. *)
+  let shifted = foldp (fun v (_, stored) -> (stored, v)) (init, init) s in
+  lift ?name fst shifted
+
+let pair ?name a b = lift2 ?name (fun x y -> (x, y)) a b
+
+let combine ?name sigs =
+  lift_list ~name:(match name with Some n -> n | None -> "combine") Fun.id sigs
+
+let timestamp ?name s = lift ?name (fun v -> (Cml.now (), v)) s
+
+let kind_name (type a) (t : a t) =
+  match t.node_kind with
+  | Constant -> "constant"
+  | Input -> "input"
+  | Lift1 _ -> "lift"
+  | Lift2 _ -> "lift2"
+  | Lift3 _ -> "lift3"
+  | Lift4 _ -> "lift4"
+  | Lift_list _ -> "liftn"
+  | Foldp _ -> "foldp"
+  | Async _ -> "async"
+  | Delay _ -> "delay"
+  | Merge _ -> "merge"
+  | Drop_repeats _ -> "dropRepeats"
+  | Sample_on _ -> "sampleOn"
+  | Keep_when _ -> "keepWhen"
+
+let deps (type a) (t : a t) =
+  match t.node_kind with
+  | Constant | Input -> []
+  | Lift1 (_, a) -> [ Pack a ]
+  | Lift2 (_, a, b) -> [ Pack a; Pack b ]
+  | Lift3 (_, a, b, c) -> [ Pack a; Pack b; Pack c ]
+  | Lift4 (_, a, b, c, d) -> [ Pack a; Pack b; Pack c; Pack d ]
+  | Lift_list (_, ds) -> List.map (fun s -> Pack s) ds
+  | Foldp (_, s) -> [ Pack s ]
+  | Async s -> [ Pack s ]
+  | Delay (_, s) -> [ Pack s ]
+  | Merge (a, b) -> [ Pack a; Pack b ]
+  | Drop_repeats (_, s) -> [ Pack s ]
+  | Sample_on (ticks, s) -> [ Pack ticks; Pack s ]
+  | Keep_when (gate, s, _) -> [ Pack gate; Pack s ]
+
+let is_source (type a) (t : a t) =
+  match t.node_kind with
+  | Constant | Input | Async _ | Delay _ -> true
+  | Lift1 _ | Lift2 _ | Lift3 _ | Lift4 _ | Lift_list _ | Foldp _ | Merge _
+  | Drop_repeats _ | Sample_on _ | Keep_when _ ->
+    false
+
+let reachable root =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit (Pack s as p) =
+    if not (Hashtbl.mem seen s.node_id) then begin
+      Hashtbl.add seen s.node_id ();
+      List.iter visit (deps s);
+      order := p :: !order
+    end
+  in
+  visit (Pack root);
+  List.rev !order
+
+let to_dot ?(label = "signal graph") root =
+  let buf = Buffer.create 512 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph signals {\n";
+  pr "  label=%S;\n" label;
+  pr "  rankdir=TB;\n";
+  pr "  dispatcher [label=\"Global Event\\nDispatcher\", shape=box, style=dashed];\n";
+  let nodes = reachable root in
+  List.iter
+    (fun (Pack s) ->
+      let shape = if is_source s then "ellipse" else "box" in
+      pr "  n%d [label=\"%s\", shape=%s];\n" s.node_id
+        (String.concat "" (String.split_on_char '"' s.node_name))
+        shape;
+      if is_source s then pr "  dispatcher -> n%d [style=dashed];\n" s.node_id)
+    nodes;
+  List.iter
+    (fun (Pack s) ->
+      match s.node_kind with
+      | Async inner | Delay (_, inner) ->
+        (* The inner subgraph reaches the async source node only through the
+           dispatcher (Fig. 8(c)): a change becomes a fresh global event. *)
+        pr "  n%d -> dispatcher [style=dotted, label=\"new event\"];\n"
+          inner.node_id
+      | _ ->
+        List.iter
+          (fun (Pack d) -> pr "  n%d -> n%d;\n" d.node_id s.node_id)
+          (deps s))
+    nodes;
+  pr "}\n";
+  Buffer.contents buf

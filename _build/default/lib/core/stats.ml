@@ -1,0 +1,27 @@
+type t = {
+  mutable events : int;
+  mutable messages : int;
+  mutable applications : int;
+  mutable recomputations : int;
+  mutable fold_steps : int;
+  mutable async_events : int;
+}
+
+let create () =
+  {
+    events = 0;
+    messages = 0;
+    applications = 0;
+    recomputations = 0;
+    fold_steps = 0;
+    async_events = 0;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "events=%d messages=%d applications=%d recomputations=%d fold_steps=%d \
+     async_events=%d"
+    s.events s.messages s.applications s.recomputations s.fold_steps
+    s.async_events
+
+let total_computations s = s.applications + s.recomputations

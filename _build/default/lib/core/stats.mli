@@ -1,0 +1,25 @@
+(** Counters instrumenting a runtime instance.
+
+    These back the paper's efficiency claims: push-based evaluation avoids
+    needless recomputation (Sections 1-2), and [No_change] propagation is the
+    memoization that makes this observable. [recomputations] counts the extra
+    function applications performed when memoization is disabled (the
+    pull-style baseline of experiment B3). *)
+
+type t = {
+  mutable events : int;  (** Events dispatched by the global dispatcher. *)
+  mutable messages : int;  (** Edge messages sent by node threads. *)
+  mutable applications : int;
+      (** Lifted-function applications triggered by a [Change]. *)
+  mutable recomputations : int;
+      (** Applications forced only by [memoize:false] (all-[No_change] rounds). *)
+  mutable fold_steps : int;  (** [foldp] accumulator updates. *)
+  mutable async_events : int;  (** Events originating from [async] nodes. *)
+}
+
+val create : unit -> t
+
+val pp : Format.formatter -> t -> unit
+
+val total_computations : t -> int
+(** [applications + recomputations]: everything a pull system would pay. *)

@@ -1,0 +1,1 @@
+lib/felm/ast.ml: Float Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/felm/ast.mli: Format Hashtbl

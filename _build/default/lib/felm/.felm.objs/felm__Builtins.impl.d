@@ -1,0 +1,1 @@
+lib/felm/builtins.ml: Ast Cml Float List Printf Stdlib String Ty Value

@@ -1,0 +1,1 @@
+lib/felm/builtins.mli: Ast Ty Value

@@ -1,0 +1,1 @@
+lib/felm/denote.ml: Ast Builtins Eval List Printf Program Sgraph Value

@@ -1,0 +1,1 @@
+lib/felm/denote.mli: Ast Program Sgraph Value

@@ -1,0 +1,1 @@
+lib/felm/eval.ml: Ast Builtins Float List Printf String Value

@@ -1,0 +1,1 @@
+lib/felm/eval.mli: Ast

@@ -1,0 +1,1 @@
+lib/felm/interp.ml: Builtins Cml Denote Elm_core Hashtbl List Program Sgraph Trace Typecheck Value

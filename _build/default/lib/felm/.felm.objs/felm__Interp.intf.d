@@ -1,0 +1,1 @@
+lib/felm/interp.mli: Elm_core Program Sgraph Trace Value

@@ -1,0 +1,1 @@
+lib/felm/lexer.ml: Array Ast Buffer Char List Printf String

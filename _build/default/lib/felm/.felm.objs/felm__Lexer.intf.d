@@ -1,0 +1,1 @@
+lib/felm/lexer.mli: Ast

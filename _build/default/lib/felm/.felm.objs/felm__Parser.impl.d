@@ -1,0 +1,1 @@
+lib/felm/parser.ml: Array Ast Lexer List Printf Ty

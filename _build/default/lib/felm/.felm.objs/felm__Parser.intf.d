@@ -1,0 +1,1 @@
+lib/felm/parser.mli: Ast Ty

@@ -1,0 +1,1 @@
+lib/felm/program.ml: Ast Builtins List Option Parser Printf String Ty Value

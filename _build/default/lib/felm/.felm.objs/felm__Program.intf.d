@@ -1,0 +1,1 @@
+lib/felm/program.mli: Ast Parser Ty Value

@@ -1,0 +1,1 @@
+lib/felm/sgraph.ml: Buffer Hashtbl List Printf String Value

@@ -1,0 +1,1 @@
+lib/felm/sgraph.mli: Value

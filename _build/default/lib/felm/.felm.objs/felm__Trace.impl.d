@@ -1,0 +1,1 @@
+lib/felm/trace.ml: Float Lexer List Parser Printf Program String Ty Value

@@ -1,0 +1,1 @@
+lib/felm/trace.mli: Program Value

@@ -1,0 +1,1 @@
+lib/felm/ty.ml: Format Hashtbl List

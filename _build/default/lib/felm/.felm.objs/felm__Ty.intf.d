@@ -1,0 +1,1 @@
+lib/felm/ty.mli: Format

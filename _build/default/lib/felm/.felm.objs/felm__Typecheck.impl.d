@@ -1,0 +1,1 @@
+lib/felm/typecheck.ml: Ast Builtins List Printf Program Ty

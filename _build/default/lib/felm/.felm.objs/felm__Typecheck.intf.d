@@ -1,0 +1,1 @@
+lib/felm/typecheck.mli: Ast Program Ty

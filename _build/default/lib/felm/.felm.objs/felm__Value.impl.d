@@ -1,0 +1,1 @@
+lib/felm/value.ml: Ast Float Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/felm/value.mli: Ast Format

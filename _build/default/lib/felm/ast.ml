@@ -1,0 +1,276 @@
+type loc = {
+  line : int;
+  col : int;
+}
+
+let dummy_loc = { line = 0; col = 0 }
+
+let pp_loc ppf { line; col } = Format.fprintf ppf "line %d, column %d" line col
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | Cat
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Fadd -> "+."
+  | Fsub -> "-."
+  | Fmul -> "*."
+  | Fdiv -> "/."
+  | Eq -> "=="
+  | Ne -> "/="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+  | Cat -> "^"
+
+type expr = {
+  desc : desc;
+  loc : loc;
+}
+
+and desc =
+  | Unit
+  | Int of int
+  | Float of float
+  | String of string
+  | Var of string
+  | Input of string
+  | Lam of string * expr
+  | App of expr * expr
+  | Binop of binop * expr * expr
+  | If of expr * expr * expr
+  | Let of string * expr * expr
+  | Pair of expr * expr
+  | List_lit of expr list
+  | None_lit
+  | Some_e of expr
+  | Fst of expr
+  | Snd of expr
+  | Show of expr
+  | Prim_op of string * expr list
+  | Lift of expr * expr list
+  | Foldp of expr * expr * expr
+  | Async of expr
+
+let mk ?(loc = dummy_loc) desc = { desc; loc }
+
+let rec is_value e =
+  match e.desc with
+  | Unit | Int _ | Float _ | String _ | Lam _ | None_lit -> true
+  | Some_e a -> is_value a
+  | Pair (a, b) -> is_value a && is_value b
+  | List_lit elems -> List.for_all is_value elems
+  | Var _ | Input _ | App _ | Binop _ | If _ | Let _ | Fst _ | Snd _ | Show _
+  | Prim_op _ | Lift _ | Foldp _ | Async _ ->
+    false
+
+let rec is_signal_term e =
+  match e.desc with
+  | Var _ | Input _ -> true
+  | Let (_, s, u) -> is_signal_term s && is_final u
+  | Lift (f, deps) -> is_value f && List.for_all is_signal_term deps
+  | Foldp (f, b, s) -> is_value f && is_value b && is_signal_term s
+  | Async s -> is_signal_term s
+  | Unit | Int _ | Float _ | String _ | Lam _ | App _ | Binop _ | If _
+  | Pair _ | List_lit _ | None_lit | Some_e _ | Fst _ | Snd _ | Show _
+  | Prim_op _ ->
+    false
+
+and is_final e = is_value e || is_signal_term e
+
+let rec free_vars e bound =
+  (* [bound] accumulates free names; shadowing is handled by the local
+     [without] wrapper. *)
+  match e.desc with
+  | Unit | Int _ | Float _ | String _ | Input _ | None_lit -> ()
+  | Var x -> Hashtbl.replace bound x ()
+  | Lam (x, body) -> without x body bound
+  | App (a, b) | Binop (_, a, b) | Pair (a, b) ->
+    free_vars a bound;
+    free_vars b bound
+  | If (a, b, c) | Foldp (a, b, c) ->
+    free_vars a bound;
+    free_vars b bound;
+    free_vars c bound
+  | Let (x, rhs, body) ->
+    free_vars rhs bound;
+    without x body bound
+  | Fst a | Snd a | Show a | Async a | Some_e a -> free_vars a bound
+  | Prim_op (_, args) | List_lit args ->
+    List.iter (fun a -> free_vars a bound) args
+  | Lift (f, deps) ->
+    free_vars f bound;
+    List.iter (fun d -> free_vars d bound) deps
+
+and without x body acc =
+  let inner = Hashtbl.create 8 in
+  free_vars body inner;
+  Hashtbl.remove inner x;
+  Hashtbl.iter (fun k () -> Hashtbl.replace acc k ()) inner
+
+let fv e =
+  let tbl = Hashtbl.create 8 in
+  free_vars e tbl;
+  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+let is_free_in x e = List.mem x (fv e)
+
+let fresh_counter = ref 0
+
+let fresh_name base =
+  incr fresh_counter;
+  let base =
+    match String.index_opt base '%' with
+    | Some i -> String.sub base 0 i
+    | None -> base
+  in
+  Printf.sprintf "%s%%%d" base !fresh_counter
+
+let rec subst x v e =
+  match e.desc with
+  | Unit | Int _ | Float _ | String _ | Input _ | None_lit -> e
+  | Var y -> if y = x then v else e
+  | Lam (y, body) ->
+    if y = x then e
+    else if is_free_in y v then begin
+      let y' = fresh_name y in
+      let body' = subst y (mk (Var y')) body in
+      { e with desc = Lam (y', subst x v body') }
+    end
+    else { e with desc = Lam (y, subst x v body) }
+  | App (a, b) -> { e with desc = App (subst x v a, subst x v b) }
+  | Binop (op, a, b) -> { e with desc = Binop (op, subst x v a, subst x v b) }
+  | If (a, b, c) -> { e with desc = If (subst x v a, subst x v b, subst x v c) }
+  | Let (y, rhs, body) ->
+    let rhs' = subst x v rhs in
+    if y = x then { e with desc = Let (y, rhs', body) }
+    else if is_free_in y v then begin
+      let y' = fresh_name y in
+      let body' = subst y (mk (Var y')) body in
+      { e with desc = Let (y', rhs', subst x v body') }
+    end
+    else { e with desc = Let (y, rhs', subst x v body) }
+  | Pair (a, b) -> { e with desc = Pair (subst x v a, subst x v b) }
+  | List_lit elems -> { e with desc = List_lit (List.map (subst x v) elems) }
+  | Some_e a -> { e with desc = Some_e (subst x v a) }
+  | Fst a -> { e with desc = Fst (subst x v a) }
+  | Snd a -> { e with desc = Snd (subst x v a) }
+  | Show a -> { e with desc = Show (subst x v a) }
+  | Prim_op (name, args) ->
+    { e with desc = Prim_op (name, List.map (subst x v) args) }
+  | Lift (f, deps) ->
+    { e with desc = Lift (subst x v f, List.map (subst x v) deps) }
+  | Foldp (a, b, c) ->
+    { e with desc = Foldp (subst x v a, subst x v b, subst x v c) }
+  | Async a -> { e with desc = Async (subst x v a) }
+
+let rec pp ppf e =
+  match e.desc with
+  | Unit -> Format.pp_print_string ppf "()"
+  | Int n -> Format.pp_print_int ppf n
+  | Float f -> Format.fprintf ppf "%g" f
+  | String s -> Format.fprintf ppf "%S" s
+  | Var x -> Format.pp_print_string ppf x
+  | Input i -> Format.pp_print_string ppf i
+  | Lam (x, body) -> Format.fprintf ppf "(\\%s -> %a)" x pp body
+  | App (a, b) -> Format.fprintf ppf "(%a %a)" pp a pp b
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp a (binop_name op) pp b
+  | If (a, b, c) ->
+    Format.fprintf ppf "(if %a then %a else %a)" pp a pp b pp c
+  | Let (x, rhs, body) ->
+    Format.fprintf ppf "(let %s = %a in %a)" x pp rhs pp body
+  | Pair (a, b) -> Format.fprintf ppf "(%a, %a)" pp a pp b
+  | List_lit elems ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp)
+      elems
+  | None_lit -> Format.pp_print_string ppf "none"
+  | Some_e a -> Format.fprintf ppf "(some %a)" pp a
+  | Fst a -> Format.fprintf ppf "(fst %a)" pp a
+  | Snd a -> Format.fprintf ppf "(snd %a)" pp a
+  | Show a -> Format.fprintf ppf "(show %a)" pp a
+  | Prim_op (name, args) ->
+    Format.fprintf ppf "(#%s%a)" name
+      (fun ppf -> List.iter (Format.fprintf ppf " %a" pp))
+      args
+  | Lift (f, deps) ->
+    Format.fprintf ppf "(lift%d %a%a)" (List.length deps) pp f
+      (fun ppf -> List.iter (Format.fprintf ppf " %a" pp))
+      deps
+  | Foldp (a, b, c) -> Format.fprintf ppf "(foldp %a %a %a)" pp a pp b pp c
+  | Async a -> Format.fprintf ppf "(async %a)" pp a
+
+let to_string e = Format.asprintf "%a" pp e
+
+let alpha_equal e1 e2 =
+  (* Compare under an environment mapping binders of e1 to binders of e2. *)
+  let rec go env a b =
+    match a.desc, b.desc with
+    | Unit, Unit -> true
+    | Int m, Int n -> m = n
+    | Float m, Float n -> Float.equal m n
+    | String m, String n -> m = n
+    | Var x, Var y -> (
+      match List.assoc_opt x env with
+      | Some y' -> y = y'
+      | None -> x = y && not (List.exists (fun (_, v) -> v = y) env))
+    | Input i, Input j -> i = j
+    | Lam (x, bx), Lam (y, by) -> go ((x, y) :: env) bx by
+    | App (a1, a2), App (b1, b2) -> go env a1 b1 && go env a2 b2
+    | Binop (op1, a1, a2), Binop (op2, b1, b2) ->
+      op1 = op2 && go env a1 b1 && go env a2 b2
+    | If (a1, a2, a3), If (b1, b2, b3) ->
+      go env a1 b1 && go env a2 b2 && go env a3 b3
+    | Let (x, r1, b1), Let (y, r2, b2) ->
+      go env r1 r2 && go ((x, y) :: env) b1 b2
+    | Pair (a1, a2), Pair (b1, b2) -> go env a1 b1 && go env a2 b2
+    | List_lit xs, List_lit ys ->
+      List.length xs = List.length ys && List.for_all2 (go env) xs ys
+    | None_lit, None_lit -> true
+    | Some_e a, Some_e b -> go env a b
+    | Fst a, Fst b | Snd a, Snd b | Show a, Show b | Async a, Async b ->
+      go env a b
+    | Prim_op (n1, args1), Prim_op (n2, args2) ->
+      n1 = n2
+      && List.length args1 = List.length args2
+      && List.for_all2 (go env) args1 args2
+    | Lift (f1, d1), Lift (f2, d2) ->
+      go env f1 f2
+      && List.length d1 = List.length d2
+      && List.for_all2 (go env) d1 d2
+    | Foldp (a1, a2, a3), Foldp (b1, b2, b3) ->
+      go env a1 b1 && go env a2 b2 && go env a3 b3
+    | ( ( Unit | Int _ | Float _ | String _ | Var _ | Input _ | Lam _ | App _
+        | Binop _ | If _ | Let _ | Pair _ | List_lit _ | None_lit | Some_e _
+        | Fst _ | Snd _ | Show _ | Prim_op _ | Lift _ | Foldp _ | Async _ ),
+        _ ) ->
+      false
+  in
+  go [] e1 e2

@@ -1,0 +1,110 @@
+(** Abstract syntax of FElm (paper Fig. 3).
+
+    The expression forms are exactly the paper's — unit, integers,
+    variables, lambdas, application, binary operators, conditionals, [let],
+    input signals, [liftn], [foldp], [async] — plus the documented
+    extensions: floats, strings, pairs with [fst]/[snd], [show] (the typed
+    syntactic form behind Elm's [asText]), and builtin operations
+    ([Prim_op], which resolution eta-expands into lambdas so they are
+    ordinary values). *)
+
+type loc = {
+  line : int;
+  col : int;
+}
+
+val dummy_loc : loc
+
+val pp_loc : Format.formatter -> loc -> unit
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | Cat  (** String concatenation, [^]. *)
+
+val binop_name : binop -> string
+
+type expr = {
+  desc : desc;
+  loc : loc;
+}
+
+and desc =
+  | Unit
+  | Int of int
+  | Float of float
+  | String of string
+  | Var of string
+  | Input of string  (** A resolved input-signal identifier [i]. *)
+  | Lam of string * expr
+  | App of expr * expr
+  | Binop of binop * expr * expr
+  | If of expr * expr * expr
+  | Let of string * expr * expr
+  | Pair of expr * expr
+  | List_lit of expr list
+  | None_lit
+  | Some_e of expr
+  | Fst of expr
+  | Snd of expr
+  | Show of expr
+  | Prim_op of string * expr list
+      (** Saturated builtin application (produced by resolution). *)
+  | Lift of expr * expr list  (** [liftn e e1 ... en], n >= 1. *)
+  | Foldp of expr * expr * expr
+  | Async of expr
+
+val mk : ?loc:loc -> desc -> expr
+
+(** {1 Classification (paper Fig. 5: the intermediate language)} *)
+
+val is_value : expr -> bool
+(** Simple values [v]: unit, literals, pairs of values, lambdas. *)
+
+val is_signal_term : expr -> bool
+(** Signal terms [s]: variables, [let x = s in u], inputs, [liftn v s...],
+    [foldp v v s], [async s]. A bare variable in a closed final term can
+    only denote a let-bound signal, hence counts as a signal term. *)
+
+val is_final : expr -> bool
+(** Final terms [u ::= v | s]. *)
+
+(** {1 Variables and substitution} *)
+
+val free_vars : expr -> (string, unit) Hashtbl.t -> unit
+(** Accumulate free variables into the table. *)
+
+val fv : expr -> string list
+
+val is_free_in : string -> expr -> bool
+
+val fresh_name : string -> string
+(** A name with a fresh numeric suffix, for alpha-renaming. *)
+
+val subst : string -> expr -> expr -> expr
+(** [subst x v e]: capture-avoiding substitution of [v] for [x] in [e]. *)
+
+(** {1 Printing and equality} *)
+
+val pp : Format.formatter -> expr -> unit
+
+val to_string : expr -> string
+
+val alpha_equal : expr -> expr -> bool
+(** Structural equality up to bound-variable renaming (locations
+    ignored). *)

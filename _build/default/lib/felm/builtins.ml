@@ -1,0 +1,282 @@
+open Ty
+open Value
+
+type prim = {
+  prim_name : string;
+  arity : int;
+  prim_ty : unit -> Ty.t;
+  impl : Value.t list -> Value.t;
+}
+
+let bad name = invalid_arg ("builtin " ^ name ^ ": ill-typed application")
+
+(* The interpreter turns [work] off while instantiating the signal graph:
+   defaults are computed eagerly at construction (Section 3.1) and must not
+   be charged simulated time. *)
+let work_enabled = ref true
+
+let int1 name f = function [ Vint a ] -> Vint (f a) | _ -> bad name
+
+let int2 name f = function
+  | [ Vint a; Vint b ] -> Vint (f a b)
+  | _ -> bad name
+
+let float1 name f = function [ Vfloat a ] -> Vfloat (f a) | _ -> bad name
+
+let translate_word w =
+  (* Deterministic toy French (the paper's toFrench): a small dictionary,
+     with a stable fallback for unknown words. *)
+  match w with
+  | "" -> ""
+  | "hello" -> "bonjour"
+  | "world" -> "monde"
+  | "yes" -> "oui"
+  | "no" -> "non"
+  | "cat" -> "chat"
+  | "dog" -> "chien"
+  | "house" -> "maison"
+  | "water" -> "eau"
+  | "thanks" -> "merci"
+  | w -> "le " ^ w
+
+let prims =
+  [
+    {
+      prim_name = "not";
+      arity = 1;
+      prim_ty = (fun () -> Tfun (Tint, Tint));
+      impl = int1 "not" (fun a -> if a = 0 then 1 else 0);
+    };
+    {
+      prim_name = "abs";
+      arity = 1;
+      prim_ty = (fun () -> Tfun (Tint, Tint));
+      impl = int1 "abs" abs;
+    };
+    {
+      prim_name = "min";
+      arity = 2;
+      prim_ty = (fun () -> Tfun (Tint, Tfun (Tint, Tint)));
+      impl = int2 "min" Stdlib.min;
+    };
+    {
+      prim_name = "max";
+      arity = 2;
+      prim_ty = (fun () -> Tfun (Tint, Tfun (Tint, Tint)));
+      impl = int2 "max" Stdlib.max;
+    };
+    {
+      prim_name = "sqrt";
+      arity = 1;
+      prim_ty = (fun () -> Tfun (Tfloat, Tfloat));
+      impl = float1 "sqrt" Float.sqrt;
+    };
+    {
+      prim_name = "intToFloat";
+      arity = 1;
+      prim_ty = (fun () -> Tfun (Tint, Tfloat));
+      impl = (function [ Vint a ] -> Vfloat (float_of_int a) | _ -> bad "intToFloat");
+    };
+    {
+      prim_name = "round";
+      arity = 1;
+      prim_ty = (fun () -> Tfun (Tfloat, Tint));
+      impl =
+        (function
+        | [ Vfloat a ] -> Vint (int_of_float (Float.round a))
+        | _ -> bad "round");
+    };
+    {
+      prim_name = "strlen";
+      arity = 1;
+      prim_ty = (fun () -> Tfun (Tstring, Tint));
+      impl = (function [ Vstring s ] -> Vint (String.length s) | _ -> bad "strlen");
+    };
+    {
+      prim_name = "translate";
+      arity = 1;
+      prim_ty = (fun () -> Tfun (Tstring, Tstring));
+      impl =
+        (function [ Vstring s ] -> Vstring (translate_word s) | _ -> bad "translate");
+    };
+    {
+      (* The long-running computation of the Section 5 examples: costs the
+         given amount of virtual time, then returns its second argument. *)
+      prim_name = "work";
+      arity = 2;
+      prim_ty = (fun () -> Tfun (Tfloat, Tfun (Tint, Tint)));
+      impl =
+        (function
+        | [ Vfloat cost; Vint x ] ->
+          if !work_enabled && Cml.running () && cost > 0.0 then Cml.sleep cost;
+          Vint x
+        | _ -> bad "work");
+    };
+  ]
+
+(* List operations (Section 4: "options, lists, sets, and dictionaries").
+   These are polymorphic: their types are generated fresh per use, enabled
+   by the let-polymorphism machinery. *)
+let list_prims =
+  [
+    {
+      prim_name = "cons";
+      arity = 2;
+      prim_ty =
+        (fun () ->
+          let a = Ty.fresh () in
+          Tfun (a, Tfun (Tlist a, Tlist a)));
+      impl =
+        (function [ x; Vlist xs ] -> Vlist (x :: xs) | _ -> bad "cons");
+    };
+    {
+      prim_name = "head";
+      arity = 1;
+      prim_ty =
+        (fun () ->
+          let a = Ty.fresh () in
+          Tfun (Tlist a, a));
+      impl =
+        (function
+        | [ Vlist (x :: _) ] -> x
+        | [ Vlist [] ] -> invalid_arg "head of an empty list"
+        | _ -> bad "head");
+    };
+    {
+      prim_name = "tail";
+      arity = 1;
+      prim_ty =
+        (fun () ->
+          let a = Ty.fresh () in
+          Tfun (Tlist a, Tlist a));
+      impl =
+        (function
+        | [ Vlist (_ :: xs) ] -> Vlist xs
+        | [ Vlist [] ] -> invalid_arg "tail of an empty list"
+        | _ -> bad "tail");
+    };
+    {
+      prim_name = "isEmpty";
+      arity = 1;
+      prim_ty =
+        (fun () ->
+          let a = Ty.fresh () in
+          Tfun (Tlist a, Tint));
+      impl =
+        (function [ Vlist xs ] -> Vint (if xs = [] then 1 else 0) | _ -> bad "isEmpty");
+    };
+    {
+      prim_name = "length";
+      arity = 1;
+      prim_ty =
+        (fun () ->
+          let a = Ty.fresh () in
+          Tfun (Tlist a, Tint));
+      impl = (function [ Vlist xs ] -> Vint (List.length xs) | _ -> bad "length");
+    };
+    {
+      prim_name = "take";
+      arity = 2;
+      prim_ty =
+        (fun () ->
+          let a = Ty.fresh () in
+          Tfun (Tint, Tfun (Tlist a, Tlist a)));
+      impl =
+        (function
+        | [ Vint n; Vlist xs ] ->
+          let rec take n = function
+            | x :: rest when n > 0 -> x :: take (n - 1) rest
+            | _ -> []
+          in
+          Vlist (take n xs)
+        | _ -> bad "take");
+    };
+    {
+      prim_name = "reverse";
+      arity = 1;
+      prim_ty =
+        (fun () ->
+          let a = Ty.fresh () in
+          Tfun (Tlist a, Tlist a));
+      impl = (function [ Vlist xs ] -> Vlist (List.rev xs) | _ -> bad "reverse");
+    };
+  ]
+
+(* Option operations (Section 4: "options"). *)
+let option_prims =
+  [
+    {
+      prim_name = "isNone";
+      arity = 1;
+      prim_ty =
+        (fun () ->
+          let a = Ty.fresh () in
+          Tfun (Toption a, Tint));
+      impl =
+        (function
+        | [ Voption None ] -> Vint 1
+        | [ Voption (Some _) ] -> Vint 0
+        | _ -> bad "isNone");
+    };
+    {
+      prim_name = "withDefault";
+      arity = 2;
+      prim_ty =
+        (fun () ->
+          let a = Ty.fresh () in
+          Tfun (a, Tfun (Toption a, a)));
+      impl =
+        (function
+        | [ d; Voption None ] -> d
+        | [ _; Voption (Some v) ] -> v
+        | _ -> bad "withDefault");
+    };
+  ]
+
+let prims = prims @ list_prims @ option_prims
+
+let find_prim name = List.find_opt (fun p -> p.prim_name = name) prims
+
+let eta_expand p =
+  let params = List.init p.arity (fun i -> Printf.sprintf "p%d" i) in
+  let args = List.map (fun x -> Ast.mk (Ast.Var x)) params in
+  let body = Ast.mk (Ast.Prim_op (p.prim_name, args)) in
+  List.fold_right (fun x acc -> Ast.mk (Ast.Lam (x, acc))) params body
+
+let apply_prim p args =
+  if List.length args <> p.arity then bad p.prim_name else p.impl args
+
+type input = {
+  input_name : string;
+  input_ty : Ty.t;
+  default : Value.t;
+}
+
+let standard_inputs =
+  [
+    { input_name = "Mouse.x"; input_ty = Tsignal Tint; default = Vint 0 };
+    { input_name = "Mouse.y"; input_ty = Tsignal Tint; default = Vint 0 };
+    {
+      input_name = "Window.width";
+      input_ty = Tsignal Tint;
+      default = Vint 1024;
+    };
+    {
+      input_name = "Window.height";
+      input_ty = Tsignal Tint;
+      default = Vint 768;
+    };
+    {
+      input_name = "Keyboard.lastPressed";
+      input_ty = Tsignal Tint;
+      default = Vint 0;
+    };
+    {
+      input_name = "Time.seconds";
+      input_ty = Tsignal Tfloat;
+      default = Vfloat 0.0;
+    };
+  ]
+
+let find_standard_input name =
+  List.find_opt (fun i -> i.input_name = name) standard_inputs

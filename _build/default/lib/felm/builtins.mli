@@ -1,0 +1,49 @@
+(** Builtin environment: primitive functions and standard input signals.
+
+    FElm is simply typed, so every builtin is monomorphic. Primitives are
+    exposed to programs as ordinary identifiers that resolution eta-expands
+    into lambdas over {!Ast.Prim_op}, making them first-class values that
+    can be passed to [liftn].
+
+    The standard input signals are the Fig. 13 identifiers the FElm examples
+    use ([Mouse.x], [Window.width], ...); programs can declare more with
+    [input name : signal ty = default]. *)
+
+type prim = {
+  prim_name : string;
+  arity : int;  (** 1 or 2. *)
+  prim_ty : unit -> Ty.t;
+      (** Generates the type at each use so polymorphic builtins (the list
+          operations) instantiate fresh variables per occurrence. *)
+  impl : Value.t list -> Value.t;
+}
+
+val work_enabled : bool ref
+(** When false, [work] costs no virtual time. The interpreter clears this
+    while instantiating the graph (default computation) and restores it
+    before replaying the trace. *)
+
+val prims : prim list
+
+val find_prim : string -> prim option
+
+val eta_expand : prim -> Ast.expr
+(** The lambda value a primitive identifier resolves to. *)
+
+val apply_prim : prim -> Value.t list -> Value.t
+(** @raise Invalid_argument on arity or type mismatch (unreachable from
+    well-typed programs). *)
+
+type input = {
+  input_name : string;
+  input_ty : Ty.t;  (** Always [Tsignal _]. *)
+  default : Value.t;
+}
+
+val standard_inputs : input list
+
+val find_standard_input : string -> input option
+
+val translate_word : string -> string
+(** The deterministic toy translation used by the [translate] primitive
+    (the paper's [toFrench]). *)

@@ -1,0 +1,123 @@
+exception Error of string * Ast.loc
+
+let fail loc fmt = Printf.ksprintf (fun msg -> raise (Error (msg, loc))) fmt
+
+let value_binop op (a : Value.t) (b : Value.t) loc : Value.t =
+  (* Delegate to the small-step delta via literal round-tripping, so both
+     evaluators share one arithmetic. *)
+  match Value.to_literal a, Value.to_literal b with
+  | Some ea, Some eb -> (
+    match Value.of_literal (Eval.eval_binop op ea eb) with
+    | Some v -> v
+    | None -> fail loc "operator %s produced a non-literal" (Ast.binop_name op))
+  | _ -> fail loc "operator %s applied to a non-literal" (Ast.binop_name op)
+
+let rec eval g env (e : Ast.expr) : Value.t =
+  let loc = e.Ast.loc in
+  match e.Ast.desc with
+  | Ast.Unit -> Value.Vunit
+  | Ast.Int n -> Value.Vint n
+  | Ast.Float f -> Value.Vfloat f
+  | Ast.String s -> Value.Vstring s
+  | Ast.Var x -> (
+    match List.assoc_opt x env with
+    | Some v -> v
+    | None -> fail loc "unbound variable %s" x)
+  | Ast.Input name -> Value.Vsignal (Sgraph.input g name)
+  | Ast.Lam (x, body) -> Value.Vclosure (env, x, body)
+  | Ast.App (f, a) ->
+    let vf = eval g env f in
+    let va = eval g env a in
+    apply_in g vf va loc
+  | Ast.Binop (op, a, b) -> value_binop op (eval g env a) (eval g env b) loc
+  | Ast.If (c, e2, e3) -> (
+    match eval g env c with
+    | Value.Vint 0 -> eval g env e3
+    | Value.Vint _ -> eval g env e2
+    | _ -> fail loc "if condition must be an int")
+  | Ast.Let (x, rhs, body) ->
+    let v = eval g env rhs in
+    eval g ((x, v) :: env) body
+  | Ast.Pair (a, b) -> Value.Vpair (eval g env a, eval g env b)
+  | Ast.List_lit elems -> Value.Vlist (List.map (eval g env) elems)
+  | Ast.None_lit -> Value.Voption None
+  | Ast.Some_e a -> Value.Voption (Some (eval g env a))
+  | Ast.Fst a -> (
+    match eval g env a with
+    | Value.Vpair (x, _) -> x
+    | _ -> fail loc "fst of a non-pair")
+  | Ast.Snd a -> (
+    match eval g env a with
+    | Value.Vpair (_, y) -> y
+    | _ -> fail loc "snd of a non-pair")
+  | Ast.Show a -> Value.Vstring (Value.show (eval g env a))
+  | Ast.Prim_op (name, args) -> (
+    match Builtins.find_prim name with
+    | None -> fail loc "unknown builtin %s" name
+    | Some p -> Builtins.apply_prim p (List.map (eval g env) args))
+  | Ast.Lift (f, deps) ->
+    let vf = eval g env f in
+    let ids = List.map (fun d -> expect_signal (eval g env d) d.Ast.loc) deps in
+    Value.Vsignal (Sgraph.add g (Sgraph.Nlift (vf, ids)))
+  | Ast.Foldp (f, b, s) ->
+    let vf = eval g env f in
+    let vb = eval g env b in
+    let id = expect_signal (eval g env s) s.Ast.loc in
+    Value.Vsignal (Sgraph.add g (Sgraph.Nfoldp (vf, vb, id)))
+  | Ast.Async s ->
+    let id = expect_signal (eval g env s) s.Ast.loc in
+    Value.Vsignal (Sgraph.add g (Sgraph.Nasync id))
+
+and expect_signal v loc =
+  match v with
+  | Value.Vsignal id -> id
+  | _ -> fail loc "expected a signal"
+
+and apply_in g vf va loc =
+  match vf with
+  | Value.Vclosure (cenv, x, body) -> eval g ((x, va) :: cenv) body
+  | _ -> fail loc "application of a non-function"
+
+let frozen_graph =
+  let g = Sgraph.create () in
+  Sgraph.freeze g;
+  g
+
+let apply vf args =
+  List.fold_left (fun f a -> apply_in frozen_graph f a Ast.dummy_loc) vf args
+
+let graph_of_final g (u : Ast.expr) : Value.t =
+  let rec go env (u : Ast.expr) =
+    if Ast.is_value u then eval g env u
+    else
+      match u.Ast.desc with
+      | Ast.Var x -> (
+        match List.assoc_opt x env with
+        | Some v -> v
+        | None -> fail u.Ast.loc "unbound signal variable %s" x)
+      | Ast.Input name -> Value.Vsignal (Sgraph.input g name)
+      | Ast.Let (x, rhs, body) ->
+        let v = go env rhs in
+        go ((x, v) :: env) body
+      | Ast.Lift (f, deps) ->
+        let vf = eval g env f in
+        let ids =
+          List.map (fun d -> expect_signal (go env d) d.Ast.loc) deps
+        in
+        Value.Vsignal (Sgraph.add g (Sgraph.Nlift (vf, ids)))
+      | Ast.Foldp (f, b, s) ->
+        let vf = eval g env f in
+        let vb = eval g env b in
+        let id = expect_signal (go env s) s.Ast.loc in
+        Value.Vsignal (Sgraph.add g (Sgraph.Nfoldp (vf, vb, id)))
+      | Ast.Async s ->
+        let id = expect_signal (go env s) s.Ast.loc in
+        Value.Vsignal (Sgraph.add g (Sgraph.Nasync id))
+      | _ -> fail u.Ast.loc "not a final term: %s" (Ast.to_string u)
+  in
+  go [] u
+
+let run_program (p : Program.t) =
+  let g = Sgraph.create () in
+  let v = eval g [] p.Program.main in
+  (g, v)

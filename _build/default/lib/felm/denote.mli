@@ -1,0 +1,34 @@
+(** Big-step evaluation and signal-graph extraction.
+
+    Two independent paths from a program to its {!Sgraph}:
+
+    - {!eval}: a direct environment-based big-step evaluator over the
+      source expression, allocating graph nodes as it meets reactive
+      primitives. This is the production path used by the interpreter and
+      compiler.
+    - {!graph_of_final}: a reader of stage-one {e normal forms}
+      (Fig. 5 final terms produced by {!Eval.normalize}), which rebuilds
+      the same graph from the paper's small-step semantics.
+
+    Property tests check the two paths agree — a strong executable
+    validation of the Fig. 6 rules. *)
+
+exception Error of string * Ast.loc
+
+val eval : Sgraph.t -> Value.env -> Ast.expr -> Value.t
+(** Big-step evaluation; reactive primitives allocate nodes in the graph
+    and evaluate to [Vsignal]. *)
+
+val graph_of_final : Sgraph.t -> Ast.expr -> Value.t
+(** Interpret a Fig. 5 final term into the graph: values evaluate,
+    signal terms allocate nodes ([let]-sharing preserved).
+    @raise Error if the term is not final. *)
+
+val apply : Value.t -> Value.t list -> Value.t
+(** Stage-two application of a node function to event values. Runs with a
+    frozen empty graph: a well-typed program cannot create signals at this
+    stage, and an attempt raises. *)
+
+val run_program : Program.t -> Sgraph.t * Value.t
+(** Evaluate a resolved program: the extracted graph (possibly empty) and
+    the final value ([Vsignal] for reactive programs). *)

@@ -1,0 +1,305 @@
+exception Runtime_error of string * Ast.loc
+
+exception No_fuel of Ast.expr
+
+let fail loc fmt = Printf.ksprintf (fun msg -> raise (Runtime_error (msg, loc))) fmt
+
+let eval_binop op (a : Ast.expr) (b : Ast.expr) : Ast.expr =
+  let loc = a.Ast.loc in
+  let int_of e =
+    match e.Ast.desc with
+    | Ast.Int n -> n
+    | _ -> fail loc "operator %s expects an int" (Ast.binop_name op)
+  in
+  let float_of e =
+    match e.Ast.desc with
+    | Ast.Float f -> f
+    | _ -> fail loc "operator %s expects a float" (Ast.binop_name op)
+  in
+  let string_of e =
+    match e.Ast.desc with
+    | Ast.String s -> s
+    | _ -> fail loc "operator %s expects a string" (Ast.binop_name op)
+  in
+  let bool_int b = if b then 1 else 0 in
+  let compare_values () =
+    (* Comparison on literals of the same base type (typing guarantees). *)
+    match a.Ast.desc, b.Ast.desc with
+    | Ast.Int x, Ast.Int y -> compare x y
+    | Ast.Float x, Ast.Float y -> Float.compare x y
+    | Ast.String x, Ast.String y -> String.compare x y
+    | Ast.Unit, Ast.Unit -> 0
+    | Ast.Pair _, Ast.Pair _ -> (
+      match Value.of_literal a, Value.of_literal b with
+      | Some va, Some vb -> compare va vb
+      | _ -> fail loc "cannot compare these values")
+    | _ -> fail loc "cannot compare these values"
+  in
+  let mk d = Ast.mk ~loc d in
+  match op with
+  | Ast.Add -> mk (Ast.Int (int_of a + int_of b))
+  | Ast.Sub -> mk (Ast.Int (int_of a - int_of b))
+  | Ast.Mul -> mk (Ast.Int (int_of a * int_of b))
+  | Ast.Div ->
+    let d = int_of b in
+    if d = 0 then fail loc "division by zero" else mk (Ast.Int (int_of a / d))
+  | Ast.Mod ->
+    let d = int_of b in
+    if d = 0 then fail loc "modulo by zero" else mk (Ast.Int (int_of a mod d))
+  | Ast.Fadd -> mk (Ast.Float (float_of a +. float_of b))
+  | Ast.Fsub -> mk (Ast.Float (float_of a -. float_of b))
+  | Ast.Fmul -> mk (Ast.Float (float_of a *. float_of b))
+  | Ast.Fdiv -> mk (Ast.Float (float_of a /. float_of b))
+  | Ast.Cat -> mk (Ast.String (string_of a ^ string_of b))
+  | Ast.And -> mk (Ast.Int (bool_int (int_of a <> 0 && int_of b <> 0)))
+  | Ast.Or -> mk (Ast.Int (bool_int (int_of a <> 0 || int_of b <> 0)))
+  | Ast.Eq -> mk (Ast.Int (bool_int (compare_values () = 0)))
+  | Ast.Ne -> mk (Ast.Int (bool_int (compare_values () <> 0)))
+  | Ast.Lt -> mk (Ast.Int (bool_int (compare_values () < 0)))
+  | Ast.Le -> mk (Ast.Int (bool_int (compare_values () <= 0)))
+  | Ast.Gt -> mk (Ast.Int (bool_int (compare_values () > 0)))
+  | Ast.Ge -> mk (Ast.Int (bool_int (compare_values () >= 0)))
+
+let show_literal (e : Ast.expr) =
+  match Value.of_literal e with
+  | Some v -> Value.show v
+  | None -> (
+    match e.Ast.desc with
+    | Ast.Lam _ -> "<function>"
+    | _ -> "<value>")
+
+let delta_prim name args loc =
+  match Builtins.find_prim name with
+  | None -> fail loc "unknown builtin %s" name
+  | Some p -> (
+    let values =
+      List.map
+        (fun a ->
+          match Value.of_literal a with
+          | Some v -> v
+          | None -> fail loc "builtin %s applied to a non-literal" name)
+        args
+    in
+    match Value.to_literal (Builtins.apply_prim p values) with
+    | Some lit -> { lit with Ast.loc = loc }
+    | None -> fail loc "builtin %s returned a non-literal" name)
+
+(* EXPAND: F[let x = s in u] --> let x = s in F[u], for a signal-bound let.
+   [rebuild] plugs the freed body back into the context; [context_exprs] are
+   the other pieces of F, used for the x ∉ fv(F) side condition. *)
+let expand_signal_let (e : Ast.expr) ~(rebuild : Ast.expr -> Ast.desc)
+    ~(context_exprs : Ast.expr list) : Ast.expr option =
+  match e.Ast.desc with
+  | Ast.Let (x, rhs, body) when Ast.is_signal_term rhs ->
+    let x, body =
+      if List.exists (Ast.is_free_in x) context_exprs then begin
+        let x' = Ast.fresh_name x in
+        (x', Ast.subst x (Ast.mk (Ast.Var x')) body)
+      end
+      else (x, body)
+    in
+    Some (Ast.mk ~loc:e.Ast.loc (Ast.Let (x, rhs, Ast.mk ~loc:e.Ast.loc (rebuild body))))
+  | _ -> None
+
+let rec step (e : Ast.expr) : Ast.expr option =
+  let loc = e.Ast.loc in
+  let with_desc d = { e with Ast.desc = d } in
+  match e.Ast.desc with
+  | Ast.Unit | Ast.Int _ | Ast.Float _ | Ast.String _ | Ast.Lam _
+  | Ast.Var _ | Ast.Input _ | Ast.None_lit ->
+    None
+  | Ast.App (f, a) -> (
+    match step f with
+    | Some f' -> Some (with_desc (Ast.App (f', a)))
+    | None -> (
+      match f.Ast.desc with
+      | Ast.Lam (x, body) ->
+        (* APPLICATION: (\x. e1) e2 --> let x = e2 in e1 *)
+        Some (with_desc (Ast.Let (x, a, body)))
+      | Ast.Let _ ->
+        expand_signal_let f ~rebuild:(fun u -> Ast.App (u, a)) ~context_exprs:[ a ]
+      | _ -> None))
+  | Ast.Binop (op, a, b) -> (
+    match step a with
+    | Some a' -> Some (with_desc (Ast.Binop (op, a', b)))
+    | None ->
+      if not (Ast.is_value a) then
+        expand_signal_let a
+          ~rebuild:(fun u -> Ast.Binop (op, u, b))
+          ~context_exprs:[ b ]
+      else (
+        match step b with
+        | Some b' -> Some (with_desc (Ast.Binop (op, a, b')))
+        | None ->
+          if not (Ast.is_value b) then
+            expand_signal_let b
+              ~rebuild:(fun u -> Ast.Binop (op, a, u))
+              ~context_exprs:[ a ]
+          else Some (eval_binop op a b)))
+  | Ast.If (c, e2, e3) -> (
+    match step c with
+    | Some c' -> Some (with_desc (Ast.If (c', e2, e3)))
+    | None ->
+      if not (Ast.is_value c) then
+        expand_signal_let c
+          ~rebuild:(fun u -> Ast.If (u, e2, e3))
+          ~context_exprs:[ e2; e3 ]
+      else (
+        match c.Ast.desc with
+        | Ast.Int 0 -> Some e3 (* COND-FALSE *)
+        | Ast.Int _ -> Some e2 (* COND-TRUE *)
+        | _ -> fail loc "if condition must be an int"))
+  | Ast.Let (x, rhs, body) -> (
+    match step rhs with
+    | Some rhs' -> Some (with_desc (Ast.Let (x, rhs', body)))
+    | None ->
+      if Ast.is_value rhs then
+        (* REDUCE: only simple values are substituted. *)
+        Some (Ast.subst x rhs body)
+      else (
+        (* let x = s in E: evaluate the body without substitution. *)
+        match step body with
+        | Some body' -> Some (with_desc (Ast.Let (x, rhs, body')))
+        | None -> None))
+  | Ast.Pair (a, b) -> (
+    match step a with
+    | Some a' -> Some (with_desc (Ast.Pair (a', b)))
+    | None ->
+      if not (Ast.is_value a) then
+        expand_signal_let a ~rebuild:(fun u -> Ast.Pair (u, b)) ~context_exprs:[ b ]
+      else (
+        match step b with
+        | Some b' -> Some (with_desc (Ast.Pair (a, b')))
+        | None ->
+          if not (Ast.is_value b) then
+            expand_signal_let b
+              ~rebuild:(fun u -> Ast.Pair (a, u))
+              ~context_exprs:[ a ]
+          else None))
+  | Ast.Fst a -> step_unary e a ~rebuild:(fun u -> Ast.Fst u) ~reduce:(fun v ->
+      match v.Ast.desc with
+      | Ast.Pair (x, _) -> x
+      | _ -> fail loc "fst of a non-pair")
+  | Ast.Snd a -> step_unary e a ~rebuild:(fun u -> Ast.Snd u) ~reduce:(fun v ->
+      match v.Ast.desc with
+      | Ast.Pair (_, y) -> y
+      | _ -> fail loc "snd of a non-pair")
+  | Ast.Show a ->
+    step_unary e a ~rebuild:(fun u -> Ast.Show u) ~reduce:(fun v ->
+        Ast.mk ~loc (Ast.String (show_literal v)))
+  | Ast.Some_e a -> (
+    (* a constructor: evaluates its argument, then is a value *)
+    match step a with
+    | Some a' -> Some (with_desc (Ast.Some_e a'))
+    | None ->
+      if Ast.is_value a then None
+      else
+        expand_signal_let a ~rebuild:(fun u -> Ast.Some_e u) ~context_exprs:[])
+  | Ast.List_lit elems -> (
+    (* evaluate elements left to right, hoisting signal lets *)
+    let rec scan before = function
+      | [] -> None
+      | el :: rest -> (
+        if Ast.is_value el then scan (el :: before) rest
+        else
+          match step el with
+          | Some el' ->
+            Some (with_desc (Ast.List_lit (List.rev_append before (el' :: rest))))
+          | None ->
+            expand_signal_let el
+              ~rebuild:(fun u -> Ast.List_lit (List.rev_append before (u :: rest)))
+              ~context_exprs:(List.rev_append before rest))
+    in
+    scan [] elems)
+  | Ast.Prim_op (name, args) -> (
+    (* evaluate arguments left to right, hoisting signal lets *)
+    let rec scan before = function
+      | [] -> None
+      | arg :: rest -> (
+        if Ast.is_value arg then scan (arg :: before) rest
+        else
+          match step arg with
+          | Some arg' ->
+            Some
+              (with_desc (Ast.Prim_op (name, List.rev_append before (arg' :: rest))))
+          | None ->
+            expand_signal_let arg
+              ~rebuild:(fun u ->
+                Ast.Prim_op (name, List.rev_append before (u :: rest)))
+              ~context_exprs:(List.rev_append before rest))
+    in
+    match scan [] args with
+    | Some stepped -> Some stepped
+    | None ->
+      if List.for_all Ast.is_value args then Some (delta_prim name args loc)
+      else None)
+  | Ast.Lift (f, deps) -> (
+    match step f with
+    | Some f' -> Some (with_desc (Ast.Lift (f', deps)))
+    | None ->
+      if not (Ast.is_value f) then
+        expand_signal_let f
+          ~rebuild:(fun u -> Ast.Lift (u, deps))
+          ~context_exprs:deps
+      else (
+        (* liftn v s1 ... E ... en: dependencies evaluate to signal terms. *)
+        let rec scan before = function
+          | [] -> None
+          | dep :: rest -> (
+            match step dep with
+            | Some dep' ->
+              Some (with_desc (Ast.Lift (f, List.rev_append before (dep' :: rest))))
+            | None -> scan (dep :: before) rest)
+        in
+        scan [] deps))
+  | Ast.Foldp (f, b, s) -> (
+    match step f with
+    | Some f' -> Some (with_desc (Ast.Foldp (f', b, s)))
+    | None ->
+      if not (Ast.is_value f) then
+        expand_signal_let f
+          ~rebuild:(fun u -> Ast.Foldp (u, b, s))
+          ~context_exprs:[ b; s ]
+      else (
+        match step b with
+        | Some b' -> Some (with_desc (Ast.Foldp (f, b', s)))
+        | None ->
+          if not (Ast.is_value b) then
+            expand_signal_let b
+              ~rebuild:(fun u -> Ast.Foldp (f, u, s))
+              ~context_exprs:[ f; s ]
+          else (
+            match step s with
+            | Some s' -> Some (with_desc (Ast.Foldp (f, b, s')))
+            | None -> None)))
+  | Ast.Async s -> (
+    match step s with
+    | Some s' -> Some (with_desc (Ast.Async s'))
+    | None -> None)
+
+and step_unary e a ~rebuild ~reduce =
+  match step a with
+  | Some a' -> Some { e with Ast.desc = rebuild a' }
+  | None ->
+    if Ast.is_value a then Some (reduce a)
+    else expand_signal_let a ~rebuild:(fun u -> rebuild u) ~context_exprs:[]
+
+let normalize ?(fuel = 1_000_000) e =
+  let rec go n e =
+    if n <= 0 then raise (No_fuel e)
+    else
+      match step e with
+      | Some e' -> go (n - 1) e'
+      | None -> e
+  in
+  go fuel e
+
+let steps_to_normal ?(fuel = 1_000_000) e =
+  let rec go n e =
+    if n >= fuel then raise (No_fuel e)
+    else
+      match step e with
+      | Some e' -> go (n + 1) e'
+      | None -> n
+  in
+  go 0 e

@@ -1,0 +1,35 @@
+(** Stage one: functional evaluation (paper Fig. 6).
+
+    A small-step reduction relation over closed, resolved expressions,
+    implementing the paper's rules — CONTEXT (left-to-right call-by-value
+    through the E contexts), OP, COND-TRUE/FALSE, APPLICATION (binding the
+    argument with a [let]), REDUCE (beta for [let]-bound {e simple values}
+    only, so signal expressions are never duplicated), and EXPAND (floating
+    a signal-bound [let] out of any F context that needs a simple value,
+    alpha-renaming to avoid capture). The F contexts are the paper's plus
+    the positions of the documented extensions (pair components,
+    [fst]/[snd]/[show], builtin arguments).
+
+    By Theorem 1 every well-typed program normalizes to a final term
+    [u ::= v | s] of the Fig. 5 intermediate language. *)
+
+exception Runtime_error of string * Ast.loc
+(** An ill-typed redex (unreachable from type-checked programs). *)
+
+exception No_fuel of Ast.expr
+(** [normalize] exceeded its step budget (diverging input — only possible
+    for ill-typed programs). *)
+
+val step : Ast.expr -> Ast.expr option
+(** One reduction step; [None] when the expression is a final term (or is
+    stuck, which type checking precludes). *)
+
+val normalize : ?fuel:int -> Ast.expr -> Ast.expr
+(** Iterate {!step} to a final term. Default fuel: 1_000_000 steps. *)
+
+val steps_to_normal : ?fuel:int -> Ast.expr -> int
+(** Number of steps to normalize (for tests and benches). *)
+
+val eval_binop : Ast.binop -> Ast.expr -> Ast.expr -> Ast.expr
+(** The OP rule's delta on literal operands (exposed for tests).
+    @raise Runtime_error on non-literals. *)

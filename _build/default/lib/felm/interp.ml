@@ -1,0 +1,93 @@
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+
+type outcome = {
+  displays : (float * Value.t) list;
+  final : Value.t;
+  stats : Elm_core.Stats.t option;
+  skipped_events : int;
+}
+
+(* Instantiate the extracted graph as engine signals. Nodes are created in
+   order, so dependencies are already in the table. *)
+let build_signals (program : Program.t) g =
+  let table : (int, Value.t Signal.t) Hashtbl.t = Hashtbl.create 16 in
+  let signal_of id = Hashtbl.find table id in
+  let default_of name =
+    match Program.find_input program name with
+    | Some decl -> decl.Program.default
+    | None -> Value.Vunit
+  in
+  List.iter
+    (fun (id, node) ->
+      let s =
+        match node with
+        | Sgraph.Ninput name -> Signal.input ~name (default_of name)
+        | Sgraph.Nlift (vf, dep_ids) ->
+          Signal.lift_list ~name:"lift"
+            (fun vs -> Denote.apply vf vs)
+            (List.map signal_of dep_ids)
+        | Sgraph.Nfoldp (vf, vb, dep) ->
+          Signal.foldp ~name:"foldp"
+            (fun v acc -> Denote.apply vf [ v; acc ])
+            vb (signal_of dep)
+        | Sgraph.Nasync dep -> Signal.async (signal_of dep)
+      in
+      Hashtbl.add table id s)
+    (Sgraph.nodes g);
+  table
+
+let run_graph ?(mode = Runtime.Pipelined) ?(memoize = true) program g root
+    ~trace =
+  Sgraph.freeze g;
+  match root with
+  | Value.Vsignal root_id ->
+    let displays = ref [] in
+    let skipped = ref 0 in
+    let stats = ref None in
+    let final = ref (Value.Vunit) in
+    Cml.run (fun () ->
+        Builtins.work_enabled := false;
+        let table = build_signals program g in
+        Builtins.work_enabled := true;
+        let root_signal = Hashtbl.find table root_id in
+        let rt = Runtime.start ~mode ~memoize root_signal in
+        stats := Some (Runtime.stats rt);
+        final := Runtime.current rt;
+        let input_signals =
+          List.map (fun (name, id) -> (name, Hashtbl.find table id)) (Sgraph.inputs g)
+        in
+        List.iter
+          (fun (ev : Trace.event) ->
+            match List.assoc_opt ev.Trace.input input_signals with
+            | None -> incr skipped
+            | Some s ->
+              Cml.spawn (fun () ->
+                  let delay = ev.Trace.at -. Cml.now () in
+                  if delay > 0.0 then Cml.sleep delay;
+                  Runtime.inject rt s ev.Trace.value))
+          trace;
+        (* Collect results once the session is quiescent: record via the
+           change listener, then read the runtime after Cml.run returns. *)
+        Runtime.on_change rt (fun t v -> displays := (t, v) :: !displays;
+                               final := v));
+    {
+      displays = List.rev !displays;
+      final = !final;
+      stats = !stats;
+      skipped_events = !skipped;
+    }
+  | v ->
+    (* A non-reactive program: stage one already computed the answer. *)
+    { displays = []; final = v; stats = None; skipped_events = List.length trace }
+
+let run ?mode ?memoize program ~trace =
+  let g, root = Denote.run_program program in
+  run_graph ?mode ?memoize program g root ~trace
+
+let run_source ?mode src ~trace =
+  let program = Program.of_source src in
+  ignore (Typecheck.check_program program);
+  let events = Trace.parse trace in
+  Trace.validate program events;
+  run ?mode program ~trace:events

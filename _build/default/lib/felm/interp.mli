@@ -1,0 +1,40 @@
+(** Stage two: running extracted signal graphs on the concurrent runtime.
+
+    This is the executable form of the paper's Fig. 10 translation: each
+    {!Sgraph} node becomes an {!Elm_core.Signal} node (one thread, one
+    output channel), the program's inputs become injectable sources, and a
+    {!Trace} plays the external environment on the virtual clock. *)
+
+type outcome = {
+  displays : (float * Value.t) list;
+      (** Every change shown by the display loop, with virtual times. *)
+  final : Value.t;  (** Last displayed value (or the pure result). *)
+  stats : Elm_core.Stats.t option;  (** [None] for non-reactive programs. *)
+  skipped_events : int;
+      (** Trace events naming inputs the program never uses. *)
+}
+
+val run :
+  ?mode:Elm_core.Runtime.mode ->
+  ?memoize:bool ->
+  Program.t ->
+  trace:Trace.event list ->
+  outcome
+(** Type-check is the caller's responsibility; ill-typed programs may raise
+    {!Denote.Error}. For a program whose [main] is a simple value, the
+    trace is ignored and [displays] is empty. *)
+
+val run_graph :
+  ?mode:Elm_core.Runtime.mode ->
+  ?memoize:bool ->
+  Program.t ->
+  Sgraph.t ->
+  Value.t ->
+  trace:Trace.event list ->
+  outcome
+(** Run an already-extracted graph (e.g. one produced by the small-step
+    path, {!Eval.normalize} + {!Denote.graph_of_final}). Freezes the
+    graph. *)
+
+val run_source : ?mode:Elm_core.Runtime.mode -> string -> trace:string -> outcome
+(** Convenience: parse, resolve, type-check and run from source text. *)

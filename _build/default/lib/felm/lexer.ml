@@ -1,0 +1,243 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | DOTTED of string
+  | KW of string
+  | LIFT of int
+  | OP of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | EOF
+
+type spanned = {
+  tok : token;
+  tok_loc : Ast.loc;
+}
+
+exception Lex_error of string * Ast.loc
+
+let keywords =
+  [ "let"; "in"; "if"; "then"; "else"; "input"; "foldp"; "async"; "fst";
+    "snd"; "show"; "signal"; "none"; "some" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = (c >= 'a' && c <= 'z') || c = '_'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_ident_char c = is_lower c || is_upper c || is_digit c || c = '\''
+
+let classify_word w =
+  if List.mem w keywords then KW w
+  else if w = "lift" then LIFT 1
+  else if String.length w = 5 && String.sub w 0 4 = "lift" && is_digit w.[4] then begin
+    let n = Char.code w.[4] - Char.code '0' in
+    if n >= 1 && n <= 8 then LIFT n else IDENT w
+  end
+  else IDENT w
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> Printf.sprintf "%g" f
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s | DOTTED s | KW s | OP s -> s
+  | LIFT 1 -> "lift"
+  | LIFT n -> Printf.sprintf "lift%d" n
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | EOF -> "<eof>"
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** Offset of the beginning of the current line. *)
+}
+
+let loc st = { Ast.line = st.line; col = st.pos - st.bol + 1 }
+
+let peek st k =
+  let i = st.pos + k in
+  if i < String.length st.src then Some st.src.[i] else None
+
+let advance st =
+  (match peek st 0 with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.pos + 1
+  | Some _ | None -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_block_comment st depth start_loc =
+  if depth = 0 then ()
+  else
+    match peek st 0, peek st 1 with
+    | None, _ -> raise (Lex_error ("unterminated comment", start_loc))
+    | Some '{', Some '-' ->
+      advance st;
+      advance st;
+      skip_block_comment st (depth + 1) start_loc
+    | Some '-', Some '}' ->
+      advance st;
+      advance st;
+      skip_block_comment st (depth - 1) start_loc
+    | Some _, _ ->
+      advance st;
+      skip_block_comment st depth start_loc
+
+let read_string st =
+  let start = loc st in
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st 0 with
+    | None -> raise (Lex_error ("unterminated string", start))
+    | Some '"' ->
+      advance st;
+      Buffer.contents buf
+    | Some '\\' -> (
+      advance st;
+      match peek st 0 with
+      | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
+      | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
+      | Some '\\' -> advance st; Buffer.add_char buf '\\'; go ()
+      | Some '"' -> advance st; Buffer.add_char buf '"'; go ()
+      | Some c -> raise (Lex_error (Printf.sprintf "bad escape '\\%c'" c, loc st))
+      | None -> raise (Lex_error ("unterminated string", start)))
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let read_while st pred =
+  let start = st.pos in
+  while (match peek st 0 with Some c -> pred c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let read_number st =
+  let at = loc st in
+  let int_part = read_while st is_digit in
+  match peek st 0, peek st 1 with
+  | Some '.', Some c when is_digit c ->
+    advance st;
+    let frac = read_while st is_digit in
+    FLOAT (float_of_string (int_part ^ "." ^ frac))
+  | _ -> (
+    match int_of_string_opt int_part with
+    | Some n -> INT n
+    | None -> raise (Lex_error ("bad number " ^ int_part, at)))
+
+(* A word starting lowercase is an identifier/keyword; starting uppercase it
+   must be a dotted input name like Mouse.x (module-qualified identifiers
+   are only used for input signals in FElm). *)
+let read_word st =
+  let at = loc st in
+  let first = read_while st is_ident_char in
+  if is_upper first.[0] then
+    match peek st 0 with
+    | Some '.' ->
+      advance st;
+      let rest = read_while st is_ident_char in
+      if rest = "" then raise (Lex_error ("expected name after '.'", loc st))
+      else DOTTED (first ^ "." ^ rest)
+    | _ -> raise (Lex_error ("expected '.' after module name " ^ first, at))
+  else classify_word first
+
+let operator_start = "+-*/%<>=&|^\\:;"
+
+let read_operator st =
+  let at = loc st in
+  let two a b = peek st 0 = Some a && peek st 1 = Some b in
+  let take2 s = advance st; advance st; OP s in
+  let take1 s = advance st; OP s in
+  if two '-' '>' then take2 "->"
+  else if two '-' '-' then assert false (* comments handled by caller *)
+  else if two '=' '=' then take2 "=="
+  else if two '/' '=' then take2 "/="
+  else if two '<' '=' then take2 "<="
+  else if two '>' '=' then take2 ">="
+  else if two '&' '&' then take2 "&&"
+  else if two '|' '|' then take2 "||"
+  else if two '+' '.' then take2 "+."
+  else if two '-' '.' then take2 "-."
+  else if two '*' '.' then take2 "*."
+  else if two '/' '.' then take2 "/."
+  else
+    match peek st 0 with
+    | Some (('+' | '-' | '*' | '/' | '%' | '<' | '>' | '=' | '^' | '\\' | ':' | ';') as c) ->
+      take1 (String.make 1 c)
+    | Some c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, at))
+    | None -> raise (Lex_error ("unexpected end of input", at))
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let toks = ref [] in
+  let emit tok tok_loc = toks := { tok; tok_loc } :: !toks in
+  let rec go () =
+    match peek st 0 with
+    | None -> emit EOF (loc st)
+    | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      go ()
+    | Some '-' when peek st 1 = Some '-' ->
+      while peek st 0 <> None && peek st 0 <> Some '\n' do
+        advance st
+      done;
+      go ()
+    | Some '{' when peek st 1 = Some '-' ->
+      let at = loc st in
+      advance st;
+      advance st;
+      skip_block_comment st 1 at;
+      go ()
+    | Some '"' ->
+      let at = loc st in
+      emit (STRING (read_string st)) at;
+      go ()
+    | Some '(' ->
+      emit LPAREN (loc st);
+      advance st;
+      go ()
+    | Some ')' ->
+      emit RPAREN (loc st);
+      advance st;
+      go ()
+    | Some '[' ->
+      emit LBRACKET (loc st);
+      advance st;
+      go ()
+    | Some ']' ->
+      emit RBRACKET (loc st);
+      advance st;
+      go ()
+    | Some ',' ->
+      emit COMMA (loc st);
+      advance st;
+      go ()
+    | Some c when is_digit c ->
+      let at = loc st in
+      emit (read_number st) at;
+      go ()
+    | Some c when is_lower c || is_upper c ->
+      let at = loc st in
+      emit (read_word st) at;
+      go ()
+    | Some c when String.contains operator_start c ->
+      let at = loc st in
+      emit (read_operator st) at;
+      go ()
+    | Some c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, loc st))
+  in
+  go ();
+  Array.of_list (List.rev !toks)

@@ -1,0 +1,35 @@
+(** Hand-written lexer for FElm source (Fig. 3 syntax plus the full
+    language's sugar: Elm-style comments, floats, strings, dotted input
+    identifiers). *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string  (** Lowercase identifier. *)
+  | DOTTED of string  (** Qualified input name, e.g. [Mouse.x]. *)
+  | KW of string
+      (** Keywords: [let in if then else input foldp async fst snd show
+          signal]. *)
+  | LIFT of int  (** [lift] (= [lift1]), [lift2] ... [lift8]. *)
+  | OP of string  (** Operators, [->], [\ ], [=], [:], [;]. *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | EOF
+
+type spanned = {
+  tok : token;
+  tok_loc : Ast.loc;
+}
+
+exception Lex_error of string * Ast.loc
+
+val tokenize : string -> spanned array
+(** The token stream, ending with a single [EOF].
+    @raise Lex_error on malformed input (unterminated string or comment,
+    stray character). *)
+
+val token_to_string : token -> string

@@ -1,0 +1,457 @@
+open Lexer
+
+type decl =
+  | Dinput of {
+      name : string;
+      ty : Ty.t;
+      default : Ast.expr;
+      dloc : Ast.loc;
+    }
+  | Ddef of {
+      name : string;
+      body : Ast.expr;
+      dloc : Ast.loc;
+    }
+
+exception Parse_error of string * Ast.loc
+
+type state = {
+  toks : spanned array;
+  mutable pos : int;
+}
+
+let peek st = st.toks.(st.pos).tok
+
+let peek_at st k =
+  let i = st.pos + k in
+  if i < Array.length st.toks then st.toks.(i).tok else EOF
+
+let here st = st.toks.(st.pos).tok_loc
+
+let error st msg = raise (Parse_error (msg, here st))
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found '%s'" what
+         (token_to_string (peek st)))
+
+let expect_ident st what =
+  match peek st with
+  | IDENT x ->
+    advance st;
+    x
+  | t -> error st (Printf.sprintf "expected %s but found '%s'" what (token_to_string t))
+
+(* Does the token stream begin a new top-level declaration here? Layout
+   rule: declarations start at column 1 ([input], or a definition head like
+   [f x y =]); continuation lines of an expression must be indented. This
+   disambiguates [f x] followed by [main = ...] without separators. *)
+let at_decl_boundary st =
+  st.toks.(st.pos).tok_loc.Ast.col = 1
+  &&
+  match peek st with
+  | KW "input" -> true
+  | IDENT _ ->
+    let rec scan k =
+      match peek_at st k with
+      | IDENT _ -> scan (k + 1)
+      | OP "=" -> true
+      | _ -> false
+    in
+    scan 1
+  | _ -> false
+
+let atom_starts = function
+  | INT _ | FLOAT _ | STRING _ | IDENT _ | DOTTED _ | LPAREN | LBRACKET
+  | KW "none" ->
+    true
+  | KW _ | LIFT _ | OP _ | RPAREN | RBRACKET | COMMA | EOF -> false
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+let rec parse_ty st =
+  let lhs = parse_ty_atom st in
+  match peek st with
+  | OP "->" ->
+    advance st;
+    Ty.Tfun (lhs, parse_ty st)
+  | _ -> lhs
+
+and parse_ty_atom st =
+  match peek st with
+  | IDENT "list" ->
+    advance st;
+    Ty.Tlist (parse_ty_atom st)
+  | IDENT "option" ->
+    advance st;
+    Ty.Toption (parse_ty_atom st)
+  | IDENT "unit" -> advance st; Ty.Tunit
+  | IDENT "int" -> advance st; Ty.Tint
+  | IDENT "float" -> advance st; Ty.Tfloat
+  | IDENT "string" -> advance st; Ty.Tstring
+  | KW "signal" ->
+    advance st;
+    Ty.Tsignal (parse_ty_atom st)
+  | LPAREN -> (
+    advance st;
+    let first = parse_ty st in
+    match peek st with
+    | COMMA ->
+      advance st;
+      let second = parse_ty st in
+      expect st RPAREN "')'";
+      Ty.Tpair (first, second)
+    | RPAREN ->
+      advance st;
+      first
+    | t -> error st (Printf.sprintf "expected ',' or ')' in type, found '%s'" (token_to_string t)))
+  | t -> error st (Printf.sprintf "expected a type, found '%s'" (token_to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let mk st desc = Ast.mk ~loc:(here st) desc
+
+let rec parse_expr st =
+  match peek st with
+  | OP "\\" -> parse_lambda st
+  | KW "let" -> parse_let st
+  | KW "if" -> parse_if st
+  | _ -> parse_or st
+
+and parse_lambda st =
+  let loc = here st in
+  expect st (OP "\\") "'\\'";
+  let rec params acc =
+    match peek st with
+    | IDENT x ->
+      advance st;
+      params (x :: acc)
+    | OP "->" ->
+      advance st;
+      List.rev acc
+    | t -> error st (Printf.sprintf "expected parameter or '->', found '%s'" (token_to_string t))
+  in
+  let ps = params [] in
+  if ps = [] then raise (Parse_error ("lambda needs at least one parameter", loc));
+  let body = parse_expr st in
+  List.fold_right (fun x acc -> Ast.mk ~loc (Ast.Lam (x, acc))) ps body
+
+and parse_let st =
+  let loc = here st in
+  expect st (KW "let") "'let'";
+  let name = expect_ident st "a variable name" in
+  (* sugar: let f x y = e in ... *)
+  let rec params acc =
+    match peek st with
+    | IDENT x ->
+      advance st;
+      params (x :: acc)
+    | _ -> List.rev acc
+  in
+  let ps = params [] in
+  expect st (OP "=") "'='";
+  let rhs = parse_expr st in
+  let rhs = List.fold_right (fun x acc -> Ast.mk ~loc (Ast.Lam (x, acc))) ps rhs in
+  expect st (KW "in") "'in'";
+  let body = parse_expr st in
+  Ast.mk ~loc (Ast.Let (name, rhs, body))
+
+and parse_if st =
+  let loc = here st in
+  expect st (KW "if") "'if'";
+  let cond = parse_expr st in
+  expect st (KW "then") "'then'";
+  let e2 = parse_expr st in
+  expect st (KW "else") "'else'";
+  let e3 = parse_expr st in
+  Ast.mk ~loc (Ast.If (cond, e2, e3))
+
+and parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | OP "||" ->
+    let loc = here st in
+    advance st;
+    Ast.mk ~loc (Ast.Binop (Ast.Or, lhs, parse_or st))
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  match peek st with
+  | OP "&&" ->
+    let loc = here st in
+    advance st;
+    Ast.mk ~loc (Ast.Binop (Ast.And, lhs, parse_and st))
+  | _ -> lhs
+
+and parse_cmp st =
+  let lhs = parse_cat st in
+  let op =
+    match peek st with
+    | OP "==" -> Some Ast.Eq
+    | OP "/=" -> Some Ast.Ne
+    | OP "<" -> Some Ast.Lt
+    | OP "<=" -> Some Ast.Le
+    | OP ">" -> Some Ast.Gt
+    | OP ">=" -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+    let loc = here st in
+    advance st;
+    Ast.mk ~loc (Ast.Binop (op, lhs, parse_cat st))
+  | None -> lhs
+
+and parse_cat st =
+  let lhs = parse_add st in
+  match peek st with
+  | OP "^" ->
+    let loc = here st in
+    advance st;
+    Ast.mk ~loc (Ast.Binop (Ast.Cat, lhs, parse_cat st))
+  | _ -> lhs
+
+and parse_add st =
+  let rec go lhs =
+    let op =
+      match peek st with
+      | OP "+" -> Some Ast.Add
+      | OP "-" -> Some Ast.Sub
+      | OP "+." -> Some Ast.Fadd
+      | OP "-." -> Some Ast.Fsub
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let loc = here st in
+      advance st;
+      go (Ast.mk ~loc (Ast.Binop (op, lhs, parse_mul st)))
+    | None -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    let op =
+      match peek st with
+      | OP "*" -> Some Ast.Mul
+      | OP "/" -> Some Ast.Div
+      | OP "%" -> Some Ast.Mod
+      | OP "*." -> Some Ast.Fmul
+      | OP "/." -> Some Ast.Fdiv
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let loc = here st in
+      advance st;
+      go (Ast.mk ~loc (Ast.Binop (op, lhs, parse_app st)))
+    | None -> lhs
+  in
+  go (parse_app st)
+
+and parse_app st =
+  match peek st with
+  | LIFT n ->
+    let loc = here st in
+    advance st;
+    let f = parse_atom st in
+    let deps = List.init n (fun _ -> parse_atom st) in
+    Ast.mk ~loc (Ast.Lift (f, deps))
+  | KW "foldp" ->
+    let loc = here st in
+    advance st;
+    let f = parse_atom st in
+    let b = parse_atom st in
+    let s = parse_atom st in
+    Ast.mk ~loc (Ast.Foldp (f, b, s))
+  | KW "async" ->
+    let loc = here st in
+    advance st;
+    Ast.mk ~loc (Ast.Async (parse_atom st))
+  | KW "some" ->
+    let loc = here st in
+    advance st;
+    Ast.mk ~loc (Ast.Some_e (parse_atom st))
+  | KW "fst" ->
+    let loc = here st in
+    advance st;
+    Ast.mk ~loc (Ast.Fst (parse_atom st))
+  | KW "snd" ->
+    let loc = here st in
+    advance st;
+    Ast.mk ~loc (Ast.Snd (parse_atom st))
+  | KW "show" ->
+    let loc = here st in
+    advance st;
+    Ast.mk ~loc (Ast.Show (parse_atom st))
+  | _ ->
+    let rec apply head =
+      if atom_starts (peek st) && not (at_decl_boundary st) then begin
+        let loc = here st in
+        let arg = parse_atom st in
+        apply (Ast.mk ~loc (Ast.App (head, arg)))
+      end
+      else head
+    in
+    apply (parse_atom st)
+
+and parse_atom st =
+  match peek st with
+  | KW "none" ->
+    let e = mk st Ast.None_lit in
+    advance st;
+    e
+  | INT n ->
+    let e = mk st (Ast.Int n) in
+    advance st;
+    e
+  | FLOAT f ->
+    let e = mk st (Ast.Float f) in
+    advance st;
+    e
+  | STRING s ->
+    let e = mk st (Ast.String s) in
+    advance st;
+    e
+  | IDENT x ->
+    let e = mk st (Ast.Var x) in
+    advance st;
+    e
+  | DOTTED x ->
+    let e = mk st (Ast.Var x) in
+    advance st;
+    e
+  | OP "-" -> (
+    (* negative literal *)
+    let loc = here st in
+    advance st;
+    match peek st with
+    | INT n ->
+      advance st;
+      Ast.mk ~loc (Ast.Int (-n))
+    | FLOAT f ->
+      advance st;
+      Ast.mk ~loc (Ast.Float (-.f))
+    | t ->
+      error st
+        (Printf.sprintf "expected a number after unary '-', found '%s'"
+           (token_to_string t)))
+  | LBRACKET -> (
+    let loc = here st in
+    advance st;
+    match peek st with
+    | RBRACKET ->
+      advance st;
+      Ast.mk ~loc (Ast.List_lit [])
+    | _ ->
+      let rec elements acc =
+        let e = parse_expr st in
+        match peek st with
+        | COMMA ->
+          advance st;
+          elements (e :: acc)
+        | RBRACKET ->
+          advance st;
+          List.rev (e :: acc)
+        | t ->
+          error st
+            (Printf.sprintf "expected ',' or ']', found '%s'" (token_to_string t))
+      in
+      Ast.mk ~loc (Ast.List_lit (elements [])))
+  | LPAREN -> (
+    advance st;
+    match peek st with
+    | RPAREN ->
+      let e = mk st Ast.Unit in
+      advance st;
+      e
+    | _ -> (
+      let first = parse_expr st in
+      match peek st with
+      | COMMA ->
+        let loc = here st in
+        advance st;
+        let second = parse_expr st in
+        expect st RPAREN "')'";
+        Ast.mk ~loc (Ast.Pair (first, second))
+      | RPAREN ->
+        advance st;
+        first
+      | t ->
+        error st
+          (Printf.sprintf "expected ',' or ')', found '%s'" (token_to_string t))))
+  | t -> error st (Printf.sprintf "expected an expression, found '%s'" (token_to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Declarations *)
+
+let parse_decl st =
+  let dloc = here st in
+  match peek st with
+  | KW "input" ->
+    advance st;
+    let name =
+      match peek st with
+      | IDENT x | DOTTED x ->
+        advance st;
+        x
+      | t -> error st (Printf.sprintf "expected input name, found '%s'" (token_to_string t))
+    in
+    expect st (OP ":") "':'";
+    let ty = parse_ty st in
+    expect st (OP "=") "'='";
+    let default = parse_expr st in
+    Dinput { name; ty; default; dloc }
+  | IDENT _ ->
+    let name = expect_ident st "a definition name" in
+    let rec params acc =
+      match peek st with
+      | IDENT x ->
+        advance st;
+        params (x :: acc)
+      | _ -> List.rev acc
+    in
+    let ps = params [] in
+    expect st (OP "=") "'='";
+    let body = parse_expr st in
+    let body =
+      List.fold_right (fun x acc -> Ast.mk ~loc:dloc (Ast.Lam (x, acc))) ps body
+    in
+    Ddef { name; body; dloc }
+  | t -> error st (Printf.sprintf "expected a declaration, found '%s'" (token_to_string t))
+
+let parse_program src =
+  let st = { toks = Lexer.tokenize src; pos = 0 } in
+  let rec go acc =
+    match peek st with
+    | EOF -> List.rev acc
+    | OP ";" ->
+      advance st;
+      go acc
+    | _ -> go (parse_decl st :: acc)
+  in
+  go []
+
+let parse_expression src =
+  let st = { toks = Lexer.tokenize src; pos = 0 } in
+  let e = parse_expr st in
+  (match peek st with
+  | EOF -> ()
+  | t -> error st (Printf.sprintf "unexpected trailing '%s'" (token_to_string t)));
+  e
+
+let parse_type src =
+  let st = { toks = Lexer.tokenize src; pos = 0 } in
+  let t = parse_ty st in
+  (match peek st with
+  | EOF -> ()
+  | tok -> error st (Printf.sprintf "unexpected trailing '%s'" (token_to_string tok)));
+  t

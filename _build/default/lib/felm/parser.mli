@@ -1,0 +1,38 @@
+(** Recursive-descent parser for FElm programs.
+
+    A program is a sequence of declarations:
+
+    {v
+      input words : signal string = "";     -- input signal with default
+      double x = x + x                       -- function definition
+      main = lift double Mouse.x             -- the displayed signal
+    v}
+
+    Declarations may be separated by [;] or simply by juxtaposition (the
+    parser recognizes a following [name args... =] as a new declaration).
+    Expressions follow Fig. 3: lambdas [\x -> e], [let .. in ..],
+    [if .. then .. else ..], [liftn f s1 .. sn], [foldp f b s], [async s],
+    binary operators, plus pairs, [fst]/[snd]/[show] and literals. *)
+
+type decl =
+  | Dinput of {
+      name : string;
+      ty : Ty.t;
+      default : Ast.expr;
+      dloc : Ast.loc;
+    }
+  | Ddef of {
+      name : string;
+      body : Ast.expr;
+      dloc : Ast.loc;
+    }
+
+exception Parse_error of string * Ast.loc
+
+val parse_program : string -> decl list
+(** @raise Parse_error / {!Lexer.Lex_error} on malformed input. *)
+
+val parse_expression : string -> Ast.expr
+(** Parse a single expression (used for traces and tests). *)
+
+val parse_type : string -> Ty.t

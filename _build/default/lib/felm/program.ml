@@ -1,0 +1,154 @@
+type input_decl = {
+  name : string;
+  value_ty : Ty.t;
+  default : Value.t;
+}
+
+type t = {
+  inputs : input_decl list;
+  main : Ast.expr;
+}
+
+exception Error of string * Ast.loc
+
+let rec value_matches v (ty : Ty.t) =
+  match v, Ty.repr ty with
+  | Value.Vunit, Ty.Tunit -> true
+  | Value.Vint _, Ty.Tint -> true
+  | Value.Vfloat _, Ty.Tfloat -> true
+  | Value.Vstring _, Ty.Tstring -> true
+  | Value.Vpair (a, b), Ty.Tpair (ta, tb) ->
+    value_matches a ta && value_matches b tb
+  | Value.Vlist elems, Ty.Tlist telem ->
+    List.for_all (fun v -> value_matches v telem) elems
+  | Value.Voption None, Ty.Toption _ -> true
+  | Value.Voption (Some v), Ty.Toption telem -> value_matches v telem
+  | ( ( Value.Vunit | Value.Vint _ | Value.Vfloat _ | Value.Vstring _
+      | Value.Vpair _ | Value.Vlist _ | Value.Voption _ | Value.Vclosure _
+      | Value.Vsignal _ ),
+      _ ) ->
+    false
+
+(* Resolve free identifiers: input names (dotted or declared) become Input
+   leaves, builtins become eta-expanded lambdas, anything else unbound is an
+   error. Bound variables shadow everything. *)
+let resolve inputs expr =
+  let is_input name = List.exists (fun i -> i.name = name) inputs in
+  let rec go bound (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.Unit | Ast.Int _ | Ast.Float _ | Ast.String _ | Ast.Input _
+    | Ast.None_lit ->
+      e
+    | Ast.Var x ->
+      if List.mem x bound then e
+      else if is_input x then { e with Ast.desc = Ast.Input x }
+      else (
+        match Builtins.find_prim x with
+        | Some p -> { e with Ast.desc = (Builtins.eta_expand p).Ast.desc }
+        | None ->
+          if String.contains x '.' then
+            raise (Error ("unknown input signal " ^ x, e.Ast.loc))
+          else raise (Error ("unbound variable " ^ x, e.Ast.loc)))
+    | Ast.Lam (x, body) -> { e with Ast.desc = Ast.Lam (x, go (x :: bound) body) }
+    | Ast.App (a, b) -> { e with Ast.desc = Ast.App (go bound a, go bound b) }
+    | Ast.Binop (op, a, b) ->
+      { e with Ast.desc = Ast.Binop (op, go bound a, go bound b) }
+    | Ast.If (a, b, c) ->
+      { e with Ast.desc = Ast.If (go bound a, go bound b, go bound c) }
+    | Ast.Let (x, rhs, body) ->
+      { e with Ast.desc = Ast.Let (x, go bound rhs, go (x :: bound) body) }
+    | Ast.Pair (a, b) -> { e with Ast.desc = Ast.Pair (go bound a, go bound b) }
+    | Ast.List_lit elems ->
+      { e with Ast.desc = Ast.List_lit (List.map (go bound) elems) }
+    | Ast.Some_e a -> { e with Ast.desc = Ast.Some_e (go bound a) }
+    | Ast.Fst a -> { e with Ast.desc = Ast.Fst (go bound a) }
+    | Ast.Snd a -> { e with Ast.desc = Ast.Snd (go bound a) }
+    | Ast.Show a -> { e with Ast.desc = Ast.Show (go bound a) }
+    | Ast.Prim_op (name, args) ->
+      { e with Ast.desc = Ast.Prim_op (name, List.map (go bound) args) }
+    | Ast.Lift (f, deps) ->
+      { e with Ast.desc = Ast.Lift (go bound f, List.map (go bound) deps) }
+    | Ast.Foldp (a, b, c) ->
+      { e with Ast.desc = Ast.Foldp (go bound a, go bound b, go bound c) }
+    | Ast.Async a -> { e with Ast.desc = Ast.Async (go bound a) }
+  in
+  go [] expr
+
+let standard_input_decls =
+  List.map
+    (fun (i : Builtins.input) ->
+      let value_ty =
+        match i.Builtins.input_ty with
+        | Ty.Tsignal t -> t
+        | t -> t
+      in
+      { name = i.Builtins.input_name; value_ty; default = i.Builtins.default })
+    Builtins.standard_inputs
+
+let of_decls decls =
+  let declared =
+    List.filter_map
+      (fun d ->
+        match d with
+        | Parser.Dinput { name; ty; default; dloc } ->
+          let value_ty =
+            match Ty.repr ty with
+            | Ty.Tsignal inner ->
+              if Ty.is_simple inner then inner
+              else raise (Error ("input " ^ name ^ " must carry a simple type", dloc))
+            | _ -> raise (Error ("input " ^ name ^ " must have a signal type", dloc))
+          in
+          let default =
+            match Value.of_literal default with
+            | Some v -> v
+            | None ->
+              raise (Error ("input default must be a literal value", dloc))
+          in
+          if not (value_matches default value_ty) then
+            raise
+              (Error
+                 ( Printf.sprintf "default for input %s does not match type %s"
+                     name (Ty.to_string value_ty),
+                   dloc ));
+          Some { name; value_ty; default }
+        | Parser.Ddef _ -> None)
+      decls
+  in
+  (match
+     List.find_opt
+       (fun i -> List.exists (fun j -> i != j && i.name = j.name) declared)
+       declared
+   with
+  | Some i -> raise (Error ("duplicate input declaration " ^ i.name, Ast.dummy_loc))
+  | None -> ());
+  let inputs =
+    declared
+    @ List.filter
+        (fun std -> not (List.exists (fun d -> d.name = std.name) declared))
+        standard_input_decls
+  in
+  let defs =
+    List.filter_map
+      (fun d ->
+        match d with
+        | Parser.Ddef { name; body; dloc } -> Some (name, body, dloc)
+        | Parser.Dinput _ -> None)
+      decls
+  in
+  if not (List.exists (fun (n, _, _) -> n = "main") defs) then
+    raise (Error ("program has no main declaration", Ast.dummy_loc));
+  let body =
+    List.fold_right
+      (fun (name, body, dloc) acc ->
+        Ast.mk ~loc:dloc (Ast.Let (name, body, acc)))
+      defs
+      (Ast.mk (Ast.Var "main"))
+  in
+  { inputs; main = resolve inputs body }
+
+let of_source src = of_decls (Parser.parse_program src)
+
+let find_input t name = List.find_opt (fun i -> i.name = name) t.inputs
+
+let input_ty t name =
+  Option.map (fun i -> Ty.Tsignal i.value_ty) (find_input t name)

@@ -1,0 +1,38 @@
+(** Whole programs: resolution and elaboration.
+
+    A parsed declaration list becomes a single closed expression — top-level
+    definitions nest into [let]s around [main] (FElm has no recursion, so
+    order of declaration is binding order) — together with the table of
+    input signals the program may reference (standard Fig. 13 inputs plus
+    its own [input] declarations). Resolution turns free identifiers into
+    {!Ast.Input} leaves or eta-expanded builtins. *)
+
+type input_decl = {
+  name : string;
+  value_ty : Ty.t;  (** The carried simple type ι, not [signal ι]. *)
+  default : Value.t;
+}
+
+type t = {
+  inputs : input_decl list;
+  main : Ast.expr;  (** Closed except for {!Ast.Input} leaves. *)
+}
+
+exception Error of string * Ast.loc
+
+val of_source : string -> t
+(** Parse, resolve and elaborate. Requires a [main] declaration.
+    @raise Error on unbound identifiers, missing [main], duplicate or
+    ill-formed [input] declarations.
+    @raise Parser.Parse_error / Lexer.Lex_error on syntax errors. *)
+
+val of_decls : Parser.decl list -> t
+
+val find_input : t -> string -> input_decl option
+
+val input_ty : t -> string -> Ty.t option
+(** The full signal type of an input, for the type checker. *)
+
+val value_matches : Value.t -> Ty.t -> bool
+(** Does a first-order value inhabit a simple type? Used to validate input
+    defaults and trace events. *)

@@ -1,0 +1,80 @@
+type node =
+  | Ninput of string
+  | Nlift of Value.t * int list
+  | Nfoldp of Value.t * Value.t * int
+  | Nasync of int
+
+type t = {
+  mutable next_id : int;
+  mutable rev_nodes : (int * node) list;
+  input_ids : (string, int) Hashtbl.t;
+  mutable frozen : bool;
+}
+
+let create () =
+  { next_id = 0; rev_nodes = []; input_ids = Hashtbl.create 8; frozen = false }
+
+let add g node =
+  if g.frozen then
+    invalid_arg "Sgraph.add: signal created during stage-two evaluation";
+  let id = g.next_id in
+  g.next_id <- id + 1;
+  g.rev_nodes <- (id, node) :: g.rev_nodes;
+  id
+
+let input g name =
+  match Hashtbl.find_opt g.input_ids name with
+  | Some id -> id
+  | None ->
+    let id = add g (Ninput name) in
+    Hashtbl.add g.input_ids name id;
+    id
+
+let freeze g = g.frozen <- true
+
+let nodes g = List.rev g.rev_nodes
+
+let find g id = List.assoc id g.rev_nodes
+
+let inputs g =
+  Hashtbl.fold (fun name id acc -> (name, id) :: acc) g.input_ids []
+  |> List.sort compare
+
+let size g = List.length g.rev_nodes
+
+let deps_of = function
+  | Ninput _ -> []
+  | Nlift (_, ds) -> ds
+  | Nfoldp (_, _, d) -> [ d ]
+  | Nasync d -> [ d ]
+
+let label_of = function
+  | Ninput name -> name
+  | Nlift (f, ds) -> Printf.sprintf "lift%d %s" (List.length ds) (Value.to_string f)
+  | Nfoldp (f, b, _) ->
+    Printf.sprintf "foldp %s %s" (Value.to_string f) (Value.to_string b)
+  | Nasync _ -> "async"
+
+let is_source = function
+  | Ninput _ | Nasync _ -> true
+  | Nlift _ | Nfoldp _ -> false
+
+let to_dot ?(label = "signal graph") g ~root =
+  let buf = Buffer.create 512 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph felm {\n";
+  pr "  label=%S;\n" label;
+  pr "  dispatcher [label=\"Global Event\\nDispatcher\", shape=box, style=dashed];\n";
+  List.iter
+    (fun (id, node) ->
+      let shape = if is_source node then "ellipse" else "box" in
+      let quoted = String.concat "'" (String.split_on_char '"' (label_of node)) in
+      let peripheries = if root = Some id then ", peripheries=2" else "" in
+      pr "  n%d [label=\"%s\", shape=%s%s];\n" id quoted shape peripheries;
+      if is_source node then pr "  dispatcher -> n%d [style=dashed];\n" id;
+      match node with
+      | Nasync dep -> pr "  n%d -> dispatcher [style=dotted, label=\"new event\"];\n" dep
+      | _ -> List.iter (fun dep -> pr "  n%d -> n%d;\n" dep id) (deps_of node))
+    (nodes g);
+  pr "}\n";
+  Buffer.contents buf

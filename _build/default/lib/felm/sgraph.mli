@@ -1,0 +1,40 @@
+(** Extracted signal graphs.
+
+    The result of stage-one evaluation, in the form the paper visualizes
+    (Figs. 7-8): input nodes, lift nodes, foldp nodes and async source
+    nodes, with let-bound sharing preserved (a node referenced twice appears
+    once). Node functions are stage-one values ({!Value.t} closures). *)
+
+type node =
+  | Ninput of string
+  | Nlift of Value.t * int list  (** function, dependency node ids. *)
+  | Nfoldp of Value.t * Value.t * int  (** function, initial accumulator, dep. *)
+  | Nasync of int
+
+type t
+
+val create : unit -> t
+
+val input : t -> string -> int
+(** The node id for an input signal, allocating it on first use (all
+    occurrences of an input identifier denote the same source node). *)
+
+val add : t -> node -> int
+(** Allocate a fresh node.
+    @raise Invalid_argument if the graph is frozen. *)
+
+val freeze : t -> unit
+(** Forbid further allocation. Stage-two computation must not create nodes
+    (the type system guarantees it never tries). *)
+
+val nodes : t -> (int * node) list
+(** In creation order, so dependencies precede dependents. *)
+
+val find : t -> int -> node
+
+val inputs : t -> (string * int) list
+
+val size : t -> int
+
+val to_dot : ?label:string -> t -> root:int option -> string
+(** Graphviz rendering in the paper's Fig. 7/8 style. *)

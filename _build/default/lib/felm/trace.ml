@@ -1,0 +1,62 @@
+type event = {
+  at : float;
+  input : string;
+  value : Value.t;
+}
+
+exception Trace_error of string * int
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Trace_error (msg, line))) fmt
+
+let split_fields line =
+  (* first two whitespace-separated fields, then the rest verbatim *)
+  let n = String.length line in
+  let rec skip_ws i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip_ws (i + 1) else i in
+  let rec take_word i = if i < n && line.[i] <> ' ' && line.[i] <> '\t' then take_word (i + 1) else i in
+  let s1 = skip_ws 0 in
+  let e1 = take_word s1 in
+  let s2 = skip_ws e1 in
+  let e2 = take_word s2 in
+  let s3 = skip_ws e2 in
+  if e1 = s1 || e2 = s2 || s3 >= n then None
+  else Some (String.sub line s1 (e1 - s1), String.sub line s2 (e2 - s2), String.sub line s3 (n - s3))
+
+let parse text =
+  let events = ref [] in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let trimmed = String.trim line in
+      if trimmed <> "" && trimmed.[0] <> '#' then
+        match split_fields trimmed with
+        | None -> fail lineno "expected: <time> <input> <value>"
+        | Some (time_s, input, value_s) -> (
+          let at =
+            match float_of_string_opt time_s with
+            | Some t -> t
+            | None -> fail lineno "bad timestamp %s" time_s
+          in
+          if at < 0.0 then fail lineno "negative timestamp";
+          let expr =
+            try Parser.parse_expression value_s with
+            | Parser.Parse_error (msg, _) -> fail lineno "bad value: %s" msg
+            | Lexer.Lex_error (msg, _) -> fail lineno "bad value: %s" msg
+          in
+          match Value.of_literal expr with
+          | Some value -> events := { at; input; value } :: !events
+          | None -> fail lineno "trace values must be literals"))
+    (String.split_on_char '\n' text);
+  List.stable_sort (fun a b -> Float.compare a.at b.at) (List.rev !events)
+
+let validate program events =
+  List.iteri
+    (fun idx ev ->
+      match Program.find_input program ev.input with
+      | None -> fail (idx + 1) "unknown input %s" ev.input
+      | Some decl ->
+        if not (Program.value_matches ev.value decl.Program.value_ty) then
+          fail (idx + 1) "value %s does not match type %s of input %s"
+            (Value.to_string ev.value)
+            (Ty.to_string decl.Program.value_ty)
+            ev.input)
+    events

@@ -1,0 +1,29 @@
+(** Event traces: the scripted user of a FElm session.
+
+    Text format, one event per line:
+
+    {v
+      # comments and blank lines are ignored
+      0.5  Mouse.x        42
+      1.0  words          "hello"
+      2.25 Window.width   800
+    v}
+
+    The value is any literal FElm expression (unit, numbers, strings,
+    pairs). Events are replayed in timestamp order. *)
+
+type event = {
+  at : float;
+  input : string;
+  value : Value.t;
+}
+
+exception Trace_error of string * int  (** message, line number. *)
+
+val parse : string -> event list
+(** @raise Trace_error on malformed lines. Events are sorted by time
+    (stably, so same-instant events keep file order). *)
+
+val validate : Program.t -> event list -> unit
+(** Check every event names a known input and carries a value of its type.
+    @raise Trace_error otherwise. *)

@@ -1,0 +1,232 @@
+type t =
+  | Tunit
+  | Tint
+  | Tfloat
+  | Tstring
+  | Tpair of t * t
+  | Tlist of t
+  | Toption of t
+  | Tfun of t * t
+  | Tsignal of t
+  | Tvar of var ref
+
+and var =
+  | Unbound of uvar
+  | Link of t
+
+and uvar = {
+  id : int;
+  mutable level : int;
+}
+
+let var_counter = ref 0
+
+let level = ref 0
+
+let enter_level () = incr level
+
+let leave_level () = decr level
+
+let current_level () = !level
+
+let fresh () =
+  incr var_counter;
+  Tvar (ref (Unbound { id = !var_counter; level = !level }))
+
+let rec repr t =
+  match t with
+  | Tvar ({ contents = Link inner } as r) ->
+    let t' = repr inner in
+    r := Link t';
+    t'
+  | Tunit | Tint | Tfloat | Tstring | Tpair _ | Tlist _ | Toption _ | Tfun _
+  | Tsignal _
+  | Tvar { contents = Unbound _ } ->
+    t
+
+exception Unify_error of t * t
+
+(* Occurs check combined with level adjustment: any variable inside [t]
+   deeper than [max_level] is pulled up, so it cannot later be generalized
+   by a let it escaped from. *)
+let rec occurs_adjust r max_level t =
+  match repr t with
+  | Tvar r' -> (
+    if r == r' then true
+    else (
+      match !r' with
+      | Unbound u ->
+        if u.level > max_level then u.level <- max_level;
+        false
+      | Link _ -> false))
+  | Tpair (a, b) | Tfun (a, b) ->
+    occurs_adjust r max_level a || occurs_adjust r max_level b
+  | Tsignal a | Tlist a | Toption a -> occurs_adjust r max_level a
+  | Tunit | Tint | Tfloat | Tstring -> false
+
+let rec unify t1 t2 =
+  let t1 = repr t1 in
+  let t2 = repr t2 in
+  match t1, t2 with
+  | Tunit, Tunit | Tint, Tint | Tfloat, Tfloat | Tstring, Tstring -> ()
+  | Tvar r1, Tvar r2 when r1 == r2 -> ()
+  | Tvar r, t | t, Tvar r ->
+    let var_level = match !r with Unbound u -> u.level | Link _ -> max_int in
+    if occurs_adjust r var_level t then raise (Unify_error (t1, t2));
+    r := Link t
+  | Tpair (a1, b1), Tpair (a2, b2) | Tfun (a1, b1), Tfun (a2, b2) ->
+    unify a1 a2;
+    unify b1 b2
+  | Tsignal a, Tsignal b | Tlist a, Tlist b | Toption a, Toption b -> unify a b
+  | ( ( Tunit | Tint | Tfloat | Tstring | Tpair _ | Tlist _ | Toption _
+      | Tfun _ | Tsignal _ ),
+      _ ) ->
+    raise (Unify_error (t1, t2))
+
+let rec zonk t =
+  match repr t with
+  | Tvar _ -> Tint (* unconstrained: any simple type will do *)
+  | Tunit -> Tunit
+  | Tint -> Tint
+  | Tfloat -> Tfloat
+  | Tstring -> Tstring
+  | Tpair (a, b) -> Tpair (zonk a, zonk b)
+  | Tlist a -> Tlist (zonk a)
+  | Toption a -> Toption (zonk a)
+  | Tfun (a, b) -> Tfun (zonk a, zonk b)
+  | Tsignal a -> Tsignal (zonk a)
+
+type kind =
+  | Simple
+  | Signal
+  | Ill_formed of string
+
+let rec kind t =
+  match t with
+  | Tunit | Tint | Tfloat | Tstring -> Simple
+  | Tvar _ -> Simple (* only reached on non-zonked types; treated as int *)
+  | Tpair (a, b) -> (
+    match kind a, kind b with
+    | Simple, Simple -> Simple
+    | (Ill_formed _ as ill), _ | _, (Ill_formed _ as ill) -> ill
+    | _ -> Ill_formed "pairs may not contain signals")
+  | Tlist a -> (
+    match kind a with
+    | Simple -> Simple
+    | Signal -> Ill_formed "lists may not contain signals"
+    | Ill_formed _ as ill -> ill)
+  | Toption a -> (
+    match kind a with
+    | Simple -> Simple
+    | Signal -> Ill_formed "options may not contain signals"
+    | Ill_formed _ as ill -> ill)
+  | Tsignal a -> (
+    match kind a with
+    | Simple -> Signal
+    | Signal -> Ill_formed "signals of signals are not allowed"
+    | Ill_formed _ as ill -> ill)
+  | Tfun (a, b) -> (
+    match kind a, kind b with
+    | Simple, Simple -> Simple
+    | Simple, Signal | Signal, Signal -> Signal
+    | Signal, Simple ->
+      Ill_formed "a function taking a signal must return a signal type"
+    | (Ill_formed _ as ill), _ | _, (Ill_formed _ as ill) -> ill)
+
+let is_simple t = kind t = Simple
+
+let rec pp ppf t =
+  match repr t with
+  | Tunit -> Format.pp_print_string ppf "unit"
+  | Tint -> Format.pp_print_string ppf "int"
+  | Tfloat -> Format.pp_print_string ppf "float"
+  | Tstring -> Format.pp_print_string ppf "string"
+  | Tvar { contents = Unbound u } -> Format.fprintf ppf "'t%d" u.id
+  | Tvar { contents = Link _ } -> assert false
+  | Tpair (a, b) -> Format.fprintf ppf "(%a, %a)" pp a pp b
+  | Tlist a -> Format.fprintf ppf "list %a" pp_atom a
+  | Toption a -> Format.fprintf ppf "option %a" pp_atom a
+  | Tsignal a -> Format.fprintf ppf "signal %a" pp_atom a
+  | Tfun (a, b) -> Format.fprintf ppf "%a -> %a" pp_arg a pp b
+
+and pp_arg ppf t =
+  match repr t with
+  | Tfun _ -> Format.fprintf ppf "(%a)" pp t
+  | _ -> pp ppf t
+
+and pp_atom ppf t =
+  match repr t with
+  | Tfun _ | Tsignal _ | Tlist _ | Toption _ -> Format.fprintf ppf "(%a)" pp t
+  | _ -> pp ppf t
+
+let to_string t = Format.asprintf "%a" pp t
+
+let rec equal t1 t2 =
+  match repr t1, repr t2 with
+  | Tunit, Tunit | Tint, Tint | Tfloat, Tfloat | Tstring, Tstring -> true
+  | Tpair (a1, b1), Tpair (a2, b2) | Tfun (a1, b1), Tfun (a2, b2) ->
+    equal a1 a2 && equal b1 b2
+  | Tsignal a, Tsignal b | Tlist a, Tlist b | Toption a, Toption b -> equal a b
+  | Tvar r1, Tvar r2 -> r1 == r2
+  | ( ( Tunit | Tint | Tfloat | Tstring | Tpair _ | Tlist _ | Toption _
+      | Tfun _ | Tsignal _ | Tvar _ ),
+      _ ) ->
+    false
+
+let generalizable_ids t =
+  let acc = ref [] in
+  let rec go t =
+    match repr t with
+    | Tvar { contents = Unbound u } ->
+      if u.level > !level && not (List.mem u.id !acc) then acc := u.id :: !acc
+    | Tvar { contents = Link _ } -> assert false
+    | Tpair (a, b) | Tfun (a, b) ->
+      go a;
+      go b
+    | Tsignal a | Tlist a | Toption a -> go a
+    | Tunit | Tint | Tfloat | Tstring -> ()
+  in
+  go t;
+  List.rev !acc
+
+let lower_to_current t =
+  let rec go t =
+    match repr t with
+    | Tvar { contents = Unbound u } -> if u.level > !level then u.level <- !level
+    | Tvar { contents = Link _ } -> assert false
+    | Tpair (a, b) | Tfun (a, b) ->
+      go a;
+      go b
+    | Tsignal a | Tlist a | Toption a -> go a
+    | Tunit | Tint | Tfloat | Tstring -> ()
+  in
+  go t
+
+let instantiate ~quantified t =
+  if quantified = [] then t
+  else begin
+    let mapping = Hashtbl.create 8 in
+    let rec go t =
+      match repr t with
+      | Tvar ({ contents = Unbound u } as r) ->
+        if List.mem u.id quantified then (
+          match Hashtbl.find_opt mapping u.id with
+          | Some v -> v
+          | None ->
+            let v = fresh () in
+            Hashtbl.add mapping u.id v;
+            v)
+        else Tvar r
+      | Tvar { contents = Link _ } -> assert false
+      | Tunit -> Tunit
+      | Tint -> Tint
+      | Tfloat -> Tfloat
+      | Tstring -> Tstring
+      | Tpair (a, b) -> Tpair (go a, go b)
+      | Tlist a -> Tlist (go a)
+      | Toption a -> Toption (go a)
+      | Tfun (a, b) -> Tfun (go a, go b)
+      | Tsignal a -> Tsignal (go a)
+    in
+    go t
+  end

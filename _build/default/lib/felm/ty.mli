@@ -1,0 +1,96 @@
+(** FElm types (paper Fig. 3) with unification variables.
+
+    The paper stratifies types into simple types ι and signal types σ:
+
+    {v
+      ι ::= unit | int | ι -> ι'            (+ float, string, pairs)
+      σ ::= signal ι | ι -> σ | σ -> σ'
+    v}
+
+    We represent both with one syntax plus mutable unification variables
+    (Elm "supports type inference"; FElm is monomorphic, so this is plain
+    unification with an occurs check, no generalization). The stratification
+    is enforced by {!kind} on zonked types: [signal] may only carry a simple
+    type, and a function from a signal type cannot return a simple type —
+    together these rule out signals of signals (Section 3.2). *)
+
+type t =
+  | Tunit
+  | Tint
+  | Tfloat
+  | Tstring
+  | Tpair of t * t
+  | Tlist of t
+  | Toption of t
+  | Tfun of t * t
+  | Tsignal of t
+  | Tvar of var ref
+
+and var =
+  | Unbound of uvar
+  | Link of t
+
+and uvar = {
+  id : int;
+  mutable level : int;  (** Binding depth, for let-generalization. *)
+}
+
+val fresh : unit -> t
+(** A fresh unification variable at the current level. *)
+
+(** {1 Let-polymorphism support}
+
+    The full Elm language "allows let-polymorphism" (Section 4); we
+    implement it with the standard level discipline: variables created
+    while inferring a [let] right-hand side sit at a deeper level, and
+    those still unbound afterwards generalize. Unification lowers levels so
+    variables that escape into the environment are never generalized. *)
+
+val enter_level : unit -> unit
+val leave_level : unit -> unit
+val current_level : unit -> int
+
+val generalizable_ids : t -> int list
+(** Ids of unbound variables in [t] whose level is deeper than the current
+    one — the variables a [let] may quantify. *)
+
+val lower_to_current : t -> unit
+(** Pull every unbound variable of [t] up to the current level (used by the
+    value restriction: a non-value [let] right-hand side must stay
+    monomorphic). *)
+
+val instantiate : quantified:int list -> t -> t
+(** Copy [t] with fresh variables substituted for the quantified ones;
+    unquantified variables stay shared. *)
+
+val repr : t -> t
+(** Follow links (with path compression) to the representative. *)
+
+exception Unify_error of t * t
+
+val unify : t -> t -> unit
+(** @raise Unify_error on constructor clash or occurs-check failure. *)
+
+val zonk : t -> t
+(** Resolve all links; remaining unconstrained variables default to
+    [Tint]. The result contains no [Tvar]. *)
+
+type kind =
+  | Simple
+  | Signal
+  | Ill_formed of string
+
+val kind : t -> kind
+(** Stratification of a zonked type. [Ill_formed] carries the reason:
+    a signal of a non-simple type, a pair containing a signal, or a
+    function from a signal type to a simple type. *)
+
+val is_simple : t -> bool
+(** [kind t = Simple]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+(** Structural equality of zonked types. *)

@@ -1,0 +1,240 @@
+open Ty
+
+exception Type_error of string * Ast.loc
+
+let fail loc fmt = Printf.ksprintf (fun msg -> raise (Type_error (msg, loc))) fmt
+
+type deferred = {
+  mutable all : (Ty.t * Ast.loc) list;  (** every subexpression's type *)
+  mutable simple : (Ty.t * Ast.loc * string) list;
+  mutable comparable : (Ty.t * Ast.loc) list;
+}
+
+(* Type schemes for let-polymorphism (the full language "allows
+   let-polymorphism", Section 4). Quantified variables are instantiated at
+   each use; lambda parameters are monomorphic. *)
+type scheme = {
+  qvars : int list;
+  body : Ty.t;
+}
+
+let mono t = { qvars = []; body = t }
+
+(* Value restriction: only syntactic values generalize. Signal expressions
+   in particular stay monomorphic — a shared node has one value type. *)
+let rec generalizable_rhs (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Var _ -> true
+  | Ast.Pair (a, b) -> generalizable_rhs a && generalizable_rhs b
+  | Ast.List_lit elems -> List.for_all generalizable_rhs elems
+  | _ -> Ast.is_value e
+
+let unify_at loc expected actual what =
+  try Ty.unify expected actual
+  with Ty.Unify_error (a, b) ->
+    fail loc "%s: cannot match %s with %s" what (Ty.to_string a) (Ty.to_string b)
+
+let rec infer_desc d (env : (string * scheme) list) input_ty (e : Ast.expr) : Ty.t =
+  let loc = e.Ast.loc in
+  let ty =
+    match e.Ast.desc with
+    | Ast.Unit -> Tunit
+    | Ast.Int _ -> Tint
+    | Ast.Float _ -> Tfloat
+    | Ast.String _ -> Tstring
+    | Ast.Var x -> (
+      match List.assoc_opt x env with
+      | Some { qvars; body } -> Ty.instantiate ~quantified:qvars body
+      | None -> fail loc "unbound variable %s" x)
+    | Ast.Input i -> (
+      match input_ty i with
+      | Some t -> t
+      | None -> fail loc "unknown input signal %s" i)
+    | Ast.Lam (x, body) ->
+      let arg = Ty.fresh () in
+      Tfun (arg, infer_desc d ((x, mono arg) :: env) input_ty body)
+    | Ast.App (f, a) ->
+      let tf = infer_desc d env input_ty f in
+      let ta = infer_desc d env input_ty a in
+      let res = Ty.fresh () in
+      unify_at loc tf (Tfun (ta, res)) "application";
+      res
+    | Ast.Binop (op, a, b) -> infer_binop d env input_ty loc op a b
+    | Ast.If (c, e2, e3) ->
+      (* T-COND: the test is an int and the branches share a simple type. *)
+      let tc = infer_desc d env input_ty c in
+      unify_at c.Ast.loc tc Tint "if condition";
+      let t2 = infer_desc d env input_ty e2 in
+      let t3 = infer_desc d env input_ty e3 in
+      unify_at loc t2 t3 "if branches";
+      d.simple <- (t2, loc, "if branches") :: d.simple;
+      t2
+    | Ast.Let (x, rhs, body) ->
+      Ty.enter_level ();
+      let trhs = infer_desc d env input_ty rhs in
+      Ty.leave_level ();
+      let qvars =
+        if generalizable_rhs rhs then Ty.generalizable_ids trhs
+        else begin
+          Ty.lower_to_current trhs;
+          []
+        end
+      in
+      infer_desc d ((x, { qvars; body = trhs }) :: env) input_ty body
+    | Ast.Pair (a, b) ->
+      let ta = infer_desc d env input_ty a in
+      let tb = infer_desc d env input_ty b in
+      Tpair (ta, tb)
+    | Ast.List_lit elems ->
+      let elem_ty = Ty.fresh () in
+      List.iter
+        (fun el ->
+          let t = infer_desc d env input_ty el in
+          unify_at el.Ast.loc t elem_ty "list element")
+        elems;
+      Tlist elem_ty
+    | Ast.None_lit -> Toption (Ty.fresh ())
+    | Ast.Some_e a -> Toption (infer_desc d env input_ty a)
+    | Ast.Fst a ->
+      let ta = infer_desc d env input_ty a in
+      let l = Ty.fresh () in
+      let r = Ty.fresh () in
+      unify_at loc ta (Tpair (l, r)) "fst";
+      l
+    | Ast.Snd a ->
+      let ta = infer_desc d env input_ty a in
+      let l = Ty.fresh () in
+      let r = Ty.fresh () in
+      unify_at loc ta (Tpair (l, r)) "snd";
+      r
+    | Ast.Show a ->
+      let ta = infer_desc d env input_ty a in
+      d.simple <- (ta, loc, "show argument") :: d.simple;
+      Tstring
+    | Ast.Prim_op (name, args) -> (
+      match Builtins.find_prim name with
+      | None -> fail loc "unknown builtin %s" name
+      | Some p ->
+        let result =
+          List.fold_left
+            (fun fn_ty arg ->
+              let targ = infer_desc d env input_ty arg in
+              let res = Ty.fresh () in
+              unify_at loc fn_ty (Tfun (targ, res)) ("builtin " ^ name);
+              res)
+            (p.Builtins.prim_ty ()) args
+        in
+        result)
+    | Ast.Lift (f, deps) ->
+      (* T-LIFT: f : ι1 -> ... -> ιn -> ι, each dep : signal ιi. *)
+      let tf = infer_desc d env input_ty f in
+      let elem_tys = List.map (fun _ -> Ty.fresh ()) deps in
+      let result = Ty.fresh () in
+      let expected =
+        List.fold_right (fun a acc -> Tfun (a, acc)) elem_tys result
+      in
+      unify_at f.Ast.loc tf expected "lift function";
+      List.iter2
+        (fun dep elem ->
+          let tdep = infer_desc d env input_ty dep in
+          unify_at dep.Ast.loc tdep (Tsignal elem) "lift argument";
+          d.simple <- (elem, dep.Ast.loc, "lifted signal element") :: d.simple)
+        deps elem_tys;
+      d.simple <- (result, loc, "lift result") :: d.simple;
+      d.simple <- (tf, f.Ast.loc, "lift function") :: d.simple;
+      Tsignal result
+    | Ast.Foldp (f, b, s) ->
+      (* T-FOLD: f : ι -> ι' -> ι', b : ι', s : signal ι. *)
+      let elem = Ty.fresh () in
+      let acc = Ty.fresh () in
+      let tf = infer_desc d env input_ty f in
+      unify_at f.Ast.loc tf (Tfun (elem, Tfun (acc, acc))) "foldp function";
+      let tb = infer_desc d env input_ty b in
+      unify_at b.Ast.loc tb acc "foldp initial value";
+      let ts = infer_desc d env input_ty s in
+      unify_at s.Ast.loc ts (Tsignal elem) "foldp signal";
+      d.simple <- (elem, s.Ast.loc, "foldp element") :: d.simple;
+      d.simple <- (acc, b.Ast.loc, "foldp accumulator") :: d.simple;
+      Tsignal acc
+    | Ast.Async s ->
+      (* T-ASYNC: signal ι -> signal ι. *)
+      let elem = Ty.fresh () in
+      let ts = infer_desc d env input_ty s in
+      unify_at s.Ast.loc ts (Tsignal elem) "async";
+      Tsignal elem
+  in
+  d.all <- (ty, loc) :: d.all;
+  ty
+
+and infer_binop d env input_ty loc op a b =
+  let ta = infer_desc d env input_ty a in
+  let tb = infer_desc d env input_ty b in
+  let both t =
+    unify_at a.Ast.loc ta t "operand";
+    unify_at b.Ast.loc tb t "operand"
+  in
+  match op with
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.And | Ast.Or ->
+    both Tint;
+    Tint
+  | Ast.Fadd | Ast.Fsub | Ast.Fmul | Ast.Fdiv ->
+    both Tfloat;
+    Tfloat
+  | Ast.Cat ->
+    both Tstring;
+    Tstring
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+    unify_at loc ta tb "comparison";
+    d.comparable <- (ta, loc) :: d.comparable;
+    Tint
+
+let rec contains_fun t =
+  match t with
+  | Tfun _ -> true
+  | Tpair (a, b) -> contains_fun a || contains_fun b
+  | Tsignal a | Tlist a | Toption a -> contains_fun a
+  | Tunit | Tint | Tfloat | Tstring | Tvar _ -> false
+
+let rec contains_signal t =
+  match t with
+  | Tsignal _ -> true
+  | Tpair (a, b) | Tfun (a, b) -> contains_signal a || contains_signal b
+  | Tlist a | Toption a -> contains_signal a
+  | Tunit | Tint | Tfloat | Tstring | Tvar _ -> false
+
+let run_deferred d =
+  List.iter
+    (fun (t, loc, what) ->
+      let z = Ty.zonk t in
+      if not (Ty.is_simple z) then
+        fail loc "%s must have a simple type, but has type %s" what
+          (Ty.to_string z))
+    d.simple;
+  List.iter
+    (fun (t, loc) ->
+      let z = Ty.zonk t in
+      if contains_fun z then fail loc "cannot compare functions";
+      if contains_signal z then fail loc "cannot compare signals")
+    d.comparable;
+  List.iter
+    (fun (t, loc) ->
+      match Ty.kind (Ty.zonk t) with
+      | Ty.Ill_formed reason -> fail loc "ill-formed type %s: %s" (Ty.to_string (Ty.zonk t)) reason
+      | Ty.Simple | Ty.Signal -> ())
+    d.all
+
+let infer ~input_ty expr =
+  let d = { all = []; simple = []; comparable = [] } in
+  let ty = infer_desc d [] input_ty expr in
+  run_deferred d;
+  Ty.zonk ty
+
+let check_program (p : Program.t) =
+  let ty = infer ~input_ty:(Program.input_ty p) p.Program.main in
+  (match Ty.kind ty with
+  | Ty.Simple | Ty.Signal -> ()
+  | Ty.Ill_formed reason -> fail Ast.dummy_loc "main has ill-formed type: %s" reason);
+  (match ty with
+  | Tfun _ -> fail Ast.dummy_loc "main must be a displayable value or signal, not a function"
+  | _ -> ());
+  ty

@@ -1,0 +1,22 @@
+(** The FElm type system (paper Fig. 4).
+
+    Monomorphic inference by unification, followed by the stratification
+    checks of Section 3.2: every type mentioned by the program must be
+    well-formed under {!Ty.kind} — in particular no signals of signals, no
+    pairs of signals, no functions from signals to simple types — plus the
+    rule-specific side conditions (conditionals are on [int] with simple
+    branches, [liftn] takes a simple function over simple types, [foldp]'s
+    accumulator and element types are simple, comparisons never compare
+    functions or signals). *)
+
+exception Type_error of string * Ast.loc
+
+val infer :
+  input_ty:(string -> Ty.t option) -> Ast.expr -> Ty.t
+(** Infer the type of a closed (resolved) expression and run all deferred
+    well-formedness checks. Returns the zonked type.
+    @raise Type_error on any violation, with source location. *)
+
+val check_program : Program.t -> Ty.t
+(** Type of the program's [main]. Also validates that [main] is
+    displayable: a simple type or [signal ι]. *)

@@ -1,0 +1,101 @@
+type t =
+  | Vunit
+  | Vint of int
+  | Vfloat of float
+  | Vstring of string
+  | Vpair of t * t
+  | Vlist of t list
+  | Voption of t option
+  | Vclosure of env * string * Ast.expr
+  | Vsignal of int
+
+and env = (string * t) list
+
+let rec pp ppf = function
+  | Vunit -> Format.pp_print_string ppf "()"
+  | Vint n -> Format.pp_print_int ppf n
+  | Vfloat f -> Format.fprintf ppf "%g" f
+  | Vstring s -> Format.fprintf ppf "%S" s
+  | Vpair (a, b) -> Format.fprintf ppf "(%a, %a)" pp a pp b
+  | Vlist elems ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         pp)
+      elems
+  | Voption None -> Format.pp_print_string ppf "none"
+  | Voption (Some v) -> Format.fprintf ppf "(some %a)" pp v
+  | Vclosure (_, x, _) -> Format.fprintf ppf "<fun %s>" x
+  | Vsignal id -> Format.fprintf ppf "<signal %d>" id
+
+let to_string v = Format.asprintf "%a" pp v
+
+let rec show = function
+  | Vunit -> "()"
+  | Vint n -> string_of_int n
+  | Vfloat f -> Printf.sprintf "%g" f
+  | Vstring s -> s
+  | Vpair (a, b) -> Printf.sprintf "(%s, %s)" (show a) (show b)
+  | Vlist elems -> "[" ^ String.concat ", " (List.map show elems) ^ "]"
+  | Voption None -> "none"
+  | Voption (Some v) -> "some " ^ show v
+  | Vclosure _ -> "<function>"
+  | Vsignal _ -> "<signal>"
+
+let rec equal v1 v2 =
+  match v1, v2 with
+  | Vunit, Vunit -> true
+  | Vint a, Vint b -> a = b
+  | Vfloat a, Vfloat b -> Float.equal a b
+  | Vstring a, Vstring b -> String.equal a b
+  | Vpair (a1, b1), Vpair (a2, b2) -> equal a1 a2 && equal b1 b2
+  | Vlist xs, Vlist ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Voption None, Voption None -> true
+  | Voption (Some a), Voption (Some b) -> equal a b
+  | Vsignal a, Vsignal b -> a = b
+  | Vclosure _, _ | _, Vclosure _ ->
+    invalid_arg "Value.equal: cannot compare closures"
+  | ( ( Vunit | Vint _ | Vfloat _ | Vstring _ | Vpair _ | Vlist _
+      | Voption _ | Vsignal _ ),
+      _ ) ->
+    false
+
+let rec of_literal (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Unit -> Some Vunit
+  | Ast.Int n -> Some (Vint n)
+  | Ast.Float f -> Some (Vfloat f)
+  | Ast.String s -> Some (Vstring s)
+  | Ast.Pair (a, b) -> (
+    match of_literal a, of_literal b with
+    | Some va, Some vb -> Some (Vpair (va, vb))
+    | _, _ -> None)
+  | Ast.List_lit elems ->
+    let vs = List.map of_literal elems in
+    if List.for_all Option.is_some vs then
+      Some (Vlist (List.map Option.get vs))
+    else None
+  | Ast.None_lit -> Some (Voption None)
+  | Ast.Some_e a -> Option.map (fun v -> Voption (Some v)) (of_literal a)
+  | _ -> None
+
+let rec to_literal v =
+  match v with
+  | Vunit -> Some (Ast.mk Ast.Unit)
+  | Vint n -> Some (Ast.mk (Ast.Int n))
+  | Vfloat f -> Some (Ast.mk (Ast.Float f))
+  | Vstring s -> Some (Ast.mk (Ast.String s))
+  | Vpair (a, b) -> (
+    match to_literal a, to_literal b with
+    | Some ea, Some eb -> Some (Ast.mk (Ast.Pair (ea, eb)))
+    | _, _ -> None)
+  | Vlist elems ->
+    let es = List.map to_literal elems in
+    if List.for_all Option.is_some es then
+      Some (Ast.mk (Ast.List_lit (List.map Option.get es)))
+    else None
+  | Voption None -> Some (Ast.mk Ast.None_lit)
+  | Voption (Some v) ->
+    Option.map (fun e -> Ast.mk (Ast.Some_e e)) (to_literal v)
+  | Vclosure _ | Vsignal _ -> None

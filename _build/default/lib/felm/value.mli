@@ -1,0 +1,39 @@
+(** Runtime values for the FElm interpreter.
+
+    Stage two of the semantics runs the extracted signal graph; node
+    functions are closures applied to these values. [Vsignal] is an opaque
+    reference to a graph node: well-typed programs can bind one (via a
+    signal [let] captured in a closure) but never consume it in a simple
+    computation, so stage-two evaluation treats it as inert data. *)
+
+type t =
+  | Vunit
+  | Vint of int
+  | Vfloat of float
+  | Vstring of string
+  | Vpair of t * t
+  | Vlist of t list
+  | Voption of t option
+  | Vclosure of env * string * Ast.expr
+  | Vsignal of int  (** Graph node id (see {!Sgraph}). *)
+
+and env = (string * t) list
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val show : t -> string
+(** The rendering used by FElm's [show] form (Elm's [asText]). Closures
+    print as ["<function>"]. *)
+
+val equal : t -> t -> bool
+(** Structural equality; raises [Invalid_argument] on closures (the type
+    system keeps them out of comparisons). *)
+
+val of_literal : Ast.expr -> t option
+(** Convert a literal value term (unit, numbers, strings, pairs thereof) —
+    [None] on lambdas or non-values. *)
+
+val to_literal : t -> Ast.expr option
+(** Inverse of {!of_literal} for first-order values. *)

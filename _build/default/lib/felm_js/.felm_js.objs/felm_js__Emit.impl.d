@@ -1,0 +1,1 @@
+lib/felm_js/emit.ml: Buffer Char Felm Js_ast List Printf Runtime_js String

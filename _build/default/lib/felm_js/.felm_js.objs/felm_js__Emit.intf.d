@@ -1,0 +1,1 @@
+lib/felm_js/emit.mli: Felm Js_ast

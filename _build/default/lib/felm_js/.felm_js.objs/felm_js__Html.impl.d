@@ -1,0 +1,1 @@
+lib/felm_js/html.ml: Buffer Emit Printf String

@@ -1,0 +1,1 @@
+lib/felm_js/js_ast.mli: Buffer

@@ -1,0 +1,1 @@
+lib/felm_js/js_check.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/felm_js/runtime_js.ml:

@@ -1,0 +1,138 @@
+module Ast = Felm.Ast
+module J = Js_ast
+
+let js_reserved =
+  [ "var"; "function"; "return"; "if"; "else"; "new"; "delete"; "typeof";
+    "in"; "instanceof"; "this"; "null"; "true"; "false"; "let"; "const";
+    "class"; "for"; "while"; "do"; "switch"; "case"; "default"; "throw";
+    "try"; "catch"; "finally"; "void"; "with"; "yield" ]
+
+let sanitize name =
+  let buf = Buffer.create (String.length name + 2) in
+  Buffer.add_string buf "_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | '.' -> Buffer.add_string buf "$"
+      | '%' -> Buffer.add_string buf "$f"
+      | '\'' -> Buffer.add_string buf "$q"
+      | c -> Buffer.add_string buf (Printf.sprintf "$%02x" (Char.code c)))
+    name;
+  let s = Buffer.contents buf in
+  if List.mem s js_reserved then s ^ "$" else s
+
+let runtime = J.Evar "R"
+let graph = J.Evar "G"
+
+let rt_call name args = J.Ecall (J.Emember (runtime, name), graph :: args)
+
+let bool_to_int e = J.Econd (e, J.Eint 1, J.Eint 0)
+
+let truthy e = J.Ebinop ("!==", e, J.Eint 0)
+
+let rec compile_expr (e : Ast.expr) : J.expr =
+  match e.Ast.desc with
+  | Ast.Unit -> J.Enull
+  | Ast.Int n -> J.Eint n
+  | Ast.Float f -> J.Enum f
+  | Ast.String s -> J.Estr s
+  | Ast.Var x -> J.Evar (sanitize x)
+  | Ast.Input name ->
+    (* default values are filled in by the prologue's input registration *)
+    rt_call "input" [ J.Estr name; J.Emember (J.Evar "defaults", sanitize name) ]
+  | Ast.Lam (x, body) -> J.Efun ([ sanitize x ], [ J.Sreturn (compile_expr body) ])
+  | Ast.App (f, a) -> J.Ecall (compile_expr f, [ compile_expr a ])
+  | Ast.Binop (op, a, b) -> compile_binop op (compile_expr a) (compile_expr b)
+  | Ast.If (c, t, f) -> J.Econd (truthy (compile_expr c), compile_expr t, compile_expr f)
+  | Ast.Let (x, rhs, body) ->
+    (* binding by function application keeps signal nodes shared *)
+    J.let_in (sanitize x) (compile_expr rhs) (compile_expr body)
+  | Ast.Pair (a, b) -> J.Earray [ compile_expr a; compile_expr b ]
+  | Ast.List_lit elems -> J.Earray (List.map compile_expr elems)
+  | Ast.None_lit -> J.Earray []
+  | Ast.Some_e a -> J.Earray [ compile_expr a ]
+  | Ast.Fst a -> J.Eindex (compile_expr a, J.Eint 0)
+  | Ast.Snd a -> J.Eindex (compile_expr a, J.Eint 1)
+  | Ast.Show a -> J.Ecall (J.Emember (runtime, "show"), [ compile_expr a ])
+  | Ast.Prim_op (name, args) ->
+    J.Ecall (J.Emember (J.Emember (runtime, "prims"), name), List.map compile_expr args)
+  | Ast.Lift (f, deps) ->
+    (* FElm's lifted functions are curried; the runtime applies positionally,
+       so wrap into an uncurried adapter. *)
+    let params = List.mapi (fun i _ -> Printf.sprintf "a%d" i) deps in
+    let applied =
+      List.fold_left
+        (fun acc p -> J.Ecall (acc, [ J.Evar p ]))
+        (J.Evar "f") params
+    in
+    let uncurried =
+      J.let_in "f" (compile_expr f) (J.Efun (params, [ J.Sreturn applied ]))
+    in
+    rt_call "lift" [ uncurried; J.Earray (List.map compile_expr deps) ]
+  | Ast.Foldp (f, b, s) ->
+    let stepper =
+      J.let_in "f" (compile_expr f)
+        (J.Efun
+           ( [ "v"; "acc" ],
+             [ J.Sreturn (J.Ecall (J.Ecall (J.Evar "f", [ J.Evar "v" ]), [ J.Evar "acc" ])) ] ))
+    in
+    rt_call "foldp" [ stepper; compile_expr b; compile_expr s ]
+  | Ast.Async s -> rt_call "async" [ compile_expr s ]
+
+and compile_binop op a b =
+  let cmp_int rel = bool_to_int (J.Ebinop (rel, J.Ecall (J.Emember (runtime, "cmp"), [ a; b ]), J.Eint 0)) in
+  match op with
+  | Ast.Add -> J.Ebinop ("+", a, b)
+  | Ast.Sub -> J.Ebinop ("-", a, b)
+  | Ast.Mul -> J.Ebinop ("*", a, b)
+  | Ast.Div -> J.Ecall (J.Emember (J.Evar "Math", "trunc"), [ J.Ebinop ("/", a, b) ])
+  | Ast.Mod -> J.Ebinop ("%", a, b)
+  | Ast.Fadd -> J.Ebinop ("+", a, b)
+  | Ast.Fsub -> J.Ebinop ("-", a, b)
+  | Ast.Fmul -> J.Ebinop ("*", a, b)
+  | Ast.Fdiv -> J.Ebinop ("/", a, b)
+  | Ast.Cat -> J.Ebinop ("+", a, b)
+  | Ast.And -> bool_to_int (J.Ebinop ("&&", truthy a, truthy b))
+  | Ast.Or -> bool_to_int (J.Ebinop ("||", truthy a, truthy b))
+  | Ast.Eq -> bool_to_int (J.Ecall (J.Emember (runtime, "eq"), [ a; b ]))
+  | Ast.Ne -> bool_to_int (J.Eunop ("!", J.Ecall (J.Emember (runtime, "eq"), [ a; b ])))
+  | Ast.Lt -> cmp_int "<"
+  | Ast.Le -> cmp_int "<="
+  | Ast.Gt -> cmp_int ">"
+  | Ast.Ge -> cmp_int ">="
+
+let default_to_js (v : Felm.Value.t) : J.expr =
+  let rec go v =
+    match v with
+    | Felm.Value.Vunit -> J.Enull
+    | Felm.Value.Vint n -> J.Eint n
+    | Felm.Value.Vfloat f -> J.Enum f
+    | Felm.Value.Vstring s -> J.Estr s
+    | Felm.Value.Vpair (a, b) -> J.Earray [ go a; go b ]
+    | Felm.Value.Vlist elems -> J.Earray (List.map go elems)
+    | Felm.Value.Voption None -> J.Earray []
+    | Felm.Value.Voption (Some v) -> J.Earray [ go v ]
+    | Felm.Value.Vclosure _ | Felm.Value.Vsignal _ -> J.Enull
+  in
+  go v
+
+let compile_program (p : Felm.Program.t) =
+  let defaults =
+    J.Eobject
+      (List.map
+         (fun (i : Felm.Program.input_decl) ->
+           (sanitize i.Felm.Program.name, default_to_js i.Felm.Program.default))
+         p.Felm.Program.inputs)
+  in
+  let body =
+    [
+      J.Svar ("R", J.Evar "ElmRuntime");
+      J.Svar ("G", J.Ecall (J.Emember (runtime, "newGraph"), []));
+      J.Svar ("defaults", defaults);
+      J.Svar ("main", compile_expr p.Felm.Program.main);
+      J.Sexpr (rt_call "display" [ J.Evar "main" ]);
+      J.Sexpr (J.Ecall (J.Emember (runtime, "wireBrowserEvents"), [ graph ]));
+    ]
+  in
+  Runtime_js.source ^ "\n" ^ J.program_to_string [ J.Sexpr (J.iife body) ]

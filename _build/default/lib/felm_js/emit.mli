@@ -1,0 +1,20 @@
+(** Code generation: checked FElm programs to JavaScript (paper Section 5).
+
+    Compilation strategy: the emitted program performs stage-one evaluation
+    at initialization time in JavaScript — reactive primitives become calls
+    into the {!Runtime_js} graph constructors ([R.input]/[R.lift]/
+    [R.foldp]/[R.async]), [let] becomes a binding function application so
+    signal sharing is preserved, and everything else is a direct
+    translation. The result registers [main] with the runtime's display
+    loop and wires browser events. *)
+
+val compile_expr : Felm.Ast.expr -> Js_ast.expr
+(** Translate one resolved FElm expression ([R] and [G] in scope). *)
+
+val compile_program : Felm.Program.t -> string
+(** Complete JavaScript: runtime followed by the program IIFE. The program
+    must already be resolved (it is, by {!Felm.Program.of_source}); callers
+    should have type-checked it. *)
+
+val sanitize : string -> string
+(** Make a FElm identifier a valid JavaScript identifier. *)

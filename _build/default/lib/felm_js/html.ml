@@ -1,0 +1,18 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let page ?(title = "FElm program") program =
+  let js = Emit.compile_program program in
+  Printf.sprintf
+    "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n<title>%s</title>\n\
+     </head>\n<body>\n<div id=\"felm-main\"></div>\n<script>\n%s</script>\n</body>\n</html>\n"
+    (escape title) js

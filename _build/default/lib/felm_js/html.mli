@@ -1,0 +1,8 @@
+(** HTML page emission: "the output of compiling an Elm program is an HTML
+    file" (Section 5), with the runtime and compiled program inlined. The
+    compiler "can also output a JavaScript file for embedding an Elm
+    program into an existing project" — that is {!Emit.compile_program}
+    directly. *)
+
+val page : ?title:string -> Felm.Program.t -> string
+(** A complete HTML document running the compiled program. *)

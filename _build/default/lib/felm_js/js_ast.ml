@@ -1,0 +1,161 @@
+type expr =
+  | Enum of float
+  | Eint of int
+  | Estr of string
+  | Ebool of bool
+  | Enull
+  | Evar of string
+  | Efun of string list * stmt list
+  | Ecall of expr * expr list
+  | Emember of expr * string
+  | Eindex of expr * expr
+  | Earray of expr list
+  | Eobject of (string * expr) list
+  | Ebinop of string * expr * expr
+  | Eunop of string * expr
+  | Econd of expr * expr * expr
+
+and stmt =
+  | Svar of string * expr
+  | Sexpr of expr
+  | Sreturn of expr
+  | Sif of expr * stmt list * stmt list
+
+let iife body = Ecall (Efun ([], body), [])
+
+let let_in x rhs body = Ecall (Efun ([ x ], [ Sreturn body ]), [ rhs ])
+
+let string_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec print_expr buf e =
+  let pr = Buffer.add_string buf in
+  match e with
+  | Enum f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      pr (Printf.sprintf "%.1f" f)
+    else pr (Printf.sprintf "%.17g" f)
+  | Eint n -> pr (string_of_int n)
+  | Estr s ->
+    pr "\"";
+    pr (string_escape s);
+    pr "\""
+  | Ebool b -> pr (if b then "true" else "false")
+  | Enull -> pr "null"
+  | Evar x -> pr x
+  | Efun (params, body) ->
+    pr "function(";
+    pr (String.concat ", " params);
+    pr ") { ";
+    List.iter (fun s -> print_stmt buf s) body;
+    pr " }"
+  | Ecall (f, args) ->
+    (match f with
+    | Efun _ ->
+      pr "(";
+      print_expr buf f;
+      pr ")"
+    | _ -> print_expr buf f);
+    pr "(";
+    List.iteri
+      (fun i a ->
+        if i > 0 then pr ", ";
+        print_expr buf a)
+      args;
+    pr ")"
+  | Emember (o, field) ->
+    print_expr buf o;
+    pr ".";
+    pr field
+  | Eindex (o, i) ->
+    print_expr buf o;
+    pr "[";
+    print_expr buf i;
+    pr "]"
+  | Earray es ->
+    pr "[";
+    List.iteri
+      (fun i a ->
+        if i > 0 then pr ", ";
+        print_expr buf a)
+      es;
+    pr "]"
+  | Eobject fields ->
+    pr "{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then pr ", ";
+        pr "\"";
+        pr (string_escape k);
+        pr "\": ";
+        print_expr buf v)
+      fields;
+    pr "}"
+  | Ebinop (op, a, b) ->
+    pr "(";
+    print_expr buf a;
+    pr " ";
+    pr op;
+    pr " ";
+    print_expr buf b;
+    pr ")"
+  | Eunop (op, a) ->
+    pr "(";
+    pr op;
+    print_expr buf a;
+    pr ")"
+  | Econd (c, t, f) ->
+    pr "(";
+    print_expr buf c;
+    pr " ? ";
+    print_expr buf t;
+    pr " : ";
+    print_expr buf f;
+    pr ")"
+
+and print_stmt buf s =
+  let pr = Buffer.add_string buf in
+  match s with
+  | Svar (x, e) ->
+    pr "var ";
+    pr x;
+    pr " = ";
+    print_expr buf e;
+    pr ";\n"
+  | Sexpr e ->
+    print_expr buf e;
+    pr ";\n"
+  | Sreturn e ->
+    pr "return ";
+    print_expr buf e;
+    pr ";\n"
+  | Sif (c, t, f) ->
+    pr "if (";
+    print_expr buf c;
+    pr ") {\n";
+    List.iter (fun s -> print_stmt buf s) t;
+    pr "}";
+    (match f with
+    | [] -> pr "\n"
+    | _ ->
+      pr " else {\n";
+      List.iter (fun s -> print_stmt buf s) f;
+      pr "}\n")
+
+let program_to_string stmts =
+  let buf = Buffer.create 1024 in
+  List.iter (fun s -> print_stmt buf s) stmts;
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** A small JavaScript subset: the compiler's target language.
+
+    Enough of ES5 to express compiled FElm programs and the runtime calls
+    they make. The printer is deterministic and conservatively
+    parenthesized, so output is stable for golden tests. *)
+
+type expr =
+  | Enum of float
+  | Eint of int
+  | Estr of string
+  | Ebool of bool
+  | Enull
+  | Evar of string
+  | Efun of string list * stmt list
+  | Ecall of expr * expr list
+  | Emember of expr * string
+  | Eindex of expr * expr
+  | Earray of expr list
+  | Eobject of (string * expr) list
+  | Ebinop of string * expr * expr
+  | Eunop of string * expr
+  | Econd of expr * expr * expr
+
+and stmt =
+  | Svar of string * expr
+  | Sexpr of expr
+  | Sreturn of expr
+  | Sif of expr * stmt list * stmt list
+
+val iife : stmt list -> expr
+(** [(function(){ ... })()]. *)
+
+val let_in : string -> expr -> expr -> expr
+(** Expression-level binding: [(function(x){ return body; })(rhs)]. *)
+
+val string_escape : string -> string
+(** Escape for inclusion inside double quotes. *)
+
+val print_expr : Buffer.t -> expr -> unit
+
+val print_stmt : Buffer.t -> stmt -> unit
+
+val program_to_string : stmt list -> string

@@ -1,0 +1,104 @@
+type token =
+  | Num of string
+  | Str of string
+  | Ident of string
+  | Punct of string
+
+exception Invalid of string
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let brackets = ref [] in
+  let emit t = toks := t :: !toks in
+  let rec go i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let rec eol j = if j < n && src.[j] <> '\n' then eol (j + 1) else j in
+        go (eol (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let rec close j =
+          if j + 1 >= n then raise (Invalid "unterminated block comment")
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else close (j + 1)
+        in
+        go (close (i + 2))
+      | ('"' | '\'' | '`') as quote ->
+        let rec close j acc =
+          if j >= n then raise (Invalid "unterminated string")
+          else if src.[j] = '\\' then
+            if j + 1 >= n then raise (Invalid "trailing backslash")
+            else close (j + 2) acc
+          else if src.[j] = quote then begin
+            emit (Str acc);
+            j + 1
+          end
+          else if src.[j] = '\n' && quote <> '`' then
+            raise (Invalid "newline in string literal")
+          else close (j + 1) (acc ^ String.make 1 src.[j])
+        in
+        go (close (i + 1) "")
+      | ('(' | '[' | '{') as c ->
+        brackets := c :: !brackets;
+        emit (Punct (String.make 1 c));
+        go (i + 1)
+      | (')' | ']' | '}') as c ->
+        let expected =
+          match c with ')' -> '(' | ']' -> '[' | _ -> '{'
+        in
+        (match !brackets with
+        | top :: rest when top = expected ->
+          brackets := rest;
+          emit (Punct (String.make 1 c));
+          go (i + 1)
+        | top :: _ ->
+          raise (Invalid (Printf.sprintf "mismatched bracket: %c closed by %c" top c))
+        | [] -> raise (Invalid (Printf.sprintf "unmatched closing %c" c)))
+      | c when is_digit c ->
+        let rec num j =
+          if j >= n then j
+          else if
+            is_digit src.[j] || src.[j] = '.' || src.[j] = 'x'
+            || (src.[j] >= 'a' && src.[j] <= 'f')
+            || (src.[j] >= 'A' && src.[j] <= 'F')
+          then num (j + 1)
+          else if
+            (src.[j] = '+' || src.[j] = '-')
+            && (src.[j - 1] = 'e' || src.[j - 1] = 'E')
+          then num (j + 1)
+          else j
+        in
+        let j = num (i + 1) in
+        emit (Num (String.sub src i (j - i)));
+        go j
+      | c when is_ident_start c ->
+        let rec word j = if j < n && is_ident_char src.[j] then word (j + 1) else j in
+        let j = word (i + 1) in
+        emit (Ident (String.sub src i (j - i)));
+        go j
+      | ('+' | '-' | '*' | '/' | '%' | '=' | '<' | '>' | '!' | '&' | '|' | '?'
+        | ':' | ';' | ',' | '.' | '^' | '~') as c ->
+        emit (Punct (String.make 1 c));
+        go (i + 1)
+      | c -> raise (Invalid (Printf.sprintf "unexpected character %C" c))
+  in
+  go 0;
+  (match !brackets with
+  | [] -> ()
+  | c :: _ -> raise (Invalid (Printf.sprintf "unclosed bracket %c" c)));
+  List.rev !toks
+
+let well_formed src =
+  match tokenize src with
+  | _ -> Ok ()
+  | exception Invalid msg -> Error msg

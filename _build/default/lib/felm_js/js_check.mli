@@ -1,0 +1,22 @@
+(** A small JavaScript tokenizer used to validate compiler output in tests
+    (no browser exists in this environment — see DESIGN.md substitutions).
+
+    It understands strings (single, double, template), comments, numbers,
+    identifiers and punctuation, and checks bracket balance. This is not a
+    parser; it catches the classes of emission bug a syntax error would
+    produce (unterminated strings, unbalanced brackets, stray
+    characters). *)
+
+type token =
+  | Num of string
+  | Str of string
+  | Ident of string
+  | Punct of string
+
+exception Invalid of string
+(** Description of the first problem found. *)
+
+val tokenize : string -> token list
+(** @raise Invalid on malformed input, including unbalanced brackets. *)
+
+val well_formed : string -> (unit, string) result

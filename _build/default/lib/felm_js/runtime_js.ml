@@ -1,0 +1,200 @@
+let source =
+  {js|// FElm runtime (compiled output support library).
+// Mirrors the CML translation of the paper (Fig. 9-11): every node relays
+// exactly one Change/NoChange message per event; foldp steps only on
+// Change; async subgraph results re-enter as fresh events.
+var ElmRuntime = (function () {
+  "use strict";
+
+  function newGraph() {
+    return { nodes: [], inputs: {}, displayNode: null, queue: [], dispatching: false };
+  }
+
+  function addNode(g, node) {
+    node.id = g.nodes.length;
+    g.nodes.push(node);
+    return node;
+  }
+
+  function input(g, name, defaultValue) {
+    if (g.inputs[name]) { return g.inputs[name]; }
+    var node = addNode(g, {
+      kind: "input", name: name, rank: 0, value: defaultValue, pending: null
+    });
+    g.inputs[name] = node;
+    return node;
+  }
+
+  function maxRank(deps) {
+    var r = 0;
+    for (var i = 0; i < deps.length; i++) { if (deps[i].rank > r) { r = deps[i].rank; } }
+    return r;
+  }
+
+  function lift(g, fn, deps) {
+    var args = deps.map(function (d) { return d.value; });
+    return addNode(g, {
+      kind: "lift", fn: fn, deps: deps, rank: maxRank(deps) + 1,
+      value: fn.apply(null, args)
+    });
+  }
+
+  function foldp(g, fn, base, dep) {
+    return addNode(g, {
+      kind: "foldp", fn: fn, deps: [dep], rank: dep.rank + 1, value: base
+    });
+  }
+
+  function async(g, dep) {
+    // A source node; changes of the inner subgraph become new events.
+    var node = addNode(g, {
+      kind: "async", name: "async#" + g.nodes.length, rank: 0,
+      value: dep.value, pending: null
+    });
+    node.watch = dep;
+    g.inputs[node.name] = node;
+    return node;
+  }
+
+  // One synchronous pass: the [sourceId] node fires with [value]; every
+  // other node recomputes only if an upstream dependency changed.
+  function dispatch(g, sourceId, value) {
+    var changed = {};
+    var i, node;
+    var byRank = g.nodes.slice().sort(function (a, b) { return a.rank - b.rank; });
+    for (i = 0; i < byRank.length; i++) {
+      node = byRank[i];
+      if (node.kind === "input" || node.kind === "async") {
+        if (node.id === sourceId) {
+          node.value = value;
+          changed[node.id] = true;
+        }
+      } else {
+        var depChanged = false;
+        for (var j = 0; j < node.deps.length; j++) {
+          if (changed[node.deps[j].id]) { depChanged = true; }
+        }
+        if (depChanged) {
+          if (node.kind === "lift") {
+            node.value = node.fn.apply(null, node.deps.map(function (d) { return d.value; }));
+          } else { // foldp
+            node.value = node.fn(node.deps[0].value, node.value);
+          }
+          changed[node.id] = true;
+        }
+      }
+    }
+    // async nodes watch their subgraph output and queue a fresh event.
+    for (i = 0; i < g.nodes.length; i++) {
+      node = g.nodes[i];
+      if (node.kind === "async" && node.watch && changed[node.watch.id]) {
+        (function (n, v) {
+          setTimeout(function () { notify(g, n.id, v); }, 0);
+        })(node, node.watch.value);
+      }
+    }
+    if (g.displayNode !== null && changed[g.displayNode.id]) {
+      render(g, g.displayNode.value);
+    }
+  }
+
+  function notify(g, sourceId, value) {
+    // FIFO event queue standing in for the newEvent mailbox.
+    g.queue.push([sourceId, value]);
+    if (g.dispatching) { return; }
+    g.dispatching = true;
+    while (g.queue.length > 0) {
+      var ev = g.queue.shift();
+      dispatch(g, ev[0], ev[1]);
+    }
+    g.dispatching = false;
+  }
+
+  function show(v) {
+    if (v === null) { return "()"; }
+    if (Array.isArray(v)) { return "(" + show(v[0]) + ", " + show(v[1]) + ")"; }
+    if (typeof v === "function") { return "<function>"; }
+    return String(v);
+  }
+
+  function eq(a, b) {
+    if (Array.isArray(a) && Array.isArray(b)) { return eq(a[0], b[0]) && eq(a[1], b[1]); }
+    return a === b;
+  }
+
+  function cmp(a, b) {
+    if (Array.isArray(a) && Array.isArray(b)) {
+      var c = cmp(a[0], b[0]);
+      return c !== 0 ? c : cmp(a[1], b[1]);
+    }
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+
+  function render(g, value) {
+    if (typeof document !== "undefined") {
+      var el = document.getElementById("felm-main");
+      if (el) { el.textContent = show(value); }
+    }
+  }
+
+  function display(g, node) {
+    g.displayNode = node;
+    render(g, node.value);
+  }
+
+  function wireBrowserEvents(g) {
+    if (typeof document === "undefined") { return; }
+    document.addEventListener("mousemove", function (e) {
+      if (g.inputs["Mouse.x"]) { notify(g, g.inputs["Mouse.x"].id, e.pageX); }
+      if (g.inputs["Mouse.y"]) { notify(g, g.inputs["Mouse.y"].id, e.pageY); }
+    });
+    document.addEventListener("keydown", function (e) {
+      if (g.inputs["Keyboard.lastPressed"]) {
+        notify(g, g.inputs["Keyboard.lastPressed"].id, e.keyCode);
+      }
+    });
+    window.addEventListener("resize", function () {
+      if (g.inputs["Window.width"]) { notify(g, g.inputs["Window.width"].id, window.innerWidth); }
+      if (g.inputs["Window.height"]) { notify(g, g.inputs["Window.height"].id, window.innerHeight); }
+    });
+    if (g.inputs["Time.seconds"]) {
+      setInterval(function () {
+        notify(g, g.inputs["Time.seconds"].id, Date.now() / 1000);
+      }, 1000);
+    }
+  }
+
+  var prims = {
+    not: function (a) { return a === 0 ? 1 : 0; },
+    abs: function (a) { return Math.abs(a); },
+    min: function (a, b) { return Math.min(a, b); },
+    max: function (a, b) { return Math.max(a, b); },
+    sqrt: function (a) { return Math.sqrt(a); },
+    intToFloat: function (a) { return a; },
+    round: function (a) { return Math.round(a); },
+    strlen: function (s) { return s.length; },
+    translate: function (s) {
+      var dict = { "": "", hello: "bonjour", world: "monde", yes: "oui",
+        no: "non", cat: "chat", dog: "chien", house: "maison",
+        water: "eau", thanks: "merci" };
+      return Object.prototype.hasOwnProperty.call(dict, s) ? dict[s] : "le " + s;
+    },
+    work: function (cost, x) { return x; }, // cost is real only in the simulator
+    cons: function (x, xs) { return [x].concat(xs); },
+    head: function (xs) { return xs[0]; },
+    tail: function (xs) { return xs.slice(1); },
+    isEmpty: function (xs) { return xs.length === 0 ? 1 : 0; },
+    length: function (xs) { return xs.length; },
+    take: function (n, xs) { return xs.slice(0, Math.max(0, n)); },
+    reverse: function (xs) { return xs.slice().reverse(); },
+    isNone: function (o) { return o.length === 0 ? 1 : 0; },
+    withDefault: function (d, o) { return o.length === 0 ? d : o[0]; }
+  };
+
+  return {
+    newGraph: newGraph, input: input, lift: lift, foldp: foldp,
+    async: async, notify: notify, display: display, show: show,
+    eq: eq, cmp: cmp, prims: prims, wireBrowserEvents: wireBrowserEvents
+  };
+})();
+|js}

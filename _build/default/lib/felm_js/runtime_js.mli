@@ -1,0 +1,12 @@
+(** The JavaScript runtime embedded in compiled output (paper Section 5).
+
+    A compact re-implementation of the signal-graph semantics for the
+    browser: rank-ordered synchronous propagation with Change/NoChange
+    memoization per event, [foldp] state, [async] re-dispatch through the
+    macrotask queue (the paper's compiler likewise supports "concurrent
+    execution only for asynchronous requests" because JavaScript lacks
+    lightweight threads), DOM event wiring for the standard inputs, and a
+    display loop writing [main] to the page. *)
+
+val source : string
+(** The runtime as JavaScript source. Exposes a global [ElmRuntime]. *)

@@ -1,0 +1,1 @@
+lib/gui/ascii_render.ml: Bytes Element Filename List Printf Stdlib String Text

@@ -1,0 +1,1 @@
+lib/gui/ascii_render.mli: Element

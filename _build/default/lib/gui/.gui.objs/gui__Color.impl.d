@@ -1,0 +1,1 @@
+lib/gui/color.ml: Float Format Printf

@@ -1,0 +1,1 @@
+lib/gui/color.mli: Format

@@ -1,0 +1,1 @@
+lib/gui/element.ml: Color List Stdlib String Text Transform2d

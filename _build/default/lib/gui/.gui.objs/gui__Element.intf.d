@@ -1,0 +1,1 @@
+lib/gui/element.mli: Color Text Transform2d

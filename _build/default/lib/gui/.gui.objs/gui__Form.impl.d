@@ -1,0 +1,1 @@
+lib/gui/form.ml: Color Element Float List Stdlib Text Transform2d

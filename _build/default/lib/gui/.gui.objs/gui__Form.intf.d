@@ -1,0 +1,1 @@
+lib/gui/form.mli: Color Element Text Transform2d

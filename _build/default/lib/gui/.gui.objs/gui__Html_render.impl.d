@@ -1,0 +1,1 @@
+lib/gui/html_render.ml: Buffer Color Element List Printf String Svg_render Text

@@ -1,0 +1,1 @@
+lib/gui/html_render.mli: Element

@@ -1,0 +1,1 @@
+lib/gui/plot.ml: Array Color Element Float Form List Printf Stdlib

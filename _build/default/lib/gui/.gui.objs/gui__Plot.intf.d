@@ -1,0 +1,1 @@
+lib/gui/plot.mli: Color Element

@@ -1,0 +1,1 @@
+lib/gui/svg_render.ml: Buffer Color Element Float List Printf String Text Transform2d

@@ -1,0 +1,1 @@
+lib/gui/svg_render.mli: Element

@@ -1,0 +1,1 @@
+lib/gui/text.ml: Color Float List Stdlib String

@@ -1,0 +1,1 @@
+lib/gui/text.mli: Color

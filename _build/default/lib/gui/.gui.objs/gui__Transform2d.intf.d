@@ -1,0 +1,1 @@
+lib/gui/transform2d.mli: Format

@@ -1,0 +1,99 @@
+open Element
+
+let cell_w = 8
+let cell_h = 16
+
+let cells_w px = (px + cell_w - 1) / cell_w
+
+let cells_h px = (px + cell_h - 1) / cell_h
+
+type grid = {
+  cols : int;
+  rows : int;
+  cells : Bytes.t;
+}
+
+let grid_create cols rows =
+  { cols; rows; cells = Bytes.make (Stdlib.max 0 (cols * rows)) ' ' }
+
+let grid_put g col row c =
+  if col >= 0 && col < g.cols && row >= 0 && row < g.rows then
+    Bytes.set g.cells ((row * g.cols) + col) c
+
+let grid_string g col row s =
+  String.iteri (fun i c -> grid_put g (col + i) row c) s
+
+let grid_box g col row w h label =
+  if w >= 2 && h >= 1 then begin
+    for i = 0 to w - 1 do
+      grid_put g (col + i) row '-';
+      grid_put g (col + i) (row + h - 1) '-'
+    done;
+    for j = 0 to h - 1 do
+      grid_put g col (row + j) '|';
+      grid_put g (col + w - 1) (row + j) '|'
+    done;
+    grid_put g col row '+';
+    grid_put g (col + w - 1) row '+';
+    grid_put g col (row + h - 1) '+';
+    grid_put g (col + w - 1) (row + h - 1) '+';
+    let label =
+      if String.length label > w - 2 then String.sub label 0 (Stdlib.max 0 (w - 2))
+      else label
+    in
+    if h >= 3 then grid_string g (col + 1) (row + (h / 2)) label
+    else if h >= 1 && w > String.length label + 2 then
+      grid_string g (col + 1) row label
+  end
+
+let rec draw g ~x ~y e =
+  let col = x / cell_w in
+  let row = y / cell_h in
+  let wc = cells_w (width_of e) in
+  let hc = cells_h (height_of e) in
+  match prim_of e with
+  | Prim_empty | Prim_spacer -> ()
+  | Prim_text txt ->
+    let lines = String.split_on_char '\n' (Text.to_string txt) in
+    List.iteri (fun i line -> grid_string g col (row + i) line) lines
+  | Prim_image { src; _ } | Prim_fitted_image { src; _ }
+  | Prim_cropped_image { src; _ } ->
+    grid_box g col row wc hc ("img:" ^ Filename.basename src)
+  | Prim_video src -> grid_box g col row wc hc ("video:" ^ Filename.basename src)
+  | Prim_collage forms ->
+    grid_box g col row wc hc (Printf.sprintf "collage[%d]" (List.length forms))
+  | Prim_flow (dir, children) ->
+    let w = width_of e in
+    let h = height_of e in
+    ignore
+      (List.fold_left
+         (fun cursor child ->
+           let cw = width_of child in
+           let ch = height_of child in
+           let cx, cy = child_offset dir (w, h) (cursor, 0) (cw, ch) in
+           draw g ~x:(x + cx) ~y:(y + cy) child;
+           cursor
+           +
+           match dir with
+           | Left | Right -> cw
+           | Up | Down -> ch
+           | Inward | Outward -> 0)
+         0 children)
+  | Prim_container (pos, child) ->
+    let cx, cy = position_offset pos (size_of e) (size_of child) in
+    draw g ~x:(x + cx) ~y:(y + cy) child
+
+let render e =
+  let g = grid_create (cells_w (width_of e)) (cells_h (height_of e)) in
+  draw g ~x:0 ~y:0 e;
+  let rows =
+    List.init g.rows (fun r ->
+        let line = Bytes.sub_string g.cells (r * g.cols) g.cols in
+        (* right-trim *)
+        let len = ref (String.length line) in
+        while !len > 0 && line.[!len - 1] = ' ' do
+          decr len
+        done;
+        String.sub line 0 !len)
+  in
+  String.concat "\n" rows

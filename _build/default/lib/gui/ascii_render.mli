@@ -1,0 +1,14 @@
+(** Character-grid preview of elements.
+
+    There is no display in this container, so terminal examples draw the
+    layout as ASCII art: one cell per 8x16 pixels, text rendered literally,
+    images and collages as labelled boxes. Layout decisions (flow offsets,
+    container positioning) use the same arithmetic as the HTML renderer, so
+    what you see in the terminal is the same geometry a browser would
+    show. *)
+
+val cell_w : int
+val cell_h : int
+
+val render : Element.t -> string
+(** Multi-line string; rows are right-trimmed. *)

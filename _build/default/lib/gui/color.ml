@@ -1,0 +1,96 @@
+type t = {
+  red : int;
+  green : int;
+  blue : int;
+  alpha : float;
+}
+
+let clamp_channel c = if c < 0 then 0 else if c > 255 then 255 else c
+
+let clamp_unit a = if a < 0.0 then 0.0 else if a > 1.0 then 1.0 else a
+
+let rgba r g b a =
+  {
+    red = clamp_channel r;
+    green = clamp_channel g;
+    blue = clamp_channel b;
+    alpha = clamp_unit a;
+  }
+
+let rgb r g b = rgba r g b 1.0
+
+let hsva hue s v a =
+  let s = clamp_unit s in
+  let v = clamp_unit v in
+  let hue = Float.rem (Float.rem hue 360.0 +. 360.0) 360.0 in
+  let c = v *. s in
+  let h' = hue /. 60.0 in
+  let x = c *. (1.0 -. Float.abs (Float.rem h' 2.0 -. 1.0)) in
+  let r', g', b' =
+    if h' < 1.0 then (c, x, 0.0)
+    else if h' < 2.0 then (x, c, 0.0)
+    else if h' < 3.0 then (0.0, c, x)
+    else if h' < 4.0 then (0.0, x, c)
+    else if h' < 5.0 then (x, 0.0, c)
+    else (c, 0.0, x)
+  in
+  let m = v -. c in
+  let ch f = int_of_float (Float.round ((f +. m) *. 255.0)) in
+  rgba (ch r') (ch g') (ch b') a
+
+let hsv hue s v = hsva hue s v 1.0
+
+let to_hsv { red; green; blue; _ } =
+  let r = float_of_int red /. 255.0 in
+  let g = float_of_int green /. 255.0 in
+  let b = float_of_int blue /. 255.0 in
+  let v = Float.max r (Float.max g b) in
+  let m = Float.min r (Float.min g b) in
+  let c = v -. m in
+  let hue =
+    if c = 0.0 then 0.0
+    else if v = r then 60.0 *. Float.rem ((g -. b) /. c) 6.0
+    else if v = g then 60.0 *. (((b -. r) /. c) +. 2.0)
+    else 60.0 *. (((r -. g) /. c) +. 4.0)
+  in
+  let hue = if hue < 0.0 then hue +. 360.0 else hue in
+  let s = if v = 0.0 then 0.0 else c /. v in
+  (hue, s, v)
+
+let complement color =
+  let h, s, v = to_hsv color in
+  hsva (h +. 180.0) s v color.alpha
+
+let gray_scale v =
+  let v = clamp_unit v in
+  let ch = int_of_float (Float.round (v *. 255.0)) in
+  rgb ch ch ch
+
+let to_css { red; green; blue; alpha } =
+  if alpha >= 1.0 then Printf.sprintf "rgb(%d,%d,%d)" red green blue
+  else Printf.sprintf "rgba(%d,%d,%d,%g)" red green blue alpha
+
+let equal a b =
+  a.red = b.red && a.green = b.green && a.blue = b.blue
+  && Float.abs (a.alpha -. b.alpha) < 1e-9
+
+let pp ppf c = Format.pp_print_string ppf (to_css c)
+
+let red = rgb 204 0 0
+let orange = rgb 255 165 0
+let yellow = rgb 255 255 0
+let green = rgb 0 153 0
+let blue = rgb 0 0 204
+let purple = rgb 128 0 128
+let brown = rgb 139 69 19
+let black = rgb 0 0 0
+let white = rgb 255 255 255
+let gray = rgb 128 128 128
+let grey = gray
+let light_gray = rgb 211 211 211
+let dark_gray = rgb 90 90 90
+let charcoal = rgb 54 69 79
+let pink = rgb 255 192 203
+let cyan = rgb 0 255 255
+let magenta = rgb 255 0 255
+let transparent = rgba 0 0 0 0.0

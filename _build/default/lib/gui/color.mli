@@ -1,0 +1,58 @@
+(** Colors for Elm's graphics libraries (Section 4.1).
+
+    Components are 8-bit channels plus an alpha in [0, 1]. Includes the Elm
+    named palette, HSV conversion, and CSS serialization used by the HTML
+    and SVG renderers. *)
+
+type t = {
+  red : int;
+  green : int;
+  blue : int;
+  alpha : float;
+}
+
+val rgb : int -> int -> int -> t
+(** Channels are clamped to [0, 255]; alpha is 1. *)
+
+val rgba : int -> int -> int -> float -> t
+
+val hsv : float -> float -> float -> t
+(** [hsv hue saturation value]: hue in degrees (wrapped into [0, 360)),
+    saturation and value in [0, 1]. *)
+
+val hsva : float -> float -> float -> float -> t
+
+val to_hsv : t -> float * float * float
+
+val complement : t -> t
+(** Rotate the hue by 180 degrees. *)
+
+val gray_scale : float -> t
+(** [gray_scale v] with [v] in [0,1]; 0 is black. *)
+
+val to_css : t -> string
+(** ["rgba(r,g,b,a)"] suitable for CSS and SVG attributes. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {1 Named colors (the Elm palette)} *)
+
+val red : t
+val orange : t
+val yellow : t
+val green : t
+val blue : t
+val purple : t
+val brown : t
+val black : t
+val white : t
+val gray : t
+val grey : t
+val light_gray : t
+val dark_gray : t
+val charcoal : t
+val pink : t
+val cyan : t
+val magenta : t
+val transparent : t

@@ -1,0 +1,210 @@
+type direction =
+  | Up
+  | Down
+  | Left
+  | Right
+  | Inward
+  | Outward
+
+type position =
+  | Top_left
+  | Mid_top
+  | Top_right
+  | Mid_left
+  | Middle
+  | Mid_right
+  | Bottom_left
+  | Mid_bottom
+  | Bottom_right
+  | At of int * int
+
+type point = float * float
+
+type line_cap =
+  | Flat
+  | Round
+  | Padded
+
+type line_join =
+  | Smooth
+  | Sharp
+  | Clipped
+
+type line_style = {
+  line_color : Color.t;
+  line_width : float;
+  cap : line_cap;
+  join : line_join;
+  dashing : int list;
+}
+
+type gradient =
+  | Linear of {
+      g_start : point;
+      g_end : point;
+      stops : (float * Color.t) list;
+    }
+  | Radial of {
+      center : point;
+      radius : float;
+      stops : (float * Color.t) list;
+    }
+
+type fill_style =
+  | Filled of Color.t
+  | Textured of string
+  | Gradient of gradient
+  | Outline of line_style
+
+type t = {
+  w : int;
+  h : int;
+  elem_opacity : float;
+  background : Color.t option;
+  href : string option;
+  prim : primitive;
+}
+
+and form = {
+  theta : float;
+  form_scale : float;
+  form_x : float;
+  form_y : float;
+  form_alpha : float;
+  basic : basic_form;
+}
+
+and basic_form =
+  | Form_path of line_style * point list
+  | Form_shape of fill_style * point list
+  | Form_text of Text.t
+  | Form_element of t
+  | Form_group of form list
+  | Form_group_transform of Transform2d.t * form list
+
+and primitive =
+  | Prim_empty
+  | Prim_text of Text.t
+  | Prim_image of { src : string; img_w : int; img_h : int }
+  | Prim_fitted_image of { src : string; img_w : int; img_h : int }
+  | Prim_cropped_image of {
+      src : string;
+      img_w : int;
+      img_h : int;
+      off_x : int;
+      off_y : int;
+    }
+  | Prim_video of string
+  | Prim_spacer
+  | Prim_flow of direction * t list
+  | Prim_container of position * t
+  | Prim_collage of form list
+
+let width_of e = e.w
+let height_of e = e.h
+let size_of e = (e.w, e.h)
+let prim_of e = e.prim
+let opacity_of e = e.elem_opacity
+let background_of e = e.background
+let href_of e = e.href
+
+let make w h prim =
+  {
+    w = Stdlib.max 0 w;
+    h = Stdlib.max 0 h;
+    elem_opacity = 1.0;
+    background = None;
+    href = None;
+    prim;
+  }
+
+let empty = make 0 0 Prim_empty
+
+let text txt =
+  let w, h = Text.measure txt in
+  make w h (Prim_text txt)
+
+let plain_text s = text (Text.of_string s)
+
+let as_text s = text (Text.monospace (Text.of_string s))
+
+let image w h src = make w h (Prim_image { src; img_w = w; img_h = h })
+
+let fitted_image w h src =
+  make w h (Prim_fitted_image { src; img_w = w; img_h = h })
+
+let cropped_image w h (off_x, off_y) src =
+  make w h (Prim_cropped_image { src; img_w = w; img_h = h; off_x; off_y })
+
+let video w h src = make w h (Prim_video src)
+
+let spacer w h = make w h Prim_spacer
+
+let paragraph width s =
+  let max_chars = Stdlib.max 1 (width / Text.char_width Text.default_style.Text.height) in
+  let lines = Text.wrap_words ~max_chars s in
+  let e = text (Text.of_string (String.concat "\n" lines)) in
+  { e with w = Stdlib.max e.w width }
+
+let flow dir children =
+  let sum f = List.fold_left (fun acc e -> acc + f e) 0 children in
+  let maxi f = List.fold_left (fun acc e -> Stdlib.max acc (f e)) 0 children in
+  let w, h =
+    match dir with
+    | Left | Right -> (sum width_of, maxi height_of)
+    | Up | Down -> (maxi width_of, sum height_of)
+    | Inward | Outward -> (maxi width_of, maxi height_of)
+  in
+  make w h (Prim_flow (dir, children))
+
+let above a b = flow Down [ a; b ]
+let below a b = flow Down [ b; a ]
+let beside a b = flow Right [ a; b ]
+let layers es = flow Outward es
+
+let container w h pos child = make w h (Prim_container (pos, child))
+
+let collage w h forms = make w h (Prim_collage forms)
+
+let width new_w e =
+  match e.prim with
+  | Prim_image { img_h; img_w; _ } when img_w > 0 ->
+    (* plain images keep their aspect ratio *)
+    { e with w = new_w; h = img_h * new_w / img_w }
+  | _ -> { e with w = new_w }
+
+let height new_h e =
+  match e.prim with
+  | Prim_image { img_h; img_w; _ } when img_h > 0 ->
+    { e with h = new_h; w = img_w * new_h / img_h }
+  | _ -> { e with h = new_h }
+
+let size w h e = { e with w; h }
+
+let opacity o e = { e with elem_opacity = o }
+
+let color c e = { e with background = Some c }
+
+let link url e = { e with href = Some url }
+
+let position_offset pos (w, h) (cw, ch) =
+  let center x total = (total - x) / 2 in
+  match pos with
+  | Top_left -> (0, 0)
+  | Mid_top -> (center cw w, 0)
+  | Top_right -> (w - cw, 0)
+  | Mid_left -> (0, center ch h)
+  | Middle -> (center cw w, center ch h)
+  | Mid_right -> (w - cw, center ch h)
+  | Bottom_left -> (0, h - ch)
+  | Mid_bottom -> (center cw w, h - ch)
+  | Bottom_right -> (w - cw, h - ch)
+  | At (x, y) -> (x, y)
+
+let child_offset dir (w, h) (cursor_main, _max_other) (cw, ch) =
+  match dir with
+  | Right -> (cursor_main, 0)
+  | Left -> (w - cursor_main - cw, 0)
+  | Down -> (0, cursor_main)
+  | Up -> (0, h - cursor_main - ch)
+  | Inward | Outward -> (0, 0)

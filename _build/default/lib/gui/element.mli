@@ -1,0 +1,195 @@
+(** Purely functional graphical layout (paper Sections 2 and 4.1).
+
+    An {!t} ("Element") is a rectangle with a known width and height that can
+    contain text, images or video, and composes with other elements through
+    {!flow}, {!container} and {!layers} — "making layout easy to reason
+    about". Forms (free-form 2D shapes, {!form}) live in {!Form}; they enter
+    the rectangular world through {!collage} and leave it through
+    {!Form.to_form}. The two types are mutually recursive, so both are
+    defined here and re-exported by {!Form}. *)
+
+type direction =
+  | Up
+  | Down
+  | Left
+  | Right
+  | Inward  (** Stack, first element on top. *)
+  | Outward  (** Stack, last element on top. *)
+
+(** One of the nine container positions of Section 2 ("topLeft, midTop,
+    topRight, midLeft, middle, and so on"), or an absolute offset. *)
+type position =
+  | Top_left
+  | Mid_top
+  | Top_right
+  | Mid_left
+  | Middle
+  | Mid_right
+  | Bottom_left
+  | Mid_bottom
+  | Bottom_right
+  | At of int * int  (** Absolute offset of the child's top-left corner. *)
+
+type t
+
+(** {1 Forms (defined here for mutual recursion; see {!Form})} *)
+
+type point = float * float
+
+type line_cap =
+  | Flat
+  | Round
+  | Padded
+
+type line_join =
+  | Smooth
+  | Sharp
+  | Clipped
+
+type line_style = {
+  line_color : Color.t;
+  line_width : float;
+  cap : line_cap;
+  join : line_join;
+  dashing : int list;
+}
+
+type gradient =
+  | Linear of {
+      g_start : point;
+      g_end : point;
+      stops : (float * Color.t) list;
+    }
+  | Radial of {
+      center : point;
+      radius : float;
+      stops : (float * Color.t) list;
+    }
+
+type fill_style =
+  | Filled of Color.t
+  | Textured of string
+  | Gradient of gradient
+  | Outline of line_style
+
+type form = {
+  theta : float;  (** Rotation in radians, counter-clockwise. *)
+  form_scale : float;
+  form_x : float;
+  form_y : float;
+  form_alpha : float;
+  basic : basic_form;
+}
+
+and basic_form =
+  | Form_path of line_style * point list
+  | Form_shape of fill_style * point list
+  | Form_text of Text.t
+  | Form_element of t
+  | Form_group of form list
+  | Form_group_transform of Transform2d.t * form list
+
+(** {1 Element structure (exposed for the renderers)} *)
+
+type primitive =
+  | Prim_empty
+  | Prim_text of Text.t
+  | Prim_image of { src : string; img_w : int; img_h : int }
+  | Prim_fitted_image of { src : string; img_w : int; img_h : int }
+  | Prim_cropped_image of {
+      src : string;
+      img_w : int;
+      img_h : int;
+      off_x : int;
+      off_y : int;
+    }
+  | Prim_video of string
+  | Prim_spacer
+  | Prim_flow of direction * t list
+  | Prim_container of position * t
+  | Prim_collage of form list
+
+val width_of : t -> int
+val height_of : t -> int
+val size_of : t -> int * int
+val prim_of : t -> primitive
+val opacity_of : t -> float
+val background_of : t -> Color.t option
+val href_of : t -> string option
+
+(** {1 Creation} *)
+
+val empty : t
+(** A zero-by-zero element. *)
+
+val text : Text.t -> t
+(** Sized with {!Text.measure}. *)
+
+val plain_text : string -> t
+(** [text (Text.of_string s)]. *)
+
+val as_text : string -> t
+(** Monospaced text, the style Elm's [asText] uses for printed values. *)
+
+val image : int -> int -> string -> t
+(** [image w h src]. *)
+
+val fitted_image : int -> int -> string -> t
+(** Image scaled to fit the given area, as in Example 3. *)
+
+val cropped_image : int -> int -> int * int -> string -> t
+
+val video : int -> int -> string -> t
+
+val spacer : int -> int -> t
+
+val paragraph : int -> string -> t
+(** [paragraph width s]: word-wrapped text fitting the given pixel width
+    (using the deterministic {!Text} metrics). *)
+
+(** {1 Composition} *)
+
+val flow : direction -> t list -> t
+(** Lay out elements in a direction. Perpendicular size is the maximum of
+    the children's; parallel size is their sum ([Inward]/[Outward] take the
+    maximum in both axes). *)
+
+val above : t -> t -> t
+(** [a above b = flow Down [a; b]]. *)
+
+val below : t -> t -> t
+val beside : t -> t -> t
+val layers : t list -> t
+
+val container : int -> int -> position -> t -> t
+(** A [w] by [h] area with the child placed at the given position — the
+    paper's answer to CSS centering (Example 1). *)
+
+val collage : int -> int -> form list -> t
+(** Combine forms in an unstructured way into an element (Section 4.1).
+    The coordinate system has its origin at the center, y pointing up. *)
+
+(** {1 Adjustment} *)
+
+val width : int -> t -> t
+(** Set the width. Plain images keep their aspect ratio, like Elm. *)
+
+val height : int -> t -> t
+val size : int -> int -> t -> t
+val opacity : float -> t -> t
+val color : Color.t -> t -> t
+(** Set a background color. *)
+
+val link : string -> t -> t
+
+(** {1 Inspection helpers} *)
+
+val child_offset : direction -> int * int -> (int * int) -> int * int -> int * int
+(** [child_offset dir (w, h) (cursor_main, max_other) (cw, ch)] is used by
+    renderers to place flow children; exposed for testing. Returns the
+    (x, y) of a child whose running position along the flow axis is
+    [cursor_main]. *)
+
+val position_offset : position -> int * int -> int * int -> int * int
+(** [position_offset pos (w, h) (cw, ch)] is the top-left offset of a child
+    of size [(cw, ch)] positioned in a container of size [(w, h)]. *)

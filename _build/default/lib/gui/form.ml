@@ -1,0 +1,147 @@
+open Element
+
+type t = Element.form
+
+type shape = Element.point list
+
+type path = Element.point list
+
+let pi = 4.0 *. atan 1.0
+
+let rect w h =
+  let hw = w /. 2.0 in
+  let hh = h /. 2.0 in
+  [ (-.hw, -.hh); (hw, -.hh); (hw, hh); (-.hw, hh) ]
+
+let square s = rect s s
+
+(* A fixed 32-gon keeps the approximation deterministic; renderers special-
+   case ovals into true ellipses by recognizing this construction is not
+   needed — they receive the polygon and the shape looks smooth enough. *)
+let oval w h =
+  let n = 32 in
+  List.init n (fun i ->
+      let angle = 2.0 *. pi *. float_of_int i /. float_of_int n in
+      (w /. 2.0 *. cos angle, h /. 2.0 *. sin angle))
+
+let circle r = oval (2.0 *. r) (2.0 *. r)
+
+let ngon n r =
+  let n = Stdlib.max 3 n in
+  List.init n (fun i ->
+      let angle = 2.0 *. pi *. float_of_int i /. float_of_int n in
+      (r *. cos angle, r *. sin angle))
+
+let polygon points = points
+
+let path points = points
+
+let segment p1 p2 = [ p1; p2 ]
+
+let default_line =
+  {
+    line_color = Color.black;
+    line_width = 1.0;
+    cap = Flat;
+    join = Sharp;
+    dashing = [];
+  }
+
+let solid color = { default_line with line_color = color }
+
+let dashed color = { default_line with line_color = color; dashing = [ 8; 4 ] }
+
+let dotted color = { default_line with line_color = color; dashing = [ 3; 3 ] }
+
+let basic basic_form =
+  {
+    theta = 0.0;
+    form_scale = 1.0;
+    form_x = 0.0;
+    form_y = 0.0;
+    form_alpha = 1.0;
+    basic = basic_form;
+  }
+
+let filled color shape = basic (Form_shape (Filled color, shape))
+
+let gradient g shape = basic (Form_shape (Gradient g, shape))
+
+let linear g_start g_end stops = Linear { g_start; g_end; stops }
+
+let radial center radius stops = Radial { center; radius; stops }
+
+let textured src shape = basic (Form_shape (Textured src, shape))
+
+let outlined style shape = basic (Form_shape (Outline style, shape))
+
+let traced style p = basic (Form_path (style, p))
+
+let form_text txt = basic (Form_text txt)
+
+let to_form element = basic (Form_element element)
+
+let group forms = basic (Form_group forms)
+
+let group_transform m forms = basic (Form_group_transform (m, forms))
+
+let move (dx, dy) f = { f with form_x = f.form_x +. dx; form_y = f.form_y +. dy }
+
+let move_x dx f = { f with form_x = f.form_x +. dx }
+
+let move_y dy f = { f with form_y = f.form_y +. dy }
+
+let rotate angle f = { f with theta = f.theta +. angle }
+
+let scale s f = { f with form_scale = f.form_scale *. s }
+
+let alpha a f = { f with form_alpha = a }
+
+let degrees d = d *. pi /. 180.0
+
+let turns t = 2.0 *. pi *. t
+
+let transform_point f (x, y) =
+  let x = x *. f.form_scale in
+  let y = y *. f.form_scale in
+  let c = cos f.theta in
+  let s = sin f.theta in
+  ((x *. c) -. (y *. s) +. f.form_x, (x *. s) +. (y *. c) +. f.form_y)
+
+let rec local_points f =
+  match f.basic with
+  | Form_path (_, pts) | Form_shape (_, pts) -> pts
+  | Form_text txt ->
+    let w, h = Text.measure txt in
+    let hw = float_of_int w /. 2.0 in
+    let hh = float_of_int h /. 2.0 in
+    [ (-.hw, -.hh); (hw, hh) ]
+  | Form_element e ->
+    let hw = float_of_int (width_of e) /. 2.0 in
+    let hh = float_of_int (height_of e) /. 2.0 in
+    [ (-.hw, -.hh); (hw, hh) ]
+  | Form_group forms ->
+    List.concat_map
+      (fun inner ->
+        List.map (transform_point inner) (local_points inner))
+      forms
+  | Form_group_transform (m, forms) ->
+    List.concat_map
+      (fun inner ->
+        List.map
+          (fun p -> Transform2d.apply m (transform_point inner p))
+          (local_points inner))
+      forms
+
+let bounding_box f =
+  match List.map (transform_point f) (local_points f) with
+  | [] -> None
+  | (x0, y0) :: rest ->
+    let lo, hi =
+      List.fold_left
+        (fun ((lx, ly), (hx, hy)) (x, y) ->
+          ((Float.min lx x, Float.min ly y), (Float.max hx x, Float.max hy y)))
+        ((x0, y0), (x0, y0))
+        rest
+    in
+    Some (lo, hi)

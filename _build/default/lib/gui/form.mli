@@ -1,0 +1,99 @@
+(** Free-form 2D graphics (paper Section 4.1, Fig. 12).
+
+    A form is "an arbitrary 2D shape (including lines, shapes, text, and
+    images)" that can be moved, rotated and scaled, and combined with
+    {!Element.collage}. Coordinates put the origin at the collage center
+    with y pointing up; angles are in radians (use {!degrees}). *)
+
+type t = Element.form
+
+type shape = Element.point list
+(** A closed outline. *)
+
+type path = Element.point list
+(** An open polyline. *)
+
+(** {1 Shapes and paths} *)
+
+val rect : float -> float -> shape
+(** [rect w h], centered on the origin. *)
+
+val square : float -> shape
+
+val oval : float -> float -> shape
+(** [oval w h], approximated by a fixed polygon; renderers emit a true
+    ellipse. *)
+
+val circle : float -> shape
+(** [circle radius]. *)
+
+val ngon : int -> float -> shape
+(** [ngon n radius]: regular polygon with [n] sides (Fig. 12's pentagon). *)
+
+val polygon : Element.point list -> shape
+
+val path : Element.point list -> path
+val segment : Element.point -> Element.point -> path
+
+(** {1 Line styles} *)
+
+val default_line : Element.line_style
+(** Solid black, width 1. *)
+
+val solid : Color.t -> Element.line_style
+val dashed : Color.t -> Element.line_style
+val dotted : Color.t -> Element.line_style
+
+(** {1 Turning shapes into forms} *)
+
+val filled : Color.t -> shape -> t
+val gradient : Element.gradient -> shape -> t
+(** Fill with a gradient ("several functions allow lines and shapes to be
+    given different colors, fills, and rendering", Section 4.1). *)
+
+val linear :
+  Element.point -> Element.point -> (float * Color.t) list -> Element.gradient
+(** [linear from to stops] with stop offsets in [0, 1]. *)
+
+val radial : Element.point -> float -> (float * Color.t) list -> Element.gradient
+
+val textured : string -> shape -> t
+val outlined : Element.line_style -> shape -> t
+val traced : Element.line_style -> path -> t
+val form_text : Text.t -> t
+val to_form : Element.t -> t
+(** Embed a rectangular element among free-form shapes. *)
+
+val group : t list -> t
+
+val group_transform : Transform2d.t -> t list -> t
+(** Elm's [groupTransform]: place a group of forms under an arbitrary
+    affine transform (non-uniform scaling, shearing — things
+    {!move}/{!rotate}/{!scale} cannot express). *)
+
+(** {1 Transforms} *)
+
+val move : float * float -> t -> t
+val move_x : float -> t -> t
+val move_y : float -> t -> t
+val rotate : float -> t -> t
+(** Rotation in radians, counter-clockwise. *)
+
+val scale : float -> t -> t
+val alpha : float -> t -> t
+
+val degrees : float -> float
+(** Convert degrees to radians, as in [rotate (degrees 70)]. *)
+
+val turns : float -> float
+(** Whole turns to radians. *)
+
+(** {1 Geometry} *)
+
+val transform_point : t -> Element.point -> Element.point
+(** Apply a form's scale, rotation and translation to a point in its local
+    coordinates. *)
+
+val bounding_box : t -> (Element.point * Element.point) option
+(** [(min_xy, max_xy)] of the form's geometry, if it has any. Text and
+    embedded elements are measured by their layout size. *)

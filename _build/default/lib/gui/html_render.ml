@@ -1,0 +1,110 @@
+open Element
+
+let escape = Svg_render.escape
+
+let style_of_text_style (st : Text.style) =
+  let buf = Buffer.create 64 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "font-family:%s;" (if st.Text.monospace then "monospace" else st.Text.typeface);
+  add "font-size:%gpx;" st.Text.height;
+  add "color:%s;" (Color.to_css st.Text.color);
+  if st.Text.bold then add "font-weight:bold;";
+  if st.Text.italic then add "font-style:italic;";
+  if st.Text.underline then add "text-decoration:underline;";
+  Buffer.contents buf
+
+let render_text txt =
+  let render_run (st, s) =
+    let span =
+      Printf.sprintf "<span style=\"%s\">%s</span>" (style_of_text_style st)
+        (escape s)
+    in
+    match st.Text.link with
+    | Some url -> Printf.sprintf "<a href=\"%s\">%s</a>" (escape url) span
+    | None -> span
+  in
+  String.concat "" (List.map render_run (Text.runs txt))
+
+let rec render_at ?(x = 0) ?(y = 0) e =
+  let w = width_of e in
+  let h = height_of e in
+  let base_style =
+    let bg =
+      match background_of e with
+      | Some c -> Printf.sprintf "background-color:%s;" (Color.to_css c)
+      | None -> ""
+    in
+    let op =
+      if opacity_of e < 1.0 then Printf.sprintf "opacity:%g;" (opacity_of e)
+      else ""
+    in
+    Printf.sprintf
+      "position:absolute;left:%dpx;top:%dpx;width:%dpx;height:%dpx;overflow:hidden;%s%s"
+      x y w h bg op
+  in
+  let wrap inner = Printf.sprintf "<div style=\"%s\">%s</div>" base_style inner in
+  let body =
+    match prim_of e with
+    | Prim_empty | Prim_spacer -> wrap ""
+    | Prim_text txt -> wrap (render_text txt)
+    | Prim_image { src; _ } ->
+      wrap
+        (Printf.sprintf "<img src=\"%s\" style=\"width:%dpx;height:%dpx\">"
+           (escape src) w h)
+    | Prim_fitted_image { src; _ } ->
+      wrap
+        (Printf.sprintf
+           "<img src=\"%s\" style=\"width:%dpx;height:%dpx;object-fit:cover\">"
+           (escape src) w h)
+    | Prim_cropped_image { src; img_w; img_h; off_x; off_y } ->
+      wrap
+        (Printf.sprintf
+           "<img src=\"%s\" style=\"width:%dpx;height:%dpx;margin-left:%dpx;margin-top:%dpx\">"
+           (escape src) img_w img_h (-off_x) (-off_y))
+    | Prim_video src ->
+      wrap
+        (Printf.sprintf
+           "<video src=\"%s\" style=\"width:%dpx;height:%dpx\" controls></video>"
+           (escape src) w h)
+    | Prim_flow (dir, children) ->
+      let render_children () =
+        let _, htmls =
+          List.fold_left
+            (fun (cursor, acc) child ->
+              let cw = width_of child in
+              let ch = height_of child in
+              let cx, cy = child_offset dir (w, h) (cursor, 0) (cw, ch) in
+              let advance =
+                match dir with
+                | Left | Right -> cw
+                | Up | Down -> ch
+                | Inward | Outward -> 0
+              in
+              (cursor + advance, render_at ~x:cx ~y:cy child :: acc))
+            (0, []) children
+        in
+        List.rev htmls
+      in
+      let children_html =
+        match dir with
+        | Inward -> List.rev (render_children ())
+        | _ -> render_children ()
+      in
+      wrap (String.concat "" children_html)
+    | Prim_container (pos, child) ->
+      let cx, cy = position_offset pos (w, h) (size_of child) in
+      wrap (render_at ~x:cx ~y:cy child)
+    | Prim_collage forms -> wrap (Svg_render.render_forms ~width:w ~height:h forms)
+  in
+  match href_of e with
+  | Some url -> Printf.sprintf "<a href=\"%s\">%s</a>" (escape url) body
+  | None -> body
+
+let render e = render_at e
+
+let to_page ?(title = "Elm") e =
+  Printf.sprintf
+    "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n<title>%s</title>\n\
+     </head>\n<body style=\"margin:0\">\n<div style=\"position:relative;width:%dpx;height:%dpx\">\n\
+     %s\n</div>\n</body>\n</html>\n"
+    (escape title) (width_of e) (height_of e) (render e)

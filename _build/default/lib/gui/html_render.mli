@@ -1,0 +1,14 @@
+(** HTML rendering of elements.
+
+    Generates the absolutely-positioned div structure the real Elm runtime
+    builds in the DOM, as a deterministic string: every element becomes a
+    [<div>] with explicit width/height, flows position their children along
+    the flow axis, containers use {!Element.position_offset}, and collages
+    embed inline SVG from {!Svg_render}. *)
+
+val render : Element.t -> string
+(** The element as an HTML fragment. *)
+
+val to_page : ?title:string -> Element.t -> string
+(** A complete HTML document (what the paper's compiler emits for a
+    program's [main], Section 5). *)

@@ -1,0 +1,179 @@
+type series = {
+  label : string;
+  color : Color.t;
+  points : (float * float) list;
+}
+
+let palette = [| Color.blue; Color.red; Color.green; Color.purple; Color.orange |]
+
+let series_count = ref 0
+
+let series ?label ?color points =
+  incr series_count;
+  let label =
+    match label with Some l -> l | None -> Printf.sprintf "series %d" !series_count
+  in
+  let color =
+    match color with
+    | Some c -> c
+    | None -> palette.((!series_count - 1) mod Array.length palette)
+  in
+  { label; color; points }
+
+let range points =
+  match points with
+  | [] -> ((0.0, 1.0), (0.0, 1.0))
+  | (x0, y0) :: rest ->
+    let (xmin, xmax), (ymin, ymax) =
+      List.fold_left
+        (fun ((xl, xh), (yl, yh)) (x, y) ->
+          ((Float.min xl x, Float.max xh x), (Float.min yl y, Float.max yh y)))
+        ((x0, x0), (y0, y0))
+        rest
+    in
+    let widen lo hi = if hi -. lo < 1e-9 then (lo -. 0.5, hi +. 0.5) else (lo, hi) in
+    (widen xmin xmax, widen ymin ymax)
+
+let project ~plot_w ~plot_h ~xrange:(xmin, xmax) ~yrange:(ymin, ymax) (x, y) =
+  let fx = (x -. xmin) /. (xmax -. xmin) in
+  let fy = (y -. ymin) /. (ymax -. ymin) in
+  ((fx -. 0.5) *. plot_w, (fy -. 0.5) *. plot_h)
+
+let axis_style = Form.solid Color.charcoal
+
+let tick_count = 5
+
+let axes ~plot_w ~plot_h =
+  let hw = plot_w /. 2.0 in
+  let hh = plot_h /. 2.0 in
+  let x_axis = Form.traced axis_style (Form.segment (-.hw, -.hh) (hw, -.hh)) in
+  let y_axis = Form.traced axis_style (Form.segment (-.hw, -.hh) (-.hw, hh)) in
+  let ticks =
+    List.concat
+      (List.init (tick_count + 1) (fun i ->
+           let f = float_of_int i /. float_of_int tick_count in
+           let x = ((f -. 0.5) *. plot_w) in
+           let y = ((f -. 0.5) *. plot_h) in
+           [
+             Form.traced axis_style (Form.segment (x, -.hh) (x, -.hh -. 4.0));
+             Form.traced axis_style (Form.segment (-.hw, y) (-.hw -. 4.0, y));
+           ]))
+  in
+  (x_axis :: y_axis :: ticks)
+
+let dot color (x, y) =
+  Form.move (x, y) (Form.filled color (Form.circle 2.5))
+
+let legend all_series =
+  Element.flow Element.Down
+    (List.map
+       (fun s ->
+         Element.flow Element.Right
+           [
+             Element.color s.color (Element.spacer 10 10);
+             Element.spacer 4 1;
+             Element.plain_text s.label;
+           ])
+       all_series)
+
+let plot_area ~width ~height = (float_of_int width *. 0.85, float_of_int height *. 0.8)
+
+let cartesian_forms ~draw_points ~plot_w ~plot_h all_series =
+  let all_points = List.concat_map (fun s -> s.points) all_series in
+  let xrange, yrange = range all_points in
+  let proj = project ~plot_w ~plot_h ~xrange ~yrange in
+  let traces =
+    List.concat_map
+      (fun s ->
+        let projected = List.map proj s.points in
+        let line =
+          match projected with
+          | [] | [ _ ] -> []
+          | _ -> [ Form.traced (Form.solid s.color) (Form.path projected) ]
+        in
+        let markers = if draw_points then List.map (dot s.color) projected else [] in
+        line @ markers)
+      all_series
+  in
+  axes ~plot_w ~plot_h @ traces
+
+let framed ~width ~height forms all_series =
+  Element.flow Element.Down
+    [ Element.collage width height forms; legend all_series ]
+
+let cartesian ?(width = 300) ?(height = 200) ?(draw_points = false) all_series =
+  let plot_w, plot_h = plot_area ~width ~height in
+  framed ~width ~height
+    (cartesian_forms ~draw_points ~plot_w ~plot_h all_series)
+    all_series
+
+let scatter ?(width = 300) ?(height = 200) all_series =
+  let plot_w, plot_h = plot_area ~width ~height in
+  let all_points = List.concat_map (fun s -> s.points) all_series in
+  let xrange, yrange = range all_points in
+  let proj = project ~plot_w ~plot_h ~xrange ~yrange in
+  let markers =
+    List.concat_map (fun s -> List.map (dot s.color) (List.map proj s.points)) all_series
+  in
+  framed ~width ~height (axes ~plot_w ~plot_h @ markers) all_series
+
+let bar ?(width = 300) ?(height = 200) ?(color = Color.blue) data =
+  let plot_w, plot_h = plot_area ~width ~height in
+  let n = List.length data in
+  let vmax =
+    List.fold_left (fun acc (_, v) -> Float.max acc v) 1e-9 data
+  in
+  let slot = plot_w /. float_of_int (Stdlib.max 1 n) in
+  let bars =
+    List.mapi
+      (fun i (_, v) ->
+        let h = v /. vmax *. plot_h in
+        let x = ((float_of_int i +. 0.5) *. slot) -. (plot_w /. 2.0) in
+        Form.move
+          (x, (h /. 2.0) -. (plot_h /. 2.0))
+          (Form.filled color (Form.rect (slot *. 0.7) h)))
+      data
+  in
+  let labels =
+    Element.flow Element.Right
+      (List.map
+         (fun (label, _) ->
+           Element.container (int_of_float slot) 16 Element.Mid_top
+             (Element.plain_text label))
+         data)
+  in
+  Element.flow Element.Down
+    [ Element.collage width height (axes ~plot_w ~plot_h @ bars); labels ]
+
+let radial ?(width = 240) ?(height = 240) all_series =
+  let radius = float_of_int (Stdlib.min width height) /. 2.0 *. 0.85 in
+  let rmax =
+    List.fold_left
+      (fun acc s -> List.fold_left (fun acc (_, r) -> Float.max acc r) acc s.points)
+      1e-9 all_series
+  in
+  let rings =
+    List.init 3 (fun i ->
+        let f = float_of_int (i + 1) /. 3.0 in
+        Form.outlined (Form.solid Color.light_gray) (Form.circle (radius *. f)))
+  in
+  let spokes =
+    List.init 6 (fun i ->
+        let angle = Float.pi *. float_of_int i /. 6.0 in
+        let dx = radius *. cos angle in
+        let dy = radius *. sin angle in
+        Form.traced (Form.solid Color.light_gray) (Form.segment (-.dx, -.dy) (dx, dy)))
+  in
+  let polar (theta, r) =
+    let rr = r /. rmax *. radius in
+    (rr *. cos theta, rr *. sin theta)
+  in
+  let traces =
+    List.filter_map
+      (fun s ->
+        match List.map polar s.points with
+        | [] | [ _ ] -> None
+        | pts -> Some (Form.traced (Form.solid s.color) (Form.path pts)))
+      all_series
+  in
+  framed ~width ~height (rings @ spokes @ traces) all_series

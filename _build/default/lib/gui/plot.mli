@@ -1,0 +1,51 @@
+(** A small graphing library over the collage API.
+
+    Section 5 lists "a graphing library that handles cartesian and radial
+    coordinates" among the applications built with Elm's purely functional
+    graphics; this module reproduces that capability: line/scatter plots on
+    cartesian axes, bar charts, and radial (polar) plots, all producing
+    ordinary {!Element.t} values that compose with any other layout. *)
+
+type series = {
+  label : string;
+  color : Color.t;
+  points : (float * float) list;
+}
+
+val series : ?label:string -> ?color:Color.t -> (float * float) list -> series
+
+val cartesian :
+  ?width:int ->
+  ?height:int ->
+  ?draw_points:bool ->
+  series list ->
+  Element.t
+(** Line plot with axes and tick marks. The data range (with a small
+    margin) is mapped onto the drawing area; each series is traced in its
+    color, optionally with point markers. A legend of labelled series is
+    stacked under the plot. *)
+
+val scatter : ?width:int -> ?height:int -> series list -> Element.t
+(** Points only. *)
+
+val bar : ?width:int -> ?height:int -> ?color:Color.t -> (string * float) list -> Element.t
+(** Vertical bars with labels underneath. *)
+
+val radial : ?width:int -> ?height:int -> series list -> Element.t
+(** Polar plot: each point is (angle in radians, radius); radii are
+    normalized to the largest value. Draws reference rings and spokes. *)
+
+(** {1 Internals exposed for tests} *)
+
+val range : (float * float) list -> (float * float) * (float * float)
+(** [((xmin, xmax), (ymin, ymax))] of a point set; degenerate ranges are
+    widened so projection never divides by zero. *)
+
+val project :
+  plot_w:float ->
+  plot_h:float ->
+  xrange:float * float ->
+  yrange:float * float ->
+  float * float ->
+  float * float
+(** Map a data point into collage coordinates (origin at the center). *)

@@ -1,0 +1,155 @@
+open Element
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&#39;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_float x =
+  (* Avoid "-0." and trailing noise for stable golden output. *)
+  let x = if Float.abs x < 1e-9 then 0.0 else x in
+  Printf.sprintf "%.2f" x
+
+let points_attr pts =
+  String.concat " "
+    (List.map (fun (x, y) -> Printf.sprintf "%s,%s" (fmt_float x) (fmt_float y)) pts)
+
+let cap_attr = function
+  | Flat -> "butt"
+  | Round -> "round"
+  | Padded -> "square"
+
+let join_attr = function
+  | Smooth -> "round"
+  | Sharp -> "miter"
+  | Clipped -> "bevel"
+
+let line_attrs style =
+  let dash =
+    match style.dashing with
+    | [] -> ""
+    | ds ->
+      Printf.sprintf " stroke-dasharray=\"%s\""
+        (String.concat "," (List.map string_of_int ds))
+  in
+  Printf.sprintf
+    "stroke=\"%s\" stroke-width=\"%s\" stroke-linecap=\"%s\" stroke-linejoin=\"%s\"%s"
+    (Color.to_css style.line_color)
+    (fmt_float style.line_width)
+    (cap_attr style.cap) (join_attr style.join) dash
+
+(* Gradients become SVG <defs> entries referenced by generated ids; a
+   context threads the defs through a render pass. *)
+type ctx = {
+  defs : Buffer.t;
+  mutable next_grad : int;
+}
+
+let new_ctx () = { defs = Buffer.create 64; next_grad = 0 }
+
+let stop_elems stops =
+  String.concat ""
+    (List.map
+       (fun (offset, color) ->
+         Printf.sprintf "<stop offset=\"%s\" stop-color=\"%s\"/>" (fmt_float offset)
+           (Color.to_css color))
+       stops)
+
+let gradient_ref ctx g =
+  ctx.next_grad <- ctx.next_grad + 1;
+  let id = Printf.sprintf "grad%d" ctx.next_grad in
+  (match g with
+  | Linear { g_start = x1, y1; g_end = x2, y2; stops } ->
+    Buffer.add_string ctx.defs
+      (Printf.sprintf
+         "<linearGradient id=\"%s\" gradientUnits=\"userSpaceOnUse\" x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\">%s</linearGradient>"
+         id (fmt_float x1) (fmt_float y1) (fmt_float x2) (fmt_float y2)
+         (stop_elems stops))
+  | Radial { center = cx, cy; radius; stops } ->
+    Buffer.add_string ctx.defs
+      (Printf.sprintf
+         "<radialGradient id=\"%s\" gradientUnits=\"userSpaceOnUse\" cx=\"%s\" cy=\"%s\" r=\"%s\">%s</radialGradient>"
+         id (fmt_float cx) (fmt_float cy) (fmt_float radius) (stop_elems stops)));
+  Printf.sprintf "url(#%s)" id
+
+let rec render_basic ctx = function
+  | Form_path (style, pts) ->
+    Printf.sprintf "<polyline points=\"%s\" fill=\"none\" %s/>" (points_attr pts)
+      (line_attrs style)
+  | Form_shape (Filled color, pts) ->
+    Printf.sprintf "<polygon points=\"%s\" fill=\"%s\"/>" (points_attr pts)
+      (Color.to_css color)
+  | Form_shape (Gradient g, pts) ->
+    Printf.sprintf "<polygon points=\"%s\" fill=\"%s\"/>" (points_attr pts)
+      (gradient_ref ctx g)
+  | Form_shape (Textured src, pts) ->
+    (* No image decoding in this substrate: textures keep their source as an
+       attribute over a neutral fill (see DESIGN.md substitutions). *)
+    Printf.sprintf
+      "<polygon points=\"%s\" fill=\"%s\" data-texture=\"%s\"/>"
+      (points_attr pts)
+      (Color.to_css Color.gray)
+      (escape src)
+  | Form_shape (Outline style, pts) ->
+    Printf.sprintf "<polygon points=\"%s\" fill=\"none\" %s/>" (points_attr pts)
+      (line_attrs style)
+  | Form_text txt ->
+    (* Re-flip locally so text is not mirrored by the global y-flip. *)
+    let style =
+      match Text.runs txt with (st, _) :: _ -> st | [] -> Text.default_style
+    in
+    Printf.sprintf
+      "<text transform=\"scale(1,-1)\" text-anchor=\"middle\" font-size=\"%s\" \
+       fill=\"%s\">%s</text>"
+      (fmt_float style.Text.height)
+      (Color.to_css style.Text.color)
+      (escape (Text.to_string txt))
+  | Form_element e ->
+    let w = width_of e in
+    let h = height_of e in
+    Printf.sprintf
+      "<g transform=\"scale(1,-1)\"><foreignObject x=\"%d\" y=\"%d\" width=\"%d\" \
+       height=\"%d\">%s</foreignObject></g>"
+      (-w / 2) (-h / 2) w h
+      (escape (Printf.sprintf "element %dx%d" w h))
+  | Form_group forms -> String.concat "" (List.map (render_form ctx) forms)
+  | Form_group_transform (m, forms) ->
+    (* SVG matrix(a b c d e f): x' = a x + c y + e, y' = b x + d y + f *)
+    Printf.sprintf "<g transform=\"matrix(%s %s %s %s %s %s)\">%s</g>"
+      (fmt_float m.Transform2d.a) (fmt_float m.Transform2d.c)
+      (fmt_float m.Transform2d.b) (fmt_float m.Transform2d.d)
+      (fmt_float m.Transform2d.x) (fmt_float m.Transform2d.y)
+      (String.concat "" (List.map (render_form ctx) forms))
+
+and render_form ctx f =
+  let rotation = f.theta *. 180.0 /. (4.0 *. atan 1.0) in
+  Printf.sprintf "<g transform=\"translate(%s %s) rotate(%s) scale(%s)\" opacity=\"%s\">%s</g>"
+    (fmt_float f.form_x) (fmt_float f.form_y) (fmt_float rotation)
+    (fmt_float f.form_scale) (fmt_float f.form_alpha)
+    (render_basic ctx f.basic)
+
+let form_to_svg f = render_form (new_ctx ()) f
+
+let render_forms ~width ~height forms =
+  let cx = float_of_int width /. 2.0 in
+  let cy = float_of_int height /. 2.0 in
+  let ctx = new_ctx () in
+  let body = String.concat "\n" (List.map (render_form ctx) forms) in
+  let defs =
+    if Buffer.length ctx.defs = 0 then ""
+    else Printf.sprintf "<defs>%s</defs>\n" (Buffer.contents ctx.defs)
+  in
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\">\n%s<g transform=\"translate(%s %s) scale(1,-1)\">\n%s\n</g>\n</svg>"
+    width height width height defs (fmt_float cx) (fmt_float cy)
+    body

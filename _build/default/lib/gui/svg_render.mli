@@ -1,0 +1,15 @@
+(** SVG rendering of collages.
+
+    The paper's runtime draws forms on an HTML canvas; here they become SVG,
+    which is deterministic text (golden-testable) and viewable in any
+    browser. Collage coordinates (origin at the center, y up) are mapped by
+    a global translate/flip. *)
+
+val render_forms : width:int -> height:int -> Element.form list -> string
+(** A complete standalone [<svg>] document of the given size. *)
+
+val form_to_svg : Element.form -> string
+(** A single form as an SVG fragment (a [<g>] element). *)
+
+val escape : string -> string
+(** XML-escape text content. *)

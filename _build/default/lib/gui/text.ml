@@ -1,0 +1,91 @@
+type style = {
+  typeface : string;
+  height : float;
+  color : Color.t;
+  bold : bool;
+  italic : bool;
+  underline : bool;
+  monospace : bool;
+  link : string option;
+}
+
+type t = { text_runs : (style * string) list }
+
+let default_style =
+  {
+    typeface = "sans-serif";
+    height = 14.0;
+    color = Color.black;
+    bold = false;
+    italic = false;
+    underline = false;
+    monospace = false;
+    link = None;
+  }
+
+let of_string s = { text_runs = [ (default_style, s) ] }
+
+let styled style s = { text_runs = [ (style, s) ] }
+
+let runs t = t.text_runs
+
+let to_string t = String.concat "" (List.map snd t.text_runs)
+
+let append a b = { text_runs = a.text_runs @ b.text_runs }
+
+let ( ++ ) = append
+
+let concat ts = { text_runs = List.concat_map (fun t -> t.text_runs) ts }
+
+let map_style f t = { text_runs = List.map (fun (st, s) -> (f st, s)) t.text_runs }
+
+let bold t = map_style (fun st -> { st with bold = true }) t
+let italic t = map_style (fun st -> { st with italic = true }) t
+let underline t = map_style (fun st -> { st with underline = true }) t
+let monospace t = map_style (fun st -> { st with monospace = true }) t
+let color c t = map_style (fun st -> { st with color = c }) t
+let height h t = map_style (fun st -> { st with height = h }) t
+let typeface face t = map_style (fun st -> { st with typeface = face }) t
+let link url t = map_style (fun st -> { st with link = Some url }) t
+
+let char_width h = Stdlib.max 1 (int_of_float (Float.round (0.6 *. h)))
+
+let line_height h = Stdlib.max 1 (int_of_float (Float.round (1.2 *. h)))
+
+(* Measure by lines: runs are concatenated, then split on newlines; each
+   line's width is the sum of its fragments measured in their own style. *)
+let measure t =
+  let max_height =
+    List.fold_left (fun acc (st, _) -> Float.max acc st.height) 0.0 t.text_runs
+  in
+  let max_height = if max_height = 0.0 then default_style.height else max_height in
+  let lines = ref [ 0 ] in
+  let add_width w =
+    match !lines with
+    | current :: rest -> lines := (current + w) :: rest
+    | [] -> lines := [ w ]
+  in
+  List.iter
+    (fun (st, s) ->
+      let cw = char_width st.height in
+      String.iter
+        (fun c -> if c = '\n' then lines := 0 :: !lines else add_width cw)
+        s)
+    t.text_runs;
+  let widths = !lines in
+  let width = List.fold_left Stdlib.max 0 widths in
+  let nlines = List.length widths in
+  (width, nlines * line_height max_height)
+
+let wrap_words ~max_chars s =
+  let words = List.filter (fun w -> w <> "") (String.split_on_char ' ' s) in
+  let lines, current =
+    List.fold_left
+      (fun (lines, current) word ->
+        if current = "" then (lines, word)
+        else if String.length current + 1 + String.length word <= max_chars then
+          (lines, current ^ " " ^ word)
+        else (current :: lines, word))
+      ([], "") words
+  in
+  List.rev (if current = "" then lines else current :: lines)

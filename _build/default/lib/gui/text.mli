@@ -1,0 +1,66 @@
+(** Styled text (Elm's [Text] library, Section 4.1).
+
+    A text value is a sequence of styled runs. Style functions apply to the
+    whole value, so [bold (of_string "a" ++ italic (of_string "b"))] bolds
+    both runs while only the second is italic.
+
+    {b Measurement.} Browsers measure text against real font metrics; this
+    container has none, so layout uses a deterministic approximation: a
+    character is [0.6 * height] pixels wide and a line is [1.2 * height]
+    pixels tall (height defaults to 14). DESIGN.md records this
+    substitution; every renderer and test shares the same metric, so layout
+    is exact within the model. *)
+
+type style = {
+  typeface : string;
+  height : float;
+  color : Color.t;
+  bold : bool;
+  italic : bool;
+  underline : bool;
+  monospace : bool;
+  link : string option;
+}
+
+type t
+
+val default_style : style
+
+val of_string : string -> t
+(** Plain text in the default style. *)
+
+val styled : style -> string -> t
+
+val runs : t -> (style * string) list
+
+val to_string : t -> string
+(** The unstyled contents. *)
+
+val append : t -> t -> t
+val ( ++ ) : t -> t -> t
+val concat : t list -> t
+
+(** {1 Styling} *)
+
+val bold : t -> t
+val italic : t -> t
+val underline : t -> t
+val monospace : t -> t
+val color : Color.t -> t -> t
+val height : float -> t -> t
+val typeface : string -> t -> t
+val link : string -> t -> t
+
+(** {1 Measurement} *)
+
+val char_width : float -> int
+(** Width in pixels of one character at a given text height. *)
+
+val line_height : float -> int
+
+val wrap_words : max_chars:int -> string -> string list
+(** Greedy word wrap; words longer than the limit get their own line. *)
+
+val measure : t -> int * int
+(** [(width, height)] in pixels of the rendered text block: the widest line
+    by the number of lines (runs may contain ['\n']). *)

@@ -1,0 +1,65 @@
+type t = {
+  a : float;
+  b : float;
+  c : float;
+  d : float;
+  x : float;
+  y : float;
+}
+
+let identity = { a = 1.0; b = 0.0; c = 0.0; d = 1.0; x = 0.0; y = 0.0 }
+
+let matrix a b c d x y = { a; b; c; d; x; y }
+
+let translation x y = { identity with x; y }
+
+let rotation theta =
+  let co = cos theta in
+  let si = sin theta in
+  { a = co; b = -.si; c = si; d = co; x = 0.0; y = 0.0 }
+
+let scale s = { identity with a = s; d = s }
+
+let scale_xy sx sy = { identity with a = sx; d = sy }
+
+let shear kx ky = { identity with b = kx; c = ky }
+
+let multiply m n =
+  {
+    a = (m.a *. n.a) +. (m.b *. n.c);
+    b = (m.a *. n.b) +. (m.b *. n.d);
+    c = (m.c *. n.a) +. (m.d *. n.c);
+    d = (m.c *. n.b) +. (m.d *. n.d);
+    x = (m.a *. n.x) +. (m.b *. n.y) +. m.x;
+    y = (m.c *. n.x) +. (m.d *. n.y) +. m.y;
+  }
+
+let apply m (u, v) = ((m.a *. u) +. (m.b *. v) +. m.x, (m.c *. u) +. (m.d *. v) +. m.y)
+
+let determinant m = (m.a *. m.d) -. (m.b *. m.c)
+
+let invert m =
+  let det = determinant m in
+  if Float.abs det < 1e-12 then None
+  else
+    let ia = m.d /. det in
+    let ib = -.m.b /. det in
+    let ic = -.m.c /. det in
+    let id = m.a /. det in
+    Some
+      {
+        a = ia;
+        b = ib;
+        c = ic;
+        d = id;
+        x = -.((ia *. m.x) +. (ib *. m.y));
+        y = -.((ic *. m.x) +. (id *. m.y));
+      }
+
+let equal ?(eps = 1e-9) m n =
+  let close p q = Float.abs (p -. q) <= eps in
+  close m.a n.a && close m.b n.b && close m.c n.c && close m.d n.d
+  && close m.x n.x && close m.y n.y
+
+let pp ppf m =
+  Format.fprintf ppf "[%g %g %g; %g %g %g]" m.a m.b m.x m.c m.d m.y

@@ -1,0 +1,51 @@
+(** 2D affine transforms (Elm's [Matrix2D] library, used with
+    [groupTransform] to place whole groups of forms).
+
+    A transform is the matrix
+
+    {v
+      | a b x |
+      | c d y |
+    v}
+
+    applied as [(u, v) -> (a u + b v + x, c u + d v + y)]. *)
+
+type t = {
+  a : float;
+  b : float;
+  c : float;
+  d : float;
+  x : float;
+  y : float;
+}
+
+val identity : t
+
+val matrix : float -> float -> float -> float -> float -> float -> t
+(** [matrix a b c d x y]. *)
+
+val translation : float -> float -> t
+
+val rotation : float -> t
+(** Counter-clockwise, radians. *)
+
+val scale : float -> t
+
+val scale_xy : float -> float -> t
+(** Non-uniform scaling (not expressible with {!Form.scale}). *)
+
+val shear : float -> float -> t
+
+val multiply : t -> t -> t
+(** [multiply m n] applies [n] first, then [m]. *)
+
+val apply : t -> float * float -> float * float
+
+val invert : t -> t option
+(** [None] for singular matrices. *)
+
+val determinant : t -> float
+
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,372 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+exception Parse_error of string * int * int
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;
+}
+
+let fail st msg = raise (Parse_error (msg, st.line, st.pos - st.bol + 1))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (if st.pos < String.length st.src && st.src.[st.pos] = '\n' then begin
+     st.line <- st.line + 1;
+     st.bol <- st.pos + 1
+   end);
+  st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | Some _ | None -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail st (Printf.sprintf "expected %C, found %C" c c')
+  | None -> fail st (Printf.sprintf "expected %C, found end of input" c)
+
+let expect_word st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word
+  then begin
+    for _ = 1 to n do
+      advance st
+    done;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+(* Encode a Unicode code point as UTF-8. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let hex_digit st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail st "invalid hex digit in \\u escape"
+
+let parse_hex4 st =
+  let value = ref 0 in
+  for _ = 1 to 4 do
+    match peek st with
+    | Some c ->
+      value := (!value * 16) + hex_digit st c;
+      advance st
+    | None -> fail st "unterminated \\u escape"
+  done;
+  !value
+
+let parse_string_body st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' ->
+      advance st;
+      Buffer.contents buf
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some '"' -> advance st; Buffer.add_char buf '"'; go ()
+      | Some '\\' -> advance st; Buffer.add_char buf '\\'; go ()
+      | Some '/' -> advance st; Buffer.add_char buf '/'; go ()
+      | Some 'b' -> advance st; Buffer.add_char buf '\b'; go ()
+      | Some 'f' -> advance st; Buffer.add_char buf '\012'; go ()
+      | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
+      | Some 'r' -> advance st; Buffer.add_char buf '\r'; go ()
+      | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
+      | Some 'u' ->
+        advance st;
+        let cp = parse_hex4 st in
+        let cp =
+          (* surrogate pair *)
+          if cp >= 0xD800 && cp <= 0xDBFF then begin
+            expect st '\\';
+            expect st 'u';
+            let low = parse_hex4 st in
+            if low < 0xDC00 || low > 0xDFFF then
+              fail st "invalid low surrogate"
+            else 0x10000 + ((cp - 0xD800) lsl 10) + (low - 0xDC00)
+          end
+          else cp
+        in
+        add_utf8 buf cp;
+        go ()
+      | Some c -> fail st (Printf.sprintf "invalid escape \\%c" c)
+      | None -> fail st "unterminated escape")
+    | Some c when Char.code c < 0x20 -> fail st "control character in string"
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let consume pred =
+    while (match peek st with Some c -> pred c | None -> false) do
+      advance st
+    done
+  in
+  (match peek st with Some '-' -> advance st | _ -> ());
+  consume (fun c -> c >= '0' && c <= '9');
+  (match peek st with
+  | Some '.' ->
+    advance st;
+    consume (fun c -> c >= '0' && c <= '9')
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+    advance st;
+    (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+    consume (fun c -> c >= '0' && c <= '9')
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> Number f
+  | None -> fail st (Printf.sprintf "invalid number %S" text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> expect_word st "null" Null
+  | Some 't' -> expect_word st "true" (Bool true)
+  | Some 'f' -> expect_word st "false" (Bool false)
+  | Some '"' -> String (parse_string_body st)
+  | Some '[' -> parse_array st
+  | Some '{' -> parse_object st
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+and parse_array st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    advance st;
+    Array []
+  end
+  else begin
+    let rec elements acc =
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+        advance st;
+        elements (v :: acc)
+      | Some ']' ->
+        advance st;
+        Array (List.rev (v :: acc))
+      | _ -> fail st "expected ',' or ']'"
+    in
+    elements []
+  end
+
+and parse_object st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    advance st;
+    Object []
+  end
+  else begin
+    let rec fields acc =
+      skip_ws st;
+      let key = parse_string_body st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+        advance st;
+        fields ((key, v) :: acc)
+      | Some '}' ->
+        advance st;
+        Object (List.rev ((key, v) :: acc))
+      | _ -> fail st "expected ',' or '}'"
+    in
+    fields []
+  end
+
+let parse src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  (match peek st with
+  | None -> ()
+  | Some c -> fail st (Printf.sprintf "trailing input starting with %C" c));
+  v
+
+let parse_opt src = match parse src with v -> Some v | exception Parse_error _ -> None
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write buf v =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Number f -> Buffer.add_string buf (number_to_string f)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape_string s);
+    Buffer.add_char buf '"'
+  | Array elems ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf e)
+      elems;
+    Buffer.add_char buf ']'
+  | Object fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, e) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape_string k);
+        Buffer.add_string buf "\":";
+        write buf e)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 64 in
+  write buf v;
+  Buffer.contents buf
+
+let pretty ?(indent = 2) v =
+  let buf = Buffer.create 128 in
+  let pad level = Buffer.add_string buf (String.make (level * indent) ' ') in
+  let rec go level v =
+    match v with
+    | Null | Bool _ | Number _ | String _ | Array [] | Object [] ->
+      write buf v
+    | Array elems ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i e ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (level + 1);
+          go (level + 1) e)
+        elems;
+      Buffer.add_char buf '\n';
+      pad level;
+      Buffer.add_char buf ']'
+    | Object fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, e) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (level + 1);
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape_string k);
+          Buffer.add_string buf "\": ";
+          go (level + 1) e)
+        fields;
+      Buffer.add_char buf '\n';
+      pad level;
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+let rec equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Number x, Number y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | Array xs, Array ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Object xs, Object ys ->
+    List.length xs = List.length ys
+    && List.for_all2 (fun (k1, v1) (k2, v2) -> k1 = k2 && equal v1 v2) xs ys
+  | (Null | Bool _ | Number _ | String _ | Array _ | Object _), _ -> false
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let member key = function
+  | Object fields -> List.assoc_opt key fields
+  | Null | Bool _ | Number _ | String _ | Array _ -> None
+
+let path keys v =
+  List.fold_left (fun acc k -> Option.bind acc (member k)) (Some v) keys
+
+let index i = function
+  | Array elems when i >= 0 -> List.nth_opt elems i
+  | Array _ | Null | Bool _ | Number _ | String _ | Object _ -> None
+
+let to_float = function Number f -> Some f | _ -> None
+
+let to_int = function
+  | Number f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+
+let get_string = function String s -> Some s | _ -> None
+
+let to_list = function Array elems -> Some elems | _ -> None
+
+let of_int n = Number (float_of_int n)
+let of_float f = Number f
+let of_string s = String s
+let of_bool b = Bool b
+let of_list elems = Array elems
+let obj fields = Object fields

@@ -1,0 +1,63 @@
+(** JSON values, parsing and printing (paper Section 4: "Elm supports JSON
+    data structures"; Example 3's image-search responses are "a signal of
+    JSON objects returned by the server requests; the JSON objects contain
+    image URLs").
+
+    A complete standalone implementation: recursive-descent parser with
+    positions and full escape handling (including [\uXXXX] with surrogate
+    pairs encoded to UTF-8), compact and pretty printers, and accessors in
+    the style of Elm's JavaScript.Experimental/Json library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+exception Parse_error of string * int * int
+(** message, line, column. *)
+
+val parse : string -> t
+(** @raise Parse_error on malformed input, trailing garbage included. *)
+
+val parse_opt : string -> t option
+
+val to_string : t -> string
+(** Compact serialization. *)
+
+val pretty : ?indent:int -> t -> string
+(** Multi-line serialization (default indent 2). *)
+
+val equal : t -> t -> bool
+(** Structural; object field order is significant (Elm's objects are
+    records). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field of an object. *)
+
+val path : string list -> t -> t option
+(** Chained {!member}. *)
+
+val index : int -> t -> t option
+(** Element of an array. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val get_string : t -> string option
+val to_list : t -> t list option
+
+(** {1 Construction helpers} *)
+
+val of_int : int -> t
+val of_float : float -> t
+val of_string : string -> t
+val of_bool : bool -> t
+val of_list : t list -> t
+val obj : (string * t) list -> t

@@ -1,0 +1,327 @@
+type inline =
+  | Text of string
+  | Emph of inline list
+  | Strong of inline list
+  | Code of string
+  | Link of inline list * string
+  | Image of string * string
+
+type block =
+  | Heading of int * inline list
+  | Paragraph of inline list
+  | Code_block of string * string
+  | Unordered_list of inline list list
+  | Ordered_list of inline list list
+  | Quote of block list
+  | Rule
+
+(* ------------------------------------------------------------------ *)
+(* Inline parsing *)
+
+let starts_with s i prefix =
+  let n = String.length prefix in
+  i + n <= String.length s && String.sub s i n = prefix
+
+(* Find the next occurrence of [delim] at or after [i]; None if absent. *)
+let find_delim s i delim =
+  let n = String.length delim in
+  let limit = String.length s - n in
+  let rec go j =
+    if j > limit then None
+    else if String.sub s j n = delim then Some j
+    else go (j + 1)
+  in
+  go i
+
+let rec parse_inline_range s i stop acc_text acc =
+  let flush () =
+    if acc_text = "" then acc else Text acc_text :: acc
+  in
+  if i >= stop then List.rev (flush ())
+  else if starts_with s i "**" then
+    match find_delim s (i + 2) "**" with
+    | Some j when j <= stop - 2 && j > i + 2 ->
+      (* at "***" prefer the later closing pair so the inner single '*'
+         can match: **a *b*** and ***x*** both nest correctly *)
+      let j = if j + 2 <= stop - 1 && j + 2 < String.length s && s.[j + 2] = '*' then j + 1 else j in
+      let inner = parse_inline_range s (i + 2) j "" [] in
+      parse_inline_range s (j + 2) stop "" (Strong inner :: flush ())
+    | Some _ | None ->
+      parse_inline_range s (i + 2) stop (acc_text ^ "**") acc
+  else
+    match s.[i] with
+    | '*' -> (
+      match find_delim s (i + 1) "*" with
+      | Some j when j <= stop - 1 && j > i + 1 ->
+        let inner = parse_inline_range s (i + 1) j "" [] in
+        parse_inline_range s (j + 1) stop "" (Emph inner :: flush ())
+      | Some _ | None -> parse_inline_range s (i + 1) stop (acc_text ^ "*") acc)
+    | '`' -> (
+      match find_delim s (i + 1) "`" with
+      | Some j when j <= stop - 1 ->
+        let code = String.sub s (i + 1) (j - i - 1) in
+        parse_inline_range s (j + 1) stop "" (Code code :: flush ())
+      | Some _ | None -> parse_inline_range s (i + 1) stop (acc_text ^ "`") acc)
+    | '!' when starts_with s i "![" -> (
+      match parse_link_parts s (i + 1) stop with
+      | Some (label, url, next) ->
+        parse_inline_range s next stop ""
+          (Image (label, url) :: flush ())
+      | None -> parse_inline_range s (i + 1) stop (acc_text ^ "!") acc)
+    | '[' -> (
+      match parse_link_parts s i stop with
+      | Some (label, url, next) ->
+        let label_inlines = parse_inline_range label 0 (String.length label) "" [] in
+        parse_inline_range s next stop "" (Link (label_inlines, url) :: flush ())
+      | None -> parse_inline_range s (i + 1) stop (acc_text ^ "[") acc)
+    | c -> parse_inline_range s (i + 1) stop (acc_text ^ String.make 1 c) acc
+
+(* [text](url): returns (label, url, position after the closing paren). *)
+and parse_link_parts s i stop =
+  if i >= stop || s.[i] <> '[' then None
+  else
+    match find_delim s (i + 1) "]" with
+    | Some close when close < stop && close + 1 < stop && s.[close + 1] = '(' -> (
+      match find_delim s (close + 2) ")" with
+      | Some paren when paren <= stop - 1 ->
+        let label = String.sub s (i + 1) (close - i - 1) in
+        let url = String.sub s (close + 2) (paren - close - 2) in
+        Some (label, url, paren + 1)
+      | Some _ | None -> None)
+    | Some _ | None -> None
+
+let parse_inline s = parse_inline_range s 0 (String.length s) "" []
+
+(* ------------------------------------------------------------------ *)
+(* Block parsing *)
+
+let is_blank line = String.trim line = ""
+
+let strip_prefix prefix line =
+  if starts_with line 0 prefix then
+    Some (String.sub line (String.length prefix) (String.length line - String.length prefix))
+  else None
+
+let heading_level line =
+  let rec count i = if i < String.length line && line.[i] = '#' then count (i + 1) else i in
+  let level = count 0 in
+  if level >= 1 && level <= 6 && level < String.length line && line.[level] = ' '
+  then Some (level, String.sub line (level + 1) (String.length line - level - 1))
+  else None
+
+let is_rule line =
+  let t = String.trim line in
+  String.length t >= 3
+  && (String.for_all (fun c -> c = '-') t || String.for_all (fun c -> c = '*') t)
+
+let bullet_item line =
+  match strip_prefix "- " line with
+  | Some rest -> Some rest
+  | None -> strip_prefix "* " line
+
+let ordered_item line =
+  let rec digits i =
+    if i < String.length line && line.[i] >= '0' && line.[i] <= '9' then digits (i + 1)
+    else i
+  in
+  let d = digits 0 in
+  if d > 0 && d + 1 < String.length line && line.[d] = '.' && line.[d + 1] = ' '
+  then Some (String.sub line (d + 2) (String.length line - d - 2))
+  else None
+
+(* Consume consecutive lines matched by [item]; returns matched (projected)
+   lines and the remainder. *)
+let take_items item first rest =
+  let rec go acc = function
+    | l :: ls when item l <> None -> go (Option.get (item l) :: acc) ls
+    | ls -> (List.rev acc, ls)
+  in
+  go [ first ] rest
+
+let rec parse_blocks lines =
+  match lines with
+  | [] -> []
+  | line :: rest when is_blank line -> parse_blocks rest
+  | line :: rest when is_rule line -> Rule :: parse_blocks rest
+  | line :: rest ->
+    let try_heading () =
+      Option.map
+        (fun (level, text) ->
+          Heading (level, parse_inline (String.trim text)) :: parse_blocks rest)
+        (heading_level line)
+    in
+    let try_code () =
+      Option.map
+        (fun lang ->
+          let lang = String.trim lang in
+          let rec code acc = function
+            | [] -> (List.rev acc, [])
+            | l :: ls when starts_with l 0 "```" -> (List.rev acc, ls)
+            | l :: ls -> code (l :: acc) ls
+          in
+          let body, rest = code [] rest in
+          Code_block (lang, String.concat "\n" body) :: parse_blocks rest)
+        (strip_prefix "```" line)
+    in
+    let try_quote () =
+      Option.map
+        (fun first ->
+          let dequote l =
+            if is_blank l then None
+            else Some (Option.value ~default:l (strip_prefix "> " l))
+          in
+          let body, rest = take_items dequote first rest in
+          Quote (parse_blocks body) :: parse_blocks rest)
+        (strip_prefix "> " line)
+    in
+    let try_bullets () =
+      Option.map
+        (fun first ->
+          let all, rest = take_items bullet_item first rest in
+          Unordered_list (List.map (fun i -> parse_inline (String.trim i)) all)
+          :: parse_blocks rest)
+        (bullet_item line)
+    in
+    let try_ordered () =
+      Option.map
+        (fun first ->
+          let all, rest = take_items ordered_item first rest in
+          Ordered_list (List.map (fun i -> parse_inline (String.trim i)) all)
+          :: parse_blocks rest)
+        (ordered_item line)
+    in
+    let paragraph () =
+      (* consume until a blank line or any block starter *)
+      let stops l =
+        is_blank l || is_rule l
+        || heading_level l <> None
+        || bullet_item l <> None
+        || ordered_item l <> None
+        || starts_with l 0 "```" || starts_with l 0 "> "
+      in
+      let rec para acc = function
+        | l :: ls when not (stops l) -> para (l :: acc) ls
+        | ls -> (List.rev acc, ls)
+      in
+      let body, rest = para [ line ] rest in
+      Paragraph (parse_inline (String.trim (String.concat " " body)))
+      :: parse_blocks rest
+    in
+    let first_some options =
+      List.fold_left
+        (fun acc opt -> match acc with Some _ -> acc | None -> opt ())
+        None options
+    in
+    (match
+       first_some [ try_heading; try_code; try_quote; try_bullets; try_ordered ]
+     with
+    | Some blocks -> blocks
+    | None -> paragraph ())
+
+let parse src = parse_blocks (String.split_on_char '\n' src)
+
+(* ------------------------------------------------------------------ *)
+(* HTML rendering *)
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec inline_html inline =
+  match inline with
+  | Text s -> html_escape s
+  | Emph inner -> "<em>" ^ inlines_html inner ^ "</em>"
+  | Strong inner -> "<strong>" ^ inlines_html inner ^ "</strong>"
+  | Code s -> "<code>" ^ html_escape s ^ "</code>"
+  | Link (label, url) ->
+    Printf.sprintf "<a href=\"%s\">%s</a>" (html_escape url) (inlines_html label)
+  | Image (alt, url) ->
+    Printf.sprintf "<img src=\"%s\" alt=\"%s\">" (html_escape url) (html_escape alt)
+
+and inlines_html inlines = String.concat "" (List.map inline_html inlines)
+
+let rec block_html block =
+  match block with
+  | Heading (level, inlines) ->
+    Printf.sprintf "<h%d>%s</h%d>" level (inlines_html inlines) level
+  | Paragraph inlines -> "<p>" ^ inlines_html inlines ^ "</p>"
+  | Code_block (lang, body) ->
+    let cls = if lang = "" then "" else Printf.sprintf " class=\"language-%s\"" (html_escape lang) in
+    Printf.sprintf "<pre><code%s>%s</code></pre>" cls (html_escape body)
+  | Unordered_list items ->
+    "<ul>"
+    ^ String.concat "" (List.map (fun i -> "<li>" ^ inlines_html i ^ "</li>") items)
+    ^ "</ul>"
+  | Ordered_list items ->
+    "<ol>"
+    ^ String.concat "" (List.map (fun i -> "<li>" ^ inlines_html i ^ "</li>") items)
+    ^ "</ol>"
+  | Quote blocks -> "<blockquote>" ^ to_html blocks ^ "</blockquote>"
+  | Rule -> "<hr>"
+
+and to_html blocks = String.concat "\n" (List.map block_html blocks)
+
+let render_html src = to_html (parse src)
+
+(* ------------------------------------------------------------------ *)
+(* Element rendering *)
+
+let rec inline_to_text inlines =
+  Gui.Text.concat
+    (List.map
+       (fun inline ->
+         match inline with
+         | Text s -> Gui.Text.of_string s
+         | Emph inner -> Gui.Text.italic (inline_to_text inner)
+         | Strong inner -> Gui.Text.bold (inline_to_text inner)
+         | Code s -> Gui.Text.monospace (Gui.Text.of_string s)
+         | Link (label, url) -> Gui.Text.link url (inline_to_text label)
+         | Image (alt, _) -> Gui.Text.of_string ("[" ^ alt ^ "]"))
+       inlines)
+
+let heading_height = function
+  | 1 -> 28.0
+  | 2 -> 24.0
+  | 3 -> 20.0
+  | 4 -> 18.0
+  | 5 -> 16.0
+  | _ -> 15.0
+
+let rec block_to_element block =
+  let module E = Gui.Element in
+  match block with
+  | Heading (level, inlines) ->
+    E.text
+      (Gui.Text.bold (Gui.Text.height (heading_height level) (inline_to_text inlines)))
+  | Paragraph inlines -> E.text (inline_to_text inlines)
+  | Code_block (_, body) -> E.text (Gui.Text.monospace (Gui.Text.of_string body))
+  | Unordered_list items ->
+    E.flow E.Down
+      (List.map
+         (fun i ->
+           E.text Gui.Text.(of_string "  - " ++ inline_to_text i))
+         items)
+  | Ordered_list items ->
+    E.flow E.Down
+      (List.mapi
+         (fun n i ->
+           E.text
+             Gui.Text.(of_string (Printf.sprintf "  %d. " (n + 1)) ++ inline_to_text i))
+         items)
+  | Quote blocks ->
+    E.flow E.Right [ E.spacer 16 1; blocks_to_element blocks ]
+  | Rule -> E.color Gui.Color.gray (E.spacer 400 2)
+
+and blocks_to_element blocks =
+  Gui.Element.flow Gui.Element.Down (List.map block_to_element blocks)
+
+let to_element src = blocks_to_element (parse src)

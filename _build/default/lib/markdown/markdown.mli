@@ -1,0 +1,42 @@
+(** Markdown (paper Section 4: "Elm supports JSON data structures and
+    Markdown (making text creation easier)").
+
+    A self-contained implementation of the common core: ATX headings,
+    paragraphs, unordered and ordered lists, fenced and indented code
+    blocks, block quotes, horizontal rules; inline emphasis
+    ([*em*]/[**strong**]), inline code, links and images. Renders to HTML
+    (what Elm's runtime produces) and to {!Gui.Element} (so markdown can be
+    composed into a purely functional layout). *)
+
+type inline =
+  | Text of string
+  | Emph of inline list
+  | Strong of inline list
+  | Code of string
+  | Link of inline list * string  (** label, url. *)
+  | Image of string * string  (** alt, url. *)
+
+type block =
+  | Heading of int * inline list  (** level 1-6. *)
+  | Paragraph of inline list
+  | Code_block of string * string  (** language ("" if none), contents. *)
+  | Unordered_list of inline list list
+  | Ordered_list of inline list list
+  | Quote of block list
+  | Rule
+
+val parse : string -> block list
+
+val parse_inline : string -> inline list
+(** Parse inline markup only (exposed for tests). *)
+
+val to_html : block list -> string
+
+val render_html : string -> string
+(** [to_html (parse s)]. *)
+
+val to_element : string -> Gui.Element.t
+(** Markdown as a laid-out element: headings sized by level, code
+    monospaced, lists bulleted. *)
+
+val inline_to_text : inline list -> Gui.Text.t

@@ -1,0 +1,1 @@
+lib/std/http.ml: Cml Elm_core Fun Json Option Printf

@@ -1,0 +1,1 @@
+lib/std/http.mli: Elm_core

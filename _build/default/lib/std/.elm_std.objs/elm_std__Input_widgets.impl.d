@@ -1,0 +1,1 @@
+lib/std/input_widgets.ml: Elm_core Float Gui String

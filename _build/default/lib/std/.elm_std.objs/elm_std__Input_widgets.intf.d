@@ -1,0 +1,1 @@
+lib/std/input_widgets.mli: Elm_core Gui

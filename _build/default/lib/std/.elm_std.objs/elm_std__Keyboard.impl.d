@@ -1,0 +1,1 @@
+lib/std/keyboard.ml: Elm_core Hashtbl List Option

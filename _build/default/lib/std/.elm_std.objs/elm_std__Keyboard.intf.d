@@ -1,0 +1,1 @@
+lib/std/keyboard.mli: Elm_core

@@ -1,0 +1,1 @@
+lib/std/mouse.ml: Elm_core

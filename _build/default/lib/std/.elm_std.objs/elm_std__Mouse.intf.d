@@ -1,0 +1,1 @@
+lib/std/mouse.mli: Elm_core

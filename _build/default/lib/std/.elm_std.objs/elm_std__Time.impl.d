@@ -1,0 +1,1 @@
+lib/std/time.ml: Cml Elm_core

@@ -1,0 +1,1 @@
+lib/std/time.mli: Elm_core

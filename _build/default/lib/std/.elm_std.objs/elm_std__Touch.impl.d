@@ -1,0 +1,1 @@
+lib/std/touch.ml: Cml Elm_core Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/std/touch.mli: Elm_core

@@ -1,0 +1,1 @@
+lib/std/window.ml: Elm_core

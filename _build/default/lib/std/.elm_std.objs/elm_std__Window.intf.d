@@ -1,0 +1,1 @@
+lib/std/window.mli: Elm_core

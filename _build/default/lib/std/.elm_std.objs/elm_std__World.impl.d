@@ -1,0 +1,1 @@
+lib/std/world.ml: Cml List

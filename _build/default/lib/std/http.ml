@@ -1,0 +1,79 @@
+module Signal = Elm_core.Signal
+
+type response =
+  | Waiting
+  | Success of string
+  | Failure of int * string
+
+type server = {
+  latency : string -> float;
+  respond : string -> (string, int * string) result;
+  mutable served : int;
+}
+
+let server ?(latency = fun _ -> 1.0) respond = { latency; respond; served = 0 }
+
+(* Example 3's image service: responses are JSON objects containing image
+   URLs, exactly as the paper describes ("a signal of JSON objects returned
+   by the server requests; the JSON objects contain image URLs"). *)
+let flickr =
+  server
+    ~latency:(fun _ -> 2.0)
+    (fun tag ->
+      if tag = "" then Error (404, "no tag")
+      else
+        Ok
+          (Json.to_string
+             (Json.obj
+                [
+                  ("stat", Json.of_string "ok");
+                  ( "photos",
+                    Json.of_list
+                      [
+                        Json.obj
+                          [
+                            ("title", Json.of_string tag);
+                            ( "url",
+                              Json.of_string
+                                (Printf.sprintf "http://img.example/%s.jpg" tag)
+                            );
+                          ];
+                      ] );
+                ])))
+
+(* Pull the first photo URL out of a flickr-style JSON response. *)
+let first_photo_url body =
+  match Json.parse_opt body with
+  | None -> None
+  | Some v ->
+    Option.bind (Json.member "photos" v) (Json.index 0)
+    |> Fun.flip Option.bind (Json.member "url")
+    |> Fun.flip Option.bind Json.get_string
+
+let perform srv req =
+  srv.served <- srv.served + 1;
+  Cml.sleep (srv.latency req);
+  match srv.respond req with
+  | Ok body -> Success body
+  | Error (code, msg) -> Failure (code, msg)
+
+let send_get srv requests =
+  (* The default request must not hit the server: defaults are computed at
+     graph construction (Section 3.1), and a session begins Waiting. *)
+  let default_request = Signal.default requests in
+  let started = ref false in
+  Signal.lift ~name:"syncGet"
+    (fun req ->
+      if (not !started) && req = default_request then Waiting
+      else begin
+        started := true;
+        perform srv req
+      end)
+    requests
+
+let response_to_string = function
+  | Waiting -> "waiting"
+  | Success body -> "ok:" ^ body
+  | Failure (code, msg) -> Printf.sprintf "error %d: %s" code msg
+
+let request_count srv = srv.served

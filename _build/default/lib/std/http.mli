@@ -1,0 +1,41 @@
+(** Simulated HTTP (paper Example 3, Section 2).
+
+    The paper fetches images from a web service "which may take significant
+    time"; this container has no network, so a {!server} is a pure function
+    plus a latency model on the virtual clock (see DESIGN.md
+    substitutions). {!send_get} is the paper's [syncGet]: it issues each
+    request from the requests signal and {e blocks the signal node} for the
+    server's latency — which is exactly why one wraps it in
+    [Signal.async]. *)
+
+type response =
+  | Waiting  (** Initial value, before any request completes. *)
+  | Success of string
+  | Failure of int * string
+
+type server
+
+val server : ?latency:(string -> float) -> (string -> (string, int * string) result) -> server
+(** A simulated remote service. Default latency: 1 second per request. *)
+
+val flickr : server
+(** The image-search service of Example 3: maps a tag query to a JSON
+    response containing an image URL (the paper: "a signal of JSON objects
+    returned by the server requests; the JSON objects contain image URLs").
+    2s latency; unknown tags still succeed (deterministic synthetic URL). *)
+
+val first_photo_url : string -> string option
+(** Extract the first photo URL from a {!flickr}-style JSON response
+    body. *)
+
+val send_get : server -> string Elm_core.Signal.t -> response Elm_core.Signal.t
+(** [syncGet]: a signal of requests to a signal of responses, in request
+    order, blocking for the latency of each. The node does not contact the
+    server for the requests signal's default value (the session starts
+    [Waiting]). *)
+
+val response_to_string : response -> string
+
+val request_count : server -> int
+(** How many requests the server has actually served (for tests that check
+    memoization: unchanged inputs must not re-trigger requests). *)

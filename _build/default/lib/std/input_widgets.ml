@@ -1,0 +1,83 @@
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+module E = Gui.Element
+module Text = Gui.Text
+module Color = Gui.Color
+
+type text_field = {
+  field : E.t Signal.t;
+  value : string Signal.t;
+  set : 'a. 'a Runtime.t -> string -> unit;
+}
+
+let render_field placeholder content =
+  let shown, color =
+    if content = "" then (placeholder, Color.gray) else (content, Color.black)
+  in
+  let txt = Text.color color (Text.of_string shown) in
+  E.color Color.white
+    (E.container 150 24 (E.At (4, 4)) (E.text txt))
+
+let text placeholder =
+  let value = Signal.input ~name:"Input.text" "" in
+  let field =
+    Signal.lift ~name:"Input.text.field" (render_field placeholder) value
+  in
+  { field; value; set = (fun rt s -> Runtime.inject rt value s) }
+
+type button = {
+  button_elem : E.t Signal.t;
+  presses : unit Signal.t;
+  press : 'a. 'a Runtime.t -> unit;
+}
+
+let button label =
+  let presses = Signal.input ~name:"Input.button" () in
+  let elem =
+    E.color Color.light_gray
+      (E.container (8 * String.length label + 16) 24 E.Middle (E.plain_text label))
+  in
+  {
+    button_elem = Signal.constant ~name:"Input.button.elem" elem;
+    presses;
+    press = (fun rt -> Runtime.inject rt presses ());
+  }
+
+type checkbox = {
+  box_elem : E.t Signal.t;
+  checked : bool Signal.t;
+  set_checked : 'a. 'a Runtime.t -> bool -> unit;
+}
+
+let checkbox initial =
+  let checked = Signal.input ~name:"Input.checkbox" initial in
+  let render b = E.as_text (if b then "[x]" else "[ ]") in
+  {
+    box_elem = Signal.lift ~name:"Input.checkbox.elem" render checked;
+    checked;
+    set_checked = (fun rt b -> Runtime.inject rt checked b);
+  }
+
+type slider = {
+  slider_elem : E.t Signal.t;
+  ratio : float Signal.t;
+  slide : 'a. 'a Runtime.t -> float -> unit;
+}
+
+let slider initial =
+  let clamp r = Float.max 0.0 (Float.min 1.0 r) in
+  let ratio = Signal.input ~name:"Input.slider" (clamp initial) in
+  let render r =
+    let width = 100 in
+    let knob_at = int_of_float (r *. float_of_int (width - 8)) in
+    E.layers
+      [
+        E.color Color.light_gray (E.spacer width 8);
+        E.container width 8 (E.At (knob_at, 0)) (E.color Color.charcoal (E.spacer 8 8));
+      ]
+  in
+  {
+    slider_elem = Signal.lift ~name:"Input.slider.elem" render ratio;
+    ratio;
+    slide = (fun rt r -> Runtime.inject rt ratio (clamp r));
+  }

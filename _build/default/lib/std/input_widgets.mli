@@ -1,0 +1,42 @@
+(** Input components (paper Section 4.2): "text boxes, buttons, and sliders
+    are represented as a pair of signals: an element (for the graphical
+    component) and a value (for the value input)."
+
+    Each widget returns its element signal, its value signal, and a driver
+    used by tests/examples to play the user. *)
+
+type text_field = {
+  field : Gui.Element.t Elm_core.Signal.t;
+      (** The rendered input box, updating as the text changes. *)
+  value : string Elm_core.Signal.t;  (** The current user input. *)
+  set : 'a. 'a Elm_core.Runtime.t -> string -> unit;
+      (** Driver: the user replaces the field's content. *)
+}
+
+val text : string -> text_field
+(** [text placeholder] — the paper's [Input.text "Enter a tag"]. The
+    placeholder shows greyed-out while the value is empty. *)
+
+type button = {
+  button_elem : Gui.Element.t Elm_core.Signal.t;
+  presses : unit Elm_core.Signal.t;
+  press : 'a. 'a Elm_core.Runtime.t -> unit;
+}
+
+val button : string -> button
+
+type checkbox = {
+  box_elem : Gui.Element.t Elm_core.Signal.t;
+  checked : bool Elm_core.Signal.t;
+  set_checked : 'a. 'a Elm_core.Runtime.t -> bool -> unit;
+}
+
+val checkbox : bool -> checkbox
+
+type slider = {
+  slider_elem : Gui.Element.t Elm_core.Signal.t;
+  ratio : float Elm_core.Signal.t;  (** In [0, 1]. *)
+  slide : 'a. 'a Elm_core.Runtime.t -> float -> unit;
+}
+
+val slider : float -> slider

@@ -1,0 +1,46 @@
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+
+let left_arrow = 37
+let up_arrow = 38
+let right_arrow = 39
+let down_arrow = 40
+let shift_key = 16
+let space = 32
+
+let keys_down = Signal.input ~name:"Keyboard.keysDown" []
+let last_pressed = Signal.input ~name:"Keyboard.lastPressed" 0
+
+let arrows =
+  Signal.lift ~name:"Keyboard.arrows"
+    (fun keys ->
+      let held k = List.mem k keys in
+      let axis neg pos = (if held pos then 1 else 0) - (if held neg then 1 else 0) in
+      (axis left_arrow right_arrow, axis down_arrow up_arrow))
+    keys_down
+
+let shift =
+  Signal.lift ~name:"Keyboard.shift" (fun keys -> List.mem shift_key keys) keys_down
+
+(* Held keys per runtime generation, so sequential sessions don't leak state
+   into each other. *)
+let held : (int, int list) Hashtbl.t = Hashtbl.create 8
+
+let held_for rt = Option.value ~default:[] (Hashtbl.find_opt held (Runtime.generation rt))
+
+let set_held rt keys = Hashtbl.replace held (Runtime.generation rt) keys
+
+let press rt code =
+  let keys = code :: List.filter (fun k -> k <> code) (held_for rt) in
+  set_held rt keys;
+  ignore (Runtime.try_inject rt keys_down keys);
+  ignore (Runtime.try_inject rt last_pressed code)
+
+let release rt code =
+  let keys = List.filter (fun k -> k <> code) (held_for rt) in
+  set_held rt keys;
+  ignore (Runtime.try_inject rt keys_down keys)
+
+let tap rt code =
+  press rt code;
+  release rt code

@@ -1,0 +1,39 @@
+(** Keyboard input signals (paper Fig. 13).
+
+    Key codes are integers (ASCII-ish; arrows use the browser codes 37-40,
+    shift is 16). [press]/[release] maintain the per-runtime set of held
+    keys so that {!keys_down}, {!arrows} and {!shift} stay consistent. *)
+
+val keys_down : int list Elm_core.Signal.t
+(** List of keys that are currently pressed (most recent first). *)
+
+val last_pressed : int Elm_core.Signal.t
+(** The latest key that was pressed ([Keyboard.lastPressed] in the
+    paper's foldp example, Section 3.1). *)
+
+val arrows : (int * int) Elm_core.Signal.t
+(** Arrow-key direction, e.g. up+right is [(1, 1)] (Fig. 13). *)
+
+val shift : bool Elm_core.Signal.t
+(** Is the shift key down? *)
+
+(** {1 Key codes} *)
+
+val left_arrow : int
+val up_arrow : int
+val right_arrow : int
+val down_arrow : int
+val shift_key : int
+val space : int
+
+(** {1 Drivers (the simulated user)} *)
+
+val press : _ Elm_core.Runtime.t -> int -> unit
+(** Add the key to the held set; fires both [keys_down] and
+    [last_pressed] (two events, in that order). *)
+
+val release : _ Elm_core.Runtime.t -> int -> unit
+(** Remove the key from the held set; fires [keys_down]. *)
+
+val tap : _ Elm_core.Runtime.t -> int -> unit
+(** [press] then [release]. *)

@@ -1,0 +1,12 @@
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+
+let position = Signal.input ~name:"Mouse.position" (0, 0)
+let x = Signal.lift ~name:"Mouse.x" fst position
+let y = Signal.lift ~name:"Mouse.y" snd position
+let clicks = Signal.input ~name:"Mouse.clicks" ()
+let is_down = Signal.input ~name:"Mouse.isDown" false
+
+let move rt pos = ignore (Runtime.try_inject rt position pos)
+let click rt = ignore (Runtime.try_inject rt clicks ())
+let set_down rt down = ignore (Runtime.try_inject rt is_down down)

@@ -1,0 +1,24 @@
+(** Mouse input signals (paper Fig. 13).
+
+    The signals are global, like Elm's [Mouse] module; a runtime
+    instantiates whichever of them its program uses. The [move]/[click]
+    driver functions play the role of the browser: they inject events into a
+    running session. *)
+
+val position : (int * int) Elm_core.Signal.t
+(** Current coordinates of the mouse. Default [(0, 0)]. *)
+
+val x : int Elm_core.Signal.t
+val y : int Elm_core.Signal.t
+
+val clicks : unit Elm_core.Signal.t
+(** Triggers on mouse clicks. *)
+
+val is_down : bool Elm_core.Signal.t
+(** Whether the left button is currently pressed. *)
+
+(** {1 Drivers (the simulated user)} *)
+
+val move : _ Elm_core.Runtime.t -> int * int -> unit
+val click : _ Elm_core.Runtime.t -> unit
+val set_down : _ Elm_core.Runtime.t -> bool -> unit

@@ -1,0 +1,42 @@
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+
+type kind =
+  | Every of float  (** interval: inject the absolute time *)
+  | Fps of float  (** frame period: inject the delta *)
+
+type timer = {
+  node : float Signal.t;
+  kind : kind;
+}
+
+let every interval = { node = Signal.input ~name:"Time.every" 0.0; kind = Every interval }
+
+let fps rate =
+  let period = 1.0 /. rate in
+  { node = Signal.input ~name:"Time.fps" 0.0; kind = Fps period }
+
+let signal t = t.node
+
+let drive t rt ~until =
+  let interval = match t.kind with Every i -> i | Fps p -> p in
+  Cml.spawn (fun () ->
+      let rec tick last =
+        Cml.sleep interval;
+        let now = Cml.now () in
+        if now <= until then begin
+          (match t.kind with
+          | Every _ -> Runtime.inject rt t.node now
+          | Fps _ -> Runtime.inject rt t.node (now -. last));
+          tick now
+        end
+      in
+      tick (Cml.now ()))
+
+let millisecond = 0.001
+let second = 1.0
+let minute = 60.0
+let hour = 3600.0
+
+let in_seconds t = t
+let in_milliseconds t = t *. 1000.0

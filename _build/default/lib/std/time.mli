@@ -1,0 +1,36 @@
+(** Time signals (paper Fig. 13): [Time.every] for time-indexed animation
+    and [Time.fps] for time-stepped animation.
+
+    In the paper these are input signals whose events the runtime system
+    generates; here a {!drive} thread plays that role on the virtual clock.
+    Each call to {!every}/{!fps} creates a fresh timer (its own input
+    node). *)
+
+type timer
+
+val every : float -> timer
+(** [every t]: the current time, updated every [t] seconds (paper:
+    milliseconds — use the {!second}/{!ms} constants and it reads the
+    same). The signal's values are absolute virtual times. *)
+
+val fps : float -> timer
+(** [fps n]: time deltas at [n] frames per second, "making it easy to do
+    time-stepped animations". Values are the elapsed time since the last
+    frame. *)
+
+val signal : timer -> float Elm_core.Signal.t
+
+val drive : timer -> _ Elm_core.Runtime.t -> until:float -> unit
+(** Start this timer's event thread, firing until the given virtual time.
+    ("The frame rate is managed by the Elm runtime system" — here, by the
+    simulation driver.) *)
+
+(** {1 Units (seconds)} *)
+
+val millisecond : float
+val second : float
+val minute : float
+val hour : float
+
+val in_seconds : float -> float
+val in_milliseconds : float -> float

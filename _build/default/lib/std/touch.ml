@@ -1,0 +1,39 @@
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+
+type touch = {
+  id : int;
+  x : int;
+  y : int;
+  x0 : int;
+  y0 : int;
+  t0 : float;
+}
+
+let touches = Signal.input ~name:"Touch.touches" []
+let taps = Signal.input ~name:"Touch.taps" (0, 0)
+
+(* Ongoing touches per runtime generation (same pattern as Keyboard.held). *)
+let ongoing : (int, touch list) Hashtbl.t = Hashtbl.create 8
+
+let ongoing_for rt =
+  Option.value ~default:[] (Hashtbl.find_opt ongoing (Runtime.generation rt))
+
+let set_ongoing rt ts =
+  Hashtbl.replace ongoing (Runtime.generation rt) ts;
+  ignore (Runtime.try_inject rt touches ts)
+
+let touch_start rt ~id (x, y) =
+  let t = { id; x; y; x0 = x; y0 = y; t0 = Cml.now () } in
+  set_ongoing rt (t :: List.filter (fun t -> t.id <> id) (ongoing_for rt))
+
+let touch_move rt ~id (x, y) =
+  let ts =
+    List.map (fun t -> if t.id = id then { t with x; y } else t) (ongoing_for rt)
+  in
+  set_ongoing rt ts
+
+let touch_end rt ~id =
+  set_ongoing rt (List.filter (fun t -> t.id <> id) (ongoing_for rt))
+
+let tap rt pos = Runtime.inject rt taps pos

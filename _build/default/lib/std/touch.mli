@@ -1,0 +1,24 @@
+(** Touch input signals (paper Fig. 13): ongoing touches for defining
+    gestures, and the latest tap position. *)
+
+type touch = {
+  id : int;
+  x : int;
+  y : int;
+  x0 : int;  (** Starting x of this touch. *)
+  y0 : int;
+  t0 : float;  (** Virtual time the touch started. *)
+}
+
+val touches : touch list Elm_core.Signal.t
+(** List of ongoing touches. *)
+
+val taps : (int * int) Elm_core.Signal.t
+(** Position of the latest tap. *)
+
+(** {1 Drivers (the simulated user)} *)
+
+val touch_start : _ Elm_core.Runtime.t -> id:int -> int * int -> unit
+val touch_move : _ Elm_core.Runtime.t -> id:int -> int * int -> unit
+val touch_end : _ Elm_core.Runtime.t -> id:int -> unit
+val tap : _ Elm_core.Runtime.t -> int * int -> unit

@@ -1,0 +1,8 @@
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+
+let dimensions = Signal.input ~name:"Window.dimensions" (1024, 768)
+let width = Signal.lift ~name:"Window.width" fst dimensions
+let height = Signal.lift ~name:"Window.height" snd dimensions
+
+let resize rt dims = ignore (Runtime.try_inject rt dimensions dims)

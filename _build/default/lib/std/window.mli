@@ -1,0 +1,10 @@
+(** Window attribute signals (paper Fig. 13). *)
+
+val dimensions : (int * int) Elm_core.Signal.t
+(** Current dimensions of the window. Default [(1024, 768)]. *)
+
+val width : int Elm_core.Signal.t
+val height : int Elm_core.Signal.t
+
+val resize : _ Elm_core.Runtime.t -> int * int -> unit
+(** Driver: the simulated user resizes the window. *)

@@ -1,0 +1,21 @@
+let run body = Cml.run_value body
+
+let at time action =
+  Cml.spawn (fun () ->
+      let delay = time -. Cml.now () in
+      if delay > 0.0 then Cml.sleep delay;
+      action ())
+
+let every dt ~until f =
+  Cml.spawn (fun () ->
+      let rec tick () =
+        Cml.sleep dt;
+        let now = Cml.now () in
+        if now <= until then begin
+          f now;
+          tick ()
+        end
+      in
+      tick ())
+
+let script actions = List.iter (fun (t, action) -> at t action) actions

@@ -1,0 +1,24 @@
+(** Driving simulated GUI sessions.
+
+    The paper's programs run in a browser fed by real user input; here a
+    session is a virtual-time run in which scripted events play the user.
+    [World] is a thin layer over {!Cml}: build the signal graph, start a
+    {!Elm_core.Runtime}, then schedule injections at absolute virtual
+    times. *)
+
+val run : (unit -> 'a) -> 'a
+(** Run a session to quiescence and return the body's result. The body
+    builds graphs, starts runtimes and schedules events.
+    @raise Cml.Scheduler.Stuck if the body itself blocks forever. *)
+
+val at : float -> (unit -> unit) -> unit
+(** Schedule an action at an absolute virtual time (must not be in the
+    past). Actions scheduled for the same instant run in scheduling
+    order. *)
+
+val every : float -> until:float -> (float -> unit) -> unit
+(** [every dt ~until f] calls [f now] at [dt, 2dt, ...] while [now <=
+    until]. *)
+
+val script : (float * (unit -> unit)) list -> unit
+(** Schedule a list of timestamped actions. *)

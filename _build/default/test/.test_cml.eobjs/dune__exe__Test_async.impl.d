@@ -1,0 +1,1 @@
+test/test_async.ml: Alcotest Cml Elm_core Elm_std List Printf

@@ -1,0 +1,1 @@
+test/test_automaton.ml: Alcotest Automaton Cml Elm_core Fun List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cml.ml: Alcotest Buffer Cml Gen Int List Option Printf QCheck QCheck_alcotest Unix

@@ -1,0 +1,1 @@
+test/test_containers.ml: Alcotest Elm_containers Gen List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Elm_core Felm List Option Printf QCheck QCheck_alcotest String

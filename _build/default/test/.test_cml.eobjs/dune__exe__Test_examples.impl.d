@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Elm_core Felm Felm_js Fun List Printexc String Sys

@@ -1,0 +1,1 @@
+test/test_gui.ml: Alcotest Float Gen Gui List QCheck QCheck_alcotest Stdlib String

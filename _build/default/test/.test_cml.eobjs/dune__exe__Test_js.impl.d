@@ -1,0 +1,1 @@
+test/test_js.ml: Alcotest Buffer Felm Felm_js List String

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Fun Gen Json List Option Printf QCheck QCheck_alcotest String

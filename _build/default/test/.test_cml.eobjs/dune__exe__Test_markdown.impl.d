@@ -1,0 +1,1 @@
+test/test_markdown.ml: Alcotest Buffer Gen Gui List Markdown QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Cml Elm_core Format List Option String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Cml Elm_core Float Fun Gen List Option Printf QCheck QCheck_alcotest String

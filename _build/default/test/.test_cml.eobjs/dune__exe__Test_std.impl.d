@@ -1,0 +1,1 @@
+test/test_std.ml: Alcotest Cml Elm_core Elm_std Gui Json List Printf String

@@ -1,0 +1,235 @@
+(* End-to-end asynchrony tests: the paper's Example 3 (image search with a
+   slow web service while the mouse stays live) and the Section 3.3.2
+   wordPairs example (Fig. 8), in both synchronous and async forms. *)
+
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+module Stats = Elm_core.Stats
+module World = Elm_std.World
+module Mouse = Elm_std.Mouse
+module Input = Elm_std.Input_widgets
+module Http = Elm_std.Http
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Example 3: getImage over a slow service, composed with the mouse. *)
+
+type scene = {
+  tag : string;
+  pos : int * int;
+  img : string;
+}
+
+let image_of_response resp =
+  match resp with
+  | Http.Waiting -> "(no image)"
+  | Http.Success body -> (
+    (* the response is a JSON object containing the image URL (Example 3) *)
+    match Http.first_photo_url body with
+    | Some url -> "img:" ^ url
+    | None -> "(bad json)")
+  | Http.Failure (code, _) -> Printf.sprintf "error:%d" code
+
+(* The Example 3 program, parameterized on whether getImage is async. *)
+let example3 ~use_async =
+  World.run (fun () ->
+      let field = Input.text "Enter a tag" in
+      let get_image tags = Signal.lift image_of_response (Http.send_get Http.flickr tags) in
+      let fetched = get_image field.Input.value in
+      let fetched = if use_async then Signal.async fetched else fetched in
+      let scene tag pos img = { tag; pos; img } in
+      let main = Signal.lift3 scene field.Input.value Mouse.position fetched in
+      let rt = Runtime.start main in
+      (* The user types a tag at t=1, then keeps moving the mouse. *)
+      World.script
+        [
+          (1.0, fun () -> field.Input.set rt "shells");
+          (1.2, fun () -> Mouse.move rt (10, 10));
+          (1.4, fun () -> Mouse.move rt (20, 20));
+          (1.6, fun () -> Mouse.move rt (30, 30));
+        ];
+      rt)
+
+let mouse_latencies rt =
+  (* Virtual delay between each mouse injection and the display update
+     showing that position. *)
+  let injections = [ (1.2, (10, 10)); (1.4, (20, 20)); (1.6, (30, 30)) ] in
+  List.filter_map
+    (fun (t_inj, pos) ->
+      List.find_map
+        (fun (t_disp, scene) ->
+          if scene.pos = pos then Some (t_disp -. t_inj) else None)
+        (Runtime.changes rt))
+    injections
+
+let test_example3_sync_hangs () =
+  let rt = example3 ~use_async:false in
+  let lats = mouse_latencies rt in
+  check_int "all mouse updates eventually displayed" 3 (List.length lats);
+  (* Flickr latency is 2s: mouse positions are stuck behind the fetch. *)
+  check_bool "first mouse update delayed by the fetch" true
+    (List.nth lats 0 > 1.0)
+
+let test_example3_async_responsive () =
+  let rt = example3 ~use_async:true in
+  let lats = mouse_latencies rt in
+  check_int "all mouse updates displayed" 3 (List.length lats);
+  List.iteri
+    (fun i lat ->
+      check_bool (Printf.sprintf "mouse update %d immediate" i) true (lat < 0.1))
+    lats;
+  (* ... and the image still arrives. *)
+  check_bool "image fetched" true
+    (List.exists
+       (fun (_, scene) -> scene.img = "img:http://img.example/shells.jpg")
+       (Runtime.changes rt))
+
+let test_example3_image_arrival_time () =
+  let rt = example3 ~use_async:true in
+  match
+    List.find_opt (fun (_, s) -> s.img <> "(no image)") (Runtime.changes rt)
+  with
+  | Some (t, _) -> check_bool "image after 2s latency" true (t >= 3.0)
+  | None -> Alcotest.fail "image never arrived"
+
+(* ------------------------------------------------------------------ *)
+(* Section 3.3.2: wordPairs — synchronization is sometimes essential. *)
+
+let to_french = function
+  | "" -> ""
+  | "hello" -> "bonjour"
+  | "world" -> "monde"
+  | "yes" -> "oui"
+  | w -> "le " ^ w
+
+let slow_to_french armed w =
+  if !armed then Cml.sleep 50.0;
+  to_french w
+
+(* wordPairs = lift2 (,) words (lift toFrench words) *)
+let word_pairs armed words =
+  Signal.lift2 ~name:"wordPairs"
+    (fun w f -> (w, f))
+    words
+    (Signal.lift ~name:"toFrench" (slow_to_french armed) words)
+
+let test_wordpairs_always_matched () =
+  (* Even with a slow translator, each English word is paired with its own
+     translation: the synchronous semantics the example motivates. *)
+  let rt =
+    World.run (fun () ->
+        let armed = ref false in
+        let words = Signal.input ~name:"words" "" in
+        let rt = Runtime.start (word_pairs armed words) in
+        armed := true;
+        List.iter (fun w -> Runtime.inject rt words w) [ "hello"; "world"; "yes" ];
+        rt)
+  in
+  check_bool "pairs line up" true
+    (List.map snd (Runtime.changes rt)
+    = [ ("hello", "bonjour"); ("world", "monde"); ("yes", "oui") ])
+
+(* Fig. 8(b): combining wordPairs with the mouse synchronously stalls the
+   mouse; Fig. 8(c): async lets mouse events "jump ahead". *)
+let fig8 ~use_async =
+  World.run (fun () ->
+      let armed = ref false in
+      let words = Signal.input ~name:"words" "" in
+      let pairs = word_pairs armed words in
+      let pairs = if use_async then Signal.async pairs else pairs in
+      let main = Signal.lift2 (fun p m -> (p, m)) pairs Mouse.position in
+      let rt = Runtime.start main in
+      armed := true;
+      World.script
+        [
+          (1.0, fun () -> Runtime.inject rt words "hello");
+          (2.0, fun () -> Mouse.move rt (5, 5));
+        ];
+      rt)
+
+let test_fig8b_mouse_stalls () =
+  let rt = fig8 ~use_async:false in
+  match Runtime.changes rt with
+  | [ (t1, (("hello", "bonjour"), (0, 0))); (t2, (("hello", "bonjour"), (5, 5))) ] ->
+    check_bool "translation first, after 50s" true (t1 >= 51.0);
+    check_bool "mouse waited for translation" true (t2 >= t1)
+  | _ -> Alcotest.fail "unexpected display sequence"
+
+let test_fig8c_mouse_jumps_ahead () =
+  let rt = fig8 ~use_async:true in
+  match Runtime.changes rt with
+  | [ (t1, (("", ""), (5, 5))); (t2, (("hello", "bonjour"), (5, 5))) ] ->
+    check_bool "mouse displayed promptly" true (t1 < 2.5);
+    check_bool "translation catches up later" true (t2 >= 51.0)
+  | _ ->
+    Alcotest.failf "unexpected display sequence (%d changes)"
+      (List.length (Runtime.changes rt))
+
+let test_fig8_event_order_between_subgraphs_relaxed () =
+  (* With async, the global interleaving at the display differs from the
+     injection order; within each subgraph order is preserved. *)
+  let rt = fig8 ~use_async:true in
+  let stats = Runtime.stats rt in
+  check_int "one async re-dispatch" 1 stats.Stats.async_events;
+  check_int "three events total (words, mouse, async)" 3 stats.Stats.events
+
+(* A deep async pipeline: multiple async stages compose. *)
+let test_stacked_async () =
+  let rt =
+    World.run (fun () ->
+        let armed = ref false in
+        let src = Signal.input 0 in
+        let stage name s =
+          Signal.async ~name
+            (Signal.lift
+               (fun x ->
+                 if !armed then Cml.sleep 10.0;
+                 x + 1)
+               s)
+        in
+        let rt = Runtime.start (stage "a1" (stage "a2" src)) in
+        armed := true;
+        Runtime.inject rt src 0;
+        rt)
+  in
+  check_bool "value passed both stages" true
+    (List.map snd (Runtime.changes rt) = [ 2 ])
+
+let test_async_of_input_is_transparent () =
+  let rt =
+    World.run (fun () ->
+        let src = Signal.input 0 in
+        let rt = Runtime.start (Signal.async src) in
+        Runtime.inject rt src 7;
+        Runtime.inject rt src 8;
+        rt)
+  in
+  check_bool "same values, re-dispatched" true
+    (List.map snd (Runtime.changes rt) = [ 7; 8 ])
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "async"
+    [
+      ( "example3",
+        [
+          tc "sync GUI hangs" `Quick test_example3_sync_hangs;
+          tc "async GUI responsive" `Quick test_example3_async_responsive;
+          tc "image arrival time" `Quick test_example3_image_arrival_time;
+        ] );
+      ( "wordPairs (Fig. 8)",
+        [
+          tc "pairs always matched" `Quick test_wordpairs_always_matched;
+          tc "8b: mouse stalls" `Quick test_fig8b_mouse_stalls;
+          tc "8c: mouse jumps ahead" `Quick test_fig8c_mouse_jumps_ahead;
+          tc "order relaxed between subgraphs" `Quick
+            test_fig8_event_order_between_subgraphs_relaxed;
+        ] );
+      ( "composition",
+        [
+          tc "stacked async" `Quick test_stacked_async;
+          tc "async of input" `Quick test_async_of_input_is_transparent;
+        ] );
+    ]

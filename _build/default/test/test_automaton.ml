@@ -1,0 +1,186 @@
+(* Tests for the Arrowized FRP embedding (paper Section 4.3), including the
+   arrow laws (via run_list observation) and the foldp/run equivalence. *)
+
+module A = Automaton
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+
+let check_ints = Alcotest.(check (list int))
+let check_bool = Alcotest.(check bool)
+
+let with_world body =
+  let result = ref None in
+  Cml.run (fun () -> result := Some (body ()));
+  Option.get !result
+
+let test_pure () =
+  check_ints "pure maps" [ 2; 4; 6 ] (A.run_list (A.pure (fun x -> x * 2)) [ 1; 2; 3 ])
+
+let test_init_is_stateful () =
+  check_ints "running sums" [ 1; 3; 6 ]
+    (A.run_list (A.init ( + ) 0) [ 1; 2; 3 ])
+
+let test_count () =
+  check_ints "count" [ 1; 2; 3; 4 ] (A.run_list A.count [ (); (); (); () ])
+
+let test_compose () =
+  let a = A.(init ( + ) 0 >>> pure (fun x -> x * 10)) in
+  check_ints "sum then scale" [ 10; 30; 60 ] (A.run_list a [ 1; 2; 3 ])
+
+let test_compose_rev () =
+  let a = A.(pure (fun x -> x * 10) <<< init ( + ) 0) in
+  check_ints "<<< equals >>> flipped" [ 10; 30; 60 ] (A.run_list a [ 1; 2; 3 ])
+
+let test_first_second () =
+  let sums = A.init ( + ) 0 in
+  let outs = A.run_list (A.first sums) [ (1, "a"); (2, "b") ] in
+  Alcotest.(check (list (pair int string)))
+    "first threads state on the left"
+    [ (1, "a"); (3, "b") ]
+    outs;
+  let outs2 = A.run_list (A.second sums) [ ("a", 1); ("b", 2) ] in
+  Alcotest.(check (list (pair string int)))
+    "second mirrors first"
+    [ ("a", 1); ("b", 3) ]
+    outs2
+
+let test_parallel_ops () =
+  let a = A.(init ( + ) 0 *** count) in
+  let outs = A.run_list a [ (5, ()); (7, ()) ] in
+  Alcotest.(check (list (pair int int))) "***" [ (5, 1); (12, 2) ] outs;
+  let b = A.(init ( + ) 0 &&& count) in
+  let outs = A.run_list b [ 5; 7 ] in
+  Alcotest.(check (list (pair int int))) "&&&" [ (5, 1); (12, 2) ] outs
+
+let test_combine_dynamic_collection () =
+  let autos = [ A.pure (fun x -> x); A.pure (fun x -> x * x); A.init ( + ) 0 ] in
+  let outs = A.run_list (A.combine autos) [ 2; 3 ] in
+  Alcotest.(check (list (list int)))
+    "three automata stepped together"
+    [ [ 2; 4; 2 ]; [ 3; 9; 5 ] ]
+    outs
+
+let test_loop_feedback () =
+  (* Feedback computes a running maximum. *)
+  let body = A.pure (fun (x, best) ->
+      let best' = max x best in
+      (best', best')) in
+  check_ints "running max" [ 3; 3; 7; 7 ]
+    (A.run_list (A.loop min_int body) [ 3; 1; 7; 2 ])
+
+let test_average () =
+  let outs = A.run_list (A.average 2) [ 1.0; 3.0; 5.0 ] in
+  Alcotest.(check (list (float 1e-9))) "sliding average" [ 1.0; 2.0; 4.0 ] outs
+
+(* Arrow laws, observed through run_list on random inputs. *)
+let obs_equal xs a b = A.run_list a xs = A.run_list b xs
+
+let small_fun = QCheck.fun1 QCheck.Observable.int QCheck.small_signed_int
+
+let prop_arr_id =
+  QCheck.Test.make ~name:"arr id = identity" ~count:100
+    QCheck.(list small_signed_int)
+    (fun xs -> A.run_list (A.arr Fun.id) xs = xs)
+
+let prop_arr_compose =
+  QCheck.Test.make ~name:"arr (g . f) = arr f >>> arr g" ~count:100
+    QCheck.(triple (list small_signed_int) small_fun small_fun)
+    (fun (xs, f, g) ->
+      let f = QCheck.Fn.apply f in
+      let g = QCheck.Fn.apply g in
+      obs_equal xs (A.arr (fun x -> g (f x))) A.(arr f >>> arr g))
+
+let prop_compose_assoc =
+  QCheck.Test.make ~name:">>> associative" ~count:100
+    QCheck.(list small_signed_int)
+    (fun xs ->
+      let a = A.init ( + ) 0 in
+      let b = A.arr (fun x -> x * 2) in
+      let c = A.init (fun x acc -> max x acc) min_int in
+      obs_equal xs A.((a >>> b) >>> c) A.(a >>> (b >>> c)))
+
+let prop_first_arr =
+  QCheck.Test.make ~name:"first (arr f) = arr (f x id)" ~count:100
+    QCheck.(pair (list (pair small_signed_int small_signed_int)) small_fun)
+    (fun (xs, f) ->
+      let f = QCheck.Fn.apply f in
+      A.run_list (A.first (A.arr f)) xs
+      = A.run_list (A.arr (fun (a, c) -> (f a, c))) xs)
+
+let prop_init_equals_fold_prefixes =
+  QCheck.Test.make ~name:"init f b traces fold prefixes" ~count:100
+    QCheck.(list small_signed_int)
+    (fun xs ->
+      let outs = A.run_list (A.init ( + ) 0) xs in
+      let rec prefixes acc = function
+        | [] -> []
+        | x :: rest ->
+          let acc = acc + x in
+          acc :: prefixes acc rest
+      in
+      outs = prefixes 0 xs)
+
+(* The paper's equivalence: foldp and run (init ...) define each other. *)
+let drive signal_of_input xs =
+  with_world (fun () ->
+      let src = Signal.input 0 in
+      let rt = Runtime.start (signal_of_input src) in
+      List.iter (fun v -> Runtime.inject rt src v) xs;
+      rt)
+
+let prop_run_equals_foldp =
+  QCheck.Test.make ~name:"run (init f b) = foldp f b on signals" ~count:50
+    QCheck.(list small_signed_int)
+    (fun xs ->
+      let via_run = drive (fun s -> A.run (A.init ( + ) 0) 0 s) xs in
+      let via_foldp = drive (fun s -> Signal.foldp ( + ) 0 s) xs in
+      List.map snd (Runtime.changes via_run)
+      = List.map snd (Runtime.changes via_foldp))
+
+let prop_foldp_via_run =
+  QCheck.Test.make ~name:"foldp_via_run behaves like foldp" ~count:50
+    QCheck.(list small_signed_int)
+    (fun xs ->
+      let a = drive (fun s -> A.foldp_via_run ( + ) 0 s) xs in
+      let b = drive (fun s -> Signal.foldp ( + ) 0 s) xs in
+      List.map snd (Runtime.changes a) = List.map snd (Runtime.changes b))
+
+let test_run_on_signal () =
+  let rt = drive (fun s -> A.run A.count 0 (Signal.lift (fun x -> x) s)) [ 9; 9; 9 ] in
+  check_ints "count over signal" [ 1; 2; 3 ]
+    (List.map snd (Runtime.changes rt));
+  check_bool "automata do not step on other events" true true
+
+let () =
+  let tc = Alcotest.test_case in
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "automaton"
+    [
+      ( "stepping",
+        [
+          tc "pure" `Quick test_pure;
+          tc "init" `Quick test_init_is_stateful;
+          tc "count" `Quick test_count;
+          tc "compose" `Quick test_compose;
+          tc "compose rev" `Quick test_compose_rev;
+          tc "first/second" `Quick test_first_second;
+          tc "***/&&&" `Quick test_parallel_ops;
+          tc "combine" `Quick test_combine_dynamic_collection;
+          tc "loop" `Quick test_loop_feedback;
+          tc "average" `Quick test_average;
+        ] );
+      ( "laws",
+        [
+          qt prop_arr_id;
+          qt prop_arr_compose;
+          qt prop_compose_assoc;
+          qt prop_first_arr;
+          qt prop_init_equals_fold_prefixes;
+        ] );
+      ( "signals",
+        [
+          qt prop_run_equals_foldp;
+          qt prop_foldp_via_run;
+          tc "run over signal" `Quick test_run_on_signal;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+(* End-to-end tests of the felmc command-line tool: the four subcommands
+   against the shipped example programs, plus error reporting and exit
+   codes. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let felmc =
+  if Sys.file_exists "../bin/felmc.exe" then "../bin/felmc.exe"
+  else "_build/default/bin/felmc.exe"
+
+let examples_dir =
+  if Sys.file_exists "../examples/felm/mouse.felm" then "../examples/felm/"
+  else "examples/felm/"
+
+let run_cmd args =
+  let out_file = Filename.temp_file "felmc" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" felmc (String.concat " " args) out_file
+  in
+  let code = Sys.command cmd in
+  let ic = open_in_bin out_file in
+  let output =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove out_file)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, output)
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_check () =
+  let code, out = run_cmd [ "check"; examples_dir ^ "mouse.felm" ] in
+  check_int "exit 0" 0 code;
+  check_bool "prints the type" true (contains out "signal string")
+
+let test_check_type_error () =
+  let bad = Filename.temp_file "bad" ".felm" in
+  let oc = open_out bad in
+  output_string oc "main = lift (\\x -> Mouse.y) Mouse.x\n";
+  close_out oc;
+  let code, out = run_cmd [ "check"; bad ] in
+  Sys.remove bad;
+  check_bool "nonzero exit" true (code <> 0);
+  check_bool "reports a type error" true (contains out "Type error")
+
+let test_check_syntax_error () =
+  let bad = Filename.temp_file "bad" ".felm" in
+  let oc = open_out bad in
+  output_string oc "main = (1 +\n";
+  close_out oc;
+  let code, out = run_cmd [ "check"; bad ] in
+  Sys.remove bad;
+  check_bool "nonzero exit" true (code <> 0);
+  check_bool "reports a syntax error with location" true
+    (contains out "Syntax error" && contains out "line")
+
+let test_run_with_trace () =
+  let code, out =
+    run_cmd
+      [ "run"; examples_dir ^ "counter.felm"; "--trace"; examples_dir ^ "counter.trace" ]
+  in
+  check_int "exit 0" 0 code;
+  check_bool "timestamped displays" true
+    (contains out "[   0.100] 1" && contains out "[   0.300] 3")
+
+let test_run_sequential_and_stats () =
+  let code, out =
+    run_cmd
+      [
+        "run"; examples_dir ^ "mouse.felm"; "--trace";
+        examples_dir ^ "mouse.trace"; "--sequential"; "--stats";
+      ]
+  in
+  check_int "exit 0" 0 code;
+  check_bool "stats printed" true (contains out "events=");
+  check_bool "same outputs as pipelined" true (contains out "(30, 9)")
+
+let test_compile_html_and_js () =
+  let out_html = Filename.temp_file "out" ".html" in
+  let code, _ = run_cmd [ "compile"; examples_dir ^ "mouse.felm"; "-o"; out_html ] in
+  check_int "compile exit 0" 0 code;
+  let ic = open_in_bin out_html in
+  let html = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out_html;
+  check_bool "html page" true (contains html "<!DOCTYPE html>");
+  check_bool "runtime embedded" true (contains html "var ElmRuntime");
+  let code, js = run_cmd [ "compile"; examples_dir ^ "mouse.felm"; "--js" ] in
+  check_int "js exit 0" 0 code;
+  check_bool "plain js, no html" true
+    (contains js "R.display(G, main)" && not (contains js "<!DOCTYPE"))
+
+let test_graph_dot () =
+  let code, dot = run_cmd [ "graph"; examples_dir ^ "wordpairs.felm" ] in
+  check_int "exit 0" 0 code;
+  check_bool "digraph" true (contains dot "digraph felm");
+  check_bool "dispatcher present" true (contains dot "Global Event")
+
+let test_missing_file () =
+  let code, _ = run_cmd [ "check"; "no_such_file.felm" ] in
+  check_bool "nonzero exit for missing file" true (code <> 0)
+
+let test_bad_trace () =
+  let bad = Filename.temp_file "bad" ".trace" in
+  let oc = open_out bad in
+  output_string oc "0.5 Mouse.x \"not an int\"\n";
+  close_out oc;
+  let code, out =
+    run_cmd [ "run"; examples_dir ^ "mouse.felm"; "--trace"; bad ]
+  in
+  Sys.remove bad;
+  check_bool "nonzero exit" true (code <> 0);
+  check_bool "trace error reported" true (contains out "Trace error")
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "cli"
+    [
+      ( "felmc",
+        [
+          tc "check" `Quick test_check;
+          tc "check type error" `Quick test_check_type_error;
+          tc "check syntax error" `Quick test_check_syntax_error;
+          tc "run with trace" `Quick test_run_with_trace;
+          tc "run sequential + stats" `Quick test_run_sequential_and_stats;
+          tc "compile html/js" `Quick test_compile_html_and_js;
+          tc "graph dot" `Quick test_graph_dot;
+          tc "missing file" `Quick test_missing_file;
+          tc "bad trace" `Quick test_bad_trace;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+(* Tests for the persistent Dict (AVL) and Set libraries (Section 4). *)
+
+module Dict = Elm_containers.Dict
+module Set = Elm_containers.Elm_set
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ints = Alcotest.(check (list int))
+
+let test_dict_basic () =
+  let d = Dict.of_list [ (3, "c"); (1, "a"); (2, "b") ] in
+  check_int "size" 3 (Dict.size d);
+  check_bool "get hit" true (Dict.get 2 d = Some "b");
+  check_bool "get miss" true (Dict.get 9 d = None);
+  check_bool "member" true (Dict.member 1 d);
+  check_ints "keys sorted" [ 1; 2; 3 ] (Dict.keys d);
+  Alcotest.(check (list string)) "values in key order" [ "a"; "b"; "c" ] (Dict.values d)
+
+let test_dict_insert_replaces () =
+  let d = Dict.insert 1 "new" (Dict.singleton 1 "old") in
+  check_int "still one binding" 1 (Dict.size d);
+  check_bool "replaced" true (Dict.get 1 d = Some "new")
+
+let test_dict_remove () =
+  let d = Dict.of_list (List.init 10 (fun i -> (i, i * i))) in
+  let d = Dict.remove 5 d in
+  check_int "one less" 9 (Dict.size d);
+  check_bool "gone" true (Dict.get 5 d = None);
+  check_bool "others intact" true (Dict.get 6 d = Some 36);
+  check_bool "remove absent is id" true (Dict.size (Dict.remove 99 d) = 9)
+
+let test_dict_update () =
+  let d = Dict.singleton "k" 1 in
+  let d = Dict.update "k" (Option.map (fun v -> v + 10)) d in
+  check_bool "modified" true (Dict.get "k" d = Some 11);
+  let d = Dict.update "new" (fun _ -> Some 5) d in
+  check_bool "inserted" true (Dict.get "new" d = Some 5);
+  let d = Dict.update "k" (fun _ -> None) d in
+  check_bool "deleted" true (Dict.get "k" d = None)
+
+let test_dict_union_left_biased () =
+  let a = Dict.of_list [ (1, "a1"); (2, "a2") ] in
+  let b = Dict.of_list [ (2, "b2"); (3, "b3") ] in
+  let u = Dict.union a b in
+  check_bool "left wins" true (Dict.get 2 u = Some "a2");
+  check_int "all keys" 3 (Dict.size u)
+
+let test_dict_intersect_diff () =
+  let a = Dict.of_list [ (1, "x"); (2, "y"); (3, "z") ] in
+  let b = Dict.of_list [ (2, "_"); (3, "_") ] in
+  check_ints "intersect keys" [ 2; 3 ] (Dict.keys (Dict.intersect a b));
+  check_ints "diff keys" [ 1 ] (Dict.keys (Dict.diff a b))
+
+let test_dict_fold_map_filter () =
+  let d = Dict.of_list (List.init 5 (fun i -> (i, i))) in
+  check_int "fold sum" 10 (Dict.fold (fun _ v acc -> acc + v) d 0);
+  let doubled = Dict.map (fun _ v -> v * 2) d in
+  check_bool "map" true (Dict.get 3 doubled = Some 6);
+  let evens = Dict.filter (fun k _ -> k mod 2 = 0) d in
+  check_ints "filter" [ 0; 2; 4 ] (Dict.keys evens)
+
+let test_dict_min_max () =
+  let d = Dict.of_list [ (5, ()); (1, ()); (9, ()) ] in
+  check_bool "min" true (Dict.find_min d = Some (1, ()));
+  check_bool "max" true (Dict.find_max d = Some (9, ()));
+  check_bool "empty min" true (Dict.find_min Dict.empty = None)
+
+let prop_dict_model =
+  (* compare against an association-list model through random operations *)
+  QCheck.Test.make ~name:"dict behaves like an assoc-list model" ~count:200
+    QCheck.(list (pair (int_bound 30) (option (int_bound 100))))
+    (fun ops ->
+      let apply_model model (k, op) =
+        match op with
+        | Some v -> (k, v) :: List.remove_assoc k model
+        | None -> List.remove_assoc k model
+      in
+      let apply_dict d (k, op) =
+        match op with Some v -> Dict.insert k v d | None -> Dict.remove k d
+      in
+      let model = List.fold_left apply_model [] ops in
+      let dict = List.fold_left apply_dict Dict.empty ops in
+      let sorted_model = List.sort compare model in
+      Dict.to_list dict = sorted_model
+      && Dict.check_balanced dict && Dict.check_ordered dict)
+
+let prop_dict_balanced_ascending =
+  QCheck.Test.make ~name:"AVL stays balanced on sorted inserts" ~count:20
+    QCheck.(int_range 1 300)
+    (fun n ->
+      let d = Dict.of_list (List.init n (fun i -> (i, i))) in
+      Dict.check_balanced d && Dict.check_ordered d && Dict.size d = n)
+
+let prop_dict_remove_all =
+  QCheck.Test.make ~name:"inserting then removing everything yields empty"
+    ~count:100
+    QCheck.(list_of_size Gen.(0 -- 40) small_int)
+    (fun keys ->
+      let d = List.fold_left (fun d k -> Dict.insert k () d) Dict.empty keys in
+      let d = List.fold_left (fun d k -> Dict.remove k d) d keys in
+      Dict.is_empty d)
+
+let test_set_basic () =
+  let s = Set.of_list [ 3; 1; 2; 3; 1 ] in
+  check_int "dedup" 3 (Set.size s);
+  check_ints "sorted" [ 1; 2; 3 ] (Set.to_list s);
+  check_bool "member" true (Set.member 2 s);
+  check_bool "not member" false (Set.member 9 s)
+
+let test_set_algebra () =
+  let a = Set.of_list [ 1; 2; 3 ] in
+  let b = Set.of_list [ 2; 3; 4 ] in
+  check_ints "union" [ 1; 2; 3; 4 ] (Set.to_list (Set.union a b));
+  check_ints "intersect" [ 2; 3 ] (Set.to_list (Set.intersect a b));
+  check_ints "diff" [ 1 ] (Set.to_list (Set.diff a b));
+  check_bool "subset" true (Set.subset (Set.of_list [ 2; 3 ]) a);
+  check_bool "not subset" false (Set.subset b a)
+
+let test_set_map_filter_fold () =
+  let s = Set.of_list [ 1; 2; 3; 4 ] in
+  check_ints "map collapses" [ 0; 1 ] (Set.to_list (Set.map (fun x -> x mod 2) s));
+  check_ints "filter" [ 2; 4 ] (Set.to_list (Set.filter (fun x -> x mod 2 = 0) s));
+  check_int "fold" 10 (Set.fold ( + ) s 0)
+
+let prop_set_union_commutative =
+  QCheck.Test.make ~name:"set union commutative (as sets)" ~count:200
+    QCheck.(pair (list small_int) (list small_int))
+    (fun (xs, ys) ->
+      Set.equal
+        (Set.union (Set.of_list xs) (Set.of_list ys))
+        (Set.union (Set.of_list ys) (Set.of_list xs)))
+
+let prop_set_tolist_sorted_dedup =
+  QCheck.Test.make ~name:"to_list = sorted dedup" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      Set.to_list (Set.of_list xs) = List.sort_uniq compare xs)
+
+let () =
+  let tc = Alcotest.test_case in
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "containers"
+    [
+      ( "dict",
+        [
+          tc "basic" `Quick test_dict_basic;
+          tc "insert replaces" `Quick test_dict_insert_replaces;
+          tc "remove" `Quick test_dict_remove;
+          tc "update" `Quick test_dict_update;
+          tc "union left-biased" `Quick test_dict_union_left_biased;
+          tc "intersect/diff" `Quick test_dict_intersect_diff;
+          tc "fold/map/filter" `Quick test_dict_fold_map_filter;
+          tc "min/max" `Quick test_dict_min_max;
+          qt prop_dict_model;
+          qt prop_dict_balanced_ascending;
+          qt prop_dict_remove_all;
+        ] );
+      ( "set",
+        [
+          tc "basic" `Quick test_set_basic;
+          tc "algebra" `Quick test_set_algebra;
+          tc "map/filter/fold" `Quick test_set_map_filter_fold;
+          qt prop_set_union_commutative;
+          qt prop_set_tolist_sorted_dedup;
+        ] );
+    ]

@@ -1,0 +1,625 @@
+(* Tests for FElm's two-stage semantics (paper Section 3.3):
+
+   Stage one (Fig. 6): each reduction rule individually, normalization to
+   the Fig. 5 intermediate language, Theorem 1 (type soundness and
+   normalization) as a property over generated well-typed programs, and the
+   agreement of the small-step path with the independent big-step
+   evaluator.
+
+   Stage two: end-to-end runs of FElm programs on the concurrent runtime,
+   driven by traces — including the paper's examples. *)
+
+module Ast = Felm.Ast
+module Eval = Felm.Eval
+module Denote = Felm.Denote
+module Value = Felm.Value
+module Sgraph = Felm.Sgraph
+module Program = Felm.Program
+module Interp = Felm.Interp
+module Trace = Felm.Trace
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let parse = Felm.Parser.parse_expression
+
+let resolve src =
+  (Program.of_source ("main = " ^ src)).Program.main
+
+let strip_main (e : Ast.expr) =
+  (* Elaboration wraps programs as [let main = ... in main]; since main is
+     signal-bound the wrapper survives normalization. Strip it for tests
+     that inspect the shape of the body. *)
+  match e.Ast.desc with
+  | Ast.Let ("main", rhs, { Ast.desc = Ast.Var "main"; _ }) -> rhs
+  | _ -> e
+
+let normal src = strip_main (Eval.normalize (resolve src))
+
+(* ------------------------------------------------------------------ *)
+(* Individual rules (Fig. 6) *)
+
+let test_rule_op () =
+  check_str "OP" "3" (Ast.to_string (normal "1 + 2"));
+  check_str "nested OP" "14" (Ast.to_string (normal "2 + 3 * 4"));
+  check_str "float OP" "3.5" (Ast.to_string (normal "1.25 +. 2.25"));
+  check_str "concat" "\"ab\"" (Ast.to_string (normal "\"a\" ^ \"b\""))
+
+let test_rule_cond () =
+  check_str "COND-TRUE" "1" (Ast.to_string (normal "if 7 then 1 else 2"));
+  check_str "COND-FALSE" "2" (Ast.to_string (normal "if 0 then 1 else 2"));
+  check_str "condition evaluated" "1" (Ast.to_string (normal "if 3 - 2 then 1 else 2"))
+
+let test_rule_application_creates_let () =
+  (* APPLICATION: (\x. e1) e2 --> let x = e2 in e1, before e2 evaluates. *)
+  let e = parse "(\\x -> x + x) (1 + 2)" in
+  match Eval.step e with
+  | Some { Ast.desc = Ast.Let ("x", rhs, _); _ } ->
+    check_str "argument unevaluated in the let" "(1 + 2)" (Ast.to_string rhs)
+  | _ -> Alcotest.fail "expected APPLICATION to produce a let"
+
+let test_rule_reduce_only_values () =
+  (* REDUCE substitutes only once the right-hand side is a value. *)
+  let e = parse "let x = 1 + 2 in x * x" in
+  (match Eval.step e with
+  | Some { Ast.desc = Ast.Let ("x", { Ast.desc = Ast.Int 3; _ }, _); _ } -> ()
+  | _ -> Alcotest.fail "rhs should evaluate first");
+  check_str "then substitutes" "9" (Ast.to_string (Eval.normalize e))
+
+let test_signal_lets_not_substituted () =
+  (* A signal-bound let stays a let: signal expressions are not duplicated
+     (call-by-need-like sharing, Section 3.3.1). *)
+  let e = normal "let s = lift (\\x -> x + 1) Mouse.x in lift2 (\\a b -> a * b) s s" in
+  match e.Ast.desc with
+  | Ast.Let ("s", rhs, body) ->
+    check_bool "rhs still a signal term" true (Ast.is_signal_term rhs);
+    (* the body references s twice rather than copying the lift *)
+    let occurrences =
+      let rec count (e : Ast.expr) =
+        match e.Ast.desc with
+        | Ast.Var "s" -> 1
+        | Ast.Lift (f, deps) -> count f + List.fold_left (fun a d -> a + count d) 0 deps
+        | _ -> 0
+      in
+      count body
+    in
+    check_int "shared twice" 2 occurrences
+  | _ -> Alcotest.failf "expected a let at the top, got %s" (Ast.to_string e)
+
+let test_rule_expand () =
+  (* EXPAND: F[let x = s in u] --> let x = s in F[u]. The classic case:
+     applying a let-wrapped function. *)
+  let e = normal "(let s = Mouse.x in \\y -> lift2 (\\a b -> a + b) s y) Mouse.y" in
+  check_bool "normal form is a final term" true (Ast.is_final e);
+  match e.Ast.desc with
+  | Ast.Let ("s", { Ast.desc = Ast.Input "Mouse.x"; _ }, _) -> ()
+  | _ -> Alcotest.failf "expected let hoisted to the top, got %s" (Ast.to_string e)
+
+let test_expand_in_pairs () =
+  (* Extension F-contexts: a signal let buried in a pair component. *)
+  let e = normal "((let s = Mouse.x in 5), 3)" in
+  check_bool "final" true (Ast.is_final e);
+  (* the pair of values remains, with the dead signal let floated *)
+  check_bool "evaluates to a final term containing (5, 3)" true
+    (let rec has_pair (e : Ast.expr) =
+       match e.Ast.desc with
+       | Ast.Pair ({ Ast.desc = Ast.Int 5; _ }, { Ast.desc = Ast.Int 3; _ }) -> true
+       | Ast.Let (_, rhs, body) -> has_pair rhs || has_pair body
+       | _ -> false
+     in
+     has_pair e)
+
+let test_expand_avoids_capture () =
+  (* The hoisted binder must not capture a free variable of the context. *)
+  let e =
+    resolve
+      "let s = Mouse.x in (\\f -> (let q = Mouse.y in \\z -> z) (lift f s)) (\\w -> w + 1)"
+  in
+  let n = Eval.normalize e in
+  check_bool "normalizes to a final term" true (Ast.is_final n)
+
+let test_rule_delta_prims () =
+  check_str "abs" "3" (Ast.to_string (normal "abs (0 - 3)"));
+  check_str "max" "7" (Ast.to_string (normal "max 3 7"));
+  check_str "strlen" "5" (Ast.to_string (normal "strlen \"hello\""));
+  check_str "translate" "\"bonjour\"" (Ast.to_string (normal "translate \"hello\""));
+  check_str "show int" "\"42\"" (Ast.to_string (normal "show 42"));
+  check_str "fst/snd" "3" (Ast.to_string (normal "fst (3, 4) + 0 * snd (3, 4)"))
+
+let test_list_evaluation () =
+  check_str "list of computations" "[2, 6]"
+    (Ast.to_string (normal "[1 + 1, 2 * 3]"));
+  check_str "cons/head/tail" "3"
+    (Ast.to_string (normal "head (tail (cons 1 (cons 3 [])))"));
+  check_str "take" "[1, 2]" (Ast.to_string (normal "take 2 [1, 2, 3]"));
+  check_str "reverse" "[3, 2, 1]" (Ast.to_string (normal "reverse [1, 2, 3]"));
+  check_str "isEmpty" "1" (Ast.to_string (normal "isEmpty []"));
+  check_str "show" "\"[1, 2]\"" (Ast.to_string (normal "show [1, 2]"))
+
+let test_list_head_of_empty () =
+  match Eval.normalize (resolve "head []") with
+  | _ -> Alcotest.fail "expected runtime error"
+  | exception Invalid_argument _ -> ()
+
+let test_list_program_runs () =
+  let out =
+    Interp.run_source
+      "recent = foldp (\\x acc -> take 2 (cons x acc)) [] Mouse.x\nmain = recent"
+      ~trace:"0.1 Mouse.x 1\n0.2 Mouse.x 2\n0.3 Mouse.x 3\n"
+  in
+  Alcotest.(check (list string))
+    "windowed history"
+    [ "[1]"; "[2, 1]"; "[3, 2]" ]
+    (List.map (fun (_, v) -> Value.show v) out.Interp.displays)
+
+let test_option_evaluation () =
+  check_str "some evaluates inside" "(some 3)" (Ast.to_string (normal "some (1 + 2)"));
+  check_str "withDefault some" "7" (Ast.to_string (normal "withDefault 0 (some 7)"));
+  check_str "withDefault none" "9" (Ast.to_string (normal "withDefault 9 none"));
+  check_str "isNone" "1" (Ast.to_string (normal "isNone none"));
+  check_str "show option" "\"some 3\"" (Ast.to_string (normal "show (some 3)"))
+
+let test_option_program_runs () =
+  let out =
+    Interp.run_source
+      "first = foldp (\\x acc -> if isNone acc && x /= 0 then some x else acc) none Mouse.x\n\
+       main = lift (\\o -> withDefault (-1) o) first"
+      ~trace:"0.1 Mouse.x 0\n0.2 Mouse.x 5\n0.3 Mouse.x 8\n"
+  in
+  Alcotest.(check (list string))
+    "first nonzero remembered"
+    [ "-1"; "5"; "5" ]
+    (List.map (fun (_, v) -> Value.show v) out.Interp.displays)
+
+let test_division_by_zero () =
+  match Eval.normalize (resolve "1 / 0") with
+  | _ -> Alcotest.fail "expected runtime error"
+  | exception Eval.Runtime_error _ -> ()
+
+let test_normal_forms_are_final () =
+  List.iter
+    (fun src ->
+      let n = normal src in
+      check_bool ("final: " ^ src) true (Ast.is_final n))
+    [
+      "42";
+      "\\x -> x + 1";
+      "Mouse.x";
+      "lift (\\x -> x) Mouse.x";
+      "foldp (\\k c -> c + 1) 0 Keyboard.lastPressed";
+      "async (lift (\\x -> x) Mouse.x)";
+      "let s = Mouse.x in lift2 (\\a b -> a + b) s s";
+      "(\\f -> lift f Mouse.x) (\\x -> x * 2)";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Generated well-typed programs: Theorem 1 and big-step agreement. *)
+
+(* A generator of well-typed (expression, uses-signals) pairs built
+   compositionally: integer expressions from an environment of integer
+   variables, signal expressions over the standard inputs. *)
+module Gen = struct
+  open QCheck.Gen
+
+  let var_pool = [ "a"; "b"; "c" ]
+
+  (* integer-typed expression using variables from [vars] *)
+  let rec int_expr vars n =
+    if n <= 0 then leaf vars
+    else
+      frequency
+        [
+          (2, leaf vars);
+          ( 3,
+            map2
+              (fun op (l, r) -> Ast.mk (Ast.Binop (op, l, r)))
+              (oneofl [ Ast.Add; Ast.Sub; Ast.Mul ])
+              (pair (int_expr vars (n / 2)) (int_expr vars (n / 2))) );
+          ( 1,
+            map3
+              (fun c t e -> Ast.mk (Ast.If (c, t, e)))
+              (int_expr vars (n / 3)) (int_expr vars (n / 3))
+              (int_expr vars (n / 3)) );
+          ( 1,
+            let* x = oneofl var_pool in
+            let* rhs = int_expr vars (n / 2) in
+            let* body = int_expr (x :: vars) (n / 2) in
+            return (Ast.mk (Ast.Let (x, rhs, body))) );
+          ( 1,
+            let* x = oneofl var_pool in
+            let* body = int_expr (x :: vars) (n / 2) in
+            let* arg = int_expr vars (n / 2) in
+            return (Ast.mk (Ast.App (Ast.mk (Ast.Lam (x, body)), arg))) );
+          ( 1,
+            let* a = int_expr vars (n / 2) in
+            let* b = int_expr vars (n / 2) in
+            let* pick_fst = bool in
+            return
+              (Ast.mk
+                 (if pick_fst then Ast.Fst (Ast.mk (Ast.Pair (a, b)))
+                  else Ast.Snd (Ast.mk (Ast.Pair (a, b))))) );
+          ( 1,
+            (* lists: length of a literal list of int expressions *)
+            let* elems = list_size (0 -- 3) (int_expr vars (n / 3)) in
+            return (Ast.mk (Ast.Prim_op ("length", [ Ast.mk (Ast.List_lit elems) ]))) );
+          ( 1,
+            (* head (cons e es) is always defined *)
+            let* x = int_expr vars (n / 2) in
+            let* rest = list_size (0 -- 2) (int_expr vars (n / 3)) in
+            return
+              (Ast.mk
+                 (Ast.Prim_op
+                    ( "head",
+                      [
+                        Ast.mk
+                          (Ast.Prim_op
+                             ("cons", [ x; Ast.mk (Ast.List_lit rest) ]));
+                      ] ))) );
+          ( 1,
+            (* strings round-trip through show/strlen *)
+            let* x = int_expr vars (n / 2) in
+            return
+              (Ast.mk (Ast.Prim_op ("strlen", [ Ast.mk (Ast.Show x) ]))) );
+        ]
+
+  and leaf vars =
+    let open QCheck.Gen in
+    if vars = [] then map (fun n -> Ast.mk (Ast.Int n)) (int_range (-20) 20)
+    else
+      frequency
+        [
+          (2, map (fun n -> Ast.mk (Ast.Int n)) (int_range (-20) 20));
+          (1, map (fun x -> Ast.mk (Ast.Var x)) (oneofl vars));
+        ]
+
+  (* an int -> int function value *)
+  let fun1 n =
+    let open QCheck.Gen in
+    let* body = int_expr [ "p" ] n in
+    return (Ast.mk (Ast.Lam ("p", body)))
+
+  let fun2 n =
+    let* body = int_expr [ "p"; "q" ] n in
+    return (Ast.mk (Ast.Lam ("p", Ast.mk (Ast.Lam ("q", body)))))
+
+  (* signal-of-int expression *)
+  let rec signal_expr n =
+    if n <= 0 then
+      oneofl [ Ast.mk (Ast.Input "Mouse.x"); Ast.mk (Ast.Input "Mouse.y") ]
+    else
+      frequency
+        [
+          (1, oneofl [ Ast.mk (Ast.Input "Mouse.x"); Ast.mk (Ast.Input "Mouse.y") ]);
+          ( 3,
+            let* f = fun1 (n / 2) in
+            let* s = signal_expr (n / 2) in
+            return (Ast.mk (Ast.Lift (f, [ s ]))) );
+          ( 2,
+            let* f = fun2 (n / 3) in
+            let* s1 = signal_expr (n / 2) in
+            let* s2 = signal_expr (n / 2) in
+            return (Ast.mk (Ast.Lift (f, [ s1; s2 ]))) );
+          ( 2,
+            let* f = fun2 (n / 3) in
+            let* b = int_expr [] (n / 3) in
+            let* s = signal_expr (n / 2) in
+            return (Ast.mk (Ast.Foldp (f, b, s))) );
+          ( 1,
+            let* s = signal_expr (n - 1) in
+            return (Ast.mk (Ast.Async s)) );
+          ( 1,
+            let* s = signal_expr (n / 2) in
+            let* f = fun2 (n / 3) in
+            let* s2 = signal_expr (n / 2) in
+            return
+              (Ast.mk
+                 (Ast.Let
+                    ( "shared",
+                      s,
+                      Ast.mk
+                        (Ast.Lift (f, [ Ast.mk (Ast.Var "shared"); s2 ])) ))) );
+        ]
+
+  let program =
+    let open QCheck.Gen in
+    let* reactive = bool in
+    if reactive then signal_expr 6 else int_expr [] 8
+
+  let arbitrary =
+    QCheck.make ~print:Ast.to_string program
+end
+
+let input_ty name =
+  Option.map
+    (fun (i : Felm.Builtins.input) -> i.Felm.Builtins.input_ty)
+    (Felm.Builtins.find_standard_input name)
+
+(* Theorem 1: well-typed terms normalize to a final term of the same type. *)
+let prop_type_soundness_normalization =
+  QCheck.Test.make ~name:"Theorem 1: soundness + normalization" ~count:300
+    Gen.arbitrary (fun e ->
+      match Felm.Typecheck.infer ~input_ty e with
+      | exception Felm.Typecheck.Type_error _ -> QCheck.assume_fail ()
+      | ty -> (
+        match Eval.normalize ~fuel:200_000 e with
+        | exception Eval.Runtime_error _ ->
+          (* division/modulo by zero is the one legitimate fault *)
+          true
+        | n ->
+          Ast.is_final n
+          &&
+          let ty' = Felm.Typecheck.infer ~input_ty n in
+          Felm.Ty.to_string ty = Felm.Ty.to_string ty'))
+
+(* The two stage-one paths agree: normalize + read-back produces a graph
+   with the same observable behaviour as direct big-step evaluation. *)
+let run_both e trace_events =
+  let program =
+    { Program.inputs = (Program.of_source "main = 1").Program.inputs; main = e }
+  in
+  let run_with graph_root =
+    let g, root = graph_root () in
+    Interp.run_graph program g root ~trace:trace_events
+  in
+  let big () = Denote.run_program program in
+  let small () =
+    let g = Sgraph.create () in
+    let root = Denote.graph_of_final g (Eval.normalize e) in
+    (g, root)
+  in
+  let a = run_with big in
+  let b = run_with small in
+  (a, b)
+
+let trace_gen =
+  QCheck.Gen.(
+    list_size (1 -- 8)
+      (map2
+         (fun t v -> (t, v))
+         (float_bound_exclusive 10.0)
+         (int_range (-10) 10)))
+
+let prop_small_step_equals_big_step =
+  QCheck.Test.make ~name:"small-step and big-step paths agree observably"
+    ~count:150
+    (QCheck.pair Gen.arbitrary (QCheck.make trace_gen))
+    (fun (e, raw_trace) ->
+      match Felm.Typecheck.infer ~input_ty e with
+      | exception Felm.Typecheck.Type_error _ -> QCheck.assume_fail ()
+      | _ -> (
+        let trace_events =
+          List.mapi
+            (fun i (t, v) ->
+              {
+                Trace.at = t;
+                input = (if i mod 2 = 0 then "Mouse.x" else "Mouse.y");
+                value = Value.Vint v;
+              })
+            (List.sort compare raw_trace)
+        in
+        match run_both e trace_events with
+        | exception Eval.Runtime_error _ -> true
+        | exception Denote.Error _ -> true
+        | a, b ->
+          List.map snd a.Interp.displays = List.map snd b.Interp.displays
+          && Value.to_string a.Interp.final = Value.to_string b.Interp.final))
+
+(* Determinism of the whole pipeline. *)
+let prop_interp_deterministic =
+  QCheck.Test.make ~name:"interpreter is deterministic" ~count:60
+    Gen.arbitrary (fun e ->
+      match Felm.Typecheck.infer ~input_ty e with
+      | exception Felm.Typecheck.Type_error _ -> QCheck.assume_fail ()
+      | _ -> (
+        let trace =
+          [
+            { Trace.at = 0.5; input = "Mouse.x"; value = Value.Vint 3 };
+            { Trace.at = 1.0; input = "Mouse.y"; value = Value.Vint 4 };
+            { Trace.at = 1.5; input = "Mouse.x"; value = Value.Vint 5 };
+          ]
+        in
+        let program =
+          { Program.inputs = (Program.of_source "main = 1").Program.inputs; main = e }
+        in
+        match
+          ( Interp.run program ~trace,
+            Interp.run program ~trace )
+        with
+        | exception Denote.Error _ -> true
+        | exception Eval.Runtime_error _ -> true
+        | a, b ->
+          List.map snd a.Interp.displays = List.map snd b.Interp.displays))
+
+(* ------------------------------------------------------------------ *)
+(* Stage two: end-to-end program runs *)
+
+let displays outcome =
+  List.map (fun (_, v) -> Value.show v) outcome.Interp.displays
+
+let test_run_pure_program () =
+  let out = Interp.run_source "main = 6 * 7" ~trace:"" in
+  check_str "pure result" "42" (Value.show out.Interp.final);
+  check_int "no displays" 0 (List.length out.Interp.displays)
+
+let test_run_mouse_tracker () =
+  (* Example 2: main = lift show Mouse.x *)
+  let out =
+    Interp.run_source "main = lift (\\p -> show p) Mouse.x"
+      ~trace:"0.1 Mouse.x 3\n0.2 Mouse.x 4\n"
+  in
+  Alcotest.(check (list string)) "positions shown" [ "3"; "4" ] (displays out)
+
+let test_run_counter () =
+  (* Section 3.1's key-press counter. *)
+  let out =
+    Interp.run_source
+      "main = foldp (\\k c -> c + 1) 0 Keyboard.lastPressed"
+      ~trace:"0.1 Keyboard.lastPressed 65\n0.2 Keyboard.lastPressed 66\n0.3 Keyboard.lastPressed 67\n"
+  in
+  Alcotest.(check (list string)) "counts" [ "1"; "2"; "3" ] (displays out)
+
+let test_run_fig7_relative_position () =
+  let out =
+    Interp.run_source
+      "main = lift2 (\\y z -> y * 100 / z) Mouse.x Window.width"
+      ~trace:"0.1 Mouse.x 512\n0.2 Window.width 2048\n"
+  in
+  Alcotest.(check (list string)) "relative positions" [ "50"; "25" ] (displays out)
+
+let test_run_wordpairs () =
+  let out =
+    Interp.run_source
+      "input words : signal string = \"\"\n\
+       wordPairs = lift2 (\\a b -> (a, b)) words (lift translate words)\n\
+       main = wordPairs"
+      ~trace:"0.1 words \"hello\"\n0.2 words \"world\"\n"
+  in
+  Alcotest.(check (list string))
+    "pairs matched"
+    [ "(hello, bonjour)"; "(world, monde)" ]
+    (displays out)
+
+let test_run_async_responsiveness () =
+  (* The Section 5 syncEg/asyncEg programs, written in FElm with `work`. *)
+  let source ~async =
+    Printf.sprintf
+      "slow x = work 100.0 x\n\
+       main = lift2 (\\a b -> (a, b)) Mouse.x (%s (lift slow Mouse.y))"
+      (if async then "async" else "lift (\\v -> v)")
+  in
+  let trace = "1.0 Mouse.y 1\n2.0 Mouse.x 42\n" in
+  let sync_out = Interp.run_source (source ~async:false) ~trace in
+  let async_out = Interp.run_source (source ~async:true) ~trace in
+  let time_of_x out =
+    List.find_map
+      (fun (t, v) ->
+        match v with
+        | Value.Vpair (Value.Vint 42, _) -> Some t
+        | _ -> None)
+      out.Interp.displays
+  in
+  (match time_of_x sync_out with
+  | Some t -> check_bool "sync: x blocked behind work" true (t >= 100.0)
+  | None -> Alcotest.fail "sync: x never displayed");
+  match time_of_x async_out with
+  | Some t -> check_bool "async: x prompt" true (t < 3.0)
+  | None -> Alcotest.fail "async: x never displayed"
+
+let test_run_modes_agree () =
+  let src = "main = foldp (\\k c -> c + k) 0 Mouse.x" in
+  let trace = "0.1 Mouse.x 1\n0.2 Mouse.x 2\n0.3 Mouse.x 3\n" in
+  let a = Interp.run_source ~mode:Elm_core.Runtime.Pipelined src ~trace in
+  let b = Interp.run_source ~mode:Elm_core.Runtime.Sequential src ~trace in
+  check_bool "pipelined = sequential outputs" true (displays a = displays b)
+
+let test_skipped_events () =
+  let out =
+    Interp.run_source "main = lift (\\x -> x) Mouse.x"
+      ~trace:"0.1 Mouse.x 1\n0.2 Mouse.y 2\n"
+  in
+  check_int "unused input skipped" 1 out.Interp.skipped_events
+
+let test_sharing_in_graph () =
+  (* One shared node, not two, for a let-bound signal. *)
+  let p =
+    Program.of_source
+      "s = lift (\\x -> x + 1) Mouse.x\nmain = lift2 (\\a b -> a + b) s s"
+  in
+  let g, _ = Denote.run_program p in
+  (* nodes: input, inner lift, outer lift2 = 3 *)
+  check_int "three nodes" 3 (Sgraph.size g)
+
+let test_trace_parsing () =
+  let events =
+    Trace.parse "# comment\n\n0.5 Mouse.x 42\n0.25 words \"hi\"\n1.0 p (1, 2)\n"
+  in
+  check_int "three events" 3 (List.length events);
+  (match events with
+  | [ e1; e2; e3 ] ->
+    check_bool "sorted by time" true
+      (e1.Trace.at <= e2.Trace.at && e2.Trace.at <= e3.Trace.at);
+    check_bool "string value" true (e1.Trace.value = Value.Vstring "hi");
+    check_bool "pair value" true
+      (e3.Trace.value = Value.Vpair (Value.Vint 1, Value.Vint 2))
+  | _ -> Alcotest.fail "expected three events");
+  match Trace.parse "nonsense line" with
+  | _ -> Alcotest.fail "expected trace error"
+  | exception Trace.Trace_error _ -> ()
+
+let test_trace_validation () =
+  let p = Program.of_source "main = lift (\\x -> x) Mouse.x" in
+  let bad_input = [ { Trace.at = 0.0; input = "Nope.x"; value = Value.Vint 1 } ] in
+  (match Trace.validate p bad_input with
+  | _ -> Alcotest.fail "expected unknown-input error"
+  | exception Trace.Trace_error _ -> ());
+  let bad_type = [ { Trace.at = 0.0; input = "Mouse.x"; value = Value.Vstring "s" } ] in
+  match Trace.validate p bad_type with
+  | _ -> Alcotest.fail "expected type error"
+  | exception Trace.Trace_error _ -> ()
+
+let test_graph_dot () =
+  let p =
+    Program.of_source
+      "main = lift2 (\\y z -> y * z) Mouse.x (async (lift (\\w -> w) Window.width))"
+  in
+  let g, root = Denote.run_program p in
+  let root_id = match root with Value.Vsignal id -> Some id | _ -> None in
+  let dot = Sgraph.to_dot ~label:"fig8-style" g ~root:root_id in
+  let contains needle =
+    let n = String.length needle in
+    let m = String.length dot in
+    let rec go i = i + n <= m && (String.sub dot i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "dispatcher" true (contains "Global Event");
+  check_bool "mouse input" true (contains "Mouse.x");
+  check_bool "async new-event edge" true (contains "new event");
+  check_bool "root highlighted" true (contains "peripheries=2")
+
+let () =
+  let tc = Alcotest.test_case in
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "felm-eval"
+    [
+      ( "rules",
+        [
+          tc "OP" `Quick test_rule_op;
+          tc "COND" `Quick test_rule_cond;
+          tc "APPLICATION" `Quick test_rule_application_creates_let;
+          tc "REDUCE" `Quick test_rule_reduce_only_values;
+          tc "signal lets shared" `Quick test_signal_lets_not_substituted;
+          tc "EXPAND" `Quick test_rule_expand;
+          tc "EXPAND in pairs" `Quick test_expand_in_pairs;
+          tc "EXPAND avoids capture" `Quick test_expand_avoids_capture;
+          tc "prim deltas" `Quick test_rule_delta_prims;
+          tc "division by zero" `Quick test_division_by_zero;
+          tc "lists evaluate" `Quick test_list_evaluation;
+          tc "head of empty" `Quick test_list_head_of_empty;
+          tc "list program" `Quick test_list_program_runs;
+          tc "options evaluate" `Quick test_option_evaluation;
+          tc "option program" `Quick test_option_program_runs;
+          tc "normal forms final" `Quick test_normal_forms_are_final;
+        ] );
+      ( "properties",
+        [
+          qt prop_type_soundness_normalization;
+          qt prop_small_step_equals_big_step;
+          qt prop_interp_deterministic;
+        ] );
+      ( "programs",
+        [
+          tc "pure program" `Quick test_run_pure_program;
+          tc "mouse tracker (Ex. 2)" `Quick test_run_mouse_tracker;
+          tc "key counter (S3.1)" `Quick test_run_counter;
+          tc "relative position (Fig. 7)" `Quick test_run_fig7_relative_position;
+          tc "wordPairs (S3.3.2)" `Quick test_run_wordpairs;
+          tc "async responsiveness (S5)" `Quick test_run_async_responsiveness;
+          tc "modes agree" `Quick test_run_modes_agree;
+          tc "skipped events" `Quick test_skipped_events;
+          tc "graph sharing" `Quick test_sharing_in_graph;
+          tc "trace parsing" `Quick test_trace_parsing;
+          tc "trace validation" `Quick test_trace_validation;
+          tc "graph dot (Fig. 7/8)" `Quick test_graph_dot;
+        ] );
+    ]

@@ -1,0 +1,481 @@
+(* Tests for the FElm front end: lexer, parser (Fig. 3 syntax), program
+   resolution/elaboration, and the Fig. 4 type system including every
+   stratification restriction of Section 3.2. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let toks src = Array.to_list (Array.map (fun s -> s.Felm.Lexer.tok) (Felm.Lexer.tokenize src))
+
+let test_lex_basic () =
+  match toks "let x = 41 in x + 1" with
+  | [ KW "let"; IDENT "x"; OP "="; INT 41; KW "in"; IDENT "x"; OP "+"; INT 1; EOF ] -> ()
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lex_operators () =
+  match toks "== /= <= >= && || -> +. ^" with
+  | [ OP "=="; OP "/="; OP "<="; OP ">="; OP "&&"; OP "||"; OP "->"; OP "+."; OP "^"; EOF ] -> ()
+  | _ -> Alcotest.fail "operators mis-lexed"
+
+let test_lex_dotted () =
+  match toks "Mouse.x Window.width" with
+  | [ DOTTED "Mouse.x"; DOTTED "Window.width"; EOF ] -> ()
+  | _ -> Alcotest.fail "dotted names mis-lexed"
+
+let test_lex_lift_family () =
+  match toks "lift lift2 lift8 lift9 lifty" with
+  | [ LIFT 1; LIFT 2; LIFT 8; IDENT "lift9"; IDENT "lifty"; EOF ] -> ()
+  | _ -> Alcotest.fail "lift keywords mis-lexed"
+
+let test_lex_string_escapes () =
+  match toks {|"a\nb\"c"|} with
+  | [ STRING "a\nb\"c"; EOF ] -> ()
+  | _ -> Alcotest.fail "string escapes mis-lexed"
+
+let test_lex_floats () =
+  match toks "3.25 10 2.0" with
+  | [ FLOAT 3.25; INT 10; FLOAT 2.0; EOF ] -> ()
+  | _ -> Alcotest.fail "numbers mis-lexed"
+
+let test_lex_comments () =
+  match toks "1 -- line comment\n {- block {- nested -} -} 2" with
+  | [ INT 1; INT 2; EOF ] -> ()
+  | _ -> Alcotest.fail "comments not skipped"
+
+let test_lex_errors () =
+  let expect_err src =
+    match Felm.Lexer.tokenize src with
+    | _ -> Alcotest.failf "expected lex error for %S" src
+    | exception Felm.Lexer.Lex_error _ -> ()
+  in
+  expect_err "\"unterminated";
+  expect_err "{- unterminated";
+  expect_err "Mouse";
+  (* upper-case word without dot *)
+  expect_err "#"
+
+let test_lex_locations () =
+  let spans = Felm.Lexer.tokenize "a\n  b" in
+  check_int "first line" 1 spans.(0).Felm.Lexer.tok_loc.Felm.Ast.line;
+  check_int "second line" 2 spans.(1).Felm.Lexer.tok_loc.Felm.Ast.line;
+  check_int "second col" 3 spans.(1).Felm.Lexer.tok_loc.Felm.Ast.col
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let parse = Felm.Parser.parse_expression
+
+let desc src = (parse src).Felm.Ast.desc
+
+let test_parse_precedence () =
+  check_str "mul binds tighter" "(1 + (2 * 3))" (Felm.Ast.to_string (parse "1 + 2 * 3"));
+  check_str "comparison above arith" "((1 + 2) < (3 * 4))"
+    (Felm.Ast.to_string (parse "1 + 2 < 3 * 4"));
+  check_str "and above or" "(1 || (2 && 3))" (Felm.Ast.to_string (parse "1 || 2 && 3"))
+
+let test_parse_application () =
+  check_str "left assoc" "((f x) y)" (Felm.Ast.to_string (parse "f x y"));
+  check_str "app binds tighter than ops" "((f x) + (g y))"
+    (Felm.Ast.to_string (parse "f x + g y"))
+
+let test_parse_lambda () =
+  match desc "\\x y -> x + y" with
+  | Felm.Ast.Lam ("x", { Felm.Ast.desc = Felm.Ast.Lam ("y", _); _ }) -> ()
+  | _ -> Alcotest.fail "multi-parameter lambda should curry"
+
+let test_parse_let_if () =
+  match desc "let f x = x in if f 1 then 2 else 3" with
+  | Felm.Ast.Let ("f", { Felm.Ast.desc = Felm.Ast.Lam _; _ }, { Felm.Ast.desc = Felm.Ast.If _; _ }) -> ()
+  | _ -> Alcotest.fail "let-with-params or if mis-parsed"
+
+let test_parse_reactive_forms () =
+  (match desc "lift2 f Mouse.x Mouse.y" with
+  | Felm.Ast.Lift (_, [ _; _ ]) -> ()
+  | _ -> Alcotest.fail "lift2 arity");
+  (match desc "foldp f 0 Mouse.x" with
+  | Felm.Ast.Foldp (_, _, _) -> ()
+  | _ -> Alcotest.fail "foldp");
+  match desc "async (lift f Mouse.x)" with
+  | Felm.Ast.Async { Felm.Ast.desc = Felm.Ast.Lift (_, [ _ ]); _ } -> ()
+  | _ -> Alcotest.fail "async"
+
+let test_parse_pairs_unit () =
+  (match desc "()" with Felm.Ast.Unit -> () | _ -> Alcotest.fail "unit");
+  (match desc "(1, 2)" with
+  | Felm.Ast.Pair ({ Felm.Ast.desc = Felm.Ast.Int 1; _ }, { Felm.Ast.desc = Felm.Ast.Int 2; _ }) -> ()
+  | _ -> Alcotest.fail "pair");
+  match desc "fst (1, 2)" with
+  | Felm.Ast.Fst _ -> ()
+  | _ -> Alcotest.fail "fst"
+
+let test_parse_negative_literals () =
+  (match desc "-3" with Felm.Ast.Int (-3) -> () | _ -> Alcotest.fail "neg int");
+  match desc "1 - -2" with
+  | Felm.Ast.Binop (Felm.Ast.Sub, _, { Felm.Ast.desc = Felm.Ast.Int (-2); _ }) -> ()
+  | _ -> Alcotest.fail "subtraction of negative literal"
+
+let test_parse_types () =
+  check_bool "signal int" true
+    (Felm.Parser.parse_type "signal int" = Felm.Ty.Tsignal Felm.Ty.Tint);
+  check_bool "function" true
+    (Felm.Parser.parse_type "int -> int -> int"
+    = Felm.Ty.Tfun (Felm.Ty.Tint, Felm.Ty.Tfun (Felm.Ty.Tint, Felm.Ty.Tint)));
+  check_bool "pair" true
+    (Felm.Parser.parse_type "(int, string)" = Felm.Ty.Tpair (Felm.Ty.Tint, Felm.Ty.Tstring))
+
+let test_parse_program_decls () =
+  let decls =
+    Felm.Parser.parse_program
+      "input words : signal string = \"\"\ndouble x = x + x\nmain = lift double Mouse.x"
+  in
+  check_int "three declarations" 3 (List.length decls)
+
+let test_parse_decl_boundaries () =
+  (* No separators needed: `a = f x` must not swallow `b = 2`. *)
+  let decls = Felm.Parser.parse_program "a = f x\nb = 2\nmain = b" in
+  check_int "three decls" 3 (List.length decls)
+
+let test_parse_errors () =
+  let expect_err src =
+    match Felm.Parser.parse_expression src with
+    | _ -> Alcotest.failf "expected parse error for %S" src
+    | exception Felm.Parser.Parse_error _ -> ()
+  in
+  expect_err "let x = in 3";
+  expect_err "if 1 then 2";
+  expect_err "(1, 2";
+  expect_err "\\ -> 3";
+  expect_err "1 +"
+
+let test_parse_roundtrip () =
+  (* to_string output re-parses to an alpha-equal term *)
+  let cases =
+    [ "1 + 2 * 3"; "\\x -> x + 1"; "let y = 5 in y * y";
+      "lift2 (\\a b -> a + b) Mouse.x Mouse.y"; "(1, (2, 3))";
+      "if 1 < 2 then \"a\" else \"b\"" ]
+  in
+  List.iter
+    (fun src ->
+      let e = parse src in
+      let e' = parse (Felm.Ast.to_string e) in
+      check_bool ("roundtrip " ^ src) true (Felm.Ast.alpha_equal e e'))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Program resolution *)
+
+let test_resolution_inputs_and_prims () =
+  let p = Felm.Program.of_source "main = lift (\\x -> abs x) Mouse.x" in
+  check_bool "has Mouse.x input" true (Felm.Program.find_input p "Mouse.x" <> None);
+  (* abs resolved to an eta-expanded builtin: the program type-checks *)
+  ignore (Felm.Typecheck.check_program p)
+
+let test_resolution_errors () =
+  let expect_err src =
+    match Felm.Program.of_source src with
+    | _ -> Alcotest.failf "expected resolution error for %S" src
+    | exception Felm.Program.Error _ -> ()
+  in
+  expect_err "main = nonexistent";
+  expect_err "main = Bogus.input";
+  expect_err "x = 1";
+  (* no main *)
+  expect_err "input w : int = 3\nmain = 1";
+  (* input must be signal-typed *)
+  expect_err "input w : signal int = \"str\"\nmain = 1"
+(* default type mismatch *)
+
+let test_shadowing_builtin () =
+  (* A user binding shadows a builtin of the same name. *)
+  let p = Felm.Program.of_source "abs x = x + 100\nmain = abs 1" in
+  ignore (Felm.Typecheck.check_program p);
+  let g, v = Felm.Denote.run_program p in
+  ignore g;
+  check_bool "user abs wins" true (v = Felm.Value.Vint 101)
+
+let test_duplicate_input () =
+  match
+    Felm.Program.of_source "input w : signal int = 0\ninput w : signal int = 1\nmain = 1"
+  with
+  | _ -> Alcotest.fail "expected duplicate input error"
+  | exception Felm.Program.Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Type system (Fig. 4) *)
+
+let infer_src src =
+  let p = Felm.Program.of_source ("main = " ^ src) in
+  Felm.Typecheck.check_program p
+
+let infer_program src =
+  let p = Felm.Program.of_source src in
+  Felm.Typecheck.check_program p
+
+let accepts src = ignore (infer_src src)
+
+let rejects what src =
+  match infer_src src with
+  | ty ->
+    Alcotest.failf "%s: expected type error for %S but got %s" what src
+      (Felm.Ty.to_string ty)
+  | exception Felm.Typecheck.Type_error _ -> ()
+
+let ty_str src = Felm.Ty.to_string (infer_src src)
+
+(* T-UNIT, T-NUMBER and friends *)
+let test_infer_literals () =
+  check_str "unit" "unit" (ty_str "()");
+  check_str "int" "int" (ty_str "42");
+  check_str "float" "float" (ty_str "3.5");
+  check_str "string" "string" (ty_str "\"hi\"");
+  check_str "pair" "(int, string)" (ty_str "(1, \"a\")")
+
+(* T-LAM / T-APP / T-LET *)
+let test_infer_functions () =
+  check_str "identity applied" "int" (ty_str "(\\x -> x) 3");
+  check_str "curried" "int" (ty_str "(\\x y -> x + y) 1 2");
+  check_str "let" "int" (ty_str "let f = \\x -> x * 2 in f 21");
+  check_str "unapplied function type" "int -> int"
+    (Felm.Ty.to_string
+       (Felm.Typecheck.infer
+          ~input_ty:(fun _ -> None)
+          (Felm.Parser.parse_expression "\\x -> x + 1")))
+
+(* T-OP / extensions *)
+let test_infer_operators () =
+  check_str "int arith" "int" (ty_str "1 + 2 * 3 % 4");
+  check_str "float arith" "float" (ty_str "1.0 +. 2.5 /. 2.0");
+  check_str "concat" "string" (ty_str "\"a\" ^ \"b\"");
+  check_str "comparison yields int" "int" (ty_str "1 < 2");
+  check_str "string comparison" "int" (ty_str "\"a\" == \"b\"");
+  rejects "mixing int and float" "1 + 2.0";
+  rejects "float op on ints" "1 +. 2";
+  rejects "comparing different types" "1 == \"a\"";
+  rejects "comparing functions" "(\\x -> x + 1) == (\\x -> x + 2)"
+
+(* T-COND *)
+let test_infer_cond () =
+  check_str "branches join" "int" (ty_str "if 1 then 2 else 3");
+  rejects "condition must be int" "if \"s\" then 1 else 2";
+  rejects "condition cannot be a signal" "if Mouse.x then 1 else 2";
+  rejects "branches must agree" "if 1 then 2 else \"x\"";
+  rejects "branches must be simple" "if 1 then Mouse.x else Mouse.y"
+
+(* T-INPUT / T-LIFT *)
+let test_infer_lift () =
+  check_str "input" "signal int" (ty_str "Mouse.x");
+  check_str "lift" "signal int" (ty_str "lift (\\x -> x * 2) Mouse.x");
+  check_str "lift2" "signal int"
+    (ty_str "lift2 (\\y z -> y * z) Mouse.x Window.width");
+  check_str "lift to string" "signal string" (ty_str "lift (\\x -> show x) Mouse.x");
+  rejects "lift of a non-function" "lift 3 Mouse.x";
+  rejects "lift of non-signal" "lift (\\x -> x) 3";
+  rejects "lifted function must be simple"
+    "lift (\\x -> Mouse.y) Mouse.x"
+
+(* T-FOLD *)
+let test_infer_foldp () =
+  check_str "counter" "signal int"
+    (ty_str "foldp (\\k c -> c + 1) 0 Keyboard.lastPressed");
+  check_str "fold to other type" "signal string"
+    (ty_str "foldp (\\k acc -> acc ^ \"x\") \"\" Mouse.x");
+  rejects "foldp accumulator mismatch" "foldp (\\k c -> c + 1) \"zero\" Mouse.x";
+  rejects "foldp over non-signal" "foldp (\\k c -> c + 1) 0 7"
+
+(* T-ASYNC *)
+let test_infer_async () =
+  check_str "async" "signal int" (ty_str "async Mouse.x");
+  check_str "async of lift" "signal int" (ty_str "async (lift (\\x -> x) Mouse.x)");
+  rejects "async of non-signal" "async 3"
+
+(* Section 3.2: no signals of signals, and no escape hatches *)
+let test_stratification () =
+  rejects "signal-of-signal via lift" "lift (\\x -> Mouse.x) Mouse.y";
+  rejects "signal in pair" "(Mouse.x, 1)";
+  rejects "fold producing signals" "foldp (\\x acc -> Mouse.x) Mouse.y Mouse.x";
+  rejects "show of a signal" "show Mouse.x";
+  rejects "comparing signals" "Mouse.x == Mouse.y";
+  rejects "signal-consuming function returning simple"
+    "(\\s -> 5) Mouse.x"
+
+let test_signal_let_is_allowed () =
+  (* let may bind signals (T-LET has no simplicity restriction)... *)
+  accepts "let s = lift (\\x -> x + 1) Mouse.x in lift2 (\\a b -> a + b) s s";
+  (* ...including the pathological-but-typeable body from Section 3.3.1 *)
+  accepts "let y = Mouse.x in (\\x -> let z = y in 5) 3"
+
+let test_infer_prims () =
+  check_str "work" "int" (ty_str "work 1.5 42");
+  check_str "translate" "string" (ty_str "translate \"hello\"");
+  check_str "prims are first-class" "signal string"
+    (ty_str "lift translate (lift (\\x -> show x) Mouse.x)");
+  rejects "work wants float cost" "work 2 42"
+
+let test_program_types () =
+  check_str "paper fig7 program" "signal int"
+    (Felm.Ty.to_string
+       (infer_program
+          "relative = lift2 (\\y z -> y * 100 / z) Mouse.x Window.width\nmain = relative"));
+  check_str "input decl used" "signal string"
+    (Felm.Ty.to_string
+       (infer_program
+          "input words : signal string = \"\"\nmain = lift translate words"))
+
+(* Let-polymorphism (Section 4: "Elm's type system allows let-polymorphism") *)
+let test_let_polymorphism () =
+  (* one identity used at several types *)
+  check_str "id at int and string" "(int, string)"
+    (Felm.Ty.to_string
+       (infer_program "id x = x
+main = (id 1, id \"s\")"));
+  (* a polymorphic pair constructor *)
+  check_str "poly pair" "((int, string), (string, int))"
+    (Felm.Ty.to_string
+       (infer_program
+          "mkpair a b = (a, b)
+main = (mkpair 1 \"x\", mkpair \"y\" 2)"));
+  (* higher-order polymorphic function *)
+  check_str "twice at two types" "(int, string)"
+    (Felm.Ty.to_string
+       (infer_program
+          "twice f x = f (f x)\n\
+           main = (twice (\\n -> n + 1) 0, twice (\\s -> s ^ \"!\") \"a\")"));
+  (* polymorphism interacts with signals: id applies to a signal too *)
+  check_str "id at a signal type" "signal int"
+    (Felm.Ty.to_string
+       (infer_program "id x = x
+main = lift (\\v -> v + 0) (id Mouse.x)"))
+
+let test_lambda_params_monomorphic () =
+  (* lambda-bound names do not generalize *)
+  match infer_program "main = (\\f -> (f 1, f \"a\")) (\\x -> x)" with
+  | _ -> Alcotest.fail "lambda parameter should be monomorphic"
+  | exception Felm.Typecheck.Type_error _ -> ()
+
+let test_value_restriction () =
+  (* a non-value right-hand side must stay monomorphic *)
+  match infer_program "g = (\\x -> x) (\\y -> y)
+main = (g 1, g \"a\")" with
+  | _ -> Alcotest.fail "value restriction should reject this"
+  | exception Felm.Typecheck.Type_error _ -> ()
+
+let test_poly_evaluates () =
+  (* the two-stage semantics agree with the polymorphic typing *)
+  let p = Felm.Program.of_source "id x = x
+main = (id 7, id \"ok\")" in
+  ignore (Felm.Typecheck.check_program p);
+  let _, v = Felm.Denote.run_program p in
+  check_bool "evaluates" true
+    (v = Felm.Value.Vpair (Felm.Value.Vint 7, Felm.Value.Vstring "ok"))
+
+(* Lists (Section 4 extension) *)
+let test_list_types () =
+  check_str "list literal" "list int" (ty_str "[1, 2, 3]");
+  check_str "empty list is polymorphic but defaults" "list int" (ty_str "[]");
+  check_str "nested" "list (list string)" (ty_str "[[\"a\"], []]");
+  check_str "cons" "list int" (ty_str "cons 1 [2, 3]");
+  check_str "head" "int" (ty_str "head [7]");
+  check_str "tail" "list string" (ty_str "tail [\"a\", \"b\"]");
+  check_str "length" "int" (ty_str "length [1.5, 2.5]");
+  check_str "take" "list int" (ty_str "take 2 [1, 2, 3]");
+  check_str "show list" "string" (ty_str "show [1, 2]");
+  rejects "heterogeneous list" "[1, \"a\"]";
+  rejects "list of signals" "[Mouse.x]";
+  rejects "cons type mismatch" "cons 1.5 [1, 2]"
+
+let test_list_prims_polymorphic () =
+  (* the same builtin used at two element types in one program *)
+  check_str "cons at int and string" "(list int, list string)"
+    (ty_str "(cons 1 [], cons \"a\" [])")
+
+let test_list_signals () =
+  let p =
+    Felm.Program.of_source
+      "recent = foldp (\\x acc -> take 2 (cons x acc)) [] Mouse.x\nmain = recent"
+  in
+  check_str "signal of lists" "signal (list int)"
+    (Felm.Ty.to_string (Felm.Typecheck.check_program p))
+
+let test_option_types () =
+  check_str "none is polymorphic, defaults" "option int" (ty_str "none");
+  check_str "some" "option string" (ty_str "some \"x\"");
+  check_str "withDefault" "int" (ty_str "withDefault 0 (some 3)");
+  check_str "isNone" "int" (ty_str "isNone (some 1.5)");
+  check_str "nested" "option (option int)" (ty_str "some (some 1)");
+  rejects "option of signal" "some Mouse.x";
+  rejects "withDefault mismatch" "withDefault \"s\" (some 3)"
+
+let test_main_not_function () =
+  match infer_program "main = \\x -> x + 1" with
+  | _ -> Alcotest.fail "main as function should be rejected"
+  | exception Felm.Typecheck.Type_error _ -> ()
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "felm-front"
+    [
+      ( "lexer",
+        [
+          tc "basic" `Quick test_lex_basic;
+          tc "operators" `Quick test_lex_operators;
+          tc "dotted" `Quick test_lex_dotted;
+          tc "lift family" `Quick test_lex_lift_family;
+          tc "string escapes" `Quick test_lex_string_escapes;
+          tc "floats" `Quick test_lex_floats;
+          tc "comments" `Quick test_lex_comments;
+          tc "errors" `Quick test_lex_errors;
+          tc "locations" `Quick test_lex_locations;
+        ] );
+      ( "parser",
+        [
+          tc "precedence" `Quick test_parse_precedence;
+          tc "application" `Quick test_parse_application;
+          tc "lambda" `Quick test_parse_lambda;
+          tc "let/if" `Quick test_parse_let_if;
+          tc "reactive forms" `Quick test_parse_reactive_forms;
+          tc "pairs/unit" `Quick test_parse_pairs_unit;
+          tc "negative literals" `Quick test_parse_negative_literals;
+          tc "types" `Quick test_parse_types;
+          tc "program decls" `Quick test_parse_program_decls;
+          tc "decl boundaries" `Quick test_parse_decl_boundaries;
+          tc "errors" `Quick test_parse_errors;
+          tc "roundtrip" `Quick test_parse_roundtrip;
+        ] );
+      ( "resolution",
+        [
+          tc "inputs and prims" `Quick test_resolution_inputs_and_prims;
+          tc "errors" `Quick test_resolution_errors;
+          tc "shadowing builtins" `Quick test_shadowing_builtin;
+          tc "duplicate input" `Quick test_duplicate_input;
+        ] );
+      ( "typing",
+        [
+          tc "literals" `Quick test_infer_literals;
+          tc "functions" `Quick test_infer_functions;
+          tc "operators" `Quick test_infer_operators;
+          tc "conditionals (T-COND)" `Quick test_infer_cond;
+          tc "lift (T-LIFT)" `Quick test_infer_lift;
+          tc "foldp (T-FOLD)" `Quick test_infer_foldp;
+          tc "async (T-ASYNC)" `Quick test_infer_async;
+          tc "stratification" `Quick test_stratification;
+          tc "signal lets" `Quick test_signal_let_is_allowed;
+          tc "builtins" `Quick test_infer_prims;
+          tc "programs" `Quick test_program_types;
+          tc "main not function" `Quick test_main_not_function;
+        ] );
+      ( "let-polymorphism",
+        [
+          tc "generalization" `Quick test_let_polymorphism;
+          tc "lambda params mono" `Quick test_lambda_params_monomorphic;
+          tc "value restriction" `Quick test_value_restriction;
+          tc "poly programs run" `Quick test_poly_evaluates;
+          tc "list types" `Quick test_list_types;
+          tc "list prims polymorphic" `Quick test_list_prims_polymorphic;
+          tc "signals of lists" `Quick test_list_signals;
+          tc "option types" `Quick test_option_types;
+        ] );
+    ]

@@ -1,0 +1,586 @@
+(* Tests for the purely functional graphics libraries (Sections 2 and 4.1):
+   colors, styled text, element layout algebra, forms, and the three
+   renderers. *)
+
+module Color = Gui.Color
+module Text = Gui.Text
+module E = Gui.Element
+module F = Gui.Form
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let contains haystack needle =
+  let n = String.length needle in
+  let m = String.length haystack in
+  let rec go i = i + n <= m && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let check_contains what hay needle =
+  if not (contains hay needle) then
+    Alcotest.failf "%s: expected to find %S in:\n%s" what needle hay
+
+(* ------------------------------------------------------------------ *)
+(* Color *)
+
+let test_color_clamping () =
+  let c = Color.rgb 300 (-5) 100 in
+  check_int "red clamped" 255 c.Color.red;
+  check_int "green clamped" 0 c.Color.green;
+  check_int "blue kept" 100 c.Color.blue
+
+let test_color_css () =
+  check_str "opaque" "rgb(204,0,0)" (Color.to_css Color.red);
+  check_str "alpha" "rgba(1,2,3,0.5)" (Color.to_css (Color.rgba 1 2 3 0.5))
+
+let test_hsv_primaries () =
+  check_bool "hue 0 is red" true (Color.equal (Color.hsv 0.0 1.0 1.0) (Color.rgb 255 0 0));
+  check_bool "hue 120 is green" true
+    (Color.equal (Color.hsv 120.0 1.0 1.0) (Color.rgb 0 255 0));
+  check_bool "hue 240 is blue" true
+    (Color.equal (Color.hsv 240.0 1.0 1.0) (Color.rgb 0 0 255))
+
+let test_complement_involution () =
+  let c = Color.rgb 10 200 40 in
+  let cc = Color.complement (Color.complement c) in
+  (* involutive up to rounding: each channel within 2 *)
+  check_bool "complement twice ~ id" true
+    (abs (c.Color.red - cc.Color.red) <= 2
+    && abs (c.Color.green - cc.Color.green) <= 2
+    && abs (c.Color.blue - cc.Color.blue) <= 2)
+
+let prop_hsv_roundtrip =
+  QCheck.Test.make ~name:"rgb -> hsv -> rgb roundtrip (within rounding)"
+    ~count:300
+    QCheck.(triple (int_bound 255) (int_bound 255) (int_bound 255))
+    (fun (r, g, b) ->
+      let c = Color.rgb r g b in
+      let h, s, v = Color.to_hsv c in
+      let c' = Color.hsv h s v in
+      abs (c.Color.red - c'.Color.red) <= 1
+      && abs (c.Color.green - c'.Color.green) <= 1
+      && abs (c.Color.blue - c'.Color.blue) <= 1)
+
+let prop_hsv_in_range =
+  QCheck.Test.make ~name:"to_hsv ranges" ~count:300
+    QCheck.(triple (int_bound 255) (int_bound 255) (int_bound 255))
+    (fun (r, g, b) ->
+      let h, s, v = Color.to_hsv (Color.rgb r g b) in
+      h >= 0.0 && h < 360.0 && s >= 0.0 && s <= 1.0 && v >= 0.0 && v <= 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Text *)
+
+let test_text_styles_whole_value () =
+  let t = Text.(of_string "a" ++ italic (of_string "b")) in
+  let t = Text.bold t in
+  match Text.runs t with
+  | [ (s1, "a"); (s2, "b") ] ->
+    check_bool "both bold" true (s1.Text.bold && s2.Text.bold);
+    check_bool "only second italic" true ((not s1.Text.italic) && s2.Text.italic)
+  | _ -> Alcotest.fail "expected two runs"
+
+let test_text_measure_lines () =
+  let one = Text.of_string "hello" in
+  let w1, h1 = Text.measure one in
+  check_int "5 chars at default metric" (5 * Text.char_width 14.0) w1;
+  check_int "one line" (Text.line_height 14.0) h1;
+  let two = Text.of_string "hello\nhi" in
+  let w2, h2 = Text.measure two in
+  check_int "widest line wins" w1 w2;
+  check_int "two lines" (2 * Text.line_height 14.0) h2
+
+let test_text_height_changes_metrics () =
+  let small = Text.of_string "abc" in
+  let big = Text.height 28.0 small in
+  let ws, _ = Text.measure small in
+  let wb, _ = Text.measure big in
+  check_bool "bigger text is wider" true (wb > ws)
+
+let prop_concat_measure_monotone =
+  QCheck.Test.make ~name:"appending text never shrinks width" ~count:200
+    QCheck.(pair (string_of_size (Gen.int_bound 20)) (string_of_size (Gen.int_bound 20)))
+    (fun (a, b) ->
+      let wa, _ = Text.measure (Text.of_string a) in
+      let wab, _ = Text.measure Text.(of_string a ++ of_string b) in
+      wab >= wa)
+
+let test_wrap_words () =
+  Alcotest.(check (list string))
+    "greedy wrap" [ "aa bb"; "cc dd" ]
+    (Text.wrap_words ~max_chars:5 "aa bb cc dd");
+  Alcotest.(check (list string))
+    "long word on its own line" [ "a"; "verylongword"; "b" ]
+    (Text.wrap_words ~max_chars:3 "a verylongword b");
+  Alcotest.(check (list string)) "empty" [] (Text.wrap_words ~max_chars:10 "");
+  Alcotest.(check (list string))
+    "fits on one line" [ "short text" ]
+    (Text.wrap_words ~max_chars:50 "short text")
+
+let prop_wrap_preserves_words =
+  QCheck.Test.make ~name:"wrapping preserves the words" ~count:200
+    QCheck.(pair (int_range 1 20) (string_of_size (Gen.int_bound 60)))
+    (fun (w, s) ->
+      let words src = List.filter (fun x -> x <> "") (String.split_on_char ' ' src) in
+      words (String.concat " " (Text.wrap_words ~max_chars:w s)) = words s)
+
+let test_paragraph_element () =
+  let e = E.paragraph 100 "one two three four five six seven eight nine" in
+  check_bool "width respected" true (E.width_of e >= 100);
+  check_bool "taller than one line" true (E.height_of e > Text.line_height 14.0)
+
+(* ------------------------------------------------------------------ *)
+(* Element layout algebra *)
+
+let box w h = E.spacer w h
+
+let test_flow_down_sizes () =
+  let e = E.flow E.Down [ box 10 5; box 30 7; box 20 11 ] in
+  check_int "width is max" 30 (E.width_of e);
+  check_int "height is sum" 23 (E.height_of e)
+
+let test_flow_right_sizes () =
+  let e = E.flow E.Right [ box 10 5; box 30 7 ] in
+  check_int "width is sum" 40 (E.width_of e);
+  check_int "height is max" 7 (E.height_of e)
+
+let test_layers_sizes () =
+  let e = E.layers [ box 10 50; box 30 7 ] in
+  check_int "width is max" 30 (E.width_of e);
+  check_int "height is max" 50 (E.height_of e)
+
+let test_above_beside () =
+  let a = box 10 10 in
+  let b = box 20 5 in
+  check_int "above sums heights" 15 (E.height_of (E.above a b));
+  check_int "beside sums widths" 30 (E.width_of (E.beside a b));
+  check_int "below is above flipped" 15 (E.height_of (E.below a b))
+
+let test_container_positions () =
+  let pos p = E.position_offset p (100, 60) (20, 10) in
+  Alcotest.(check (pair int int)) "top_left" (0, 0) (pos E.Top_left);
+  Alcotest.(check (pair int int)) "middle" (40, 25) (pos E.Middle);
+  Alcotest.(check (pair int int)) "bottom_right" (80, 50) (pos E.Bottom_right);
+  Alcotest.(check (pair int int)) "mid_top" (40, 0) (pos E.Mid_top);
+  Alcotest.(check (pair int int)) "mid_left" (0, 25) (pos E.Mid_left);
+  Alcotest.(check (pair int int)) "at" (7, 9) (pos (E.At (7, 9)))
+
+let test_image_aspect_ratio () =
+  let img = E.image 100 50 "pic.png" in
+  let wider = E.width 200 img in
+  check_int "height scales with width" 100 (E.height_of wider);
+  let taller = E.height 100 img in
+  check_int "width scales with height" 200 (E.width_of taller)
+
+let test_size_setters () =
+  let e = E.size 5 6 (box 1 1) in
+  Alcotest.(check (pair int int)) "size" (5, 6) (E.size_of e);
+  let e = E.opacity 0.5 e in
+  Alcotest.(check (float 1e-9)) "opacity" 0.5 (E.opacity_of e);
+  let e = E.color Color.red e in
+  check_bool "background" true (E.background_of e = Some Color.red);
+  let e = E.link "http://x" e in
+  check_bool "href" true (E.href_of e = Some "http://x")
+
+let prop_flow_down_height_is_sum =
+  QCheck.Test.make ~name:"flow Down: height = sum, width = max" ~count:200
+    QCheck.(list (pair (int_bound 50) (int_bound 50)))
+    (fun sizes ->
+      let children = List.map (fun (w, h) -> box w h) sizes in
+      let e = E.flow E.Down children in
+      E.height_of e = List.fold_left (fun acc (_, h) -> acc + h) 0 sizes
+      && E.width_of e = List.fold_left (fun acc (w, _) -> Stdlib.max acc w) 0 sizes)
+
+let prop_flow_assoc_size =
+  QCheck.Test.make ~name:"flow Right size = flow of flows size" ~count:200
+    QCheck.(pair (list (pair (int_bound 30) (int_bound 30))) (list (pair (int_bound 30) (int_bound 30))))
+    (fun (xs, ys) ->
+      let bs = List.map (fun (w, h) -> box w h) in
+      let flat = E.flow E.Right (bs xs @ bs ys) in
+      let nested = E.flow E.Right [ E.flow E.Right (bs xs); E.flow E.Right (bs ys) ] in
+      E.width_of flat = E.width_of nested)
+
+let test_empty_is_zero () =
+  Alcotest.(check (pair int int)) "empty" (0, 0) (E.size_of E.empty)
+
+(* ------------------------------------------------------------------ *)
+(* Forms *)
+
+let test_ngon_points () =
+  check_int "pentagon has 5 points" 5 (List.length (F.ngon 5 20.0));
+  check_int "ngon clamps to 3" 3 (List.length (F.ngon 1 20.0))
+
+let test_rect_corners () =
+  match F.rect 70.0 70.0 with
+  | [ (x1, y1); _; (x3, y3); _ ] ->
+    Alcotest.(check (float 1e-9)) "left" (-35.0) x1;
+    Alcotest.(check (float 1e-9)) "bottom" (-35.0) y1;
+    Alcotest.(check (float 1e-9)) "right" 35.0 x3;
+    Alcotest.(check (float 1e-9)) "top" 35.0 y3
+  | _ -> Alcotest.fail "rect should have 4 corners"
+
+let test_degrees_turns () =
+  Alcotest.(check (float 1e-9)) "180 degrees" (4.0 *. atan 1.0) (F.degrees 180.0);
+  Alcotest.(check (float 1e-9)) "half turn" (4.0 *. atan 1.0) (F.turns 0.5)
+
+let test_transform_point () =
+  let f = F.move (10.0, 20.0) (F.rotate (F.degrees 90.0) (F.filled Color.red (F.square 2.0))) in
+  let x, y = F.transform_point f (1.0, 0.0) in
+  Alcotest.(check (float 1e-9)) "rotated x" 10.0 x;
+  Alcotest.(check (float 1e-6)) "rotated y" 21.0 y
+
+let test_scale_compounds () =
+  let f = F.scale 2.0 (F.scale 3.0 (F.filled Color.red (F.square 1.0))) in
+  Alcotest.(check (float 1e-9)) "scales multiply" 6.0 f.E.form_scale
+
+let test_move_accumulates () =
+  let f = F.move (1.0, 2.0) (F.move (10.0, 20.0) (F.filled Color.red (F.square 1.0))) in
+  Alcotest.(check (float 1e-9)) "x" 11.0 f.E.form_x;
+  Alcotest.(check (float 1e-9)) "y" 22.0 f.E.form_y
+
+let test_bounding_box () =
+  match F.bounding_box (F.move (5.0, 0.0) (F.filled Color.red (F.square 10.0))) with
+  | Some ((lx, ly), (hx, hy)) ->
+    Alcotest.(check (float 1e-9)) "lx" 0.0 lx;
+    Alcotest.(check (float 1e-9)) "ly" (-5.0) ly;
+    Alcotest.(check (float 1e-9)) "hx" 10.0 hx;
+    Alcotest.(check (float 1e-9)) "hy" 5.0 hy
+  | None -> Alcotest.fail "square has a bounding box"
+
+let prop_rotate_preserves_bbox_diagonal =
+  QCheck.Test.make ~name:"rotation preserves distances from origin" ~count:200
+    QCheck.(pair (float_bound_exclusive 6.28) (pair (float_bound_exclusive 10.0) (float_bound_exclusive 10.0)))
+    (fun (angle, (x, y)) ->
+      let f = F.rotate angle (F.filled Color.red (F.square 1.0)) in
+      let x', y' = F.transform_point f (x, y) in
+      let d = sqrt ((x *. x) +. (y *. y)) in
+      let d' = sqrt ((x' *. x') +. (y' *. y')) in
+      Float.abs (d -. d') < 1e-6)
+
+let test_group_bounding_box () =
+  let g =
+    F.group
+      [ F.filled Color.red (F.square 2.0); F.move (10.0, 0.0) (F.filled Color.blue (F.square 2.0)) ]
+  in
+  match F.bounding_box g with
+  | Some ((lx, _), (hx, _)) ->
+    Alcotest.(check (float 1e-9)) "lx" (-1.0) lx;
+    Alcotest.(check (float 1e-9)) "hx" 11.0 hx
+  | None -> Alcotest.fail "group has a bounding box"
+
+(* ------------------------------------------------------------------ *)
+(* Renderers *)
+
+(* Fig. 1 / Example 1 of the paper. *)
+let fig1 () =
+  let content =
+    E.flow E.Down
+      [
+        E.plain_text "Welcome to Elm!";
+        E.image 150 50 "flower.jpg";
+        E.as_text "[9,8,7,6,5,4,3,2,1]";
+      ]
+  in
+  E.container 180 100 E.Middle content
+
+let test_html_fig1 () =
+  let html = Gui.Html_render.render (fig1 ()) in
+  check_contains "outer container" html "width:180px;height:100px";
+  check_contains "text present" html "Welcome to Elm!";
+  check_contains "image present" html "flower.jpg";
+  check_contains "list text present" html "[9,8,7,6,5,4,3,2,1]"
+
+let test_html_page () =
+  let page = Gui.Html_render.to_page ~title:"t<est" (E.plain_text "hi") in
+  check_contains "doctype" page "<!DOCTYPE html>";
+  check_contains "title escaped" page "t&lt;est";
+  check_contains "body" page "hi"
+
+let test_html_escaping () =
+  let html = Gui.Html_render.render (E.plain_text "<script>&") in
+  check_bool "no raw tag" false (contains html "<script>");
+  check_contains "escaped" html "&lt;script&gt;&amp;"
+
+let test_html_flow_positions () =
+  let html = Gui.Html_render.render (E.flow E.Down [ box 10 20; box 10 30 ]) in
+  check_contains "first at 0" html "left:0px;top:0px;width:10px;height:20px";
+  check_contains "second below" html "left:0px;top:20px;width:10px;height:30px"
+
+let test_html_flow_up_reverses () =
+  let html = Gui.Html_render.render (E.flow E.Up [ box 10 20; box 10 30 ]) in
+  (* first child ends at the bottom *)
+  check_contains "first at bottom" html "left:0px;top:30px;width:10px;height:20px"
+
+(* Fig. 12 of the paper. *)
+let fig12 () =
+  let square = F.rect 70.0 70.0 in
+  let pentagon = F.ngon 5 20.0 in
+  let circle = F.oval 50.0 50.0 in
+  let zigzag = F.path [ (0.0, 0.0); (10.0, 10.0); (0.0, 30.0); (10.0, 40.0) ] in
+  E.collage 140 140
+    [
+      F.filled Color.green pentagon;
+      F.outlined (F.dashed Color.blue) circle;
+      F.rotate (F.degrees 70.0) (F.outlined (F.solid Color.black) square);
+      F.move (40.0, 40.0) (F.traced (F.solid Color.red) zigzag);
+    ]
+
+let test_svg_fig12 () =
+  let svg = Gui.Svg_render.render_forms ~width:140 ~height:140 (
+    match E.prim_of (fig12 ()) with
+    | E.Prim_collage forms -> forms
+    | _ -> []) in
+  check_contains "svg root" svg "<svg xmlns";
+  check_contains "centered flip" svg "translate(70.00 70.00) scale(1,-1)";
+  check_contains "pentagon filled green" svg "fill=\"rgb(0,153,0)\"";
+  check_contains "dashed circle" svg "stroke-dasharray=\"8,4\"";
+  check_contains "rotated square" svg "rotate(70.00)";
+  check_contains "zigzag is a polyline" svg "<polyline";
+  check_contains "zigzag moved" svg "translate(40.00 40.00)"
+
+let test_svg_gradients () =
+  let lin = F.gradient (F.linear (0.0, -35.0) (0.0, 35.0)
+                          [ (0.0, Color.blue); (1.0, Color.white) ])
+      (F.square 70.0) in
+  let rad = F.gradient (F.radial (0.0, 0.0) 30.0
+                          [ (0.0, Color.yellow); (1.0, Color.red) ])
+      (F.circle 30.0) in
+  let svg = Gui.Svg_render.render_forms ~width:100 ~height:100 [ lin; rad ] in
+  check_contains "defs emitted" svg "<defs>";
+  check_contains "linear gradient" svg "<linearGradient id=\"grad1\"";
+  check_contains "radial gradient" svg "<radialGradient id=\"grad2\"";
+  check_contains "linear referenced" svg "fill=\"url(#grad1)\"";
+  check_contains "radial referenced" svg "fill=\"url(#grad2)\"";
+  check_contains "stops" svg "stop-color=\"rgb(255,255,0)\"";
+  (* no gradients -> no defs *)
+  let plain = Gui.Svg_render.render_forms ~width:10 ~height:10
+      [ F.filled Color.red (F.square 4.0) ] in
+  check_bool "no defs when unused" false (contains plain "<defs>")
+
+let test_svg_escape () =
+  check_str "escape" "&lt;a&gt;&amp;&quot;&#39;" (Gui.Svg_render.escape "<a>&\"'")
+
+let test_ascii_fig1 () =
+  let art = Gui.Ascii_render.render (fig1 ()) in
+  check_contains "text row" art "Welcome to Elm!";
+  check_contains "image box" art "img:flower.jpg";
+  check_bool "art is non-empty" true (String.length art > 0)
+
+let test_ascii_flow_order () =
+  let art =
+    Gui.Ascii_render.render
+      (E.flow E.Down [ E.plain_text "first"; E.plain_text "second" ])
+  in
+  let lines = String.split_on_char '\n' art in
+  let index_of needle =
+    let rec go i = function
+      | [] -> -1
+      | l :: rest -> if contains l needle then i else go (i + 1) rest
+    in
+    go 0 lines
+  in
+  check_bool "first above second" true (index_of "first" < index_of "second")
+
+let test_ascii_empty () =
+  check_str "empty renders empty" "" (Gui.Ascii_render.render E.empty)
+
+(* ------------------------------------------------------------------ *)
+(* Transform2D / group_transform *)
+
+module T2 = Gui.Transform2d
+
+let test_t2_basics () =
+  check_bool "identity" true (T2.apply T2.identity (3.0, 4.0) = (3.0, 4.0));
+  check_bool "translation" true (T2.apply (T2.translation 1.0 2.0) (3.0, 4.0) = (4.0, 6.0));
+  let x, y = T2.apply (T2.rotation (F.degrees 90.0)) (1.0, 0.0) in
+  check_bool "rotation" true (Float.abs x < 1e-9 && Float.abs (y -. 1.0) < 1e-9);
+  check_bool "scale_xy" true (T2.apply (T2.scale_xy 2.0 3.0) (1.0, 1.0) = (2.0, 3.0));
+  check_bool "shear" true (T2.apply (T2.shear 1.0 0.0) (0.0, 1.0) = (1.0, 1.0))
+
+let test_t2_multiply_order () =
+  (* multiply m n applies n first *)
+  let m = T2.multiply (T2.translation 10.0 0.0) (T2.scale 2.0) in
+  check_bool "scale then translate" true (T2.apply m (1.0, 1.0) = (12.0, 2.0))
+
+let prop_t2_invert =
+  QCheck.Test.make ~name:"invert m . m = identity (on points)" ~count:200
+    QCheck.(triple (float_range (-3.0) 3.0) (float_range (-3.0) 3.0)
+              (pair (float_range (-5.0) 5.0) (float_range (-5.0) 5.0)))
+    (fun (angle, t, p) ->
+      let m =
+        T2.multiply (T2.rotation angle)
+          (T2.multiply (T2.translation t (-.t)) (T2.scale 1.5))
+      in
+      match T2.invert m with
+      | None -> false
+      | Some inv ->
+        let x, y = T2.apply inv (T2.apply m p) in
+        let px, py = p in
+        Float.abs (x -. px) < 1e-6 && Float.abs (y -. py) < 1e-6)
+
+let test_t2_singular () =
+  check_bool "singular not invertible" true (T2.invert (T2.scale 0.0) = None)
+
+let test_group_transform_render () =
+  let shear_group =
+    F.group_transform (T2.shear 0.5 0.0) [ F.filled Color.red (F.square 10.0) ]
+  in
+  let svg = Gui.Svg_render.render_forms ~width:50 ~height:50 [ shear_group ] in
+  check_contains "matrix transform emitted" svg "matrix(1.00 0.00 0.50 1.00 0.00 0.00)";
+  match F.bounding_box shear_group with
+  | Some ((lx, _), (hx, _)) ->
+    (* sheared square widens: x range is [-7.5, 7.5] *)
+    check_bool "sheared bbox" true (Float.abs (lx +. 7.5) < 1e-9 && Float.abs (hx -. 7.5) < 1e-9)
+  | None -> Alcotest.fail "bounding box expected"
+
+(* ------------------------------------------------------------------ *)
+(* Plot (the Section 5 "graphing library": cartesian and radial) *)
+
+module Plot = Gui.Plot
+
+let test_plot_range () =
+  let (xmin, xmax), (ymin, ymax) = Plot.range [ (1.0, 5.0); (3.0, -2.0); (2.0, 0.0) ] in
+  Alcotest.(check (float 1e-9)) "xmin" 1.0 xmin;
+  Alcotest.(check (float 1e-9)) "xmax" 3.0 xmax;
+  Alcotest.(check (float 1e-9)) "ymin" (-2.0) ymin;
+  Alcotest.(check (float 1e-9)) "ymax" 5.0 ymax
+
+let test_plot_range_degenerate () =
+  let (xmin, xmax), (ymin, ymax) = Plot.range [ (2.0, 3.0) ] in
+  check_bool "x widened" true (xmax -. xmin > 0.0);
+  check_bool "y widened" true (ymax -. ymin > 0.0);
+  let (exmin, exmax), _ = Plot.range [] in
+  check_bool "empty has a range" true (exmax > exmin)
+
+let test_plot_project () =
+  let proj = Plot.project ~plot_w:100.0 ~plot_h:50.0 ~xrange:(0.0, 10.0) ~yrange:(0.0, 10.0) in
+  let x, y = proj (0.0, 0.0) in
+  Alcotest.(check (float 1e-9)) "min corner x" (-50.0) x;
+  Alcotest.(check (float 1e-9)) "min corner y" (-25.0) y;
+  let x, y = proj (10.0, 10.0) in
+  Alcotest.(check (float 1e-9)) "max corner x" 50.0 x;
+  Alcotest.(check (float 1e-9)) "max corner y" 25.0 y;
+  let x, y = proj (5.0, 5.0) in
+  Alcotest.(check (float 1e-9)) "center x" 0.0 x;
+  Alcotest.(check (float 1e-9)) "center y" 0.0 y
+
+let plot_forms e =
+  match E.prim_of e with
+  | E.Prim_flow (_, plot :: _) -> (
+    match E.prim_of plot with E.Prim_collage forms -> forms | _ -> [])
+  | E.Prim_collage forms -> forms
+  | _ -> []
+
+let test_plot_cartesian_structure () =
+  let data = [ (0.0, 0.0); (1.0, 2.0); (2.0, 1.0) ] in
+  let e = Plot.cartesian ~draw_points:true [ Plot.series ~label:"d" ~color:Color.red data ] in
+  let forms = plot_forms e in
+  (* 2 axes + 12 ticks + 1 trace + 3 markers *)
+  check_int "form count" 18 (List.length forms);
+  let svg = Gui.Svg_render.render_forms ~width:300 ~height:200 forms in
+  check_contains "series color present" svg (Color.to_css Color.red);
+  check_contains "has a polyline trace" svg "<polyline"
+
+let test_plot_scatter_and_bar () =
+  let e = Plot.scatter [ Plot.series [ (0.0, 0.0); (1.0, 1.0) ] ] in
+  check_bool "scatter has forms" true (List.length (plot_forms e) > 2);
+  let b = Plot.bar [ ("a", 3.0); ("b", 1.0) ] in
+  check_bool "bar sized" true (E.width_of b > 0 && E.height_of b > 0);
+  let forms = plot_forms b in
+  (* 2 bars on top of the axes *)
+  check_bool "bars present" true (List.length forms >= 16)
+
+let test_plot_radial_structure () =
+  let pts = List.init 13 (fun i -> (Float.pi *. float_of_int i /. 6.0, 1.0)) in
+  let e = Plot.radial [ Plot.series pts ] in
+  let forms = plot_forms e in
+  (* 3 rings + 6 spokes + 1 trace *)
+  check_int "rings+spokes+trace" 10 (List.length forms)
+
+let test_plot_legend_present () =
+  let e = Plot.cartesian [ Plot.series ~label:"visible-label" [ (0.0, 0.0); (1.0, 1.0) ] ] in
+  check_contains "legend text" (Gui.Ascii_render.render e) "visible-label"
+
+let () =
+  let tc = Alcotest.test_case in
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "gui"
+    [
+      ( "color",
+        [
+          tc "clamping" `Quick test_color_clamping;
+          tc "css" `Quick test_color_css;
+          tc "hsv primaries" `Quick test_hsv_primaries;
+          tc "complement involution" `Quick test_complement_involution;
+          qt prop_hsv_roundtrip;
+          qt prop_hsv_in_range;
+        ] );
+      ( "text",
+        [
+          tc "styles whole value" `Quick test_text_styles_whole_value;
+          tc "measure lines" `Quick test_text_measure_lines;
+          tc "height changes metrics" `Quick test_text_height_changes_metrics;
+          qt prop_concat_measure_monotone;
+          tc "wrap words" `Quick test_wrap_words;
+          qt prop_wrap_preserves_words;
+          tc "paragraph" `Quick test_paragraph_element;
+        ] );
+      ( "element",
+        [
+          tc "flow down sizes" `Quick test_flow_down_sizes;
+          tc "flow right sizes" `Quick test_flow_right_sizes;
+          tc "layers sizes" `Quick test_layers_sizes;
+          tc "above/beside/below" `Quick test_above_beside;
+          tc "container positions" `Quick test_container_positions;
+          tc "image aspect ratio" `Quick test_image_aspect_ratio;
+          tc "setters" `Quick test_size_setters;
+          tc "empty" `Quick test_empty_is_zero;
+          qt prop_flow_down_height_is_sum;
+          qt prop_flow_assoc_size;
+        ] );
+      ( "form",
+        [
+          tc "ngon" `Quick test_ngon_points;
+          tc "rect corners" `Quick test_rect_corners;
+          tc "degrees/turns" `Quick test_degrees_turns;
+          tc "transform point" `Quick test_transform_point;
+          tc "scale compounds" `Quick test_scale_compounds;
+          tc "move accumulates" `Quick test_move_accumulates;
+          tc "bounding box" `Quick test_bounding_box;
+          tc "group bounding box" `Quick test_group_bounding_box;
+          qt prop_rotate_preserves_bbox_diagonal;
+        ] );
+      ( "transform2d",
+        [
+          tc "basics" `Quick test_t2_basics;
+          tc "multiply order" `Quick test_t2_multiply_order;
+          qt prop_t2_invert;
+          tc "singular" `Quick test_t2_singular;
+          tc "group_transform" `Quick test_group_transform_render;
+        ] );
+      ( "plot",
+        [
+          tc "range" `Quick test_plot_range;
+          tc "degenerate range" `Quick test_plot_range_degenerate;
+          tc "projection" `Quick test_plot_project;
+          tc "cartesian structure" `Quick test_plot_cartesian_structure;
+          tc "scatter/bar" `Quick test_plot_scatter_and_bar;
+          tc "radial structure" `Quick test_plot_radial_structure;
+          tc "legend" `Quick test_plot_legend_present;
+        ] );
+      ( "render",
+        [
+          tc "html fig1" `Quick test_html_fig1;
+          tc "html page" `Quick test_html_page;
+          tc "html escaping" `Quick test_html_escaping;
+          tc "html flow positions" `Quick test_html_flow_positions;
+          tc "html flow up" `Quick test_html_flow_up_reverses;
+          tc "svg fig12" `Quick test_svg_fig12;
+          tc "svg gradients" `Quick test_svg_gradients;
+          tc "svg escape" `Quick test_svg_escape;
+          tc "ascii fig1" `Quick test_ascii_fig1;
+          tc "ascii flow order" `Quick test_ascii_flow_order;
+          tc "ascii empty" `Quick test_ascii_empty;
+        ] );
+    ]

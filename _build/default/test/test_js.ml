@@ -1,0 +1,225 @@
+(* Tests for the Elm-to-JavaScript compiler (paper Section 5): JS AST
+   printing, identifier sanitization, code generation shape, whole-program
+   emission, HTML pages, and structural validation of everything emitted. *)
+
+module J = Felm_js.Js_ast
+module Emit = Felm_js.Emit
+module Check = Felm_js.Js_check
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let contains haystack needle =
+  let n = String.length needle in
+  let m = String.length haystack in
+  let rec go i = i + n <= m && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let check_contains what hay needle =
+  if not (contains hay needle) then
+    Alcotest.failf "%s: expected %S in output" what needle
+
+let expr_str e =
+  let buf = Buffer.create 64 in
+  J.print_expr buf e;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JS AST printer *)
+
+let test_print_literals () =
+  check_str "int" "42" (expr_str (J.Eint 42));
+  check_str "float" "2.5" (expr_str (J.Enum 2.5));
+  check_str "whole float keeps a dot" "3.0" (expr_str (J.Enum 3.0));
+  check_str "string escaped" "\"a\\\"b\\n\"" (expr_str (J.Estr "a\"b\n"));
+  check_str "null" "null" (expr_str J.Enull);
+  check_str "bool" "true" (expr_str (J.Ebool true))
+
+let test_print_structures () =
+  check_str "array" "[1, 2]" (expr_str (J.Earray [ J.Eint 1; J.Eint 2 ]));
+  check_str "member" "a.b" (expr_str (J.Emember (J.Evar "a", "b")));
+  check_str "index" "p[0]" (expr_str (J.Eindex (J.Evar "p", J.Eint 0)));
+  check_str "binop parenthesized" "(1 + 2)"
+    (expr_str (J.Ebinop ("+", J.Eint 1, J.Eint 2)));
+  check_str "cond" "(c ? 1 : 2)"
+    (expr_str (J.Econd (J.Evar "c", J.Eint 1, J.Eint 2)))
+
+let test_print_functions () =
+  check_str "function" "function(x) { return x;\n }"
+    (expr_str (J.Efun ([ "x" ], [ J.Sreturn (J.Evar "x") ])));
+  check_str "iife call wraps function" "(function() {  })()"
+    (expr_str (J.iife []))
+
+let test_sanitize () =
+  check_str "dotted" "_Mouse$x" (Emit.sanitize "Mouse.x");
+  check_str "plain" "_foo" (Emit.sanitize "foo");
+  check_str "fresh suffix" "_x$f3" (Emit.sanitize "x%3");
+  check_bool "reserved avoided" true (Emit.sanitize "var" <> "var")
+
+(* ------------------------------------------------------------------ *)
+(* Code generation shape *)
+
+let compile_src src = Emit.compile_program (Felm.Program.of_source src)
+
+let test_compile_lift () =
+  let js = compile_src "main = lift (\\x -> x * 2) Mouse.x" in
+  check_contains "lift call" js "R.lift(G, ";
+  check_contains "input registration" js "R.input(G, \"Mouse.x\"";
+  check_contains "display" js "R.display(G, main)";
+  check_contains "browser wiring" js "R.wireBrowserEvents(G)"
+
+let test_compile_foldp_async () =
+  let js =
+    compile_src "main = async (foldp (\\k c -> c + 1) 0 Keyboard.lastPressed)"
+  in
+  check_contains "foldp" js "R.foldp(G, ";
+  check_contains "async" js "R.async(G, "
+
+let test_compile_sharing () =
+  (* let-bound signals become a single JS binding used twice *)
+  let js =
+    compile_src "s = lift (\\x -> x + 1) Mouse.x\nmain = lift2 (\\a b -> a + b) s s"
+  in
+  check_contains "binding function" js "function(_s)";
+  (* R.lift for the shared node appears exactly twice: inner + outer *)
+  let count_occurrences needle hay =
+    let n = String.length needle in
+    let rec go i acc =
+      if i + n > String.length hay then acc
+      else if String.sub hay i n = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int)
+    "two lift calls (program), none duplicated" 2
+    (count_occurrences "R.lift(G," (String.concat "" (String.split_on_char ' ' js)))
+
+let test_compile_operators () =
+  let js = compile_src "main = if 7 / 2 == 3 then 1 else 0" in
+  check_contains "integer division" js "Math.trunc";
+  check_contains "deep equality" js "R.eq";
+  let js2 = compile_src "main = show (1 < 2)" in
+  check_contains "comparison via cmp" js2 "R.cmp";
+  check_contains "show" js2 "R.show"
+
+let test_compile_prims () =
+  let js = compile_src "main = translate \"hello\"" in
+  check_contains "prim call" js "R.prims.translate"
+
+let test_compile_input_defaults () =
+  let js = compile_src "input words : signal string = \"start\"\nmain = lift (\\w -> w) words" in
+  check_contains "declared default" js "\"start\"";
+  check_contains "input by name" js "R.input(G, \"words\""
+
+(* ------------------------------------------------------------------ *)
+(* Validation of emitted output *)
+
+let sample_programs =
+  [
+    "main = 42";
+    "main = lift (\\x -> show x) Mouse.x";
+    "main = lift2 (\\y z -> y * 100 / z) Mouse.x Window.width";
+    "main = foldp (\\k c -> c + 1) 0 Keyboard.lastPressed";
+    "input words : signal string = \"\"\n\
+     pairs = lift2 (\\a b -> (a, b)) words (lift translate words)\n\
+     main = pairs";
+    "slow x = work 50.0 x\n\
+     main = lift2 (\\a b -> (a, b)) Mouse.x (async (lift slow Mouse.y))";
+    "main = if 1 && 0 || 1 then \"yes\" else \"no\"";
+    "main = show ((1, (2.5, \"three\")), ())";
+  ]
+
+let test_emitted_js_well_formed () =
+  List.iter
+    (fun src ->
+      match Check.well_formed (compile_src src) with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "invalid JS for %S: %s" src msg)
+    sample_programs
+
+let test_runtime_well_formed () =
+  match Check.well_formed Felm_js.Runtime_js.source with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "runtime source invalid: %s" msg
+
+let test_emission_deterministic () =
+  List.iter
+    (fun src ->
+      check_bool "same output twice" true (compile_src src = compile_src src))
+    sample_programs
+
+let test_html_page () =
+  let page = Felm_js.Html.page ~title:"x<y" (Felm.Program.of_source "main = 1") in
+  check_contains "doctype" page "<!DOCTYPE html>";
+  check_contains "escaped title" page "x&lt;y";
+  check_contains "mount point" page "id=\"felm-main\"";
+  check_contains "script" page "<script>";
+  check_contains "runtime" page "var ElmRuntime"
+
+(* ------------------------------------------------------------------ *)
+(* JS tokenizer itself *)
+
+let test_check_accepts () =
+  List.iter
+    (fun src ->
+      match Check.well_formed src with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "rejected valid JS %S: %s" src msg)
+    [
+      "var x = 1; // comment";
+      "/* multi\nline */ f(a, b)[0].c";
+      "\"str with \\\" escape\"";
+      "var s = 'single'; var t = `template\nwith newline`;";
+      "1e+10 + 0x1f";
+    ]
+
+let test_check_rejects () =
+  List.iter
+    (fun src ->
+      match Check.well_formed src with
+      | Ok () -> Alcotest.failf "accepted invalid JS %S" src
+      | Error _ -> ())
+    [
+      "f(";
+      "f(]";
+      "\"unterminated";
+      "/* unterminated";
+      "}";
+      "var s = \"line\nbreak\"";
+      "weird # char";
+    ]
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "felm-js"
+    [
+      ( "printer",
+        [
+          tc "literals" `Quick test_print_literals;
+          tc "structures" `Quick test_print_structures;
+          tc "functions" `Quick test_print_functions;
+          tc "sanitize" `Quick test_sanitize;
+        ] );
+      ( "codegen",
+        [
+          tc "lift" `Quick test_compile_lift;
+          tc "foldp/async" `Quick test_compile_foldp_async;
+          tc "sharing" `Quick test_compile_sharing;
+          tc "operators" `Quick test_compile_operators;
+          tc "prims" `Quick test_compile_prims;
+          tc "input defaults" `Quick test_compile_input_defaults;
+        ] );
+      ( "validation",
+        [
+          tc "emitted programs" `Quick test_emitted_js_well_formed;
+          tc "runtime source" `Quick test_runtime_well_formed;
+          tc "deterministic" `Quick test_emission_deterministic;
+          tc "html page" `Quick test_html_page;
+        ] );
+      ( "tokenizer",
+        [
+          tc "accepts" `Quick test_check_accepts;
+          tc "rejects" `Quick test_check_rejects;
+        ] );
+    ]

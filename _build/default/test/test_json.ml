@@ -1,0 +1,174 @@
+(* Tests for the JSON library (paper Section 4 / Example 3's server
+   responses). *)
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let parse = Json.parse
+
+let test_literals () =
+  check_bool "null" true (parse "null" = Json.Null);
+  check_bool "true" true (parse "true" = Json.Bool true);
+  check_bool "false" true (parse "false" = Json.Bool false);
+  check_bool "int" true (parse "42" = Json.Number 42.0);
+  check_bool "negative" true (parse "-7" = Json.Number (-7.0));
+  check_bool "float" true (parse "3.25" = Json.Number 3.25);
+  check_bool "exponent" true (parse "1e3" = Json.Number 1000.0);
+  check_bool "string" true (parse "\"hi\"" = Json.String "hi")
+
+let test_structures () =
+  check_bool "array" true
+    (parse "[1, 2, 3]" = Json.Array [ Json.Number 1.0; Json.Number 2.0; Json.Number 3.0 ]);
+  check_bool "empty array" true (parse "[]" = Json.Array []);
+  check_bool "empty object" true (parse "{}" = Json.Object []);
+  check_bool "object" true
+    (parse "{\"a\": 1, \"b\": [true]}"
+    = Json.Object [ ("a", Json.Number 1.0); ("b", Json.Array [ Json.Bool true ]) ])
+
+let test_whitespace_and_nesting () =
+  let v = parse "  { \"a\" : [ { \"b\" : null } , 2 ] }  " in
+  check_bool "nested" true
+    (Json.path [ "a" ] v <> None
+    && Json.(index 0 (Option.get (member "a" v))) <> None)
+
+let test_string_escapes () =
+  check_bool "basic escapes" true
+    (parse {|"a\nb\t\"c\\d"|} = Json.String "a\nb\t\"c\\d");
+  check_bool "unicode bmp" true (parse {|"A"|} = Json.String "A");
+  (match parse {|"😀"|} with
+  | Json.String s -> check_int "surrogate pair is 4 utf8 bytes" 4 (String.length s)
+  | _ -> Alcotest.fail "expected string");
+  check_bool "solidus" true (parse {|"\/"|} = Json.String "/")
+
+let test_errors () =
+  let rejects src =
+    match Json.parse src with
+    | _ -> Alcotest.failf "expected parse error for %S" src
+    | exception Json.Parse_error _ -> ()
+  in
+  rejects "";
+  rejects "{";
+  rejects "[1,]";
+  rejects "{\"a\" 1}";
+  rejects "\"unterminated";
+  rejects "nul";
+  rejects "1 2";
+  rejects "{\"a\":1,}";
+  rejects "\"bad \\q escape\"";
+  rejects "\"control \x01 char\""
+
+let test_error_position () =
+  match Json.parse "{\n  \"a\": nope\n}" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Json.Parse_error (_, line, _) -> check_int "line" 2 line
+
+let test_print_compact () =
+  check_str "roundtrip text" "{\"a\":[1,true,\"x\"],\"b\":null}"
+    (Json.to_string
+       (Json.obj
+          [
+            ("a", Json.of_list [ Json.of_int 1; Json.of_bool true; Json.of_string "x" ]);
+            ("b", Json.Null);
+          ]));
+  check_str "float kept" "2.5" (Json.to_string (Json.of_float 2.5));
+  check_str "integral printed as int" "7" (Json.to_string (Json.of_int 7))
+
+let test_pretty () =
+  let s = Json.pretty (parse "{\"a\": [1, 2]}") in
+  check_bool "has newlines" true (String.contains s '\n');
+  check_bool "re-parses" true (Json.equal (parse s) (parse "{\"a\": [1,2]}"))
+
+let test_accessors () =
+  let v = parse "{\"photos\": [{\"url\": \"http://x/1.jpg\"}, {\"url\": \"http://x/2.jpg\"}]}" in
+  let first_url =
+    Option.bind (Json.member "photos" v) (Json.index 0)
+    |> Fun.flip Option.bind (Json.member "url")
+    |> Fun.flip Option.bind Json.get_string
+  in
+  check_bool "path to url" true (first_url = Some "http://x/1.jpg");
+  check_bool "missing member" true (Json.member "nope" v = None);
+  check_bool "index out of range" true
+    (Option.bind (Json.member "photos" v) (Json.index 9) = None);
+  check_bool "to_int" true (Json.to_int (parse "3") = Some 3);
+  check_bool "to_int rejects fraction" true (Json.to_int (parse "3.5") = None)
+
+(* generator of random JSON values *)
+let rec gen_value depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun n -> Json.Number (float_of_int n)) (int_range (-1000) 1000);
+        map (fun s -> Json.String s) (string_size ~gen:(char_range 'a' 'z') (0 -- 8));
+      ]
+  else
+    frequency
+      [
+        (2, gen_value 0);
+        (1, map (fun vs -> Json.Array vs) (list_size (0 -- 4) (gen_value (depth - 1))));
+        ( 1,
+          map
+            (fun kvs ->
+              (* distinct keys for a stable roundtrip *)
+              Json.Object (List.mapi (fun i (k, v) -> (Printf.sprintf "%s%d" k i, v)) kvs))
+            (list_size (0 -- 4)
+               (pair (string_size ~gen:(char_range 'a' 'z') (1 -- 5)) (gen_value (depth - 1)))) );
+      ]
+
+let arbitrary_json =
+  QCheck.make ~print:Json.to_string (gen_value 3)
+
+let test_pretty_indent_and_edges () =
+  let v = Json.parse "{\"a\": []}" in
+  let wide = Json.pretty ~indent:6 v in
+  check_bool "custom indent respected" true
+    (let needle = "      \"a\"" in
+     let n = String.length needle in
+     let rec go i = i + n <= String.length wide && (String.sub wide i n = needle || go (i + 1)) in
+     go 0);
+  check_bool "negative index" true (Json.index (-1) (Json.parse "[1]") = None);
+  check_bool "member on non-object" true (Json.member "k" (Json.parse "[1]") = None)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"parse (to_string v) = v" ~count:300 arbitrary_json
+    (fun v -> Json.equal (Json.parse (Json.to_string v)) v)
+
+let prop_pretty_roundtrip =
+  QCheck.Test.make ~name:"parse (pretty v) = v" ~count:300 arbitrary_json
+    (fun v -> Json.equal (Json.parse (Json.pretty v)) v)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"string escape roundtrip" ~count:300
+    QCheck.(string_of_size (Gen.int_bound 30))
+    (fun s ->
+      match Json.parse (Json.to_string (Json.String s)) with
+      | Json.String s' -> s = s'
+      | _ -> false)
+
+let () =
+  let tc = Alcotest.test_case in
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "json"
+    [
+      ( "parse",
+        [
+          tc "literals" `Quick test_literals;
+          tc "structures" `Quick test_structures;
+          tc "whitespace/nesting" `Quick test_whitespace_and_nesting;
+          tc "string escapes" `Quick test_string_escapes;
+          tc "errors" `Quick test_errors;
+          tc "error position" `Quick test_error_position;
+        ] );
+      ( "print",
+        [
+          tc "compact" `Quick test_print_compact;
+          tc "pretty" `Quick test_pretty;
+          tc "accessors" `Quick test_accessors;
+          tc "pretty indent / edge accessors" `Quick test_pretty_indent_and_edges;
+        ] );
+      ( "properties",
+        [ qt prop_roundtrip; qt prop_pretty_roundtrip; qt prop_string_roundtrip ] );
+    ]

@@ -1,0 +1,169 @@
+(* Tests for the Markdown library (Section 4: "Elm supports ... Markdown"). *)
+
+module M = Markdown
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let html = M.render_html
+
+let test_headings () =
+  check_str "h1" "<h1>Title</h1>" (html "# Title");
+  check_str "h3" "<h3>Sub</h3>" (html "### Sub");
+  check_str "h6 max" "<h6>Deep</h6>" (html "###### Deep");
+  (* seven hashes is not a heading *)
+  check_bool "not a heading" true
+    (String.length (html "####### nope") > 0
+    && not (String.equal (html "####### nope") "<h7>nope</h7>"))
+
+let test_paragraphs () =
+  check_str "single" "<p>hello world</p>" (html "hello world");
+  check_str "joined lines" "<p>one two</p>" (html "one\ntwo");
+  check_str "split by blank" "<p>one</p>\n<p>two</p>" (html "one\n\ntwo")
+
+let test_emphasis () =
+  check_str "em" "<p><em>it</em></p>" (html "*it*");
+  check_str "strong" "<p><strong>bold</strong></p>" (html "**bold**");
+  check_str "nested" "<p><strong>a <em>b</em></strong></p>" (html "**a *b***");
+  check_str "mixed text" "<p>say <em>hi</em> now</p>" (html "say *hi* now");
+  check_str "unclosed stays literal" "<p>2 * 3</p>" (html "2 * 3")
+
+let test_code () =
+  check_str "inline" "<p>run <code>make</code></p>" (html "run `make`");
+  check_str "fenced"
+    "<pre><code>let x = 1\nx + x</code></pre>"
+    (html "```\nlet x = 1\nx + x\n```");
+  check_str "fenced with language"
+    "<pre><code class=\"language-ocaml\">let x = ()</code></pre>"
+    (html "```ocaml\nlet x = ()\n```");
+  check_str "code escapes html"
+    "<p><code>a &lt; b &amp; c</code></p>" (html "`a < b & c`")
+
+let test_links_images () =
+  check_str "link" "<p><a href=\"http://x\">here</a></p>" (html "[here](http://x)");
+  check_str "styled label" "<p><a href=\"u\"><em>em</em></a></p>" (html "[*em*](u)");
+  check_str "image" "<p><img src=\"pic.jpg\" alt=\"alt\"></p>" (html "![alt](pic.jpg)");
+  check_str "bare bracket literal" "<p>[not a link</p>" (html "[not a link")
+
+let test_lists () =
+  check_str "unordered"
+    "<ul><li>a</li><li>b</li></ul>" (html "- a\n- b");
+  check_str "star bullets"
+    "<ul><li>a</li><li>b</li></ul>" (html "* a\n* b");
+  check_str "ordered"
+    "<ol><li>one</li><li>two</li></ol>" (html "1. one\n2. two");
+  check_str "inline markup in items"
+    "<ul><li><strong>x</strong></li></ul>" (html "- **x**")
+
+let test_quote_rule () =
+  check_str "quote" "<blockquote><p>wisdom</p></blockquote>" (html "> wisdom");
+  check_str "rule" "<hr>" (html "---");
+  check_str "quote then para" "<blockquote><p>q</p></blockquote>\n<p>after</p>"
+    (html "> q\n\nafter")
+
+let test_escaping () =
+  check_str "html escaped" "<p>a &lt;script&gt; &amp; b</p>" (html "a <script> & b")
+
+let test_document () =
+  let doc =
+    "# Report\n\nSome *text* with `code`.\n\n- item one\n- item two\n\n```\nverbatim\n```\n\n---\n"
+  in
+  let out = html doc in
+  let contains needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length out && (String.sub out i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "h1" true (contains "<h1>Report</h1>");
+  check_bool "em" true (contains "<em>text</em>");
+  check_bool "list" true (contains "<li>item one</li>");
+  check_bool "pre" true (contains "<pre><code>verbatim</code></pre>");
+  check_bool "hr" true (contains "<hr>")
+
+let test_to_element () =
+  let e = M.to_element "# Title\n\nbody text\n\n- a\n- b" in
+  let module E = Gui.Element in
+  check_bool "has size" true (E.width_of e > 0 && E.height_of e > 0);
+  let art = Gui.Ascii_render.render e in
+  let contains needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length art && (String.sub art i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "title shown" true (contains "Title");
+  check_bool "bullets shown" true (contains "- a")
+
+let test_inline_to_text_styles () =
+  let t = M.inline_to_text (M.parse_inline "**b** *i* `c`") in
+  let styles = List.map fst (Gui.Text.runs t) in
+  check_bool "has bold run" true (List.exists (fun s -> s.Gui.Text.bold) styles);
+  check_bool "has italic run" true (List.exists (fun s -> s.Gui.Text.italic) styles);
+  check_bool "has mono run" true (List.exists (fun s -> s.Gui.Text.monospace) styles)
+
+let prop_never_raises =
+  QCheck.Test.make ~name:"parser totals on arbitrary input" ~count:300
+    QCheck.(string_of_size (Gen.int_bound 200))
+    (fun s ->
+      match M.render_html s with
+      | (_ : string) -> true)
+
+let prop_output_escaped =
+  QCheck.Test.make ~name:"plain text never leaks raw angle brackets" ~count:200
+    QCheck.(string_of_size (Gen.int_bound 60))
+    (fun s ->
+      (* feed text with no markdown delimiters: output must not contain a
+         raw '<' except as part of our emitted tags *)
+      let cleaned =
+        String.map
+          (fun c ->
+            match c with
+            | '*' | '`' | '[' | ']' | '(' | ')' | '#' | '>' | '-' | '!' | '\n' -> 'x'
+            | c -> c)
+          s
+      in
+      let out = M.render_html cleaned in
+      (* strip our known tags, then no '<' may remain *)
+      let remove needle hay =
+        let n = String.length needle in
+        let buf = Buffer.create (String.length hay) in
+        let i = ref 0 in
+        let len = String.length hay in
+        while !i < len do
+          if !i + n <= len && String.sub hay !i n = needle then i := !i + n
+          else begin
+            Buffer.add_char buf hay.[!i];
+            incr i
+          end
+        done;
+        Buffer.contents buf
+      in
+      let without_tags = remove "</p>" (remove "<p>" out) in
+      not (String.contains without_tags '<'))
+
+let () =
+  let tc = Alcotest.test_case in
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "markdown"
+    [
+      ( "blocks",
+        [
+          tc "headings" `Quick test_headings;
+          tc "paragraphs" `Quick test_paragraphs;
+          tc "lists" `Quick test_lists;
+          tc "quote/rule" `Quick test_quote_rule;
+          tc "code" `Quick test_code;
+          tc "document" `Quick test_document;
+        ] );
+      ( "inline",
+        [
+          tc "emphasis" `Quick test_emphasis;
+          tc "links/images" `Quick test_links_images;
+          tc "escaping" `Quick test_escaping;
+        ] );
+      ( "element",
+        [
+          tc "to_element" `Quick test_to_element;
+          tc "inline styles" `Quick test_inline_to_text_styles;
+        ] );
+      ( "properties", [ qt prop_never_raises; qt prop_output_escaped ] );
+    ]

@@ -1,0 +1,275 @@
+(* Robustness and edge-case tests: failure injection (exceptions inside node
+   functions), the Event/Stats helper modules, mode interactions
+   (Sequential + async), graph introspection, and scheduler edge
+   behaviours. *)
+
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+module Event = Elm_core.Event
+module Stats = Elm_core.Stats
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let with_world body =
+  let result = ref None in
+  Cml.run (fun () -> result := Some (body ()));
+  Option.get !result
+
+(* ------------------------------------------------------------------ *)
+(* Event *)
+
+let test_event_helpers () =
+  check_bool "is_change" true (Event.is_change (Event.Change 1));
+  check_bool "no_change" false (Event.is_change (Event.No_change 1));
+  check_int "body of change" 5 (Event.body (Event.Change 5));
+  check_int "body of no_change" 5 (Event.body (Event.No_change 5));
+  check_bool "map change" true (Event.map succ (Event.Change 1) = Event.Change 2);
+  check_bool "map keeps flavor" true
+    (Event.map succ (Event.No_change 1) = Event.No_change 2);
+  check_bool "equal" true (Event.equal ( = ) (Event.Change 3) (Event.Change 3));
+  check_bool "not equal across flavors" false
+    (Event.equal ( = ) (Event.Change 3) (Event.No_change 3));
+  check_str "pp change" "Change 7"
+    (Format.asprintf "%a" (Event.pp Format.pp_print_int) (Event.Change 7));
+  check_str "pp nochange" "NoChange 7"
+    (Format.asprintf "%a" (Event.pp Format.pp_print_int) (Event.No_change 7))
+
+let test_stats_pp_and_totals () =
+  let s = Stats.create () in
+  s.Stats.applications <- 3;
+  s.Stats.recomputations <- 4;
+  check_int "total computations" 7 (Stats.total_computations s);
+  let printed = Format.asprintf "%a" Stats.pp s in
+  check_bool "pp mentions applications" true
+    (let needle = "applications=3" in
+     let n = String.length needle in
+     let rec go i =
+       i + n <= String.length printed
+       && (String.sub printed i n = needle || go (i + 1))
+     in
+     go 0)
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection *)
+
+exception Node_crashed
+
+let test_node_exception_propagates () =
+  (* A crash inside a lifted function surfaces out of the session rather
+     than being swallowed by the runtime. *)
+  let run () =
+    Cml.run (fun () ->
+        let src = Signal.input 0 in
+        let s =
+          Signal.lift (fun x -> if x = 13 then raise Node_crashed else x) src
+        in
+        let rt = Runtime.start s in
+        Runtime.inject rt src 1;
+        Runtime.inject rt src 13)
+  in
+  Alcotest.check_raises "crash escapes Cml.run" Node_crashed run
+
+let test_crash_during_default () =
+  (* Defaults are computed at construction; a crash there is immediate. *)
+  Alcotest.check_raises "default crash" Node_crashed (fun () ->
+      Cml.run (fun () ->
+          let src = Signal.input 13 in
+          ignore (Signal.lift (fun x -> if x = 13 then raise Node_crashed else x) src)))
+
+let test_foldp_crash () =
+  Alcotest.check_raises "foldp crash escapes" Node_crashed (fun () ->
+      Cml.run (fun () ->
+          let src = Signal.input 0 in
+          let s = Signal.foldp (fun _ _ -> raise Node_crashed) 0 src in
+          let rt = Runtime.start s in
+          Runtime.inject rt src 1))
+
+let test_listener_crash () =
+  Alcotest.check_raises "listener crash escapes" Node_crashed (fun () ->
+      Cml.run (fun () ->
+          let src = Signal.input 0 in
+          let rt = Runtime.start src in
+          Runtime.on_change rt (fun _ _ -> raise Node_crashed);
+          Runtime.inject rt src 1))
+
+(* ------------------------------------------------------------------ *)
+(* Mode interactions *)
+
+let test_sequential_with_async () =
+  (* Sequential mode barriers each dispatched event on the display ack; an
+     async re-dispatch is just another event and must not deadlock. *)
+  let rt =
+    with_world (fun () ->
+        let src = Signal.input 0 in
+        let s = Signal.async (Signal.lift (fun x -> x * 2) src) in
+        let rt = Runtime.start ~mode:Runtime.Sequential s in
+        Runtime.inject rt src 1;
+        Runtime.inject rt src 2;
+        rt)
+  in
+  check_bool "async values delivered under Sequential" true
+    (List.map snd (Runtime.changes rt) = [ 2; 4 ])
+
+let test_sequential_latency_vs_pipelined () =
+  (* Make the distinction observable: in Sequential mode the second event's
+     processing starts only after the first is displayed. *)
+  let run mode =
+    with_world (fun () ->
+        let armed = ref false in
+        let src = Signal.input 0 in
+        let s =
+          Signal.lift
+            (fun x ->
+              if !armed then Cml.sleep 10.0;
+              x)
+            src
+        in
+        let rt = Runtime.start ~mode s in
+        armed := true;
+        Runtime.inject rt src 1;
+        Runtime.inject rt src 2;
+        rt)
+  in
+  let last rt = fst (List.nth (Runtime.changes rt) 1) in
+  Alcotest.(check (float 1e-6))
+    "sequential: 2 * cost" 20.0
+    (last (run Runtime.Sequential));
+  Alcotest.(check (float 1e-6))
+    "pipelined: cost overlapped" 20.0
+    (last (run Runtime.Pipelined));
+  (* with a two-stage chain the pipelining becomes visible *)
+  let chain mode =
+    with_world (fun () ->
+        let armed = ref false in
+        let src = Signal.input 0 in
+        let slow name s =
+          Signal.lift ~name
+            (fun x ->
+              if !armed then Cml.sleep 10.0;
+              x)
+            s
+        in
+        let rt = Runtime.start ~mode (slow "b" (slow "a" src)) in
+        armed := true;
+        Runtime.inject rt src 1;
+        Runtime.inject rt src 2;
+        rt)
+  in
+  Alcotest.(check (float 1e-6))
+    "sequential two-stage" 40.0
+    (last (chain Runtime.Sequential));
+  Alcotest.(check (float 1e-6))
+    "pipelined two-stage" 30.0
+    (last (chain Runtime.Pipelined))
+
+(* ------------------------------------------------------------------ *)
+(* Introspection *)
+
+let test_kind_names () =
+  let i = Signal.input 0 in
+  check_str "input" "input" (Signal.kind_name i);
+  check_str "lift" "lift" (Signal.kind_name (Signal.lift succ i));
+  check_str "foldp" "foldp" (Signal.kind_name (Signal.foldp ( + ) 0 i));
+  check_str "async" "async" (Signal.kind_name (Signal.async i));
+  check_str "merge" "merge" (Signal.kind_name (Signal.merge i i));
+  check_str "constant" "constant" (Signal.kind_name (Signal.constant 3))
+
+let test_deps_and_sources () =
+  let a = Signal.input 0 in
+  let b = Signal.input 0 in
+  let s = Signal.lift2 ( + ) a b in
+  check_int "two deps" 2 (List.length (Signal.deps s));
+  check_bool "input is source" true (Signal.is_source a);
+  check_bool "lift2 is not" false (Signal.is_source s);
+  check_int "ids distinct" 2
+    (List.length (List.sort_uniq compare [ Signal.id a; Signal.id b ]))
+
+let test_names_default_and_custom () =
+  let i = Signal.input ~name:"My.input" 0 in
+  check_str "custom name" "My.input" (Signal.name i);
+  check_str "fallback name" "lift" (Signal.name (Signal.lift succ i))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler edges *)
+
+let test_zero_sleep_is_yield () =
+  let log = ref [] in
+  Cml.run (fun () ->
+      Cml.spawn (fun () ->
+          Cml.sleep 0.0;
+          log := "slept" :: !log);
+      Cml.spawn (fun () -> log := "ran" :: !log));
+  Alcotest.(check (list string))
+    "zero sleep yields, keeps time" [ "ran"; "slept" ]
+    (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock unmoved" 0.0 (Cml.now ())
+
+let test_nested_run_rejected () =
+  Alcotest.check_raises "no nested schedulers" Cml.Scheduler.Already_running
+    (fun () -> Cml.run (fun () -> Cml.run (fun () -> ())))
+
+let test_many_events_burst () =
+  (* A large burst exercises mailbox buffering and FIFO order end to end. *)
+  let n = 5000 in
+  let rt =
+    with_world (fun () ->
+        let src = Signal.input 0 in
+        let rt = Runtime.start (Signal.foldp ( + ) 0 src) in
+        for i = 1 to n do
+          Runtime.inject rt src i
+        done;
+        rt)
+  in
+  check_int "sum of burst" (n * (n + 1) / 2) (Runtime.current rt);
+  check_int "every event displayed" n (List.length (Runtime.changes rt))
+
+let test_empty_lift_list_is_constant () =
+  let rt =
+    with_world (fun () ->
+        let other = Signal.input 0 in
+        let k = Signal.lift_list (fun _ -> 42) [] in
+        let s = Signal.lift2 (fun a b -> a + b) k other in
+        let rt = Runtime.start s in
+        Runtime.inject rt other 1;
+        rt)
+  in
+  check_bool "constant-like node participates" true
+    (List.map snd (Runtime.changes rt) = [ 43 ])
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "robustness"
+    [
+      ( "helpers",
+        [
+          tc "event module" `Quick test_event_helpers;
+          tc "stats" `Quick test_stats_pp_and_totals;
+        ] );
+      ( "failure injection",
+        [
+          tc "lift crash" `Quick test_node_exception_propagates;
+          tc "default crash" `Quick test_crash_during_default;
+          tc "foldp crash" `Quick test_foldp_crash;
+          tc "listener crash" `Quick test_listener_crash;
+        ] );
+      ( "modes",
+        [
+          tc "sequential + async" `Quick test_sequential_with_async;
+          tc "sequential latency" `Quick test_sequential_latency_vs_pipelined;
+        ] );
+      ( "introspection",
+        [
+          tc "kind names" `Quick test_kind_names;
+          tc "deps/sources" `Quick test_deps_and_sources;
+          tc "names" `Quick test_names_default_and_custom;
+        ] );
+      ( "scheduler edges",
+        [
+          tc "zero sleep" `Quick test_zero_sleep_is_yield;
+          tc "nested run" `Quick test_nested_run_rejected;
+          tc "burst of 5000" `Quick test_many_events_burst;
+          tc "empty lift_list" `Quick test_empty_lift_list_is_constant;
+        ] );
+    ]

@@ -1,0 +1,437 @@
+(* Tests for the reactive standard library (paper Fig. 13 and Section 4.2):
+   Mouse, Keyboard, Window, Touch, Time, input widgets, simulated Http, and
+   the Fig. 14 slide-show program. *)
+
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+module World = Elm_std.World
+module Mouse = Elm_std.Mouse
+module Keyboard = Elm_std.Keyboard
+module Window = Elm_std.Window
+module Touch = Elm_std.Touch
+module Time = Elm_std.Time
+module Input = Elm_std.Input_widgets
+module Http = Elm_std.Http
+module E = Gui.Element
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let values rt = List.map snd (Runtime.changes rt)
+
+(* Example 2 of the paper: main = lift asText Mouse.position *)
+let test_mouse_tracker () =
+  let rt =
+    World.run (fun () ->
+        let main =
+          Signal.lift
+            (fun (x, y) -> Printf.sprintf "(%d,%d)" x y)
+            Mouse.position
+        in
+        let rt = Runtime.start main in
+        Mouse.move rt (3, 4);
+        Mouse.move rt (5, 6);
+        rt)
+  in
+  Alcotest.(check (list string)) "positions displayed" [ "(3,4)"; "(5,6)" ]
+    (values rt)
+
+let test_mouse_x_y () =
+  let rt =
+    World.run (fun () ->
+        let rt = Runtime.start (Signal.pair Mouse.x Mouse.y) in
+        Mouse.move rt (7, 9);
+        rt)
+  in
+  check_bool "x/y derived" true (Runtime.current rt = (7, 9))
+
+let test_mouse_clicks_count () =
+  let rt =
+    World.run (fun () ->
+        let rt = Runtime.start (Signal.count Mouse.clicks) in
+        Mouse.click rt;
+        Mouse.click rt;
+        Mouse.click rt;
+        rt)
+  in
+  check_int "three clicks" 3 (Runtime.current rt)
+
+let test_keyboard_arrows () =
+  let rt =
+    World.run (fun () ->
+        let rt = Runtime.start Keyboard.arrows in
+        Keyboard.press rt Keyboard.up_arrow;
+        Keyboard.press rt Keyboard.right_arrow;
+        rt)
+  in
+  check_bool "up+right is (1,1)" true (Runtime.current rt = (1, 1))
+
+let test_keyboard_release () =
+  let rt =
+    World.run (fun () ->
+        let rt = Runtime.start Keyboard.arrows in
+        Keyboard.press rt Keyboard.left_arrow;
+        Keyboard.release rt Keyboard.left_arrow;
+        rt)
+  in
+  check_bool "released returns to 0" true (Runtime.current rt = (0, 0))
+
+let test_keyboard_shift () =
+  let rt =
+    World.run (fun () ->
+        let rt = Runtime.start Keyboard.shift in
+        Keyboard.press rt Keyboard.shift_key;
+        rt)
+  in
+  check_bool "shift detected" true (Runtime.current rt)
+
+let test_keyboard_last_pressed () =
+  let rt =
+    World.run (fun () ->
+        let rt = Runtime.start (Signal.count Keyboard.last_pressed) in
+        Keyboard.tap rt 65;
+        Keyboard.tap rt 66;
+        rt)
+  in
+  (* Section 3.1's example: count key presses with foldp. *)
+  check_int "two presses counted" 2 (Runtime.current rt)
+
+let test_keyboard_state_isolated_between_runs () =
+  let once () =
+    World.run (fun () ->
+        let rt = Runtime.start Keyboard.arrows in
+        Keyboard.press rt Keyboard.right_arrow;
+        rt)
+  in
+  ignore (once ());
+  let rt = once () in
+  check_bool "fresh session, same result" true (Runtime.current rt = (1, 0))
+
+let test_window_resize () =
+  let rt =
+    World.run (fun () ->
+        let rt = Runtime.start Window.width in
+        Window.resize rt (800, 600);
+        rt)
+  in
+  check_int "width tracked" 800 (Runtime.current rt)
+
+let test_touch_gesture () =
+  let rt =
+    World.run (fun () ->
+        let rt =
+          Runtime.start
+            (Signal.lift (List.map (fun t -> (t.Touch.id, t.Touch.x, t.Touch.y)))
+               Touch.touches)
+        in
+        Touch.touch_start rt ~id:1 (0, 0);
+        Touch.touch_move rt ~id:1 (10, 5);
+        Touch.touch_end rt ~id:1;
+        rt)
+  in
+  check_bool "gesture observed" true
+    (values rt = [ [ (1, 0, 0) ]; [ (1, 10, 5) ]; [] ])
+
+let test_touch_taps () =
+  let rt =
+    World.run (fun () ->
+        let rt = Runtime.start Touch.taps in
+        Touch.tap rt (12, 34);
+        rt)
+  in
+  check_bool "tap position" true (Runtime.current rt = (12, 34))
+
+let test_time_every () =
+  let rt =
+    World.run (fun () ->
+        let timer = Time.every (3.0 *. Time.second) in
+        let rt = Runtime.start (Signal.count (Time.signal timer)) in
+        Time.drive timer rt ~until:10.0;
+        rt)
+  in
+  (* ticks at 3, 6, 9 *)
+  check_int "three ticks in 10s" 3 (Runtime.current rt)
+
+let test_time_every_values_are_times () =
+  let rt =
+    World.run (fun () ->
+        let timer = Time.every 2.0 in
+        let rt = Runtime.start (Time.signal timer) in
+        Time.drive timer rt ~until:5.0;
+        rt)
+  in
+  Alcotest.(check (list (float 1e-6))) "tick times" [ 2.0; 4.0 ] (values rt)
+
+let test_time_fps_deltas () =
+  let rt =
+    World.run (fun () ->
+        let timer = Time.fps 10.0 in
+        let rt = Runtime.start (Time.signal timer) in
+        Time.drive timer rt ~until:0.35;
+        rt)
+  in
+  Alcotest.(check (list (float 1e-6))) "deltas" [ 0.1; 0.1; 0.1 ] (values rt)
+
+let test_world_script () =
+  let rt =
+    World.run (fun () ->
+        let rt = Runtime.start Mouse.x in
+        World.script
+          [ (1.0, fun () -> Mouse.move rt (10, 0)); (2.0, fun () -> Mouse.move rt (20, 0)) ];
+        rt)
+  in
+  match Runtime.changes rt with
+  | [ (t1, 10); (t2, 20) ] ->
+    check_bool "timestamps honor the script" true (t1 >= 1.0 && t1 < 2.0 && t2 >= 2.0)
+  | _ -> Alcotest.fail "expected two changes"
+
+let test_world_every () =
+  let count = ref 0 in
+  World.run (fun () -> World.every 1.0 ~until:5.5 (fun _ -> incr count));
+  check_int "five periodic actions" 5 !count
+
+(* Input widgets (Section 4.2) *)
+
+let test_input_text_pair_of_signals () =
+  let rt =
+    World.run (fun () ->
+        let field = Input.text "Enter a tag" in
+        let main = Signal.pair field.Input.field field.Input.value in
+        let rt = Runtime.start main in
+        field.Input.set rt "shells";
+        rt)
+  in
+  let _, value = Runtime.current rt in
+  Alcotest.(check string) "value signal" "shells" value
+
+let test_input_text_placeholder () =
+  let shown = ref "" in
+  ignore
+    (World.run (fun () ->
+         let field = Input.text "Enter a tag" in
+         let rt = Runtime.start field.Input.field in
+         shown := Gui.Ascii_render.render (Runtime.current rt);
+         rt));
+  check_bool "placeholder visible when empty" true
+    (String.length !shown > 0
+    &&
+    let rec contains i =
+      i + 5 <= String.length !shown
+      && (String.sub !shown i 5 = "Enter" || contains (i + 1))
+    in
+    contains 0)
+
+let test_button_presses () =
+  let rt =
+    World.run (fun () ->
+        let b = Input.button "Go" in
+        let rt = Runtime.start (Signal.count b.Input.presses) in
+        b.Input.press rt;
+        b.Input.press rt;
+        rt)
+  in
+  check_int "two presses" 2 (Runtime.current rt)
+
+let test_checkbox_and_slider () =
+  let rt =
+    World.run (fun () ->
+        let c = Input.checkbox false in
+        let s = Input.slider 0.0 in
+        let main = Signal.pair c.Input.checked s.Input.ratio in
+        let rt = Runtime.start main in
+        c.Input.set_checked rt true;
+        s.Input.slide rt 0.75;
+        s.Input.slide rt 1.5;
+        (* clamped *)
+        rt)
+  in
+  let checked, ratio = Runtime.current rt in
+  check_bool "checked" true checked;
+  check_bool "ratio clamped" true (ratio = 1.0)
+
+(* Http (Example 3's substrate) *)
+
+let test_http_sync_get () =
+  let srv = Http.server ~latency:(fun _ -> 5.0) (fun q -> Ok ("<" ^ q ^ ">")) in
+  let rt =
+    World.run (fun () ->
+        let reqs = Signal.input ~name:"reqs" "" in
+        let rt = Runtime.start (Http.send_get srv reqs) in
+        Runtime.inject rt reqs "cats";
+        rt)
+  in
+  (match Runtime.changes rt with
+  | [ (t, Http.Success "<cats>") ] ->
+    check_bool "latency applied" true (t >= 5.0)
+  | _ -> Alcotest.fail "expected one successful response");
+  check_int "one request served" 1 (Http.request_count srv)
+
+let test_http_default_is_waiting () =
+  let srv = Http.server (fun _ -> Ok "x") in
+  ignore
+    (World.run (fun () ->
+         let reqs = Signal.input ~name:"reqs" "" in
+         let resp = Http.send_get srv reqs in
+         check_bool "default Waiting" true (Signal.default resp = Http.Waiting);
+         Runtime.start resp));
+  check_int "no request for the default" 0 (Http.request_count srv)
+
+let test_http_failure () =
+  let srv = Http.server (fun _ -> Error (500, "boom")) in
+  let rt =
+    World.run (fun () ->
+        let reqs = Signal.input ~name:"reqs" "" in
+        let rt = Runtime.start (Http.send_get srv reqs) in
+        Runtime.inject rt reqs "x";
+        rt)
+  in
+  check_bool "failure propagated" true
+    (Runtime.current rt = Http.Failure (500, "boom"))
+
+let test_http_flickr () =
+  let response =
+    World.run (fun () ->
+        let reqs = Signal.input ~name:"reqs" "" in
+        let rt = Runtime.start (Http.send_get Http.flickr reqs) in
+        Runtime.inject rt reqs "sea";
+        rt)
+    |> Runtime.current
+  in
+  match response with
+  | Http.Success body ->
+    (* the paper: responses are JSON objects containing image URLs *)
+    check_bool "body is JSON" true (Json.parse_opt body <> None);
+    Alcotest.(check (option string))
+      "url extracted from the JSON"
+      (Some "http://img.example/sea.jpg")
+      (Http.first_photo_url body)
+  | Http.Waiting | Http.Failure _ -> Alcotest.fail "expected a JSON response"
+
+let test_http_first_photo_url_robust () =
+  check_bool "bad json" true (Http.first_photo_url "{oops" = None);
+  check_bool "missing fields" true (Http.first_photo_url "{\"a\":1}" = None)
+
+let test_http_response_to_string () =
+  check_bool "waiting" true (Http.response_to_string Http.Waiting = "waiting");
+  check_bool "success" true (Http.response_to_string (Http.Success "b") = "ok:b");
+  check_bool "failure" true
+    (Http.response_to_string (Http.Failure (500, "x")) = "error 500: x")
+
+let test_time_until_zero () =
+  let rt =
+    World.run (fun () ->
+        let timer = Time.every 1.0 in
+        let rt = Runtime.start (Signal.count (Time.signal timer)) in
+        Time.drive timer rt ~until:0.5;
+        rt)
+  in
+  check_int "no ticks before the horizon" 0 (Runtime.current rt)
+
+let test_world_at_in_past () =
+  (* scheduling "in the past" fires immediately rather than deadlocking *)
+  let fired = ref false in
+  World.run (fun () ->
+      Cml.sleep 5.0;
+      World.at 1.0 (fun () -> fired := true));
+  check_bool "ran immediately" true !fired
+
+(* Fig. 14: the slide show, all three index variants. *)
+let pics = [ "shells.jpg"; "car.jpg"; "book.jpg" ]
+
+let display i = List.nth pics (i mod List.length pics)
+
+let test_slideshow_clicks () =
+  let rt =
+    World.run (fun () ->
+        let index = Signal.count Mouse.clicks in
+        let rt = Runtime.start (Signal.lift display index) in
+        Mouse.click rt;
+        Mouse.click rt;
+        Mouse.click rt;
+        Mouse.click rt;
+        rt)
+  in
+  Alcotest.(check (list string))
+    "cycles through pictures"
+    [ "car.jpg"; "book.jpg"; "shells.jpg"; "car.jpg" ]
+    (values rt)
+
+let test_slideshow_timer () =
+  let rt =
+    World.run (fun () ->
+        let timer = Time.every (3.0 *. Time.second) in
+        let index = Signal.count (Time.signal timer) in
+        let rt = Runtime.start (Signal.lift display index) in
+        Time.drive timer rt ~until:7.0;
+        rt)
+  in
+  Alcotest.(check (list string)) "advances every 3s" [ "car.jpg"; "book.jpg" ]
+    (values rt)
+
+let test_slideshow_keys () =
+  let rt =
+    World.run (fun () ->
+        let index = Signal.count Keyboard.last_pressed in
+        let rt = Runtime.start (Signal.lift display index) in
+        Keyboard.tap rt 65;
+        rt)
+  in
+  Alcotest.(check (list string)) "advances on key" [ "car.jpg" ] (values rt)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "std"
+    [
+      ( "mouse",
+        [
+          tc "tracker (Example 2)" `Quick test_mouse_tracker;
+          tc "x/y" `Quick test_mouse_x_y;
+          tc "clicks count" `Quick test_mouse_clicks_count;
+        ] );
+      ( "keyboard",
+        [
+          tc "arrows" `Quick test_keyboard_arrows;
+          tc "release" `Quick test_keyboard_release;
+          tc "shift" `Quick test_keyboard_shift;
+          tc "last pressed count" `Quick test_keyboard_last_pressed;
+          tc "state isolated per run" `Quick test_keyboard_state_isolated_between_runs;
+        ] );
+      ( "window/touch",
+        [
+          tc "resize" `Quick test_window_resize;
+          tc "touch gesture" `Quick test_touch_gesture;
+          tc "taps" `Quick test_touch_taps;
+        ] );
+      ( "time",
+        [
+          tc "every" `Quick test_time_every;
+          tc "every values" `Quick test_time_every_values_are_times;
+          tc "fps deltas" `Quick test_time_fps_deltas;
+          tc "world script" `Quick test_world_script;
+          tc "world every" `Quick test_world_every;
+        ] );
+      ( "widgets",
+        [
+          tc "Input.text pair" `Quick test_input_text_pair_of_signals;
+          tc "placeholder" `Quick test_input_text_placeholder;
+          tc "button" `Quick test_button_presses;
+          tc "checkbox/slider" `Quick test_checkbox_and_slider;
+        ] );
+      ( "http",
+        [
+          tc "syncGet" `Quick test_http_sync_get;
+          tc "default waiting" `Quick test_http_default_is_waiting;
+          tc "failure" `Quick test_http_failure;
+          tc "flickr returns JSON" `Quick test_http_flickr;
+          tc "url extraction robust" `Quick test_http_first_photo_url_robust;
+          tc "response_to_string" `Quick test_http_response_to_string;
+          tc "timer horizon" `Quick test_time_until_zero;
+          tc "script in the past" `Quick test_world_at_in_past;
+        ] );
+      ( "slideshow (Fig. 14)",
+        [
+          tc "clicks" `Quick test_slideshow_clicks;
+          tc "timer" `Quick test_slideshow_timer;
+          tc "keys" `Quick test_slideshow_keys;
+        ] );
+    ]
