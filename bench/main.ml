@@ -343,6 +343,102 @@ let bench_b10 () =
     [ 1; 2; 4; 8 ]
 
 (* ------------------------------------------------------------------ *)
+(* B11: affected-cone dispatch vs the Fig. 11 flooding baseline, across
+   execution modes. K independent depth-D chains feed one combining root;
+   every event goes into chain 0, so the affected cone is one chain plus
+   the root while flooding pays every node. Reported per event: node
+   emissions (messages), dispatcher wakeups, scheduler context switches.
+   The displayed change log must be identical in all configurations. *)
+
+let b11_sparse ~mode ~dispatch ~chains ~depth ~events =
+  let rt =
+    with_world (fun () ->
+        let inputs = List.init chains (fun i -> Signal.input ~name:(Printf.sprintf "in%d" i) 0) in
+        let rec chain n s =
+          if n = 0 then s else chain (n - 1) (Signal.lift (fun x -> x + 1) s)
+        in
+        let rt =
+          Runtime.start ~mode ~dispatch
+            (Signal.combine (List.map (chain depth) inputs))
+        in
+        let first = List.hd inputs in
+        for i = 1 to events do
+          Runtime.inject rt first i
+        done;
+        rt)
+  in
+  let st = Runtime.stats rt in
+  let per total = float_of_int total /. float_of_int st.Stats.events in
+  ( List.map snd (Runtime.changes rt),
+    ( per st.Stats.messages,
+      per st.Stats.notified_nodes,
+      per st.Stats.elided_messages,
+      per (Cml.Scheduler.switch_count ()) ) )
+
+type b11_row = {
+  chains : int;
+  depth : int;
+  events : int;
+  flood_messages : float;
+  flood_notified : float;
+  flood_switches : float;
+  cone_messages : float;
+  cone_notified : float;
+  cone_elided : float;
+  cone_switches : float;
+  seq_flood_switches : float;
+  seq_cone_switches : float;
+  identical : bool;
+}
+
+let b11_measure ~chains ~depth ~events =
+  let pipe d = b11_sparse ~mode:Runtime.Pipelined ~dispatch:d ~chains ~depth ~events in
+  let seq d = b11_sparse ~mode:Runtime.Sequential ~dispatch:d ~chains ~depth ~events in
+  let vf, (fm, fn, _, fs) = pipe Runtime.Flood in
+  let vc, (cm, cn, ce, cs) = pipe Runtime.Cone in
+  let vsf, (_, _, _, sfs) = seq Runtime.Flood in
+  let vsc, (_, _, _, scs) = seq Runtime.Cone in
+  {
+    chains;
+    depth;
+    events;
+    flood_messages = fm;
+    flood_notified = fn;
+    flood_switches = fs;
+    cone_messages = cm;
+    cone_notified = cn;
+    cone_elided = ce;
+    cone_switches = cs;
+    seq_flood_switches = sfs;
+    seq_cone_switches = scs;
+    identical = vf = vc && vc = vsf && vsf = vsc;
+  }
+
+let bench_b11 () =
+  section "B11 Affected-cone dispatch vs flooding (sparse graphs)";
+  Printf.printf
+    "K depth-32 chains, one combining root; 100 events into chain 0\n";
+  Printf.printf "%3s | %9s %9s %9s | %9s %9s %9s | %6s %5s\n" "K" "fl msg/ev"
+    "fl ntf/ev" "fl sw/ev" "co msg/ev" "co ntf/ev" "co sw/ev" "ratio" "same";
+  let rows =
+    List.map
+      (fun chains -> b11_measure ~chains ~depth:32 ~events:100)
+      [ 1; 2; 4; 8; 16 ]
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "%3d | %9.1f %9.1f %9.1f | %9.1f %9.1f %9.1f | %5.1fx %5b\n"
+        r.chains r.flood_messages r.flood_notified r.flood_switches
+        r.cone_messages r.cone_notified r.cone_switches
+        (r.flood_messages /. r.cone_messages)
+        r.identical)
+    rows;
+  Printf.printf
+    "sequential-mode switches/ev (flood vs cone), K=8: %.1f vs %.1f\n"
+    (List.nth rows 3).seq_flood_switches (List.nth rows 3).seq_cone_switches;
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* Wall-clock microbenchmarks via bechamel: the real costs of the engine,
    the layout library (B6) and the compiler (B7). *)
 
@@ -457,28 +553,99 @@ let micro_benchmarks () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  List.iter
-    (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some (est :: _) ->
-        if est > 1e6 then Printf.printf "%-55s %10.2f ms/run\n" name (est /. 1e6)
-        else if est > 1e3 then Printf.printf "%-55s %10.2f us/run\n" name (est /. 1e3)
-        else Printf.printf "%-55s %10.1f ns/run\n" name est
-      | Some [] | None -> Printf.printf "%-55s (no estimate)\n" name)
-    (List.sort compare rows);
+  let estimates =
+    List.filter_map
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) ->
+          if est > 1e6 then Printf.printf "%-55s %10.2f ms/run\n" name (est /. 1e6)
+          else if est > 1e3 then
+            Printf.printf "%-55s %10.2f us/run\n" name (est /. 1e3)
+          else Printf.printf "%-55s %10.1f ns/run\n" name est;
+          Some (name, est)
+        | Some [] | None ->
+          Printf.printf "%-55s (no estimate)\n" name;
+          None)
+      (List.sort compare rows)
+  in
   Printf.printf
-    "\nB7 note: the compiler source used above is %d lines of FElm.\n" felm_loc
+    "\nB7 note: the compiler source used above is %d lines of FElm.\n" felm_loc;
+  estimates
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output: BENCH_core.json records the cone-dispatch A/B
+   matrix and the wall-clock micro numbers so the perf trajectory across
+   PRs can be diffed mechanically. *)
+
+let b11_to_json rows =
+  Json.Array
+    (List.map
+       (fun r ->
+         Json.Object
+           [
+             ("chains", Json.of_int r.chains);
+             ("depth", Json.of_int r.depth);
+             ("events", Json.of_int r.events);
+             ( "flood",
+               Json.Object
+                 [
+                   ("messages_per_event", Json.of_float r.flood_messages);
+                   ("notified_per_event", Json.of_float r.flood_notified);
+                   ("switches_per_event", Json.of_float r.flood_switches);
+                   ("seq_switches_per_event", Json.of_float r.seq_flood_switches);
+                 ] );
+             ( "cone",
+               Json.Object
+                 [
+                   ("messages_per_event", Json.of_float r.cone_messages);
+                   ("notified_per_event", Json.of_float r.cone_notified);
+                   ("elided_per_event", Json.of_float r.cone_elided);
+                   ("switches_per_event", Json.of_float r.cone_switches);
+                   ("seq_switches_per_event", Json.of_float r.seq_cone_switches);
+                 ] );
+             ( "message_ratio",
+               Json.of_float (r.flood_messages /. r.cone_messages) );
+             ("changes_identical", Json.of_bool r.identical);
+           ])
+       rows)
+
+let write_json ~path b11_rows micro =
+  let doc =
+    Json.Object
+      [
+        ("bench", Json.of_string "BENCH_core");
+        ("b11_cone_dispatch", b11_to_json b11_rows);
+        ( "micro_ns_per_run",
+          Json.Object (List.map (fun (n, v) -> (n, Json.of_float v)) micro) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.pretty doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 let () =
+  let args = Array.to_list Sys.argv in
+  let smoke = List.mem "--smoke" args in
+  let emit_json = List.mem "--json" args in
   print_endline "FElm / Elm reproduction benchmarks";
   print_endline "(virtual-time experiments first, wall-clock micro at the end)";
-  bench_b1 ();
-  bench_b2 ();
-  bench_b3 ();
-  bench_b4 ();
-  bench_b5 ();
-  bench_b8_virtual ();
-  bench_b9 ();
-  bench_b10 ();
-  micro_benchmarks ();
+  if not smoke then begin
+    bench_b1 ();
+    bench_b2 ();
+    bench_b3 ();
+    bench_b4 ();
+    bench_b5 ();
+    bench_b8_virtual ();
+    bench_b9 ();
+    bench_b10 ()
+  end;
+  let b11_rows = bench_b11 () in
+  if not (List.for_all (fun r -> r.identical) b11_rows) then begin
+    prerr_endline "B11: cone dispatch diverged from flooding baseline!";
+    exit 1
+  end;
+  let micro = if smoke then [] else micro_benchmarks () in
+  if emit_json then write_json ~path:"BENCH_core.json" b11_rows micro;
   print_endline "\ndone."

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 gate: build + full test suite + bench smoke (B11 A/B check).
+#
+# The bench smoke run is part of the gate on purpose: bench/main.exe
+# exits non-zero if cone dispatch ever produces a change trace that
+# differs from the flooding baseline, so a semantics regression in the
+# dispatcher fails CI even if no unit test happens to cover it.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune exec bench/main.exe -- --smoke

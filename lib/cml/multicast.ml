@@ -1,21 +1,23 @@
 type 'a port = 'a Mailbox.t
 
 type 'a t = {
-  mutable ports : 'a port list; (* reverse subscription order *)
+  ports : 'a port Queue.t; (* subscription order *)
   name : string option;
 }
 
-let create ?name () = { ports = []; name }
+let create ?name () = { ports = Queue.create (); name }
 
 let port t =
   let p = Mailbox.create ?name:t.name () in
-  t.ports <- p :: t.ports;
+  Queue.add p t.ports;
   p
 
-let send t v = List.iter (fun p -> Mailbox.send p v) (List.rev t.ports)
+(* Hot path: iterate ports in subscription order without building any
+   intermediate list (the seed reversed a fresh list on every send). *)
+let send t v = Queue.iter (fun p -> Mailbox.send p v) t.ports
 
 let recv = Mailbox.recv
 
 let port_length = Mailbox.length
 
-let port_count t = List.length t.ports
+let port_count t = Queue.length t.ports

@@ -16,3 +16,13 @@ let equal eq a b =
   match a, b with
   | Change x, Change y | No_change x, No_change y -> eq x y
   | Change _, No_change _ | No_change _, Change _ -> false
+
+type 'a stamped = {
+  epoch : int;
+  event : 'a t;
+}
+
+let stamp epoch event = { epoch; event }
+
+let pp_stamped pp_v ppf s =
+  Format.fprintf ppf "@[%d:%a@]" s.epoch (pp pp_v) s.event

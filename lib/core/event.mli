@@ -21,3 +21,23 @@ val map : ('a -> 'b) -> 'a t -> 'b t
 val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
 
 val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+
+(** {1 Epoch-stamped messages}
+
+    Under affected-cone dispatch (see {!Runtime}), a node emits a message
+    only for the global events (epochs) that can actually reach it. Each
+    edge message therefore carries the epoch it belongs to; a receiver that
+    observes a gap between consecutive epochs on an edge knows the producer
+    was quiescent for the missing rounds and synthesizes the elided
+    [No_change] messages locally from the edge's last body, preserving the
+    paper's one-message-per-edge-per-event alignment without the sends. *)
+
+type 'a stamped = {
+  epoch : int;  (** Global event number this message answers. *)
+  event : 'a t;
+}
+
+val stamp : int -> 'a t -> 'a stamped
+
+val pp_stamped :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a stamped -> unit

@@ -5,62 +5,120 @@ type mode =
   | Pipelined
   | Sequential
 
+type dispatch =
+  | Flood
+  | Cone
+
+(* One dispatcher round: the global event number and the source that fired
+   it. Under flood dispatch every node receives every round; under cone
+   dispatch only the nodes the source can reach do. *)
+type round = {
+  epoch : int;
+  source : int;
+}
+
 type 'a t = {
   gen : int;
   mode : mode;
+  dispatch : dispatch;
   stats : Stats.t;
   new_event : int Mailbox.t;
+  nodes : int;
+  history : int option;
   mutable current : 'a;
   mutable rev_changes : (float * 'a) list;
+  mutable n_changes : int;
   mutable rev_messages : (float * 'a Event.t) list;
-  mutable listeners : (float -> 'a -> unit) list;
+  mutable n_messages : int;
+  listeners : (float -> 'a -> unit) Queue.t;
   mutable sources : (int * string) list;
 }
 
 type ctx = {
   rt_gen : int;
   memoize : bool;
+  c_dispatch : dispatch;
   c_stats : Stats.t;
   c_new_event : int Mailbox.t;
-  notify : int Multicast.t;
+  c_reach : Reach.t;
+  wakeups : (int, round Mailbox.t) Hashtbl.t;
   mutable c_sources : (int * string) list;
 }
 
 let generation = ref 0
 
-let emit ctx out msg =
+let emit ctx out r msg =
   ctx.c_stats.messages <- ctx.c_stats.messages + 1;
-  Multicast.send out msg
+  Multicast.send out { Event.epoch = r.epoch; event = msg }
+
+(* Register this node with the dispatcher: the returned mailbox receives one
+   [round] per event whose cone contains the node. *)
+let node_wakeup ctx id =
+  let mb = Mailbox.create () in
+  Hashtbl.replace ctx.wakeups id mb;
+  mb
+
+(* An incoming edge, from the receiver's point of view. [last] caches the
+   most recent body seen so that rounds the producer elided (its cone did
+   not contain the firing source) can be synthesized as [No_change last]
+   without any message having been sent. *)
+type 'a edge = {
+  e_port : 'a Event.stamped Multicast.port;
+  e_sources : Reach.set;  (* sources reaching the producer *)
+  mutable e_last : 'a;
+}
+
+let read_edge ctx e (r : round) =
+  let active =
+    match ctx.c_dispatch with
+    | Flood -> true
+    | Cone -> Reach.set_mem r.source e.e_sources
+  in
+  if active then begin
+    let { Event.epoch; event } = Multicast.recv e.e_port in
+    if epoch <> r.epoch then
+      failwith
+        (Printf.sprintf
+           "Runtime: edge message for epoch %d while processing epoch %d \
+            (per-event alignment violated)"
+           epoch r.epoch);
+    e.e_last <- Event.body event;
+    event
+  end
+  else Event.No_change e.e_last
 
 (* Source nodes (inputs, constants, async): the Fig. 10 translation of
-   ⟨id, mc, v⟩. The thread answers every dispatcher notification with exactly
+   ⟨id, mc, v⟩. The thread answers every round it is woken for with exactly
    one message: the freshly arrived value when the event is its own, a
-   [No_change] of the latest value otherwise. *)
+   [No_change] of the latest value otherwise (flood dispatch only — under
+   cone dispatch a source is woken only by its own events). *)
 let source_node ctx ~source_id ~name ~default ~value_mb =
   let out = Multicast.create () in
-  let notify_port = Multicast.port ctx.notify in
+  let wake = node_wakeup ctx source_id in
   ctx.c_sources <- (source_id, name) :: ctx.c_sources;
   Cml.spawn (fun () ->
       let rec loop prev =
-        let eid = Multicast.recv notify_port in
+        let r = Mailbox.recv wake in
         let msg =
-          if eid = source_id then Event.Change (Mailbox.recv value_mb)
+          if r.source = source_id then Event.Change (Mailbox.recv value_mb)
           else Event.No_change prev
         in
-        emit ctx out msg;
+        emit ctx out r msg;
         loop (Event.body msg)
       in
       loop default);
   out
 
-(* Lift-style nodes share this loop. [round] blocks until one message per
-   incoming edge is available and returns whether any of them changed plus a
+(* Lift-style nodes share this loop. [round] reads one message per incoming
+   edge (real or synthesized) and returns whether any of them changed plus a
    thunk recomputing the node's function on the current input bodies. *)
-let lift_node ctx ~default ~round =
+let lift_node ctx ~id ~default ~round =
   let out = Multicast.create () in
+  let wake = node_wakeup ctx id in
   Cml.spawn (fun () ->
       let rec loop prev =
-        let changed, compute = round () in
+        let r = Mailbox.recv wake in
+        let changed, compute = round r in
         let msg =
           if changed then begin
             ctx.c_stats.applications <- ctx.c_stats.applications + 1;
@@ -74,7 +132,7 @@ let lift_node ctx ~default ~round =
             Event.No_change prev
           end
         in
-        emit ctx out msg;
+        emit ctx out r msg;
         loop (Event.body msg)
       in
       loop default);
@@ -89,14 +147,25 @@ let rec build : type b. ctx -> b Signal.t -> b Signal.inst =
     Signal.set_inst s i;
     i
 
+(* Build the producer of a dependency and subscribe an edge to it. *)
+and edge : type b. ctx -> b Signal.t -> b edge =
+ fun ctx dep ->
+  let i = build ctx dep in
+  {
+    e_port = Multicast.port i.Signal.out;
+    e_sources = Reach.reaching ctx.c_reach (Signal.id dep);
+    e_last = Signal.default dep;
+  }
+
 and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
  fun ctx s ->
   let default = Signal.default s in
   let plain out = { Signal.gen = ctx.rt_gen; out; push = None } in
   match Signal.kind s with
   | Signal.Constant ->
-    (* A constant is a source whose event never fires: it answers every
-       notification with [No_change default]. *)
+    (* A constant is a source whose event never fires: under cone dispatch
+       it is never woken at all; under flood it answers every round with
+       [No_change default]. *)
     let value_mb = Mailbox.create () in
     plain
       (source_node ctx ~source_id:(Signal.id s) ~name:(Signal.name s) ~default
@@ -106,67 +175,57 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
     let source_id = Signal.id s in
     let out = source_node ctx ~source_id ~name:(Signal.name s) ~default ~value_mb in
     let push v =
-      (* Value first, notification second: when the dispatcher broadcasts
-         this event id, the source thread finds the value waiting. *)
+      (* Value first, notification second: when the dispatcher wakes this
+         source's cone, the source thread finds the value waiting. *)
       Mailbox.send value_mb v;
       Mailbox.send ctx.c_new_event source_id
     in
     { Signal.gen = ctx.rt_gen; out; push = Some push }
   | Signal.Lift1 (f, a) ->
-    let ia = build ctx a in
-    let pa = Multicast.port ia.out in
-    let round () =
-      let ma = Multicast.recv pa in
+    let ea = edge ctx a in
+    let round r =
+      let ma = read_edge ctx ea r in
       (Event.is_change ma, fun () -> f (Event.body ma))
     in
-    plain (lift_node ctx ~default ~round)
+    plain (lift_node ctx ~id:(Signal.id s) ~default ~round)
   | Signal.Lift2 (f, a, b) ->
-    let ia = build ctx a in
-    let ib = build ctx b in
-    let pa = Multicast.port ia.out in
-    let pb = Multicast.port ib.out in
-    let round () =
-      let ma = Multicast.recv pa in
-      let mb = Multicast.recv pb in
+    let ea = edge ctx a in
+    let eb = edge ctx b in
+    let round r =
+      let ma = read_edge ctx ea r in
+      let mb = read_edge ctx eb r in
       ( Event.is_change ma || Event.is_change mb,
         fun () -> f (Event.body ma) (Event.body mb) )
     in
-    plain (lift_node ctx ~default ~round)
+    plain (lift_node ctx ~id:(Signal.id s) ~default ~round)
   | Signal.Lift3 (f, a, b, c) ->
-    let ia = build ctx a in
-    let ib = build ctx b in
-    let ic = build ctx c in
-    let pa = Multicast.port ia.out in
-    let pb = Multicast.port ib.out in
-    let pc = Multicast.port ic.out in
-    let round () =
-      let ma = Multicast.recv pa in
-      let mb = Multicast.recv pb in
-      let mc = Multicast.recv pc in
+    let ea = edge ctx a in
+    let eb = edge ctx b in
+    let ec = edge ctx c in
+    let round r =
+      let ma = read_edge ctx ea r in
+      let mb = read_edge ctx eb r in
+      let mc = read_edge ctx ec r in
       ( Event.is_change ma || Event.is_change mb || Event.is_change mc,
         fun () -> f (Event.body ma) (Event.body mb) (Event.body mc) )
     in
-    plain (lift_node ctx ~default ~round)
+    plain (lift_node ctx ~id:(Signal.id s) ~default ~round)
   | Signal.Lift4 (f, a, b, c, d) ->
-    let ia = build ctx a in
-    let ib = build ctx b in
-    let ic = build ctx c in
-    let idd = build ctx d in
-    let pa = Multicast.port ia.out in
-    let pb = Multicast.port ib.out in
-    let pc = Multicast.port ic.out in
-    let pd = Multicast.port idd.out in
-    let round () =
-      let ma = Multicast.recv pa in
-      let mb = Multicast.recv pb in
-      let mc = Multicast.recv pc in
-      let md = Multicast.recv pd in
+    let ea = edge ctx a in
+    let eb = edge ctx b in
+    let ec = edge ctx c in
+    let ed = edge ctx d in
+    let round r =
+      let ma = read_edge ctx ea r in
+      let mb = read_edge ctx eb r in
+      let mc = read_edge ctx ec r in
+      let md = read_edge ctx ed r in
       ( Event.is_change ma || Event.is_change mb || Event.is_change mc
         || Event.is_change md,
         fun () ->
           f (Event.body ma) (Event.body mb) (Event.body mc) (Event.body md) )
     in
-    plain (lift_node ctx ~default ~round)
+    plain (lift_node ctx ~id:(Signal.id s) ~default ~round)
   | Signal.Lift_list (_, []) ->
     (* No incoming edges: a node loop would spin. Behave as a constant. *)
     let value_mb = Mailbox.create () in
@@ -174,33 +233,28 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
       (source_node ctx ~source_id:(Signal.id s) ~name:(Signal.name s) ~default
          ~value_mb)
   | Signal.Lift_list (f, ds) ->
-    let ports =
-      List.map
-        (fun d ->
-          let i = build ctx d in
-          Multicast.port i.Signal.out)
-        ds
-    in
-    let round () =
-      let msgs = List.map Multicast.recv ports in
+    let edges = List.map (fun d -> edge ctx d) ds in
+    let round r =
+      let msgs = List.map (fun e -> read_edge ctx e r) edges in
       ( List.exists Event.is_change msgs,
         fun () -> f (List.map Event.body msgs) )
     in
-    plain (lift_node ctx ~default ~round)
+    plain (lift_node ctx ~id:(Signal.id s) ~default ~round)
   | Signal.Foldp (f, src) ->
-    let isrc = build ctx src in
-    let p = Multicast.port isrc.out in
+    let e = edge ctx src in
     let out = Multicast.create () in
+    let wake = node_wakeup ctx (Signal.id s) in
     Cml.spawn (fun () ->
         let rec loop acc =
+          let r = Mailbox.recv wake in
           let msg =
-            match Multicast.recv p with
+            match read_edge ctx e r with
             | Event.Change v ->
               ctx.c_stats.fold_steps <- ctx.c_stats.fold_steps + 1;
               Event.Change (f v acc)
             | Event.No_change _ -> Event.No_change acc
           in
-          emit ctx out msg;
+          emit ctx out r msg;
           loop (Event.body msg)
         in
         loop default);
@@ -209,9 +263,11 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
     (* Fig. 10's async translation: build the inner subgraph normally, then
        forward each of its changes to a fresh source node by registering a
        new global event. Ordering between the subgraph and the rest of the
-       program is thereby relaxed, but preserved within each. *)
+       program is thereby relaxed, but preserved within each. The forwarder
+       is not a graph node: it consumes whatever the inner subgraph emits,
+       at whatever epochs it was affected. *)
     let iinner = build ctx inner in
-    let inner_port = Multicast.port iinner.out in
+    let inner_port = Multicast.port iinner.Signal.out in
     let value_mb = Mailbox.create () in
     let source_id = Signal.id s in
     let out =
@@ -219,7 +275,7 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
     in
     Cml.spawn (fun () ->
         let rec forward () =
-          (match Multicast.recv inner_port with
+          (match (Multicast.recv inner_port).Event.event with
           | Event.No_change _ -> ()
           | Event.Change v ->
             Mailbox.send value_mb v;
@@ -242,7 +298,7 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
     in
     Cml.spawn (fun () ->
         let rec forward () =
-          (match Multicast.recv inner_port with
+          (match (Multicast.recv inner_port).Event.event with
           | Event.No_change _ -> ()
           | Event.Change v ->
             Cml.spawn (fun () ->
@@ -255,75 +311,76 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
         forward ());
     plain out
   | Signal.Merge (a, b) ->
-    let ia = build ctx a in
-    let ib = build ctx b in
-    let pa = Multicast.port ia.out in
-    let pb = Multicast.port ib.out in
+    let ea = edge ctx a in
+    let eb = edge ctx b in
     let out = Multicast.create () in
+    let wake = node_wakeup ctx (Signal.id s) in
     Cml.spawn (fun () ->
         let rec loop prev =
-          let ma = Multicast.recv pa in
-          let mb = Multicast.recv pb in
+          let r = Mailbox.recv wake in
+          let ma = read_edge ctx ea r in
+          let mb = read_edge ctx eb r in
           let msg =
             match ma, mb with
             | Event.Change v, _ -> Event.Change v
             | Event.No_change _, Event.Change v -> Event.Change v
             | Event.No_change _, Event.No_change _ -> Event.No_change prev
           in
-          emit ctx out msg;
+          emit ctx out r msg;
           loop (Event.body msg)
         in
         loop default);
     plain out
   | Signal.Drop_repeats (eq, src) ->
-    let isrc = build ctx src in
-    let p = Multicast.port isrc.out in
+    let e = edge ctx src in
     let out = Multicast.create () in
+    let wake = node_wakeup ctx (Signal.id s) in
     Cml.spawn (fun () ->
         let rec loop prev =
+          let r = Mailbox.recv wake in
           let msg =
-            match Multicast.recv p with
+            match read_edge ctx e r with
             | Event.Change v when not (eq v prev) -> Event.Change v
             | Event.Change v | Event.No_change v ->
               ignore v;
               Event.No_change prev
           in
-          emit ctx out msg;
+          emit ctx out r msg;
           loop (Event.body msg)
         in
         loop default);
     plain out
   | Signal.Sample_on (ticks, src) ->
-    let iticks = build ctx ticks in
-    let isrc = build ctx src in
-    let pt = Multicast.port iticks.Signal.out in
-    let ps = Multicast.port isrc.out in
+    let et = edge ctx ticks in
+    let es = edge ctx src in
     let out = Multicast.create () in
+    let wake = node_wakeup ctx (Signal.id s) in
     Cml.spawn (fun () ->
         let rec loop prev =
-          let mt = Multicast.recv pt in
-          let ms = Multicast.recv ps in
+          let r = Mailbox.recv wake in
+          let mt = read_edge ctx et r in
+          let ms = read_edge ctx es r in
           let msg =
             if Event.is_change mt then Event.Change (Event.body ms)
             else Event.No_change prev
           in
-          emit ctx out msg;
+          emit ctx out r msg;
           loop (Event.body msg)
         in
         loop default);
     plain out
   | Signal.Keep_when (gate, src, _base) ->
-    let igate = build ctx gate in
-    let isrc = build ctx src in
-    let pg = Multicast.port igate.Signal.out in
-    let ps = Multicast.port isrc.out in
+    let eg = edge ctx gate in
+    let es = edge ctx src in
     let out = Multicast.create () in
+    let wake = node_wakeup ctx (Signal.id s) in
     Cml.spawn (fun () ->
         (* Emits while the gate is open, and also on the gate's rising edge
            so the kept signal resynchronizes with its source. *)
         let rec loop gate_prev prev =
-          let mg = Multicast.recv pg in
-          let ms = Multicast.recv ps in
+          let r = Mailbox.recv wake in
+          let mg = read_edge ctx eg r in
+          let ms = read_edge ctx es r in
           let gate_now = Event.body mg in
           let rising = gate_now && not gate_prev in
           let msg =
@@ -331,42 +388,94 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
               Event.Change (Event.body ms)
             else Event.No_change prev
           in
-          emit ctx out msg;
+          emit ctx out r msg;
           loop gate_now (Event.body msg)
         in
         loop (Signal.default gate) default);
     plain out
 
-let start ?(mode = Pipelined) ?(memoize = true) root =
+(* Bounded history: newest-first lists capped at [2*cap] transiently and
+   truncated back to [cap] (amortized O(1) per append). [Some 0] disables
+   logging entirely; [None] keeps everything (the seed behaviour). *)
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let push_bounded history lst count x =
+  match history with
+  | None -> (x :: lst, count + 1)
+  | Some 0 -> (lst, count)
+  | Some cap ->
+    if count + 1 > 2 * cap then (take cap (x :: lst), cap)
+    else (x :: lst, count + 1)
+
+let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history root =
   if not (Cml.running ()) then
     invalid_arg "Runtime.start: must be called inside Cml.run";
+  (match history with
+  | Some n when n < 0 -> invalid_arg "Runtime.start: negative history"
+  | _ -> ());
+  (* The recompute-always baseline exists to measure pull-style costs, so it
+     defaults to flooding; cone dispatch would silently skip the very
+     recomputations it is meant to count. *)
+  let dispatch =
+    match dispatch with Some d -> d | None -> if memoize then Cone else Flood
+  in
   incr generation;
   let stats = Stats.create () in
   let new_event = Mailbox.create ~name:"newEvent" () in
-  let notify = Multicast.create ~name:"eventNotify" () in
+  let reach = Reach.analyze root in
   let ctx =
     {
       rt_gen = !generation;
       memoize;
+      c_dispatch = dispatch;
       c_stats = stats;
       c_new_event = new_event;
-      notify;
+      c_reach = reach;
+      wakeups = Hashtbl.create 64;
       c_sources = [];
     }
   in
   let root_inst = build ctx root in
+  let node_count = Reach.node_count reach in
   let rt =
     {
       gen = ctx.rt_gen;
       mode;
+      dispatch;
       stats;
       new_event;
+      nodes = node_count;
+      history;
       current = Signal.default root;
       rev_changes = [];
+      n_changes = 0;
       rev_messages = [];
-      listeners = [];
+      n_messages = 0;
+      listeners = Queue.create ();
       sources = List.rev ctx.c_sources;
     }
+  in
+  (* Wakeup delivery plan: per source id, the affected cone's mailboxes in
+     topological order; the flood plan is every node. Computed once at
+     build time — dispatching an event is then one array iteration. *)
+  let mailboxes_of nodes =
+    Array.of_list
+      (List.filter_map
+         (fun (Signal.Pack s) -> Hashtbl.find_opt ctx.wakeups (Signal.id s))
+         nodes)
+  in
+  let all_nodes = mailboxes_of (Reach.order reach) in
+  let cones = Hashtbl.create 16 in
+  List.iter
+    (fun src -> Hashtbl.replace cones src (mailboxes_of (Reach.cone reach src)))
+    (Reach.sources reach);
+  let root_reach = Reach.reaching reach (Signal.id root) in
+  let reaches_root eid =
+    match dispatch with
+    | Flood -> true
+    | Cone -> Reach.set_mem eid root_reach
   in
   let ack = Mailbox.create ~name:"displayAck" () in
   (* Display loop (Fig. 11): funnel values from the root's channel to the
@@ -374,34 +483,61 @@ let start ?(mode = Pipelined) ?(memoize = true) root =
   let display_port = Multicast.port root_inst.Signal.out in
   Cml.spawn (fun () ->
       let rec display () =
-        let msg = Multicast.recv display_port in
+        let { Event.event = msg; _ } = Multicast.recv display_port in
         let time = Cml.now () in
-        rt.rev_messages <- (time, msg) :: rt.rev_messages;
+        let msgs, nm =
+          push_bounded rt.history rt.rev_messages rt.n_messages (time, msg)
+        in
+        rt.rev_messages <- msgs;
+        rt.n_messages <- nm;
         (match msg with
         | Event.Change v ->
           rt.current <- v;
-          rt.rev_changes <- (time, v) :: rt.rev_changes;
-          List.iter (fun f -> f time v) (List.rev rt.listeners)
+          let chs, nc =
+            push_bounded rt.history rt.rev_changes rt.n_changes (time, v)
+          in
+          rt.rev_changes <- chs;
+          rt.n_changes <- nc;
+          Queue.iter (fun f -> f time v) rt.listeners
         | Event.No_change _ -> ());
+        stats.switches <- Cml.Scheduler.switch_count ();
         (match mode with
         | Sequential -> Mailbox.send ack ()
         | Pipelined -> ());
         display ()
       in
       display ());
-  (* Global event dispatcher (Fig. 11). In [Sequential] mode it waits for
-     the display loop's acknowledgement, serializing whole-graph passes. *)
+  (* Global event dispatcher (Fig. 11), upgraded: instead of broadcasting to
+     every source and flooding one message down every edge, it wakes exactly
+     the nodes in the firing source's cone. Nodes outside the cone stay
+     quiescent; their would-be [No_change] emissions are counted as elided
+     and synthesized by receivers from epoch gaps. In [Sequential] mode it
+     waits for the display loop's acknowledgement — but only when the event
+     can reach the display at all. *)
   Cml.spawn (fun () ->
-      let rec dispatch () =
+      let rec dispatch_loop () =
         let eid = Mailbox.recv new_event in
         stats.events <- stats.events + 1;
-        Multicast.send notify eid;
+        let r = { epoch = stats.events; source = eid } in
+        let targets =
+          match dispatch with
+          | Flood -> all_nodes
+          | Cone -> (
+            match Hashtbl.find_opt cones eid with
+            | Some c -> c
+            | None -> [||])
+        in
+        stats.notified_nodes <- stats.notified_nodes + Array.length targets;
+        stats.elided_messages <-
+          stats.elided_messages + (node_count - Array.length targets);
+        Array.iter (fun mb -> Mailbox.send mb r) targets;
+        stats.switches <- Cml.Scheduler.switch_count ();
         (match mode with
-        | Sequential -> Mailbox.recv ack
-        | Pipelined -> ());
-        dispatch ()
+        | Sequential when reaches_root eid -> Mailbox.recv ack
+        | Sequential | Pipelined -> ());
+        dispatch_loop ()
       in
-      dispatch ());
+      dispatch_loop ());
   rt
 
 let try_inject rt input v =
@@ -417,10 +553,14 @@ let inject rt input v =
       (Printf.sprintf "Runtime.inject: %s (node %d) is not an input of this runtime"
          (Signal.name input) (Signal.id input))
 
+let capped rt l = match rt.history with None -> l | Some cap -> take cap l
+
 let generation rt = rt.gen
 let current rt = rt.current
-let changes rt = List.rev rt.rev_changes
-let message_log rt = List.rev rt.rev_messages
-let on_change rt f = rt.listeners <- rt.listeners @ [ f ]
+let changes rt = List.rev (capped rt rt.rev_changes)
+let message_log rt = List.rev (capped rt rt.rev_messages)
+let on_change rt f = Queue.add f rt.listeners
 let stats rt = rt.stats
 let source_ids rt = rt.sources
+let node_count rt = rt.nodes
+let dispatch_of rt = rt.dispatch

@@ -2,10 +2,25 @@
 
     {!start} performs the paper's Fig. 10 translation at runtime: every node
     of the {!Signal.t} DAG gets its own green thread and a multicast output
-    channel; source nodes subscribe to the global [eventNotify] broadcast;
-    and the Fig. 11 runtime loops — the global event dispatcher and the
-    display loop — are spawned alongside. All of it runs on the {!Cml}
+    channel, and the Fig. 11 runtime loops — the global event dispatcher and
+    the display loop — are spawned alongside. All of it runs on the {!Cml}
     cooperative scheduler and must therefore be called inside {!Cml.run}.
+
+    {b Dispatch strategies.} The paper's Fig. 11 dispatcher {e floods}: every
+    event is broadcast to every source and every node emits one
+    [Change]/[No_change] message per event, costing O(nodes) messages and
+    thread wakeups per event regardless of what the event can affect. The
+    default [Cone] strategy instead runs a build-time source-reachability
+    analysis ({!Reach}) and wakes only the firing source's affected cone.
+    Edges out of quiescent nodes are {e epoch-compressed}: messages carry the
+    global event number ({!Event.stamped}), and a receiver whose dependency
+    was not in the cone synthesizes the elided [No_change] locally from the
+    edge's last body. Observable behaviour ({!changes}, {!current},
+    listeners, per-event alignment of [foldp]/[merge]) is identical to
+    flooding; {!message_log} differs only in that display rounds whose event
+    could not reach the root are elided. {!Stats.t.elided_messages} accounts
+    for every send avoided this way: [messages + elided_messages] equals the
+    flood total exactly.
 
     {b Execution modes.} The paper's semantics is synchronous but
     {e pipelined}: an event's value need not have fully propagated before the
@@ -18,20 +33,41 @@
     [memoize:false] disables the [No_change] short-circuit in lift nodes
     (they re-apply their function on unchanged inputs, counted in
     {!Stats.t.recomputations}) while preserving output semantics; it is the
-    pull-style recomputation baseline of experiment B3. *)
+    pull-style recomputation baseline of experiment B3. Because that baseline
+    exists to measure flood-shaped work, [memoize:false] defaults to [Flood]
+    dispatch unless a strategy is given explicitly. *)
 
 type mode =
   | Pipelined  (** Paper semantics: nodes run concurrently, FIFO edges. *)
   | Sequential  (** Baseline: one event fully displayed before the next. *)
 
+type dispatch =
+  | Flood  (** Fig. 11 verbatim: every node emits every event. *)
+  | Cone
+      (** Reachability-pruned dispatch: only the affected cone runs; elided
+          [No_change] rounds are synthesized from epoch gaps. Default. *)
+
 type 'a t
 (** A running instantiation of a signal graph with output type ['a]. *)
 
-val start : ?mode:mode -> ?memoize:bool -> 'a Signal.t -> 'a t
+val start :
+  ?mode:mode ->
+  ?dispatch:dispatch ->
+  ?memoize:bool ->
+  ?history:int ->
+  'a Signal.t ->
+  'a t
 (** Instantiate the graph and spawn its threads. Must be called inside
     {!Cml.run}. A signal node belongs to at most one live runtime; starting a
     new runtime over the same nodes re-instantiates them.
-    @raise Invalid_argument outside a running scheduler. *)
+
+    [history] bounds the {!changes} / {!message_log} logs: absent keeps
+    everything (the default, as tests expect), [~history:n] retains the [n]
+    most recent entries (amortized O(1) per event), and [~history:0] disables
+    logging entirely for long-running sessions — {!current}, {!stats} and
+    {!on_change} listeners are unaffected.
+    @raise Invalid_argument outside a running scheduler, or when [history]
+    is negative. *)
 
 val inject : _ t -> 'b Signal.t -> 'b -> unit
 (** [inject rt input v] delivers an external event: the new value [v] for
@@ -52,16 +88,22 @@ val current : 'a t -> 'a
 
 val changes : 'a t -> (float * 'a) list
 (** Every [Change] received by the display loop, oldest first, with the
-    virtual time of its arrival. This is the observable behaviour used
-    throughout tests and benches: what the screen showed, and when. *)
+    virtual time of its arrival (at most [history] entries when a cap was
+    given). This is the observable behaviour used throughout tests and
+    benches: what the screen showed, and when. Identical under [Flood] and
+    [Cone] dispatch. *)
 
 val message_log : 'a t -> (float * 'a Event.t) list
 (** Every message (including [No_change]) at the display loop, oldest
-    first. One entry per dispatched event, which tests use to check the
-    "exactly one message per node per event" invariant. *)
+    first. Under [Flood] dispatch this is one entry per dispatched event
+    (the "exactly one message per node per event" invariant); under [Cone]
+    dispatch, events whose source cannot reach the root are elided, so the
+    log is the flood log minus those synthesizable [No_change] rows. *)
 
 val on_change : 'a t -> (float -> 'a -> unit) -> unit
-(** Register a callback run by the display loop on each change. *)
+(** Register a callback run by the display loop on each change. Callbacks
+    run in registration order; both registration and per-change iteration
+    are O(1) per callback. *)
 
 val stats : _ t -> Stats.t
 
@@ -72,3 +114,11 @@ val generation : _ t -> int
 val source_ids : _ t -> (int * string) list
 (** Identifier and name of every source node registered with the
     dispatcher. *)
+
+val node_count : _ t -> int
+(** Number of graph nodes instantiated: the per-event message cost of flood
+    dispatch, and the denominator of the elision invariant
+    [messages + elided_messages = node_count * events]. *)
+
+val dispatch_of : _ t -> dispatch
+(** The dispatch strategy this runtime is using. *)

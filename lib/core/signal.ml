@@ -1,6 +1,6 @@
 type 'a inst = {
   gen : int;
-  out : 'a Event.t Cml.Multicast.t;
+  out : 'a Event.stamped Cml.Multicast.t;
   push : ('a -> unit) option;
 }
 

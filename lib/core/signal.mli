@@ -165,7 +165,9 @@ val to_dot : ?label:string -> 'a t -> string
 
 type 'a inst = {
   gen : int;  (** Runtime generation this instance belongs to. *)
-  out : 'a Event.t Cml.Multicast.t;  (** The node's output channel. *)
+  out : 'a Event.stamped Cml.Multicast.t;
+      (** The node's output channel; messages are epoch-stamped so cone
+          dispatch can elide quiescent rounds (see {!Event.stamped}). *)
   push : ('a -> unit) option;  (** Input nodes: deliver an external event. *)
 }
 

@@ -1,27 +1,38 @@
 type t = {
   mutable events : int;
   mutable messages : int;
+  mutable elided_messages : int;
+  mutable notified_nodes : int;
   mutable applications : int;
   mutable recomputations : int;
   mutable fold_steps : int;
   mutable async_events : int;
+  mutable switches : int;
 }
 
 let create () =
   {
     events = 0;
     messages = 0;
+    elided_messages = 0;
+    notified_nodes = 0;
     applications = 0;
     recomputations = 0;
     fold_steps = 0;
     async_events = 0;
+    switches = 0;
   }
 
 let pp ppf s =
   Format.fprintf ppf
-    "events=%d messages=%d applications=%d recomputations=%d fold_steps=%d \
-     async_events=%d"
-    s.events s.messages s.applications s.recomputations s.fold_steps
-    s.async_events
+    "events=%d messages=%d elided=%d notified=%d applications=%d \
+     recomputations=%d fold_steps=%d async_events=%d switches=%d"
+    s.events s.messages s.elided_messages s.notified_nodes s.applications
+    s.recomputations s.fold_steps s.async_events s.switches
 
 let total_computations s = s.applications + s.recomputations
+
+let total_flood_messages s = s.messages + s.elided_messages
+
+let per_event total s =
+  if s.events = 0 then 0.0 else float_of_int total /. float_of_int s.events

@@ -4,17 +4,33 @@
     needless recomputation (Sections 1-2), and [No_change] propagation is the
     memoization that makes this observable. [recomputations] counts the extra
     function applications performed when memoization is disabled (the
-    pull-style baseline of experiment B3). *)
+    pull-style baseline of experiment B3).
+
+    Affected-cone dispatch (see {!Runtime.dispatch}) adds the second family
+    of counters: [elided_messages] are the [No_change] node emissions a
+    flooding dispatcher would have paid and the cone dispatcher compressed
+    into epoch gaps, so [messages + elided_messages] always equals the flood
+    total, and [notified_nodes] counts dispatcher wakeups actually sent. *)
 
 type t = {
   mutable events : int;  (** Events dispatched by the global dispatcher. *)
-  mutable messages : int;  (** Edge messages sent by node threads. *)
+  mutable messages : int;  (** Edge messages actually sent by node threads. *)
+  mutable elided_messages : int;
+      (** Flood-equivalent [No_change] emissions skipped by cone dispatch:
+          per event, the nodes outside the affected cone. Invariant:
+          [messages + elided_messages = node_count * events]. *)
+  mutable notified_nodes : int;
+      (** Wakeups delivered by the dispatcher (cone sizes summed over
+          events; [node_count * events] under flood dispatch). *)
   mutable applications : int;
       (** Lifted-function applications triggered by a [Change]. *)
   mutable recomputations : int;
       (** Applications forced only by [memoize:false] (all-[No_change] rounds). *)
   mutable fold_steps : int;  (** [foldp] accumulator updates. *)
   mutable async_events : int;  (** Events originating from [async] nodes. *)
+  mutable switches : int;
+      (** Scheduler context-switch count sampled at the last dispatched or
+          displayed message; divide by [events] for switches per event. *)
 }
 
 val create : unit -> t
@@ -23,3 +39,9 @@ val pp : Format.formatter -> t -> unit
 
 val total_computations : t -> int
 (** [applications + recomputations]: everything a pull system would pay. *)
+
+val total_flood_messages : t -> int
+(** [messages + elided_messages]: what a flooding dispatcher would send. *)
+
+val per_event : int -> t -> float
+(** [per_event total s] is [total / events] (0 when no events). *)

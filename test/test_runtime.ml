@@ -5,6 +5,7 @@ module Signal = Elm_core.Signal
 module Runtime = Elm_core.Runtime
 module Event = Elm_core.Event
 module Stats = Elm_core.Stats
+module Reach = Elm_core.Reach
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -731,6 +732,285 @@ let prop_random_graph_runs =
       List.length (Runtime.message_log r1) = List.length events
       && values r1 = values r2)
 
+(* ------------------------------------------------------------------ *)
+(* Affected-cone dispatch vs the Fig. 11 flooding baseline.
+
+   The cone dispatcher must be observationally identical to flooding: same
+   [changes] (values and virtual times), a display message log that is the
+   flood log minus elided [No_change] rows, and an exact message account:
+   cone messages + elided messages = flood messages = nodes * events. *)
+
+(* Randomized graph shapes over two inputs, covering every node kind the
+   cone analysis treats specially: lifts, foldp, merge, async, delay,
+   sample_on, drop_repeats, plus sparse two-chain layouts where most of the
+   graph is unreachable from one input. *)
+let shape_count = 8
+
+let build_shape shape =
+  let a = Signal.input ~name:"a" 0 in
+  let b = Signal.input ~name:"b" 0 in
+  let rec chain n s =
+    if n = 0 then s else chain (n - 1) (Signal.lift (fun x -> x + 1) s)
+  in
+  let comb x y = (x * 31) + y in
+  let s =
+    match shape mod shape_count with
+    | 0 -> Signal.lift2 ( + ) a b
+    | 1 -> Signal.lift2 comb (chain 5 a) (chain 5 b)
+    | 2 -> Signal.foldp ( + ) 0 (Signal.lift2 ( + ) a b)
+    | 3 -> Signal.merge (chain 2 a) (chain 3 b)
+    | 4 -> Signal.lift2 comb (chain 3 a) (Signal.async (chain 2 b))
+    | 5 -> Signal.lift2 comb (Signal.count a) (Signal.delay 1.0 (chain 2 b))
+    | 6 -> Signal.sample_on a (chain 2 b)
+    | _ ->
+      Signal.lift2 comb
+        (Signal.drop_repeats (Signal.lift2 ( + ) a b))
+        (Signal.foldp ( + ) 0 (chain 2 a))
+  in
+  (a, b, s)
+
+let run_shape ~dispatch shape events =
+  with_world (fun () ->
+      let a, b, s = build_shape shape in
+      let rt = Runtime.start ~dispatch s in
+      List.iter
+        (fun (left, v) -> Runtime.inject rt (if left then a else b) v)
+        events;
+      rt)
+
+let rec is_subseq eq xs ys =
+  match xs, ys with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs', y :: ys' ->
+    if eq x y then is_subseq eq xs' ys' else is_subseq eq xs ys'
+
+let entry_equal (t1, m1) (t2, m2) = t1 = t2 && Event.equal ( = ) m1 m2
+
+let prop_cone_trace_equals_flood =
+  QCheck.Test.make
+    ~name:"cone dispatch: identical changes, flood log minus elided NoChange"
+    ~count:100
+    QCheck.(pair (int_bound (shape_count - 1)) (list (pair bool small_signed_int)))
+    (fun (shape, events) ->
+      let flood = run_shape ~dispatch:Runtime.Flood shape events in
+      let cone = run_shape ~dispatch:Runtime.Cone shape events in
+      Runtime.changes flood = Runtime.changes cone
+      && is_subseq entry_equal (Runtime.message_log cone)
+           (Runtime.message_log flood))
+
+let prop_cone_message_accounting =
+  QCheck.Test.make
+    ~name:"cone messages + elided = flood messages = nodes * events" ~count:100
+    QCheck.(pair (int_bound (shape_count - 1)) (list (pair bool small_signed_int)))
+    (fun (shape, events) ->
+      let flood = run_shape ~dispatch:Runtime.Flood shape events in
+      let cone = run_shape ~dispatch:Runtime.Cone shape events in
+      let sf = Runtime.stats flood in
+      let sc = Runtime.stats cone in
+      sf.Stats.events = sc.Stats.events
+      && sf.Stats.elided_messages = 0
+      && sf.Stats.messages = Runtime.node_count flood * sf.Stats.events
+      && Stats.total_flood_messages sc = sf.Stats.messages)
+
+let sparse_chains ~dispatch ~chains ~depth ~events =
+  with_world (fun () ->
+      let inputs = List.init chains (fun i -> Signal.input ~name:(Printf.sprintf "in%d" i) 0) in
+      let rec chain n s =
+        if n = 0 then s else chain (n - 1) (Signal.lift (fun x -> x + 1) s)
+      in
+      let tops = List.map (chain depth) inputs in
+      let rt = Runtime.start ~dispatch (Signal.combine tops) in
+      let first = List.hd inputs in
+      for i = 1 to events do
+        Runtime.inject rt first i
+      done;
+      rt)
+
+let test_cone_elides_quiescent_chains () =
+  (* Events into one of eight depth-32 chains: flooding pays every node,
+     cone pays one chain plus the combining root. *)
+  let chains = 8 and depth = 32 and events = 50 in
+  let flood = sparse_chains ~dispatch:Runtime.Flood ~chains ~depth ~events in
+  let cone = sparse_chains ~dispatch:Runtime.Cone ~chains ~depth ~events in
+  check_bool "same displayed changes" true
+    (Runtime.changes flood = Runtime.changes cone);
+  let sf = Runtime.stats flood and sc = Runtime.stats cone in
+  check_int "flood pays nodes*events"
+    (Runtime.node_count flood * events)
+    sf.Stats.messages;
+  check_int "account balances: cone + elided = flood" sf.Stats.messages
+    (Stats.total_flood_messages sc);
+  check_bool "cone sends >= 4x fewer messages" true
+    (sf.Stats.messages >= 4 * sc.Stats.messages);
+  check_bool "cone wakes >= 4x fewer nodes" true
+    (sf.Stats.notified_nodes >= 4 * sc.Stats.notified_nodes)
+
+let test_cone_foldp_alignment () =
+  (* The Section 3.3.2 correctness property survives elision: a key counter
+     in a graph with an unrelated chatty input steps only on key events,
+     and the chatty events never even wake it. *)
+  let rt =
+    with_world (fun () ->
+        let keys = Signal.input 0 in
+        let mouse = Signal.input (0, 0) in
+        let presses = Signal.count keys in
+        let s = Signal.lift2 (fun c _ -> c) presses mouse in
+        let rt = Runtime.start ~dispatch:Runtime.Cone s in
+        Runtime.inject rt keys 65;
+        for i = 1 to 100 do
+          Runtime.inject rt mouse (i, i)
+        done;
+        Runtime.inject rt keys 66;
+        rt)
+  in
+  check_int "two key presses counted" 2 (Runtime.current rt);
+  check_int "fold stepped exactly twice" 2 (Runtime.stats rt).Stats.fold_steps;
+  check_bool "mouse events elided messages" true
+    ((Runtime.stats rt).Stats.elided_messages > 0)
+
+let test_sequential_cone_no_deadlock () =
+  (* In Sequential mode the dispatcher waits for a display ack — but an
+     event whose source cannot reach the root produces no display message,
+     so the dispatcher must not wait for one. *)
+  let rt =
+    with_world (fun () ->
+        let a = Signal.input 0 in
+        let b = Signal.input 0 in
+        let s = Signal.pair (Signal.lift (fun x -> x + 1) a) (Signal.async b) in
+        let rt =
+          Runtime.start ~mode:Runtime.Sequential ~dispatch:Runtime.Cone s
+        in
+        Runtime.inject rt b 7;
+        (* b's event reaches only the async inner subgraph *)
+        Runtime.inject rt a 1;
+        rt)
+  in
+  check_bool "run settles with both values" true (Runtime.current rt = (2, 7));
+  check_bool "a's event displayed before the async catch-up" true
+    (List.map snd (Runtime.changes rt) = [ (2, 0); (2, 7) ])
+
+let test_dispatch_default_and_memoize_interaction () =
+  let got =
+    with_world (fun () ->
+        let a = Signal.input 0 in
+        let s = Signal.lift (fun x -> x) a in
+        let rt_memo = Runtime.start s in
+        let rt_pull = Runtime.start ~memoize:false s in
+        let rt_forced = Runtime.start ~memoize:false ~dispatch:Runtime.Cone s in
+        ( Runtime.dispatch_of rt_memo,
+          Runtime.dispatch_of rt_pull,
+          Runtime.dispatch_of rt_forced ))
+  in
+  check_bool "memoized default is Cone" true
+    (match got with Runtime.Cone, _, _ -> true | _ -> false);
+  check_bool "pull baseline defaults to Flood" true
+    (match got with _, Runtime.Flood, _ -> true | _ -> false);
+  check_bool "explicit dispatch wins" true
+    (match got with _, _, Runtime.Cone -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Reach analysis *)
+
+let test_reach_basic () =
+  let a = Signal.input 0 in
+  let b = Signal.input 0 in
+  let la = Signal.lift (fun x -> x + 1) a in
+  let s = Signal.lift2 ( + ) la b in
+  let r = Reach.analyze s in
+  check_int "four nodes" 4 (Reach.node_count r);
+  check_bool "a reaches la" true
+    (Reach.affects r ~source:(Signal.id a) ~node:(Signal.id la));
+  check_bool "b does not reach la" false
+    (Reach.affects r ~source:(Signal.id b) ~node:(Signal.id la));
+  check_bool "both reach root" true
+    (Reach.affects r ~source:(Signal.id a) ~node:(Signal.id s)
+    && Reach.affects r ~source:(Signal.id b) ~node:(Signal.id s));
+  check_int "a's cone: a, la, root" 3 (Reach.cone_size r (Signal.id a));
+  check_int "b's cone: b, root" 2 (Reach.cone_size r (Signal.id b))
+
+let test_reach_async_cuts () =
+  (* An async node is a source: its inner subgraph reaches the rest of the
+     program only through the dispatcher, so the input's cone stops at the
+     inner subgraph and the async node's own id drives the downstream. *)
+  let a = Signal.input 0 in
+  let inner = Signal.lift (fun x -> x) a in
+  let asy = Signal.async inner in
+  let root = Signal.lift (fun x -> x) asy in
+  let r = Reach.analyze root in
+  check_bool "a reaches inner" true
+    (Reach.affects r ~source:(Signal.id a) ~node:(Signal.id inner));
+  check_bool "a does not reach past async" false
+    (Reach.affects r ~source:(Signal.id a) ~node:(Signal.id root));
+  check_bool "async id reaches root" true
+    (Reach.affects r ~source:(Signal.id asy) ~node:(Signal.id root));
+  check_bool "async registered as source" true
+    (List.mem (Signal.id asy) (Reach.sources r))
+
+let test_reach_constants_and_empty_lifts () =
+  let a = Signal.input 0 in
+  let k = Signal.constant 7 in
+  let empty = Signal.lift_list (fun _ -> 9) [] in
+  let s = Signal.lift3 (fun x y z -> x + y + z) a k empty in
+  let r = Reach.analyze s in
+  check_bool "constant is its own source" true
+    (Reach.affects r ~source:(Signal.id k) ~node:(Signal.id k));
+  check_bool "empty lift_list treated as source" true
+    (List.mem (Signal.id empty) (Reach.sources r));
+  check_int "a's cone excludes constants" 2 (Reach.cone_size r (Signal.id a))
+
+(* ------------------------------------------------------------------ *)
+(* Bounded history *)
+
+let bounded_run ?history () =
+  with_world (fun () ->
+      let a = Signal.input 0 in
+      let s = Signal.lift (fun x -> x * 10) a in
+      let rt = Runtime.start ?history s in
+      for i = 1 to 10 do
+        Runtime.inject rt a i
+      done;
+      rt)
+
+let test_history_unbounded_default () =
+  let rt = bounded_run () in
+  check_int "all ten changes kept" 10 (List.length (Runtime.changes rt))
+
+let test_history_cap_keeps_most_recent () =
+  let rt = bounded_run ~history:3 () in
+  check_ints "last three changes" [ 80; 90; 100 ] (values rt);
+  check_int "message log equally capped" 3
+    (List.length (Runtime.message_log rt));
+  check_int "current unaffected" 100 (Runtime.current rt)
+
+let test_history_zero_disables_logging () =
+  let rt = bounded_run ~history:0 () in
+  check_ints "no changes logged" [] (values rt);
+  check_int "no messages logged" 0 (List.length (Runtime.message_log rt));
+  check_int "current still tracked" 100 (Runtime.current rt);
+  check_int "stats still counted" 10 (Runtime.stats rt).Stats.events
+
+let test_history_negative_rejected () =
+  with_world (fun () ->
+      let a = Signal.input 0 in
+      match Runtime.start ~history:(-1) a with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
+let test_listeners_in_registration_order () =
+  let order = ref [] in
+  let _rt =
+    with_world (fun () ->
+        let a = Signal.input 0 in
+        let rt = Runtime.start a in
+        Runtime.on_change rt (fun _ v -> order := (`First, v) :: !order);
+        Runtime.on_change rt (fun _ v -> order := (`Second, v) :: !order);
+        Runtime.inject rt a 5;
+        rt)
+  in
+  check_bool "both called, registration order" true
+    (List.rev !order = [ (`First, 5); (`Second, 5) ])
+
 let () =
   let tc = Alcotest.test_case in
   let qt = QCheck_alcotest.to_alcotest in
@@ -797,5 +1077,31 @@ let () =
           qt prop_drop_repeats_idempotent;
           qt prop_merge_sees_every_event;
           qt prop_delay_exact_shift;
+        ] );
+      ( "cone dispatch",
+        [
+          tc "elides quiescent chains" `Quick test_cone_elides_quiescent_chains;
+          tc "foldp alignment under elision" `Quick test_cone_foldp_alignment;
+          tc "sequential cone no deadlock" `Quick
+            test_sequential_cone_no_deadlock;
+          tc "dispatch defaults" `Quick
+            test_dispatch_default_and_memoize_interaction;
+          qt prop_cone_trace_equals_flood;
+          qt prop_cone_message_accounting;
+        ] );
+      ( "reach",
+        [
+          tc "basic cones" `Quick test_reach_basic;
+          tc "async cuts reachability" `Quick test_reach_async_cuts;
+          tc "constants and empty lifts" `Quick
+            test_reach_constants_and_empty_lifts;
+        ] );
+      ( "history",
+        [
+          tc "unbounded default" `Quick test_history_unbounded_default;
+          tc "cap keeps most recent" `Quick test_history_cap_keeps_most_recent;
+          tc "zero disables logging" `Quick test_history_zero_disables_logging;
+          tc "negative rejected" `Quick test_history_negative_rejected;
+          tc "listeners in order" `Quick test_listeners_in_registration_order;
         ] );
     ]
