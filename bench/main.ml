@@ -14,6 +14,7 @@
 module Signal = Elm_core.Signal
 module Runtime = Elm_core.Runtime
 module Stats = Elm_core.Stats
+module Trace = Elm_core.Trace
 
 let section title =
   Printf.printf "\n==== %s ====\n%!" title
@@ -350,7 +351,7 @@ let bench_b10 () =
    emissions (messages), dispatcher wakeups, scheduler context switches.
    The displayed change log must be identical in all configurations. *)
 
-let b11_sparse ~mode ~dispatch ~chains ~depth ~events =
+let b11_sparse ?tracer ~mode ~dispatch ~chains ~depth ~events () =
   let rt =
     with_world (fun () ->
         let inputs = List.init chains (fun i -> Signal.input ~name:(Printf.sprintf "in%d" i) 0) in
@@ -358,7 +359,7 @@ let b11_sparse ~mode ~dispatch ~chains ~depth ~events =
           if n = 0 then s else chain (n - 1) (Signal.lift (fun x -> x + 1) s)
         in
         let rt =
-          Runtime.start ~mode ~dispatch
+          Runtime.start ~mode ~dispatch ?tracer
             (Signal.combine (List.map (chain depth) inputs))
         in
         let first = List.hd inputs in
@@ -368,7 +369,8 @@ let b11_sparse ~mode ~dispatch ~chains ~depth ~events =
         rt)
   in
   let st = Runtime.stats rt in
-  let per total = float_of_int total /. float_of_int st.Stats.events in
+  (* Guarded ratio: an empty run reports 0.0, not a division by zero. *)
+  let per total = Stats.per_event total st in
   ( List.map snd (Runtime.changes rt),
     ( per st.Stats.messages,
       per st.Stats.notified_nodes,
@@ -388,16 +390,26 @@ type b11_row = {
   cone_switches : float;
   seq_flood_switches : float;
   seq_cone_switches : float;
+  traced_messages : float;
+      (* cone run repeated with the tracer on: must match cone_messages *)
+  trace_summary : Trace.summary;
   identical : bool;
 }
 
 let b11_measure ~chains ~depth ~events =
-  let pipe d = b11_sparse ~mode:Runtime.Pipelined ~dispatch:d ~chains ~depth ~events in
-  let seq d = b11_sparse ~mode:Runtime.Sequential ~dispatch:d ~chains ~depth ~events in
+  let pipe ?tracer d =
+    b11_sparse ?tracer ~mode:Runtime.Pipelined ~dispatch:d ~chains ~depth
+      ~events ()
+  in
+  let seq d =
+    b11_sparse ~mode:Runtime.Sequential ~dispatch:d ~chains ~depth ~events ()
+  in
   let vf, (fm, fn, _, fs) = pipe Runtime.Flood in
   let vc, (cm, cn, ce, cs) = pipe Runtime.Cone in
   let vsf, (_, _, _, sfs) = seq Runtime.Flood in
   let vsc, (_, _, _, scs) = seq Runtime.Cone in
+  let tracer = Trace.create () in
+  let vt, (tm, _, _, _) = pipe ~tracer Runtime.Cone in
   {
     chains;
     depth;
@@ -411,8 +423,17 @@ let b11_measure ~chains ~depth ~events =
     cone_switches = cs;
     seq_flood_switches = sfs;
     seq_cone_switches = scs;
-    identical = vf = vc && vc = vsf && vsf = vsc;
+    traced_messages = tm;
+    trace_summary = Trace.summary tracer;
+    identical = vf = vc && vc = vsf && vsf = vsc && vc = vt;
   }
+
+(* Messages/event overhead of enabling the tracer on the cone run. The
+   tracer records synchronously into its ring — it sends no messages — so
+   this must be 0%; the acceptance bar is < 10%. *)
+let b11_trace_overhead r =
+  if r.cone_messages = 0.0 then 0.0
+  else (r.traced_messages -. r.cone_messages) /. r.cone_messages
 
 let bench_b11 () =
   section "B11 Affected-cone dispatch vs flooding (sparse graphs)";
@@ -436,7 +457,57 @@ let bench_b11 () =
   Printf.printf
     "sequential-mode switches/ev (flood vs cone), K=8: %.1f vs %.1f\n"
     (List.nth rows 3).seq_flood_switches (List.nth rows 3).seq_cone_switches;
+  Printf.printf
+    "tracing overhead (msg/ev, cone traced vs untraced): %s\n"
+    (String.concat " "
+       (List.map
+          (fun r -> Printf.sprintf "%+.1f%%" (100.0 *. b11_trace_overhead r))
+          rows));
   rows
+
+(* ------------------------------------------------------------------ *)
+(* B12: event-to-display latency percentiles from the tracer, sync vs async
+   (the instrumented version of B1's claim). One slow Mouse.y event costs
+   [cost] virtual seconds; Mouse.x then fires every 100ms. With the slow
+   branch synchronous, every Mouse.x display waits behind the computation;
+   behind an async boundary the p95 collapses to ~0. Measured by the
+   Trace.summary metrics rather than by scraping the change log. *)
+
+let b12_run ~use_async ~cost =
+  let tracer = Trace.create () in
+  ignore
+    (with_world (fun () ->
+         let armed = ref false in
+         let mouse_x = Signal.input ~name:"Mouse.x" 0 in
+         let mouse_y = Signal.input ~name:"Mouse.y" 0 in
+         let slow =
+           Signal.lift ~name:"slowF" (costly armed cost Fun.id) mouse_y
+         in
+         let branch = if use_async then Signal.async slow else slow in
+         let rt = Runtime.start ~tracer (Signal.pair mouse_x branch) in
+         armed := true;
+         Cml.spawn (fun () ->
+             Cml.sleep 0.05;
+             Runtime.inject rt mouse_y 1;
+             for i = 1 to 10 do
+               Cml.sleep 0.1;
+               Runtime.inject rt mouse_x i
+             done);
+         rt));
+  Trace.summary tracer
+
+let bench_b12 () =
+  section "B12 Event-to-display latency percentiles: sync vs async (tracer)";
+  let cost = 2.0 in
+  let sync = b12_run ~use_async:false ~cost in
+  let asy = b12_run ~use_async:true ~cost in
+  Printf.printf "slow branch costs %.1fs; latency of displayed updates (virtual s)\n" cost;
+  Printf.printf "%8s  %8s %8s %8s\n" "" "p50" "p95" "max";
+  Printf.printf "%8s  %8.3f %8.3f %8.3f\n" "sync" sync.Trace.p50 sync.Trace.p95
+    sync.Trace.max;
+  Printf.printf "%8s  %8.3f %8.3f %8.3f\n" "async" asy.Trace.p50 asy.Trace.p95
+    asy.Trace.max;
+  (sync, asy)
 
 (* ------------------------------------------------------------------ *)
 (* Wall-clock microbenchmarks via bechamel: the real costs of the engine,
@@ -606,15 +677,31 @@ let b11_to_json rows =
              ( "message_ratio",
                Json.of_float (r.flood_messages /. r.cone_messages) );
              ("changes_identical", Json.of_bool r.identical);
+             ( "tracing",
+               Json.Object
+                 [
+                   ("messages_per_event", Json.of_float r.traced_messages);
+                   ("overhead", Json.of_float (b11_trace_overhead r));
+                   ( "event_to_display_p50",
+                     Json.of_float r.trace_summary.Trace.p50 );
+                   ( "event_to_display_p95",
+                     Json.of_float r.trace_summary.Trace.p95 );
+                 ] );
            ])
        rows)
 
-let write_json ~path b11_rows micro =
+let write_json ~path b11_rows (b12_sync, b12_async) micro =
   let doc =
     Json.Object
       [
         ("bench", Json.of_string "BENCH_core");
         ("b11_cone_dispatch", b11_to_json b11_rows);
+        ( "b12_async_latency",
+          Json.Object
+            [
+              ("sync", Trace.summary_to_json b12_sync);
+              ("async", Trace.summary_to_json b12_async);
+            ] );
         ( "micro_ns_per_run",
           Json.Object (List.map (fun (n, v) -> (n, Json.of_float v)) micro) );
       ]
@@ -646,6 +733,14 @@ let () =
     prerr_endline "B11: cone dispatch diverged from flooding baseline!";
     exit 1
   end;
+  if
+    not
+      (List.for_all (fun r -> Float.abs (b11_trace_overhead r) < 0.10) b11_rows)
+  then begin
+    prerr_endline "B11: tracing changed messages/event by >= 10%!";
+    exit 1
+  end;
+  let b12 = bench_b12 () in
   let micro = if smoke then [] else micro_benchmarks () in
-  if emit_json then write_json ~path:"BENCH_core.json" b11_rows micro;
+  if emit_json then write_json ~path:"BENCH_core.json" b11_rows b12 micro;
   print_endline "\ndone."

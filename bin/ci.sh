@@ -1,13 +1,42 @@
 #!/bin/sh
 # Tier-1 gate: build + full test suite + bench smoke (B11 A/B check).
 #
+# Usage: bin/ci.sh [--quick]
+#   --quick   build + runtest only (skip the bench smoke run)
+#
 # The bench smoke run is part of the gate on purpose: bench/main.exe
 # exits non-zero if cone dispatch ever produces a change trace that
-# differs from the flooding baseline, so a semantics regression in the
-# dispatcher fails CI even if no unit test happens to cover it.
+# differs from the flooding baseline, or if tracing perturbs the
+# messages/event account by more than 10%, so a semantics regression in
+# the dispatcher or tracer fails CI even if no unit test covers it.
+# The full run also writes BENCH_core.json (latency percentiles, trace
+# summaries) for CI artifact upload.
 set -eu
 cd "$(dirname "$0")/.."
 
+if ! command -v dune >/dev/null 2>&1; then
+    echo "ci.sh: error: 'dune' not found in PATH." >&2
+    echo "ci.sh: install an OCaml toolchain (opam install dune) or run inside 'opam exec --'." >&2
+    exit 127
+fi
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+    --quick) quick=1 ;;
+    *)
+        echo "ci.sh: error: unknown argument '$arg' (expected --quick)" >&2
+        exit 2
+        ;;
+    esac
+done
+
 dune build
 dune runtest
-dune exec bench/main.exe -- --smoke
+
+if [ "$quick" -eq 1 ]; then
+    echo "ci.sh: --quick: skipping bench smoke run"
+    exit 0
+fi
+
+dune exec bench/main.exe -- --smoke --json

@@ -68,11 +68,22 @@ let check_cmd =
     Term.(const run $ file_arg)
 
 let run_cmd =
-  let trace_arg =
+  let replay_arg =
     Arg.(
       value
       & opt (some file) None
-      & info [ "trace"; "t" ] ~docv:"TRACE" ~doc:"Event trace file to replay.")
+      & info [ "replay"; "t" ] ~docv:"EVENTS" ~doc:"Event trace file to replay.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"OUT"
+          ~doc:
+            "Record the run with the signal-graph tracer and write a Chrome \
+             trace-event JSON file to $(docv) (open it in chrome://tracing \
+             or https://ui.perfetto.dev). Also prints the latency/queue \
+             summary.")
   in
   let seq_arg =
     Arg.(
@@ -84,11 +95,11 @@ let run_cmd =
   let stats_arg =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print runtime counters at exit.")
   in
-  let run file trace sequential print_stats =
+  let run file replay trace_out sequential print_stats =
     or_die (fun () ->
         let program, ty = load_checked file in
         let events =
-          match trace with
+          match replay with
           | None -> []
           | Some path ->
             let evs = Felm.Trace.parse (read_file path) in
@@ -99,7 +110,10 @@ let run_cmd =
           if sequential then Elm_core.Runtime.Sequential
           else Elm_core.Runtime.Pipelined
         in
-        let outcome = Felm.Interp.run ~mode program ~trace:events in
+        let tracer =
+          Option.map (fun _ -> Elm_core.Trace.create ()) trace_out
+        in
+        let outcome = Felm.Interp.run ~mode ?tracer program ~trace:events in
         Printf.printf "-- %s : %s\n" (Filename.basename file) (Felm.Ty.to_string ty);
         if outcome.Felm.Interp.displays = [] then
           Printf.printf "value: %s\n" (Felm.Value.show outcome.Felm.Interp.final)
@@ -110,14 +124,22 @@ let run_cmd =
         if outcome.Felm.Interp.skipped_events > 0 then
           Printf.printf "(%d trace events targeted unused inputs)\n"
             outcome.Felm.Interp.skipped_events;
-        match outcome.Felm.Interp.stats with
+        (match outcome.Felm.Interp.stats with
         | Some stats when print_stats ->
           Format.printf "stats: %a@." Elm_core.Stats.pp stats
-        | Some _ | None -> ())
+        | Some _ | None -> ());
+        match trace_out, tracer with
+        | Some path, Some tr ->
+          write_output (Some path)
+            (Json.pretty (Elm_core.Trace.to_chrome_json tr) ^ "\n");
+          Printf.printf "trace: wrote %s\n" path;
+          Format.printf "%a@." Elm_core.Trace.pp_summary
+            (Elm_core.Trace.summary tr)
+        | _ -> ())
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Interpret a FElm program against an event trace.")
-    Term.(const run $ file_arg $ trace_arg $ seq_arg $ stats_arg)
+    Term.(const run $ file_arg $ replay_arg $ trace_out_arg $ seq_arg $ stats_arg)
 
 let compile_cmd =
   let out_arg =

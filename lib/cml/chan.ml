@@ -22,12 +22,24 @@ let send t v =
   match pop_live_receiver t with
   | Some w ->
     w.claimed := true;
+    (match !Probe.current with
+    | None -> ()
+    | Some p -> p.on_send t.name (Queue.length t.senders));
     Scheduler.resume w.k v
-  | None -> Scheduler.suspend (fun k -> Queue.push (v, k) t.senders)
+  | None ->
+    (* Report the blocked-sender queue depth after parking: for a
+       rendezvous channel that is the backlog a tracer wants to see. *)
+    (match !Probe.current with
+    | None -> ()
+    | Some p -> p.on_send t.name (Queue.length t.senders + 1));
+    Scheduler.suspend (fun k -> Queue.push (v, k) t.senders)
 
 let recv t =
   match Queue.take_opt t.senders with
   | Some (v, k) ->
+    (match !Probe.current with
+    | None -> ()
+    | Some p -> p.on_recv t.name (Queue.length t.senders));
     Scheduler.resume k ();
     v
   | None ->

@@ -12,6 +12,7 @@ module Mailbox = Mailbox
 module Chan = Chan
 module Multicast = Multicast
 module Pqueue = Pqueue
+module Probe = Probe
 
 (* Shortcuts used pervasively by the runtime, examples and benches. *)
 

@@ -10,13 +10,20 @@ let name t = t.name
 
 (* Invariant: readers is non-empty only when buf is empty. *)
 let send t v =
-  match Queue.take_opt t.readers with
+  (match Queue.take_opt t.readers with
   | Some k -> Scheduler.resume k v
-  | None -> Queue.push v t.buf
+  | None -> Queue.push v t.buf);
+  match !Probe.current with
+  | None -> ()
+  | Some p -> p.on_send t.name (Queue.length t.buf)
 
 let recv t =
   match Queue.take_opt t.buf with
-  | Some v -> v
+  | Some v ->
+    (match !Probe.current with
+    | None -> ()
+    | Some p -> p.on_recv t.name (Queue.length t.buf));
+    v
   | None -> Scheduler.suspend (fun k -> Queue.push k t.readers)
 
 let recv_opt t = Queue.take_opt t.buf

@@ -7,8 +7,14 @@ type 'a t = {
 
 let create ?name () = { ports = Queue.create (); name }
 
+(* Each port is a private mailbox; give it an indexed name so queue-depth
+   probes can tell one subscriber's backlog from another's. The string is
+   built once, at subscription (build) time. *)
 let port t =
-  let p = Mailbox.create ?name:t.name () in
+  let name =
+    Option.map (fun n -> Printf.sprintf "%s#%d" n (Queue.length t.ports)) t.name
+  in
+  let p = Mailbox.create ?name () in
   Queue.add p t.ports;
   p
 

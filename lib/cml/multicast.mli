@@ -12,7 +12,9 @@ type 'a port
 val create : ?name:string -> unit -> 'a t
 
 val port : 'a t -> 'a port
-(** Subscribe. The port receives every value sent after this call. *)
+(** Subscribe. The port receives every value sent after this call. On a
+    named channel the port's private mailbox is named ["<name>#<index>"],
+    which is how {!Probe} queue-depth reports distinguish subscribers. *)
 
 val send : 'a t -> 'a -> unit
 (** Deliver to all current ports, in subscription order. Never blocks. *)

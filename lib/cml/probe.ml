@@ -1,0 +1,13 @@
+type t = {
+  on_send : string option -> int -> unit;
+  on_recv : string option -> int -> unit;
+  on_switch : int -> unit;
+}
+
+let current : t option ref = ref None
+
+let set p = current := Some p
+
+let clear () = current := None
+
+let active () = Option.is_some !current

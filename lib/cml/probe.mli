@@ -1,0 +1,36 @@
+(** Process-wide instrumentation hooks for the concurrency substrate.
+
+    The scheduler and the channel modules ({!Mailbox}, {!Chan},
+    {!Multicast} ports) consult [!current] on their hot paths and invoke the
+    callbacks when a probe is installed. The disabled path is a single load
+    and branch — no allocation, no call — so an untraced run pays nothing
+    measurable.
+
+    Probes are installed by higher layers (the signal runtime's tracer,
+    {!Elm_core.Trace}); this module deliberately knows nothing about them so
+    that [cml] stays dependency-free. The scheduler clears the probe at the
+    start and end of every {!Scheduler.run}, so a probe never outlives the
+    run that installed it. *)
+
+type t = {
+  on_send : string option -> int -> unit;
+      (** [on_send name depth]: a value was enqueued on a channel named
+          [name] (as given at creation), leaving [depth] values buffered. *)
+  on_recv : string option -> int -> unit;
+      (** [on_recv name depth]: a buffered value was dequeued, leaving
+          [depth] values buffered. Direct sender-to-receiver handoffs are
+          reported by {!on_send} only (the queue never grows). *)
+  on_switch : int -> unit;
+      (** [on_switch n]: the scheduler is about to run its [n]-th thread
+          segment since {!Scheduler.run} began. *)
+}
+
+val current : t option ref
+(** The installed probe, if any. Read on hot paths; prefer {!set}/{!clear}
+    for writing. *)
+
+val set : t -> unit
+
+val clear : unit -> unit
+
+val active : unit -> bool

@@ -76,6 +76,7 @@ let sleep d =
         st.timers <- Pqueue.insert st.timers (st.clock +. d, seq) k)
 
 let reset () =
+  Probe.clear ();
   Queue.clear st.run_queue;
   st.timers <- Pqueue.empty ~compare:compare_timer;
   st.timer_seq <- 0;
@@ -92,6 +93,7 @@ let run ?(max_switches = max_int) main =
   Queue.push (fun () -> exec main) st.run_queue;
   let finish () =
     st.live <- false;
+    Probe.clear ();
     Queue.clear st.run_queue
   in
   let rec loop () =
@@ -100,6 +102,9 @@ let run ?(max_switches = max_int) main =
       st.switches <- st.switches + 1;
       if st.switches > max_switches then
         raise (Stuck (Printf.sprintf "exceeded %d context switches" max_switches));
+      (match !Probe.current with
+      | None -> ()
+      | Some p -> p.on_switch st.switches);
       segment ();
       loop ()
     | None -> (

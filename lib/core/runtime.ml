@@ -41,22 +41,45 @@ type ctx = {
   c_stats : Stats.t;
   c_new_event : int Mailbox.t;
   c_reach : Reach.t;
+  c_tracer : Trace.t option;
   wakeups : (int, round Mailbox.t) Hashtbl.t;
   mutable c_sources : (int * string) list;
 }
 
 let generation = ref 0
 
-let emit ctx out r msg =
+(* [id] identifies the emitting node for the tracer's Node_end record; the
+   untraced path is one load and branch, no allocation. *)
+let emit ctx ~id out r msg =
   ctx.c_stats.messages <- ctx.c_stats.messages + 1;
-  Multicast.send out { Event.epoch = r.epoch; event = msg }
+  Multicast.send out { Event.epoch = r.epoch; event = msg };
+  match ctx.c_tracer with
+  | None -> ()
+  | Some tr -> Trace.node_end tr ~node:id ~epoch:r.epoch
+
+let recv_wake ctx ~id wake =
+  let r = Mailbox.recv wake in
+  (match ctx.c_tracer with
+  | None -> ()
+  | Some tr -> Trace.node_start tr ~node:id ~epoch:r.epoch);
+  r
 
 (* Register this node with the dispatcher: the returned mailbox receives one
-   [round] per event whose cone contains the node. *)
-let node_wakeup ctx id =
-  let mb = Mailbox.create () in
+   [round] per event whose cone contains the node. The mailbox is named so
+   queue-depth probes can attribute backlog to the node. *)
+let node_wakeup ctx ~id ~name =
+  let mb = Mailbox.create ~name:(Printf.sprintf "wake:%d:%s" id name) () in
   Hashtbl.replace ctx.wakeups id mb;
+  (match ctx.c_tracer with
+  | None -> ()
+  | Some tr -> Trace.register_node tr ~id ~name);
   mb
+
+let value_mailbox : type b. b Signal.t -> b Mailbox.t =
+ fun s ->
+  Mailbox.create
+    ~name:(Printf.sprintf "value:%d:%s" (Signal.id s) (Signal.name s))
+    ()
 
 (* An incoming edge, from the receiver's point of view. [last] caches the
    most recent body seen so that rounds the producer elided (its cone did
@@ -93,17 +116,17 @@ let read_edge ctx e (r : round) =
    [No_change] of the latest value otherwise (flood dispatch only — under
    cone dispatch a source is woken only by its own events). *)
 let source_node ctx ~source_id ~name ~default ~value_mb =
-  let out = Multicast.create () in
-  let wake = node_wakeup ctx source_id in
+  let out = Multicast.create ~name:(Printf.sprintf "out:%d:%s" source_id name) () in
+  let wake = node_wakeup ctx ~id:source_id ~name in
   ctx.c_sources <- (source_id, name) :: ctx.c_sources;
   Cml.spawn (fun () ->
       let rec loop prev =
-        let r = Mailbox.recv wake in
+        let r = recv_wake ctx ~id:source_id wake in
         let msg =
           if r.source = source_id then Event.Change (Mailbox.recv value_mb)
           else Event.No_change prev
         in
-        emit ctx out r msg;
+        emit ctx ~id:source_id out r msg;
         loop (Event.body msg)
       in
       loop default);
@@ -112,12 +135,12 @@ let source_node ctx ~source_id ~name ~default ~value_mb =
 (* Lift-style nodes share this loop. [round] reads one message per incoming
    edge (real or synthesized) and returns whether any of them changed plus a
    thunk recomputing the node's function on the current input bodies. *)
-let lift_node ctx ~id ~default ~round =
-  let out = Multicast.create () in
-  let wake = node_wakeup ctx id in
+let lift_node ctx ~id ~name ~default ~round =
+  let out = Multicast.create ~name:(Printf.sprintf "out:%d:%s" id name) () in
+  let wake = node_wakeup ctx ~id ~name in
   Cml.spawn (fun () ->
       let rec loop prev =
-        let r = Mailbox.recv wake in
+        let r = recv_wake ctx ~id wake in
         let changed, compute = round r in
         let msg =
           if changed then begin
@@ -132,7 +155,7 @@ let lift_node ctx ~id ~default ~round =
             Event.No_change prev
           end
         in
-        emit ctx out r msg;
+        emit ctx ~id out r msg;
         loop (Event.body msg)
       in
       loop default);
@@ -166,12 +189,12 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
     (* A constant is a source whose event never fires: under cone dispatch
        it is never woken at all; under flood it answers every round with
        [No_change default]. *)
-    let value_mb = Mailbox.create () in
+    let value_mb = value_mailbox s in
     plain
       (source_node ctx ~source_id:(Signal.id s) ~name:(Signal.name s) ~default
          ~value_mb)
   | Signal.Input ->
-    let value_mb = Mailbox.create () in
+    let value_mb = value_mailbox s in
     let source_id = Signal.id s in
     let out = source_node ctx ~source_id ~name:(Signal.name s) ~default ~value_mb in
     let push v =
@@ -187,7 +210,7 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
       let ma = read_edge ctx ea r in
       (Event.is_change ma, fun () -> f (Event.body ma))
     in
-    plain (lift_node ctx ~id:(Signal.id s) ~default ~round)
+    plain (lift_node ctx ~id:(Signal.id s) ~name:(Signal.name s) ~default ~round)
   | Signal.Lift2 (f, a, b) ->
     let ea = edge ctx a in
     let eb = edge ctx b in
@@ -197,7 +220,7 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
       ( Event.is_change ma || Event.is_change mb,
         fun () -> f (Event.body ma) (Event.body mb) )
     in
-    plain (lift_node ctx ~id:(Signal.id s) ~default ~round)
+    plain (lift_node ctx ~id:(Signal.id s) ~name:(Signal.name s) ~default ~round)
   | Signal.Lift3 (f, a, b, c) ->
     let ea = edge ctx a in
     let eb = edge ctx b in
@@ -209,7 +232,7 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
       ( Event.is_change ma || Event.is_change mb || Event.is_change mc,
         fun () -> f (Event.body ma) (Event.body mb) (Event.body mc) )
     in
-    plain (lift_node ctx ~id:(Signal.id s) ~default ~round)
+    plain (lift_node ctx ~id:(Signal.id s) ~name:(Signal.name s) ~default ~round)
   | Signal.Lift4 (f, a, b, c, d) ->
     let ea = edge ctx a in
     let eb = edge ctx b in
@@ -225,10 +248,10 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
         fun () ->
           f (Event.body ma) (Event.body mb) (Event.body mc) (Event.body md) )
     in
-    plain (lift_node ctx ~id:(Signal.id s) ~default ~round)
+    plain (lift_node ctx ~id:(Signal.id s) ~name:(Signal.name s) ~default ~round)
   | Signal.Lift_list (_, []) ->
     (* No incoming edges: a node loop would spin. Behave as a constant. *)
-    let value_mb = Mailbox.create () in
+    let value_mb = value_mailbox s in
     plain
       (source_node ctx ~source_id:(Signal.id s) ~name:(Signal.name s) ~default
          ~value_mb)
@@ -239,14 +262,15 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
       ( List.exists Event.is_change msgs,
         fun () -> f (List.map Event.body msgs) )
     in
-    plain (lift_node ctx ~id:(Signal.id s) ~default ~round)
+    plain (lift_node ctx ~id:(Signal.id s) ~name:(Signal.name s) ~default ~round)
   | Signal.Foldp (f, src) ->
     let e = edge ctx src in
-    let out = Multicast.create () in
-    let wake = node_wakeup ctx (Signal.id s) in
+    let id = Signal.id s in
+    let out = Multicast.create ~name:(Printf.sprintf "out:%d:%s" id (Signal.name s)) () in
+    let wake = node_wakeup ctx ~id ~name:(Signal.name s) in
     Cml.spawn (fun () ->
         let rec loop acc =
-          let r = Mailbox.recv wake in
+          let r = recv_wake ctx ~id wake in
           let msg =
             match read_edge ctx e r with
             | Event.Change v ->
@@ -254,7 +278,7 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
               Event.Change (f v acc)
             | Event.No_change _ -> Event.No_change acc
           in
-          emit ctx out r msg;
+          emit ctx ~id out r msg;
           loop (Event.body msg)
         in
         loop default);
@@ -268,7 +292,7 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
        at whatever epochs it was affected. *)
     let iinner = build ctx inner in
     let inner_port = Multicast.port iinner.Signal.out in
-    let value_mb = Mailbox.create () in
+    let value_mb = value_mailbox s in
     let source_id = Signal.id s in
     let out =
       source_node ctx ~source_id ~name:(Signal.name s) ~default ~value_mb
@@ -291,7 +315,7 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
        right absolute time while preserving order (equal delays). *)
     let iinner = build ctx inner in
     let inner_port = Multicast.port iinner.Signal.out in
-    let value_mb = Mailbox.create () in
+    let value_mb = value_mailbox s in
     let source_id = Signal.id s in
     let out =
       source_node ctx ~source_id ~name:(Signal.name s) ~default ~value_mb
@@ -313,11 +337,12 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
   | Signal.Merge (a, b) ->
     let ea = edge ctx a in
     let eb = edge ctx b in
-    let out = Multicast.create () in
-    let wake = node_wakeup ctx (Signal.id s) in
+    let id = Signal.id s in
+    let out = Multicast.create ~name:(Printf.sprintf "out:%d:%s" id (Signal.name s)) () in
+    let wake = node_wakeup ctx ~id ~name:(Signal.name s) in
     Cml.spawn (fun () ->
         let rec loop prev =
-          let r = Mailbox.recv wake in
+          let r = recv_wake ctx ~id wake in
           let ma = read_edge ctx ea r in
           let mb = read_edge ctx eb r in
           let msg =
@@ -326,18 +351,19 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
             | Event.No_change _, Event.Change v -> Event.Change v
             | Event.No_change _, Event.No_change _ -> Event.No_change prev
           in
-          emit ctx out r msg;
+          emit ctx ~id out r msg;
           loop (Event.body msg)
         in
         loop default);
     plain out
   | Signal.Drop_repeats (eq, src) ->
     let e = edge ctx src in
-    let out = Multicast.create () in
-    let wake = node_wakeup ctx (Signal.id s) in
+    let id = Signal.id s in
+    let out = Multicast.create ~name:(Printf.sprintf "out:%d:%s" id (Signal.name s)) () in
+    let wake = node_wakeup ctx ~id ~name:(Signal.name s) in
     Cml.spawn (fun () ->
         let rec loop prev =
-          let r = Mailbox.recv wake in
+          let r = recv_wake ctx ~id wake in
           let msg =
             match read_edge ctx e r with
             | Event.Change v when not (eq v prev) -> Event.Change v
@@ -345,7 +371,7 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
               ignore v;
               Event.No_change prev
           in
-          emit ctx out r msg;
+          emit ctx ~id out r msg;
           loop (Event.body msg)
         in
         loop default);
@@ -353,18 +379,19 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
   | Signal.Sample_on (ticks, src) ->
     let et = edge ctx ticks in
     let es = edge ctx src in
-    let out = Multicast.create () in
-    let wake = node_wakeup ctx (Signal.id s) in
+    let id = Signal.id s in
+    let out = Multicast.create ~name:(Printf.sprintf "out:%d:%s" id (Signal.name s)) () in
+    let wake = node_wakeup ctx ~id ~name:(Signal.name s) in
     Cml.spawn (fun () ->
         let rec loop prev =
-          let r = Mailbox.recv wake in
+          let r = recv_wake ctx ~id wake in
           let mt = read_edge ctx et r in
           let ms = read_edge ctx es r in
           let msg =
             if Event.is_change mt then Event.Change (Event.body ms)
             else Event.No_change prev
           in
-          emit ctx out r msg;
+          emit ctx ~id out r msg;
           loop (Event.body msg)
         in
         loop default);
@@ -372,13 +399,14 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
   | Signal.Keep_when (gate, src, _base) ->
     let eg = edge ctx gate in
     let es = edge ctx src in
-    let out = Multicast.create () in
-    let wake = node_wakeup ctx (Signal.id s) in
+    let id = Signal.id s in
+    let out = Multicast.create ~name:(Printf.sprintf "out:%d:%s" id (Signal.name s)) () in
+    let wake = node_wakeup ctx ~id ~name:(Signal.name s) in
     Cml.spawn (fun () ->
         (* Emits while the gate is open, and also on the gate's rising edge
            so the kept signal resynchronizes with its source. *)
         let rec loop gate_prev prev =
-          let r = Mailbox.recv wake in
+          let r = recv_wake ctx ~id wake in
           let mg = read_edge ctx eg r in
           let ms = read_edge ctx es r in
           let gate_now = Event.body mg in
@@ -388,7 +416,7 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
               Event.Change (Event.body ms)
             else Event.No_change prev
           in
-          emit ctx out r msg;
+          emit ctx ~id out r msg;
           loop gate_now (Event.body msg)
         in
         loop (Signal.default gate) default);
@@ -409,7 +437,7 @@ let push_bounded history lst count x =
     if count + 1 > 2 * cap then (take cap (x :: lst), cap)
     else (x :: lst, count + 1)
 
-let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history root =
+let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer root =
   if not (Cml.running ()) then
     invalid_arg "Runtime.start: must be called inside Cml.run";
   (match history with
@@ -433,10 +461,19 @@ let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history root =
       c_stats = stats;
       c_new_event = new_event;
       c_reach = reach;
+      c_tracer = tracer;
       wakeups = Hashtbl.create 64;
       c_sources = [];
     }
   in
+  (* The cml probe is process-wide: install it for this runtime, or clear a
+     leftover one so an untraced runtime never records into a stale tracer.
+     The scheduler also clears it when the enclosing [Cml.run] finishes. *)
+  (match tracer with
+  | Some tr ->
+    Trace.set_pid tr ctx.rt_gen;
+    Trace.attach tr
+  | None -> Cml.Probe.clear ());
   let root_inst = build ctx root in
   let node_count = Reach.node_count reach in
   let rt =
@@ -483,7 +520,10 @@ let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history root =
   let display_port = Multicast.port root_inst.Signal.out in
   Cml.spawn (fun () ->
       let rec display () =
-        let { Event.event = msg; _ } = Multicast.recv display_port in
+        let { Event.epoch; event = msg } = Multicast.recv display_port in
+        (match tracer with
+        | None -> ()
+        | Some tr -> Trace.display tr ~epoch ~changed:(Event.is_change msg));
         let time = Cml.now () in
         let msgs, nm =
           push_bounded rt.history rt.rev_messages rt.n_messages (time, msg)
@@ -530,6 +570,13 @@ let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history root =
         stats.notified_nodes <- stats.notified_nodes + Array.length targets;
         stats.elided_messages <-
           stats.elided_messages + (node_count - Array.length targets);
+        (* Record before the wakeups go out so the dispatch timestamp lower-
+           bounds every node-start and display timestamp of this epoch. *)
+        (match tracer with
+        | None -> ()
+        | Some tr ->
+          Trace.dispatch tr ~source:eid ~epoch:r.epoch
+            ~targets:(Array.length targets));
         Array.iter (fun mb -> Mailbox.send mb r) targets;
         stats.switches <- Cml.Scheduler.switch_count ();
         (match mode with

@@ -55,6 +55,7 @@ val start :
   ?dispatch:dispatch ->
   ?memoize:bool ->
   ?history:int ->
+  ?tracer:Trace.t ->
   'a Signal.t ->
   'a t
 (** Instantiate the graph and spawn its threads. Must be called inside
@@ -66,6 +67,16 @@ val start :
     most recent entries (amortized O(1) per event), and [~history:0] disables
     logging entirely for long-running sessions — {!current}, {!stats} and
     {!on_change} listeners are unaffected.
+
+    [tracer] enables per-node instrumentation (see {!Trace}): dispatch,
+    node-round and display records with virtual-clock timestamps, plus
+    queue-depth and context-switch probes installed process-wide for the
+    duration of the run. Without it no instrumentation site allocates or
+    sends a message, and observable behaviour ({!changes}, {!stats}) is
+    identical either way. The cml probe is global, so of two runtimes
+    started inside one {!Cml.run} only the most recent [?tracer] receives
+    channel/switch records (per-node records are always routed to the
+    runtime's own tracer).
     @raise Invalid_argument outside a running scheduler, or when [history]
     is negative. *)
 

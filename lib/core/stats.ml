@@ -23,16 +23,20 @@ let create () =
     switches = 0;
   }
 
-let pp ppf s =
-  Format.fprintf ppf
-    "events=%d messages=%d elided=%d notified=%d applications=%d \
-     recomputations=%d fold_steps=%d async_events=%d switches=%d"
-    s.events s.messages s.elided_messages s.notified_nodes s.applications
-    s.recomputations s.fold_steps s.async_events s.switches
-
 let total_computations s = s.applications + s.recomputations
 
 let total_flood_messages s = s.messages + s.elided_messages
 
+(* Every ratio printed or exported must go through this guard: an empty run
+   (events = 0) prints 0.0 rather than raising Division_by_zero / nan. *)
 let per_event total s =
   if s.events = 0 then 0.0 else float_of_int total /. float_of_int s.events
+
+let pp ppf s =
+  Format.fprintf ppf
+    "events=%d messages=%d elided=%d notified=%d applications=%d \
+     recomputations=%d fold_steps=%d async_events=%d switches=%d \
+     msg/ev=%.1f sw/ev=%.1f"
+    s.events s.messages s.elided_messages s.notified_nodes s.applications
+    s.recomputations s.fold_steps s.async_events s.switches
+    (per_event s.messages s) (per_event s.switches s)

@@ -36,6 +36,8 @@ type t = {
 val create : unit -> t
 
 val pp : Format.formatter -> t -> unit
+(** One line: every counter, then the [msg/ev] and [sw/ev] per-event ratios.
+    Ratios print as [0.0] on an empty run (no division by zero). *)
 
 val total_computations : t -> int
 (** [applications + recomputations]: everything a pull system would pay. *)

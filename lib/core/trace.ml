@@ -1,0 +1,444 @@
+type kind =
+  | Node_start
+  | Node_end
+  | Dispatch
+  | Display
+  | Chan_send
+  | Chan_recv
+  | Switch
+
+type record = {
+  kind : kind;
+  ts : float;
+  node : int;
+  epoch : int;
+  chan : string;
+  value : int;
+}
+
+(* Growable sample buffer; only ever allocated when tracing is on. *)
+type samples = {
+  mutable data : float array;
+  mutable len : int;
+}
+
+let samples_create () = { data = [||]; len = 0 }
+
+let samples_add s x =
+  if s.len = Array.length s.data then begin
+    let cap = max 64 (2 * s.len) in
+    let grown = Array.make cap 0.0 in
+    Array.blit s.data 0 grown 0 s.len;
+    s.data <- grown
+  end;
+  s.data.(s.len) <- x;
+  s.len <- s.len + 1
+
+let samples_sorted s =
+  let a = Array.sub s.data 0 s.len in
+  Array.sort Float.compare a;
+  a
+
+let samples_list s = Array.to_list (Array.sub s.data 0 s.len)
+
+(* Nearest-rank percentile over a sorted array; 0 on no samples. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+type node_acc = {
+  mutable acc_name : string;
+  mutable rounds : int;
+  mutable busy : float;
+  mutable open_ts : float;  (* nan when no span is open *)
+  lat : samples;  (* dispatch-to-emit, per processed round *)
+}
+
+type t = {
+  cap : int;
+  ring : record array;
+  mutable next : int;  (* next slot to overwrite *)
+  mutable written : int;  (* total records ever pushed *)
+  mutable pid : int;
+  node_accs : (int, node_acc) Hashtbl.t;
+  dispatch_ts : (int, float) Hashtbl.t;  (* epoch -> dispatch time *)
+  disp_lat : samples;  (* event-to-display, per displayed round *)
+  mutable n_events : int;
+  mutable n_displays : int;
+  mutable n_changes : int;
+  mutable last_switches : int;
+  queue_peaks : (string, int) Hashtbl.t;
+}
+
+let null_record =
+  { kind = Switch; ts = 0.0; node = -1; epoch = -1; chan = ""; value = 0 }
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    cap = capacity;
+    ring = Array.make capacity null_record;
+    next = 0;
+    written = 0;
+    pid = 1;
+    node_accs = Hashtbl.create 64;
+    dispatch_ts = Hashtbl.create 1024;
+    disp_lat = samples_create ();
+    n_events = 0;
+    n_displays = 0;
+    n_changes = 0;
+    last_switches = 0;
+    queue_peaks = Hashtbl.create 16;
+  }
+
+let push t r =
+  t.ring.(t.next) <- r;
+  t.next <- (t.next + 1) mod t.cap;
+  t.written <- t.written + 1
+
+let dropped t = max 0 (t.written - t.cap)
+
+let records t =
+  let n = min t.written t.cap in
+  (* Oldest record: slot [next] when the ring has wrapped, 0 otherwise. *)
+  let first = if t.written > t.cap then t.next else 0 in
+  List.init n (fun i -> t.ring.((first + i) mod t.cap))
+
+let set_pid t pid = t.pid <- pid
+
+let node_acc t id =
+  match Hashtbl.find_opt t.node_accs id with
+  | Some a -> a
+  | None ->
+    let a =
+      {
+        acc_name = Printf.sprintf "node-%d" id;
+        rounds = 0;
+        busy = 0.0;
+        open_ts = Float.nan;
+        lat = samples_create ();
+      }
+    in
+    Hashtbl.replace t.node_accs id a;
+    a
+
+let register_node t ~id ~name = (node_acc t id).acc_name <- name
+
+let node_start t ~node ~epoch =
+  let ts = Cml.now () in
+  push t { kind = Node_start; ts; node; epoch; chan = ""; value = 0 };
+  (node_acc t node).open_ts <- ts
+
+let node_end t ~node ~epoch =
+  let ts = Cml.now () in
+  push t { kind = Node_end; ts; node; epoch; chan = ""; value = 0 };
+  let a = node_acc t node in
+  if not (Float.is_nan a.open_ts) then begin
+    a.busy <- a.busy +. (ts -. a.open_ts);
+    a.open_ts <- Float.nan
+  end;
+  a.rounds <- a.rounds + 1;
+  match Hashtbl.find_opt t.dispatch_ts epoch with
+  | Some t0 -> samples_add a.lat (ts -. t0)
+  | None -> ()
+
+let dispatch t ~source ~epoch ~targets =
+  let ts = Cml.now () in
+  push t { kind = Dispatch; ts; node = source; epoch; chan = ""; value = targets };
+  t.n_events <- t.n_events + 1;
+  Hashtbl.replace t.dispatch_ts epoch ts
+
+let display t ~epoch ~changed =
+  let ts = Cml.now () in
+  push
+    t
+    {
+      kind = Display;
+      ts;
+      node = -1;
+      epoch;
+      chan = "";
+      value = (if changed then 1 else 0);
+    };
+  t.n_displays <- t.n_displays + 1;
+  if changed then t.n_changes <- t.n_changes + 1;
+  match Hashtbl.find_opt t.dispatch_ts epoch with
+  | Some t0 -> samples_add t.disp_lat (ts -. t0)
+  | None -> ()
+
+let bump_peak t chan depth =
+  match Hashtbl.find_opt t.queue_peaks chan with
+  | Some d when d >= depth -> ()
+  | Some _ | None -> Hashtbl.replace t.queue_peaks chan depth
+
+let chan_send t ~chan ~depth =
+  push
+    t
+    { kind = Chan_send; ts = Cml.now (); node = -1; epoch = -1; chan; value = depth };
+  bump_peak t chan depth
+
+let chan_recv t ~chan ~depth =
+  push
+    t
+    { kind = Chan_recv; ts = Cml.now (); node = -1; epoch = -1; chan; value = depth }
+
+let switch t ~count =
+  push
+    t
+    { kind = Switch; ts = Cml.now (); node = -1; epoch = -1; chan = ""; value = count };
+  t.last_switches <- count
+
+let attach t =
+  Cml.Probe.set
+    {
+      Cml.Probe.on_send =
+        (fun name depth ->
+          match name with None -> () | Some chan -> chan_send t ~chan ~depth);
+      on_recv =
+        (fun name depth ->
+          match name with None -> () | Some chan -> chan_recv t ~chan ~depth);
+      on_switch = (fun count -> switch t ~count);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Summary *)
+
+type node_summary = {
+  node_id : int;
+  node_name : string;
+  rounds : int;
+  busy : float;
+  node_p50 : float;
+  node_p95 : float;
+  node_max : float;
+}
+
+type summary = {
+  events : int;
+  displays : int;
+  changes : int;
+  p50 : float;
+  p95 : float;
+  max : float;
+  nodes : node_summary list;
+  queue_peaks : (string * int) list;
+  switches : int;
+  records_dropped : int;
+}
+
+let latencies t = samples_list t.disp_lat
+
+let summary t =
+  let sorted = samples_sorted t.disp_lat in
+  let n = Array.length sorted in
+  let nodes =
+    Hashtbl.fold
+      (fun id a acc ->
+        let s = samples_sorted a.lat in
+        let m = Array.length s in
+        {
+          node_id = id;
+          node_name = a.acc_name;
+          rounds = a.rounds;
+          busy = a.busy;
+          node_p50 = percentile s 0.5;
+          node_p95 = percentile s 0.95;
+          node_max = (if m = 0 then 0.0 else s.(m - 1));
+        }
+        :: acc)
+      t.node_accs []
+    |> List.sort (fun a b -> compare (b.busy, b.node_id) (a.busy, a.node_id))
+  in
+  let peaks =
+    Hashtbl.fold (fun name d acc -> (name, d) :: acc) t.queue_peaks []
+    |> List.sort (fun (na, da) (nb, db) -> compare (db, na) (da, nb))
+  in
+  {
+    events = t.n_events;
+    displays = t.n_displays;
+    changes = t.n_changes;
+    p50 = percentile sorted 0.5;
+    p95 = percentile sorted 0.95;
+    max = (if n = 0 then 0.0 else sorted.(n - 1));
+    nodes;
+    queue_peaks = peaks;
+    switches = t.last_switches;
+    records_dropped = dropped t;
+  }
+
+let summary_to_json s =
+  Json.Object
+    [
+      ("events", Json.of_int s.events);
+      ("displays", Json.of_int s.displays);
+      ("changes", Json.of_int s.changes);
+      ( "event_to_display_latency",
+        Json.Object
+          [
+            ("p50", Json.of_float s.p50);
+            ("p95", Json.of_float s.p95);
+            ("max", Json.of_float s.max);
+            ("samples", Json.of_int s.displays);
+          ] );
+      ( "nodes",
+        Json.Array
+          (List.map
+             (fun n ->
+               Json.Object
+                 [
+                   ("id", Json.of_int n.node_id);
+                   ("name", Json.of_string n.node_name);
+                   ("rounds", Json.of_int n.rounds);
+                   ("busy", Json.of_float n.busy);
+                   ("p50", Json.of_float n.node_p50);
+                   ("p95", Json.of_float n.node_p95);
+                   ("max", Json.of_float n.node_max);
+                 ])
+             s.nodes) );
+      ( "queue_peaks",
+        Json.Object (List.map (fun (n, d) -> (n, Json.of_int d)) s.queue_peaks) );
+      ("switches", Json.of_int s.switches);
+      ("records_dropped", Json.of_int s.records_dropped);
+    ]
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>events=%d displays=%d changes=%d switches=%d dropped=%d@,\
+     event-to-display latency (virtual s): p50=%.4f p95=%.4f max=%.4f@]"
+    s.events s.displays s.changes s.switches s.records_dropped s.p50 s.p95
+    s.max;
+  List.iteri
+    (fun i n ->
+      if i < 8 then
+        Format.fprintf ppf "@,  node %-3d %-16s rounds=%-5d busy=%-8.3f p95=%.4f"
+          n.node_id n.node_name n.rounds n.busy n.node_p95)
+    s.nodes;
+  (match s.queue_peaks with
+  | [] -> ()
+  | (name, d) :: _ -> Format.fprintf ppf "@,  deepest queue: %s (%d)" name d)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export *)
+
+let us ts = Json.of_float (ts *. 1e6)
+
+let to_chrome_json t =
+  let pid = Json.of_int t.pid in
+  let meta name tid args =
+    Json.Object
+      [
+        ("name", Json.of_string name);
+        ("ph", Json.of_string "M");
+        ("pid", pid);
+        ("tid", Json.of_int tid);
+        ("args", Json.Object args);
+      ]
+  in
+  let node_name id =
+    match Hashtbl.find_opt t.node_accs id with
+    | Some a -> a.acc_name
+    | None -> Printf.sprintf "node-%d" id
+  in
+  let metadata =
+    meta "process_name" 0
+      [ ("name", Json.of_string (Printf.sprintf "elm-frp runtime #%d" t.pid)) ]
+    :: meta "thread_name" 0 [ ("name", Json.of_string "dispatcher") ]
+    :: meta "thread_name" 1 [ ("name", Json.of_string "display") ]
+    :: (Hashtbl.fold
+          (fun id a acc ->
+            meta "thread_name" (id + 2)
+              [
+                ("name", Json.of_string (Printf.sprintf "%s (node %d)" a.acc_name id));
+              ]
+            :: acc)
+          t.node_accs []
+       |> List.sort compare)
+  in
+  let event r =
+    match r.kind with
+    | Node_start ->
+      Json.Object
+        [
+          ("name", Json.of_string (node_name r.node));
+          ("cat", Json.of_string "node");
+          ("ph", Json.of_string "B");
+          ("pid", pid);
+          ("tid", Json.of_int (r.node + 2));
+          ("ts", us r.ts);
+          ("args", Json.Object [ ("epoch", Json.of_int r.epoch) ]);
+        ]
+    | Node_end ->
+      Json.Object
+        [
+          ("name", Json.of_string (node_name r.node));
+          ("cat", Json.of_string "node");
+          ("ph", Json.of_string "E");
+          ("pid", pid);
+          ("tid", Json.of_int (r.node + 2));
+          ("ts", us r.ts);
+        ]
+    | Dispatch ->
+      Json.Object
+        [
+          ("name", Json.of_string "dispatch");
+          ("cat", Json.of_string "dispatcher");
+          ("ph", Json.of_string "i");
+          ("s", Json.of_string "p");
+          ("pid", pid);
+          ("tid", Json.of_int 0);
+          ("ts", us r.ts);
+          ( "args",
+            Json.Object
+              [
+                ("source", Json.of_int r.node);
+                ("epoch", Json.of_int r.epoch);
+                ("targets", Json.of_int r.value);
+              ] );
+        ]
+    | Display ->
+      Json.Object
+        [
+          ("name", Json.of_string "display");
+          ("cat", Json.of_string "display");
+          ("ph", Json.of_string "i");
+          ("s", Json.of_string "p");
+          ("pid", pid);
+          ("tid", Json.of_int 1);
+          ("ts", us r.ts);
+          ( "args",
+            Json.Object
+              [
+                ("epoch", Json.of_int r.epoch);
+                ("changed", Json.of_bool (r.value = 1));
+              ] );
+        ]
+    | Chan_send | Chan_recv ->
+      Json.Object
+        [
+          ("name", Json.of_string ("queue:" ^ r.chan));
+          ("ph", Json.of_string "C");
+          ("pid", pid);
+          ("tid", Json.of_int 0);
+          ("ts", us r.ts);
+          ("args", Json.Object [ ("depth", Json.of_int r.value) ]);
+        ]
+    | Switch ->
+      Json.Object
+        [
+          ("name", Json.of_string "switches");
+          ("ph", Json.of_string "C");
+          ("pid", pid);
+          ("tid", Json.of_int 0);
+          ("ts", us r.ts);
+          ("args", Json.Object [ ("switches", Json.of_int r.value) ]);
+        ]
+  in
+  Json.Object
+    [
+      ("traceEvents", Json.Array (metadata @ List.map event (records t)));
+      ("displayTimeUnit", Json.of_string "ms");
+    ]

@@ -37,8 +37,8 @@ let build_signals (program : Program.t) g =
     (Sgraph.nodes g);
   table
 
-let run_graph ?(mode = Runtime.Pipelined) ?(memoize = true) program g root
-    ~trace =
+let run_graph ?(mode = Runtime.Pipelined) ?(memoize = true) ?tracer program g
+    root ~trace =
   Sgraph.freeze g;
   match root with
   | Value.Vsignal root_id ->
@@ -51,7 +51,7 @@ let run_graph ?(mode = Runtime.Pipelined) ?(memoize = true) program g root
         let table = build_signals program g in
         Builtins.work_enabled := true;
         let root_signal = Hashtbl.find table root_id in
-        let rt = Runtime.start ~mode ~memoize root_signal in
+        let rt = Runtime.start ~mode ~memoize ?tracer root_signal in
         stats := Some (Runtime.stats rt);
         final := Runtime.current rt;
         let input_signals =
@@ -81,9 +81,9 @@ let run_graph ?(mode = Runtime.Pipelined) ?(memoize = true) program g root
     (* A non-reactive program: stage one already computed the answer. *)
     { displays = []; final = v; stats = None; skipped_events = List.length trace }
 
-let run ?mode ?memoize program ~trace =
+let run ?mode ?memoize ?tracer program ~trace =
   let g, root = Denote.run_program program in
-  run_graph ?mode ?memoize program g root ~trace
+  run_graph ?mode ?memoize ?tracer program g root ~trace
 
 let run_source ?mode src ~trace =
   let program = Program.of_source src in

@@ -17,16 +17,20 @@ type outcome = {
 val run :
   ?mode:Elm_core.Runtime.mode ->
   ?memoize:bool ->
+  ?tracer:Elm_core.Trace.t ->
   Program.t ->
   trace:Trace.event list ->
   outcome
 (** Type-check is the caller's responsibility; ill-typed programs may raise
     {!Denote.Error}. For a program whose [main] is a simple value, the
-    trace is ignored and [displays] is empty. *)
+    trace is ignored and [displays] is empty. [tracer] is handed to
+    {!Elm_core.Runtime.start} (note the two unrelated "trace"s: [~trace]
+    is the replayed input events, [?tracer] records the execution). *)
 
 val run_graph :
   ?mode:Elm_core.Runtime.mode ->
   ?memoize:bool ->
+  ?tracer:Elm_core.Trace.t ->
   Program.t ->
   Sgraph.t ->
   Value.t ->

@@ -60,10 +60,10 @@ let test_check_syntax_error () =
   check_bool "reports a syntax error with location" true
     (contains out "Syntax error" && contains out "line")
 
-let test_run_with_trace () =
+let test_run_with_replay () =
   let code, out =
     run_cmd
-      [ "run"; examples_dir ^ "counter.felm"; "--trace"; examples_dir ^ "counter.trace" ]
+      [ "run"; examples_dir ^ "counter.felm"; "--replay"; examples_dir ^ "counter.trace" ]
   in
   check_int "exit 0" 0 code;
   check_bool "timestamped displays" true
@@ -73,13 +73,48 @@ let test_run_sequential_and_stats () =
   let code, out =
     run_cmd
       [
-        "run"; examples_dir ^ "mouse.felm"; "--trace";
+        "run"; examples_dir ^ "mouse.felm"; "--replay";
         examples_dir ^ "mouse.trace"; "--sequential"; "--stats";
       ]
   in
   check_int "exit 0" 0 code;
   check_bool "stats printed" true (contains out "events=");
   check_bool "same outputs as pipelined" true (contains out "(30, 9)")
+
+let test_run_trace_export () =
+  let trace_json = Filename.temp_file "felmc" ".json" in
+  let code, out =
+    run_cmd
+      [
+        "run"; examples_dir ^ "counter.felm"; "--replay";
+        examples_dir ^ "counter.trace"; "--trace"; trace_json;
+      ]
+  in
+  check_int "exit 0" 0 code;
+  check_bool "reports the trace file" true (contains out "trace: wrote");
+  check_bool "prints the latency summary" true (contains out "p95");
+  let ic = open_in_bin trace_json in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove trace_json;
+  (* The file must be valid Chrome trace-event JSON: parseable by our own
+     parser, with a nonempty traceEvents array of pid/ph-tagged events. *)
+  let doc = Json.parse text in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.Array evs) -> evs
+    | _ -> Alcotest.fail "traceEvents missing or not an array"
+  in
+  check_bool "nonempty traceEvents" true (List.length events > 0);
+  List.iter
+    (fun ev ->
+      check_bool "event has ph" true (Option.is_some (Json.member "ph" ev));
+      check_bool "event has pid" true (Option.is_some (Json.member "pid" ev)))
+    events;
+  check_bool "node spans present" true
+    (List.exists
+       (fun ev -> Json.member "ph" ev = Some (Json.String "B"))
+       events)
 
 let test_compile_html_and_js () =
   let out_html = Filename.temp_file "out" ".html" in
@@ -112,7 +147,7 @@ let test_bad_trace () =
   output_string oc "0.5 Mouse.x \"not an int\"\n";
   close_out oc;
   let code, out =
-    run_cmd [ "run"; examples_dir ^ "mouse.felm"; "--trace"; bad ]
+    run_cmd [ "run"; examples_dir ^ "mouse.felm"; "--replay"; bad ]
   in
   Sys.remove bad;
   check_bool "nonzero exit" true (code <> 0);
@@ -127,8 +162,9 @@ let () =
           tc "check" `Quick test_check;
           tc "check type error" `Quick test_check_type_error;
           tc "check syntax error" `Quick test_check_syntax_error;
-          tc "run with trace" `Quick test_run_with_trace;
+          tc "run with replay" `Quick test_run_with_replay;
           tc "run sequential + stats" `Quick test_run_sequential_and_stats;
+          tc "run --trace chrome export" `Quick test_run_trace_export;
           tc "compile html/js" `Quick test_compile_html_and_js;
           tc "graph dot" `Quick test_graph_dot;
           tc "missing file" `Quick test_missing_file;

@@ -1,0 +1,263 @@
+(* Tests for the signal-graph tracer (Elm_core.Trace): span nesting, latency
+   metrics, Chrome trace-event export, and the zero-overhead guarantee of
+   the untraced path. Also covers the Stats empty-run (events = 0) guard. *)
+
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+module Trace = Elm_core.Trace
+module Stats = Elm_core.Stats
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ints = Alcotest.(check (list int))
+
+let with_world body =
+  let result = ref None in
+  Cml.run (fun () -> result := Some (body ()));
+  Option.get !result
+
+(* A small diamond graph driven by [events] injections, optionally traced. *)
+let diamond_run ?tracer events =
+  with_world (fun () ->
+      let a = Signal.input ~name:"a" 0 in
+      let left = Signal.lift ~name:"left" (fun x -> x * 2) a in
+      let right = Signal.lift ~name:"right" (fun x -> x + 1) a in
+      let top = Signal.lift2 ~name:"top" ( + ) left right in
+      let rt = Runtime.start ?tracer top in
+      List.iter (fun v -> Runtime.inject rt a v) events;
+      rt)
+
+(* ------------------------------------------------------------------ *)
+(* Span structure *)
+
+let test_spans_well_nested () =
+  let tracer = Trace.create () in
+  ignore (diamond_run ~tracer [ 1; 2; 3; 4; 5 ]);
+  let open_spans = Hashtbl.create 8 in
+  let starts = ref 0 in
+  let ends = ref 0 in
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.Trace.kind with
+      | Trace.Node_start ->
+        incr starts;
+        check_bool "no start while a span is open on this node" false
+          (Hashtbl.mem open_spans r.Trace.node);
+        Hashtbl.replace open_spans r.Trace.node r.Trace.epoch
+      | Trace.Node_end ->
+        incr ends;
+        (match Hashtbl.find_opt open_spans r.Trace.node with
+        | None -> Alcotest.fail "Node_end without a matching Node_start"
+        | Some epoch ->
+          check_int "end epoch matches start epoch" epoch r.Trace.epoch);
+        Hashtbl.remove open_spans r.Trace.node
+      | _ -> ())
+    (Trace.records tracer);
+  check_int "every span closed" 0 (Hashtbl.length open_spans);
+  check_bool "spans were recorded" true (!starts > 0);
+  check_int "starts = ends" !starts !ends;
+  (* 4 nodes, 5 events, all in the single source's cone *)
+  check_int "one span per node per event" 20 !starts
+
+let test_timestamps_monotone () =
+  let tracer = Trace.create () in
+  ignore (diamond_run ~tracer [ 1; 2; 3 ]);
+  let rec monotone last = function
+    | [] -> true
+    | (r : Trace.record) :: rest ->
+      r.Trace.ts >= last && monotone r.Trace.ts rest
+  in
+  check_bool "virtual timestamps never go backwards" true
+    (monotone 0.0 (Trace.records tracer))
+
+let test_ring_eviction () =
+  let tracer = Trace.create ~capacity:16 () in
+  ignore (diamond_run ~tracer (List.init 20 Fun.id));
+  check_int "ring keeps at most capacity records" 16
+    (List.length (Trace.records tracer));
+  check_bool "eviction reported" true (Trace.dropped tracer > 0);
+  (* Aggregates live outside the ring and must survive eviction. *)
+  check_int "summary still counts every event" 20
+    (Trace.summary tracer).Trace.events
+
+(* ------------------------------------------------------------------ *)
+(* Latency metrics *)
+
+let latency_with_delay delay =
+  let tracer = Trace.create () in
+  ignore
+    (with_world (fun () ->
+         let armed = ref false in
+         let a = Signal.input ~name:"a" 0 in
+         let slow =
+           Signal.lift ~name:"slow"
+             (fun x ->
+               if !armed then Cml.sleep delay;
+               x + 1)
+             a
+         in
+         let rt = Runtime.start ~tracer slow in
+         armed := true;
+         Runtime.inject rt a 1;
+         rt));
+  Trace.summary tracer
+
+let test_latency_monotone_in_delay () =
+  let s0 = latency_with_delay 0.0 in
+  let s1 = latency_with_delay 0.5 in
+  let s2 = latency_with_delay 2.0 in
+  check_bool "delay 0.5 >= delay 0" true (s1.Trace.p95 >= s0.Trace.p95);
+  check_bool "delay 2.0 > delay 0.5" true (s2.Trace.p95 > s1.Trace.p95);
+  Alcotest.(check (float 1e-9)) "p95 equals the injected delay" 0.5 s1.Trace.p95;
+  Alcotest.(check (float 1e-9)) "max agrees" 2.0 s2.Trace.max
+
+let test_summary_counts () =
+  let tracer = Trace.create () in
+  ignore (diamond_run ~tracer [ 1; 2; 3 ]);
+  let s = Trace.summary tracer in
+  check_int "events" 3 s.Trace.events;
+  check_int "displays" 3 s.Trace.displays;
+  check_int "changes" 3 s.Trace.changes;
+  check_int "all four nodes reported" 4 (List.length s.Trace.nodes);
+  check_bool "node names registered" true
+    (List.exists (fun n -> n.Trace.node_name = "top") s.Trace.nodes);
+  check_bool "queue peaks observed" true (s.Trace.queue_peaks <> []);
+  check_bool "switches sampled" true (s.Trace.switches > 0)
+
+let test_empty_tracer_summary () =
+  let s = Trace.summary (Trace.create ()) in
+  check_int "no events" 0 s.Trace.events;
+  Alcotest.(check (float 0.0)) "p50 is 0, not nan" 0.0 s.Trace.p50;
+  Alcotest.(check (float 0.0)) "p95 is 0, not nan" 0.0 s.Trace.p95;
+  check_bool "pp_summary does not raise" true
+    (String.length (Format.asprintf "%a" Trace.pp_summary s) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export *)
+
+let test_chrome_json_roundtrip () =
+  let tracer = Trace.create () in
+  ignore (diamond_run ~tracer [ 1; 2 ]);
+  let doc = Trace.to_chrome_json tracer in
+  (* Round-trip through our own JSON printer and parser. *)
+  let reparsed = Json.parse (Json.to_string doc) in
+  check_bool "compact round-trip" true (Json.equal doc reparsed);
+  let reparsed_pretty = Json.parse (Json.pretty doc) in
+  check_bool "pretty round-trip" true (Json.equal doc reparsed_pretty);
+  let events =
+    match Json.member "traceEvents" reparsed with
+    | Some (Json.Array evs) -> evs
+    | _ -> Alcotest.fail "traceEvents missing or not an array"
+  in
+  check_bool "has events" true (List.length events > 0);
+  List.iter
+    (fun ev ->
+      check_bool "every event has ph" true
+        (Option.is_some (Json.member "ph" ev));
+      check_bool "every event has pid" true
+        (Option.is_some (Json.member "pid" ev));
+      match Json.member "ph" ev with
+      | Some (Json.String "M") -> ()
+      | _ ->
+        check_bool "non-metadata events have a numeric ts" true
+          (match Json.member "ts" ev with
+          | Some (Json.Number _) -> true
+          | _ -> false))
+    events;
+  let has ph name =
+    List.exists
+      (fun ev ->
+        Json.member "ph" ev = Some (Json.String ph)
+        && Json.member "name" ev = Some (Json.String name))
+      events
+  in
+  check_bool "B span for a node" true (has "B" "top");
+  check_bool "E span for a node" true (has "E" "top");
+  check_bool "dispatch instants" true (has "i" "dispatch");
+  check_bool "display instants" true (has "i" "display");
+  check_bool "thread names" true
+    (List.exists
+       (fun ev -> Json.member "name" ev = Some (Json.String "thread_name"))
+       events)
+
+(* ------------------------------------------------------------------ *)
+(* Tracing must not perturb the run *)
+
+let values rt = List.map snd (Runtime.changes rt)
+
+let test_tracing_does_not_change_behaviour () =
+  let events = List.init 25 (fun i -> (i * 7) mod 13) in
+  let plain = diamond_run events in
+  let tracer = Trace.create () in
+  let traced = diamond_run ~tracer events in
+  check_ints "identical change values" (values plain) (values traced);
+  Alcotest.(check (list (pair (float 1e-12) int)))
+    "identical change timestamps" (Runtime.changes plain)
+    (Runtime.changes traced);
+  check_int "identical message counts"
+    (Runtime.stats plain).Stats.messages
+    (Runtime.stats traced).Stats.messages;
+  check_int "identical event counts"
+    (Runtime.stats plain).Stats.events
+    (Runtime.stats traced).Stats.events
+
+(* ------------------------------------------------------------------ *)
+(* Stats empty-run guard (satellite: divide-by-zero when events = 0) *)
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_stats_empty_run () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.0)) "per_event guards 0 events" 0.0
+    (Stats.per_event 42 s);
+  let printed = Format.asprintf "%a" Stats.pp s in
+  check_bool "pp prints guarded msg/ev ratio" true
+    (contains printed "msg/ev=0.0");
+  check_bool "pp prints guarded sw/ev ratio" true (contains printed "sw/ev=0.0");
+  check_bool "no nan/inf in output" true
+    (not (contains printed "nan" || contains printed "inf"))
+
+let test_stats_pp_ratios () =
+  let s = Stats.create () in
+  s.Stats.events <- 4;
+  s.Stats.messages <- 10;
+  s.Stats.switches <- 8;
+  let printed = Format.asprintf "%a" Stats.pp s in
+  check_bool "msg/ev computed" true (contains printed "msg/ev=2.5");
+  check_bool "sw/ev computed" true (contains printed "sw/ev=2.0")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "trace"
+    [
+      ( "spans",
+        [
+          tc "well nested per node" `Quick test_spans_well_nested;
+          tc "timestamps monotone" `Quick test_timestamps_monotone;
+          tc "ring eviction" `Quick test_ring_eviction;
+        ] );
+      ( "latency",
+        [
+          tc "monotone in injected delay" `Quick test_latency_monotone_in_delay;
+          tc "summary counts" `Quick test_summary_counts;
+          tc "empty tracer" `Quick test_empty_tracer_summary;
+        ] );
+      ("chrome", [ tc "json round-trip" `Quick test_chrome_json_roundtrip ]);
+      ( "isolation",
+        [
+          tc "tracing-off byte-identical to tracing-on" `Quick
+            test_tracing_does_not_change_behaviour;
+        ] );
+      ( "stats",
+        [
+          tc "empty run guarded" `Quick test_stats_empty_run;
+          tc "ratios computed" `Quick test_stats_pp_ratios;
+        ] );
+    ]
