@@ -105,7 +105,10 @@ let b2_makespan ~mode ~depth ~events ~cost =
           if n = 0 then s
           else build (Signal.lift (costly armed cost (fun x -> x + 1)) s) (n - 1)
         in
-        let rt = Runtime.start ~mode (build src depth) in
+        (* ~fuse:false: this experiment measures pipelined overlap *within*
+           the chain, which fusion deliberately trades away (B13 measures
+           the fusion side of that trade). *)
+        let rt = Runtime.start ~mode ~fuse:false (build src depth) in
         armed := true;
         for i = 1 to events do
           Runtime.inject rt src i
@@ -322,7 +325,10 @@ let b10_counts ~per_stage ~depth ~events =
         in
         let built = build src depth in
         let s = if per_stage then built else Signal.async built in
-        let rt = Runtime.start s in
+        (* ~fuse:false: the ablation compares per-node dispatch costs around
+           async boundaries; fusing the lift stages away would collapse the
+           very chain whose per-stage cost is being measured. *)
+        let rt = Runtime.start ~fuse:false s in
         for i = 1 to events do
           Runtime.inject rt src i
         done;
@@ -358,8 +364,11 @@ let b11_sparse ?tracer ~mode ~dispatch ~chains ~depth ~events () =
         let rec chain n s =
           if n = 0 then s else chain (n - 1) (Signal.lift (fun x -> x + 1) s)
         in
+        (* ~fuse:false: B11 isolates the dispatch-strategy axis on the graph
+           as written, keeping its numbers comparable across PRs; B13
+           measures the fusion axis (and its composition with Cone). *)
         let rt =
-          Runtime.start ~mode ~dispatch ?tracer
+          Runtime.start ~mode ~dispatch ?tracer ~fuse:false
             (Signal.combine (List.map (chain depth) inputs))
         in
         let first = List.hd inputs in
@@ -510,6 +519,113 @@ let bench_b12 () =
   (sync, asy)
 
 (* ------------------------------------------------------------------ *)
+(* B13: build-time fusion of stateless lift chains (the Fuse pass). Two
+   depth-K chains — one active, one quiet — feed a combining root; all
+   events enter the active chain. Unfused, the graph instantiates 2K+3
+   nodes; fused, each chain collapses into one composite, leaving 5 nodes
+   regardless of K. Measured per event: node emissions (messages) and
+   scheduler context switches, fusion on/off x Flood/Cone, with the change
+   trace required to be identical in all four configurations. *)
+
+let b13_chain ~fuse ~dispatch ~depth ~events =
+  let rt =
+    with_world (fun () ->
+        let active = Signal.input ~name:"active" 0 in
+        let quiet = Signal.input ~name:"quiet" 0 in
+        let rec chain n s =
+          if n = 0 then s else chain (n - 1) (Signal.lift (fun x -> x + 1) s)
+        in
+        let root = Signal.pair (chain depth active) (chain depth quiet) in
+        let rt = Runtime.start ~dispatch ~fuse root in
+        for i = 1 to events do
+          Runtime.inject rt active i
+        done;
+        rt)
+  in
+  let st = Runtime.stats rt in
+  let per total = Stats.per_event total st in
+  ( List.map snd (Runtime.changes rt),
+    per st.Stats.messages,
+    per (Cml.Scheduler.switch_count ()),
+    Runtime.node_count rt,
+    st.Stats.fused_nodes )
+
+type b13_row = {
+  b13_depth : int;
+  b13_events : int;
+  b13_nodes_unfused : int;
+  b13_nodes_fused : int;
+  b13_fused_away : int;  (* Stats.fused_nodes: must bridge the two counts *)
+  fl_off_messages : float;
+  fl_on_messages : float;
+  fl_off_switches : float;
+  fl_on_switches : float;
+  co_off_messages : float;
+  co_on_messages : float;
+  co_off_switches : float;
+  co_on_switches : float;
+  b13_identical : bool;
+}
+
+let b13_measure ~depth ~events =
+  let run ~fuse ~dispatch = b13_chain ~fuse ~dispatch ~depth ~events in
+  let v_fl_off, fl_off_m, fl_off_s, nodes_unfused, _ =
+    run ~fuse:false ~dispatch:Runtime.Flood
+  in
+  let v_fl_on, fl_on_m, fl_on_s, nodes_fused, fused_away =
+    run ~fuse:true ~dispatch:Runtime.Flood
+  in
+  let v_co_off, co_off_m, co_off_s, _, _ =
+    run ~fuse:false ~dispatch:Runtime.Cone
+  in
+  let v_co_on, co_on_m, co_on_s, _, _ = run ~fuse:true ~dispatch:Runtime.Cone in
+  {
+    b13_depth = depth;
+    b13_events = events;
+    b13_nodes_unfused = nodes_unfused;
+    b13_nodes_fused = nodes_fused;
+    b13_fused_away = fused_away;
+    fl_off_messages = fl_off_m;
+    fl_on_messages = fl_on_m;
+    fl_off_switches = fl_off_s;
+    fl_on_switches = fl_on_s;
+    co_off_messages = co_off_m;
+    co_on_messages = co_on_m;
+    co_off_switches = co_off_s;
+    co_on_switches = co_on_s;
+    b13_identical =
+      v_fl_off = v_fl_on && v_fl_on = v_co_off && v_co_off = v_co_on;
+  }
+
+let bench_b13 () =
+  section "B13 Node fusion: deep lift chains, fusion on/off x Flood/Cone";
+  Printf.printf
+    "2 depth-K chains + combining root; 100 events into chain 0; msg/ev and \
+     sw/ev\n";
+  Printf.printf "%4s | %5s>%4s %5s | %9s %9s %6s | %9s %9s %6s | %5s\n" "K"
+    "nodes" "live" "fused" "fl off" "fl on" "ratio" "co off" "co on" "ratio"
+    "same";
+  let rows =
+    List.map (fun depth -> b13_measure ~depth ~events:100) [ 1; 8; 64 ]
+  in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%4d | %5d>%4d %5d | %9.1f %9.1f %5.1fx | %9.1f %9.1f %5.1fx | %5b\n"
+        r.b13_depth r.b13_nodes_unfused r.b13_nodes_fused r.b13_fused_away
+        r.fl_off_messages r.fl_on_messages
+        (r.fl_off_messages /. r.fl_on_messages)
+        r.co_off_messages r.co_on_messages
+        (r.co_off_messages /. r.co_on_messages)
+        r.b13_identical)
+    rows;
+  Printf.printf
+    "switches/ev at K=64 (flood off/on, cone off/on): %.1f %.1f %.1f %.1f\n"
+    (List.nth rows 2).fl_off_switches (List.nth rows 2).fl_on_switches
+    (List.nth rows 2).co_off_switches (List.nth rows 2).co_on_switches;
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* Wall-clock microbenchmarks via bechamel: the real costs of the engine,
    the layout library (B6) and the compiler (B7). *)
 
@@ -519,10 +635,10 @@ let make_chain_runtime depth =
   let rec build s n = if n = 0 then s else build (Signal.lift (fun x -> x + 1) s) (n - 1) in
   (src, build src depth)
 
-let bench_graph_throughput depth () =
+let bench_graph_throughput ?(fuse = true) depth () =
   with_world (fun () ->
       let src, top = make_chain_runtime depth in
-      let rt = Runtime.start top in
+      let rt = Runtime.start ~fuse top in
       for i = 1 to 100 do
         Runtime.inject rt src i
       done;
@@ -585,6 +701,8 @@ let micro_benchmarks () =
         (Staged.stage (bench_graph_throughput 10));
       Test.make ~name:"engine: 100 events x depth-50 chain"
         (Staged.stage (bench_graph_throughput 50));
+      Test.make ~name:"engine: 100 events x depth-50 chain (unfused)"
+        (Staged.stage (bench_graph_throughput ~fuse:false 50));
       Test.make ~name:"B6 layout: build+HTML render (depth 30)"
         (Staged.stage (fun () -> ignore (Gui.Html_render.render element)));
       Test.make ~name:"B6 layout: build element tree (depth 30)"
@@ -690,7 +808,42 @@ let b11_to_json rows =
            ])
        rows)
 
-let write_json ~path b11_rows (b12_sync, b12_async) micro =
+let b13_to_json rows =
+  Json.Array
+    (List.map
+       (fun r ->
+         Json.Object
+           [
+             ("depth", Json.of_int r.b13_depth);
+             ("events", Json.of_int r.b13_events);
+             ("nodes_unfused", Json.of_int r.b13_nodes_unfused);
+             ("nodes_fused", Json.of_int r.b13_nodes_fused);
+             ("fused_nodes", Json.of_int r.b13_fused_away);
+             ( "flood",
+               Json.Object
+                 [
+                   ("messages_per_event_off", Json.of_float r.fl_off_messages);
+                   ("messages_per_event_on", Json.of_float r.fl_on_messages);
+                   ("switches_per_event_off", Json.of_float r.fl_off_switches);
+                   ("switches_per_event_on", Json.of_float r.fl_on_switches);
+                   ( "message_ratio",
+                     Json.of_float (r.fl_off_messages /. r.fl_on_messages) );
+                 ] );
+             ( "cone",
+               Json.Object
+                 [
+                   ("messages_per_event_off", Json.of_float r.co_off_messages);
+                   ("messages_per_event_on", Json.of_float r.co_on_messages);
+                   ("switches_per_event_off", Json.of_float r.co_off_switches);
+                   ("switches_per_event_on", Json.of_float r.co_on_switches);
+                   ( "message_ratio",
+                     Json.of_float (r.co_off_messages /. r.co_on_messages) );
+                 ] );
+             ("changes_identical", Json.of_bool r.b13_identical);
+           ])
+       rows)
+
+let write_json ~path b11_rows (b12_sync, b12_async) b13_rows micro =
   let doc =
     Json.Object
       [
@@ -702,6 +855,7 @@ let write_json ~path b11_rows (b12_sync, b12_async) micro =
               ("sync", Trace.summary_to_json b12_sync);
               ("async", Trace.summary_to_json b12_async);
             ] );
+        ("b13_fusion", b13_to_json b13_rows);
         ( "micro_ns_per_run",
           Json.Object (List.map (fun (n, v) -> (n, Json.of_float v)) micro) );
       ]
@@ -741,6 +895,45 @@ let () =
     exit 1
   end;
   let b12 = bench_b12 () in
+  (* B13 smoke gates: fusion must be invisible in the change trace and must
+     never increase messages/event, under either dispatch strategy. *)
+  let b13_rows = bench_b13 () in
+  if not (List.for_all (fun r -> r.b13_identical) b13_rows) then begin
+    prerr_endline "B13: fusion changed the change trace!";
+    exit 1
+  end;
+  if
+    not
+      (List.for_all
+         (fun r ->
+           r.fl_on_messages <= r.fl_off_messages
+           && r.co_on_messages <= r.co_off_messages)
+         b13_rows)
+  then begin
+    prerr_endline "B13: fusion increased messages/event!";
+    exit 1
+  end;
+  if
+    not
+      (List.for_all
+         (fun r ->
+           r.b13_depth < 8
+           || (r.fl_off_messages >= 2.0 *. r.fl_on_messages
+              && r.co_off_messages >= 2.0 *. r.co_on_messages))
+         b13_rows)
+  then begin
+    prerr_endline "B13: fusion won < 2x messages/event on a deep chain!";
+    exit 1
+  end;
+  if
+    not
+      (List.for_all
+         (fun r -> r.b13_nodes_fused + r.b13_fused_away = r.b13_nodes_unfused)
+         b13_rows)
+  then begin
+    prerr_endline "B13: fused_nodes accounting broken!";
+    exit 1
+  end;
   let micro = if smoke then [] else micro_benchmarks () in
-  if emit_json then write_json ~path:"BENCH_core.json" b11_rows b12 micro;
+  if emit_json then write_json ~path:"BENCH_core.json" b11_rows b12 b13_rows micro;
   print_endline "\ndone."

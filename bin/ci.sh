@@ -9,8 +9,13 @@
 # differs from the flooding baseline, or if tracing perturbs the
 # messages/event account by more than 10%, so a semantics regression in
 # the dispatcher or tracer fails CI even if no unit test covers it.
+# The same smoke run gates the fusion pass via B13: fused and unfused
+# deep-chain runs must produce identical change traces, fusion must
+# never increase messages/event, depth >= 8 chains must show at least a
+# 2x message reduction under both dispatch strategies, and the node
+# accounting (live + fused_away = original) must balance.
 # The full run also writes BENCH_core.json (latency percentiles, trace
-# summaries) for CI artifact upload.
+# summaries, B13 fusion ratios) for CI artifact upload.
 set -eu
 cd "$(dirname "$0")/.."
 

@@ -95,7 +95,16 @@ let run_cmd =
   let stats_arg =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print runtime counters at exit.")
   in
-  let run file replay trace_out sequential print_stats =
+  let no_fuse_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fuse" ]
+          ~doc:
+            "Instantiate the signal graph exactly as written, skipping the \
+             build-time fusion of stateless lift chains (one thread and one \
+             channel per source node, as in the paper's Fig. 10).")
+  in
+  let run file replay trace_out sequential print_stats no_fuse =
     or_die (fun () ->
         let program, ty = load_checked file in
         let events =
@@ -113,7 +122,10 @@ let run_cmd =
         let tracer =
           Option.map (fun _ -> Elm_core.Trace.create ()) trace_out
         in
-        let outcome = Felm.Interp.run ~mode ?tracer program ~trace:events in
+        let outcome =
+          Felm.Interp.run ~mode ?tracer ~fuse:(not no_fuse) program
+            ~trace:events
+        in
         Printf.printf "-- %s : %s\n" (Filename.basename file) (Felm.Ty.to_string ty);
         if outcome.Felm.Interp.displays = [] then
           Printf.printf "value: %s\n" (Felm.Value.show outcome.Felm.Interp.final)
@@ -139,7 +151,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Interpret a FElm program against an event trace.")
-    Term.(const run $ file_arg $ replay_arg $ trace_out_arg $ seq_arg $ stats_arg)
+    Term.(
+      const run $ file_arg $ replay_arg $ trace_out_arg $ seq_arg $ stats_arg
+      $ no_fuse_arg)
 
 let compile_cmd =
   let out_arg =
@@ -174,20 +188,47 @@ let graph_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output file (default: stdout).")
   in
-  let run file out =
+  let fused_arg =
+    Arg.(
+      value & flag
+      & info [ "fused" ]
+          ~doc:
+            "Render the graph the runtime actually instantiates: after the \
+             build-time fusion pass, with each fused lift chain drawn as a \
+             single composite box.")
+  in
+  let run file out fused =
     or_die (fun () ->
         let program, _ = load_checked file in
         let g, root = Felm.Denote.run_program program in
-        let root_id =
-          match root with Felm.Value.Vsignal id -> Some id | _ -> None
-        in
-        write_output out
-          (Felm.Sgraph.to_dot ~label:(Filename.basename file) g ~root:root_id))
+        if fused then (
+          match root with
+          | Felm.Value.Vsignal root_id ->
+            Felm.Sgraph.freeze g;
+            let table = Felm.Interp.build_signals program g in
+            let root_signal = Hashtbl.find table root_id in
+            let fused_root = Elm_core.Fuse.fuse root_signal in
+            write_output out
+              (Elm_core.Signal.to_dot
+                 ~label:(Filename.basename file ^ " (fused)")
+                 fused_root)
+          | _ ->
+            Printf.eprintf
+              "graph --fused: %s is not a reactive program (main is a plain \
+               value)\n"
+              (Filename.basename file);
+            exit 1)
+        else
+          let root_id =
+            match root with Felm.Value.Vsignal id -> Some id | _ -> None
+          in
+          write_output out
+            (Felm.Sgraph.to_dot ~label:(Filename.basename file) g ~root:root_id))
   in
   Cmd.v
     (Cmd.info "graph"
        ~doc:"Emit the program's signal graph as Graphviz DOT (Figs. 7-8).")
-    Term.(const run $ file_arg $ out_arg)
+    Term.(const run $ file_arg $ out_arg $ fused_arg)
 
 let () =
   let info =

@@ -1,0 +1,336 @@
+(* Build-time fusion of stateless signal-node chains.
+
+   The Fig. 10 translation pays one thread, one multicast channel, one wakeup
+   and one message hop per node per event. A chain of [lift] nodes, though,
+   is semantically a single pure function: fusing it into one composite node
+   preserves every observable of the runtime ([changes], [current],
+   [on_change]) while shrinking messages/event, context switches and thread
+   count. This pass rewrites the DAG before [Runtime.start] instantiates it.
+
+   A node is a fusable *stage* when it transforms exactly one upstream
+   signal statelessly with respect to the global event order:
+
+   - [Lift1 (f, d)] — step is [fun v -> Some (f v)];
+   - [Drop_repeats (eq, d)] — step carries its own previous-value cell,
+     created fresh per instantiation by the composite's [comp_make] factory;
+   - [Lift2/3/4]/[Lift_list] where every dependency but one is a [Constant]
+     — constants never change, so their defaults are closed over;
+   - an existing [Composite] — composites re-fuse, so repeated passes are
+     idempotent.
+
+   Everything else is a barrier: [foldp] (state), [async]/[delay]
+   (source-ness: their changes re-enter through the global dispatcher),
+   [merge]/[sample_on]/[keep_when] (multiple live inputs), inputs and
+   constants (sources). Fan-out is a barrier too: a stage is absorbed into
+   the chain above it only when it has exactly one subscriber, so shared
+   subgraphs ([let s = lift f x] used twice) keep their single shared node
+   and are computed once per event, exactly as unfused. The root is treated
+   as externally referenced (the display loop subscribes to it), which is
+   why it can head a chain but never disappear into one. *)
+
+module S = Signal
+
+(* One collected stage (or chain of stages): a step-function factory from
+   the chain's input signal ['b] to the head node's type. The factory
+   discipline keeps fused [Drop_repeats] state per-instantiation, so a
+   signal graph can be started, run and re-started without state leaking
+   between runtimes. *)
+type 'a stage =
+  | Stage : {
+      dep : 'b S.t;
+      mk : unit -> 'b -> 'a option;
+      names : string list;  (* input side first *)
+      size : int;  (* original nodes collapsed so far *)
+    }
+      -> 'a stage
+
+let is_constant (type a) (s : a S.t) =
+  match S.kind s with S.Constant -> true | _ -> false
+
+(* View a single node as a stage, if it is one. *)
+let as_stage : type a. a S.t -> a stage option =
+ fun s ->
+  match S.kind s with
+  | S.Lift1 (f, d) ->
+    Some
+      (Stage
+         {
+           dep = d;
+           mk = (fun () v -> Some (f v));
+           names = [ S.name s ];
+           size = 1;
+         })
+  | S.Drop_repeats (eq, d) ->
+    Some
+      (Stage
+         {
+           dep = d;
+           mk =
+             (fun () ->
+               (* Same initial comparison point as the unfused node: its
+                  default, which equals the upstream default. *)
+               let prev = ref (S.default s) in
+               fun v ->
+                 if eq v !prev then None
+                 else begin
+                   prev := v;
+                   Some v
+                 end);
+           names = [ S.name s ];
+           size = 1;
+         })
+  | S.Lift2 (f, a, b) -> (
+    match (is_constant a, is_constant b) with
+    | false, true ->
+      let bv = S.default b in
+      Some
+        (Stage
+           {
+             dep = a;
+             mk = (fun () v -> Some (f v bv));
+             names = [ S.name s ];
+             size = 1;
+           })
+    | true, false ->
+      let av = S.default a in
+      Some
+        (Stage
+           {
+             dep = b;
+             mk = (fun () v -> Some (f av v));
+             names = [ S.name s ];
+             size = 1;
+           })
+    | _ -> None)
+  | S.Lift3 (f, a, b, c) -> (
+    match (is_constant a, is_constant b, is_constant c) with
+    | false, true, true ->
+      let bv = S.default b and cv = S.default c in
+      Some
+        (Stage
+           {
+             dep = a;
+             mk = (fun () v -> Some (f v bv cv));
+             names = [ S.name s ];
+             size = 1;
+           })
+    | true, false, true ->
+      let av = S.default a and cv = S.default c in
+      Some
+        (Stage
+           {
+             dep = b;
+             mk = (fun () v -> Some (f av v cv));
+             names = [ S.name s ];
+             size = 1;
+           })
+    | true, true, false ->
+      let av = S.default a and bv = S.default b in
+      Some
+        (Stage
+           {
+             dep = c;
+             mk = (fun () v -> Some (f av bv v));
+             names = [ S.name s ];
+             size = 1;
+           })
+    | _ -> None)
+  | S.Lift4 (f, a, b, c, d) -> (
+    match (is_constant a, is_constant b, is_constant c, is_constant d) with
+    | false, true, true, true ->
+      let bv = S.default b and cv = S.default c and dv = S.default d in
+      Some
+        (Stage
+           {
+             dep = a;
+             mk = (fun () v -> Some (f v bv cv dv));
+             names = [ S.name s ];
+             size = 1;
+           })
+    | true, false, true, true ->
+      let av = S.default a and cv = S.default c and dv = S.default d in
+      Some
+        (Stage
+           {
+             dep = b;
+             mk = (fun () v -> Some (f av v cv dv));
+             names = [ S.name s ];
+             size = 1;
+           })
+    | true, true, false, true ->
+      let av = S.default a and bv = S.default b and dv = S.default d in
+      Some
+        (Stage
+           {
+             dep = c;
+             mk = (fun () v -> Some (f av bv v dv));
+             names = [ S.name s ];
+             size = 1;
+           })
+    | true, true, true, false ->
+      let av = S.default a and bv = S.default b and cv = S.default c in
+      Some
+        (Stage
+           {
+             dep = d;
+             mk = (fun () v -> Some (f av bv cv v));
+             names = [ S.name s ];
+             size = 1;
+           })
+    | _ -> None)
+  | S.Lift_list (f, ds) -> (
+    (* The felm interpreter lowers every lift to [lift_list], so the unary
+       (modulo constants) case matters for fusing interpreted programs. The
+       live dependency must appear exactly once. *)
+    match List.filter (fun d -> not (is_constant d)) ds with
+    | [ d ] ->
+      Some
+        (Stage
+           {
+             dep = d;
+             mk =
+               (fun () v ->
+                 Some
+                   (f
+                      (List.map
+                         (fun d' -> if d' == d then v else S.default d')
+                         ds)));
+             names = [ S.name s ];
+             size = 1;
+           })
+    | _ -> None)
+  | S.Composite (c, d) ->
+    Some
+      (Stage
+         {
+           dep = d;
+           mk = c.S.comp_make;
+           names = c.S.comp_names;
+           size = c.S.comp_size;
+         })
+  | S.Constant | S.Input | S.Foldp _ | S.Async _ | S.Delay _ | S.Merge _
+  | S.Sample_on _ | S.Keep_when _ ->
+    None
+
+(* Distinguishes substitution slots of this pass from earlier passes. *)
+let pass_counter = ref 0
+
+let fuse root =
+  incr pass_counter;
+  let pass = !pass_counter in
+  let nodes = S.reachable root in
+  (* Subscriber (incoming-edge) counts over the original graph. A node used
+     twice by the same dependent counts twice — it has two subscriptions. *)
+  let subs = Hashtbl.create 64 in
+  let bump id =
+    Hashtbl.replace subs id
+      (1 + Option.value ~default:0 (Hashtbl.find_opt subs id))
+  in
+  List.iter
+    (fun (S.Pack s) -> List.iter (fun (S.Pack d) -> bump (S.id d)) (S.deps s))
+    nodes;
+  (* The display loop subscribes to the root: it is externally referenced
+     and must survive as a node (possibly a composite head, never an
+     interior stage). *)
+  bump (S.id root);
+  let sole_subscriber (type b) (d : b S.t) =
+    Hashtbl.find_opt subs (S.id d) = Some 1
+  in
+  let rec rewrite : type a. a S.t -> a S.t =
+   fun s ->
+    match S.get_subst s ~pass with
+    | Some s' -> s'
+    | None ->
+      let s' =
+        match collect s with
+        | Some (Stage { dep; mk; names; size }) when size >= 2 ->
+          let dep' = rewrite dep in
+          S.composite ~default:(S.default s)
+            { S.comp_make = mk; comp_names = names; comp_size = size }
+            dep'
+        | _ -> rebuild s
+      in
+      S.set_subst s ~pass s';
+      s'
+  (* Collect the maximal stage chain ending at [s]: extend downward through
+     dependencies that are themselves stages with [s]'s chain as their only
+     subscriber. *)
+  and collect : type a. a S.t -> a stage option =
+   fun s ->
+    match as_stage s with
+    | None -> None
+    | Some (Stage st) -> (
+      if not (sole_subscriber st.dep) then Some (Stage st)
+      else
+        match collect st.dep with
+        | None -> Some (Stage st)
+        | Some (Stage lower) ->
+          Some
+            (Stage
+               {
+                 dep = lower.dep;
+                 mk =
+                   (fun () ->
+                     let lo = lower.mk () in
+                     let hi = st.mk () in
+                     fun v ->
+                       match lo v with None -> None | Some w -> hi w);
+                 names = lower.names @ st.names;
+                 size = lower.size + st.size;
+               }))
+  (* Not a fused chain head: keep the node, rewriting its dependencies.
+     Nodes whose dependencies are untouched are reused as-is — in
+     particular inputs, so [Runtime.inject] on the original handles still
+     works on the fused graph. *)
+  and rebuild : type a. a S.t -> a S.t =
+   fun s ->
+    match S.kind s with
+    | S.Constant | S.Input -> s
+    | S.Lift1 (f, a) ->
+      let a' = rewrite a in
+      if a' == a then s else S.with_kind s (S.Lift1 (f, a'))
+    | S.Lift2 (f, a, b) ->
+      let a' = rewrite a and b' = rewrite b in
+      if a' == a && b' == b then s else S.with_kind s (S.Lift2 (f, a', b'))
+    | S.Lift3 (f, a, b, c) ->
+      let a' = rewrite a and b' = rewrite b and c' = rewrite c in
+      if a' == a && b' == b && c' == c then s
+      else S.with_kind s (S.Lift3 (f, a', b', c'))
+    | S.Lift4 (f, a, b, c, d) ->
+      let a' = rewrite a
+      and b' = rewrite b
+      and c' = rewrite c
+      and d' = rewrite d in
+      if a' == a && b' == b && c' == c && d' == d then s
+      else S.with_kind s (S.Lift4 (f, a', b', c', d'))
+    | S.Lift_list (f, ds) ->
+      let ds' = List.map (fun (d : _ S.t) -> rewrite d) ds in
+      if List.for_all2 ( == ) ds ds' then s
+      else S.with_kind s (S.Lift_list (f, ds'))
+    | S.Foldp (f, a) ->
+      let a' = rewrite a in
+      if a' == a then s else S.with_kind s (S.Foldp (f, a'))
+    | S.Async a ->
+      let a' = rewrite a in
+      if a' == a then s else S.with_kind s (S.Async a')
+    | S.Delay (d, a) ->
+      let a' = rewrite a in
+      if a' == a then s else S.with_kind s (S.Delay (d, a'))
+    | S.Merge (a, b) ->
+      let a' = rewrite a and b' = rewrite b in
+      if a' == a && b' == b then s else S.with_kind s (S.Merge (a', b'))
+    | S.Drop_repeats (eq, a) ->
+      let a' = rewrite a in
+      if a' == a then s else S.with_kind s (S.Drop_repeats (eq, a'))
+    | S.Sample_on (t, a) ->
+      let t' = rewrite t and a' = rewrite a in
+      if t' == t && a' == a then s else S.with_kind s (S.Sample_on (t', a'))
+    | S.Keep_when (g, a, base) ->
+      let g' = rewrite g and a' = rewrite a in
+      if g' == g && a' == a then s
+      else S.with_kind s (S.Keep_when (g', a', base))
+    | S.Composite (c, a) ->
+      let a' = rewrite a in
+      if a' == a then s else S.with_kind s (S.Composite (c, a'))
+  in
+  rewrite root

@@ -396,6 +396,38 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
         in
         loop default);
     plain out
+  | Signal.Composite (c, dep) ->
+    (* A fused chain (see {!Fuse}): one thread and one channel in place of
+       [comp_size] originals. The step function is created fresh here so
+       stateful stages (fused [drop_repeats]) never leak state across
+       runtimes. Composites always memoize — the step is stateful, so the
+       [memoize:false] recompute-always baseline cannot safely re-run it on
+       quiescent rounds (and [Runtime.start ~memoize:false] keeps graphs
+       unfused for exactly that reason). *)
+    let e = edge ctx dep in
+    let step = c.Signal.comp_make () in
+    let id = Signal.id s in
+    let out =
+      Multicast.create ~name:(Printf.sprintf "out:%d:%s" id (Signal.name s)) ()
+    in
+    let wake = node_wakeup ctx ~id ~name:(Signal.name s) in
+    Cml.spawn (fun () ->
+        let rec loop prev =
+          let r = recv_wake ctx ~id wake in
+          let msg =
+            match read_edge ctx e r with
+            | Event.Change v -> (
+              ctx.c_stats.applications <- ctx.c_stats.applications + 1;
+              match step v with
+              | Some w -> Event.Change w
+              | None -> Event.No_change prev)
+            | Event.No_change _ -> Event.No_change prev
+          in
+          emit ctx ~id out r msg;
+          loop (Event.body msg)
+        in
+        loop default);
+    plain out
   | Signal.Keep_when (gate, src, _base) ->
     let eg = edge ctx gate in
     let es = edge ctx src in
@@ -437,7 +469,8 @@ let push_bounded history lst count x =
     if count + 1 > 2 * cap then (take cap (x :: lst), cap)
     else (x :: lst, count + 1)
 
-let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer root =
+let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer
+    ?(fuse = true) root =
   if not (Cml.running ()) then
     invalid_arg "Runtime.start: must be called inside Cml.run";
   (match history with
@@ -449,6 +482,13 @@ let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer root 
   let dispatch =
     match dispatch with Some d -> d | None -> if memoize then Cone else Flood
   in
+  (* Fusion composites carry stateful step functions that cannot be re-run
+     on quiescent rounds, so the recompute-always baseline stays unfused:
+     it exists to count recomputations, and fusing away the nodes that
+     would perform them would falsify the measurement. *)
+  let fuse = fuse && memoize in
+  let original_nodes = if fuse then List.length (Signal.reachable root) else 0 in
+  let root = if fuse then Fuse.fuse root else root in
   incr generation;
   let stats = Stats.create () in
   let new_event = Mailbox.create ~name:"newEvent" () in
@@ -476,6 +516,7 @@ let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer root 
   | None -> Cml.Probe.clear ());
   let root_inst = build ctx root in
   let node_count = Reach.node_count reach in
+  stats.Stats.fused_nodes <- (if fuse then original_nodes - node_count else 0);
   let rt =
     {
       gen = ctx.rt_gen;
@@ -577,7 +618,12 @@ let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer root 
         | Some tr ->
           Trace.dispatch tr ~source:eid ~epoch:r.epoch
             ~targets:(Array.length targets));
-        Array.iter (fun mb -> Mailbox.send mb r) targets;
+        (* Plain index loop: an [Array.iter] here would allocate a fresh
+           closure over [r] per event, the one allocation left on the
+           per-event dispatch path. *)
+        for i = 0 to Array.length targets - 1 do
+          Mailbox.send (Array.unsafe_get targets i) r
+        done;
         stats.switches <- Cml.Scheduler.switch_count ();
         (match mode with
         | Sequential when reaches_root eid -> Mailbox.recv ack

@@ -35,7 +35,21 @@
     {!Stats.t.recomputations}) while preserving output semantics; it is the
     pull-style recomputation baseline of experiment B3. Because that baseline
     exists to measure flood-shaped work, [memoize:false] defaults to [Flood]
-    dispatch unless a strategy is given explicitly. *)
+    dispatch unless a strategy is given explicitly, and it also disables
+    fusion (a fused composite's step is stateful and cannot be re-run on
+    quiescent rounds).
+
+    {b Fusion.} By default {!start} first runs the {!Fuse} pass: maximal
+    chains of stateless single-subscriber nodes are collapsed into one
+    composite node each, shrinking thread count, messages/event and context
+    switches while leaving {!changes}, {!current} and {!on_change}
+    bit-identical across [Pipelined]/[Sequential] × [Flood]/[Cone] (for
+    chain functions that take no virtual time; a chain of {e sleeping}
+    stages keeps its values and order but loses pipelined overlap, since
+    the fused chain is one node). {!node_count}, {!Reach} cones, the
+    elision invariant and {!Trace} spans all describe the fused graph;
+    {!Stats.t.fused_nodes} records how many nodes were eliminated. Pass
+    [~fuse:false] to instantiate the graph exactly as written. *)
 
 type mode =
   | Pipelined  (** Paper semantics: nodes run concurrently, FIFO edges. *)
@@ -56,6 +70,7 @@ val start :
   ?memoize:bool ->
   ?history:int ->
   ?tracer:Trace.t ->
+  ?fuse:bool ->
   'a Signal.t ->
   'a t
 (** Instantiate the graph and spawn its threads. Must be called inside

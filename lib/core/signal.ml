@@ -10,7 +10,10 @@ type 'a t = {
   node_default : 'a;
   node_kind : 'a kind;
   mutable node_inst : 'a inst option;
+  mutable node_subst : 'a subst option;
 }
+
+and 'a subst = { subst_gen : int; subst_node : 'a t }
 
 and 'a kind =
   | Constant
@@ -27,6 +30,16 @@ and 'a kind =
   | Drop_repeats of ('a -> 'a -> bool) * 'a t
   | Sample_on : 'b t * 'a t -> 'a kind
   | Keep_when of bool t * 'a t * 'a
+  | Composite : ('b, 'a) composite * 'b t -> 'a kind
+
+and ('b, 'a) composite = {
+  comp_make : unit -> 'b -> 'a option;
+      (** Factory for the fused step function. Each runtime instantiation
+          calls it once so stateful stages (fused [Drop_repeats]) get fresh
+          state. [None] means "no change this round". *)
+  comp_names : string list;  (** Constituent node names, input side first. *)
+  comp_size : int;  (** Number of original nodes this composite replaces. *)
+}
 
 type packed = Pack : 'a t -> packed
 
@@ -44,6 +57,7 @@ let make ?name ~fallback_name default kind =
     node_default = default;
     node_kind = kind;
     node_inst = None;
+    node_subst = None;
   }
 
 let id t = t.node_id
@@ -52,6 +66,22 @@ let default t = t.node_default
 let kind t = t.node_kind
 let get_inst t = t.node_inst
 let set_inst t i = t.node_inst <- Some i
+
+let get_subst t ~pass =
+  match t.node_subst with
+  | Some { subst_gen; subst_node } when subst_gen = pass -> Some subst_node
+  | _ -> None
+
+let set_subst t ~pass s =
+  t.node_subst <- Some { subst_gen = pass; subst_node = s }
+
+(* Rebuild a node around a new kind (same id/name/default) when a fusion
+   pass rewrites its dependencies. Keeping the id stable makes node
+   identities comparable across fused and unfused runs of the same graph;
+   ids stay unique because the original node is no longer part of the
+   rewritten graph. *)
+let with_kind t kind =
+  { t with node_kind = kind; node_inst = None; node_subst = None }
 
 let constant ?name v = make ?name ~fallback_name:"constant" v Constant
 
@@ -135,6 +165,10 @@ let combine ?name sigs =
 
 let timestamp ?name s = lift ?name (fun v -> (Cml.now (), v)) s
 
+let composite ?name ~default c dep =
+  make ?name ~fallback_name:(String.concat "\u{2218}" c.comp_names) default
+    (Composite (c, dep))
+
 let kind_name (type a) (t : a t) =
   match t.node_kind with
   | Constant -> "constant"
@@ -151,6 +185,7 @@ let kind_name (type a) (t : a t) =
   | Drop_repeats _ -> "dropRepeats"
   | Sample_on _ -> "sampleOn"
   | Keep_when _ -> "keepWhen"
+  | Composite _ -> "composite"
 
 let deps (type a) (t : a t) =
   match t.node_kind with
@@ -167,12 +202,13 @@ let deps (type a) (t : a t) =
   | Drop_repeats (_, s) -> [ Pack s ]
   | Sample_on (ticks, s) -> [ Pack ticks; Pack s ]
   | Keep_when (gate, s, _) -> [ Pack gate; Pack s ]
+  | Composite (_, s) -> [ Pack s ]
 
 let is_source (type a) (t : a t) =
   match t.node_kind with
   | Constant | Input | Async _ | Delay _ -> true
   | Lift1 _ | Lift2 _ | Lift3 _ | Lift4 _ | Lift_list _ | Foldp _ | Merge _
-  | Drop_repeats _ | Sample_on _ | Keep_when _ ->
+  | Drop_repeats _ | Sample_on _ | Keep_when _ | Composite _ ->
     false
 
 let reachable root =
@@ -188,21 +224,48 @@ let reachable root =
   visit (Pack root);
   List.rev !order
 
+(* Escape a user-supplied name for use inside a double-quoted DOT string.
+   Quotes and backslashes would otherwise produce malformed DOT; angle
+   brackets and record specials are escaped too so names survive verbatim in
+   every Graphviz label context. *)
+let dot_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '<' | '>' | '{' | '}' | '|' ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let to_dot ?(label = "signal graph") root =
   let buf = Buffer.create 512 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pr "digraph signals {\n";
-  pr "  label=%S;\n" label;
+  pr "  label=\"%s\";\n" (dot_escape label);
   pr "  rankdir=TB;\n";
   pr "  dispatcher [label=\"Global Event\\nDispatcher\", shape=box, style=dashed];\n";
   let nodes = reachable root in
   List.iter
     (fun (Pack s) ->
-      let shape = if is_source s then "ellipse" else "box" in
-      pr "  n%d [label=\"%s\", shape=%s];\n" s.node_id
-        (String.concat "" (String.split_on_char '"' s.node_name))
-        shape;
-      if is_source s then pr "  dispatcher -> n%d [style=dashed];\n" s.node_id)
+      match s.node_kind with
+      | Composite (c, _) ->
+        (* A fused chain renders as a single box so the drawing mirrors the
+           instantiated runtime: one thread, one channel, [comp_size] former
+           nodes. *)
+        pr "  n%d [label=\"%s\\n(%d nodes fused)\", shape=box3d];\n" s.node_id
+          (dot_escape s.node_name) c.comp_size
+      | _ ->
+        let shape = if is_source s then "ellipse" else "box" in
+        pr "  n%d [label=\"%s\", shape=%s];\n" s.node_id
+          (dot_escape s.node_name) shape;
+        if is_source s then
+          pr "  dispatcher -> n%d [style=dashed];\n" s.node_id)
     nodes;
   List.iter
     (fun (Pack s) ->

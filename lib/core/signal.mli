@@ -186,7 +186,39 @@ type 'a kind =
   | Drop_repeats of ('a -> 'a -> bool) * 'a t
   | Sample_on : 'b t * 'a t -> 'a kind
   | Keep_when of bool t * 'a t * 'a
+  | Composite : ('b, 'a) composite * 'b t -> 'a kind
+      (** A fused chain of stateless nodes, produced by {!Fuse.fuse}; never
+          built directly by the combinators above. Instantiates as one
+          thread and one channel in place of [comp_size] originals. *)
+
+and ('b, 'a) composite = {
+  comp_make : unit -> 'b -> 'a option;
+      (** Factory for the fused step function; called once per runtime
+          instantiation so stateful stages (fused [drop_repeats]) get fresh
+          state. The step returns [None] for "no change this round". *)
+  comp_names : string list;
+      (** Names of the fused nodes, input side first; the composite's
+          display name joins them with ["∘"]. *)
+  comp_size : int;  (** How many original nodes the composite replaces. *)
+}
 
 val kind : 'a t -> 'a kind
 val get_inst : 'a t -> 'a inst option
 val set_inst : 'a t -> 'a inst -> unit
+
+(** {2 Fusion support (used by {!Fuse})} *)
+
+val composite : ?name:string -> default:'a -> ('b, 'a) composite -> 'b t -> 'a t
+(** A fresh composite node. The default must equal the value the fused chain
+    would have settled on from its input's default. *)
+
+val with_kind : 'a t -> 'a kind -> 'a t
+(** Copy a node with a new kind (rewired dependencies), keeping its id, name
+    and default. The copy has no instance and no pending substitution. *)
+
+val get_subst : 'a t -> pass:int -> 'a t option
+(** The node this one was rewritten to during fusion pass [pass], if any.
+    The slot is generation-stamped, so stale entries from earlier passes are
+    invisible — a graph can be fused many times (one runtime per call). *)
+
+val set_subst : 'a t -> pass:int -> 'a t -> unit

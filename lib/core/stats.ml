@@ -8,6 +8,7 @@ type t = {
   mutable fold_steps : int;
   mutable async_events : int;
   mutable switches : int;
+  mutable fused_nodes : int;
 }
 
 let create () =
@@ -21,6 +22,7 @@ let create () =
     fold_steps = 0;
     async_events = 0;
     switches = 0;
+    fused_nodes = 0;
   }
 
 let total_computations s = s.applications + s.recomputations
@@ -35,8 +37,8 @@ let per_event total s =
 let pp ppf s =
   Format.fprintf ppf
     "events=%d messages=%d elided=%d notified=%d applications=%d \
-     recomputations=%d fold_steps=%d async_events=%d switches=%d \
+     recomputations=%d fold_steps=%d async_events=%d switches=%d fused=%d \
      msg/ev=%.1f sw/ev=%.1f"
     s.events s.messages s.elided_messages s.notified_nodes s.applications
-    s.recomputations s.fold_steps s.async_events s.switches
+    s.recomputations s.fold_steps s.async_events s.switches s.fused_nodes
     (per_event s.messages s) (per_event s.switches s)

@@ -31,6 +31,12 @@ type t = {
   mutable switches : int;
       (** Scheduler context-switch count sampled at the last dispatched or
           displayed message; divide by [events] for switches per event. *)
+  mutable fused_nodes : int;
+      (** Nodes eliminated by the {!Fuse} pass before instantiation: set
+          once at {!Runtime.start}. Invariant:
+          [fused_nodes + node_count = original node count], and the elision
+          invariant [messages + elided_messages = node_count * events] holds
+          for the {e fused} node count. *)
 }
 
 val create : unit -> t

@@ -37,8 +37,8 @@ let build_signals (program : Program.t) g =
     (Sgraph.nodes g);
   table
 
-let run_graph ?(mode = Runtime.Pipelined) ?(memoize = true) ?tracer program g
-    root ~trace =
+let run_graph ?(mode = Runtime.Pipelined) ?(memoize = true) ?tracer ?fuse
+    program g root ~trace =
   Sgraph.freeze g;
   match root with
   | Value.Vsignal root_id ->
@@ -51,7 +51,7 @@ let run_graph ?(mode = Runtime.Pipelined) ?(memoize = true) ?tracer program g
         let table = build_signals program g in
         Builtins.work_enabled := true;
         let root_signal = Hashtbl.find table root_id in
-        let rt = Runtime.start ~mode ~memoize ?tracer root_signal in
+        let rt = Runtime.start ~mode ~memoize ?tracer ?fuse root_signal in
         stats := Some (Runtime.stats rt);
         final := Runtime.current rt;
         let input_signals =
@@ -81,13 +81,13 @@ let run_graph ?(mode = Runtime.Pipelined) ?(memoize = true) ?tracer program g
     (* A non-reactive program: stage one already computed the answer. *)
     { displays = []; final = v; stats = None; skipped_events = List.length trace }
 
-let run ?mode ?memoize ?tracer program ~trace =
+let run ?mode ?memoize ?tracer ?fuse program ~trace =
   let g, root = Denote.run_program program in
-  run_graph ?mode ?memoize ?tracer program g root ~trace
+  run_graph ?mode ?memoize ?tracer ?fuse program g root ~trace
 
-let run_source ?mode src ~trace =
+let run_source ?mode ?fuse src ~trace =
   let program = Program.of_source src in
   ignore (Typecheck.check_program program);
   let events = Trace.parse trace in
   Trace.validate program events;
-  run ?mode program ~trace:events
+  run ?mode ?fuse program ~trace:events

@@ -14,10 +14,18 @@ type outcome = {
       (** Trace events naming inputs the program never uses. *)
 }
 
+val build_signals :
+  Program.t -> Sgraph.t -> (int, Value.t Elm_core.Signal.t) Hashtbl.t
+(** Instantiate the extracted graph as engine signal nodes (every [lift]
+    becomes {!Elm_core.Signal.lift_list}), keyed by {!Sgraph} node id.
+    Exposed so tools (e.g. [felmc graph --fused]) can inspect or render the
+    signal graph without running it. *)
+
 val run :
   ?mode:Elm_core.Runtime.mode ->
   ?memoize:bool ->
   ?tracer:Elm_core.Trace.t ->
+  ?fuse:bool ->
   Program.t ->
   trace:Trace.event list ->
   outcome
@@ -25,12 +33,15 @@ val run :
     {!Denote.Error}. For a program whose [main] is a simple value, the
     trace is ignored and [displays] is empty. [tracer] is handed to
     {!Elm_core.Runtime.start} (note the two unrelated "trace"s: [~trace]
-    is the replayed input events, [?tracer] records the execution). *)
+    is the replayed input events, [?tracer] records the execution), and so
+    is [fuse] — interpreted graphs fuse their [lift] chains by default like
+    native ones. *)
 
 val run_graph :
   ?mode:Elm_core.Runtime.mode ->
   ?memoize:bool ->
   ?tracer:Elm_core.Trace.t ->
+  ?fuse:bool ->
   Program.t ->
   Sgraph.t ->
   Value.t ->
@@ -40,5 +51,6 @@ val run_graph :
     path, {!Eval.normalize} + {!Denote.graph_of_final}). Freezes the
     graph. *)
 
-val run_source : ?mode:Elm_core.Runtime.mode -> string -> trace:string -> outcome
+val run_source :
+  ?mode:Elm_core.Runtime.mode -> ?fuse:bool -> string -> trace:string -> outcome
 (** Convenience: parse, resolve, type-check and run from source text. *)

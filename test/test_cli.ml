@@ -137,6 +137,60 @@ let test_graph_dot () =
   check_bool "digraph" true (contains dot "digraph felm");
   check_bool "dispatcher present" true (contains dot "Global Event")
 
+(* None of the shipped examples contain a >=2-lift stateless chain, so the
+   fusion CLI tests synthesize one. *)
+let write_tmp suffix text =
+  let path = Filename.temp_file "fuse" suffix in
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  path
+
+let chain_src =
+  "input n : signal int = 0\n\
+   main = lift (\\x -> x + 1) (lift (\\x -> x * 2) (lift (\\x -> x + 3) n))\n"
+
+let chain_trace = "0.1 n 5\n0.2 n 7\n"
+
+let display_lines out =
+  String.split_on_char '\n' out
+  |> List.filter (fun l -> String.length l > 0 && l.[0] = '[')
+
+let test_run_no_fuse_identical () =
+  let felm = write_tmp ".felm" chain_src in
+  let trace = write_tmp ".trace" chain_trace in
+  let code_on, out_on = run_cmd [ "run"; felm; "--replay"; trace; "--stats" ] in
+  let code_off, out_off =
+    run_cmd [ "run"; felm; "--replay"; trace; "--stats"; "--no-fuse" ]
+  in
+  Sys.remove felm;
+  Sys.remove trace;
+  check_int "exit 0 (default)" 0 code_on;
+  check_int "exit 0 (--no-fuse)" 0 code_off;
+  check_bool "default run fused the chain" true (contains out_on "fused=2");
+  check_bool "--no-fuse fused nothing" true (contains out_off "fused=0");
+  Alcotest.(check (list string))
+    "timestamped displays identical" (display_lines out_off)
+    (display_lines out_on)
+
+let test_graph_fused () =
+  let felm = write_tmp ".felm" chain_src in
+  let code, dot = run_cmd [ "graph"; felm; "--fused" ] in
+  let code_plain, plain = run_cmd [ "graph"; felm ] in
+  Sys.remove felm;
+  check_int "exit 0" 0 code;
+  check_bool "composite drawn as one box" true (contains dot "box3d");
+  check_bool "chain collapsed into it" true
+    (contains dot "lift\u{2218}lift\u{2218}lift"
+    && contains dot "(3 nodes fused)");
+  check_int "plain graph still works" 0 code_plain;
+  check_bool "plain graph has no composites" true (not (contains plain "box3d"));
+  let pure = write_tmp ".felm" "main = 1 + 2\n" in
+  let code_pure, err = run_cmd [ "graph"; pure; "--fused" ] in
+  Sys.remove pure;
+  check_bool "--fused rejects non-reactive programs" true (code_pure <> 0);
+  check_bool "with a diagnostic" true (contains err "not a reactive")
+
 let test_missing_file () =
   let code, _ = run_cmd [ "check"; "no_such_file.felm" ] in
   check_bool "nonzero exit for missing file" true (code <> 0)
@@ -167,6 +221,8 @@ let () =
           tc "run --trace chrome export" `Quick test_run_trace_export;
           tc "compile html/js" `Quick test_compile_html_and_js;
           tc "graph dot" `Quick test_graph_dot;
+          tc "run --no-fuse identical" `Quick test_run_no_fuse_identical;
+          tc "graph --fused" `Quick test_graph_fused;
           tc "missing file" `Quick test_missing_file;
           tc "bad trace" `Quick test_bad_trace;
         ] );

@@ -151,7 +151,9 @@ let test_sequential_latency_vs_pipelined () =
               x)
             s
         in
-        let rt = Runtime.start ~mode (slow "b" (slow "a" src)) in
+        (* ~fuse:false — pipelined overlap between the two slow stages is
+           exactly what fusing the chain would remove. *)
+        let rt = Runtime.start ~mode ~fuse:false (slow "b" (slow "a" src)) in
         armed := true;
         Runtime.inject rt src 1;
         Runtime.inject rt src 2;

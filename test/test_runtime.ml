@@ -509,7 +509,10 @@ let chain_makespan ~mode ~depth ~events ~cost =
         if n = 0 then s
         else build (Signal.lift (costly armed cost (fun x -> x + 1)) s) (n - 1)
       in
-      let rt = Runtime.start ~mode (build src depth) in
+      (* ~fuse:false — this test measures pipelined overlap *within* the
+         chain, which fusion deliberately trades away by collapsing the
+         chain into one node. *)
+      let rt = Runtime.start ~mode ~fuse:false (build src depth) in
       armed := true;
       for i = 1 to events do
         Runtime.inject rt src i
