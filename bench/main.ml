@@ -626,6 +626,123 @@ let bench_b13 () =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* B14: fault injection — supervision policies under crashing nodes.
+
+   One source feeds a risky lift (crashes on every k-th event, modeling a
+   failure rate) and a clean foldp; both join at the root. Per failure-rate
+   x policy cell we report msg/ev, event-to-display p95 and the
+   failures/restarts counters. Smoke gates: a zero-fault run under
+   Isolate/Restart must be indistinguishable from Propagate (identical
+   change trace, msg/ev within 10%), every injected fault must be counted
+   and recovered, and the flaky-Http retry session must be bit-identical
+   across two invocations (seeded PRNG + deterministic scheduler). *)
+
+module Http = Elm_std.Http
+
+type b14_row = {
+  b14_policy : string;
+  b14_rate : int;  (* percent of events that crash the risky node *)
+  b14_events : int;
+  b14_failures : int;
+  b14_restarts : int;
+  b14_messages : float;  (* msg/ev *)
+  b14_p95 : float;  (* event-to-display p95, virtual seconds *)
+  b14_changes : int list;  (* root change trace, consumed by the gates *)
+}
+
+let b14_session ~policy_name ~policy ~rate ~events =
+  let crash_every = if rate = 0 then 0 else 100 / rate in
+  let tracer = Trace.create () in
+  let armed = ref false in
+  let rt =
+    with_world (fun () ->
+        let src = Signal.input ~name:"src" 0 in
+        let risky =
+          Signal.lift ~name:"risky"
+            (fun x ->
+              if !armed then Cml.sleep 0.2;
+              if crash_every > 0 && x > 0 && x mod crash_every = 0 then
+                failwith "B14: injected fault"
+              else x * 3)
+            src
+        in
+        let sum = Signal.foldp ~name:"sum" ( + ) 0 src in
+        let root = Signal.lift2 ~name:"root" ( + ) risky sum in
+        let rt = Runtime.start ~tracer ~on_node_error:policy root in
+        armed := true;
+        for i = 1 to events do
+          Runtime.inject rt src i
+        done;
+        rt)
+  in
+  let st = Runtime.stats rt in
+  let s = Trace.summary tracer in
+  {
+    b14_policy = policy_name;
+    b14_rate = rate;
+    b14_events = events;
+    b14_failures = st.Stats.node_failures;
+    b14_restarts = st.Stats.node_restarts;
+    b14_messages = Stats.per_event st.Stats.messages st;
+    b14_p95 = s.Trace.p95;
+    b14_changes = List.map snd (Runtime.changes rt);
+  }
+
+(* The flaky-Http determinism check: a fresh seeded flaky server each time,
+   so two invocations must reproduce attempt counts and display trace
+   exactly. *)
+let b14_http_session () =
+  let srv =
+    Http.flaky ~seed:11 ~drop_rate:0.2 ~spike_rate:0.2 ~error_rate:0.2
+      ~error_burst:2
+      (Http.server ~latency:(fun _ -> 1.0) (fun q -> Ok ("R:" ^ q)))
+  in
+  let rt =
+    with_world (fun () ->
+        let req = Signal.input ~name:"req" "" in
+        let rt =
+          Runtime.start (Http.send_get ~timeout:5.0 ~retries:8 ~backoff:0.1 srv req)
+        in
+        List.iter (fun q -> Runtime.inject rt req q) [ "a"; "b"; "c"; "d" ];
+        rt)
+  in
+  ( List.map
+      (fun (t, v) -> (t, Http.response_to_string v))
+      (Runtime.changes rt),
+    Http.request_count srv )
+
+let bench_b14 () =
+  section "B14 Fault injection: supervision policy x failure rate";
+  Printf.printf
+    "source -> {risky lift (0.2s, crashes), foldp} -> root; 200 events\n";
+  Printf.printf "%10s | %4s | %7s | %7s | %8s | %8s\n" "policy" "rate"
+    "msg/ev" "p95" "failures" "restarts";
+  let events = 200 in
+  let rows =
+    List.concat_map
+      (fun (policy_name, policy, rates) ->
+        List.map
+          (fun rate -> b14_session ~policy_name ~policy ~rate ~events)
+          rates)
+      [
+        ("propagate", Runtime.Propagate, [ 0 ]);
+        ("isolate", Runtime.Isolate, [ 0; 1; 10 ]);
+        ("restart:3", Runtime.Restart 3, [ 0; 1; 10 ]);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "%10s | %3d%% | %7.1f | %7.2f | %8d | %8d\n" r.b14_policy
+        r.b14_rate r.b14_messages r.b14_p95 r.b14_failures r.b14_restarts)
+    rows;
+  let h1 = b14_http_session () in
+  let h2 = b14_http_session () in
+  Printf.printf
+    "flaky Http (seed 11): %d attempts for 4 requests; deterministic=%b\n"
+    (snd h1) (h1 = h2);
+  (rows, h1 = h2)
+
+(* ------------------------------------------------------------------ *)
 (* Wall-clock microbenchmarks via bechamel: the real costs of the engine,
    the layout library (B6) and the compiler (B7). *)
 
@@ -843,7 +960,23 @@ let b13_to_json rows =
            ])
        rows)
 
-let write_json ~path b11_rows (b12_sync, b12_async) b13_rows micro =
+let b14_to_json rows =
+  Json.Array
+    (List.map
+       (fun r ->
+         Json.Object
+           [
+             ("policy", Json.of_string r.b14_policy);
+             ("failure_rate_pct", Json.of_int r.b14_rate);
+             ("events", Json.of_int r.b14_events);
+             ("messages_per_event", Json.of_float r.b14_messages);
+             ("event_to_display_p95", Json.of_float r.b14_p95);
+             ("failures", Json.of_int r.b14_failures);
+             ("restarts", Json.of_int r.b14_restarts);
+           ])
+       rows)
+
+let write_json ~path b11_rows (b12_sync, b12_async) b13_rows b14_rows micro =
   let doc =
     Json.Object
       [
@@ -856,6 +989,7 @@ let write_json ~path b11_rows (b12_sync, b12_async) b13_rows micro =
               ("async", Trace.summary_to_json b12_async);
             ] );
         ("b13_fusion", b13_to_json b13_rows);
+        ("b14_fault_injection", b14_to_json b14_rows);
         ( "micro_ns_per_run",
           Json.Object (List.map (fun (n, v) -> (n, Json.of_float v)) micro) );
       ]
@@ -934,6 +1068,39 @@ let () =
     prerr_endline "B13: fused_nodes accounting broken!";
     exit 1
   end;
+  (* B14 smoke gates: supervision must be free when nothing fails, every
+     injected fault must be counted, and seeded fault injection must be
+     reproducible. *)
+  let b14_rows, b14_http_deterministic = bench_b14 () in
+  let b14_find policy rate =
+    List.find (fun r -> r.b14_policy = policy && r.b14_rate = rate) b14_rows
+  in
+  let b14_base = b14_find "propagate" 0 in
+  let b14_zero_ok r =
+    r.b14_changes = b14_base.b14_changes
+    && Float.abs (r.b14_messages -. b14_base.b14_messages)
+       < 0.10 *. b14_base.b14_messages
+  in
+  if not (b14_zero_ok (b14_find "isolate" 0) && b14_zero_ok (b14_find "restart:3" 0))
+  then begin
+    prerr_endline
+      "B14: supervision perturbed a zero-fault run (trace or msg/ev drift)!";
+    exit 1
+  end;
+  if
+    not
+      (List.for_all
+         (fun r -> r.b14_failures = r.b14_events * r.b14_rate / 100)
+         b14_rows)
+  then begin
+    prerr_endline "B14: injected fault count does not match Stats.node_failures!";
+    exit 1
+  end;
+  if not b14_http_deterministic then begin
+    prerr_endline "B14: flaky Http session not deterministic across invocations!";
+    exit 1
+  end;
   let micro = if smoke then [] else micro_benchmarks () in
-  if emit_json then write_json ~path:"BENCH_core.json" b11_rows b12 b13_rows micro;
+  if emit_json then
+    write_json ~path:"BENCH_core.json" b11_rows b12 b13_rows b14_rows micro;
   print_endline "\ndone."

@@ -14,8 +14,14 @@
 # never increase messages/event, depth >= 8 chains must show at least a
 # 2x message reduction under both dispatch strategies, and the node
 # accounting (live + fused_away = original) must balance.
+# B14 gates the fault-tolerance layer: zero-fault runs under
+# Isolate/Restart supervision must keep change traces identical to
+# Propagate with < 10% msg/ev drift, injected fault counts must match
+# Stats.node_failures exactly, and the seeded flaky-Http retry session
+# must be bit-identical across two invocations.
 # The full run also writes BENCH_core.json (latency percentiles, trace
-# summaries, B13 fusion ratios) for CI artifact upload.
+# summaries, B13 fusion ratios, B14 fault-injection matrix) for CI
+# artifact upload.
 set -eu
 cd "$(dirname "$0")/.."
 

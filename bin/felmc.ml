@@ -104,7 +104,59 @@ let run_cmd =
              build-time fusion of stateless lift chains (one thread and one \
              channel per source node, as in the paper's Fig. 10).")
   in
-  let run file replay trace_out sequential print_stats no_fuse =
+  let policy_conv =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "propagate" -> Ok Elm_core.Runtime.Propagate
+      | "isolate" -> Ok Elm_core.Runtime.Isolate
+      | s -> (
+        match String.index_opt s ':' with
+        | Some i when String.sub s 0 i = "restart" -> (
+          let rest = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt rest with
+          | Some n when n >= 0 -> Ok (Elm_core.Runtime.Restart n)
+          | Some _ | None ->
+            Error (`Msg (Printf.sprintf "invalid restart budget %S" rest)))
+        | _ ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown policy %S (expected propagate, isolate or \
+                   restart:N)"
+                  s)))
+    in
+    let print ppf = function
+      | Elm_core.Runtime.Propagate -> Format.pp_print_string ppf "propagate"
+      | Elm_core.Runtime.Isolate -> Format.pp_print_string ppf "isolate"
+      | Elm_core.Runtime.Restart n -> Format.fprintf ppf "restart:%d" n
+    in
+    Arg.conv (parse, print)
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt policy_conv Elm_core.Runtime.Propagate
+      & info [ "on-node-error" ] ~docv:"POLICY"
+          ~doc:
+            "Node supervision policy: $(b,propagate) (default — an exception \
+             in a lifted function tears the session down), $(b,isolate) \
+             (catch it, re-emit the node's last-good value as No_change and \
+             keep the session alive) or $(b,restart:N) (isolate plus up to N \
+             re-initialisations of the node's state — fresh foldp \
+             accumulator, fresh fused step — before degrading to isolate). \
+             Failures are counted in --stats and recorded by --trace.")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:
+            "Bound every node wakeup and source value mailbox at $(docv) \
+             messages (default: unbounded). Senders block until the reader \
+             drains — backpressure instead of unbounded buffering.")
+  in
+  let run file replay trace_out sequential print_stats no_fuse policy capacity =
     or_die (fun () ->
         let program, ty = load_checked file in
         let events =
@@ -123,7 +175,8 @@ let run_cmd =
           Option.map (fun _ -> Elm_core.Trace.create ()) trace_out
         in
         let outcome =
-          Felm.Interp.run ~mode ?tracer ~fuse:(not no_fuse) program
+          Felm.Interp.run ~mode ?tracer ~fuse:(not no_fuse)
+            ~on_node_error:policy ?queue_capacity:capacity program
             ~trace:events
         in
         Printf.printf "-- %s : %s\n" (Filename.basename file) (Felm.Ty.to_string ty);
@@ -153,7 +206,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Interpret a FElm program against an event trace.")
     Term.(
       const run $ file_arg $ replay_arg $ trace_out_arg $ seq_arg $ stats_arg
-      $ no_fuse_arg)
+      $ no_fuse_arg $ policy_arg $ capacity_arg)
 
 let compile_cmd =
   let out_arg =

@@ -13,6 +13,9 @@ let create ?name () =
 
 let name t = t.name
 
+(* Wait-site label for deadlock reports; named channels only. *)
+let site t verb = Option.map (fun n -> verb ^ " " ^ n) t.name
+
 let rec pop_live_receiver t =
   match Queue.take_opt t.receivers with
   | None -> None
@@ -32,7 +35,7 @@ let send t v =
     (match !Probe.current with
     | None -> ()
     | Some p -> p.on_send t.name (Queue.length t.senders + 1));
-    Scheduler.suspend (fun k -> Queue.push (v, k) t.senders)
+    Scheduler.suspend ?site:(site t "send") (fun k -> Queue.push (v, k) t.senders)
 
 let recv t =
   match Queue.take_opt t.senders with
@@ -43,7 +46,7 @@ let recv t =
     Scheduler.resume k ();
     v
   | None ->
-    Scheduler.suspend (fun k ->
+    Scheduler.suspend ?site:(site t "recv") (fun k ->
         Queue.push { claimed = ref false; k } t.receivers)
 
 let select_recv chans =

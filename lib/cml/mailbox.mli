@@ -1,25 +1,54 @@
-(** Buffered channel with non-blocking send, CML's [mailbox].
+(** Buffered channel with (by default) non-blocking send, CML's [mailbox].
 
     The paper's translation (Fig. 9-10) publishes every signal node's output
     on a mailbox and feeds the global event dispatcher through one: "the
-    newEvent mailbox is a FIFO queue, preserving the order of events". *)
+    newEvent mailbox is a FIFO queue, preserving the order of events".
+
+    A mailbox may be {e bounded} with [?capacity]; the [?overflow] policy
+    then decides what a send into a full buffer does. The default policy,
+    [Block], is real backpressure: the sender suspends on the scheduler
+    until a reader drains a slot, so a fast producer can never grow the
+    queue past its capacity (probe-observed depth is bounded by [capacity]).
+    FIFO order is preserved across the buffer and any parked senders. *)
+
+type overflow =
+  | Block  (** Sender suspends until a reader frees a slot (backpressure). *)
+  | Drop_oldest  (** The oldest buffered value is discarded. *)
+  | Fail  (** {!send} raises {!Full}. *)
+
+exception Full of string option
+(** Raised by {!send} under the [Fail] policy; carries the mailbox name. *)
 
 type 'a t
 
-val create : ?name:string -> unit -> 'a t
+val create : ?name:string -> ?capacity:int -> ?overflow:overflow -> unit -> 'a t
+(** [capacity] bounds the number of buffered (undelivered) values; absent
+    means unbounded (the seed behaviour, where {!send} never blocks).
+    [overflow] defaults to [Block] and only matters when [capacity] is given.
+    @raise Invalid_argument when [capacity < 1]. *)
 
 val name : 'a t -> string option
 
+val capacity : 'a t -> int option
+(** The bound given at creation, or [None] when unbounded. *)
+
 val send : 'a t -> 'a -> unit
-(** Enqueue a value. Never blocks. If a thread is blocked in {!recv}, it is
-    scheduled to receive this value (FIFO among waiting readers). *)
+(** Enqueue a value. If a thread is blocked in {!recv}, it is scheduled to
+    receive this value (FIFO among waiting readers). On an unbounded mailbox
+    this never blocks; on a full bounded one it follows the overflow policy
+    ([Block] suspends the calling thread, which therefore must run inside
+    the scheduler).
+    @raise Full under the [Fail] policy when the buffer is at capacity. *)
 
 val recv : 'a t -> 'a
 (** Dequeue the oldest value, blocking the calling thread until one is
-    available. *)
+    available. Frees a slot: the oldest sender parked by [Block] (if any)
+    is admitted and resumed. *)
 
 val recv_opt : 'a t -> 'a option
-(** Non-blocking variant: [None] when the mailbox is empty. *)
+(** Non-blocking variant: [None] when the mailbox is empty. A successful
+    receive does the same bookkeeping as {!recv} (fires the
+    {!Probe.t.on_recv} hook, admits a parked sender). *)
 
 val length : 'a t -> int
 (** Number of buffered (undelivered) values. *)

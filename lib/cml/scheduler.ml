@@ -17,6 +17,10 @@ type state = {
   mutable live : bool;
   mutable spawned : int;
   mutable switches : int;
+  mutable blocked_seq : int;
+  blocked : (int, string) Hashtbl.t;
+      (* wait sites of threads currently suspended with ?site; survives the
+         end of [run] so [run_value] can name them in a Stuck report *)
 }
 
 let compare_timer (t1, s1) (t2, s2) =
@@ -31,6 +35,8 @@ let st =
     live = false;
     spawned = 0;
     switches = 0;
+    blocked_seq = 0;
+    blocked = Hashtbl.create 16;
   }
 
 let running () = st.live
@@ -57,9 +63,24 @@ let spawn f =
   st.spawned <- st.spawned + 1;
   Queue.push (fun () -> exec f) st.run_queue
 
-let suspend f =
+let suspend ?site f =
   if not st.live then raise Not_running;
-  perform (Suspend f)
+  match site with
+  | None -> perform (Suspend f)
+  | Some s ->
+    (* Register the wait site for the duration of the suspension: if the
+       thread is never resumed, the entry survives and deadlock reports can
+       say where it was parked. *)
+    let token = st.blocked_seq in
+    st.blocked_seq <- token + 1;
+    Hashtbl.replace st.blocked token s;
+    let v = perform (Suspend f) in
+    Hashtbl.remove st.blocked token;
+    v
+
+let blocked_sites () =
+  Hashtbl.fold (fun token site acc -> (token, site) :: acc) st.blocked []
+  |> List.sort compare |> List.map snd
 
 let resume (k : 'a cont) (v : 'a) =
   Queue.push (fun () -> continue k v) st.run_queue
@@ -82,7 +103,9 @@ let reset () =
   st.timer_seq <- 0;
   st.clock <- 0.0;
   st.spawned <- 0;
-  st.switches <- 0
+  st.switches <- 0;
+  st.blocked_seq <- 0;
+  Hashtbl.reset st.blocked
 
 let run ?(max_switches = max_int) main =
   if st.live then raise Already_running;
@@ -123,4 +146,23 @@ let run_value ?max_switches main =
   run ?max_switches (fun () -> result := Some (main ()));
   match !result with
   | Some v -> v
-  | None -> raise (Stuck "main thread blocked forever")
+  | None ->
+    (* Name the threads still parked on channels so a deadlock (e.g. from
+       bounded-mailbox backpressure) is diagnosable, not just detectable. *)
+    let detail =
+      match blocked_sites () with
+      | [] -> "main thread blocked forever"
+      | sites ->
+        let shown = 8 in
+        let listed = List.filteri (fun i _ -> i < shown) sites in
+        let suffix =
+          let n = List.length sites in
+          if n > shown then Printf.sprintf ", ... (%d more)" (n - shown) else ""
+        in
+        Printf.sprintf
+          "main thread blocked forever; %d thread(s) still waiting: %s%s"
+          (List.length sites)
+          (String.concat ", " listed)
+          suffix
+    in
+    raise (Stuck detail)

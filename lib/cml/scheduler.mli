@@ -23,7 +23,10 @@ exception Not_running
     {!suspend}, {!yield}) when called outside {!run}. *)
 
 exception Stuck of string
-(** Raised by {!run_value} when the main thread blocked forever. *)
+(** Raised by {!run_value} when the main thread blocked forever. The message
+    lists the wait sites of threads still suspended on {e named} channels
+    (see the [?site] argument of {!suspend}), so deadlocks — e.g. from
+    bounded-mailbox backpressure — name the queues involved. *)
 
 val run : ?max_switches:int -> (unit -> unit) -> unit
 (** [run main] resets the scheduler state, executes [main] and every thread it
@@ -49,10 +52,15 @@ val spawn : (unit -> unit) -> unit
 val yield : unit -> unit
 (** Reschedule the current thread at the back of the run queue. *)
 
-val suspend : ('a cont -> unit) -> 'a
+val suspend : ?site:string -> ('a cont -> unit) -> 'a
 (** Capture the current thread as a continuation and hand it to the callback,
     which stores it somewhere (e.g. a channel's wait queue). The thread
-    resumes with value [v] when someone calls [resume k v]. *)
+    resumes with value [v] when someone calls [resume k v].
+
+    [site] registers a human-readable wait site (e.g. ["recv wake:3:lift"])
+    for the duration of the suspension. Channel implementations pass it for
+    named channels only; threads still registered when {!run_value} detects
+    a stuck main thread are listed in the {!Stuck} message. *)
 
 val resume : 'a cont -> 'a -> unit
 (** Schedule a suspended thread to continue with the given value. FIFO with
@@ -73,3 +81,8 @@ val spawned_count : unit -> int
 
 val switch_count : unit -> int
 (** Context switches since the current (or last) {!run} started. *)
+
+val blocked_sites : unit -> string list
+(** Wait sites of threads currently suspended with [~site] (registration
+    order). After a {!run} returns, reports the threads that were still
+    parked at quiescence; reset when the next {!run} starts. *)

@@ -9,6 +9,11 @@ type dispatch =
   | Flood
   | Cone
 
+type error_policy =
+  | Propagate
+  | Isolate
+  | Restart of int
+
 (* One dispatcher round: the global event number and the source that fired
    it. Under flood dispatch every node receives every round; under cone
    dispatch only the nodes the source can reach do. *)
@@ -38,6 +43,8 @@ type ctx = {
   rt_gen : int;
   memoize : bool;
   c_dispatch : dispatch;
+  c_policy : error_policy;
+  c_capacity : int option;  (* wake/value mailbox bound; None = unbounded *)
   c_stats : Stats.t;
   c_new_event : int Mailbox.t;
   c_reach : Reach.t;
@@ -64,20 +71,62 @@ let recv_wake ctx ~id wake =
   | Some tr -> Trace.node_start tr ~node:id ~epoch:r.epoch);
   r
 
+let note_failure ctx ~id ~epoch =
+  ctx.c_stats.node_failures <- ctx.c_stats.node_failures + 1;
+  match ctx.c_tracer with
+  | None -> ()
+  | Some tr -> Trace.node_failure tr ~node:id ~epoch
+
+(* Per-node supervisor, created once at build time so a [Restart] budget is
+   local to the node. It wraps only the {e fallible} part of a round — the
+   user function application, after every incoming edge has been read — so
+   per-event alignment is never at stake: a failed round still emits, and
+   what it emits is [No_change last-good], which is exactly the message a
+   quiescent node would have produced. [reset] reinitialises node state
+   ([foldp] accumulator, composite step); [Isolate] never calls it,
+   [Restart n] calls it on the first [n] failures and then degrades to
+   [Isolate]. Under [Propagate] the wrapper is the identity: exceptions
+   unwind the node thread and surface out of [Cml.run], the seed
+   behaviour. *)
+let supervisor ctx ~id =
+  match ctx.c_policy with
+  | Propagate -> fun ~prev:_ ~reset:_ ~epoch:_ f -> f ()
+  | Isolate ->
+    fun ~prev ~reset:_ ~epoch f ->
+      (try f ()
+       with _ ->
+         note_failure ctx ~id ~epoch;
+         Event.No_change prev)
+  | Restart budget ->
+    let left = ref budget in
+    fun ~prev ~reset ~epoch f ->
+      (try f ()
+       with _ ->
+         note_failure ctx ~id ~epoch;
+         if !left > 0 then begin
+           decr left;
+           ctx.c_stats.node_restarts <- ctx.c_stats.node_restarts + 1;
+           reset ()
+         end;
+         Event.No_change prev)
+
 (* Register this node with the dispatcher: the returned mailbox receives one
    [round] per event whose cone contains the node. The mailbox is named so
    queue-depth probes can attribute backlog to the node. *)
 let node_wakeup ctx ~id ~name =
-  let mb = Mailbox.create ~name:(Printf.sprintf "wake:%d:%s" id name) () in
+  let mb =
+    Mailbox.create ?capacity:ctx.c_capacity
+      ~name:(Printf.sprintf "wake:%d:%s" id name) ()
+  in
   Hashtbl.replace ctx.wakeups id mb;
   (match ctx.c_tracer with
   | None -> ()
   | Some tr -> Trace.register_node tr ~id ~name);
   mb
 
-let value_mailbox : type b. b Signal.t -> b Mailbox.t =
- fun s ->
-  Mailbox.create
+let value_mailbox : type b. ctx -> b Signal.t -> b Mailbox.t =
+ fun ctx s ->
+  Mailbox.create ?capacity:ctx.c_capacity
     ~name:(Printf.sprintf "value:%d:%s" (Signal.id s) (Signal.name s))
     ()
 
@@ -138,6 +187,7 @@ let source_node ctx ~source_id ~name ~default ~value_mb =
 let lift_node ctx ~id ~name ~default ~round =
   let out = Multicast.create ~name:(Printf.sprintf "out:%d:%s" id name) () in
   let wake = node_wakeup ctx ~id ~name in
+  let guard = supervisor ctx ~id in
   Cml.spawn (fun () ->
       let rec loop prev =
         let r = recv_wake ctx ~id wake in
@@ -145,12 +195,15 @@ let lift_node ctx ~id ~name ~default ~round =
         let msg =
           if changed then begin
             ctx.c_stats.applications <- ctx.c_stats.applications + 1;
-            Event.Change (compute ())
+            guard ~prev ~reset:ignore ~epoch:r.epoch (fun () ->
+                Event.Change (compute ()))
           end
           else begin
             if not ctx.memoize then begin
               ctx.c_stats.recomputations <- ctx.c_stats.recomputations + 1;
-              ignore (compute ())
+              ignore
+                (guard ~prev ~reset:ignore ~epoch:r.epoch (fun () ->
+                     Event.No_change (compute ())))
             end;
             Event.No_change prev
           end
@@ -189,12 +242,12 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
     (* A constant is a source whose event never fires: under cone dispatch
        it is never woken at all; under flood it answers every round with
        [No_change default]. *)
-    let value_mb = value_mailbox s in
+    let value_mb = value_mailbox ctx s in
     plain
       (source_node ctx ~source_id:(Signal.id s) ~name:(Signal.name s) ~default
          ~value_mb)
   | Signal.Input ->
-    let value_mb = value_mailbox s in
+    let value_mb = value_mailbox ctx s in
     let source_id = Signal.id s in
     let out = source_node ctx ~source_id ~name:(Signal.name s) ~default ~value_mb in
     let push v =
@@ -251,7 +304,7 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
     plain (lift_node ctx ~id:(Signal.id s) ~name:(Signal.name s) ~default ~round)
   | Signal.Lift_list (_, []) ->
     (* No incoming edges: a node loop would spin. Behave as a constant. *)
-    let value_mb = value_mailbox s in
+    let value_mb = value_mailbox ctx s in
     plain
       (source_node ctx ~source_id:(Signal.id s) ~name:(Signal.name s) ~default
          ~value_mb)
@@ -268,18 +321,31 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
     let id = Signal.id s in
     let out = Multicast.create ~name:(Printf.sprintf "out:%d:%s" id (Signal.name s)) () in
     let wake = node_wakeup ctx ~id ~name:(Signal.name s) in
+    let guard = supervisor ctx ~id in
     Cml.spawn (fun () ->
+        (* A [Restart] re-seeds the accumulator with the signal default; the
+           flag defers it until after the failed round's [No_change acc] has
+           gone out, so downstream caches hold the last-good value until the
+           restarted fold produces its next genuine change. *)
+        let restart = ref false in
         let rec loop acc =
           let r = recv_wake ctx ~id wake in
           let msg =
             match read_edge ctx e r with
             | Event.Change v ->
               ctx.c_stats.fold_steps <- ctx.c_stats.fold_steps + 1;
-              Event.Change (f v acc)
+              guard ~prev:acc
+                ~reset:(fun () -> restart := true)
+                ~epoch:r.epoch
+                (fun () -> Event.Change (f v acc))
             | Event.No_change _ -> Event.No_change acc
           in
           emit ctx ~id out r msg;
-          loop (Event.body msg)
+          if !restart then begin
+            restart := false;
+            loop default
+          end
+          else loop (Event.body msg)
         in
         loop default);
     plain out
@@ -292,7 +358,7 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
        at whatever epochs it was affected. *)
     let iinner = build ctx inner in
     let inner_port = Multicast.port iinner.Signal.out in
-    let value_mb = value_mailbox s in
+    let value_mb = value_mailbox ctx s in
     let source_id = Signal.id s in
     let out =
       source_node ctx ~source_id ~name:(Signal.name s) ~default ~value_mb
@@ -315,7 +381,7 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
        right absolute time while preserving order (equal delays). *)
     let iinner = build ctx inner in
     let inner_port = Multicast.port iinner.Signal.out in
-    let value_mb = value_mailbox s in
+    let value_mb = value_mailbox ctx s in
     let source_id = Signal.id s in
     let out =
       source_node ctx ~source_id ~name:(Signal.name s) ~default ~value_mb
@@ -361,15 +427,17 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
     let id = Signal.id s in
     let out = Multicast.create ~name:(Printf.sprintf "out:%d:%s" id (Signal.name s)) () in
     let wake = node_wakeup ctx ~id ~name:(Signal.name s) in
+    let guard = supervisor ctx ~id in
     Cml.spawn (fun () ->
         let rec loop prev =
           let r = recv_wake ctx ~id wake in
           let msg =
             match read_edge ctx e r with
-            | Event.Change v when not (eq v prev) -> Event.Change v
-            | Event.Change v | Event.No_change v ->
-              ignore v;
-              Event.No_change prev
+            | Event.Change v ->
+              (* The user-supplied equality can raise too. *)
+              guard ~prev ~reset:ignore ~epoch:r.epoch (fun () ->
+                  if eq v prev then Event.No_change prev else Event.Change v)
+            | Event.No_change _ -> Event.No_change prev
           in
           emit ctx ~id out r msg;
           loop (Event.body msg)
@@ -405,22 +473,31 @@ and build_fresh : type b. ctx -> b Signal.t -> b Signal.inst =
        quiescent rounds (and [Runtime.start ~memoize:false] keeps graphs
        unfused for exactly that reason). *)
     let e = edge ctx dep in
-    let step = c.Signal.comp_make () in
+    let step = ref (c.Signal.comp_make ()) in
     let id = Signal.id s in
     let out =
       Multicast.create ~name:(Printf.sprintf "out:%d:%s" id (Signal.name s)) ()
     in
     let wake = node_wakeup ctx ~id ~name:(Signal.name s) in
+    let guard = supervisor ctx ~id in
     Cml.spawn (fun () ->
+        (* A crash anywhere inside the fused chain isolates (or restarts)
+           the composite as a unit: the stages share one step closure, so
+           partial per-stage state cannot be salvaged. [Restart] swaps in a
+           fresh step from [comp_make], re-seeding every fused stage. *)
         let rec loop prev =
           let r = recv_wake ctx ~id wake in
           let msg =
             match read_edge ctx e r with
-            | Event.Change v -> (
+            | Event.Change v ->
               ctx.c_stats.applications <- ctx.c_stats.applications + 1;
-              match step v with
-              | Some w -> Event.Change w
-              | None -> Event.No_change prev)
+              guard ~prev
+                ~reset:(fun () -> step := c.Signal.comp_make ())
+                ~epoch:r.epoch
+                (fun () ->
+                  match !step v with
+                  | Some w -> Event.Change w
+                  | None -> Event.No_change prev)
             | Event.No_change _ -> Event.No_change prev
           in
           emit ctx ~id out r msg;
@@ -470,11 +547,19 @@ let push_bounded history lst count x =
     else (x :: lst, count + 1)
 
 let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer
-    ?(fuse = true) root =
+    ?(fuse = true) ?(on_node_error = Propagate) ?queue_capacity root =
   if not (Cml.running ()) then
     invalid_arg "Runtime.start: must be called inside Cml.run";
   (match history with
   | Some n when n < 0 -> invalid_arg "Runtime.start: negative history"
+  | _ -> ());
+  (match on_node_error with
+  | Restart n when n < 0 ->
+    invalid_arg "Runtime.start: negative Restart budget"
+  | _ -> ());
+  (match queue_capacity with
+  | Some n when n < 1 ->
+    invalid_arg "Runtime.start: queue_capacity must be >= 1"
   | _ -> ());
   (* The recompute-always baseline exists to measure pull-style costs, so it
      defaults to flooding; cone dispatch would silently skip the very
@@ -498,6 +583,8 @@ let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer
       rt_gen = !generation;
       memoize;
       c_dispatch = dispatch;
+      c_policy = on_node_error;
+      c_capacity = queue_capacity;
       c_stats = stats;
       c_new_event = new_event;
       c_reach = reach;

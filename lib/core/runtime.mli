@@ -61,6 +61,30 @@ type dispatch =
       (** Reachability-pruned dispatch: only the affected cone runs; elided
           [No_change] rounds are synthesized from epoch gaps. Default. *)
 
+(** What a node does when its user-supplied function (lifted function,
+    [foldp] step, [drop_repeats] equality, fused composite step) raises.
+
+    Whatever the policy, per-event alignment is preserved: a failed round
+    still emits exactly one message, and that message is [No_change] of the
+    node's last-good value — precisely what a quiescent node would have
+    sent, so downstream edge caches and the elision invariant are
+    untouched. Failures are counted in {!Stats.t.node_failures} and, when a
+    tracer is attached, recorded as [Node_fail] instants. *)
+type error_policy =
+  | Propagate
+      (** Seed behaviour (default): the exception unwinds the node thread
+          and surfaces out of {!Cml.run}, tearing the session down. *)
+  | Isolate
+      (** Catch the exception, emit [No_change last-good], keep the node's
+          state (accumulator, composite step) as it was, and keep going. *)
+  | Restart of int
+      (** Like [Isolate], but additionally re-initialise the node's state —
+          a fresh [foldp] accumulator from the signal default, a fresh
+          composite step from the fusion factory — on each of the first [n]
+          failures {e of that node} (counted in {!Stats.t.node_restarts});
+          after the budget is spent the node degrades to [Isolate].
+          [Restart 0] is equivalent to [Isolate]. *)
+
 type 'a t
 (** A running instantiation of a signal graph with output type ['a]. *)
 
@@ -71,6 +95,8 @@ val start :
   ?history:int ->
   ?tracer:Trace.t ->
   ?fuse:bool ->
+  ?on_node_error:error_policy ->
+  ?queue_capacity:int ->
   'a Signal.t ->
   'a t
 (** Instantiate the graph and spawn its threads. Must be called inside
@@ -92,8 +118,25 @@ val start :
     started inside one {!Cml.run} only the most recent [?tracer] receives
     channel/switch records (per-node records are always routed to the
     runtime's own tracer).
-    @raise Invalid_argument outside a running scheduler, or when [history]
-    is negative. *)
+
+    [on_node_error] selects the supervision policy applied to every node's
+    user-function application (default {!Propagate}, the seed behaviour).
+    The guard wraps only the fallible application — never the edge reads —
+    so an internal alignment violation still fails loudly under any policy.
+    A crash inside a fused chain isolates or restarts the whole composite
+    as a unit.
+
+    [queue_capacity] bounds every node wakeup and source value mailbox
+    (default: unbounded, the seed behaviour). Overflow policy is
+    {!Cml.Mailbox.Block}: a dispatcher or injector that outruns a node
+    suspends until the node drains its backlog — real backpressure rather
+    than unbounded buffering. Probe-observed queue depths (tracer
+    [queue_peaks]) never exceed the capacity. Deadlock-free for signal
+    graphs: node progress depends only on wakeups and upstream multicast
+    edges, so a blocked sender always has a running reader downstream.
+    @raise Invalid_argument outside a running scheduler, when [history]
+    is negative, when a [Restart] budget is negative, or when
+    [queue_capacity < 1]. *)
 
 val inject : _ t -> 'b Signal.t -> 'b -> unit
 (** [inject rt input v] delivers an external event: the new value [v] for

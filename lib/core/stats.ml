@@ -9,6 +9,8 @@ type t = {
   mutable async_events : int;
   mutable switches : int;
   mutable fused_nodes : int;
+  mutable node_failures : int;
+  mutable node_restarts : int;
 }
 
 let create () =
@@ -23,6 +25,8 @@ let create () =
     async_events = 0;
     switches = 0;
     fused_nodes = 0;
+    node_failures = 0;
+    node_restarts = 0;
   }
 
 let total_computations s = s.applications + s.recomputations
@@ -38,7 +42,8 @@ let pp ppf s =
   Format.fprintf ppf
     "events=%d messages=%d elided=%d notified=%d applications=%d \
      recomputations=%d fold_steps=%d async_events=%d switches=%d fused=%d \
-     msg/ev=%.1f sw/ev=%.1f"
+     failures=%d restarts=%d msg/ev=%.1f sw/ev=%.1f"
     s.events s.messages s.elided_messages s.notified_nodes s.applications
     s.recomputations s.fold_steps s.async_events s.switches s.fused_nodes
-    (per_event s.messages s) (per_event s.switches s)
+    s.node_failures s.node_restarts (per_event s.messages s)
+    (per_event s.switches s)

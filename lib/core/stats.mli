@@ -37,6 +37,15 @@ type t = {
           [fused_nodes + node_count = original node count], and the elision
           invariant [messages + elided_messages = node_count * events] holds
           for the {e fused} node count. *)
+  mutable node_failures : int;
+      (** Exceptions caught inside node steps by the [Isolate]/[Restart]
+          supervision policies (see {!Runtime.error_policy}); each failed
+          round still emits a [No_change] of the node's last-good value, so
+          the elision invariant is unaffected. Always 0 under [Propagate]. *)
+  mutable node_restarts : int;
+      (** Node re-initialisations performed by [Restart] (fresh [foldp]
+          accumulator / composite step). Bounded by the policy's budget
+          summed over failing nodes; at most [node_failures]. *)
 }
 
 val create : unit -> t

@@ -1,6 +1,7 @@
 type kind =
   | Node_start
   | Node_end
+  | Node_fail
   | Dispatch
   | Display
   | Chan_send
@@ -55,6 +56,7 @@ type node_acc = {
   mutable rounds : int;
   mutable busy : float;
   mutable open_ts : float;  (* nan when no span is open *)
+  mutable failures : int;  (* supervised step failures (Isolate/Restart) *)
   lat : samples;  (* dispatch-to-emit, per processed round *)
 }
 
@@ -70,6 +72,7 @@ type t = {
   mutable n_events : int;
   mutable n_displays : int;
   mutable n_changes : int;
+  mutable n_failures : int;
   mutable last_switches : int;
   queue_peaks : (string, int) Hashtbl.t;
 }
@@ -91,6 +94,7 @@ let create ?(capacity = 65536) () =
     n_events = 0;
     n_displays = 0;
     n_changes = 0;
+    n_failures = 0;
     last_switches = 0;
     queue_peaks = Hashtbl.create 16;
   }
@@ -120,6 +124,7 @@ let node_acc t id =
         rounds = 0;
         busy = 0.0;
         open_ts = Float.nan;
+        failures = 0;
         lat = samples_create ();
       }
     in
@@ -145,6 +150,14 @@ let node_end t ~node ~epoch =
   match Hashtbl.find_opt t.dispatch_ts epoch with
   | Some t0 -> samples_add a.lat (ts -. t0)
   | None -> ()
+
+let node_failure t ~node ~epoch =
+  push
+    t
+    { kind = Node_fail; ts = Cml.now (); node; epoch; chan = ""; value = 0 };
+  t.n_failures <- t.n_failures + 1;
+  let a = node_acc t node in
+  a.failures <- a.failures + 1
 
 let dispatch t ~source ~epoch ~targets =
   let ts = Cml.now () in
@@ -212,6 +225,7 @@ type node_summary = {
   node_name : string;
   rounds : int;
   busy : float;
+  node_failures : int;
   node_p50 : float;
   node_p95 : float;
   node_max : float;
@@ -221,6 +235,7 @@ type summary = {
   events : int;
   displays : int;
   changes : int;
+  failures : int;
   p50 : float;
   p95 : float;
   max : float;
@@ -245,6 +260,7 @@ let summary t =
           node_name = a.acc_name;
           rounds = a.rounds;
           busy = a.busy;
+          node_failures = a.failures;
           node_p50 = percentile s 0.5;
           node_p95 = percentile s 0.95;
           node_max = (if m = 0 then 0.0 else s.(m - 1));
@@ -261,6 +277,7 @@ let summary t =
     events = t.n_events;
     displays = t.n_displays;
     changes = t.n_changes;
+    failures = t.n_failures;
     p50 = percentile sorted 0.5;
     p95 = percentile sorted 0.95;
     max = (if n = 0 then 0.0 else sorted.(n - 1));
@@ -276,6 +293,7 @@ let summary_to_json s =
       ("events", Json.of_int s.events);
       ("displays", Json.of_int s.displays);
       ("changes", Json.of_int s.changes);
+      ("failures", Json.of_int s.failures);
       ( "event_to_display_latency",
         Json.Object
           [
@@ -294,6 +312,7 @@ let summary_to_json s =
                    ("name", Json.of_string n.node_name);
                    ("rounds", Json.of_int n.rounds);
                    ("busy", Json.of_float n.busy);
+                   ("failures", Json.of_int n.node_failures);
                    ("p50", Json.of_float n.node_p50);
                    ("p95", Json.of_float n.node_p95);
                    ("max", Json.of_float n.node_max);
@@ -307,10 +326,10 @@ let summary_to_json s =
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "@[<v>events=%d displays=%d changes=%d switches=%d dropped=%d@,\
+    "@[<v>events=%d displays=%d changes=%d failures=%d switches=%d dropped=%d@,\
      event-to-display latency (virtual s): p50=%.4f p95=%.4f max=%.4f@]"
-    s.events s.displays s.changes s.switches s.records_dropped s.p50 s.p95
-    s.max;
+    s.events s.displays s.changes s.failures s.switches s.records_dropped
+    s.p50 s.p95 s.max;
   List.iteri
     (fun i n ->
       if i < 8 then
@@ -380,6 +399,18 @@ let to_chrome_json t =
           ("pid", pid);
           ("tid", Json.of_int (r.node + 2));
           ("ts", us r.ts);
+        ]
+    | Node_fail ->
+      Json.Object
+        [
+          ("name", Json.of_string ("fail:" ^ node_name r.node));
+          ("cat", Json.of_string "failure");
+          ("ph", Json.of_string "i");
+          ("s", Json.of_string "t");
+          ("pid", pid);
+          ("tid", Json.of_int (r.node + 2));
+          ("ts", us r.ts);
+          ("args", Json.Object [ ("epoch", Json.of_int r.epoch) ]);
         ]
     | Dispatch ->
       Json.Object

@@ -43,6 +43,10 @@ val create : ?capacity:int -> unit -> t
 type kind =
   | Node_start  (** A node thread began processing an event round. *)
   | Node_end  (** ... and emitted its output message for that round. *)
+  | Node_fail
+      (** A supervised node step raised; the supervisor substituted a
+          [No_change] of the last-good value (see
+          {!Runtime.error_policy}). *)
   | Dispatch  (** The dispatcher fired an event at its affected cone. *)
   | Display  (** The display loop processed the root's message. *)
   | Chan_send  (** A named channel was sent to; [value] is its depth. *)
@@ -81,6 +85,10 @@ val node_start : t -> node:int -> epoch:int -> unit
 
 val node_end : t -> node:int -> epoch:int -> unit
 
+val node_failure : t -> node:int -> epoch:int -> unit
+(** A supervised node step failed during [epoch] (recorded by the runtime's
+    [Isolate]/[Restart] policies; never called under [Propagate]). *)
+
 val dispatch : t -> source:int -> epoch:int -> targets:int -> unit
 
 val display : t -> epoch:int -> changed:bool -> unit
@@ -103,6 +111,7 @@ type node_summary = {
   node_name : string;
   rounds : int;  (** Event rounds this node processed. *)
   busy : float;  (** Total virtual seconds inside start..end spans. *)
+  node_failures : int;  (** Supervised step failures recorded for this node. *)
   node_p50 : float;  (** Dispatch-to-emit latency percentiles ... *)
   node_p95 : float;
   node_max : float;  (** ... and maximum, virtual seconds. *)
@@ -112,6 +121,7 @@ type summary = {
   events : int;  (** Dispatches recorded. *)
   displays : int;  (** Display-loop rounds recorded. *)
   changes : int;  (** Displayed rounds that carried a [Change]. *)
+  failures : int;  (** Supervised node-step failures recorded. *)
   p50 : float;  (** Event-to-display latency percentiles over all *)
   p95 : float;  (** displayed rounds, virtual seconds. *)
   max : float;

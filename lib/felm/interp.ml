@@ -38,7 +38,7 @@ let build_signals (program : Program.t) g =
   table
 
 let run_graph ?(mode = Runtime.Pipelined) ?(memoize = true) ?tracer ?fuse
-    program g root ~trace =
+    ?on_node_error ?queue_capacity program g root ~trace =
   Sgraph.freeze g;
   match root with
   | Value.Vsignal root_id ->
@@ -51,7 +51,10 @@ let run_graph ?(mode = Runtime.Pipelined) ?(memoize = true) ?tracer ?fuse
         let table = build_signals program g in
         Builtins.work_enabled := true;
         let root_signal = Hashtbl.find table root_id in
-        let rt = Runtime.start ~mode ~memoize ?tracer ?fuse root_signal in
+        let rt =
+          Runtime.start ~mode ~memoize ?tracer ?fuse ?on_node_error
+            ?queue_capacity root_signal
+        in
         stats := Some (Runtime.stats rt);
         final := Runtime.current rt;
         let input_signals =
@@ -81,13 +84,15 @@ let run_graph ?(mode = Runtime.Pipelined) ?(memoize = true) ?tracer ?fuse
     (* A non-reactive program: stage one already computed the answer. *)
     { displays = []; final = v; stats = None; skipped_events = List.length trace }
 
-let run ?mode ?memoize ?tracer ?fuse program ~trace =
+let run ?mode ?memoize ?tracer ?fuse ?on_node_error ?queue_capacity program
+    ~trace =
   let g, root = Denote.run_program program in
-  run_graph ?mode ?memoize ?tracer ?fuse program g root ~trace
+  run_graph ?mode ?memoize ?tracer ?fuse ?on_node_error ?queue_capacity
+    program g root ~trace
 
-let run_source ?mode ?fuse src ~trace =
+let run_source ?mode ?fuse ?on_node_error ?queue_capacity src ~trace =
   let program = Program.of_source src in
   ignore (Typecheck.check_program program);
   let events = Trace.parse trace in
   Trace.validate program events;
-  run ?mode ?fuse program ~trace:events
+  run ?mode ?fuse ?on_node_error ?queue_capacity program ~trace:events

@@ -26,6 +26,8 @@ val run :
   ?memoize:bool ->
   ?tracer:Elm_core.Trace.t ->
   ?fuse:bool ->
+  ?on_node_error:Elm_core.Runtime.error_policy ->
+  ?queue_capacity:int ->
   Program.t ->
   trace:Trace.event list ->
   outcome
@@ -34,14 +36,17 @@ val run :
     trace is ignored and [displays] is empty. [tracer] is handed to
     {!Elm_core.Runtime.start} (note the two unrelated "trace"s: [~trace]
     is the replayed input events, [?tracer] records the execution), and so
-    is [fuse] — interpreted graphs fuse their [lift] chains by default like
-    native ones. *)
+    are [fuse] — interpreted graphs fuse their [lift] chains by default like
+    native ones — [on_node_error] (node supervision policy) and
+    [queue_capacity] (bounded wake/value mailboxes). *)
 
 val run_graph :
   ?mode:Elm_core.Runtime.mode ->
   ?memoize:bool ->
   ?tracer:Elm_core.Trace.t ->
   ?fuse:bool ->
+  ?on_node_error:Elm_core.Runtime.error_policy ->
+  ?queue_capacity:int ->
   Program.t ->
   Sgraph.t ->
   Value.t ->
@@ -52,5 +57,11 @@ val run_graph :
     graph. *)
 
 val run_source :
-  ?mode:Elm_core.Runtime.mode -> ?fuse:bool -> string -> trace:string -> outcome
+  ?mode:Elm_core.Runtime.mode ->
+  ?fuse:bool ->
+  ?on_node_error:Elm_core.Runtime.error_policy ->
+  ?queue_capacity:int ->
+  string ->
+  trace:string ->
+  outcome
 (** Convenience: parse, resolve, type-check and run from source text. *)

@@ -5,13 +5,51 @@ type response =
   | Success of string
   | Failure of int * string
 
+(* One function per request attempt, returning the modeled latency together
+   with the result: the [flaky] wrapper needs both to covary (a dropped
+   request has infinite latency and no useful result), and a single call
+   keeps its PRNG consumption — hence determinism — per attempt. *)
 type server = {
-  latency : string -> float;
-  respond : string -> (string, int * string) result;
+  handle : string -> float * (string, int * string) result;
   mutable served : int;
 }
 
-let server ?(latency = fun _ -> 1.0) respond = { latency; respond; served = 0 }
+let server ?(latency = fun _ -> 1.0) respond =
+  { handle = (fun req -> (latency req, respond req)); served = 0 }
+
+(* Degraded-network wrapper around a server, driven by a seeded PRNG so runs
+   are reproducible: same seed + same request sequence = same faults. Per
+   attempt it draws, in a fixed order: drop? (infinite latency — model of a
+   lost packet, only meaningful under [send_get ~timeout]), latency spike?,
+   then 5xx? — where one unlucky draw opens a burst of [error_burst]
+   consecutive 503s, the shape retry storms are made of. *)
+let flaky ?(seed = 42) ?(drop_rate = 0.0) ?(spike_rate = 0.0) ?(spike = 10.0)
+    ?(error_rate = 0.0) ?(error_burst = 1) srv =
+  let rng = Random.State.make [| seed |] in
+  let burst_left = ref 0 in
+  {
+    served = 0;
+    handle =
+      (fun req ->
+        let lat, result = srv.handle req in
+        if Random.State.float rng 1.0 < drop_rate then
+          (Float.infinity, Error (0, "dropped"))
+        else begin
+          let lat =
+            if Random.State.float rng 1.0 < spike_rate then lat +. spike
+            else lat
+          in
+          if !burst_left > 0 then begin
+            decr burst_left;
+            (lat, Error (503, "service unavailable"))
+          end
+          else if Random.State.float rng 1.0 < error_rate then begin
+            burst_left := error_burst - 1;
+            (lat, Error (503, "service unavailable"))
+          end
+          else (lat, result)
+        end);
+  }
 
 (* Example 3's image service: responses are JSON objects containing image
    URLs, exactly as the paper describes ("a signal of JSON objects returned
@@ -50,26 +88,50 @@ let first_photo_url body =
     |> Fun.flip Option.bind (Json.member "url")
     |> Fun.flip Option.bind Json.get_string
 
-let perform srv req =
+(* One request attempt. With a [timeout], the caller waits [min lat timeout]
+   and a too-slow (or dropped: infinite-latency) response is reported as
+   [Failure (0, "timeout")] — status 0, like a client-side abort. Without
+   one, the node waits the full modeled latency, however long. *)
+let perform ?timeout srv req =
   srv.served <- srv.served + 1;
-  Cml.sleep (srv.latency req);
-  match srv.respond req with
-  | Ok body -> Success body
-  | Error (code, msg) -> Failure (code, msg)
+  let lat, result = srv.handle req in
+  match timeout with
+  | Some t when lat > t -> Cml.sleep t; Failure (0, "timeout")
+  | Some _ | None -> (
+    Cml.sleep lat;
+    match result with
+    | Ok body -> Success body
+    | Error (code, msg) -> Failure (code, msg))
 
-let send_get srv requests =
+let send_get ?timeout ?(retries = 0) ?(backoff = 1.0) srv requests =
+  if retries < 0 then invalid_arg "Http.send_get: negative retries";
+  if backoff < 0.0 then invalid_arg "Http.send_get: negative backoff";
+  (match timeout with
+  | Some t when t <= 0.0 -> invalid_arg "Http.send_get: timeout must be > 0"
+  | _ -> ());
+  let rec attempt n req =
+    match perform ?timeout srv req with
+    | (Success _ | Waiting) as r -> r
+    | Failure _ as r when n >= retries -> r
+    | Failure _ ->
+      (* Deterministic exponential backoff on the virtual clock. *)
+      Cml.sleep (backoff *. (2.0 ** float_of_int n));
+      attempt (n + 1) req
+  in
   (* The default request must not hit the server: defaults are computed at
-     graph construction (Section 3.1), and a session begins Waiting. *)
-  let default_request = Signal.default requests in
-  let started = ref false in
-  Signal.lift ~name:"syncGet"
-    (fun req ->
-      if (not !started) && req = default_request then Waiting
-      else begin
-        started := true;
-        perform srv req
-      end)
-    requests
+     graph construction (Section 3.1), and a session begins Waiting. That
+     construction-time application is identified {e positionally} — it is
+     the one [Signal.lift] performs before this function returns — not by
+     comparing request values: a genuine event that happens to carry the
+     same string as the default is a real request and must be served. *)
+  let constructing = ref true in
+  let result =
+    Signal.lift ~name:"syncGet"
+      (fun req -> if !constructing then Waiting else attempt 0 req)
+      requests
+  in
+  constructing := false;
+  result
 
 let response_to_string = function
   | Waiting -> "waiting"

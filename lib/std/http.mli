@@ -18,6 +18,25 @@ type server
 val server : ?latency:(string -> float) -> (string -> (string, int * string) result) -> server
 (** A simulated remote service. Default latency: 1 second per request. *)
 
+val flaky :
+  ?seed:int ->
+  ?drop_rate:float ->
+  ?spike_rate:float ->
+  ?spike:float ->
+  ?error_rate:float ->
+  ?error_burst:int ->
+  server ->
+  server
+(** A degraded-network wrapper: per attempt, with probability [drop_rate]
+    the request is dropped (infinite latency — only observable under
+    {!send_get}[ ~timeout]); otherwise with probability [spike_rate] the
+    latency gains [spike] (default 10s) virtual seconds, and with
+    probability [error_rate] the server answers [503] for [error_burst]
+    (default 1) consecutive attempts. Faults come from a PRNG seeded with
+    [seed] (default 42): the same seed and request sequence reproduce the
+    same faults, so fault-injection benches are deterministic. The wrapper
+    has its own {!request_count}; the wrapped server's stays untouched. *)
+
 val flickr : server
 (** The image-search service of Example 3: maps a tag query to a JSON
     response containing an image URL (the paper: "a signal of JSON objects
@@ -28,11 +47,28 @@ val first_photo_url : string -> string option
 (** Extract the first photo URL from a {!flickr}-style JSON response
     body. *)
 
-val send_get : server -> string Elm_core.Signal.t -> response Elm_core.Signal.t
+val send_get :
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  server ->
+  string Elm_core.Signal.t ->
+  response Elm_core.Signal.t
 (** [syncGet]: a signal of requests to a signal of responses, in request
     order, blocking for the latency of each. The node does not contact the
-    server for the requests signal's default value (the session starts
-    [Waiting]). *)
+    server for the requests signal's {e construction-time} default
+    computation (the session starts [Waiting]); a genuine event equal to
+    the default value is served normally.
+
+    [timeout] (virtual seconds) bounds each attempt: a slower — or dropped
+    — response yields [Failure (0, "timeout")] after exactly [timeout]
+    seconds. [retries] (default 0) re-issues the request after any
+    [Failure], sleeping [backoff * 2^n] virtual seconds before retry [n]
+    (zero-based; [backoff] defaults to 1s) — deterministic exponential
+    backoff on the virtual clock. Each attempt counts in
+    {!request_count}.
+    @raise Invalid_argument on negative [retries]/[backoff] or a
+    non-positive [timeout]. *)
 
 val response_to_string : response -> string
 

@@ -169,6 +169,29 @@ let test_run_value_stuck () =
     (Sched.Stuck "main thread blocked forever") (fun () ->
       ignore (Sched.run_value (fun () -> Mailbox.recv mb)))
 
+let test_run_value_stuck_names_sites () =
+  (* With named channels, the Stuck message says who is blocked where
+     instead of just "blocked forever". *)
+  let got = ref "" in
+  (try
+     ignore
+       (Sched.run_value (fun () ->
+            let lonely = Mailbox.create ~name:"lonely" () in
+            Sched.spawn (fun () ->
+                ignore (Mailbox.recv (Mailbox.create ~name:"orphan" ())));
+            Mailbox.recv lonely))
+   with Sched.Stuck msg -> got := msg);
+  let contains needle haystack =
+    let n = String.length needle in
+    let h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "mentions blocking" true (contains "blocked forever" !got);
+  check_bool "names main's wait site" true (contains "recv lonely" !got);
+  check_bool "names the spawned thread's wait site" true
+    (contains "recv orphan" !got)
+
 (* ------------------------------------------------------------------ *)
 (* Mailbox *)
 
@@ -415,6 +438,7 @@ let () =
           tc "counters" `Quick test_run_counts;
           tc "blocked threads dropped" `Quick test_blocked_threads_dropped;
           tc "stuck main" `Quick test_run_value_stuck;
+          tc "stuck main names sites" `Quick test_run_value_stuck_names_sites;
           qt prop_scheduler_deterministic;
         ] );
       ( "mailbox",

@@ -7,6 +7,8 @@ module Signal = Elm_core.Signal
 module Runtime = Elm_core.Runtime
 module Event = Elm_core.Event
 module Stats = Elm_core.Stats
+module Mailbox = Cml.Mailbox
+module Http = Elm_std.Http
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -93,6 +95,328 @@ let test_listener_crash () =
           let rt = Runtime.start src in
           Runtime.on_change rt (fun _ _ -> raise Node_crashed);
           Runtime.inject rt src 1))
+
+(* ------------------------------------------------------------------ *)
+(* Node supervision: Isolate / Restart *)
+
+(* Two independent branches: a crashing one fed by [a] (the crash kind —
+   plain lift, foldp step or fused composite chain — is the parameter) and a
+   clean one fed by [b] whose applications are recorded. [a] values that are
+   multiples of 3 crash when [faulty]; both branches join at the root so the
+   session exercises partial-failure dispatch. Returns the clean branch's
+   application log (newest first) and the runtime. *)
+let supervised_session ~kind ~policy ~mode ~dispatch ~faulty =
+  let clean_log = ref [] in
+  let rt =
+    with_world (fun () ->
+        let a = Signal.input ~name:"a" 0 in
+        let b = Signal.input ~name:"b" 0 in
+        (* [x > 0]: the construction-time default (0) must not crash. *)
+        let boom x =
+          if faulty && x > 0 && x mod 3 = 0 then raise Node_crashed else x * 10
+        in
+        let crashing =
+          match kind with
+          | `Lift -> Signal.lift ~name:"boom" boom a
+          | `Foldp ->
+            Signal.foldp ~name:"boom"
+              (fun x acc -> boom x + acc)
+              0 a
+          | `Fused ->
+            (* A two-stage stateless chain: the fusion pass collapses it
+               into one composite node, so the crash happens inside a fused
+               step and must isolate the composite as a unit. *)
+            Signal.lift ~name:"post" (fun x -> x + 1)
+              (Signal.lift ~name:"boom" boom a)
+        in
+        let clean =
+          Signal.lift ~name:"clean"
+            (fun y ->
+              clean_log := y :: !clean_log;
+              y + 100)
+            b
+        in
+        let root = Signal.lift2 ~name:"root" ( + ) crashing clean in
+        let rt = Runtime.start ~mode ~dispatch ~on_node_error:policy root in
+        for i = 1 to 9 do
+          Runtime.inject rt a i;
+          Runtime.inject rt b i
+        done;
+        rt)
+  in
+  (!clean_log, rt)
+
+let test_supervision_matrix () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun mode ->
+              List.iter
+                (fun dispatch ->
+                  let label =
+                    Printf.sprintf "%s/%s/%s/%s"
+                      (match kind with
+                      | `Lift -> "lift"
+                      | `Foldp -> "foldp"
+                      | `Fused -> "fused")
+                      (match policy with
+                      | Runtime.Isolate -> "isolate"
+                      | Runtime.Restart n -> Printf.sprintf "restart:%d" n
+                      | Runtime.Propagate -> "propagate")
+                      (match mode with
+                      | Runtime.Pipelined -> "pipelined"
+                      | Runtime.Sequential -> "sequential")
+                      (match dispatch with
+                      | Runtime.Flood -> "flood"
+                      | Runtime.Cone -> "cone")
+                  in
+                  let clean_ok, _ =
+                    supervised_session ~kind ~policy ~mode ~dispatch
+                      ~faulty:false
+                  in
+                  let clean_faulty, rt =
+                    supervised_session ~kind ~policy ~mode ~dispatch
+                      ~faulty:true
+                  in
+                  (* The session completed (we got here), every injected
+                     crash was counted, and the unaffected branch's
+                     applications are bit-identical to the no-fault run. *)
+                  check_int (label ^ ": failures counted") 3
+                    (Runtime.stats rt).Stats.node_failures;
+                  check_bool (label ^ ": clean branch unaffected") true
+                    (clean_faulty = clean_ok))
+                [ Runtime.Flood; Runtime.Cone ])
+            [ Runtime.Pipelined; Runtime.Sequential ])
+        [ Runtime.Isolate; Runtime.Restart 1; Runtime.Restart 10 ])
+    [ `Lift; `Foldp; `Fused ]
+
+let test_isolate_emits_last_good () =
+  let rt =
+    with_world (fun () ->
+        let src = Signal.input 0 in
+        let s =
+          Signal.lift (fun x -> if x = 2 then raise Node_crashed else x * 10) src
+        in
+        let rt = Runtime.start ~on_node_error:Runtime.Isolate s in
+        Runtime.inject rt src 1;
+        Runtime.inject rt src 2;
+        Runtime.inject rt src 3;
+        rt)
+  in
+  (* The crashed round is a No_change of the last good value: no display
+     change, no corrupted downstream value. *)
+  check_bool "changes skip the crashed round" true
+    (List.map snd (Runtime.changes rt) = [ 10; 30 ]);
+  check_int "one failure" 1 (Runtime.stats rt).Stats.node_failures;
+  check_int "no restarts under Isolate" 0 (Runtime.stats rt).Stats.node_restarts
+
+let run_crashing_foldp policy injections =
+  with_world (fun () ->
+      let src = Signal.input 0 in
+      let s =
+        Signal.foldp
+          (fun x acc -> if x = 99 then raise Node_crashed else acc + x)
+          0 src
+      in
+      let rt = Runtime.start ~on_node_error:policy s in
+      List.iter (fun v -> Runtime.inject rt src v) injections;
+      rt)
+
+let test_restart_resets_foldp () =
+  (* Isolate keeps the accumulator across the crash; Restart re-seeds it
+     from the signal default. *)
+  let isolated = run_crashing_foldp Runtime.Isolate [ 1; 2; 99; 4 ] in
+  check_bool "isolate keeps accumulator" true
+    (List.map snd (Runtime.changes isolated) = [ 1; 3; 7 ]);
+  let restarted = run_crashing_foldp (Runtime.Restart 1) [ 1; 2; 99; 4 ] in
+  check_bool "restart re-seeds accumulator" true
+    (List.map snd (Runtime.changes restarted) = [ 1; 3; 4 ]);
+  check_int "restart counted" 1 (Runtime.stats restarted).Stats.node_restarts
+
+let test_restart_budget_degrades_to_isolate () =
+  let rt = run_crashing_foldp (Runtime.Restart 1) [ 1; 99; 2; 99; 3 ] in
+  (* First crash restarts (acc back to 0); the second exhausts the budget,
+     so the accumulator survives it. *)
+  check_bool "budget spent, then isolate" true
+    (List.map snd (Runtime.changes rt) = [ 1; 2; 5 ]);
+  check_int "both failures counted" 2 (Runtime.stats rt).Stats.node_failures;
+  check_int "only one restart" 1 (Runtime.stats rt).Stats.node_restarts
+
+let test_propagate_still_default () =
+  (* The seed behaviour is untouched: no policy given, the crash escapes. *)
+  Alcotest.check_raises "default is Propagate" Node_crashed (fun () ->
+      Cml.run (fun () ->
+          let src = Signal.input 0 in
+          let s = Signal.lift (fun x -> if x = 2 then raise Node_crashed else x) src in
+          let rt = Runtime.start s in
+          Runtime.inject rt src 2))
+
+(* ------------------------------------------------------------------ *)
+(* Bounded mailboxes *)
+
+let test_mailbox_drop_oldest () =
+  Cml.run (fun () ->
+      let mb = Mailbox.create ~capacity:2 ~overflow:Mailbox.Drop_oldest () in
+      Mailbox.send mb 1;
+      Mailbox.send mb 2;
+      Mailbox.send mb 3;
+      check_int "depth capped" 2 (Mailbox.length mb);
+      check_int "oldest dropped" 2 (Mailbox.recv mb);
+      check_int "newest kept" 3 (Mailbox.recv mb))
+
+let test_mailbox_fail () =
+  Alcotest.check_raises "overflow raises Full" (Mailbox.Full (Some "mb"))
+    (fun () ->
+      Cml.run (fun () ->
+          let mb =
+            Mailbox.create ~name:"mb" ~capacity:1 ~overflow:Mailbox.Fail ()
+          in
+          Mailbox.send mb 1;
+          Mailbox.send mb 2))
+
+let test_mailbox_block_backpressure () =
+  let sent_at_park = ref [] in
+  let received = ref [] in
+  let max_depth = ref 0 in
+  Cml.run (fun () ->
+      Cml.Probe.set
+        {
+          Cml.Probe.on_send =
+            (fun _ depth -> if depth > !max_depth then max_depth := depth);
+          on_recv = (fun _ _ -> ());
+          on_switch = (fun _ -> ());
+        };
+      let mb = Mailbox.create ~name:"bp" ~capacity:2 ~overflow:Mailbox.Block () in
+      let progress = ref 0 in
+      Cml.spawn (fun () ->
+          for i = 1 to 5 do
+            Mailbox.send mb i;
+            progress := i
+          done);
+      Cml.spawn (fun () ->
+          Cml.sleep 1.0;
+          (* By now the sender has filled the two slots and parked on the
+             third send: backpressure suspended it before [progress := 3]. *)
+          sent_at_park := [ !progress ];
+          for _ = 1 to 5 do
+            received := Mailbox.recv mb :: !received
+          done));
+  check_bool "sender suspended at capacity" true (!sent_at_park = [ 2 ]);
+  check_bool "FIFO across parked senders" true
+    (List.rev !received = [ 1; 2; 3; 4; 5 ]);
+  check_bool "probe-observed depth never exceeds capacity" true (!max_depth <= 2)
+
+let test_recv_opt_fires_probe_and_drains () =
+  Cml.run (fun () ->
+      let recvs = ref 0 in
+      Cml.Probe.set
+        {
+          Cml.Probe.on_send = (fun _ _ -> ());
+          on_recv = (fun _ _ -> incr recvs);
+          on_switch = (fun _ -> ());
+        };
+      let mb = Mailbox.create ~name:"m" ~capacity:1 ~overflow:Mailbox.Block () in
+      Mailbox.send mb 1;
+      Cml.spawn (fun () -> Mailbox.send mb 2);
+      Cml.sleep 0.0;
+      (* the spawned sender is now parked on the full mailbox *)
+      check_bool "first value" true (Mailbox.recv_opt mb = Some 1);
+      check_int "recv_opt reported to probe" 1 !recvs;
+      check_int "parked sender admitted into freed slot" 1 (Mailbox.length mb);
+      check_bool "second value" true (Mailbox.recv_opt mb = Some 2);
+      check_bool "empty" true (Mailbox.recv_opt mb = None);
+      check_int "empty poll not reported" 2 !recvs)
+
+let test_mailbox_capacity_validation () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Mailbox.create: capacity must be >= 1") (fun () ->
+      ignore (Mailbox.create ~capacity:0 ()));
+  check_bool "capacity introspection" true
+    (Mailbox.capacity (Mailbox.create ~capacity:7 () : int Mailbox.t) = Some 7);
+  check_bool "unbounded introspection" true
+    (Mailbox.capacity (Mailbox.create () : int Mailbox.t) = None)
+
+let test_runtime_bounded_equals_unbounded () =
+  let session capacity tracer =
+    with_world (fun () ->
+        let src = Signal.input 0 in
+        let s = Signal.foldp ( + ) 0 (Signal.lift (fun x -> x * 2) src) in
+        let rt = Runtime.start ?queue_capacity:capacity ?tracer s in
+        for i = 1 to 200 do
+          Runtime.inject rt src i
+        done;
+        rt)
+  in
+  let unbounded = session None None in
+  let tracer = Elm_core.Trace.create () in
+  let bounded = session (Some 2) (Some tracer) in
+  check_bool "observable behaviour identical under backpressure" true
+    (Runtime.changes bounded = Runtime.changes unbounded);
+  let summary = Elm_core.Trace.summary tracer in
+  List.iter
+    (fun (chan, peak) ->
+      let bounded_chan =
+        String.length chan >= 5
+        && (String.sub chan 0 5 = "wake:" || String.sub chan 0 6 = "value:")
+      in
+      if bounded_chan then
+        check_bool (Printf.sprintf "peak of %s within capacity" chan) true
+          (peak <= 2))
+    summary.Elm_core.Trace.queue_peaks
+
+(* ------------------------------------------------------------------ *)
+(* Http resilience: flaky servers, retries, determinism *)
+
+let run_http srv =
+  let rt =
+    with_world (fun () ->
+        let req = Signal.input ~name:"req" "" in
+        let resp = Http.send_get ~timeout:5.0 ~retries:40 ~backoff:0.01 srv req in
+        let rt = Runtime.start resp in
+        List.iter (fun q -> Runtime.inject rt req q) [ "a"; "b"; "c" ];
+        rt)
+  in
+  (Runtime.current rt, List.map snd (Runtime.changes rt))
+
+let prop_flaky_converges =
+  QCheck.Test.make ~name:"flaky server + retries converge to reliable result"
+    ~count:30
+    QCheck.(
+      triple small_nat
+        (float_bound_inclusive 0.3)
+        (float_bound_inclusive 0.3))
+    (fun (seed, drop_rate, error_rate) ->
+      let reliable () =
+        Http.server ~latency:(fun _ -> 1.0) (fun q -> Ok ("R:" ^ q))
+      in
+      let flaky () =
+        Http.flaky ~seed ~drop_rate ~spike_rate:0.2 ~error_rate ~error_burst:2
+          (reliable ())
+      in
+      let ref_final, ref_changes = run_http (reliable ()) in
+      let f1, c1 = run_http (flaky ()) in
+      let f2, c2 = run_http (flaky ()) in
+      (* Retries absorb the faults: same final Success and same displayed
+         sequence as the reliable server — and deterministically so, twice. *)
+      f1 = ref_final && c1 = ref_changes && f2 = f1 && c2 = c1)
+
+let test_flaky_deterministic_served_count () =
+  let mk () =
+    Http.flaky ~seed:7 ~drop_rate:0.2 ~spike_rate:0.2 ~error_rate:0.2
+      ~error_burst:2
+      (Http.server ~latency:(fun _ -> 1.0) (fun q -> Ok q))
+  in
+  let srv1 = mk () in
+  let r1 = run_http srv1 in
+  let srv2 = mk () in
+  let r2 = run_http srv2 in
+  check_bool "same outcome" true (r1 = r2);
+  check_int "same attempt count" (Http.request_count srv1)
+    (Http.request_count srv2);
+  check_bool "faults actually injected (retries happened)" true
+    (Http.request_count srv1 > 3)
 
 (* ------------------------------------------------------------------ *)
 (* Mode interactions *)
@@ -255,6 +579,32 @@ let () =
           tc "default crash" `Quick test_crash_during_default;
           tc "foldp crash" `Quick test_foldp_crash;
           tc "listener crash" `Quick test_listener_crash;
+        ] );
+      ( "supervision",
+        [
+          tc "policy matrix" `Quick test_supervision_matrix;
+          tc "isolate emits last-good" `Quick test_isolate_emits_last_good;
+          tc "restart resets foldp" `Quick test_restart_resets_foldp;
+          tc "restart budget degrades" `Quick
+            test_restart_budget_degrades_to_isolate;
+          tc "propagate still default" `Quick test_propagate_still_default;
+        ] );
+      ( "bounded mailboxes",
+        [
+          tc "drop_oldest" `Quick test_mailbox_drop_oldest;
+          tc "fail" `Quick test_mailbox_fail;
+          tc "block backpressure" `Quick test_mailbox_block_backpressure;
+          tc "recv_opt probe + drain" `Quick
+            test_recv_opt_fires_probe_and_drains;
+          tc "capacity validation" `Quick test_mailbox_capacity_validation;
+          tc "bounded runtime equivalence" `Quick
+            test_runtime_bounded_equals_unbounded;
+        ] );
+      ( "http resilience",
+        [
+          QCheck_alcotest.to_alcotest prop_flaky_converges;
+          tc "deterministic flaky runs" `Quick
+            test_flaky_deterministic_served_count;
         ] );
       ( "modes",
         [

@@ -317,6 +317,75 @@ let test_http_response_to_string () =
   check_bool "failure" true
     (Http.response_to_string (Http.Failure (500, "x")) = "error 500: x")
 
+let test_http_event_equal_to_default_is_served () =
+  (* Only the construction-time default computation is exempt from hitting
+     the server; a genuine event that happens to carry the same string as
+     the default is a real request and must be served (this used to be
+     swallowed as Waiting forever). *)
+  let srv = Http.server ~latency:(fun _ -> 1.0) (fun q -> Ok ("<" ^ q ^ ">")) in
+  let rt =
+    World.run (fun () ->
+        let reqs = Signal.input ~name:"reqs" "cats" in
+        let rt = Runtime.start (Http.send_get srv reqs) in
+        Runtime.inject rt reqs "cats";
+        rt)
+  in
+  check_bool "default-valued event served" true
+    (Runtime.current rt = Http.Success "<cats>");
+  check_int "exactly one request (not zero, not two)" 1 (Http.request_count srv)
+
+let test_http_timeout () =
+  let srv = Http.server ~latency:(fun _ -> 10.0) (fun q -> Ok q) in
+  let rt =
+    World.run (fun () ->
+        let reqs = Signal.input ~name:"reqs" "" in
+        let rt = Runtime.start (Http.send_get ~timeout:3.0 srv reqs) in
+        Runtime.inject rt reqs "slow";
+        rt)
+  in
+  (match Runtime.changes rt with
+  | [ (t, Http.Failure (0, "timeout")) ] ->
+    Alcotest.(check (float 1e-9)) "gave up after exactly the timeout" 3.0 t
+  | _ -> Alcotest.fail "expected a timeout failure");
+  check_int "attempt still counted" 1 (Http.request_count srv)
+
+let test_http_retry_backoff () =
+  (* Two failures then success: with retries:3 and backoff:1 the response
+     lands at 1s (attempt) + 1s (2^0 backoff) + 1s + 2s (2^1) + 1s = 6s. *)
+  let attempts = ref 0 in
+  let srv =
+    Http.server ~latency:(fun _ -> 1.0) (fun q ->
+        incr attempts;
+        if !attempts <= 2 then Error (503, "unavailable") else Ok ("<" ^ q ^ ">"))
+  in
+  let rt =
+    World.run (fun () ->
+        let reqs = Signal.input ~name:"reqs" "" in
+        let rt =
+          Runtime.start (Http.send_get ~retries:3 ~backoff:1.0 srv reqs)
+        in
+        Runtime.inject rt reqs "x";
+        rt)
+  in
+  (match Runtime.changes rt with
+  | [ (t, Http.Success "<x>") ] ->
+    Alcotest.(check (float 1e-9)) "deterministic exponential backoff" 6.0 t
+  | _ -> Alcotest.fail "expected eventual success");
+  check_int "three attempts served" 3 (Http.request_count srv)
+
+let test_http_retries_exhausted () =
+  let srv = Http.server ~latency:(fun _ -> 1.0) (fun _ -> Error (500, "down")) in
+  let rt =
+    World.run (fun () ->
+        let reqs = Signal.input ~name:"reqs" "" in
+        let rt = Runtime.start (Http.send_get ~retries:2 srv reqs) in
+        Runtime.inject rt reqs "x";
+        rt)
+  in
+  check_bool "last failure reported" true
+    (Runtime.current rt = Http.Failure (500, "down"));
+  check_int "initial attempt + 2 retries" 3 (Http.request_count srv)
+
 let test_time_until_zero () =
   let rt =
     World.run (fun () ->
@@ -425,6 +494,11 @@ let () =
           tc "flickr returns JSON" `Quick test_http_flickr;
           tc "url extraction robust" `Quick test_http_first_photo_url_robust;
           tc "response_to_string" `Quick test_http_response_to_string;
+          tc "default-valued event served" `Quick
+            test_http_event_equal_to_default_is_served;
+          tc "timeout" `Quick test_http_timeout;
+          tc "retry with backoff" `Quick test_http_retry_backoff;
+          tc "retries exhausted" `Quick test_http_retries_exhausted;
           tc "timer horizon" `Quick test_time_until_zero;
           tc "script in the past" `Quick test_world_at_in_past;
         ] );
