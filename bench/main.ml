@@ -743,6 +743,167 @@ let bench_b14 () =
   (rows, h1 = h2)
 
 (* ------------------------------------------------------------------ *)
+(* B15: schedule exploration — the interleaving checker (lib/check) over
+   the B11/B13/B14 graph matrix. Each cell re-executes the program under
+   seeded random / PCT schedules and checks trace equality vs the FIFO
+   reference, per-node epoch ordering, message accounting and deadlock
+   freedom. Gates: zero violations over the clean matrix (>= 200 schedules
+   in full mode) and all three planted runtime mutations caught. Throughput
+   is schedules/second of CPU time — the cost of one exploration probe. *)
+
+module Explore = Elm_check.Explore
+module Chk_mutate = Elm_check.Mutate
+
+type b15_row = {
+  b15_program : string;
+  b15_dispatch : string;
+  b15_schedules : int;
+  b15_violations : int;
+  b15_seconds : float;
+}
+
+(* B11-like: several sparse chains joined under a foldp. *)
+let b15_sparse_program () =
+  Explore.program ~name:"b11-sparse" ~show:string_of_int (fun () ->
+      let inputs =
+        Array.init 4 (fun i ->
+            Signal.input ~name:(Printf.sprintf "in%d" i) 0)
+      in
+      let chain s =
+        let rec go n s =
+          if n = 0 then s else go (n - 1) (Signal.lift (fun x -> x + 1) s)
+        in
+        go 6 s
+      in
+      let arms = Array.to_list (Array.map chain inputs) in
+      let joined = Signal.lift_list (List.fold_left ( + ) 0) arms in
+      let root = Signal.foldp ~name:"acc" ( + ) 0 joined in
+      {
+        Explore.root;
+        drive =
+          (fun rt ->
+            for i = 1 to 12 do
+              Runtime.inject rt inputs.(i mod 4) i
+            done);
+      })
+
+(* B13-like: one deep stateless chain (fused by default) beside a
+   drop_repeats arm, so both composite steps and elided No_change traffic
+   are in play. *)
+let b15_fusion_program () =
+  Explore.program ~name:"b13-chain" ~show:string_of_int (fun () ->
+      let src = Signal.input ~name:"src" 0 in
+      let rec chain n s =
+        if n = 0 then s else chain (n - 1) (Signal.lift (fun x -> x + 1) s)
+      in
+      let deep = chain 16 src in
+      let coarse = Signal.drop_repeats (Signal.lift (fun x -> x / 4) src) in
+      let root = Signal.lift2 ( + ) deep coarse in
+      {
+        Explore.root;
+        drive =
+          (fun rt ->
+            for i = 1 to 12 do
+              Runtime.inject rt src i
+            done);
+      })
+
+(* B14-like: a deterministically crashing node under Isolate supervision
+   beside a clean foldp — failures are value-driven, so every schedule must
+   count and recover them identically. *)
+let b15_fault_program () =
+  Explore.program ~name:"b14-fault" ~show:string_of_int (fun () ->
+      let src = Signal.input ~name:"src" 0 in
+      let risky =
+        Signal.lift ~name:"risky"
+          (fun x ->
+            if x > 0 && x mod 5 = 0 then failwith "B15: injected fault"
+            else x * 3)
+          src
+      in
+      let sum = Signal.foldp ~name:"sum" ( + ) 0 src in
+      let root = Signal.lift2 ~name:"root" ( + ) risky sum in
+      {
+        Explore.root;
+        drive =
+          (fun rt ->
+            for i = 1 to 12 do
+              Runtime.inject rt src i
+            done);
+      })
+
+let bench_b15 ~per_cell () =
+  section "B15 Schedule exploration: interleaving checker over B11/B13/B14";
+  Printf.printf
+    "%d seeded schedules (random + PCT) per program x dispatch cell\n"
+    per_cell;
+  Printf.printf "%12s | %6s | %9s | %10s | %10s\n" "program" "disp"
+    "schedules" "violations" "sched/s";
+  let programs =
+    [
+      ("b11-sparse", b15_sparse_program, None);
+      ("b13-chain", b15_fusion_program, None);
+      ("b14-fault", b15_fault_program, Some Runtime.Isolate);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, mk, on_node_error) ->
+        List.map
+          (fun (dname, dispatch) ->
+            let t0 = Sys.time () in
+            let report =
+              Explore.run ~schedules:per_cell ~seed:(Hashtbl.hash (name, dname))
+                ~dispatch ?on_node_error (mk ())
+            in
+            let dt = Sys.time () -. t0 in
+            let row =
+              {
+                b15_program = name;
+                b15_dispatch = dname;
+                b15_schedules = report.Explore.r_schedules;
+                b15_violations = List.length report.Explore.r_violations;
+                b15_seconds = dt;
+              }
+            in
+            if row.b15_violations > 0 then
+              Format.printf "%a@." Explore.pp_report report;
+            Printf.printf "%12s | %6s | %9d | %10d | %10.0f\n" name dname
+              row.b15_schedules row.b15_violations
+              (float_of_int row.b15_schedules /. Float.max 1e-9 dt);
+            row)
+          [ ("cone", Runtime.Cone); ("flood", Runtime.Flood) ])
+      programs
+  in
+  (* Planted-mutation sensitivity: the checker must catch all three runtime
+     mutations, each with a shrunk replayable schedule prefix. *)
+  let catches = Chk_mutate.catches ~schedules:2 ~seed:1 () in
+  List.iter
+    (fun ({ Chk_mutate.name; _ }, report) ->
+      Printf.printf "mutation %-16s caught=%b (%d violation(s))\n" name
+        (not (Explore.ok report))
+        (List.length report.Explore.r_violations))
+    catches;
+  let all_caught =
+    List.for_all (fun (_, r) -> not (Explore.ok r)) catches
+  in
+  (rows, all_caught)
+
+let b15_to_json rows =
+  Json.Array
+    (List.map
+       (fun r ->
+         Json.Object
+           [
+             ("program", Json.of_string r.b15_program);
+             ("dispatch", Json.of_string r.b15_dispatch);
+             ("schedules", Json.of_int r.b15_schedules);
+             ("violations", Json.of_int r.b15_violations);
+             ("seconds", Json.of_float r.b15_seconds);
+           ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
 (* Wall-clock microbenchmarks via bechamel: the real costs of the engine,
    the layout library (B6) and the compiler (B7). *)
 
@@ -976,7 +1137,8 @@ let b14_to_json rows =
            ])
        rows)
 
-let write_json ~path b11_rows (b12_sync, b12_async) b13_rows b14_rows micro =
+let write_json ~path b11_rows (b12_sync, b12_async) b13_rows b14_rows
+    (b15_rows, b15_mutations_caught) micro =
   let doc =
     Json.Object
       [
@@ -990,6 +1152,12 @@ let write_json ~path b11_rows (b12_sync, b12_async) b13_rows b14_rows micro =
             ] );
         ("b13_fusion", b13_to_json b13_rows);
         ("b14_fault_injection", b14_to_json b14_rows);
+        ( "b15_schedule_exploration",
+          Json.Object
+            [
+              ("cells", b15_to_json b15_rows);
+              ("mutations_caught", Json.of_bool b15_mutations_caught);
+            ] );
         ( "micro_ns_per_run",
           Json.Object (List.map (fun (n, v) -> (n, Json.of_float v)) micro) );
       ]
@@ -1000,10 +1168,34 @@ let write_json ~path b11_rows (b12_sync, b12_async) b13_rows b14_rows micro =
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
+let b15_gates ~require_total (rows, all_caught) =
+  let total = List.fold_left (fun a r -> a + r.b15_schedules) 0 rows in
+  if List.exists (fun r -> r.b15_violations > 0) rows then begin
+    prerr_endline "B15: violations on the clean B11/B13/B14 matrix!";
+    exit 1
+  end;
+  if total < require_total then begin
+    Printf.eprintf "B15: only %d schedules explored (need >= %d)!\n" total
+      require_total;
+    exit 1
+  end;
+  if not all_caught then begin
+    prerr_endline "B15: a planted runtime mutation went undetected!";
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv in
   let smoke = List.mem "--smoke" args in
   let emit_json = List.mem "--json" args in
+  let explore_smoke = List.mem "--explore-smoke" args in
+  if explore_smoke then begin
+    (* CI quick path: just the explorer, small fixed-seed schedule counts. *)
+    print_endline "FElm schedule-exploration smoke (B15 only)";
+    b15_gates ~require_total:48 (bench_b15 ~per_cell:8 ());
+    print_endline "\nexplore smoke: OK";
+    exit 0
+  end;
   print_endline "FElm / Elm reproduction benchmarks";
   print_endline "(virtual-time experiments first, wall-clock micro at the end)";
   if not smoke then begin
@@ -1100,7 +1292,13 @@ let () =
     prerr_endline "B14: flaky Http session not deterministic across invocations!";
     exit 1
   end;
+  (* B15 gates: zero violations on the clean matrix (>= 200 seeded
+     schedules in full mode) and every planted mutation caught. *)
+  let b15_per_cell = if smoke then 8 else 35 in
+  let b15 = bench_b15 ~per_cell:b15_per_cell () in
+  b15_gates ~require_total:(6 * b15_per_cell) b15;
   let micro = if smoke then [] else micro_benchmarks () in
   if emit_json then
-    write_json ~path:"BENCH_core.json" b11_rows b12 b13_rows b14_rows micro;
+    write_json ~path:"BENCH_core.json" b11_rows b12 b13_rows b14_rows b15
+      micro;
   print_endline "\ndone."

@@ -19,9 +19,17 @@
 # Propagate with < 10% msg/ev drift, injected fault counts must match
 # Stats.node_failures exactly, and the seeded flaky-Http retry session
 # must be bit-identical across two invocations.
+# B15 gates the schedule-exploration harness (lib/check): the clean
+# B11/B13/B14 graph matrix must show zero violations across the seeded
+# random/PCT schedules, and all three planted runtime mutations
+# (dropped No_change, skipped epoch stamp, reordered mailbox admit)
+# must be caught by the interleaving checker. --quick still runs the
+# explorer in smoke proportions (8 fixed-seed schedules per cell) via
+# bench/main.exe --explore-smoke, so a scheduler or dispatcher
+# interleaving regression fails even the fast gate.
 # The full run also writes BENCH_core.json (latency percentiles, trace
-# summaries, B13 fusion ratios, B14 fault-injection matrix) for CI
-# artifact upload.
+# summaries, B13 fusion ratios, B14 fault-injection matrix, B15
+# exploration cells) for CI artifact upload.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -46,7 +54,8 @@ dune build
 dune runtest
 
 if [ "$quick" -eq 1 ]; then
-    echo "ci.sh: --quick: skipping bench smoke run"
+    echo "ci.sh: --quick: bench smoke skipped; running explore smoke only"
+    dune exec bench/main.exe -- --explore-smoke
     exit 0
 fi
 

@@ -156,7 +156,51 @@ let run_cmd =
              messages (default: unbounded). Senders block until the reader \
              drains — backpressure instead of unbounded buffering.")
   in
-  let run file replay trace_out sequential print_stats no_fuse policy capacity =
+  let sched_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sched-seed" ] ~docv:"SEED"
+          ~doc:
+            "Run under the seeded-random scheduler policy instead of FIFO: \
+             at every context switch a uniformly random runnable thread is \
+             chosen from a PRNG seeded with $(docv). Deterministic per seed; \
+             this replays schedules printed by the exploration harness \
+             (lib/check). Virtual time and, for async-free programs, the \
+             displayed trace are schedule-independent.")
+  in
+  let sched_pct_conv =
+    let parse s =
+      match String.split_on_char ':' (String.trim s) with
+      | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some seed, Some depth when depth >= 0 ->
+          Ok (Cml.Scheduler.Pct { seed; depth })
+        | _ -> Error (`Msg (Printf.sprintf "invalid PCT spec %S" s)))
+      | _ ->
+        Error
+          (`Msg
+             (Printf.sprintf "invalid PCT spec %S (expected SEED:DEPTH)" s))
+    in
+    let print ppf = function
+      | Cml.Scheduler.Pct { seed; depth } ->
+        Format.fprintf ppf "%d:%d" seed depth
+      | _ -> Format.pp_print_string ppf "?"
+    in
+    Arg.conv (parse, print)
+  in
+  let sched_pct_arg =
+    Arg.(
+      value
+      & opt (some sched_pct_conv) None
+      & info [ "sched-pct" ] ~docv:"SEED:DEPTH"
+          ~doc:
+            "Run under the PCT (probabilistic concurrency testing) scheduler \
+             policy: random thread priorities with DEPTH seeded priority \
+             change points. Overrides $(b,--sched-seed).")
+  in
+  let run file replay trace_out sequential print_stats no_fuse policy capacity
+      sched_seed sched_pct =
     or_die (fun () ->
         let program, ty = load_checked file in
         let events =
@@ -174,10 +218,16 @@ let run_cmd =
         let tracer =
           Option.map (fun _ -> Elm_core.Trace.create ()) trace_out
         in
+        let sched_policy =
+          match (sched_pct, sched_seed) with
+          | Some pct, _ -> pct
+          | None, Some seed -> Cml.Scheduler.Seeded_random seed
+          | None, None -> Cml.Scheduler.Fifo
+        in
         let outcome =
-          Felm.Interp.run ~mode ?tracer ~fuse:(not no_fuse)
-            ~on_node_error:policy ?queue_capacity:capacity program
-            ~trace:events
+          Felm.Interp.run ~policy:sched_policy ~mode ?tracer
+            ~fuse:(not no_fuse) ~on_node_error:policy
+            ?queue_capacity:capacity program ~trace:events
         in
         Printf.printf "-- %s : %s\n" (Filename.basename file) (Felm.Ty.to_string ty);
         if outcome.Felm.Interp.displays = [] then
@@ -206,7 +256,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Interpret a FElm program against an event trace.")
     Term.(
       const run $ file_arg $ replay_arg $ trace_out_arg $ seq_arg $ stats_arg
-      $ no_fuse_arg $ policy_arg $ capacity_arg)
+      $ no_fuse_arg $ policy_arg $ capacity_arg $ sched_seed_arg
+      $ sched_pct_arg)
 
 let compile_cmd =
   let out_arg =

@@ -1,0 +1,63 @@
+module Runtime = Elm_core.Runtime
+module Signal = Elm_core.Signal
+
+type planted = {
+  name : string;
+  spec : Runtime.mutation;
+}
+
+(* Occurrence indices land each fault mid-run: past the first event (so
+   every node has a previous epoch to mis-stamp) and well before the last
+   (so the damage has rounds left in which to surface). *)
+let all =
+  [
+    { name = "drop-no-change"; spec = Runtime.Drop_no_change 3 };
+    { name = "skip-epoch"; spec = Runtime.Skip_epoch 9 };
+    { name = "reorder-wakeup"; spec = Runtime.Reorder_wakeup 7 };
+  ]
+
+let chain k n s =
+  let rec go n s =
+    if n = 0 then s
+    else go (n - 1) (Signal.lift ~name:(Printf.sprintf "add%d" k) (( + ) k) s)
+  in
+  go n s
+
+(* Two sources, one arm through drop_repeats (its parity is constant under
+   the injection pattern below, so it emits No_change on every round after
+   the first — the Drop_no_change target), joined by lift2 and folded. *)
+let victim () =
+  Explore.program ~name:"mutate-victim" ~show:string_of_int (fun () ->
+      let a = Signal.input ~name:"a" 0 in
+      let b = Signal.input ~name:"b" 0 in
+      let left = chain 1 2 a in
+      let parity =
+        Signal.drop_repeats ~name:"parity"
+          (Signal.lift ~name:"mod2" (fun x -> x mod 2) left)
+      in
+      let right = chain 2 2 b in
+      let joined =
+        Signal.lift2 ~name:"join" (fun p r -> (p * 31) + r) parity right
+      in
+      let wide = Signal.lift2 ~name:"wide" ( + ) joined left in
+      let root = Signal.foldp ~name:"sum" ( + ) 0 wide in
+      {
+        Explore.root;
+        drive =
+          (fun rt ->
+            for i = 1 to 8 do
+              (* odd values only: [parity] never changes after warm-up *)
+              Runtime.inject rt (if i mod 2 = 0 then b else a) ((2 * i) + 1)
+            done);
+      })
+
+let catches ?(schedules = 4) ?(seed = 0) () =
+  List.map
+    (fun planted ->
+      (planted, Explore.run ~schedules ~seed ~mutate:planted.spec (victim ())))
+    all
+
+let all_caught ?schedules ?seed () =
+  List.for_all
+    (fun (_, report) -> not (Explore.ok report))
+    (catches ?schedules ?seed ())

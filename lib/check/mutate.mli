@@ -1,0 +1,31 @@
+(** Planted-bug coverage for the schedule explorer.
+
+    A checker that never fires is indistinguishable from a checker that
+    works, so this module plants each {!Elm_core.Runtime.mutation} — a
+    dropped [No_change], a stale epoch stamp, an out-of-order mailbox admit
+    — into a known-good signal program and asserts that {!Explore.run}
+    reports violations. CI runs {!all_caught} in smoke mode; a silent
+    checker regression therefore fails the build. *)
+
+type planted = {
+  name : string;
+  spec : Elm_core.Runtime.mutation;
+}
+
+val all : planted list
+(** The three planted ordering bugs, with occurrence indices tuned to land
+    mid-run in {!victim}. *)
+
+val victim : unit -> int Explore.program
+(** A deterministic two-input diamond (chains, a [drop_repeats] arm, a
+    [lift2] join, a [foldp] sum) with enough [No_change] traffic for every
+    mutation to have a target. Clean by construction: exploring it without
+    a mutation must report zero violations. *)
+
+val catches :
+  ?schedules:int -> ?seed:int -> unit -> (planted * Explore.report) list
+(** Explore {!victim} once per planted mutation (default [4] schedules per
+    mutation, plus the reference run that usually already trips). *)
+
+val all_caught : ?schedules:int -> ?seed:int -> unit -> bool
+(** [true] when every planted mutation produced at least one violation. *)

@@ -9,8 +9,92 @@ exception Already_running
 exception Not_running
 exception Stuck of string
 
+type policy =
+  | Fifo
+  | Seeded_random of int
+  | Pct of { seed : int; depth : int }
+  | Replay of int list
+
+(* ------------------------------------------------------------------ *)
+(* Runnable pool.
+
+   An arrival-ordered sequence of thread segments supporting O(1) push-back,
+   O(1) pop-front (the FIFO fast path) and indexed removal that preserves the
+   arrival order of the remaining segments (the chaos policies). Backed by a
+   sliding array: [head] is the index of the first live slot. *)
+
+type item = {
+  thunk : unit -> unit;
+  mutable prio : float;
+      (* Pct priority; drawn at push time so the random stream is a pure
+         function of (seed, push sequence) and independent of pick order. *)
+}
+
+module Pool = struct
+  type t = {
+    mutable arr : item option array;
+    mutable head : int;
+    mutable len : int;
+  }
+
+  let create () = { arr = Array.make 64 None; head = 0; len = 0 }
+  let length p = p.len
+
+  let clear p =
+    Array.fill p.arr 0 (Array.length p.arr) None;
+    p.head <- 0;
+    p.len <- 0
+
+  let push p it =
+    (if p.head + p.len >= Array.length p.arr then begin
+       (* Out of room on the right: slide back to 0, growing if the live
+          region itself is close to capacity. *)
+       let cap = Array.length p.arr in
+       let newcap = if 2 * (p.len + 1) <= cap then cap else 2 * cap in
+       let na = if newcap = cap then p.arr else Array.make newcap None in
+       Array.blit p.arr p.head na 0 p.len;
+       if na == p.arr then Array.fill na p.len p.head None;
+       p.arr <- na;
+       p.head <- 0
+     end);
+    p.arr.(p.head + p.len) <- Some it;
+    p.len <- p.len + 1
+
+  let get p i =
+    match p.arr.(p.head + i) with
+    | Some it -> it
+    | None -> invalid_arg "Scheduler.Pool.get"
+
+  (* Remove the [i]-th runnable; the others keep their relative order. *)
+  let take p i =
+    let it = get p i in
+    if i = 0 then begin
+      p.arr.(p.head) <- None;
+      p.head <- p.head + 1
+    end
+    else begin
+      Array.blit p.arr (p.head + i + 1) p.arr (p.head + i) (p.len - i - 1);
+      p.arr.(p.head + p.len - 1) <- None
+    end;
+    p.len <- p.len - 1;
+    if p.len = 0 then p.head <- 0;
+    it
+end
+
+(* Live policy state: the seeded PRNG streams and, for [Pct], the priority
+   floor and remaining priority-change points. *)
+type pstate =
+  | P_fifo
+  | P_random of Random.State.t
+  | P_pct of {
+      rng : Random.State.t;
+      mutable change_points : int list; (* ascending switch counts *)
+      mutable floor : float; (* next demotion priority; only decreases *)
+    }
+  | P_replay of int list ref
+
 type state = {
-  run_queue : (unit -> unit) Queue.t;
+  pool : Pool.t;
   mutable timers : (float * int, unit cont) Pqueue.t;
   mutable timer_seq : int;
   mutable clock : float;
@@ -21,6 +105,12 @@ type state = {
   blocked : (int, string) Hashtbl.t;
       (* wait sites of threads currently suspended with ?site; survives the
          end of [run] so [run_value] can name them in a Stuck report *)
+  mutable anon_blocked : int;
+      (* threads currently suspended WITHOUT a site; counted so Stuck
+         reports never silently under-count the parked threads *)
+  mutable pstate : pstate;
+  mutable decisions : int list; (* chosen pool indices, reversed *)
+  mutable recording : bool;
 }
 
 let compare_timer (t1, s1) (t2, s2) =
@@ -28,7 +118,7 @@ let compare_timer (t1, s1) (t2, s2) =
 
 let st =
   {
-    run_queue = Queue.create ();
+    pool = Pool.create ();
     timers = Pqueue.empty ~compare:compare_timer;
     timer_seq = 0;
     clock = 0.0;
@@ -37,12 +127,17 @@ let st =
     switches = 0;
     blocked_seq = 0;
     blocked = Hashtbl.create 16;
+    anon_blocked = 0;
+    pstate = P_fifo;
+    decisions = [];
+    recording = false;
   }
 
 let running () = st.live
 let now () = st.clock
 let spawned_count () = st.spawned
 let switch_count () = st.switches
+let decision_log () = List.rev st.decisions
 
 (* Run one thread segment under the effect handler. A [Suspend f] effect
    stops the segment and hands the continuation to [f]; the segment also ends
@@ -59,14 +154,28 @@ let exec (thunk : unit -> unit) : unit =
           | _ -> None);
     }
 
+let push_thunk thunk =
+  let prio =
+    match st.pstate with
+    | P_pct p -> Random.State.float p.rng 1.0
+    | P_fifo | P_random _ | P_replay _ -> 0.0
+  in
+  Pool.push st.pool { thunk; prio }
+
 let spawn f =
   st.spawned <- st.spawned + 1;
-  Queue.push (fun () -> exec f) st.run_queue
+  push_thunk (fun () -> exec f)
 
 let suspend ?site f =
   if not st.live then raise Not_running;
   match site with
-  | None -> perform (Suspend f)
+  | None ->
+    (* Count anonymous suspensions so deadlock reports can still account for
+       threads parked on unnamed channels. *)
+    st.anon_blocked <- st.anon_blocked + 1;
+    let v = perform (Suspend f) in
+    st.anon_blocked <- st.anon_blocked - 1;
+    v
   | Some s ->
     (* Register the wait site for the duration of the suspension: if the
        thread is never resumed, the entry survives and deadlock reports can
@@ -79,12 +188,13 @@ let suspend ?site f =
     v
 
 let blocked_sites () =
-  Hashtbl.fold (fun token site acc -> (token, site) :: acc) st.blocked []
-  |> List.sort compare |> List.map snd
+  let named =
+    Hashtbl.fold (fun token site acc -> (token, site) :: acc) st.blocked []
+    |> List.sort compare |> List.map snd
+  in
+  named @ List.init (max 0 st.anon_blocked) (fun _ -> "<anonymous>")
 
-let resume (k : 'a cont) (v : 'a) =
-  Queue.push (fun () -> continue k v) st.run_queue
-
+let resume (k : 'a cont) (v : 'a) = push_thunk (fun () -> continue k v)
 let yield () = suspend (fun k -> resume k ())
 
 let sleep d =
@@ -96,32 +206,95 @@ let sleep d =
         st.timer_seq <- seq + 1;
         st.timers <- Pqueue.insert st.timers (st.clock +. d, seq) k)
 
+(* How many switches a Pct priority inversion may wait for. The change
+   points are drawn uniformly from [1; pct_horizon]; longer runs simply see
+   no further inversions, which is the usual finite-depth PCT approximation. *)
+let pct_horizon = 4096
+
+let set_policy policy =
+  (match policy with
+  | Fifo ->
+    st.pstate <- P_fifo;
+    st.recording <- false
+  | Seeded_random seed ->
+    st.pstate <- P_random (Random.State.make [| 0x5eed; seed |]);
+    st.recording <- true
+  | Pct { seed; depth } ->
+    let rng = Random.State.make [| 0x9c7; seed |] in
+    let change_points =
+      List.init (max 0 depth) (fun _ -> 1 + Random.State.int rng pct_horizon)
+      |> List.sort_uniq compare
+    in
+    st.pstate <- P_pct { rng; change_points; floor = 0.0 };
+    st.recording <- true
+  | Replay log ->
+    st.pstate <- P_replay (ref log);
+    st.recording <- false);
+  st.decisions <- []
+
+(* Index of the highest-priority runnable, earliest arrival winning ties. *)
+let best_prio_index pool =
+  let n = Pool.length pool in
+  let best = ref 0 in
+  for i = 1 to n - 1 do
+    if (Pool.get pool i).prio > (Pool.get pool !best).prio then best := i
+  done;
+  !best
+
+(* Choose which runnable executes next. [switch] is the 1-based count of the
+   decision being made; only consulted by Pct's change points. *)
+let pick switch =
+  let n = Pool.length st.pool in
+  match st.pstate with
+  | P_fifo -> 0
+  | P_random rng -> Random.State.int rng n
+  | P_pct p ->
+    (match p.change_points with
+    | c :: rest when c <= switch ->
+      (* Priority inversion: demote the current front-runner below every
+         other priority ever drawn, then re-select. *)
+      p.change_points <- rest;
+      p.floor <- p.floor -. 1.0;
+      (Pool.get st.pool (best_prio_index st.pool)).prio <- p.floor
+    | _ -> ());
+    best_prio_index st.pool
+  | P_replay l -> (
+    match !l with
+    | [] -> 0
+    | i :: rest ->
+      l := rest;
+      if i >= 0 && i < n then i else 0)
+
 let reset () =
   Probe.clear ();
-  Queue.clear st.run_queue;
+  Pool.clear st.pool;
   st.timers <- Pqueue.empty ~compare:compare_timer;
   st.timer_seq <- 0;
   st.clock <- 0.0;
   st.spawned <- 0;
   st.switches <- 0;
   st.blocked_seq <- 0;
-  Hashtbl.reset st.blocked
+  Hashtbl.reset st.blocked;
+  st.anon_blocked <- 0
 
-let run ?(max_switches = max_int) main =
+let run ?(policy = Fifo) ?(max_switches = max_int) main =
   if st.live then raise Already_running;
   reset ();
+  set_policy policy;
   st.live <- true;
   st.spawned <- 1;
   (* the main thread *)
-  Queue.push (fun () -> exec main) st.run_queue;
+  push_thunk (fun () -> exec main);
   let finish () =
     st.live <- false;
     Probe.clear ();
-    Queue.clear st.run_queue
+    Pool.clear st.pool
   in
   let rec loop () =
-    match Queue.take_opt st.run_queue with
-    | Some segment ->
+    if Pool.length st.pool > 0 then begin
+      let idx = pick (st.switches + 1) in
+      if st.recording then st.decisions <- idx :: st.decisions;
+      let segment = (Pool.take st.pool idx).thunk in
       st.switches <- st.switches + 1;
       if st.switches > max_switches then
         raise (Stuck (Printf.sprintf "exceeded %d context switches" max_switches));
@@ -130,20 +303,21 @@ let run ?(max_switches = max_int) main =
       | Some p -> p.on_switch st.switches);
       segment ();
       loop ()
-    | None -> (
+    end
+    else
       match Pqueue.pop_min st.timers with
       | Some ((time, _), k, rest) ->
         st.timers <- rest;
         if time > st.clock then st.clock <- time;
-        Queue.push (fun () -> continue k ()) st.run_queue;
+        push_thunk (fun () -> continue k ());
         loop ()
-      | None -> ())
+      | None -> ()
   in
   Fun.protect ~finally:finish loop
 
-let run_value ?max_switches main =
+let run_value ?policy ?max_switches main =
   let result = ref None in
-  run ?max_switches (fun () -> result := Some (main ()));
+  run ?policy ?max_switches (fun () -> result := Some (main ()));
   match !result with
   | Some v -> v
   | None ->

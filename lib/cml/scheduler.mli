@@ -5,12 +5,24 @@
     thread of control"), created with {!spawn} and communicating through the
     channel abstractions built on {!suspend}/{!resume}.
 
-    Scheduling is a FIFO run queue, so executions are deterministic. Blocking
-    on time is *virtual*: {!sleep} parks the thread on a timer heap, and when
-    no thread is runnable the clock jumps to the next timer. This turns the
-    scheduler into a discrete-event simulator, which is how we reproduce the
-    paper's responsiveness experiments (long-running computation and network
-    latency become virtual sleeps) without the authors' browser testbed. *)
+    Scheduling is policy-driven over an arrival-ordered runnable pool. The
+    default {!policy} is [Fifo], so executions are deterministic and
+    bit-identical to the historical behaviour. The seeded chaos policies
+    ([Seeded_random], [Pct]) exist to {e explore} alternative interleavings:
+    the paper's claim (Sections 3.3-3.4) is that the CML translation preserves
+    global event order regardless of how node threads interleave, and the
+    [Check.Explore] harness re-runs signal programs under many seeds to test
+    exactly that. Every policy is deterministic given its seed, and every run
+    records a {!decision_log} that can be replayed verbatim with [Replay].
+
+    Blocking on time is *virtual*: {!sleep} parks the thread on a timer heap,
+    and when no thread is runnable the clock jumps to the next timer. This
+    turns the scheduler into a discrete-event simulator, which is how we
+    reproduce the paper's responsiveness experiments (long-running computation
+    and network latency become virtual sleeps) without the authors' browser
+    testbed. Because the clock only advances at quiescence, virtual timestamps
+    are schedule-independent for programs whose channels are single-reader —
+    chaos policies permute execution order, not simulated time. *)
 
 type 'a cont
 (** A suspended thread waiting for a value of type ['a]. One-shot. *)
@@ -24,21 +36,43 @@ exception Not_running
 
 exception Stuck of string
 (** Raised by {!run_value} when the main thread blocked forever. The message
-    lists the wait sites of threads still suspended on {e named} channels
-    (see the [?site] argument of {!suspend}), so deadlocks — e.g. from
-    bounded-mailbox backpressure — name the queues involved. *)
+    lists the wait sites of threads still suspended on channels: named
+    channels report their site (see the [?site] argument of {!suspend}),
+    unnamed ones are counted as ["<anonymous>"], so deadlock reports — e.g.
+    from bounded-mailbox backpressure — never silently under-count. *)
 
-val run : ?max_switches:int -> (unit -> unit) -> unit
+type policy =
+  | Fifo
+      (** Always run the oldest runnable thread. Deterministic; the default
+          and the reference interleaving for the explorer. *)
+  | Seeded_random of int
+      (** Pick a uniformly random runnable at every switch, from a PRNG
+          seeded with the given integer. Deterministic per seed. *)
+  | Pct of { seed : int; depth : int }
+      (** Priority-chaos scheduling in the style of probabilistic concurrency
+          testing: each thread segment draws a random priority at creation,
+          the highest-priority runnable always executes, and [depth] seeded
+          change points (switch counts) each demote the current front-runner
+          below every other priority. Good at surfacing bugs that need a
+          small number of ordering inversions. Deterministic per seed. *)
+  | Replay of int list
+      (** Follow a recorded {!decision_log}: the [i]-th element is the pool
+          index to run at the [i]-th switch. After the list is exhausted (or
+          on an out-of-range index) falls back to [Fifo]. Used by the
+          explorer to re-run and shrink a failing schedule. *)
+
+val run : ?policy:policy -> ?max_switches:int -> (unit -> unit) -> unit
 (** [run main] resets the scheduler state, executes [main] and every thread it
     spawns until quiescence: no thread is runnable and no timer is pending.
     Threads still blocked on a channel at quiescence are dropped (a reactive
     program's node threads wait forever for the next event by design).
+    [policy] selects the interleaving (default [Fifo]).
     [max_switches] bounds context switches and raises [Stuck] when exceeded,
     which keeps accidental livelocks out of the test suite.
 
     Exceptions raised by any thread propagate out of [run]. *)
 
-val run_value : ?max_switches:int -> (unit -> 'a) -> 'a
+val run_value : ?policy:policy -> ?max_switches:int -> (unit -> 'a) -> 'a
 (** Like {!run} but returns the main thread's result.
     @raise Stuck if the main thread never finished. *)
 
@@ -59,12 +93,13 @@ val suspend : ?site:string -> ('a cont -> unit) -> 'a
 
     [site] registers a human-readable wait site (e.g. ["recv wake:3:lift"])
     for the duration of the suspension. Channel implementations pass it for
-    named channels only; threads still registered when {!run_value} detects
-    a stuck main thread are listed in the {!Stuck} message. *)
+    named channels only; suspensions without a site are tallied as
+    ["<anonymous>"]. Threads still registered when {!run_value} detects a
+    stuck main thread are listed in the {!Stuck} message. *)
 
 val resume : 'a cont -> 'a -> unit
-(** Schedule a suspended thread to continue with the given value. FIFO with
-    respect to other runnable threads. *)
+(** Schedule a suspended thread to continue with the given value. Joins the
+    runnable pool in arrival order (FIFO under the default policy). *)
 
 val now : unit -> float
 (** Current virtual time, in seconds. After a {!run} returns, reports the
@@ -83,6 +118,16 @@ val switch_count : unit -> int
 (** Context switches since the current (or last) {!run} started. *)
 
 val blocked_sites : unit -> string list
-(** Wait sites of threads currently suspended with [~site] (registration
-    order). After a {!run} returns, reports the threads that were still
-    parked at quiescence; reset when the next {!run} starts. *)
+(** Wait sites of threads currently suspended: named sites first
+    (registration order), then one ["<anonymous>"] entry per thread suspended
+    without a site. After a {!run} returns, reports the threads that were
+    still parked at quiescence; reset when the next {!run} starts. *)
+
+val decision_log : unit -> int list
+(** The pool indices chosen at each context switch of the current (or last)
+    {!run}, in order — the schedule's replayable fingerprint. Recorded only
+    under [Seeded_random] and [Pct] (empty under [Fifo] and [Replay], whose
+    decisions are implied). Feed it back via [Replay] to reproduce the
+    interleaving exactly; a {e prefix} of the log replays the first switches
+    and continues in FIFO order, which is what the explorer's shrinker
+    exploits. Reset when the next {!run} starts. *)

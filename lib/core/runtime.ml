@@ -22,6 +22,25 @@ type round = {
   source : int;
 }
 
+(* Planted ordering bugs for the schedule-exploration checker (Check.Explore).
+   Each breaks the per-event alignment protocol in a way that is invisible to
+   a lucky schedule but must be caught by the checker's invariants; [Mutate]
+   in lib/check asserts exactly that. The [int] selects the nth occurrence
+   (1-based) so a mutation lands mid-run, after the graph has warmed up. *)
+type mutation =
+  | Drop_no_change of int  (* swallow the nth No_change emission *)
+  | Skip_epoch of int  (* stamp the nth emission with its previous epoch *)
+  | Reorder_wakeup of int
+      (* hold the nth dispatcher wakeup and deliver it after the next round
+         bound for the same node: an out-of-order mailbox admit *)
+
+type mut_state = {
+  m_spec : mutation;
+  mutable m_count : int;
+  mutable m_held : (round Mailbox.t * round) option;  (* Reorder_wakeup *)
+  m_last_stamp : (int, int) Hashtbl.t;  (* node -> last stamped epoch *)
+}
+
 type 'a t = {
   gen : int;
   mode : mode;
@@ -49,6 +68,8 @@ type ctx = {
   c_new_event : int Mailbox.t;
   c_reach : Reach.t;
   c_tracer : Trace.t option;
+  c_observer : (node:int -> epoch:int -> changed:bool -> unit) option;
+  c_mutate : mut_state option;
   wakeups : (int, round Mailbox.t) Hashtbl.t;
   mutable c_sources : (int * string) list;
 }
@@ -56,13 +77,57 @@ type ctx = {
 let generation = ref 0
 
 (* [id] identifies the emitting node for the tracer's Node_end record; the
-   untraced path is one load and branch, no allocation. *)
+   untraced path is one load and branch, no allocation. The observer (when
+   installed) sees the epoch actually stamped on the wire, so a [Skip_epoch]
+   mutation is visible to the checker even on edges nobody re-validates. *)
 let emit ctx ~id out r msg =
-  ctx.c_stats.messages <- ctx.c_stats.messages + 1;
-  Multicast.send out { Event.epoch = r.epoch; event = msg };
-  match ctx.c_tracer with
-  | None -> ()
-  | Some tr -> Trace.node_end tr ~node:id ~epoch:r.epoch
+  let drop =
+    match ctx.c_mutate with
+    | Some ({ m_spec = Drop_no_change n; _ } as m)
+      when not (Event.is_change msg) ->
+      m.m_count <- m.m_count + 1;
+      m.m_count = n
+    | _ -> false
+  in
+  if not drop then begin
+    let epoch =
+      match ctx.c_mutate with
+      | Some ({ m_spec = Skip_epoch n; _ } as m) ->
+        m.m_count <- m.m_count + 1;
+        let stale =
+          match Hashtbl.find_opt m.m_last_stamp id with
+          | Some e -> e
+          | None -> 0
+        in
+        Hashtbl.replace m.m_last_stamp id r.epoch;
+        if m.m_count = n then stale else r.epoch
+      | _ -> r.epoch
+    in
+    ctx.c_stats.messages <- ctx.c_stats.messages + 1;
+    Multicast.send out { Event.epoch; event = msg };
+    (match ctx.c_observer with
+    | None -> ()
+    | Some f -> f ~node:id ~epoch ~changed:(Event.is_change msg));
+    match ctx.c_tracer with
+    | None -> ()
+    | Some tr -> Trace.node_end tr ~node:id ~epoch:r.epoch
+  end
+
+(* Admit one round into a node's wakeup mailbox. With a [Reorder_wakeup]
+   mutation armed, the nth admit is parked and released just after the next
+   round bound for the same node — a genuinely out-of-order delivery. *)
+let send_round ctx mb r =
+  match ctx.c_mutate with
+  | Some ({ m_spec = Reorder_wakeup n; _ } as m) -> (
+    match m.m_held with
+    | Some (hmb, hr) when hmb == mb ->
+      m.m_held <- None;
+      Mailbox.send mb r;
+      Mailbox.send mb hr
+    | _ ->
+      m.m_count <- m.m_count + 1;
+      if m.m_count = n then m.m_held <- Some (mb, r) else Mailbox.send mb r)
+  | _ -> Mailbox.send mb r
 
 let recv_wake ctx ~id wake =
   let r = Mailbox.recv wake in
@@ -547,11 +612,16 @@ let push_bounded history lst count x =
     else (x :: lst, count + 1)
 
 let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer
-    ?(fuse = true) ?(on_node_error = Propagate) ?queue_capacity root =
+    ?(fuse = true) ?(on_node_error = Propagate) ?queue_capacity ?observer
+    ?mutate root =
   if not (Cml.running ()) then
     invalid_arg "Runtime.start: must be called inside Cml.run";
   (match history with
   | Some n when n < 0 -> invalid_arg "Runtime.start: negative history"
+  | _ -> ());
+  (match mutate with
+  | Some (Drop_no_change n | Skip_epoch n | Reorder_wakeup n) when n < 1 ->
+    invalid_arg "Runtime.start: mutation occurrence must be >= 1"
   | _ -> ());
   (match on_node_error with
   | Restart n when n < 0 ->
@@ -589,6 +659,17 @@ let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer
       c_new_event = new_event;
       c_reach = reach;
       c_tracer = tracer;
+      c_observer = observer;
+      c_mutate =
+        Option.map
+          (fun spec ->
+            {
+              m_spec = spec;
+              m_count = 0;
+              m_held = None;
+              m_last_stamp = Hashtbl.create 8;
+            })
+          mutate;
       wakeups = Hashtbl.create 64;
       c_sources = [];
     }
@@ -709,7 +790,7 @@ let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer
            closure over [r] per event, the one allocation left on the
            per-event dispatch path. *)
         for i = 0 to Array.length targets - 1 do
-          Mailbox.send (Array.unsafe_get targets i) r
+          send_round ctx (Array.unsafe_get targets i) r
         done;
         stats.switches <- Cml.Scheduler.switch_count ();
         (match mode with

@@ -85,6 +85,23 @@ type error_policy =
           after the budget is spent the node degrades to [Isolate].
           [Restart 0] is equivalent to [Isolate]. *)
 
+(** A planted ordering bug, injected with [start ?mutate] so the
+    schedule-exploration checker ([Check.Explore] in [lib/check]) can
+    prove it catches real protocol violations. Each breaks the per-event
+    alignment discipline in one place; the [int] picks the nth occurrence
+    (1-based), so the fault lands mid-run rather than at startup. Never used
+    outside tests and benches. *)
+type mutation =
+  | Drop_no_change of int
+      (** Swallow the nth [No_change] emission: the message is neither sent
+          nor counted, starving one receiver of one round. *)
+  | Skip_epoch of int
+      (** Stamp the nth emission with the emitting node's {e previous}
+          epoch, as if the stamp register had not been advanced. *)
+  | Reorder_wakeup of int
+      (** Hold the nth dispatcher wakeup admit and deliver it after the next
+          round bound for the same node — an out-of-order mailbox admit. *)
+
 type 'a t
 (** A running instantiation of a signal graph with output type ['a]. *)
 
@@ -97,6 +114,8 @@ val start :
   ?fuse:bool ->
   ?on_node_error:error_policy ->
   ?queue_capacity:int ->
+  ?observer:(node:int -> epoch:int -> changed:bool -> unit) ->
+  ?mutate:mutation ->
   'a Signal.t ->
   'a t
 (** Instantiate the graph and spawn its threads. Must be called inside
@@ -134,9 +153,18 @@ val start :
     [queue_peaks]) never exceed the capacity. Deadlock-free for signal
     graphs: node progress depends only on wakeups and upstream multicast
     edges, so a blocked sender always has a running reader downstream.
+    [observer] is the reference-trace capture hook used by the
+    schedule-exploration checker ([Check.Explore]): it is invoked
+    synchronously for every message a node puts on the wire, with the node
+    id, the epoch {e as stamped on the message} (so stamp mutations are
+    visible), and whether the message was a [Change]. Without it the
+    emission path is unchanged.
+
+    [mutate] plants one ordering bug (see {!mutation}); only the checker's
+    mutation-coverage tests and benches pass it.
     @raise Invalid_argument outside a running scheduler, when [history]
-    is negative, when a [Restart] budget is negative, or when
-    [queue_capacity < 1]. *)
+    is negative, when a [Restart] budget is negative, when
+    [queue_capacity < 1], or when a [mutate] occurrence is [< 1]. *)
 
 val inject : _ t -> 'b Signal.t -> 'b -> unit
 (** [inject rt input v] delivers an external event: the new value [v] for

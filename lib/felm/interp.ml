@@ -37,8 +37,9 @@ let build_signals (program : Program.t) g =
     (Sgraph.nodes g);
   table
 
-let run_graph ?(mode = Runtime.Pipelined) ?(memoize = true) ?tracer ?fuse
-    ?on_node_error ?queue_capacity program g root ~trace =
+let run_graph ?(policy = Cml.Scheduler.Fifo) ?(mode = Runtime.Pipelined)
+    ?(memoize = true) ?tracer ?fuse ?on_node_error ?queue_capacity program g
+    root ~trace =
   Sgraph.freeze g;
   match root with
   | Value.Vsignal root_id ->
@@ -46,7 +47,7 @@ let run_graph ?(mode = Runtime.Pipelined) ?(memoize = true) ?tracer ?fuse
     let skipped = ref 0 in
     let stats = ref None in
     let final = ref (Value.Vunit) in
-    Cml.run (fun () ->
+    Cml.run ~policy (fun () ->
         Builtins.work_enabled := false;
         let table = build_signals program g in
         Builtins.work_enabled := true;
@@ -84,15 +85,15 @@ let run_graph ?(mode = Runtime.Pipelined) ?(memoize = true) ?tracer ?fuse
     (* A non-reactive program: stage one already computed the answer. *)
     { displays = []; final = v; stats = None; skipped_events = List.length trace }
 
-let run ?mode ?memoize ?tracer ?fuse ?on_node_error ?queue_capacity program
-    ~trace =
+let run ?policy ?mode ?memoize ?tracer ?fuse ?on_node_error ?queue_capacity
+    program ~trace =
   let g, root = Denote.run_program program in
-  run_graph ?mode ?memoize ?tracer ?fuse ?on_node_error ?queue_capacity
-    program g root ~trace
+  run_graph ?policy ?mode ?memoize ?tracer ?fuse ?on_node_error
+    ?queue_capacity program g root ~trace
 
-let run_source ?mode ?fuse ?on_node_error ?queue_capacity src ~trace =
+let run_source ?policy ?mode ?fuse ?on_node_error ?queue_capacity src ~trace =
   let program = Program.of_source src in
   ignore (Typecheck.check_program program);
   let events = Trace.parse trace in
   Trace.validate program events;
-  run ?mode ?fuse ?on_node_error ?queue_capacity program ~trace:events
+  run ?policy ?mode ?fuse ?on_node_error ?queue_capacity program ~trace:events

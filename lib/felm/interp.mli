@@ -22,6 +22,7 @@ val build_signals :
     signal graph without running it. *)
 
 val run :
+  ?policy:Cml.Scheduler.policy ->
   ?mode:Elm_core.Runtime.mode ->
   ?memoize:bool ->
   ?tracer:Elm_core.Trace.t ->
@@ -38,9 +39,13 @@ val run :
     is the replayed input events, [?tracer] records the execution), and so
     are [fuse] — interpreted graphs fuse their [lift] chains by default like
     native ones — [on_node_error] (node supervision policy) and
-    [queue_capacity] (bounded wake/value mailboxes). *)
+    [queue_capacity] (bounded wake/value mailboxes). [policy] selects the
+    scheduler's interleaving strategy (default {!Cml.Scheduler.Fifo});
+    [Seeded_random] / [Pct] replay the schedules the exploration harness
+    prints (see [felmc run --sched-seed]). *)
 
 val run_graph :
+  ?policy:Cml.Scheduler.policy ->
   ?mode:Elm_core.Runtime.mode ->
   ?memoize:bool ->
   ?tracer:Elm_core.Trace.t ->
@@ -57,6 +62,7 @@ val run_graph :
     graph. *)
 
 val run_source :
+  ?policy:Cml.Scheduler.policy ->
   ?mode:Elm_core.Runtime.mode ->
   ?fuse:bool ->
   ?on_node_error:Elm_core.Runtime.error_policy ->

@@ -164,10 +164,13 @@ let test_blocked_threads_dropped () =
   check_bool "run returned" true true
 
 let test_run_value_stuck () =
+  (* The main thread parked on an unnamed mailbox is still accounted for:
+     it shows up as an <anonymous> waiter instead of vanishing. *)
   let mb = Mailbox.create () in
   Alcotest.check_raises "stuck main detected"
-    (Sched.Stuck "main thread blocked forever") (fun () ->
-      ignore (Sched.run_value (fun () -> Mailbox.recv mb)))
+    (Sched.Stuck
+       "main thread blocked forever; 1 thread(s) still waiting: <anonymous>")
+    (fun () -> ignore (Sched.run_value (fun () -> Mailbox.recv mb)))
 
 let test_run_value_stuck_names_sites () =
   (* With named channels, the Stuck message says who is blocked where
@@ -191,6 +194,117 @@ let test_run_value_stuck_names_sites () =
   check_bool "names main's wait site" true (contains "recv lonely" !got);
   check_bool "names the spawned thread's wait site" true
     (contains "recv orphan" !got)
+
+let test_anonymous_blocked_counted () =
+  (* Threads parked on unnamed channels must not vanish from the report. *)
+  let got = ref "" in
+  (try
+     ignore
+       (Sched.run_value (fun () ->
+            let named = Mailbox.create ~name:"named" () in
+            Sched.spawn (fun () -> ignore (Mailbox.recv (Mailbox.create ())));
+            Sched.spawn (fun () -> ignore (Mailbox.recv (Mailbox.create ())));
+            Mailbox.recv named))
+   with Sched.Stuck msg -> got := msg);
+  let sites = Sched.blocked_sites () in
+  check_int "three waiters listed" 3 (List.length sites);
+  check_int "two anonymous" 2
+    (List.length (List.filter (( = ) "<anonymous>") sites));
+  check_bool "report counts all three" true
+    (let contains needle haystack =
+       let n = String.length needle in
+       let h = String.length haystack in
+       let rec go i =
+         i + n <= h && (String.sub haystack i n = needle || go (i + 1))
+       in
+       go 0
+     in
+     contains "3 thread(s) still waiting" !got
+     && contains "<anonymous>" !got)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler policies *)
+
+(* A little racy workload: several threads interleave appends to a log via
+   yields; the final order is a fingerprint of the schedule. *)
+let policy_fingerprint policy =
+  let log = Buffer.create 64 in
+  Sched.run ~policy (fun () ->
+      for t = 1 to 4 do
+        Sched.spawn (fun () ->
+            for i = 1 to 3 do
+              Buffer.add_string log (Printf.sprintf "%d.%d;" t i);
+              Sched.yield ()
+            done)
+      done);
+  Buffer.contents log
+
+let test_policy_default_is_fifo () =
+  (* No policy and an explicit Fifo must coincide, and Fifo records no
+     decision log (its decisions are implied). *)
+  let a = policy_fingerprint Sched.Fifo in
+  let log = Buffer.create 64 in
+  Sched.run (fun () ->
+      for t = 1 to 4 do
+        Sched.spawn (fun () ->
+            for i = 1 to 3 do
+              Buffer.add_string log (Printf.sprintf "%d.%d;" t i);
+              Sched.yield ()
+            done)
+      done);
+  Alcotest.(check string) "default = Fifo" a (Buffer.contents log);
+  check_ints "fifo decision log empty" [] (Sched.decision_log ())
+
+let test_seeded_random_deterministic () =
+  let a = policy_fingerprint (Sched.Seeded_random 42) in
+  let log_a = Sched.decision_log () in
+  let b = policy_fingerprint (Sched.Seeded_random 42) in
+  let log_b = Sched.decision_log () in
+  Alcotest.(check string) "same seed, same schedule" a b;
+  check_ints "same seed, same decision log" log_a log_b;
+  check_bool "log non-trivial" true (List.exists (fun i -> i > 0) log_a);
+  let c = policy_fingerprint (Sched.Seeded_random 43) in
+  check_bool "different seed explores a different interleaving" true (a <> c)
+
+let test_pct_deterministic () =
+  let a = policy_fingerprint (Sched.Pct { seed = 7; depth = 3 }) in
+  let b = policy_fingerprint (Sched.Pct { seed = 7; depth = 3 }) in
+  Alcotest.(check string) "same seed, same schedule" a b;
+  check_bool "pct differs from fifo on a racy workload" true
+    (a <> policy_fingerprint Sched.Fifo)
+
+let test_replay_reproduces () =
+  let chaotic = policy_fingerprint (Sched.Seeded_random 99) in
+  let log = Sched.decision_log () in
+  let replayed = policy_fingerprint (Sched.Replay log) in
+  Alcotest.(check string) "replaying the decision log reproduces" chaotic
+    replayed;
+  (* A truncated log replays its prefix and continues FIFO: still a valid
+     run (same multiset of appends), just a different order. *)
+  let prefix = List.filteri (fun i _ -> i < 3) log in
+  let partial = policy_fingerprint (Sched.Replay prefix) in
+  let sorted s = List.sort compare (String.split_on_char ';' s) in
+  check_bool "prefix replay preserves the work" true
+    (sorted partial = sorted chaotic)
+
+let test_policy_virtual_time_independent () =
+  (* Timers fire at the same virtual instants whatever the policy. *)
+  let times policy =
+    let log = ref [] in
+    Sched.run ~policy (fun () ->
+        for t = 1 to 3 do
+          Sched.spawn (fun () ->
+              Sched.sleep (float_of_int t);
+              log := (t, Sched.now ()) :: !log)
+        done);
+    List.rev !log
+  in
+  let reference = times Sched.Fifo in
+  List.iter
+    (fun p ->
+      Alcotest.(check (list (pair int (float 1e-9))))
+        "virtual wakeups schedule-independent" reference (times p))
+    [ Sched.Seeded_random 5; Sched.Pct { seed = 5; depth = 2 } ]
 
 (* ------------------------------------------------------------------ *)
 (* Mailbox *)
@@ -439,7 +553,18 @@ let () =
           tc "blocked threads dropped" `Quick test_blocked_threads_dropped;
           tc "stuck main" `Quick test_run_value_stuck;
           tc "stuck main names sites" `Quick test_run_value_stuck_names_sites;
+          tc "anonymous waiters counted" `Quick test_anonymous_blocked_counted;
           qt prop_scheduler_deterministic;
+        ] );
+      ( "policy",
+        [
+          tc "default is FIFO" `Quick test_policy_default_is_fifo;
+          tc "seeded random deterministic" `Quick
+            test_seeded_random_deterministic;
+          tc "pct deterministic" `Quick test_pct_deterministic;
+          tc "replay reproduces" `Quick test_replay_reproduces;
+          tc "virtual time policy-independent" `Quick
+            test_policy_virtual_time_independent;
         ] );
       ( "mailbox",
         [

@@ -16,12 +16,8 @@ let check_bool = Alcotest.(check bool)
 let check_ints = Alcotest.(check (list int))
 let check_str = Alcotest.(check string)
 
-let with_world body =
-  let result = ref None in
-  Cml.run (fun () -> result := Some (body ()));
-  Option.get !result
-
-let values rt = List.map snd (Runtime.changes rt)
+let with_world body = Gen_graph.with_world body
+let values = Gen_graph.values
 
 let contains hay needle =
   let n = String.length needle in
@@ -31,114 +27,48 @@ let contains hay needle =
   go 0
 
 (* ------------------------------------------------------------------ *)
-(* Randomized fused-vs-unfused trace equivalence, in the style of the
-   cone-vs-flood property tests: random graph shapes over two inputs
-   covering deep pure chains, drop_repeats inside chains, shared subgraphs,
-   constants absorbed into lift2, and every fusion barrier (foldp, async,
-   delay, merge, sample_on, fan-out). Chain functions are injective and
-   cost no virtual time, so fusion must be bit-identical: same change
-   values, same virtual times, same display message log. *)
-
-let shape_count = 10
-
-let build_shape shape =
-  let a = Signal.input ~name:"a" 0 in
-  let b = Signal.input ~name:"b" 0 in
-  let rec chain k n s =
-    if n = 0 then s
-    else chain k (n - 1) (Signal.lift ~name:(Printf.sprintf "f%d.%d" k n) (fun x -> (x * k) + n) s)
-  in
-  let comb x y = (x * 31) + y in
-  let s =
-    match shape mod shape_count with
-    | 0 ->
-      (* one deep pure chain (the fusion sweet spot) beside a short one *)
-      Signal.lift2 comb (chain 3 12 a) (chain 5 1 b)
-    | 1 ->
-      (* drop_repeats fused mid-chain: exercises the stateful None path *)
-      Signal.lift2 comb
-        (chain 2 3 (Signal.drop_repeats (Signal.lift (fun x -> x / 4) a)))
-        (chain 3 1 b)
-    | 2 ->
-      (* shared subgraph: [shared] has two subscribers and is a barrier *)
-      let shared = Signal.lift ~name:"shared" (fun x -> x * x) a in
-      Signal.lift2 comb
-        (Signal.lift2 comb (chain 7 2 shared) (chain 11 3 shared))
-        (chain 2 1 b)
-    | 3 ->
-      (* foldp barrier with fusable chains below and above *)
-      Signal.lift2 comb
-        (chain 5 2 (Signal.foldp ( + ) 0 (chain 3 3 a)))
-        (chain 2 1 b)
-    | 4 ->
-      (* async barrier: the inner chain fuses, the boundary survives *)
-      Signal.lift2 comb (chain 3 2 a) (Signal.async (chain 2 4 b))
-    | 5 ->
-      (* constant absorbed into a lift2 mid-chain *)
-      Signal.lift2 comb
-        (chain 2 2 (Signal.lift2 comb (chain 3 2 a) (Signal.constant 7)))
-        (chain 2 1 b)
-    | 6 -> Signal.merge (chain 2 3 a) (chain 3 3 b)
-    | 7 -> Signal.sample_on a (chain 2 3 b)
-    | 8 ->
-      Signal.lift2 comb (Signal.count a) (Signal.delay 1.0 (chain 2 2 b))
-    | _ ->
-      (* unary lift_list: the shape every felm-interpreted lift has *)
-      Signal.lift2 comb
-        (chain 2 2
-           (Signal.lift_list (List.fold_left ( + ) 1) [ chain 3 2 a ]))
-        (chain 2 1 b)
-  in
-  (a, b, s)
-
-let run_shape ~fuse ~mode ~dispatch shape events =
-  with_world (fun () ->
-      let a, b, s = build_shape shape in
-      let rt = Runtime.start ~fuse ~mode ~dispatch s in
-      List.iter
-        (fun (left, v) -> Runtime.inject rt (if left then a else b) v)
-        events;
-      rt)
-
-let entry_equal (t1, m1) (t2, m2) = t1 = t2 && Event.equal ( = ) m1 m2
-
-let all_combos =
-  [
-    (Runtime.Pipelined, Runtime.Flood);
-    (Runtime.Pipelined, Runtime.Cone);
-    (Runtime.Sequential, Runtime.Flood);
-    (Runtime.Sequential, Runtime.Cone);
-  ]
+(* Randomized fused-vs-unfused trace equivalence over the shared
+   Gen_graph shape catalogue: deep pure chains, drop_repeats inside
+   chains, shared subgraphs, constants absorbed into lift2, and every
+   fusion barrier (foldp, async, delay, merge, sample_on, fan-out). Chain
+   functions are injective and cost no virtual time, so fusion must be
+   bit-identical: same change values, same virtual times, same display
+   message log. *)
 
 let prop_fused_equals_unfused =
   QCheck.Test.make
     ~name:"fusion: identical changes/current/log across mode x dispatch"
-    ~count:60
-    QCheck.(
-      pair (int_bound (shape_count - 1)) (list (pair bool (int_bound 7))))
+    ~count:60 Gen_graph.arb_shape_events
     (fun (shape, events) ->
       List.for_all
         (fun (mode, dispatch) ->
-          let off = run_shape ~fuse:false ~mode ~dispatch shape events in
-          let on = run_shape ~fuse:true ~mode ~dispatch shape events in
+          let off =
+            Gen_graph.run_shape ~fuse:false ~mode ~dispatch shape events
+          in
+          let on =
+            Gen_graph.run_shape ~fuse:true ~mode ~dispatch shape events
+          in
           let log_off = Runtime.message_log off in
           let log_on = Runtime.message_log on in
           Runtime.changes off = Runtime.changes on
           && Runtime.current off = Runtime.current on
           && List.length log_off = List.length log_on
-          && List.for_all2 entry_equal log_off log_on)
-        all_combos)
+          && List.for_all2 Gen_graph.entry_equal log_off log_on)
+        Gen_graph.all_combos)
 
 let prop_node_accounting =
   QCheck.Test.make
     ~name:"fusion: fused_nodes + live nodes = original node count" ~count:60
-    QCheck.(int_bound (shape_count - 1))
+    QCheck.(int_bound (Gen_graph.shape_count - 1))
     (fun shape ->
       let original =
-        let _, _, s = build_shape shape in
+        let _, _, s = Gen_graph.build_shape shape in
         List.length (Signal.reachable s)
       in
-      let rt = run_shape ~fuse:true ~mode:Runtime.Pipelined ~dispatch:Runtime.Cone shape [] in
+      let rt =
+        Gen_graph.run_shape ~fuse:true ~mode:Runtime.Pipelined
+          ~dispatch:Runtime.Cone shape []
+      in
       (Runtime.stats rt).Stats.fused_nodes + Runtime.node_count rt = original)
 
 (* ------------------------------------------------------------------ *)

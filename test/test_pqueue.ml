@@ -1,0 +1,168 @@
+(* Direct coverage for the pairing heap (lib/cml/pqueue.ml), previously
+   tested only through the scheduler's timer wheel: the heap-order
+   property (pop_min drains in non-decreasing priority order, preserving
+   the multiset), min/insert interaction, and the duplicate-priority
+   story — a raw pairing heap does NOT promise FIFO among equal
+   priorities, which is exactly why the scheduler keys its timers with
+   [(time, sequence)] pairs; the unit tests pin both facts down. *)
+
+module Pqueue = Cml.Pqueue
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ints = Alcotest.(check (list int))
+
+let of_list xs =
+  Pqueue.of_list ~compare:Int.compare (List.map (fun (p, v) -> (p, v)) xs)
+
+let drain q =
+  let rec go acc q =
+    match Pqueue.pop_min q with
+    | None -> List.rev acc
+    | Some (p, v, q') -> go ((p, v) :: acc) q'
+  in
+  go [] q
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let arb_bindings =
+  QCheck.(list (pair (int_bound 20) small_int))
+(* small priority range on purpose: collisions are the interesting case *)
+
+let prop_heap_order =
+  QCheck.Test.make ~name:"pop_min drains in non-decreasing priority order"
+    ~count:300 arb_bindings (fun xs ->
+      let drained = drain (of_list xs) in
+      let rec non_decreasing = function
+        | (p1, _) :: ((p2, _) :: _ as rest) -> p1 <= p2 && non_decreasing rest
+        | _ -> true
+      in
+      non_decreasing drained)
+
+let prop_multiset_preserved =
+  QCheck.Test.make ~name:"pop_min drains exactly the inserted multiset"
+    ~count:300 arb_bindings (fun xs ->
+      List.sort compare (drain (of_list xs)) = List.sort compare xs)
+
+let prop_sorted_matches_list_sort =
+  QCheck.Test.make ~name:"to_sorted_list priorities = List.sort" ~count:300
+    arb_bindings (fun xs ->
+      List.map fst (Pqueue.to_sorted_list (of_list xs))
+      = List.map fst (List.sort (fun (a, _) (b, _) -> Int.compare a b) xs))
+
+let prop_min_is_running_minimum =
+  QCheck.Test.make ~name:"min tracks the running minimum across inserts"
+    ~count:300
+    QCheck.(list_of_size Gen.(1 -- 40) (int_bound 100))
+    (fun ps ->
+      let _, ok =
+        List.fold_left
+          (fun (q, ok) p ->
+            let q = Pqueue.insert q p () in
+            let expected =
+              match Pqueue.to_sorted_list q with
+              | (m, ()) :: _ -> m
+              | [] -> assert false
+            in
+            (q, ok && Pqueue.min q = Some (expected, ())))
+          (Pqueue.empty ~compare:Int.compare, true)
+          ps
+      in
+      ok)
+
+let prop_size_tracks =
+  QCheck.Test.make ~name:"size is maintained by insert/pop_min/merge"
+    ~count:200
+    QCheck.(pair arb_bindings arb_bindings)
+    (fun (xs, ys) ->
+      let q = Pqueue.merge (of_list xs) (of_list ys) in
+      let n = List.length xs + List.length ys in
+      Pqueue.size q = n
+      &&
+      match Pqueue.pop_min q with
+      | None -> n = 0
+      | Some (_, _, q') -> Pqueue.size q' = n - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Duplicate priorities *)
+
+let test_duplicates_all_preserved () =
+  (* Equal priorities never shadow each other: every binding survives. *)
+  let q = of_list [ (1, 10); (1, 20); (1, 30); (0, 99); (1, 40) ] in
+  check_int "size" 5 (Pqueue.size q);
+  let drained = drain q in
+  check_int "head is the strict minimum" 99 (snd (List.hd drained));
+  check_ints "all duplicate-priority values drained"
+    [ 10; 20; 30; 40 ]
+    (List.sort compare (List.map snd (List.tl drained)))
+
+let test_duplicates_not_fifo_raw () =
+  (* Document the sharp edge: a raw pairing heap reorders equal-priority
+     entries (two-pass melding makes the last sibling win the pair round),
+     so insertion order is NOT preserved. If this ever starts passing in
+     FIFO order, the heap changed and the scheduler's tie-breaking scheme
+     should be revisited. *)
+  let q = of_list [ (1, 1); (1, 2); (1, 3) ] in
+  let order = List.map snd (drain q) in
+  check_ints "multiset intact" [ 1; 2; 3 ] (List.sort compare order);
+  check_bool "raw heap does not promise FIFO on duplicates" true
+    (order = [ 1; 3; 2 ])
+
+let test_duplicates_fifo_with_seq_key () =
+  (* The scheduler's timer-wheel scheme: key by (priority, seq) and FIFO
+     order among equal priorities is restored. This is the stability
+     contract the virtual clock's same-instant test relies on. *)
+  let compare_keyed (p1, s1) (p2, s2) =
+    match Int.compare p1 p2 with 0 -> Int.compare s1 s2 | c -> c
+  in
+  let q =
+    List.fold_left
+      (fun (q, seq) (p, v) -> (Pqueue.insert q (p, seq) v, seq + 1))
+      (Pqueue.empty ~compare:compare_keyed, 0)
+      [ (1, 10); (2, 99); (1, 20); (1, 30); (1, 40) ]
+    |> fst
+  in
+  check_ints "FIFO among equal priorities, priority order overall"
+    [ 10; 20; 30; 40; 99 ]
+    (List.map snd (Pqueue.to_sorted_list q))
+
+let test_merge_with_duplicates () =
+  let q1 = of_list [ (1, 1); (3, 3) ] in
+  let q2 = of_list [ (1, 100); (2, 2) ] in
+  let merged = Pqueue.merge q1 q2 in
+  check_int "merged size" 4 (Pqueue.size merged);
+  check_ints "priorities in order" [ 1; 1; 2; 3 ]
+    (List.map fst (Pqueue.to_sorted_list merged))
+
+let test_empty_edges () =
+  let e = Pqueue.empty ~compare:Int.compare in
+  check_bool "empty" true (Pqueue.is_empty e);
+  check_bool "min of empty" true (Pqueue.min e = None);
+  check_bool "pop of empty" true (Pqueue.pop_min e = None);
+  check_bool "merge with empty is identity-ish" true
+    (Pqueue.to_sorted_list (Pqueue.merge e (of_list [ (5, 5) ])) = [ (5, 5) ])
+
+let () =
+  let tc = Alcotest.test_case in
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "pqueue"
+    [
+      ( "properties",
+        [
+          qt prop_heap_order;
+          qt prop_multiset_preserved;
+          qt prop_sorted_matches_list_sort;
+          qt prop_min_is_running_minimum;
+          qt prop_size_tracks;
+        ] );
+      ( "duplicates",
+        [
+          tc "all preserved" `Quick test_duplicates_all_preserved;
+          tc "raw heap is not FIFO" `Quick test_duplicates_not_fifo_raw;
+          tc "(priority, seq) key restores FIFO" `Quick
+            test_duplicates_fifo_with_seq_key;
+          tc "merge with duplicates" `Quick test_merge_with_duplicates;
+          tc "empty edges" `Quick test_empty_edges;
+        ] );
+    ]

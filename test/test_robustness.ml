@@ -14,10 +14,8 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let check_str = Alcotest.(check string)
 
-let with_world body =
-  let result = ref None in
-  Cml.run (fun () -> result := Some (body ()));
-  Option.get !result
+(* Shared harness: honours FELM_SCHED_SEED / FELM_SCHED_PCT replay vars. *)
+let with_world body = Gen_graph.with_world body
 
 (* ------------------------------------------------------------------ *)
 (* Event *)
@@ -243,6 +241,83 @@ let test_restart_budget_degrades_to_isolate () =
     (List.map snd (Runtime.changes rt) = [ 1; 2; 5 ]);
   check_int "both failures counted" 2 (Runtime.stats rt).Stats.node_failures;
   check_int "only one restart" 1 (Runtime.stats rt).Stats.node_restarts
+
+(* Supervision x scheduling: the Restart budget is a semantic property of
+   the signal graph, not of the interleaving. Under every scheduler policy
+   the node restarts exactly [min budget crashes] times and then degrades
+   to Isolate, with a bit-identical change trace. *)
+
+let policies_under_test seed =
+  [
+    Cml.Scheduler.Fifo;
+    Cml.Scheduler.Seeded_random seed;
+    Cml.Scheduler.Pct { seed; depth = 3 };
+  ]
+
+let run_crashing_foldp_under ~policy supervision injections =
+  Gen_graph.with_world ~policy (fun () ->
+      let src = Signal.input 0 in
+      let s =
+        Signal.foldp
+          (fun x acc -> if x = 99 then raise Node_crashed else acc + x)
+          0 src
+      in
+      let rt = Runtime.start ~on_node_error:supervision s in
+      List.iter (fun v -> Runtime.inject rt src v) injections;
+      rt)
+
+let prop_restart_budget_exact_under_all_policies =
+  QCheck.Test.make
+    ~name:"Restart n degrades to Isolate after exactly n restarts (all policies)"
+    ~count:40
+    QCheck.(triple (int_range 1 3) (int_range 1 5) small_nat)
+    (fun (budget, crashes, seed) ->
+      let injections =
+        List.concat (List.init crashes (fun i -> [ i + 1; 99 ])) @ [ 7 ]
+      in
+      let results =
+        List.map
+          (fun policy ->
+            let rt =
+              run_crashing_foldp_under ~policy (Runtime.Restart budget)
+                injections
+            in
+            ( Runtime.changes rt,
+              (Runtime.stats rt).Stats.node_restarts,
+              (Runtime.stats rt).Stats.node_failures ))
+          (policies_under_test seed)
+      in
+      match results with
+      | (fifo_changes, fifo_restarts, fifo_failures) :: rest ->
+        fifo_restarts = min budget crashes
+        && fifo_failures = crashes
+        && List.for_all
+             (fun (c, r, f) ->
+               c = fifo_changes && r = fifo_restarts && f = fifo_failures)
+             rest
+      | [] -> false)
+
+let prop_zero_fault_supervised_bit_identical =
+  QCheck.Test.make
+    ~name:"zero-fault runs bit-identical to FIFO under Seeded_random with \
+           supervision on"
+    ~count:40
+    QCheck.(pair Gen_graph.arb_deterministic_shape_events small_nat)
+    (fun ((shape, events), seed) ->
+      let run policy =
+        Gen_graph.run_shape ~policy ~on_node_error:(Runtime.Restart 2) shape
+          events
+      in
+      let fifo = run Cml.Scheduler.Fifo in
+      let chaos = run (Cml.Scheduler.Seeded_random seed) in
+      let log_f = Runtime.message_log fifo in
+      let log_c = Runtime.message_log chaos in
+      Runtime.changes fifo = Runtime.changes chaos
+      && Runtime.current fifo = Runtime.current chaos
+      && (Runtime.stats fifo).Stats.node_failures = 0
+      && (Runtime.stats chaos).Stats.node_failures = 0
+      && List.length log_f = List.length log_c
+      && List.for_all2 Gen_graph.entry_equal log_f log_c)
 
 let test_propagate_still_default () =
   (* The seed behaviour is untouched: no policy given, the crash escapes. *)
@@ -588,6 +663,8 @@ let () =
           tc "restart budget degrades" `Quick
             test_restart_budget_degrades_to_isolate;
           tc "propagate still default" `Quick test_propagate_still_default;
+          QCheck_alcotest.to_alcotest prop_restart_budget_exact_under_all_policies;
+          QCheck_alcotest.to_alcotest prop_zero_fault_supervised_bit_identical;
         ] );
       ( "bounded mailboxes",
         [

@@ -13,13 +13,10 @@ let check_ints = Alcotest.(check (list int))
 let check_float = Alcotest.(check (float 1e-9))
 
 (* Run [body] inside a scheduler, let everything settle, return result of
-   [read] applied after quiescence. *)
-let with_world body =
-  let result = ref None in
-  Cml.run (fun () -> result := Some (body ()));
-  Option.get !result
-
-let values rt = List.map snd (Runtime.changes rt)
+   [read] applied after quiescence. Shared with the other suites; honours
+   FELM_SCHED_SEED for schedule replay. *)
+let with_world body = Gen_graph.with_world body
+let values = Gen_graph.values
 
 (* ------------------------------------------------------------------ *)
 (* Basic propagation *)
@@ -743,58 +740,21 @@ let prop_random_graph_runs =
    flood log minus elided [No_change] rows, and an exact message account:
    cone messages + elided messages = flood messages = nodes * events. *)
 
-(* Randomized graph shapes over two inputs, covering every node kind the
-   cone analysis treats specially: lifts, foldp, merge, async, delay,
-   sample_on, drop_repeats, plus sparse two-chain layouts where most of the
-   graph is unreachable from one input. *)
-let shape_count = 8
-
-let build_shape shape =
-  let a = Signal.input ~name:"a" 0 in
-  let b = Signal.input ~name:"b" 0 in
-  let rec chain n s =
-    if n = 0 then s else chain (n - 1) (Signal.lift (fun x -> x + 1) s)
-  in
-  let comb x y = (x * 31) + y in
-  let s =
-    match shape mod shape_count with
-    | 0 -> Signal.lift2 ( + ) a b
-    | 1 -> Signal.lift2 comb (chain 5 a) (chain 5 b)
-    | 2 -> Signal.foldp ( + ) 0 (Signal.lift2 ( + ) a b)
-    | 3 -> Signal.merge (chain 2 a) (chain 3 b)
-    | 4 -> Signal.lift2 comb (chain 3 a) (Signal.async (chain 2 b))
-    | 5 -> Signal.lift2 comb (Signal.count a) (Signal.delay 1.0 (chain 2 b))
-    | 6 -> Signal.sample_on a (chain 2 b)
-    | _ ->
-      Signal.lift2 comb
-        (Signal.drop_repeats (Signal.lift2 ( + ) a b))
-        (Signal.foldp ( + ) 0 (chain 2 a))
-  in
-  (a, b, s)
+(* Randomized graph shapes over two inputs, drawn from the shared
+   Gen_graph catalogue: lifts, foldp, merge, async, delay, sample_on,
+   drop_repeats, shared subgraphs, plus sparse chain layouts where most of
+   the graph is unreachable from one input. *)
 
 let run_shape ~dispatch shape events =
-  with_world (fun () ->
-      let a, b, s = build_shape shape in
-      let rt = Runtime.start ~dispatch s in
-      List.iter
-        (fun (left, v) -> Runtime.inject rt (if left then a else b) v)
-        events;
-      rt)
+  Gen_graph.run_shape ~fuse:true ~dispatch shape events
 
-let rec is_subseq eq xs ys =
-  match xs, ys with
-  | [], _ -> true
-  | _, [] -> false
-  | x :: xs', y :: ys' ->
-    if eq x y then is_subseq eq xs' ys' else is_subseq eq xs ys'
-
-let entry_equal (t1, m1) (t2, m2) = t1 = t2 && Event.equal ( = ) m1 m2
+let is_subseq = Gen_graph.is_subseq
+let entry_equal = Gen_graph.entry_equal
 
 let prop_cone_trace_equals_flood =
   QCheck.Test.make
     ~name:"cone dispatch: identical changes, flood log minus elided NoChange"
-    ~count:100
-    QCheck.(pair (int_bound (shape_count - 1)) (list (pair bool small_signed_int)))
+    ~count:100 Gen_graph.arb_shape_events
     (fun (shape, events) ->
       let flood = run_shape ~dispatch:Runtime.Flood shape events in
       let cone = run_shape ~dispatch:Runtime.Cone shape events in
@@ -805,7 +765,7 @@ let prop_cone_trace_equals_flood =
 let prop_cone_message_accounting =
   QCheck.Test.make
     ~name:"cone messages + elided = flood messages = nodes * events" ~count:100
-    QCheck.(pair (int_bound (shape_count - 1)) (list (pair bool small_signed_int)))
+    Gen_graph.arb_shape_events
     (fun (shape, events) ->
       let flood = run_shape ~dispatch:Runtime.Flood shape events in
       let cone = run_shape ~dispatch:Runtime.Cone shape events in
