@@ -626,6 +626,178 @@ let bench_b13 () =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* B16: the compiled backend — synchronous regions as straight-line step
+   functions — against the pipelined (Fig. 10) backend on the B11 K-chain
+   topology, with fusion off and on. The compiled runtime executes each
+   async-free region as one thread over a flat arena, so per event it pays
+   one region wakeup and one display message where the pipelined backend
+   pays one wakeup and one message per node: switches/event and msg/ev must
+   drop by an order of magnitude on deep chains, with the change trace
+   bit-identical. seq_* columns repeat the measurement in Sequential mode
+   (one event in flight), the configuration where per-node context switches
+   are paid serially and the region win is starkest. *)
+
+type b16_cell = {
+  b16_messages : float;  (* msg/ev, Cone dispatch, Pipelined mode *)
+  b16_switches : float;  (* sw/ev, same run *)
+  b16_seq_switches : float;  (* sw/ev, Sequential mode *)
+  b16_wall : float;  (* wall-clock seconds of the Pipelined-mode run *)
+  b16_regions : int;  (* Stats.compiled_regions (0 for pipelined) *)
+  b16_changes : int list list;  (* change trace, consumed by the gates *)
+}
+
+let b16_run ~backend ~fuse ~mode ~chains ~depth ~events =
+  let rt =
+    with_world (fun () ->
+        let inputs =
+          List.init chains (fun i ->
+              Signal.input ~name:(Printf.sprintf "in%d" i) 0)
+        in
+        let rec chain n s =
+          if n = 0 then s else chain (n - 1) (Signal.lift (fun x -> x + 1) s)
+        in
+        let rt =
+          Runtime.start ~backend ~fuse ~mode ~dispatch:Runtime.Cone
+            (Signal.combine (List.map (chain depth) inputs))
+        in
+        let first = List.hd inputs in
+        for i = 1 to events do
+          Runtime.inject rt first i
+        done;
+        rt)
+  in
+  let st = Runtime.stats rt in
+  let per total = Stats.per_event total st in
+  ( List.map snd (Runtime.changes rt),
+    per st.Stats.messages,
+    per (Cml.Scheduler.switch_count ()),
+    st.Stats.compiled_regions )
+
+let b16_cell ~backend ~fuse ~chains ~depth ~events =
+  let t0 = Sys.time () in
+  let changes, messages, switches, regions =
+    b16_run ~backend ~fuse ~mode:Runtime.Pipelined ~chains ~depth ~events
+  in
+  let wall = Sys.time () -. t0 in
+  let seq_changes, _, seq_switches, _ =
+    b16_run ~backend ~fuse ~mode:Runtime.Sequential ~chains ~depth ~events
+  in
+  ( {
+      b16_messages = messages;
+      b16_switches = switches;
+      b16_seq_switches = seq_switches;
+      b16_wall = wall;
+      b16_regions = regions;
+      b16_changes = changes;
+    },
+    changes = seq_changes )
+
+type b16_row = {
+  b16_chains : int;
+  b16_depth : int;
+  b16_events : int;
+  b16_pipe_off : b16_cell;
+  b16_pipe_on : b16_cell;
+  b16_comp_off : b16_cell;
+  b16_comp_on : b16_cell;
+  b16_identical : bool;
+}
+
+let b16_measure ~chains ~depth ~events =
+  let cell backend fuse = b16_cell ~backend ~fuse ~chains ~depth ~events in
+  let pipe_off, ok1 = cell Runtime.Pipelined false in
+  let pipe_on, ok2 = cell Runtime.Pipelined true in
+  let comp_off, ok3 = cell Runtime.Compiled false in
+  let comp_on, ok4 = cell Runtime.Compiled true in
+  {
+    b16_chains = chains;
+    b16_depth = depth;
+    b16_events = events;
+    b16_pipe_off = pipe_off;
+    b16_pipe_on = pipe_on;
+    b16_comp_off = comp_off;
+    b16_comp_on = comp_on;
+    b16_identical =
+      ok1 && ok2 && ok3 && ok4
+      && pipe_off.b16_changes = pipe_on.b16_changes
+      && pipe_on.b16_changes = comp_off.b16_changes
+      && comp_off.b16_changes = comp_on.b16_changes;
+  }
+
+let bench_b16 () =
+  section "B16 Compiled regions vs pipelined threads (backend matrix)";
+  Printf.printf
+    "K depth-32 chains + combining root, 100 events into chain 0, Cone \
+     dispatch;\nper cell: msg/ev, sw/ev, seq sw/ev\n";
+  Printf.printf "%3s | %22s | %22s | %22s | %7s %5s\n" "K" "pipelined (unfused)"
+    "pipelined (fused)" "compiled (unfused)" "regions" "same";
+  let rows =
+    List.map
+      (fun chains -> b16_measure ~chains ~depth:32 ~events:100)
+      [ 1; 4; 16; 64 ]
+  in
+  List.iter
+    (fun r ->
+      let cell c =
+        Printf.sprintf "%6.1f %6.1f %7.1f" c.b16_messages c.b16_switches
+          c.b16_seq_switches
+      in
+      Printf.printf "%3d | %22s | %22s | %22s | %7d %5b\n" r.b16_chains
+        (cell r.b16_pipe_off) (cell r.b16_pipe_on) (cell r.b16_comp_off)
+        r.b16_comp_off.b16_regions r.b16_identical)
+    rows;
+  let last = List.nth rows (List.length rows - 1) in
+  Printf.printf
+    "wall secs at K=64 (pipe off/on, compiled off/on): %.3f %.3f %.3f %.3f\n"
+    last.b16_pipe_off.b16_wall last.b16_pipe_on.b16_wall
+    last.b16_comp_off.b16_wall last.b16_comp_on.b16_wall;
+  Printf.printf
+    "seq sw/ev reduction, compiled vs pipelined (both unfused): %s\n"
+    (String.concat " "
+       (List.map
+          (fun r ->
+            Printf.sprintf "%.0fx"
+              (r.b16_pipe_off.b16_seq_switches
+              /. Float.max 1e-9 r.b16_comp_off.b16_seq_switches))
+          rows));
+  rows
+
+let b16_cell_to_json c =
+  Json.Object
+    [
+      ("messages_per_event", Json.of_float c.b16_messages);
+      ("switches_per_event", Json.of_float c.b16_switches);
+      ("seq_switches_per_event", Json.of_float c.b16_seq_switches);
+      ("wall_seconds", Json.of_float c.b16_wall);
+      ("compiled_regions", Json.of_int c.b16_regions);
+    ]
+
+let b16_to_json rows =
+  Json.Array
+    (List.map
+       (fun r ->
+         Json.Object
+           [
+             ("chains", Json.of_int r.b16_chains);
+             ("depth", Json.of_int r.b16_depth);
+             ("events", Json.of_int r.b16_events);
+             ("pipelined_unfused", b16_cell_to_json r.b16_pipe_off);
+             ("pipelined_fused", b16_cell_to_json r.b16_pipe_on);
+             ("compiled_unfused", b16_cell_to_json r.b16_comp_off);
+             ("compiled_fused", b16_cell_to_json r.b16_comp_on);
+             ( "seq_switch_ratio",
+               Json.of_float
+                 (r.b16_pipe_off.b16_seq_switches
+                 /. Float.max 1e-9 r.b16_comp_off.b16_seq_switches) );
+             ( "message_ratio",
+               Json.of_float
+                 (r.b16_pipe_off.b16_messages
+                 /. Float.max 1e-9 r.b16_comp_off.b16_messages) );
+             ("changes_identical", Json.of_bool r.b16_identical);
+           ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
 (* B14: fault injection — supervision policies under crashing nodes.
 
    One source feeds a risky lift (crashes on every k-th event, modeling a
@@ -1138,7 +1310,7 @@ let b14_to_json rows =
        rows)
 
 let write_json ~path b11_rows (b12_sync, b12_async) b13_rows b14_rows
-    (b15_rows, b15_mutations_caught) micro =
+    (b15_rows, b15_mutations_caught) b16_rows micro =
   let doc =
     Json.Object
       [
@@ -1152,6 +1324,7 @@ let write_json ~path b11_rows (b12_sync, b12_async) b13_rows b14_rows
             ] );
         ("b13_fusion", b13_to_json b13_rows);
         ("b14_fault_injection", b14_to_json b14_rows);
+        ("b16_compiled_backend", b16_to_json b16_rows);
         ( "b15_schedule_exploration",
           Json.Object
             [
@@ -1297,8 +1470,39 @@ let () =
   let b15_per_cell = if smoke then 8 else 35 in
   let b15 = bench_b15 ~per_cell:b15_per_cell () in
   b15_gates ~require_total:(6 * b15_per_cell) b15;
+  (* B16 gates: the compiled backend must be invisible in the change trace
+     and win >= 10x on both sequential switches/event and messages/event
+     against the pipelined backend (both unfused, so the comparison
+     isolates the backend axis from the fusion axis). *)
+  let b16_rows = bench_b16 () in
+  if not (List.for_all (fun r -> r.b16_identical) b16_rows) then begin
+    prerr_endline "B16: compiled backend changed the change trace!";
+    exit 1
+  end;
+  if
+    not
+      (List.for_all
+         (fun r ->
+           r.b16_pipe_off.b16_seq_switches
+           >= 10.0 *. r.b16_comp_off.b16_seq_switches)
+         b16_rows)
+  then begin
+    prerr_endline
+      "B16: compiled backend won < 10x sequential switches/event!";
+    exit 1
+  end;
+  if
+    not
+      (List.for_all
+         (fun r ->
+           r.b16_pipe_off.b16_messages >= 10.0 *. r.b16_comp_off.b16_messages)
+         b16_rows)
+  then begin
+    prerr_endline "B16: compiled backend won < 10x messages/event!";
+    exit 1
+  end;
   let micro = if smoke then [] else micro_benchmarks () in
   if emit_json then
     write_json ~path:"BENCH_core.json" b11_rows b12 b13_rows b14_rows b15
-      micro;
+      b16_rows micro;
   print_endline "\ndone."

@@ -27,9 +27,14 @@
 # explorer in smoke proportions (8 fixed-seed schedules per cell) via
 # bench/main.exe --explore-smoke, so a scheduler or dispatcher
 # interleaving regression fails even the fast gate.
+# B16 gates the compiled backend: across the K-chain matrix the
+# compiled runtime's change trace must be bit-identical to the
+# pipelined one's (fusion off and on, Pipelined and Sequential modes),
+# and — both backends unfused — compiled must win at least 10x on both
+# sequential switches/event and messages/event.
 # The full run also writes BENCH_core.json (latency percentiles, trace
 # summaries, B13 fusion ratios, B14 fault-injection matrix, B15
-# exploration cells) for CI artifact upload.
+# exploration cells, B16 backend matrix) for CI artifact upload.
 set -eu
 cd "$(dirname "$0")/.."
 

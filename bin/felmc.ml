@@ -104,6 +104,38 @@ let run_cmd =
              build-time fusion of stateless lift chains (one thread and one \
              channel per source node, as in the paper's Fig. 10).")
   in
+  let backend_conv =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "pipelined" -> Ok (Elm_core.Runtime.Pipelined : Elm_core.Runtime.backend)
+      | "compiled" -> Ok Elm_core.Runtime.Compiled
+      | s ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown backend %S (expected pipelined or compiled)" s))
+    in
+    let print ppf (b : Elm_core.Runtime.backend) =
+      Format.pp_print_string ppf
+        (match b with Pipelined -> "pipelined" | Compiled -> "compiled")
+    in
+    Arg.conv (parse, print)
+  in
+  let backend_arg =
+    Arg.(
+      value
+      & opt backend_conv Elm_core.Runtime.Compiled
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Runtime execution strategy: $(b,compiled) (default — \
+             synchronous regions between async/delay boundaries are \
+             compiled to straight-line step functions, one thread per \
+             region) or $(b,pipelined) (the paper's Fig. 10 translation \
+             verbatim, one thread per node and one channel per edge). Both \
+             display the same values at the same virtual times; compiled \
+             pays an order of magnitude fewer context switches and \
+             messages per event.")
+  in
   let policy_conv =
     let parse s =
       match String.lowercase_ascii s with
@@ -199,8 +231,8 @@ let run_cmd =
              policy: random thread priorities with DEPTH seeded priority \
              change points. Overrides $(b,--sched-seed).")
   in
-  let run file replay trace_out sequential print_stats no_fuse policy capacity
-      sched_seed sched_pct =
+  let run file replay trace_out sequential print_stats no_fuse backend policy
+      capacity sched_seed sched_pct =
     or_die (fun () ->
         let program, ty = load_checked file in
         let events =
@@ -225,7 +257,7 @@ let run_cmd =
           | None, None -> Cml.Scheduler.Fifo
         in
         let outcome =
-          Felm.Interp.run ~policy:sched_policy ~mode ?tracer
+          Felm.Interp.run ~policy:sched_policy ~backend ~mode ?tracer
             ~fuse:(not no_fuse) ~on_node_error:policy
             ?queue_capacity:capacity program ~trace:events
         in
@@ -256,7 +288,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Interpret a FElm program against an event trace.")
     Term.(
       const run $ file_arg $ replay_arg $ trace_out_arg $ seq_arg $ stats_arg
-      $ no_fuse_arg $ policy_arg $ capacity_arg $ sched_seed_arg
+      $ no_fuse_arg $ backend_arg $ policy_arg $ capacity_arg $ sched_seed_arg
       $ sched_pct_arg)
 
 let compile_cmd =
@@ -301,25 +333,43 @@ let graph_cmd =
              build-time fusion pass, with each fused lift chain drawn as a \
              single composite box.")
   in
-  let run file out fused =
+  let compiled_arg =
+    Arg.(
+      value & flag
+      & info [ "compiled" ]
+          ~doc:
+            "Render the compiled backend's region partition: the fused \
+             graph with each maximal synchronous region (delimited by \
+             async/delay boundaries) drawn as a dashed cluster — what \
+             $(b,run --backend=compiled) executes with one thread per \
+             region. Implies $(b,--fused).")
+  in
+  let run file out fused compiled =
     or_die (fun () ->
         let program, _ = load_checked file in
         let g, root = Felm.Denote.run_program program in
-        if fused then (
+        if fused || compiled then (
           match root with
           | Felm.Value.Vsignal root_id ->
             Felm.Sgraph.freeze g;
             let table = Felm.Interp.build_signals program g in
             let root_signal = Hashtbl.find table root_id in
             let fused_root = Elm_core.Fuse.fuse root_signal in
-            write_output out
-              (Elm_core.Signal.to_dot
-                 ~label:(Filename.basename file ^ " (fused)")
-                 fused_root)
+            if compiled then
+              write_output out
+                (Elm_core.Compile.to_dot
+                   ~label:(Filename.basename file ^ " (compiled regions)")
+                   fused_root)
+            else
+              write_output out
+                (Elm_core.Signal.to_dot
+                   ~label:(Filename.basename file ^ " (fused)")
+                   fused_root)
           | _ ->
             Printf.eprintf
-              "graph --fused: %s is not a reactive program (main is a plain \
+              "graph %s: %s is not a reactive program (main is a plain \
                value)\n"
+              (if compiled then "--compiled" else "--fused")
               (Filename.basename file);
             exit 1)
         else
@@ -332,7 +382,7 @@ let graph_cmd =
   Cmd.v
     (Cmd.info "graph"
        ~doc:"Emit the program's signal graph as Graphviz DOT (Figs. 7-8).")
-    Term.(const run $ file_arg $ out_arg $ fused_arg)
+    Term.(const run $ file_arg $ out_arg $ fused_arg $ compiled_arg)
 
 let () =
   let info =

@@ -93,6 +93,7 @@ type outcome =
   | Crashed of string
 
 type opts = {
+  o_backend : Runtime.backend;
   o_mode : Runtime.mode;
   o_dispatch : Runtime.dispatch option;
   o_fuse : bool;
@@ -115,7 +116,8 @@ let run_once (type a) (p : a program) opts policy : outcome * int list =
       Sched.run ~policy ~max_switches:opts.o_max_switches (fun () ->
           let s = p.p_build () in
           let rt =
-            Runtime.start ~mode:opts.o_mode ?dispatch:opts.o_dispatch
+            Runtime.start ~backend:opts.o_backend ~mode:opts.o_mode
+              ?dispatch:opts.o_dispatch
               ~fuse:opts.o_fuse ~on_node_error:opts.o_on_node_error
               ?queue_capacity:opts.o_queue_capacity ~observer
               ?mutate:opts.o_mutate s.root
@@ -285,13 +287,16 @@ let default_invariants p =
   @ (if p.p_deterministic then [ Trace_equal ] else [])
   @ match p.p_classify with Some _ -> [ Per_source_order ] | None -> []
 
-let run ?(schedules = 50) ?(seed = 0) ?invariants ?(mode = Runtime.Pipelined)
-    ?dispatch ?(fuse = true) ?(on_node_error = Runtime.Propagate)
-    ?queue_capacity ?(max_switches = 5_000_000) ?mutate p =
+let run ?(schedules = 50) ?(seed = 0) ?invariants
+    ?(backend : Runtime.backend = Runtime.Pipelined)
+    ?(mode = Runtime.Pipelined) ?dispatch ?(fuse = true)
+    ?(on_node_error = Runtime.Propagate) ?queue_capacity
+    ?(max_switches = 5_000_000) ?mutate p =
   if Sched.running () then
     invalid_arg "Explore.run: must be called outside Cml.run";
   let opts =
     {
+      o_backend = backend;
       o_mode = mode;
       o_dispatch = dispatch;
       o_fuse = fuse;

@@ -89,6 +89,7 @@ val run :
   ?schedules:int ->
   ?seed:int ->
   ?invariants:invariant list ->
+  ?backend:Elm_core.Runtime.backend ->
   ?mode:Elm_core.Runtime.mode ->
   ?dispatch:Elm_core.Runtime.dispatch ->
   ?fuse:bool ->
@@ -103,9 +104,11 @@ val run :
     policies derived from [seed] (default [0]) — checking [invariants]
     (default: every invariant applicable to the program) after each.
 
-    [mode]/[dispatch]/[fuse]/[on_node_error]/[queue_capacity] are passed to
-    {!Elm_core.Runtime.start} unchanged, so the same program can be explored
-    across the whole runtime matrix. [max_switches] (default [5_000_000])
+    [backend]/[mode]/[dispatch]/[fuse]/[on_node_error]/[queue_capacity] are
+    passed to {!Elm_core.Runtime.start} unchanged, so the same program can
+    be explored across the whole runtime matrix — including the compiled
+    backend, whose region threads interleave under the same chaos
+    schedules. [max_switches] (default [5_000_000])
     bounds each run, turning livelocks into {!No_deadlock} violations.
     [mutate] plants an ordering bug ({!Elm_core.Runtime.mutation}) in every
     run including the reference — used to prove the checker catches it.

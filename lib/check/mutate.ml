@@ -51,13 +51,15 @@ let victim () =
             done);
       })
 
-let catches ?(schedules = 4) ?(seed = 0) () =
+let catches ?backend ?(schedules = 4) ?(seed = 0) () =
   List.map
     (fun planted ->
-      (planted, Explore.run ~schedules ~seed ~mutate:planted.spec (victim ())))
+      ( planted,
+        Explore.run ?backend ~schedules ~seed ~mutate:planted.spec (victim ())
+      ))
     all
 
-let all_caught ?schedules ?seed () =
+let all_caught ?backend ?schedules ?seed () =
   List.for_all
     (fun (_, report) -> not (Explore.ok report))
-    (catches ?schedules ?seed ())
+    (catches ?backend ?schedules ?seed ())

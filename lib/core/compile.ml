@@ -1,0 +1,768 @@
+(* The compiled backend: synchronous regions as straight-line step functions.
+
+   The paper's design isolates all asynchrony at explicit [async]/[delay]
+   boundaries, which makes everything between two boundaries a deterministic
+   synchronous region: within one global event, the region's nodes fire in
+   dependency order with no interleaving freedom that could change the
+   result. The pipelined backend (Fig. 10) nevertheless interprets such a
+   region as one cooperative thread per node and one multicast channel per
+   edge, paying a scheduler switch and a channel hop for every node of every
+   event. Here we exploit the determinism instead:
+
+   - [plan] partitions the graph into maximal synchronous regions by
+     union-find over dependency edges, *cutting* the edge into every
+     [async]/[delay] node (their inner subgraph reaches them only through
+     the global dispatcher, so that edge carries no synchronous round).
+
+   - [instantiate] compiles each region to a single array of ops executed in
+     topological order by one thread: node state lives in flat mutable arena
+     cells ({!Signal.cell}) instead of threads ([foldp] accumulators become
+     slots), [No_change] becomes a per-node dirty-bit test
+     ([cell_stamp = epoch]) instead of a message, and fan-out/merge become
+     plain sequential reads instead of multicast sends. Only two kinds of
+     real channel traffic survive: the dispatcher's region wakeups and the
+     root's display messages.
+
+   Topological order within a region is inherited from [Signal.reachable]
+   (the same deterministic deps-first DFS the pipelined build uses), so a
+   compiled round computes exactly what a fully-settled pipelined round
+   would: a node's op runs strictly after all its dependency ops, reading
+   their freshly-written cells. Async taps are ordered right after their
+   inner node's op via a secondary sort key, never before it.
+
+   The module deliberately does not depend on [Runtime]; the runtime passes
+   its accounting, supervision, and event-registration hooks in a [config],
+   so mutations (Check.Mutate) and supervision policies behave identically
+   in both backends. *)
+
+module Mailbox = Cml.Mailbox
+module Multicast = Cml.Multicast
+
+(* One dispatcher round. [Runtime.round] re-exports this type; it lives here
+   so region wakeup mailboxes and node wakeup mailboxes are interchangeable
+   from the dispatcher's point of view (including the Reorder_wakeup
+   mutation's held-round machinery). *)
+type round = {
+  epoch : int;
+  source : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Region partitioning *)
+
+type region = {
+  rg_index : int;  (* dense index, in topological order of first member *)
+  rg_rep : int;
+      (* representative node id: the topologically last member (the
+         region's output); used as the region's id for tracing *)
+  rg_name : string;  (* the representative's name *)
+  rg_members : Signal.packed list;  (* in topological order *)
+  rg_member_ids : int list;
+}
+
+type plan = {
+  p_regions : region list;
+  p_region_of : (int, int) Hashtbl.t;  (* node id -> region index *)
+  p_cuts : (int * int) list;
+      (* (inner node id, async/delay node id): dependency edges that carry
+         no synchronous round and were cut by the partition *)
+}
+
+let plan root =
+  let order = Signal.reachable root in
+  (* Union-find over node ids; path-halving find, arbitrary union. *)
+  let parent = Hashtbl.create 64 in
+  List.iter
+    (fun (Signal.Pack s) -> Hashtbl.replace parent (Signal.id s) (Signal.id s))
+    order;
+  let rec find i =
+    let p = Hashtbl.find parent i in
+    if p = i then i
+    else begin
+      let r = find p in
+      Hashtbl.replace parent i r;
+      r
+    end
+  in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then Hashtbl.replace parent ri rj
+  in
+  let cuts = ref [] in
+  List.iter
+    (fun (Signal.Pack s) ->
+      match Signal.kind s with
+      | Signal.Async inner | Signal.Delay (_, inner) ->
+        cuts := (Signal.id inner, Signal.id s) :: !cuts
+      | _ ->
+        List.iter
+          (fun (Signal.Pack d) -> union (Signal.id d) (Signal.id s))
+          (Signal.deps s))
+    order;
+  let index_of_class = Hashtbl.create 16 in
+  let region_of = Hashtbl.create 64 in
+  let buckets = Hashtbl.create 16 in  (* region index -> members, reversed *)
+  let count = ref 0 in
+  List.iter
+    (fun (Signal.Pack s as p) ->
+      let id = Signal.id s in
+      let cls = find id in
+      let idx =
+        match Hashtbl.find_opt index_of_class cls with
+        | Some i -> i
+        | None ->
+          let i = !count in
+          incr count;
+          Hashtbl.replace index_of_class cls i;
+          i
+      in
+      Hashtbl.replace region_of id idx;
+      let prev = try Hashtbl.find buckets idx with Not_found -> [] in
+      Hashtbl.replace buckets idx (p :: prev))
+    order;
+  let regions =
+    List.init !count (fun i ->
+        let rev_members = Hashtbl.find buckets i in
+        let (Signal.Pack rep) = List.hd rev_members in
+        let members = List.rev rev_members in
+        {
+          rg_index = i;
+          rg_rep = Signal.id rep;
+          rg_name = Signal.name rep;
+          rg_members = members;
+          rg_member_ids = List.map (fun (Signal.Pack s) -> Signal.id s) members;
+        })
+  in
+  { p_regions = regions; p_region_of = region_of; p_cuts = List.rev !cuts }
+
+let regions pl = pl.p_regions
+let region_of pl id = Hashtbl.find_opt pl.p_region_of id
+let cuts pl = pl.p_cuts
+
+let pp_plan ppf pl =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun rg ->
+      Format.fprintf ppf "region %d (rep %d %s): %s@," rg.rg_index rg.rg_rep
+        rg.rg_name
+        (String.concat " "
+           (List.map
+              (fun (Signal.Pack s) ->
+                Printf.sprintf "%d:%s" (Signal.id s) (Signal.name s))
+              rg.rg_members)))
+    pl.p_regions;
+  List.iter
+    (fun (inner, src) ->
+      Format.fprintf ppf "cut %d -> %d (async boundary)@," inner src)
+    pl.p_cuts;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* DOT rendering with region clusters (felmc graph --compiled) *)
+
+let to_dot ?(label = "signal graph (compiled regions)") root =
+  let pl = plan root in
+  let nodes = Signal.reachable root in
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph signals {\n";
+  pr "  label=\"%s\";\n" (Signal.dot_escape label);
+  pr "  rankdir=TB;\n";
+  pr "  dispatcher [label=\"Global Event\\nDispatcher\", shape=box, style=dashed];\n";
+  List.iter
+    (fun rg ->
+      let n = List.length rg.rg_members in
+      pr "  subgraph cluster_region_%d {\n" rg.rg_index;
+      pr "    label=\"region %d: %s (%d node%s, 1 step)\";\n" rg.rg_index
+        (Signal.dot_escape rg.rg_name) n (if n = 1 then "" else "s");
+      pr "    style=dashed;\n";
+      List.iter
+        (fun (Signal.Pack s) ->
+          match Signal.kind s with
+          | Signal.Composite (c, _) ->
+            pr "    n%d [label=\"%s\\n(%d nodes fused)\", shape=box3d];\n"
+              (Signal.id s)
+              (Signal.dot_escape (Signal.name s))
+              c.Signal.comp_size
+          | _ ->
+            let shape = if Signal.is_source s then "ellipse" else "box" in
+            pr "    n%d [label=\"%s\", shape=%s];\n" (Signal.id s)
+              (Signal.dot_escape (Signal.name s))
+              shape)
+        rg.rg_members;
+      pr "  }\n")
+    pl.p_regions;
+  List.iter
+    (fun (Signal.Pack s) ->
+      if Signal.is_source s || Signal.deps s = [] then
+        pr "  dispatcher -> n%d [style=dashed];\n" (Signal.id s);
+      match Signal.kind s with
+      | Signal.Async inner | Signal.Delay (_, inner) ->
+        pr "  n%d -> dispatcher [style=dotted, label=\"new event\"];\n"
+          (Signal.id inner)
+      | _ ->
+        List.iter
+          (fun (Signal.Pack d) -> pr "  n%d -> n%d;\n" (Signal.id d) (Signal.id s))
+          (Signal.deps s))
+    nodes;
+  pr "}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation *)
+
+(* A node supervisor usable at the node's value type from inside the
+   region's generic step code; the polymorphic field lets one record carry
+   a per-node Restart budget while being applied at whatever type the
+   node's cells have. *)
+type guarded = {
+  guard :
+    'a.
+    prev:'a -> reset:(unit -> unit) -> epoch:int -> (unit -> 'a Event.t) ->
+    'a Event.t;
+}
+
+type config = {
+  cfg_gen : int;  (* runtime generation stamping the arena cells *)
+  cfg_flood : bool;  (* flood dispatch: every node active every round *)
+  cfg_reach : Reach.t;
+  cfg_stats : Stats.t;
+  cfg_tracer : Trace.t option;
+  cfg_capacity : int option;  (* region wake / input value mailbox bound *)
+  cfg_account :
+    node:int -> epoch:int -> changed:bool -> real:bool -> int option;
+      (* Per-node emission accounting (the runtime's [emit] minus the
+         channel send): mutation hooks, observer, message/elided counters.
+         Returns the epoch actually stamped, [None] if the emission was
+         swallowed by a mutation. [real] marks the one emission per round
+         that still leaves the region as a channel message (the root's). *)
+  cfg_guard : int -> guarded;  (* per-node supervisor *)
+  cfg_fire_async : int -> unit;  (* async/delay: register a global event *)
+  cfg_notify : int -> unit;  (* input push: register a global event *)
+}
+
+type runtime_region = {
+  rr_region : region;
+  rr_wake : round Mailbox.t;
+  rr_sources : Reach.set;
+      (* sources reaching any member: the dispatcher's wake test *)
+}
+
+type 'a instance = {
+  i_plan : plan;
+  i_regions : runtime_region list;
+  i_out : 'a Event.stamped Multicast.t;  (* the root's display channel *)
+  i_sources : (int * string) list;  (* runtime sources, topological order *)
+}
+
+let instantiate : type r. config -> r Signal.t -> r instance =
+ fun cfg root ->
+  let pl = plan root in
+  let gen = cfg.cfg_gen in
+  let stats = cfg.cfg_stats in
+  let reach = cfg.cfg_reach in
+  let root_id = Signal.id root in
+  let order = Signal.reachable root in
+  (* Pass 1: one arena cell per node, seeded with the signal default. Cells
+     must all exist before ops are built because an async tap in one region
+     reads the inner node's cell of another. *)
+  List.iter
+    (fun (Signal.Pack s) ->
+      Signal.set_cell s ~gen
+        { Signal.cell_value = Signal.default s; cell_stamp = 0 })
+    order;
+  let cell : type x. x Signal.t -> x Signal.cell =
+   fun s ->
+    match Signal.get_cell s ~gen with
+    | Some c -> c
+    | None -> invalid_arg "Compile.instantiate: node outside the planned graph"
+  in
+  let out : r Event.stamped Multicast.t =
+    Multicast.create
+      ~name:(Printf.sprintf "out:%d:%s" root_id (Signal.name root))
+      ()
+  in
+  (* Deterministic op order: primary key is the node's global topological
+     position, secondary key orders a node's extra ops (async tap, display
+     send) right after its member op. *)
+  let pos = Hashtbl.create 64 in
+  List.iteri (fun i (Signal.Pack s) -> Hashtbl.replace pos (Signal.id s) i) order;
+  let n_regions = List.length pl.p_regions in
+  let acc : ((int * int) * (round -> unit)) list array = Array.make n_regions [] in
+  let add_op ~node ~rank op =
+    let idx = Hashtbl.find pl.p_region_of node in
+    acc.(idx) <- ((Hashtbl.find pos node, rank), op) :: acc.(idx)
+  in
+  let active_of id =
+    if cfg.cfg_flood then fun (_ : round) -> true
+    else begin
+      let rs = Reach.reaching reach id in
+      fun (r : round) -> Reach.set_mem r.source rs
+    end
+  in
+  (* Bridges the root's account result (possibly mutation-adjusted epoch,
+     or a dropped emission) from its member op to the display-send op that
+     runs right after it in the same region step. *)
+  let root_stamp = ref None in
+  let finish ~id (r : round) ~changed =
+    let stamped =
+      cfg.cfg_account ~node:id ~epoch:r.epoch ~changed ~real:(id = root_id)
+    in
+    if id = root_id then root_stamp := stamped
+  in
+  (* A source member: woken rounds carrying its own source id consume one
+     value from the value mailbox; all other active rounds are quiescent.
+     Async/delay value mailboxes stay unbounded: their tap runs on a region
+     thread that may also host the async source itself, so blocking it on a
+     full mailbox could deadlock the region (the pipelined forwarder thread
+     can block there safely; see DESIGN.md). *)
+  let source_op : type x. x Signal.t -> bounded:bool -> x Mailbox.t =
+   fun s ~bounded ->
+    let id = Signal.id s in
+    let c = cell s in
+    let value_mb =
+      Mailbox.create
+        ?capacity:(if bounded then cfg.cfg_capacity else None)
+        ~name:(Printf.sprintf "value:%d:%s" id (Signal.name s))
+        ()
+    in
+    let active = active_of id in
+    add_op ~node:id ~rank:0 (fun r ->
+        if active r then begin
+          let changed =
+            if r.source = id then begin
+              c.Signal.cell_value <- Mailbox.recv value_mb;
+              c.Signal.cell_stamp <- r.epoch;
+              true
+            end
+            else false
+          in
+          finish ~id r ~changed
+        end);
+    value_mb
+  in
+  (* A computing member: runs when the round reaches it; recomputes when
+     any dependency cell is dirty this epoch. The emitted body a pipelined
+     consumer would cache as [e_last] is exactly [cell_value]. *)
+  let build_node : type x. x Signal.t -> unit =
+   fun s ->
+    let id = Signal.id s in
+    match Signal.kind s with
+    | Signal.Constant -> ignore (source_op s ~bounded:true)
+    | Signal.Lift_list (_, []) ->
+      (* No incoming edges: behaves as a never-firing constant. *)
+      ignore (source_op s ~bounded:true)
+    | Signal.Input ->
+      let value_mb = source_op s ~bounded:true in
+      (* Value first, notification second, as in the pipelined push: when
+         the dispatcher wakes this source's cone, the region finds the
+         value waiting. The inst's out channel is never read in compiled
+         mode (display traffic flows through the region's display op); it
+         exists so [Runtime.inject] finds the push through the usual
+         generation-stamped slot. *)
+      let push v =
+        Mailbox.send value_mb v;
+        cfg.cfg_notify id
+      in
+      Signal.set_inst s
+        {
+          Signal.gen;
+          out =
+            Multicast.create ~name:(Printf.sprintf "in:%d:%s" id (Signal.name s)) ();
+          push = Some push;
+        }
+    | Signal.Async inner ->
+      let value_mb = source_op s ~bounded:false in
+      let ci = cell inner in
+      (* The tap replaces the pipelined forwarder thread: ordered right
+         after the inner node's op, it sees the freshly written cell and
+         registers a new global event per change — the Fig. 8(c) boundary.
+         [cell_stamp = epoch] iff the inner node changed this round. *)
+      add_op ~node:(Signal.id inner) ~rank:1 (fun r ->
+          if ci.Signal.cell_stamp = r.epoch then begin
+            Mailbox.send value_mb ci.Signal.cell_value;
+            cfg.cfg_fire_async id
+          end)
+    | Signal.Delay (d, inner) ->
+      let value_mb = source_op s ~bounded:false in
+      let ci = cell inner in
+      add_op ~node:(Signal.id inner) ~rank:1 (fun r ->
+          if ci.Signal.cell_stamp = r.epoch then begin
+            let v = ci.Signal.cell_value in
+            Cml.spawn (fun () ->
+                Cml.sleep d;
+                Mailbox.send value_mb v;
+                cfg.cfg_fire_async id)
+          end)
+    | Signal.Lift1 (f, a) ->
+      let c = cell s and ca = cell a in
+      let active = active_of id in
+      let g = cfg.cfg_guard id in
+      add_op ~node:id ~rank:0 (fun r ->
+          if active r then begin
+            let changed =
+              if ca.Signal.cell_stamp = r.epoch then begin
+                stats.Stats.applications <- stats.Stats.applications + 1;
+                match
+                  g.guard ~prev:c.Signal.cell_value ~reset:ignore ~epoch:r.epoch
+                    (fun () -> Event.Change (f ca.Signal.cell_value))
+                with
+                | Event.Change v ->
+                  c.Signal.cell_value <- v;
+                  c.Signal.cell_stamp <- r.epoch;
+                  true
+                | Event.No_change _ -> false
+              end
+              else false
+            in
+            finish ~id r ~changed
+          end)
+    | Signal.Lift2 (f, a, b) ->
+      let c = cell s and ca = cell a and cb = cell b in
+      let active = active_of id in
+      let g = cfg.cfg_guard id in
+      add_op ~node:id ~rank:0 (fun r ->
+          if active r then begin
+            let changed =
+              if
+                ca.Signal.cell_stamp = r.epoch || cb.Signal.cell_stamp = r.epoch
+              then begin
+                stats.Stats.applications <- stats.Stats.applications + 1;
+                match
+                  g.guard ~prev:c.Signal.cell_value ~reset:ignore ~epoch:r.epoch
+                    (fun () ->
+                      Event.Change (f ca.Signal.cell_value cb.Signal.cell_value))
+                with
+                | Event.Change v ->
+                  c.Signal.cell_value <- v;
+                  c.Signal.cell_stamp <- r.epoch;
+                  true
+                | Event.No_change _ -> false
+              end
+              else false
+            in
+            finish ~id r ~changed
+          end)
+    | Signal.Lift3 (f, a, b, d) ->
+      let c = cell s and ca = cell a and cb = cell b and cd = cell d in
+      let active = active_of id in
+      let g = cfg.cfg_guard id in
+      add_op ~node:id ~rank:0 (fun r ->
+          if active r then begin
+            let changed =
+              if
+                ca.Signal.cell_stamp = r.epoch || cb.Signal.cell_stamp = r.epoch
+                || cd.Signal.cell_stamp = r.epoch
+              then begin
+                stats.Stats.applications <- stats.Stats.applications + 1;
+                match
+                  g.guard ~prev:c.Signal.cell_value ~reset:ignore ~epoch:r.epoch
+                    (fun () ->
+                      Event.Change
+                        (f ca.Signal.cell_value cb.Signal.cell_value
+                           cd.Signal.cell_value))
+                with
+                | Event.Change v ->
+                  c.Signal.cell_value <- v;
+                  c.Signal.cell_stamp <- r.epoch;
+                  true
+                | Event.No_change _ -> false
+              end
+              else false
+            in
+            finish ~id r ~changed
+          end)
+    | Signal.Lift4 (f, a, b, d, e) ->
+      let c = cell s
+      and ca = cell a
+      and cb = cell b
+      and cd = cell d
+      and ce = cell e in
+      let active = active_of id in
+      let g = cfg.cfg_guard id in
+      add_op ~node:id ~rank:0 (fun r ->
+          if active r then begin
+            let changed =
+              if
+                ca.Signal.cell_stamp = r.epoch || cb.Signal.cell_stamp = r.epoch
+                || cd.Signal.cell_stamp = r.epoch
+                || ce.Signal.cell_stamp = r.epoch
+              then begin
+                stats.Stats.applications <- stats.Stats.applications + 1;
+                match
+                  g.guard ~prev:c.Signal.cell_value ~reset:ignore ~epoch:r.epoch
+                    (fun () ->
+                      Event.Change
+                        (f ca.Signal.cell_value cb.Signal.cell_value
+                           cd.Signal.cell_value ce.Signal.cell_value))
+                with
+                | Event.Change v ->
+                  c.Signal.cell_value <- v;
+                  c.Signal.cell_stamp <- r.epoch;
+                  true
+                | Event.No_change _ -> false
+              end
+              else false
+            in
+            finish ~id r ~changed
+          end)
+    | Signal.Lift_list (f, ds) ->
+      let c = cell s in
+      let cds = List.map cell ds in
+      let active = active_of id in
+      let g = cfg.cfg_guard id in
+      add_op ~node:id ~rank:0 (fun r ->
+          if active r then begin
+            let changed =
+              if
+                List.exists
+                  (fun cd -> cd.Signal.cell_stamp = r.epoch)
+                  cds
+              then begin
+                stats.Stats.applications <- stats.Stats.applications + 1;
+                match
+                  g.guard ~prev:c.Signal.cell_value ~reset:ignore ~epoch:r.epoch
+                    (fun () ->
+                      Event.Change
+                        (f (List.map (fun cd -> cd.Signal.cell_value) cds)))
+                with
+                | Event.Change v ->
+                  c.Signal.cell_value <- v;
+                  c.Signal.cell_stamp <- r.epoch;
+                  true
+                | Event.No_change _ -> false
+              end
+              else false
+            in
+            finish ~id r ~changed
+          end)
+    | Signal.Foldp (f, src) ->
+      let c = cell s and cs = cell src in
+      let active = active_of id in
+      let g = cfg.cfg_guard id in
+      let init = Signal.default s in
+      (* A [Restart] re-seeds the accumulator cell at the top of the next
+         round that reaches the node — the same observable schedule as the
+         pipelined deferral: downstream reads keep the last-good value
+         until the restarted fold runs again. *)
+      let restart = ref false in
+      add_op ~node:id ~rank:0 (fun r ->
+          if active r then begin
+            if !restart then begin
+              restart := false;
+              c.Signal.cell_value <- init
+            end;
+            let changed =
+              if cs.Signal.cell_stamp = r.epoch then begin
+                stats.Stats.fold_steps <- stats.Stats.fold_steps + 1;
+                match
+                  g.guard ~prev:c.Signal.cell_value
+                    ~reset:(fun () -> restart := true)
+                    ~epoch:r.epoch
+                    (fun () ->
+                      Event.Change (f cs.Signal.cell_value c.Signal.cell_value))
+                with
+                | Event.Change v ->
+                  c.Signal.cell_value <- v;
+                  c.Signal.cell_stamp <- r.epoch;
+                  true
+                | Event.No_change _ -> false
+              end
+              else false
+            in
+            finish ~id r ~changed
+          end)
+    | Signal.Merge (a, b) ->
+      let c = cell s and ca = cell a and cb = cell b in
+      let active = active_of id in
+      add_op ~node:id ~rank:0 (fun r ->
+          if active r then begin
+            let changed =
+              if ca.Signal.cell_stamp = r.epoch then begin
+                c.Signal.cell_value <- ca.Signal.cell_value;
+                c.Signal.cell_stamp <- r.epoch;
+                true
+              end
+              else if cb.Signal.cell_stamp = r.epoch then begin
+                c.Signal.cell_value <- cb.Signal.cell_value;
+                c.Signal.cell_stamp <- r.epoch;
+                true
+              end
+              else false
+            in
+            finish ~id r ~changed
+          end)
+    | Signal.Drop_repeats (eq, src) ->
+      let c = cell s and cs = cell src in
+      let active = active_of id in
+      let g = cfg.cfg_guard id in
+      add_op ~node:id ~rank:0 (fun r ->
+          if active r then begin
+            let changed =
+              if cs.Signal.cell_stamp = r.epoch then begin
+                (* The user-supplied equality can raise too. *)
+                match
+                  g.guard ~prev:c.Signal.cell_value ~reset:ignore ~epoch:r.epoch
+                    (fun () ->
+                      if eq cs.Signal.cell_value c.Signal.cell_value then
+                        Event.No_change c.Signal.cell_value
+                      else Event.Change cs.Signal.cell_value)
+                with
+                | Event.Change v ->
+                  c.Signal.cell_value <- v;
+                  c.Signal.cell_stamp <- r.epoch;
+                  true
+                | Event.No_change _ -> false
+              end
+              else false
+            in
+            finish ~id r ~changed
+          end)
+    | Signal.Sample_on (ticks, src) ->
+      let c = cell s and ct = cell ticks and cs = cell src in
+      let active = active_of id in
+      add_op ~node:id ~rank:0 (fun r ->
+          if active r then begin
+            let changed =
+              if ct.Signal.cell_stamp = r.epoch then begin
+                c.Signal.cell_value <- cs.Signal.cell_value;
+                c.Signal.cell_stamp <- r.epoch;
+                true
+              end
+              else false
+            in
+            finish ~id r ~changed
+          end)
+    | Signal.Keep_when (gate, src, _base) ->
+      let c = cell s and cg = cell gate and cs = cell src in
+      let active = active_of id in
+      (* Tracks the gate across the rounds that reach this node, exactly
+         like the pipelined loop's [gate_prev] parameter: emit while open,
+         and on the rising edge to resynchronize with the source. *)
+      let gate_prev = ref (Signal.default gate) in
+      add_op ~node:id ~rank:0 (fun r ->
+          if active r then begin
+            let gate_now = cg.Signal.cell_value in
+            let rising = gate_now && not !gate_prev in
+            let changed =
+              if gate_now && (cs.Signal.cell_stamp = r.epoch || rising) then begin
+                c.Signal.cell_value <- cs.Signal.cell_value;
+                c.Signal.cell_stamp <- r.epoch;
+                true
+              end
+              else false
+            in
+            gate_prev := gate_now;
+            finish ~id r ~changed
+          end)
+    | Signal.Composite (comp, dep) ->
+      let c = cell s and cd = cell dep in
+      let active = active_of id in
+      let g = cfg.cfg_guard id in
+      (* Fresh step per instantiation, as in the pipelined build: fused
+         stateful stages never leak state across runtimes. A [Restart]
+         swaps in a fresh step, re-seeding every fused stage. *)
+      let step = ref (comp.Signal.comp_make ()) in
+      add_op ~node:id ~rank:0 (fun r ->
+          if active r then begin
+            let changed =
+              if cd.Signal.cell_stamp = r.epoch then begin
+                stats.Stats.applications <- stats.Stats.applications + 1;
+                match
+                  g.guard ~prev:c.Signal.cell_value
+                    ~reset:(fun () -> step := comp.Signal.comp_make ())
+                    ~epoch:r.epoch
+                    (fun () ->
+                      match !step cd.Signal.cell_value with
+                      | Some w -> Event.Change w
+                      | None -> Event.No_change c.Signal.cell_value)
+                with
+                | Event.Change v ->
+                  c.Signal.cell_value <- v;
+                  c.Signal.cell_stamp <- r.epoch;
+                  true
+                | Event.No_change _ -> false
+              end
+              else false
+            in
+            finish ~id r ~changed
+          end)
+  in
+  List.iter (fun (Signal.Pack s) -> build_node s) order;
+  (* The display send: one real channel message per round that reaches the
+     root, ordered right after the root's member op. [root_stamp] is [Some]
+     exactly when that op ran, and carries the (possibly mutation-adjusted)
+     wire epoch; [None] after a dropped emission skips the send, as the
+     pipelined emit would have. *)
+  let root_cell = cell root in
+  add_op ~node:root_id ~rank:2 (fun r ->
+      match !root_stamp with
+      | None -> ()
+      | Some epoch ->
+        root_stamp := None;
+        let event =
+          if root_cell.Signal.cell_stamp = r.epoch then
+            Event.Change root_cell.Signal.cell_value
+          else Event.No_change root_cell.Signal.cell_value
+        in
+        Multicast.send out { Event.epoch; event });
+  (* Freeze each region's ops into execution order and spawn its step
+     thread: the entire pipelined cone of node wakeups, channel sends and
+     context switches collapses to one wake and one array sweep. *)
+  let name_of = Hashtbl.create 64 in
+  List.iter
+    (fun (Signal.Pack s) -> Hashtbl.replace name_of (Signal.id s) (Signal.name s))
+    order;
+  let rregions =
+    List.map
+      (fun rg ->
+        let ops =
+          Array.of_list
+            (List.map snd
+               (List.sort
+                  (fun ((k1 : int * int), _) (k2, _) -> compare k1 k2)
+                  acc.(rg.rg_index)))
+        in
+        let wake =
+          Mailbox.create ?capacity:cfg.cfg_capacity
+            ~name:(Printf.sprintf "wake:r%d:%s" rg.rg_rep rg.rg_name)
+            ()
+        in
+        let n = List.length rg.rg_member_ids in
+        (match cfg.cfg_tracer with
+        | None -> ()
+        | Some tr ->
+          (* Only the region is registered — absorbed members would
+             otherwise show stale zero rows in the trace summary. *)
+          Trace.register_node tr ~id:rg.rg_rep
+            ~name:(Printf.sprintf "region:%s(%d)" rg.rg_name n));
+        Cml.spawn (fun () ->
+            let rec loop () =
+              let r = Mailbox.recv wake in
+              (match cfg.cfg_tracer with
+              | None -> ()
+              | Some tr -> Trace.node_start tr ~node:rg.rg_rep ~epoch:r.epoch);
+              stats.Stats.region_steps <- stats.Stats.region_steps + 1;
+              for i = 0 to Array.length ops - 1 do
+                (Array.unsafe_get ops i) r
+              done;
+              (match cfg.cfg_tracer with
+              | None -> ()
+              | Some tr -> Trace.node_end tr ~node:rg.rg_rep ~epoch:r.epoch);
+              loop ()
+            in
+            loop ());
+        {
+          rr_region = rg;
+          rr_wake = wake;
+          rr_sources = Reach.union_reaching reach rg.rg_member_ids;
+        })
+      pl.p_regions
+  in
+  let i_sources =
+    List.filter_map
+      (fun sid ->
+        Option.map (fun n -> (sid, n)) (Hashtbl.find_opt name_of sid))
+      (Reach.sources reach)
+  in
+  { i_plan = pl; i_regions = rregions; i_out = out; i_sources }

@@ -1,0 +1,129 @@
+(** The compiled backend: synchronous regions as straight-line step
+    functions.
+
+    The paper isolates all asynchrony at explicit [async]/[delay]
+    boundaries, so everything between two boundaries is a deterministic
+    synchronous region. The pipelined backend (Fig. 10) interprets such a
+    region as one cooperative thread per node and one multicast channel per
+    edge; this module instead partitions the graph into maximal synchronous
+    regions, topologically sorts each, and compiles it to a single op array
+    executed by one thread per region over a flat mutable arena
+    ({!Signal.cell}): [foldp] accumulators become arena slots, [No_change]
+    becomes a per-node dirty-bit skip, and fan-out/merge become plain
+    sequential reads and writes. Async boundaries keep their mailboxes and
+    threads, so supervision and tracing still see region-level spans.
+
+    Select it with [Runtime.start ~backend:Compiled]; this module holds the
+    partitioning, the op compiler and the region threads, while the runtime
+    keeps ownership of dispatch, accounting, supervision policy and
+    mutations (threaded in through {!config}). *)
+
+type round = {
+  epoch : int;
+  source : int;
+}
+(** One dispatcher round; re-exported as [Runtime.round]. Region wakeup
+    mailboxes carry the same rounds node wakeup mailboxes do, so the
+    dispatcher (and the [Reorder_wakeup] mutation) treats both backends
+    uniformly. *)
+
+(** {1 Region partitioning} *)
+
+type region = {
+  rg_index : int;  (** Dense index, topological order of first member. *)
+  rg_rep : int;
+      (** Representative node id — the topologically last member (the
+          region's output) — used as the region's id for tracing. *)
+  rg_name : string;  (** The representative's name. *)
+  rg_members : Signal.packed list;  (** Members in topological order. *)
+  rg_member_ids : int list;
+}
+
+type plan = {
+  p_regions : region list;
+  p_region_of : (int, int) Hashtbl.t;  (** node id -> region index *)
+  p_cuts : (int * int) list;
+      (** [(inner, async)] dependency edges cut at async/delay boundaries:
+          they carry no synchronous round, only dispatcher re-entries. *)
+}
+
+val plan : 'a Signal.t -> plan
+(** Partition the graph rooted here into maximal synchronous regions:
+    union-find over dependency edges, cutting the edge into every
+    [async]/[delay] node. Pure; deterministic for a given graph (regions
+    and members ordered by the {!Signal.reachable} topological order). *)
+
+val regions : plan -> region list
+val region_of : plan -> int -> int option
+val cuts : plan -> (int * int) list
+
+val pp_plan : Format.formatter -> plan -> unit
+(** One line per region ([region i (rep id name): members...]) followed by
+    the cut async edges. *)
+
+val to_dot : ?label:string -> 'a Signal.t -> string
+(** Like {!Signal.to_dot}, with each synchronous region drawn as a dashed
+    cluster ([felmc graph --compiled]). *)
+
+(** {1 Instantiation} *)
+
+type guarded = {
+  guard :
+    'a.
+    prev:'a -> reset:(unit -> unit) -> epoch:int -> (unit -> 'a Event.t) ->
+    'a Event.t;
+}
+(** A node supervisor applied at the node's value type from inside the
+    region step; the polymorphic field lets one record carry a per-node
+    [Restart] budget. *)
+
+type config = {
+  cfg_gen : int;  (** Runtime generation stamping the arena cells. *)
+  cfg_flood : bool;  (** Flood dispatch: every node active every round. *)
+  cfg_reach : Reach.t;
+  cfg_stats : Stats.t;
+  cfg_tracer : Trace.t option;
+  cfg_capacity : int option;
+      (** Bound for region wake and input value mailboxes. Async/delay
+          value mailboxes stay unbounded: their tap runs on a region
+          thread that may also host the async source itself, so blocking
+          it could deadlock the region. *)
+  cfg_account :
+    node:int -> epoch:int -> changed:bool -> real:bool -> int option;
+      (** Per-node emission accounting — the runtime's [emit] minus the
+          channel send (mutation hooks, observer, message/elided
+          counters). Returns the epoch actually stamped, or [None] if a
+          mutation swallowed the emission. [real] marks the root's
+          emission, the only one that still leaves the region as a
+          channel message. *)
+  cfg_guard : int -> guarded;  (** Per-node supervisor factory. *)
+  cfg_fire_async : int -> unit;
+      (** Async/delay boundary: register a global event for this source. *)
+  cfg_notify : int -> unit;  (** Input push: register a global event. *)
+}
+
+type runtime_region = {
+  rr_region : region;
+  rr_wake : round Cml.Mailbox.t;
+      (** The region's wakeup mailbox; the dispatcher sends one round per
+          event whose cone intersects the region. *)
+  rr_sources : Reach.set;
+      (** Sources reaching any member — the dispatcher's wake test. *)
+}
+
+type 'a instance = {
+  i_plan : plan;
+  i_regions : runtime_region list;
+  i_out : 'a Event.stamped Cml.Multicast.t;
+      (** The root's display channel: the one real data channel left. *)
+  i_sources : (int * string) list;
+      (** Runtime sources (id, name), topological order. *)
+}
+
+val instantiate : config -> 'a Signal.t -> 'a instance
+(** Compile and spawn: one arena cell per node (generation-stamped, so a
+    second runtime re-initialises them), one op array and one step thread
+    per region. Executing a region step runs each member op in
+    deterministic topological order: read dependency cells, recompute if
+    any is dirty this epoch, write own cell, account the emission. Must be
+    called inside [Cml.run]. *)

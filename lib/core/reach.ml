@@ -73,6 +73,9 @@ let reaching t id =
 
 let affects t ~source ~node = set_mem source (reaching t node)
 
+let union_reaching t ids =
+  List.fold_left (fun acc id -> Int_set.union acc (reaching t id)) Int_set.empty ids
+
 let cone t source =
   List.filter
     (fun (Signal.Pack s) -> set_mem source (reaching t (Signal.id s)))

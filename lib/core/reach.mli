@@ -37,6 +37,11 @@ val reaching : t -> int -> set
 
 val affects : t -> source:int -> node:int -> bool
 
+val union_reaching : t -> int list -> set
+(** Union of the reaching sets of the given nodes. This is a compiled
+    region's wake test (see {!Compile}): the sources whose events can
+    affect {e any} member of the region. *)
+
 val cone : t -> int -> Signal.packed list
 (** [cone t source] is the affected cone of an event fired by [source]:
     every node it can reach, in topological order. *)

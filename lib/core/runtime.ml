@@ -1,6 +1,14 @@
 module Mailbox = Cml.Mailbox
 module Multicast = Cml.Multicast
 
+(* NOTE: [backend] is declared before [mode] on purpose: both have a
+   [Pipelined] constructor, and declaration order makes the unqualified
+   name keep meaning the execution [mode] everywhere (existing call sites);
+   backend positions are annotated and resolved by expected type. *)
+type backend =
+  | Pipelined
+  | Compiled
+
 type mode =
   | Pipelined
   | Sequential
@@ -16,8 +24,9 @@ type error_policy =
 
 (* One dispatcher round: the global event number and the source that fired
    it. Under flood dispatch every node receives every round; under cone
-   dispatch only the nodes the source can reach do. *)
-type round = {
+   dispatch only the nodes the source can reach do. Defined in [Compile] so
+   region wakeup mailboxes carry the same rounds node wakeup mailboxes do. *)
+type round = Compile.round = {
   epoch : int;
   source : int;
 }
@@ -113,6 +122,45 @@ let emit ctx ~id out r msg =
     | Some tr -> Trace.node_end tr ~node:id ~epoch:r.epoch
   end
 
+(* The compiled backend's twin of [emit]: same mutation hooks and the same
+   observer visibility, but no channel send — a region member's round
+   result stays in its arena cell. [real] selects which side of the elision
+   invariant the emission lands on: interior members send nothing, so their
+   per-event emissions count as elided; the root's display emission is the
+   one real message a region step still sends. Returns the epoch actually
+   stamped on the (conceptual) wire, or [None] when a [Drop_no_change]
+   mutation swallowed the emission. *)
+let account ctx ~id ~epoch:ep ~changed ~real =
+  let drop =
+    match ctx.c_mutate with
+    | Some ({ m_spec = Drop_no_change n; _ } as m) when not changed ->
+      m.m_count <- m.m_count + 1;
+      m.m_count = n
+    | _ -> false
+  in
+  if drop then None
+  else begin
+    let epoch =
+      match ctx.c_mutate with
+      | Some ({ m_spec = Skip_epoch n; _ } as m) ->
+        m.m_count <- m.m_count + 1;
+        let stale =
+          match Hashtbl.find_opt m.m_last_stamp id with
+          | Some e -> e
+          | None -> 0
+        in
+        Hashtbl.replace m.m_last_stamp id ep;
+        if m.m_count = n then stale else ep
+      | _ -> ep
+    in
+    if real then ctx.c_stats.messages <- ctx.c_stats.messages + 1
+    else ctx.c_stats.elided_messages <- ctx.c_stats.elided_messages + 1;
+    (match ctx.c_observer with
+    | None -> ()
+    | Some f -> f ~node:id ~epoch ~changed);
+    Some epoch
+  end
+
 (* Admit one round into a node's wakeup mailbox. With a [Reorder_wakeup]
    mutation armed, the nth admit is parked and released just after the next
    round bound for the same node — a genuinely out-of-order delivery. *)
@@ -174,6 +222,37 @@ let supervisor ctx ~id =
            reset ()
          end;
          Event.No_change prev)
+
+(* The compiled backend's form of [supervisor]: the same per-node policy
+   and [Restart] budget, packaged behind [Compile.guarded]'s polymorphic
+   field so the region step can apply it at the node's value type. The
+   budget ref is monomorphic, so one record per node keeps it across
+   rounds. *)
+let make_guard ctx ~id =
+  let left =
+    ref (match ctx.c_policy with Restart budget -> budget | Propagate | Isolate -> 0)
+  in
+  {
+    Compile.guard =
+      (fun ~prev ~reset ~epoch f ->
+        match ctx.c_policy with
+        | Propagate -> f ()
+        | Isolate -> (
+          try f ()
+          with _ ->
+            note_failure ctx ~id ~epoch;
+            Event.No_change prev)
+        | Restart _ -> (
+          try f ()
+          with _ ->
+            note_failure ctx ~id ~epoch;
+            if !left > 0 then begin
+              decr left;
+              ctx.c_stats.node_restarts <- ctx.c_stats.node_restarts + 1;
+              reset ()
+            end;
+            Event.No_change prev));
+  }
 
 (* Register this node with the dispatcher: the returned mailbox receives one
    [round] per event whose cone contains the node. The mailbox is named so
@@ -611,9 +690,9 @@ let push_bounded history lst count x =
     if count + 1 > 2 * cap then (take cap (x :: lst), cap)
     else (x :: lst, count + 1)
 
-let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer
-    ?(fuse = true) ?(on_node_error = Propagate) ?queue_capacity ?observer
-    ?mutate root =
+let start ?(backend : backend = Pipelined) ?(mode = Pipelined) ?dispatch
+    ?(memoize = true) ?history ?tracer ?(fuse = true)
+    ?(on_node_error = Propagate) ?queue_capacity ?observer ?mutate root =
   if not (Cml.running ()) then
     invalid_arg "Runtime.start: must be called inside Cml.run";
   (match history with
@@ -640,8 +719,12 @@ let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer
   (* Fusion composites carry stateful step functions that cannot be re-run
      on quiescent rounds, so the recompute-always baseline stays unfused:
      it exists to count recomputations, and fusing away the nodes that
-     would perform them would falsify the measurement. *)
+     would perform them would falsify the measurement. The compiled backend
+     is dirty-bit (i.e. memoizing) by construction, so the recompute-always
+     baseline falls back to the threaded interpretation for the same
+     reason. *)
   let fuse = fuse && memoize in
+  let backend : backend = if memoize then backend else Pipelined in
   let original_nodes = if fuse then List.length (Signal.reachable root) else 0 in
   let root = if fuse then Fuse.fuse root else root in
   incr generation;
@@ -682,9 +765,104 @@ let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer
     Trace.set_pid tr ctx.rt_gen;
     Trace.attach tr
   | None -> Cml.Probe.clear ());
-  let root_inst = build ctx root in
   let node_count = Reach.node_count reach in
   stats.Stats.fused_nodes <- (if fuse then original_nodes - node_count else 0);
+  (* Per-backend instantiation. Both produce the same dispatcher inputs: a
+     display channel, a flood target array, a per-source cone target lookup,
+     and the per-event elided balance the dispatcher still owes on top of
+     what the woken threads account themselves. *)
+  let display_channel, all_targets, cone_targets, extra_elided, rt_sources =
+    match backend with
+    | Pipelined ->
+      (* One thread per node, one channel per edge (Fig. 10). Wakeup
+         delivery plan: per source id, the affected cone's mailboxes in
+         topological order; the flood plan is every node. Computed once at
+         build time — dispatching an event is then one array iteration.
+         Every woken node sends (or drops into) exactly one accounted
+         message, so the dispatcher owes the nodes it did not wake. *)
+      let root_inst = build ctx root in
+      let mailboxes_of nodes =
+        Array.of_list
+          (List.filter_map
+             (fun (Signal.Pack s) -> Hashtbl.find_opt ctx.wakeups (Signal.id s))
+             nodes)
+      in
+      let all_nodes = mailboxes_of (Reach.order reach) in
+      let cones = Hashtbl.create 16 in
+      List.iter
+        (fun src ->
+          Hashtbl.replace cones src (mailboxes_of (Reach.cone reach src)))
+        (Reach.sources reach);
+      let cone_targets eid =
+        match Hashtbl.find_opt cones eid with Some c -> c | None -> [||]
+      in
+      let extra_elided _eid n_targets = node_count - n_targets in
+      ( root_inst.Signal.out,
+        all_nodes,
+        cone_targets,
+        extra_elided,
+        List.rev ctx.c_sources )
+    | Compiled ->
+      (* One step thread per synchronous region (see Compile): the
+         dispatcher wakes regions instead of nodes. A woken region accounts
+         one emission per member the round reaches (the root's is the real
+         display message, the rest are elided in place), so the dispatcher
+         owes only the nodes outside the firing source's cone. *)
+      let cfg =
+        {
+          Compile.cfg_gen = ctx.rt_gen;
+          cfg_flood = (dispatch = Flood);
+          cfg_reach = reach;
+          cfg_stats = stats;
+          cfg_tracer = tracer;
+          cfg_capacity = queue_capacity;
+          cfg_account =
+            (fun ~node ~epoch ~changed ~real ->
+              account ctx ~id:node ~epoch ~changed ~real);
+          cfg_guard = (fun id -> make_guard ctx ~id);
+          cfg_fire_async =
+            (fun id ->
+              stats.Stats.async_events <- stats.Stats.async_events + 1;
+              Mailbox.send new_event id);
+          cfg_notify = (fun id -> Mailbox.send new_event id);
+        }
+      in
+      let inst = Compile.instantiate cfg root in
+      stats.Stats.compiled_regions <- List.length inst.Compile.i_regions;
+      let all_regions =
+        Array.of_list
+          (List.map (fun rr -> rr.Compile.rr_wake) inst.Compile.i_regions)
+      in
+      let cones = Hashtbl.create 16 in
+      let cone_nodes = Hashtbl.create 16 in
+      List.iter
+        (fun src ->
+          Hashtbl.replace cones src
+            (Array.of_list
+               (List.filter_map
+                  (fun rr ->
+                    if Reach.set_mem src rr.Compile.rr_sources then
+                      Some rr.Compile.rr_wake
+                    else None)
+                  inst.Compile.i_regions));
+          Hashtbl.replace cone_nodes src (Reach.cone_size reach src))
+        (Reach.sources reach);
+      let cone_targets eid =
+        match Hashtbl.find_opt cones eid with Some c -> c | None -> [||]
+      in
+      let extra_elided eid _n_targets =
+        match dispatch with
+        | Flood -> 0
+        | Cone ->
+          node_count
+          - (match Hashtbl.find_opt cone_nodes eid with Some n -> n | None -> 0)
+      in
+      ( inst.Compile.i_out,
+        all_regions,
+        cone_targets,
+        extra_elided,
+        inst.Compile.i_sources )
+  in
   let rt =
     {
       gen = ctx.rt_gen;
@@ -700,23 +878,9 @@ let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer
       rev_messages = [];
       n_messages = 0;
       listeners = Queue.create ();
-      sources = List.rev ctx.c_sources;
+      sources = rt_sources;
     }
   in
-  (* Wakeup delivery plan: per source id, the affected cone's mailboxes in
-     topological order; the flood plan is every node. Computed once at
-     build time — dispatching an event is then one array iteration. *)
-  let mailboxes_of nodes =
-    Array.of_list
-      (List.filter_map
-         (fun (Signal.Pack s) -> Hashtbl.find_opt ctx.wakeups (Signal.id s))
-         nodes)
-  in
-  let all_nodes = mailboxes_of (Reach.order reach) in
-  let cones = Hashtbl.create 16 in
-  List.iter
-    (fun src -> Hashtbl.replace cones src (mailboxes_of (Reach.cone reach src)))
-    (Reach.sources reach);
   let root_reach = Reach.reaching reach (Signal.id root) in
   let reaches_root eid =
     match dispatch with
@@ -726,7 +890,7 @@ let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer
   let ack = Mailbox.create ~name:"displayAck" () in
   (* Display loop (Fig. 11): funnel values from the root's channel to the
      "screen" (here: the runtime record and registered listeners). *)
-  let display_port = Multicast.port root_inst.Signal.out in
+  let display_port = Multicast.port display_channel in
   Cml.spawn (fun () ->
       let rec display () =
         let { Event.epoch; event = msg } = Multicast.recv display_port in
@@ -770,15 +934,12 @@ let start ?(mode = Pipelined) ?dispatch ?(memoize = true) ?history ?tracer
         let r = { epoch = stats.events; source = eid } in
         let targets =
           match dispatch with
-          | Flood -> all_nodes
-          | Cone -> (
-            match Hashtbl.find_opt cones eid with
-            | Some c -> c
-            | None -> [||])
+          | Flood -> all_targets
+          | Cone -> cone_targets eid
         in
         stats.notified_nodes <- stats.notified_nodes + Array.length targets;
         stats.elided_messages <-
-          stats.elided_messages + (node_count - Array.length targets);
+          stats.elided_messages + extra_elided eid (Array.length targets);
         (* Record before the wakeups go out so the dispatch timestamp lower-
            bounds every node-start and display timestamp of this epoch. *)
         (match tracer with

@@ -51,6 +51,29 @@
     {!Stats.t.fused_nodes} records how many nodes were eliminated. Pass
     [~fuse:false] to instantiate the graph exactly as written. *)
 
+(** How the graph between async boundaries is executed. Declared before
+    {!mode} so the unqualified [Pipelined] keeps naming the execution mode
+    at existing call sites; backend positions disambiguate by expected
+    type.
+
+    Both backends implement the same observable semantics: {!changes},
+    {!current}, {!message_log}, listeners, supervision and the per-event
+    alignment invariants are identical (the equivalence is
+    property-checked across the shape catalogue and through the
+    [Check.Explore] harness). [Compiled] requires memoization — under
+    [memoize:false] it silently falls back to the threaded backend, like
+    fusion does. *)
+type backend =
+  | Pipelined
+      (** Fig. 10 verbatim: one green thread per node, one multicast
+          channel per edge. Default. *)
+  | Compiled
+      (** Synchronous regions compiled to straight-line step functions
+          (see {!Compile}): one thread per async/delay-delimited region,
+          node state in a flat arena, [No_change] as a dirty-bit skip.
+          Order-of-magnitude fewer context switches and messages per
+          event; async boundaries keep their mailboxes and threads. *)
+
 type mode =
   | Pipelined  (** Paper semantics: nodes run concurrently, FIFO edges. *)
   | Sequential  (** Baseline: one event fully displayed before the next. *)
@@ -106,6 +129,7 @@ type 'a t
 (** A running instantiation of a signal graph with output type ['a]. *)
 
 val start :
+  ?backend:backend ->
   ?mode:mode ->
   ?dispatch:dispatch ->
   ?memoize:bool ->
@@ -120,7 +144,16 @@ val start :
   'a t
 (** Instantiate the graph and spawn its threads. Must be called inside
     {!Cml.run}. A signal node belongs to at most one live runtime; starting a
-    new runtime over the same nodes re-instantiates them.
+    new runtime over the same nodes re-instantiates them (including, under
+    the [Compiled] backend, re-initialising every arena cell from the
+    signal defaults — [foldp] state never leaks across runtimes).
+
+    [backend] selects the execution strategy between async boundaries
+    (default [Pipelined], the paper's translation; [felmc run] defaults to
+    [Compiled]). Under [Compiled], {!Stats.t.compiled_regions} and
+    {!Stats.t.region_steps} are populated, the tracer records one span per
+    region step instead of per-member rows, and {!message_log} /
+    {!changes} are unchanged.
 
     [history] bounds the {!changes} / {!message_log} logs: absent keeps
     everything (the default, as tests expect), [~history:n] retains the [n]

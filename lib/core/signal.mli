@@ -159,6 +159,11 @@ val to_dot : ?label:string -> 'a t -> string
     event dispatcher with dashed edges to all source nodes, solid edges for
     signal flow, async subgraphs visually separated. *)
 
+val dot_escape : string -> string
+(** Escape a user-supplied name for use inside a double-quoted DOT string
+    (quotes, backslashes, angle brackets, record specials). Shared with
+    {!Compile.to_dot}. *)
+
 (** {1 Runtime representation}
 
     Exposed for {!Runtime}; not intended for application code. *)
@@ -205,6 +210,25 @@ and ('b, 'a) composite = {
 val kind : 'a t -> 'a kind
 val get_inst : 'a t -> 'a inst option
 val set_inst : 'a t -> 'a inst -> unit
+
+type 'a cell = {
+  mutable cell_value : 'a;  (** Last emitted body (compiled backend). *)
+  mutable cell_stamp : int;
+      (** Epoch of the last change; the per-node dirty bit of a compiled
+          region step is [cell_stamp = current epoch]. *)
+}
+(** The compiled backend's flat-arena slot for a node (see {!Compile}):
+    where a pipelined node keeps its state in a thread and re-derives
+    dependency values from channel messages, a compiled node reads and
+    writes these cells directly. *)
+
+val get_cell : 'a t -> gen:int -> 'a cell option
+(** The node's arena cell for runtime generation [gen], if that generation
+    instantiated one. Generation-stamped like {!get_inst}, so slots are
+    re-initialised on every {!Runtime.start} — a second runtime over the
+    same graph starts from the signal defaults again. *)
+
+val set_cell : 'a t -> gen:int -> 'a cell -> unit
 
 (** {2 Fusion support (used by {!Fuse})} *)
 

@@ -9,6 +9,8 @@ type t = {
   mutable async_events : int;
   mutable switches : int;
   mutable fused_nodes : int;
+  mutable compiled_regions : int;
+  mutable region_steps : int;
   mutable node_failures : int;
   mutable node_restarts : int;
 }
@@ -25,6 +27,8 @@ let create () =
     async_events = 0;
     switches = 0;
     fused_nodes = 0;
+    compiled_regions = 0;
+    region_steps = 0;
     node_failures = 0;
     node_restarts = 0;
   }
@@ -38,12 +42,19 @@ let total_flood_messages s = s.messages + s.elided_messages
 let per_event total s =
   if s.events = 0 then 0.0 else float_of_int total /. float_of_int s.events
 
+(* [regions=.../region_steps=...] appears only on compiled-backend runs:
+   a pipelined runtime has no regions, and printing zeros for it would
+   suggest per-node counters were absorbed somewhere when they were not. *)
 let pp ppf s =
   Format.fprintf ppf
     "events=%d messages=%d elided=%d notified=%d applications=%d \
      recomputations=%d fold_steps=%d async_events=%d switches=%d fused=%d \
-     failures=%d restarts=%d msg/ev=%.1f sw/ev=%.1f"
+     failures=%d restarts=%d%t msg/ev=%.1f sw/ev=%.1f"
     s.events s.messages s.elided_messages s.notified_nodes s.applications
     s.recomputations s.fold_steps s.async_events s.switches s.fused_nodes
-    s.node_failures s.node_restarts (per_event s.messages s)
-    (per_event s.switches s)
+    s.node_failures s.node_restarts
+    (fun ppf ->
+      if s.compiled_regions > 0 then
+        Format.fprintf ppf " regions=%d region_steps=%d" s.compiled_regions
+          s.region_steps)
+    (per_event s.messages s) (per_event s.switches s)

@@ -37,6 +37,17 @@ type t = {
           [fused_nodes + node_count = original node count], and the elision
           invariant [messages + elided_messages = node_count * events] holds
           for the {e fused} node count. *)
+  mutable compiled_regions : int;
+      (** Synchronous regions instantiated by the {!Compile} backend: set
+          once at {!Runtime.start}; 0 on pipelined runtimes. Per-node
+          counters for region members are accounted through the region
+          ([messages]/[elided_messages] still balance the elision
+          invariant over the {e member} count, and the tracer reports one
+          span per region step rather than stale zero rows per member). *)
+  mutable region_steps : int;
+      (** Region step-function executions (compiled backend): one per
+          region wakeup, where the pipelined backend would have paid one
+          thread wakeup {e per member node}. *)
   mutable node_failures : int;
       (** Exceptions caught inside node steps by the [Isolate]/[Restart]
           supervision policies (see {!Runtime.error_policy}); each failed

@@ -37,9 +37,9 @@ let build_signals (program : Program.t) g =
     (Sgraph.nodes g);
   table
 
-let run_graph ?(policy = Cml.Scheduler.Fifo) ?(mode = Runtime.Pipelined)
-    ?(memoize = true) ?tracer ?fuse ?on_node_error ?queue_capacity program g
-    root ~trace =
+let run_graph ?(policy = Cml.Scheduler.Fifo) ?backend
+    ?(mode = Runtime.Pipelined) ?(memoize = true) ?tracer ?fuse ?on_node_error
+    ?queue_capacity program g root ~trace =
   Sgraph.freeze g;
   match root with
   | Value.Vsignal root_id ->
@@ -53,7 +53,7 @@ let run_graph ?(policy = Cml.Scheduler.Fifo) ?(mode = Runtime.Pipelined)
         Builtins.work_enabled := true;
         let root_signal = Hashtbl.find table root_id in
         let rt =
-          Runtime.start ~mode ~memoize ?tracer ?fuse ?on_node_error
+          Runtime.start ?backend ~mode ~memoize ?tracer ?fuse ?on_node_error
             ?queue_capacity root_signal
         in
         stats := Some (Runtime.stats rt);
@@ -85,15 +85,17 @@ let run_graph ?(policy = Cml.Scheduler.Fifo) ?(mode = Runtime.Pipelined)
     (* A non-reactive program: stage one already computed the answer. *)
     { displays = []; final = v; stats = None; skipped_events = List.length trace }
 
-let run ?policy ?mode ?memoize ?tracer ?fuse ?on_node_error ?queue_capacity
-    program ~trace =
+let run ?policy ?backend ?mode ?memoize ?tracer ?fuse ?on_node_error
+    ?queue_capacity program ~trace =
   let g, root = Denote.run_program program in
-  run_graph ?policy ?mode ?memoize ?tracer ?fuse ?on_node_error
+  run_graph ?policy ?backend ?mode ?memoize ?tracer ?fuse ?on_node_error
     ?queue_capacity program g root ~trace
 
-let run_source ?policy ?mode ?fuse ?on_node_error ?queue_capacity src ~trace =
+let run_source ?policy ?backend ?mode ?fuse ?on_node_error ?queue_capacity src
+    ~trace =
   let program = Program.of_source src in
   ignore (Typecheck.check_program program);
   let events = Trace.parse trace in
   Trace.validate program events;
-  run ?policy ?mode ?fuse ?on_node_error ?queue_capacity program ~trace:events
+  run ?policy ?backend ?mode ?fuse ?on_node_error ?queue_capacity program
+    ~trace:events

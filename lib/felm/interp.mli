@@ -23,6 +23,7 @@ val build_signals :
 
 val run :
   ?policy:Cml.Scheduler.policy ->
+  ?backend:Elm_core.Runtime.backend ->
   ?mode:Elm_core.Runtime.mode ->
   ?memoize:bool ->
   ?tracer:Elm_core.Trace.t ->
@@ -39,13 +40,16 @@ val run :
     is the replayed input events, [?tracer] records the execution), and so
     are [fuse] — interpreted graphs fuse their [lift] chains by default like
     native ones — [on_node_error] (node supervision policy) and
-    [queue_capacity] (bounded wake/value mailboxes). [policy] selects the
+    [queue_capacity] (bounded wake/value mailboxes). [backend] selects the
+    runtime execution strategy ({!Elm_core.Runtime.backend}; [felmc run]
+    defaults to [Compiled], this API to [Pipelined]). [policy] selects the
     scheduler's interleaving strategy (default {!Cml.Scheduler.Fifo});
     [Seeded_random] / [Pct] replay the schedules the exploration harness
     prints (see [felmc run --sched-seed]). *)
 
 val run_graph :
   ?policy:Cml.Scheduler.policy ->
+  ?backend:Elm_core.Runtime.backend ->
   ?mode:Elm_core.Runtime.mode ->
   ?memoize:bool ->
   ?tracer:Elm_core.Trace.t ->
@@ -63,6 +67,7 @@ val run_graph :
 
 val run_source :
   ?policy:Cml.Scheduler.policy ->
+  ?backend:Elm_core.Runtime.backend ->
   ?mode:Elm_core.Runtime.mode ->
   ?fuse:bool ->
   ?on_node_error:Elm_core.Runtime.error_policy ->

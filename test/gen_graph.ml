@@ -102,13 +102,14 @@ let build_shape shape =
   in
   (a, b, s)
 
-let run_shape ?(fuse = true) ?(mode = Runtime.Pipelined)
-    ?(dispatch = Runtime.Cone) ?policy ?on_node_error ?queue_capacity shape
-    events =
+let run_shape ?(backend : Runtime.backend = Runtime.Pipelined)
+    ?(fuse = true) ?(mode = Runtime.Pipelined) ?(dispatch = Runtime.Cone)
+    ?policy ?on_node_error ?queue_capacity shape events =
   with_world ?policy (fun () ->
       let a, b, s = build_shape shape in
       let rt =
-        Runtime.start ~fuse ~mode ~dispatch ?on_node_error ?queue_capacity s
+        Runtime.start ~backend ~fuse ~mode ~dispatch ?on_node_error
+          ?queue_capacity s
       in
       List.iter
         (fun (left, v) -> Runtime.inject rt (if left then a else b) v)

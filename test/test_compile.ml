@@ -1,0 +1,349 @@
+(* Tests for the compiled backend (Elm_core.Compile): synchronous regions
+   between async/delay boundaries compiled to straight-line step functions.
+   The compiled runtime must be observationally identical to the pipelined
+   one across the whole shape catalogue x mode x dispatch x fusion matrix,
+   region partitioning must cover the graph exactly, arena state must be
+   fresh per runtime, and the accounting/tracing surfaces must report
+   regions instead of stale per-member rows. The schedule explorer and the
+   planted-mutation coverage suite both run against the compiled backend. *)
+
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+module Event = Elm_core.Event
+module Stats = Elm_core.Stats
+module Compile = Elm_core.Compile
+module Fuse = Elm_core.Fuse
+module Trace = Elm_core.Trace
+module Explore = Elm_check.Explore
+module Mutate = Elm_check.Mutate
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ints = Alcotest.(check (list int))
+
+let with_world body = Gen_graph.with_world body
+let values = Gen_graph.values
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Randomized compiled-vs-pipelined trace equivalence over the shared
+   Gen_graph catalogue, across mode x dispatch and with fusion both on and
+   off. Chain functions are injective and cost no virtual time, so the
+   compiled backend must be bit-identical: same change values, same virtual
+   times, same display message log. *)
+
+let equivalent shape events (mode, dispatch) fuse =
+  let pipelined =
+    Gen_graph.run_shape ~backend:Runtime.Pipelined ~fuse ~mode ~dispatch shape
+      events
+  in
+  let compiled =
+    Gen_graph.run_shape ~backend:Runtime.Compiled ~fuse ~mode ~dispatch shape
+      events
+  in
+  let log_p = Runtime.message_log pipelined in
+  let log_c = Runtime.message_log compiled in
+  Runtime.changes pipelined = Runtime.changes compiled
+  && Runtime.current pipelined = Runtime.current compiled
+  && List.length log_p = List.length log_c
+  && List.for_all2 Gen_graph.entry_equal log_p log_c
+
+let prop_compiled_equals_pipelined =
+  QCheck.Test.make
+    ~name:"compiled: identical changes/current/log across mode x dispatch x \
+           fuse"
+    ~count:40 Gen_graph.arb_shape_events
+    (fun (shape, events) ->
+      List.for_all
+        (fun combo ->
+          List.for_all (equivalent shape events combo) [ false; true ])
+        Gen_graph.all_combos)
+
+(* The elision invariant holds for the compiled backend too: the root's
+   display emission is the only real message, everything else is accounted
+   as elided, and the per-event sum still equals node_count. *)
+let prop_compiled_accounting =
+  QCheck.Test.make ~name:"compiled: messages + elided = nodes * events"
+    ~count:40 Gen_graph.arb_shape_events
+    (fun (shape, events) ->
+      let rt =
+        Gen_graph.run_shape ~backend:Runtime.Compiled shape events
+      in
+      let st = Runtime.stats rt in
+      st.Stats.messages + st.Stats.elided_messages
+      = Runtime.node_count rt * st.Stats.events)
+
+(* ------------------------------------------------------------------ *)
+(* Region partitioning units *)
+
+let test_pure_graph_single_region () =
+  let a = Signal.input ~name:"a" 0 in
+  let b = Signal.input ~name:"b" 0 in
+  let root = Signal.foldp ( + ) 0 (Signal.lift2 ( + ) a b) in
+  let plan = Compile.plan root in
+  check_int "one region" 1 (List.length (Compile.regions plan));
+  check_int "no cut edges" 0 (List.length (Compile.cuts plan));
+  let rg = List.hd (Compile.regions plan) in
+  check_int "all four nodes are members" 4 (List.length rg.Compile.rg_members)
+
+let test_async_graph_two_regions () =
+  let a = Signal.input ~name:"a" 0 in
+  let b = Signal.input ~name:"b" 0 in
+  let inner = Signal.lift succ b in
+  let root = Signal.lift2 ( + ) a (Signal.async inner) in
+  let plan = Compile.plan root in
+  check_int "two regions" 2 (List.length (Compile.regions plan));
+  check_int "one cut edge" 1 (List.length (Compile.cuts plan));
+  let inner_id = Signal.id inner in
+  let cut_inner, _ = List.hd (Compile.cuts plan) in
+  check_int "the cut edge leaves the async's inner node" inner_id cut_inner;
+  (* b and its lift are one region; a, the async source and the root the
+     other. The async node belongs to the downstream region: its mailbox is
+     a source for the region that reads it. *)
+  let region_idx id = Option.get (Compile.region_of plan id) in
+  check_bool "inner chain separated from the consumer" true
+    (region_idx (Signal.id b) <> region_idx (Signal.id root));
+  check_bool "async node lives with its consumer" true
+    (region_idx (Signal.id root) <> region_idx inner_id)
+
+let test_partition_covers_every_shape () =
+  for shape = 0 to Gen_graph.shape_count - 1 do
+    let _, _, s = Gen_graph.build_shape shape in
+    let root = Fuse.fuse s in
+    let plan = Compile.plan root in
+    let all = Signal.reachable root in
+    (* every node is in exactly one region *)
+    List.iter
+      (fun (Signal.Pack n) ->
+        match Compile.region_of plan (Signal.id n) with
+        | None ->
+          Alcotest.failf "shape %d: node %d in no region" shape (Signal.id n)
+        | Some _ -> ())
+      all;
+    let member_total =
+      List.fold_left
+        (fun acc rg -> acc + List.length rg.Compile.rg_members)
+        0 (Compile.regions plan)
+    in
+    check_int
+      (Printf.sprintf "shape %d: members partition the graph" shape)
+      (List.length all) member_total;
+    (* the representative is a member of its own region *)
+    List.iter
+      (fun rg ->
+        check_bool
+          (Printf.sprintf "shape %d: rep is a member" shape)
+          true
+          (List.mem rg.Compile.rg_rep rg.Compile.rg_member_ids))
+      (Compile.regions plan)
+  done
+
+let test_compiled_dot_shows_regions () =
+  let a = Signal.input ~name:"a" 0 in
+  let b = Signal.input ~name:"b" 0 in
+  let root = Signal.lift2 ( + ) a (Signal.async (Signal.lift succ b)) in
+  let dot = Compile.to_dot ~label:"regions" root in
+  check_bool "has a cluster per region" true
+    (contains dot "cluster_region_0" && contains dot "cluster_region_1");
+  check_bool "clusters are dashed" true (contains dot "style=dashed";);
+  check_bool "dispatcher re-entry edge drawn" true
+    (contains dot "new event")
+
+(* ------------------------------------------------------------------ *)
+(* Arena state: foldp accumulators live in generation-stamped cells, so a
+   second runtime over the same nodes must start from the defaults. *)
+
+let test_foldp_state_fresh_per_runtime () =
+  let a = Signal.input ~name:"a" 0 in
+  let root = Signal.foldp ( + ) 0 (Signal.lift succ a) in
+  let drive () =
+    with_world (fun () ->
+        let rt = Runtime.start ~backend:Runtime.Compiled root in
+        List.iter (fun v -> Runtime.inject rt a v) [ 1; 2; 3 ];
+        rt)
+  in
+  let first = drive () in
+  check_ints "first run accumulates" [ 2; 5; 9 ] (values first);
+  let second = drive () in
+  check_ints "second runtime starts from the default accumulator"
+    [ 2; 5; 9 ] (values second)
+
+(* ------------------------------------------------------------------ *)
+(* Stats and tracing surfaces *)
+
+let test_stats_report_regions () =
+  let run backend =
+    Gen_graph.run_shape ~backend 10 [ (true, 1); (false, 2); (true, 3) ]
+  in
+  let compiled = Runtime.stats (run Runtime.Compiled) in
+  let pipelined = Runtime.stats (run Runtime.Pipelined) in
+  check_bool "compiled regions counted" true
+    (compiled.Stats.compiled_regions >= 2);
+  check_bool "region steps counted" true (compiled.Stats.region_steps > 0);
+  check_int "pipelined reports no regions" 0 pipelined.Stats.compiled_regions;
+  let pp st = Format.asprintf "%a" Stats.pp st in
+  check_bool "compiled pp shows regions" true (contains (pp compiled) "regions=");
+  check_bool "pipelined pp omits regions" true
+    (not (contains (pp pipelined) "regions="))
+
+let test_trace_reports_region_rows () =
+  let tracer = Trace.create () in
+  let _rt =
+    with_world (fun () ->
+        let a = Signal.input ~name:"a" 0 in
+        let b = Signal.input ~name:"b" 0 in
+        let root =
+          Signal.lift2 ~name:"join" ( + ) (Signal.lift ~name:"inc" succ a)
+            (Signal.async (Signal.lift ~name:"dbl" (fun x -> x * 2) b))
+        in
+        let rt = Runtime.start ~backend:Runtime.Compiled ~tracer root in
+        List.iter (fun v -> Runtime.inject rt a v) [ 1; 2 ];
+        Runtime.inject rt b 5;
+        rt)
+  in
+  let s = Trace.summary tracer in
+  check_bool "at least one region row" true (List.length s.Trace.nodes >= 1);
+  List.iter
+    (fun ns ->
+      check_bool
+        (Printf.sprintf "row %s is a region" ns.Trace.node_name)
+        true
+        (String.length ns.Trace.node_name >= 7
+        && String.sub ns.Trace.node_name 0 7 = "region:");
+      check_bool
+        (Printf.sprintf "row %s processed rounds (no stale zero rows)"
+           ns.Trace.node_name)
+        true (ns.Trace.rounds > 0))
+    s.Trace.nodes
+
+(* memoize:false is the pull-style baseline that re-runs steps on quiescent
+   rounds — incompatible with the dirty-bit skip, so the compiled backend
+   silently falls back to pipelined, like fusion does. *)
+let test_memoize_false_falls_back () =
+  let rt =
+    with_world (fun () ->
+        let a = Signal.input ~name:"a" 0 in
+        let root = Signal.lift succ a in
+        let rt =
+          Runtime.start ~backend:Runtime.Compiled ~memoize:false root
+        in
+        Runtime.inject rt a 1;
+        rt)
+  in
+  check_int "no compiled regions under memoize:false" 0
+    (Runtime.stats rt).Stats.compiled_regions;
+  check_ints "still runs" [ 2 ] (values rt)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule exploration: the compiled backend's region threads interleave
+   under the same chaos schedules, and every invariant must hold. *)
+
+let explore_deterministic () =
+  Explore.program ~name:"compiled-deterministic" ~show:string_of_int
+    (fun () ->
+      let a = Signal.input ~name:"a" 0 in
+      let b = Signal.input ~name:"b" 0 in
+      let joined =
+        Signal.lift2 (fun x y -> (x * 31) + y)
+          (Signal.drop_repeats (Signal.lift (fun x -> x / 2) a))
+          (Signal.foldp ( + ) 0 b)
+      in
+      let root = Signal.foldp ( + ) 0 joined in
+      {
+        Explore.root;
+        drive =
+          (fun rt ->
+            for i = 1 to 6 do
+              Runtime.inject rt (if i mod 2 = 0 then b else a) i
+            done);
+      })
+
+let explore_async () =
+  Explore.program ~name:"compiled-async" ~deterministic:false
+    ~classify:(fun v -> Some (v mod 2))
+    ~show:string_of_int
+    (fun () ->
+      let a = Signal.input ~name:"a" 0 in
+      let b = Signal.input ~name:"b" 1 in
+      let root =
+        Signal.merge
+          (Signal.lift (fun x -> 2 * x) a)
+          (Signal.async (Signal.lift (fun x -> (2 * x) + 1) b))
+      in
+      {
+        Explore.root;
+        drive =
+          (fun rt ->
+            for i = 1 to 4 do
+              Runtime.inject rt a i;
+              Runtime.inject rt b i
+            done);
+      })
+
+let test_explore_compiled_deterministic () =
+  let report =
+    Explore.run ~backend:Runtime.Compiled ~schedules:12
+      (explore_deterministic ())
+  in
+  if not (Explore.ok report) then
+    Alcotest.failf "%s" (Format.asprintf "%a" Explore.pp_report report)
+
+let test_explore_compiled_async () =
+  let report =
+    Explore.run ~backend:Runtime.Compiled ~schedules:12 (explore_async ())
+  in
+  if not (Explore.ok report) then
+    Alcotest.failf "%s" (Format.asprintf "%a" Explore.pp_report report)
+
+let test_mutations_caught_compiled () =
+  check_bool "every planted mutation caught under the compiled backend" true
+    (Mutate.all_caught ~backend:Runtime.Compiled ~schedules:2 ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "compile"
+    [
+      ( "equivalence",
+        [ qc prop_compiled_equals_pipelined; qc prop_compiled_accounting ] );
+      ( "partition",
+        [
+          tc "pure graph is one region" `Quick test_pure_graph_single_region;
+          tc "async boundary splits regions" `Quick
+            test_async_graph_two_regions;
+          tc "partition covers every catalogue shape" `Quick
+            test_partition_covers_every_shape;
+          tc "dot renders region clusters" `Quick
+            test_compiled_dot_shows_regions;
+        ] );
+      ( "arena",
+        [
+          tc "foldp state fresh per runtime" `Quick
+            test_foldp_state_fresh_per_runtime;
+        ] );
+      ( "reporting",
+        [
+          tc "stats count regions and steps" `Quick test_stats_report_regions;
+          tc "trace rows are regions, never stale members" `Quick
+            test_trace_reports_region_rows;
+          tc "memoize:false falls back to pipelined" `Quick
+            test_memoize_false_falls_back;
+        ] );
+      ( "explore",
+        [
+          tc "deterministic program clean under chaos" `Quick
+            test_explore_compiled_deterministic;
+          tc "async program clean under chaos" `Quick
+            test_explore_compiled_async;
+          tc "planted mutations still caught" `Quick
+            test_mutations_caught_compiled;
+        ] );
+    ]
