@@ -1,0 +1,130 @@
+(* Bench regression diff: compare a fresh BENCH_core.json against the
+   committed baseline and fail on > 20% regression of any gated ratio.
+
+   Usage:  diff.exe BASELINE.json CURRENT.json
+
+   Gated metrics (all higher-is-better):
+     B11  flood/cone messages-per-event ratio, per K row
+     B13  fusion off/on messages-per-event ratio (Cone), per depth row
+     B16  pipelined/compiled message and sequential-switch ratios, per K row
+
+   B17's open-speedup and churn/sec are derived from wall-clock timings,
+   so they are reported (and warned about) but never fail the diff — CI
+   runners are too noisy for a hard wall-clock bar, and the bench binary
+   itself already hard-gates the absolute open_speedup >= 10x floor. The
+   gated ratios above are counter-based and machine-independent. *)
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let read_json path =
+  let ic = try open_in_bin path with Sys_error e -> die "bench-diff: %s" e in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  try Json.parse text
+  with Json.Parse_error (msg, line, col) ->
+    die "bench-diff: %s:%d:%d: %s" path line col msg
+
+(* A gated metric: a name for the table, and how to extract the value from
+   one document. Rows of the per-K/per-depth arrays are matched by index —
+   the baseline and current are produced by the same bench binary shape. *)
+let metric doc ~key ~idx ~path:p =
+  match Option.bind (Json.member key doc) (Json.index idx) with
+  | None -> None
+  | Some row -> Option.bind (Json.path p row) Json.to_float
+
+let collect doc =
+  let rows key = match Json.member key doc with
+    | Some (Json.Array l) -> List.length l
+    | _ -> 0
+  in
+  let b11 =
+    List.init (rows "b11_cone_dispatch") (fun i ->
+        ( Printf.sprintf "b11.row%d.message_ratio" i,
+          metric doc ~key:"b11_cone_dispatch" ~idx:i ~path:[ "message_ratio" ]
+        ))
+  in
+  let b13 =
+    List.init (rows "b13_fusion") (fun i ->
+        ( Printf.sprintf "b13.row%d.cone.message_ratio" i,
+          metric doc ~key:"b13_fusion" ~idx:i
+            ~path:[ "cone"; "message_ratio" ] ))
+  in
+  let b16 =
+    List.concat
+      (List.init (rows "b16_compiled_backend") (fun i ->
+           [
+             ( Printf.sprintf "b16.row%d.message_ratio" i,
+               metric doc ~key:"b16_compiled_backend" ~idx:i
+                 ~path:[ "message_ratio" ] );
+             ( Printf.sprintf "b16.row%d.seq_switch_ratio" i,
+               metric doc ~key:"b16_compiled_backend" ~idx:i
+                 ~path:[ "seq_switch_ratio" ] );
+           ]))
+  in
+  let b17 =
+    List.concat
+      (List.init (rows "b17_sessions") (fun i ->
+           [
+             ( Printf.sprintf "b17.row%d.open_speedup" i,
+               metric doc ~key:"b17_sessions" ~idx:i ~path:[ "open_speedup" ]
+             );
+             ( Printf.sprintf "b17.row%d.churn_sessions_per_sec" i,
+               metric doc ~key:"b17_sessions" ~idx:i
+                 ~path:[ "churn_sessions_per_sec" ] );
+           ]))
+  in
+  b11 @ b13 @ b16 @ b17
+
+(* b17 metrics are wall-clock-derived and so only softly gated: warn,
+   don't fail. *)
+let soft name = String.length name >= 4 && String.sub name 0 4 = "b17."
+
+let () =
+  let baseline_path, current_path =
+    match Sys.argv with
+    | [| _; b; c |] -> (b, c)
+    | _ -> die "usage: diff.exe BASELINE.json CURRENT.json"
+  in
+  let baseline = read_json baseline_path in
+  let current = read_json current_path in
+  let base_metrics = collect baseline in
+  let threshold = 0.80 in
+  let failures = ref 0 in
+  Printf.printf "%-34s %12s %12s %8s  %s\n" "metric" "baseline" "current"
+    "ratio" "verdict";
+  List.iter
+    (fun (name, bval) ->
+      let cval =
+        (* re-extract from the current doc by re-running collect's shape:
+           names are positional, so look the metric up by name *)
+        List.assoc_opt name (collect current) |> Option.join
+      in
+      match (bval, cval) with
+      | Some b, Some c when b > 0.0 ->
+        let ratio = c /. b in
+        let ok = ratio >= threshold in
+        let verdict =
+          if ok then "ok"
+          else if soft name then "REGRESSED (wall-clock, not gated)"
+          else (incr failures; "REGRESSED")
+        in
+        Printf.printf "%-34s %12.2f %12.2f %7.2fx  %s\n" name b c ratio verdict
+      | Some b, Some _ (* baseline metric is 0: nothing to gate against *) ->
+        Printf.printf "%-34s %12.2f: zero baseline, skipped\n" name b
+      | Some b, None ->
+        incr failures;
+        Printf.printf "%-34s %12.2f %12s %8s  MISSING in current\n" name b "-"
+          "-"
+      | None, _ -> Printf.printf "%-34s %12s: not in baseline, skipped\n" name "-")
+    base_metrics;
+  if !failures > 0 then begin
+    Printf.eprintf
+      "bench-diff: %d gated metric(s) regressed > %d%% vs %s\n" !failures
+      (int_of_float ((1.0 -. threshold) *. 100.0))
+      baseline_path;
+    exit 1
+  end;
+  print_endline "bench-diff: all gated metrics within threshold."

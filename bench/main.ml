@@ -798,6 +798,195 @@ let b16_to_json rows =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* B17: serving many sessions from one cached plan (lib/serve). B16 showed
+   unfused instantiation costing as much as the run it serves; the plan /
+   arena split amortises compilation across instances, so opening a session
+   against a cached plan must be >= 10x cheaper than a cold compile, 10k
+   live sessions must sustain dispatch with bit-identical per-session
+   change traces vs a dedicated single-session compiled runtime, and an
+   idle session's marginal memory is a few hundred words of arena — all
+   measured on the B11/B16 K-chain topology. *)
+
+module Serve_session = Elm_serve.Session
+module Serve_dispatcher = Elm_serve.Dispatcher
+
+type b17_row = {
+  b17_chains : int;
+  b17_depth : int;
+  b17_cold_compile_us : float;  (* plan build, cache cleared each rep *)
+  b17_open_us : float;  (* open_session against the warm cache *)
+  b17_open_speedup : float;  (* cold_compile / open *)
+  b17_churn_per_sec : float;  (* open+close pairs per second *)
+  b17_live_sessions : int;
+  b17_events_per_sec : float;  (* dispatches/sec with all sessions live *)
+  b17_bytes_per_idle_session : int;
+  b17_identical : bool;  (* every session's trace = single-session runtime *)
+  b17_clone_identical : bool;  (* clone continues exactly as its parent *)
+  b17_cache_hits : int;
+  b17_cache_misses : int;
+}
+
+let b17_build ~chains ~depth () =
+  let inputs =
+    List.init chains (fun i -> Signal.input ~name:(Printf.sprintf "in%d" i) 0)
+  in
+  let rec chain n s =
+    if n = 0 then s else chain (n - 1) (Signal.lift (fun x -> x + 1) s)
+  in
+  (List.hd inputs, Signal.combine (List.map (chain depth) inputs))
+
+let b17_measure ~chains ~depth ~live ~events_per_session =
+  let first, root = b17_build ~chains ~depth () in
+  Elm_core.Compile.clear_plan_cache ();
+  (* ~fuse:false: B16's finding — instantiation costing as much as the run —
+     is about the graph as written; fusion would collapse the chains to a
+     handful of nodes and make "compilation" trivially cheap. Serving the
+     unfused plan is the configuration where amortising it matters (and it
+     makes the clone gate exact: every stateful slot is plain arena data). *)
+  let d = Serve_dispatcher.create ~fuse:false ~history:events_per_session root in
+  (* Cold compile cost: rebuild the plan with the cache cleared each rep,
+     on the exact graph sessions run. *)
+  let froot = Serve_dispatcher.root d in
+  let compile_reps = 50 in
+  let t0 = Sys.time () in
+  for _ = 1 to compile_reps do
+    Elm_core.Compile.clear_plan_cache ();
+    ignore (Elm_core.Compile.plan_of froot)
+  done;
+  let cold_us = (Sys.time () -. t0) *. 1e6 /. float_of_int compile_reps in
+  (* Re-prime the cache (the loop above left one entry) and measure opens. *)
+  ignore (Elm_core.Compile.plan_of froot);
+  let open_reps = 2_000 in
+  let opened = ref [] in
+  let t0 = Sys.time () in
+  for _ = 1 to open_reps do
+    opened := Serve_dispatcher.open_session d :: !opened
+  done;
+  let open_us = (Sys.time () -. t0) *. 1e6 /. float_of_int open_reps in
+  List.iter (Serve_dispatcher.close d) !opened;
+  (* Bursty churn: open+close pairs. *)
+  let churn_reps = 10_000 in
+  let t0 = Sys.time () in
+  for _ = 1 to churn_reps do
+    Serve_dispatcher.close d (Serve_dispatcher.open_session d)
+  done;
+  let churn_dt = Sys.time () -. t0 in
+  let churn_per_sec = float_of_int churn_reps /. Float.max 1e-9 churn_dt in
+  (* The steady state: [live] sessions, every one fed the same event
+     sequence round-robin, traces checked against a dedicated
+     single-session compiled runtime. *)
+  let events = List.init events_per_session (fun i -> i + 1) in
+  let reference =
+    let rt =
+      with_world (fun () ->
+          let first, root = b17_build ~chains ~depth () in
+          let rt = Runtime.start ~backend:Runtime.Compiled root in
+          List.iter (fun v -> Runtime.inject rt first v) events;
+          rt)
+    in
+    List.map snd (Runtime.changes rt)
+  in
+  let sessions = Array.init live (fun _ -> Serve_dispatcher.open_session d) in
+  let t0 = Sys.time () in
+  let dispatched = ref 0 in
+  List.iter
+    (fun v ->
+      Array.iter (fun s -> Serve_dispatcher.inject d s first v) sessions;
+      dispatched := !dispatched + Serve_dispatcher.drain d)
+    events;
+  let live_dt = Sys.time () -. t0 in
+  let events_per_sec = float_of_int !dispatched /. Float.max 1e-9 live_dt in
+  let identical =
+    Array.for_all
+      (fun s -> List.map snd (Serve_session.changes s) = reference)
+      sessions
+  in
+  let bytes_per_idle =
+    (Serve_session.footprint_words sessions.(0) * Sys.word_size) / 8
+  in
+  (* Clone gate: fork a warm session, feed both the same suffix, demand
+     identical continuations (exact: the plan is unfused, so every stateful
+     slot is plain arena data and cloning copies all of it). *)
+  let parent = sessions.(0) in
+  let fork = Serve_dispatcher.clone d parent in
+  List.iter
+    (fun v ->
+      Serve_dispatcher.inject d parent first v;
+      Serve_dispatcher.inject d fork first v)
+    [ 101; 102; 103 ];
+  ignore (Serve_dispatcher.drain d);
+  let clone_identical =
+    Serve_session.changes parent = Serve_session.changes fork
+  in
+  let cache = Elm_core.Compile.plan_cache_stats () in
+  Array.iter (Serve_dispatcher.close d) sessions;
+  {
+    b17_chains = chains;
+    b17_depth = depth;
+    b17_cold_compile_us = cold_us;
+    b17_open_us = open_us;
+    b17_open_speedup = cold_us /. Float.max 1e-9 open_us;
+    b17_churn_per_sec = churn_per_sec;
+    b17_live_sessions = live;
+    b17_events_per_sec = events_per_sec;
+    b17_bytes_per_idle_session = bytes_per_idle;
+    b17_identical = identical;
+    b17_clone_identical = clone_identical;
+    b17_cache_hits = cache.Elm_core.Compile.hits;
+    b17_cache_misses = cache.Elm_core.Compile.misses;
+  }
+
+let bench_b17 () =
+  section "B17 Serving: cached plan, arena-copy sessions (lib/serve)";
+  Printf.printf
+    "K depth-32 chains; open vs cold compile, churn, dispatch at N live \
+     sessions\n";
+  Printf.printf "%3s | %10s %9s %8s | %9s | %6s %10s %8s | %5s %5s\n" "K"
+    "compile us" "open us" "speedup" "churn/s" "live" "events/s" "B/sess"
+    "same" "clone";
+  let rows =
+    List.map
+      (fun (chains, live) ->
+        b17_measure ~chains ~depth:32 ~live ~events_per_session:10)
+      [ (1, 1_000); (8, 10_000) ]
+  in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%3d | %10.1f %9.2f %7.1fx | %9.0f | %6d %10.0f %8d | %5b %5b\n"
+        r.b17_chains r.b17_cold_compile_us r.b17_open_us r.b17_open_speedup
+        r.b17_churn_per_sec r.b17_live_sessions r.b17_events_per_sec
+        r.b17_bytes_per_idle_session r.b17_identical r.b17_clone_identical)
+    rows;
+  let c = List.hd rows in
+  Printf.printf "plan cache: hits=%d misses=%d\n" c.b17_cache_hits
+    c.b17_cache_misses;
+  rows
+
+let b17_to_json rows =
+  Json.Array
+    (List.map
+       (fun r ->
+         Json.Object
+           [
+             ("chains", Json.of_int r.b17_chains);
+             ("depth", Json.of_int r.b17_depth);
+             ("cold_compile_us", Json.of_float r.b17_cold_compile_us);
+             ("open_us", Json.of_float r.b17_open_us);
+             ("open_speedup", Json.of_float r.b17_open_speedup);
+             ("churn_sessions_per_sec", Json.of_float r.b17_churn_per_sec);
+             ("live_sessions", Json.of_int r.b17_live_sessions);
+             ("events_per_sec", Json.of_float r.b17_events_per_sec);
+             ( "bytes_per_idle_session",
+               Json.of_int r.b17_bytes_per_idle_session );
+             ("changes_identical", Json.of_bool r.b17_identical);
+             ("clone_identical", Json.of_bool r.b17_clone_identical);
+             ("cache_hits", Json.of_int r.b17_cache_hits);
+             ("cache_misses", Json.of_int r.b17_cache_misses);
+           ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
 (* B14: fault injection — supervision policies under crashing nodes.
 
    One source feeds a risky lift (crashes on every k-th event, modeling a
@@ -1310,7 +1499,7 @@ let b14_to_json rows =
        rows)
 
 let write_json ~path b11_rows (b12_sync, b12_async) b13_rows b14_rows
-    (b15_rows, b15_mutations_caught) b16_rows micro =
+    (b15_rows, b15_mutations_caught) b16_rows b17_rows micro =
   let doc =
     Json.Object
       [
@@ -1325,6 +1514,7 @@ let write_json ~path b11_rows (b12_sync, b12_async) b13_rows b14_rows
         ("b13_fusion", b13_to_json b13_rows);
         ("b14_fault_injection", b14_to_json b14_rows);
         ("b16_compiled_backend", b16_to_json b16_rows);
+        ("b17_sessions", b17_to_json b17_rows);
         ( "b15_schedule_exploration",
           Json.Object
             [
@@ -1501,8 +1691,33 @@ let () =
     prerr_endline "B16: compiled backend won < 10x messages/event!";
     exit 1
   end;
+  (* B17 gates: opening a session against the warm plan cache must beat a
+     cold compile by >= 10x, every one of the 10k live sessions' change
+     traces must be bit-identical to a dedicated single-session compiled
+     runtime, clones must continue exactly as their parents, and serving
+     must actually have hit the plan cache. *)
+  let b17_rows = bench_b17 () in
+  if not (List.for_all (fun r -> r.b17_identical) b17_rows) then begin
+    prerr_endline
+      "B17: a session's change trace diverged from the single-session \
+       runtime!";
+    exit 1
+  end;
+  if not (List.for_all (fun r -> r.b17_clone_identical) b17_rows) then begin
+    prerr_endline "B17: a clone diverged from its parent!";
+    exit 1
+  end;
+  if not (List.for_all (fun r -> r.b17_open_speedup >= 10.0) b17_rows)
+  then begin
+    prerr_endline "B17: session open won < 10x vs a cold plan compile!";
+    exit 1
+  end;
+  if not (List.for_all (fun r -> r.b17_cache_hits > 0) b17_rows) then begin
+    prerr_endline "B17: serving never hit the plan cache!";
+    exit 1
+  end;
   let micro = if smoke then [] else micro_benchmarks () in
   if emit_json then
     write_json ~path:"BENCH_core.json" b11_rows b12 b13_rows b14_rows b15
-      b16_rows micro;
+      b16_rows b17_rows micro;
   print_endline "\ndone."

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Bench regression gate: compare the gated counter-based ratios of a fresh
+# bench run against the committed baseline and fail on > 20% regression.
+#
+# Usage: bin/bench_diff.sh [BASELINE [CURRENT]]
+#   BASELINE   baseline JSON (default: bench/baseline.json, committed)
+#   CURRENT    an existing bench JSON to diff; when omitted, the benches
+#              are (re)run with --smoke --json to produce BENCH_core.json
+#
+# Gated metrics are ratios of scheduler/message counters (B11 cone vs
+# flood, B13 fusion off vs on, B16 pipelined vs compiled, B17 session
+# open vs cold compile) — machine-independent, so a regression means the
+# code got worse, not the runner. Wall-clock numbers (micro_*, churn,
+# events/sec) are reported but only softly gated. To accept an intended
+# perf change, regenerate the baseline:
+#   dune exec bench/main.exe -- --json && cp BENCH_core.json bench/baseline.json
+set -eu
+cd "$(dirname "$0")/.."
+
+baseline=${1:-bench/baseline.json}
+current=${2:-}
+
+if [ ! -f "$baseline" ]; then
+    echo "bench_diff.sh: baseline '$baseline' not found" >&2
+    exit 2
+fi
+
+if [ -z "$current" ]; then
+    dune exec bench/main.exe -- --smoke --json
+    current=BENCH_core.json
+fi
+
+dune exec bench/diff.exe -- "$baseline" "$current"

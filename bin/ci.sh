@@ -32,9 +32,20 @@
 # pipelined one's (fusion off and on, Pipelined and Sequential modes),
 # and — both backends unfused — compiled must win at least 10x on both
 # sequential switches/event and messages/event.
+# B17 gates the serving layer (lib/serve): opening a session against
+# the warm plan cache must be >= 10x cheaper than a cold plan compile,
+# every one of the 10k live sessions must produce a change trace
+# bit-identical to a dedicated single-session compiled runtime (the
+# isolation oracle), clones must continue exactly as their parents,
+# and serving must actually hit the plan cache.
+# After the smoke gates, bench_diff compares the gated counter ratios
+# (B11/B13/B16/B17) against the committed bench/baseline.json and
+# fails on > 20% regression — see bin/bench_diff.sh for how to accept
+# an intended perf change by regenerating the baseline.
 # The full run also writes BENCH_core.json (latency percentiles, trace
 # summaries, B13 fusion ratios, B14 fault-injection matrix, B15
-# exploration cells, B16 backend matrix) for CI artifact upload.
+# exploration cells, B16 backend matrix, B17 serving metrics) for CI
+# artifact upload.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -65,3 +76,4 @@ if [ "$quick" -eq 1 ]; then
 fi
 
 dune exec bench/main.exe -- --smoke --json
+dune exec bench/diff.exe -- bench/baseline.json BENCH_core.json

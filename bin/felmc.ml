@@ -4,7 +4,9 @@
      check    parse, resolve and type-check a program
      run      interpret a program against an event trace (virtual time)
      compile  emit JavaScript/HTML (the paper's Section 5 compiler)
-     graph    emit the signal graph as Graphviz DOT (Figs. 7-8) *)
+     graph    emit the signal graph as Graphviz DOT (Figs. 7-8)
+     sessions serve N isolated sessions of one program over a shared
+              compiled plan and replay a trace into each *)
 
 open Cmdliner
 
@@ -384,10 +386,121 @@ let graph_cmd =
        ~doc:"Emit the program's signal graph as Graphviz DOT (Figs. 7-8).")
     Term.(const run $ file_arg $ out_arg $ fused_arg $ compiled_arg)
 
+let sessions_cmd =
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay"; "t" ] ~docv:"EVENTS"
+          ~doc:"Event trace file to replay into every session.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "n"; "sessions" ] ~docv:"N"
+          ~doc:"Number of sessions to open against the shared plan.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print per-session counters and accounting.")
+  in
+  let no_fuse_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fuse" ]
+          ~doc:
+            "Skip build-time fusion (clones of unfused graphs are exact; \
+             see DESIGN.md).")
+  in
+  let run file replay n print_stats no_fuse =
+    or_die (fun () ->
+        let program, ty = load_checked file in
+        let events =
+          match replay with
+          | None -> []
+          | Some path ->
+            let evs = Felm.Trace.parse (read_file path) in
+            Felm.Trace.validate program evs;
+            evs
+        in
+        let g, root = Felm.Denote.run_program program in
+        match root with
+        | Felm.Value.Vsignal root_id ->
+          Felm.Sgraph.freeze g;
+          let table = Felm.Interp.build_signals program g in
+          let root_signal = Hashtbl.find table root_id in
+          let inputs =
+            List.map
+              (fun (name, id) -> (name, Hashtbl.find table id))
+              (Felm.Sgraph.inputs g)
+          in
+          let module D = Elm_serve.Dispatcher in
+          let module S = Elm_serve.Session in
+          (* Sessions run synchronously against the cached plan: no
+             scheduler, no threads — the whole replay is plain code. *)
+          let d = D.create ~fuse:(not no_fuse) root_signal in
+          let sessions = List.init n (fun _ -> D.open_session d) in
+          let skipped = ref 0 in
+          List.iter
+            (fun ev ->
+              match List.assoc_opt ev.Felm.Trace.input inputs with
+              | None -> incr skipped
+              | Some input ->
+                List.iter
+                  (fun s -> D.inject d s input ev.Felm.Trace.value)
+                  sessions)
+            events;
+          ignore (D.drain d);
+          Printf.printf "-- %s : %s (%d sessions)\n" (Filename.basename file)
+            (Felm.Ty.to_string ty) n;
+          let shown s =
+            List.map
+              (fun (epoch, v) -> (epoch, Felm.Value.show v))
+              (S.changes s)
+          in
+          (match sessions with
+          | [] -> ()
+          | s0 :: rest ->
+            List.iter
+              (fun (epoch, v) -> Printf.printf "[e%04d] %s\n" epoch v)
+              (shown s0);
+            let reference = shown s0 in
+            let agree = List.for_all (fun s -> shown s = reference) rest in
+            if agree then
+              Printf.printf "sessions: %d identical change traces\n" n
+            else begin
+              Printf.printf "sessions: TRACES DIVERGED\n";
+              exit 1
+            end);
+          if !skipped > 0 then
+            Printf.printf "(%d trace events targeted unused inputs)\n" !skipped;
+          if print_stats then begin
+            Format.printf "accounting: %a@." D.pp_accounting (D.accounting d);
+            List.iter (fun s -> Format.printf "stats %a@." S.pp_stats s) sessions
+          end
+        | v ->
+          Printf.printf "-- %s : %s\n" (Filename.basename file)
+            (Felm.Ty.to_string ty);
+          Printf.printf "value: %s\n" (Felm.Value.show v))
+  in
+  Cmd.v
+    (Cmd.info "sessions"
+       ~doc:
+         "Serve N isolated sessions of one FElm program over a shared \
+          compiled plan: the graph is compiled once, each session is an \
+          arena copy, and the same replayed trace must produce identical \
+          per-session change traces.")
+    Term.(
+      const run $ file_arg $ replay_arg $ count_arg $ stats_arg $ no_fuse_arg)
+
 let () =
   let info =
     Cmd.info "felmc" ~version:"1.0.0"
       ~doc:"Compiler and interpreter for FElm, the core calculus of \
             'Asynchronous Functional Reactive Programming for GUIs' (PLDI 2013)."
   in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; run_cmd; compile_cmd; graph_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ check_cmd; run_cmd; compile_cmd; graph_cmd; sessions_cmd ]))

@@ -1,4 +1,5 @@
-(* The compiled backend: synchronous regions as straight-line step functions.
+(* The compiled backend: synchronous regions as straight-line step functions,
+   split into a shared *plan* and per-instance *arenas*.
 
    The paper's design isolates all asynchrony at explicit [async]/[delay]
    boundaries, which makes everything between two boundaries a deterministic
@@ -12,22 +13,43 @@
    - [plan] partitions the graph into maximal synchronous regions by
      union-find over dependency edges, *cutting* the edge into every
      [async]/[delay] node (their inner subgraph reaches them only through
-     the global dispatcher, so that edge carries no synchronous round).
+     the global dispatcher, so that edge carries no synchronous round), and
+     compiles each region to a single array of op templates in topological
+     order. The plan is immutable and carries no instance state: it is the
+     per-graph-shape template, built once and cached ([plan_of]).
 
-   - [instantiate] compiles each region to a single array of ops executed in
-     topological order by one thread: node state lives in flat mutable arena
-     cells ({!Signal.cell}) instead of threads ([foldp] accumulators become
-     slots), [No_change] becomes a per-node dirty-bit test
-     ([cell_stamp = epoch]) instead of a message, and fan-out/merge become
-     plain sequential reads instead of multicast sends. Only two kinds of
-     real channel traffic survive: the dispatcher's region wakeups and the
-     root's display messages.
+   - An [arena] is everything one running instance owns: a flat block of
+     per-node value/stamp slots plus a few extra state slots ([foldp]
+     restart flags, [keep_when] gate history, composite step closures).
+     Opening an instance is ~an array copy ([new_arena]); cloning one is
+     exactly that plus re-creating the non-copyable state ([clone_arena]).
+
+   - An op template is [exec -> round -> unit]: it closes over slot
+     *indices* and the node's typed functions, never over cells, so the
+     same op array drives any number of concurrent arenas. The [exec]
+     record carries the instance's arena and its environment hooks (value
+     queues, display, async registration, supervision, accounting) — the
+     runtime binds them to mailboxes and threads, the session layer
+     ([Serve]) to plain queues stepped synchronously.
+
+   Node state lives in the arena as [Obj.t]: the graph is heterogeneous,
+   and moving cells out of the nodes (where a generation-stamped slot
+   allowed only one live instance per graph) is the whole point. This is
+   type-safe by construction: slot [i] of any arena for a given plan is
+   only ever read and written by the ops compiled for node [i], inside the
+   typed scope of that node's GADT arm — the plan that assigned the slot
+   is the only code that touches it.
+
+   [No_change] becomes a per-node dirty-bit test ([stamp = epoch]) instead
+   of a message, and fan-out/merge become plain sequential reads. Only two
+   kinds of real channel traffic survive in the runtime instantiation: the
+   dispatcher's region wakeups and the root's display messages.
 
    Topological order within a region is inherited from [Signal.reachable]
    (the same deterministic deps-first DFS the pipelined build uses), so a
    compiled round computes exactly what a fully-settled pipelined round
    would: a node's op runs strictly after all its dependency ops, reading
-   their freshly-written cells. Async taps are ordered right after their
+   their freshly-written slots. Async taps are ordered right after their
    inner node's op via a secondary sort key, never before it.
 
    The module deliberately does not depend on [Runtime]; the runtime passes
@@ -60,16 +82,107 @@ type region = {
   rg_member_ids : int list;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Instance state: arena + execution context *)
+
+(* A node supervisor usable at the node's value type from inside the
+   region's generic step code; the polymorphic field lets one record carry
+   a per-node Restart budget while being applied at whatever type the
+   node's slots have. *)
+type guarded = {
+  guard :
+    'a.
+    prev:'a -> reset:(unit -> unit) -> epoch:int -> (unit -> 'a Event.t) ->
+    'a Event.t;
+}
+
+(* Everything one instance owns. [ar_values.(i)]/[ar_stamps.(i)] are node
+   [i]'s last emitted body and the epoch that last changed it (the dirty
+   bit is [stamp = epoch]). [ar_state] holds the few per-node extras that
+   are not plain last-values: foldp restart flags and keep_when gate
+   history (plain data, copied by [clone_arena]) and composite step
+   closures (hidden mutable state, re-created from the plan on clone). *)
+type arena = {
+  ar_values : Obj.t array;
+  ar_stamps : int array;
+  ar_state : Obj.t array;
+}
+
+(* The per-instance execution context threaded through every op. One record
+   per instance, not per round: ops allocate nothing on the steady path. *)
+type exec = {
+  x_arena : arena;
+  x_flood : bool;  (* flood dispatch: every node active every round *)
+  x_stats : Stats.t;
+  x_guards : guarded array;  (* per slot; see {!config.cfg_guard} *)
+  x_account :
+    node:int -> epoch:int -> changed:bool -> real:bool -> int option;
+  mutable x_root_stamp : int option;
+      (* bridges the root's account result (possibly mutation-adjusted
+         epoch, or a dropped emission) from its member op to the display
+         op that runs right after it in the same region step *)
+  x_pop : int -> Obj.t;  (* consume the pending value for a source slot *)
+  x_push : int -> Obj.t -> unit;  (* enqueue a value for a source slot *)
+  x_fire_async : int -> unit;  (* async boundary: register a global event *)
+  x_delay : node:int -> slot:int -> seconds:float -> Obj.t -> unit;
+      (* delay boundary: deliver the value to [slot] and register a global
+         event for [node] after [seconds] *)
+  x_display : epoch:int -> changed:bool -> Obj.t -> unit;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The plan: one immutable compiled template per graph shape *)
+
 type plan = {
   p_regions : region list;
   p_region_of : (int, int) Hashtbl.t;  (* node id -> region index *)
   p_cuts : (int * int) list;
       (* (inner node id, async/delay node id): dependency edges that carry
          no synchronous round and were cut by the partition *)
+  p_reach : Reach.t;
+  p_root_id : int;
+  p_root_slot : int;
+  p_nodes : int;  (* slot count = live node count *)
+  p_slot_of : (int, int) Hashtbl.t;  (* node id -> slot *)
+  p_slot_ids : int array;  (* slot -> node id *)
+  p_slot_names : string array;
+  p_id_stride : int;
+      (* 1 + max node id: offset multiplier for per-session trace ids *)
+  p_defaults : Obj.t array;  (* slot -> default value *)
+  p_n_state : int;
+  p_state_init : (unit -> Obj.t) array;
+  p_state_copy : bool array;
+      (* true: plain data, [clone_arena] copies the slot; false: hidden
+         mutable state (composite steps), re-initialised instead *)
+  p_ops : (exec -> round -> unit) array array;
+      (* region index -> op templates in execution order *)
+  p_region_sources : Reach.set array;
+      (* region index -> sources reaching any member (the wake test) *)
+  p_sources : (int * string) list;  (* runtime sources, topological order *)
+  p_queue_slots : (int * int * bool) list;
+      (* source nodes needing a pending-value queue: (id, slot, bounded).
+         Async/delay queues are unbounded (bounded=false): their tap runs
+         on the instance's own step path, so blocking it on a full queue
+         could deadlock the instance (see DESIGN.md). *)
+  p_inputs : Signal.packed list;  (* Input nodes, for external injection *)
 }
 
-let plan root =
+(* Obj.t arrays must never be created from a float seed: [caml_make_vect]
+   would specialise the block to a flat float array, and a later store of a
+   non-float value would be reinterpreted as an unboxed double. Seeding
+   with an immediate and filling afterwards keeps the generic
+   representation whatever the signal value types are. *)
+let obj_array n fill =
+  let a = Array.make n (Obj.repr 0) in
+  for i = 0 to n - 1 do
+    a.(i) <- fill i
+  done;
+  a
+
+let plan : type r. r Signal.t -> plan =
+ fun root ->
   let order = Signal.reachable root in
+  let root_id = Signal.id root in
   (* Union-find over node ids; path-halving find, arbitrary union. *)
   let parent = Hashtbl.create 64 in
   List.iter
@@ -133,11 +246,464 @@ let plan root =
           rg_member_ids = List.map (fun (Signal.Pack s) -> Signal.id s) members;
         })
   in
-  { p_regions = regions; p_region_of = region_of; p_cuts = List.rev !cuts }
+  (* ---- template compilation ---- *)
+  let reach = Reach.analyze root in
+  let n = List.length order in
+  let slot_of = Hashtbl.create n in
+  List.iteri
+    (fun i (Signal.Pack s) -> Hashtbl.replace slot_of (Signal.id s) i)
+    order;
+  let slot id = Hashtbl.find slot_of id in
+  let order_arr = Array.of_list order in
+  let slot_ids = Array.map (fun (Signal.Pack s) -> Signal.id s) order_arr in
+  let slot_names = Array.map (fun (Signal.Pack s) -> Signal.name s) order_arr in
+  let defaults =
+    obj_array n (fun i ->
+        let (Signal.Pack s) = order_arr.(i) in
+        Obj.repr (Signal.default s))
+  in
+  let id_stride = Array.fold_left (fun a id -> max a (id + 1)) 1 slot_ids in
+  let n_state = ref 0 in
+  let state_inits = ref [] in
+  let state_copies = ref [] in
+  let state_slot ~init ~copy =
+    let k = !n_state in
+    incr n_state;
+    state_inits := init :: !state_inits;
+    state_copies := copy :: !state_copies;
+    k
+  in
+  let queue_slots = ref [] in
+  let inputs = ref [] in
+  (* Deterministic op order: primary key is the node's global topological
+     position, secondary key orders a node's extra ops (async tap, display
+     send) right after its member op. *)
+  let pos = Hashtbl.create 64 in
+  List.iteri (fun i (Signal.Pack s) -> Hashtbl.replace pos (Signal.id s) i) order;
+  let acc : ((int * int) * (exec -> round -> unit)) list array =
+    Array.make !count []
+  in
+  let add_op ~node ~rank op =
+    let idx = Hashtbl.find region_of node in
+    acc.(idx) <- ((Hashtbl.find pos node, rank), op) :: acc.(idx)
+  in
+  let finish (x : exec) ~id (r : round) ~changed =
+    let stamped =
+      x.x_account ~node:id ~epoch:r.epoch ~changed ~real:(id = root_id)
+    in
+    if id = root_id then x.x_root_stamp <- stamped
+  in
+  (* A member op: runs when the round reaches the node (always, under
+     flood), computes whether the node changed, accounts the emission. *)
+  let member ~id compute =
+    let rs = Reach.reaching reach id in
+    add_op ~node:id ~rank:0 (fun x r ->
+        if x.x_flood || Reach.set_mem r.source rs then
+          finish x ~id r ~changed:(compute x r))
+  in
+  (* A source member: woken rounds carrying its own source id consume one
+     pending value; all other active rounds are quiescent. *)
+  let source_member ~id ~bounded =
+    let sl = slot id in
+    queue_slots := (id, sl, bounded) :: !queue_slots;
+    member ~id (fun x r ->
+        if r.source = id then begin
+          let ar = x.x_arena in
+          ar.ar_values.(sl) <- x.x_pop sl;
+          ar.ar_stamps.(sl) <- r.epoch;
+          true
+        end
+        else false)
+  in
+  (* A computing member: recomputes when any dependency slot is dirty this
+     epoch. The emitted body a pipelined consumer would cache as [e_last]
+     is exactly [ar_values.(slot)]. Each arm reads and writes its own slot
+     inside its typed GADT scope, which is what makes the [Obj] erasure
+     safe: no other code ever touches that slot. *)
+  let build_node : type x. x Signal.t -> unit =
+   fun s ->
+    let id = Signal.id s in
+    match Signal.kind s with
+    | Signal.Constant -> source_member ~id ~bounded:true
+    | Signal.Lift_list (_, []) ->
+      (* No incoming edges: behaves as a never-firing constant. *)
+      source_member ~id ~bounded:true
+    | Signal.Input ->
+      source_member ~id ~bounded:true;
+      inputs := Signal.Pack s :: !inputs
+    | Signal.Async inner ->
+      source_member ~id ~bounded:false;
+      let sl = slot id and si = slot (Signal.id inner) in
+      (* The tap replaces the pipelined forwarder thread: ordered right
+         after the inner node's op, it sees the freshly written slot and
+         registers a new global event per change — the Fig. 8(c) boundary.
+         [stamp = epoch] iff the inner node changed this round. *)
+      add_op ~node:(Signal.id inner) ~rank:1 (fun x r ->
+          let ar = x.x_arena in
+          if ar.ar_stamps.(si) = r.epoch then begin
+            x.x_push sl ar.ar_values.(si);
+            x.x_fire_async id
+          end)
+    | Signal.Delay (d, inner) ->
+      source_member ~id ~bounded:false;
+      let sl = slot id and si = slot (Signal.id inner) in
+      add_op ~node:(Signal.id inner) ~rank:1 (fun x r ->
+          let ar = x.x_arena in
+          if ar.ar_stamps.(si) = r.epoch then
+            x.x_delay ~node:id ~slot:sl ~seconds:d ar.ar_values.(si))
+    | Signal.Lift1 (f, a) ->
+      let sl = slot id and sa = slot (Signal.id a) in
+      member ~id (fun x r ->
+          let ar = x.x_arena in
+          if ar.ar_stamps.(sa) = r.epoch then begin
+            x.x_stats.Stats.applications <- x.x_stats.Stats.applications + 1;
+            match
+              x.x_guards.(sl).guard
+                ~prev:(Obj.obj ar.ar_values.(sl) : x)
+                ~reset:ignore ~epoch:r.epoch
+                (fun () -> Event.Change (f (Obj.obj ar.ar_values.(sa))))
+            with
+            | Event.Change v ->
+              ar.ar_values.(sl) <- Obj.repr v;
+              ar.ar_stamps.(sl) <- r.epoch;
+              true
+            | Event.No_change _ -> false
+          end
+          else false)
+    | Signal.Lift2 (f, a, b) ->
+      let sl = slot id
+      and sa = slot (Signal.id a)
+      and sb = slot (Signal.id b) in
+      member ~id (fun x r ->
+          let ar = x.x_arena in
+          if ar.ar_stamps.(sa) = r.epoch || ar.ar_stamps.(sb) = r.epoch then begin
+            x.x_stats.Stats.applications <- x.x_stats.Stats.applications + 1;
+            match
+              x.x_guards.(sl).guard
+                ~prev:(Obj.obj ar.ar_values.(sl) : x)
+                ~reset:ignore ~epoch:r.epoch
+                (fun () ->
+                  Event.Change
+                    (f (Obj.obj ar.ar_values.(sa)) (Obj.obj ar.ar_values.(sb))))
+            with
+            | Event.Change v ->
+              ar.ar_values.(sl) <- Obj.repr v;
+              ar.ar_stamps.(sl) <- r.epoch;
+              true
+            | Event.No_change _ -> false
+          end
+          else false)
+    | Signal.Lift3 (f, a, b, d) ->
+      let sl = slot id
+      and sa = slot (Signal.id a)
+      and sb = slot (Signal.id b)
+      and sd = slot (Signal.id d) in
+      member ~id (fun x r ->
+          let ar = x.x_arena in
+          if
+            ar.ar_stamps.(sa) = r.epoch
+            || ar.ar_stamps.(sb) = r.epoch
+            || ar.ar_stamps.(sd) = r.epoch
+          then begin
+            x.x_stats.Stats.applications <- x.x_stats.Stats.applications + 1;
+            match
+              x.x_guards.(sl).guard
+                ~prev:(Obj.obj ar.ar_values.(sl) : x)
+                ~reset:ignore ~epoch:r.epoch
+                (fun () ->
+                  Event.Change
+                    (f
+                       (Obj.obj ar.ar_values.(sa))
+                       (Obj.obj ar.ar_values.(sb))
+                       (Obj.obj ar.ar_values.(sd))))
+            with
+            | Event.Change v ->
+              ar.ar_values.(sl) <- Obj.repr v;
+              ar.ar_stamps.(sl) <- r.epoch;
+              true
+            | Event.No_change _ -> false
+          end
+          else false)
+    | Signal.Lift4 (f, a, b, d, e) ->
+      let sl = slot id
+      and sa = slot (Signal.id a)
+      and sb = slot (Signal.id b)
+      and sd = slot (Signal.id d)
+      and se = slot (Signal.id e) in
+      member ~id (fun x r ->
+          let ar = x.x_arena in
+          if
+            ar.ar_stamps.(sa) = r.epoch
+            || ar.ar_stamps.(sb) = r.epoch
+            || ar.ar_stamps.(sd) = r.epoch
+            || ar.ar_stamps.(se) = r.epoch
+          then begin
+            x.x_stats.Stats.applications <- x.x_stats.Stats.applications + 1;
+            match
+              x.x_guards.(sl).guard
+                ~prev:(Obj.obj ar.ar_values.(sl) : x)
+                ~reset:ignore ~epoch:r.epoch
+                (fun () ->
+                  Event.Change
+                    (f
+                       (Obj.obj ar.ar_values.(sa))
+                       (Obj.obj ar.ar_values.(sb))
+                       (Obj.obj ar.ar_values.(sd))
+                       (Obj.obj ar.ar_values.(se))))
+            with
+            | Event.Change v ->
+              ar.ar_values.(sl) <- Obj.repr v;
+              ar.ar_stamps.(sl) <- r.epoch;
+              true
+            | Event.No_change _ -> false
+          end
+          else false)
+    | Signal.Lift_list (f, ds) ->
+      let sl = slot id in
+      let sds = List.map (fun d -> slot (Signal.id d)) ds in
+      member ~id (fun x r ->
+          let ar = x.x_arena in
+          if List.exists (fun sd -> ar.ar_stamps.(sd) = r.epoch) sds then begin
+            x.x_stats.Stats.applications <- x.x_stats.Stats.applications + 1;
+            match
+              x.x_guards.(sl).guard
+                ~prev:(Obj.obj ar.ar_values.(sl) : x)
+                ~reset:ignore ~epoch:r.epoch
+                (fun () ->
+                  Event.Change
+                    (f (List.map (fun sd -> Obj.obj ar.ar_values.(sd)) sds)))
+            with
+            | Event.Change v ->
+              ar.ar_values.(sl) <- Obj.repr v;
+              ar.ar_stamps.(sl) <- r.epoch;
+              true
+            | Event.No_change _ -> false
+          end
+          else false)
+    | Signal.Foldp (f, src) ->
+      let sl = slot id and ss = slot (Signal.id src) in
+      let init = Signal.default s in
+      (* A [Restart] re-seeds the accumulator slot at the top of the next
+         round that reaches the node — the same observable schedule as the
+         pipelined deferral: downstream reads keep the last-good value
+         until the restarted fold runs again. The flag is a plain bool
+         state slot, so clones inherit a pending restart faithfully. *)
+      let k = state_slot ~init:(fun () -> Obj.repr false) ~copy:true in
+      member ~id (fun x r ->
+          let ar = x.x_arena in
+          if (Obj.obj ar.ar_state.(k) : bool) then begin
+            ar.ar_state.(k) <- Obj.repr false;
+            ar.ar_values.(sl) <- Obj.repr init
+          end;
+          if ar.ar_stamps.(ss) = r.epoch then begin
+            x.x_stats.Stats.fold_steps <- x.x_stats.Stats.fold_steps + 1;
+            match
+              x.x_guards.(sl).guard
+                ~prev:(Obj.obj ar.ar_values.(sl) : x)
+                ~reset:(fun () -> ar.ar_state.(k) <- Obj.repr true)
+                ~epoch:r.epoch
+                (fun () ->
+                  Event.Change
+                    (f (Obj.obj ar.ar_values.(ss)) (Obj.obj ar.ar_values.(sl))))
+            with
+            | Event.Change v ->
+              ar.ar_values.(sl) <- Obj.repr v;
+              ar.ar_stamps.(sl) <- r.epoch;
+              true
+            | Event.No_change _ -> false
+          end
+          else false)
+    | Signal.Merge (a, b) ->
+      let sl = slot id
+      and sa = slot (Signal.id a)
+      and sb = slot (Signal.id b) in
+      member ~id (fun x r ->
+          let ar = x.x_arena in
+          if ar.ar_stamps.(sa) = r.epoch then begin
+            ar.ar_values.(sl) <- ar.ar_values.(sa);
+            ar.ar_stamps.(sl) <- r.epoch;
+            true
+          end
+          else if ar.ar_stamps.(sb) = r.epoch then begin
+            ar.ar_values.(sl) <- ar.ar_values.(sb);
+            ar.ar_stamps.(sl) <- r.epoch;
+            true
+          end
+          else false)
+    | Signal.Drop_repeats (eq, src) ->
+      let sl = slot id and ss = slot (Signal.id src) in
+      member ~id (fun x r ->
+          let ar = x.x_arena in
+          if ar.ar_stamps.(ss) = r.epoch then begin
+            (* The user-supplied equality can raise too. *)
+            match
+              x.x_guards.(sl).guard
+                ~prev:(Obj.obj ar.ar_values.(sl) : x)
+                ~reset:ignore ~epoch:r.epoch
+                (fun () ->
+                  let prev : x = Obj.obj ar.ar_values.(sl) in
+                  if eq (Obj.obj ar.ar_values.(ss)) prev then
+                    Event.No_change prev
+                  else Event.Change (Obj.obj ar.ar_values.(ss)))
+            with
+            | Event.Change v ->
+              ar.ar_values.(sl) <- Obj.repr v;
+              ar.ar_stamps.(sl) <- r.epoch;
+              true
+            | Event.No_change _ -> false
+          end
+          else false)
+    | Signal.Sample_on (ticks, src) ->
+      let sl = slot id
+      and st = slot (Signal.id ticks)
+      and ss = slot (Signal.id src) in
+      member ~id (fun x r ->
+          let ar = x.x_arena in
+          if ar.ar_stamps.(st) = r.epoch then begin
+            ar.ar_values.(sl) <- ar.ar_values.(ss);
+            ar.ar_stamps.(sl) <- r.epoch;
+            true
+          end
+          else false)
+    | Signal.Keep_when (gate, src, _base) ->
+      let sl = slot id
+      and sg = slot (Signal.id gate)
+      and ss = slot (Signal.id src) in
+      (* Tracks the gate across the rounds that reach this node, exactly
+         like the pipelined loop's [gate_prev] parameter: emit while open,
+         and on the rising edge to resynchronize with the source. Plain
+         bool state, copied on clone. *)
+      let k =
+        state_slot
+          ~init:(fun () -> Obj.repr (Signal.default gate))
+          ~copy:true
+      in
+      member ~id (fun x r ->
+          let ar = x.x_arena in
+          let gate_now : bool = Obj.obj ar.ar_values.(sg) in
+          let rising = gate_now && not (Obj.obj ar.ar_state.(k) : bool) in
+          let changed =
+            if gate_now && (ar.ar_stamps.(ss) = r.epoch || rising) then begin
+              ar.ar_values.(sl) <- ar.ar_values.(ss);
+              ar.ar_stamps.(sl) <- r.epoch;
+              true
+            end
+            else false
+          in
+          ar.ar_state.(k) <- Obj.repr gate_now;
+          changed)
+    | Signal.Composite (comp, dep) ->
+      let sl = slot id and sd = slot (Signal.id dep) in
+      (* Fresh step per arena, as in the pipelined build: fused stateful
+         stages never leak state across instances. A [Restart] swaps in a
+         fresh step, re-seeding every fused stage. The closure hides its
+         state, so [clone_arena] re-creates it rather than copying — the
+         one approximation in an otherwise exact clone (see DESIGN.md). *)
+      let k =
+        state_slot
+          ~init:(fun () -> Obj.repr (comp.Signal.comp_make ()))
+          ~copy:false
+      in
+      member ~id (fun x r ->
+          let ar = x.x_arena in
+          if ar.ar_stamps.(sd) = r.epoch then begin
+            x.x_stats.Stats.applications <- x.x_stats.Stats.applications + 1;
+            match
+              x.x_guards.(sl).guard
+                ~prev:(Obj.obj ar.ar_values.(sl) : x)
+                ~reset:(fun () ->
+                  ar.ar_state.(k) <- Obj.repr (comp.Signal.comp_make ()))
+                ~epoch:r.epoch
+                (fun () ->
+                  let step : _ -> x option = Obj.obj ar.ar_state.(k) in
+                  match step (Obj.obj ar.ar_values.(sd)) with
+                  | Some w -> Event.Change w
+                  | None -> Event.No_change (Obj.obj ar.ar_values.(sl)))
+            with
+            | Event.Change v ->
+              ar.ar_values.(sl) <- Obj.repr v;
+              ar.ar_stamps.(sl) <- r.epoch;
+              true
+            | Event.No_change _ -> false
+          end
+          else false)
+  in
+  List.iter (fun (Signal.Pack s) -> build_node s) order;
+  (* The display send: one real emission per round that reaches the root,
+     ordered right after the root's member op. [x_root_stamp] is [Some]
+     exactly when that op ran, and carries the (possibly mutation-adjusted)
+     wire epoch; [None] after a dropped emission skips the send, as the
+     pipelined emit would have. *)
+  let root_slot = slot root_id in
+  add_op ~node:root_id ~rank:2 (fun x r ->
+      match x.x_root_stamp with
+      | None -> ()
+      | Some epoch ->
+        x.x_root_stamp <- None;
+        let ar = x.x_arena in
+        x.x_display ~epoch
+          ~changed:(ar.ar_stamps.(root_slot) = r.epoch)
+          ar.ar_values.(root_slot));
+  let ops =
+    Array.map
+      (fun pending ->
+        Array.of_list
+          (List.map snd
+             (List.sort (fun ((k1 : int * int), _) (k2, _) -> compare k1 k2)
+                pending)))
+      acc
+  in
+  let region_sources =
+    Array.of_list
+      (List.map (fun rg -> Reach.union_reaching reach rg.rg_member_ids) regions)
+  in
+  let name_of = Hashtbl.create 64 in
+  List.iter
+    (fun (Signal.Pack s) -> Hashtbl.replace name_of (Signal.id s) (Signal.name s))
+    order;
+  let sources =
+    List.filter_map
+      (fun sid -> Option.map (fun nm -> (sid, nm)) (Hashtbl.find_opt name_of sid))
+      (Reach.sources reach)
+  in
+  let state_init = Array.of_list (List.rev !state_inits) in
+  let state_copy = Array.of_list (List.rev !state_copies) in
+  {
+    p_regions = regions;
+    p_region_of = region_of;
+    p_cuts = List.rev !cuts;
+    p_reach = reach;
+    p_root_id = root_id;
+    p_root_slot = root_slot;
+    p_nodes = n;
+    p_slot_of = slot_of;
+    p_slot_ids = slot_ids;
+    p_slot_names = slot_names;
+    p_id_stride = id_stride;
+    p_defaults = defaults;
+    p_n_state = !n_state;
+    p_state_init = state_init;
+    p_state_copy = state_copy;
+    p_ops = ops;
+    p_region_sources = region_sources;
+    p_sources = sources;
+    p_queue_slots = List.rev !queue_slots;
+    p_inputs = List.rev !inputs;
+  }
 
 let regions pl = pl.p_regions
 let region_of pl id = Hashtbl.find_opt pl.p_region_of id
 let cuts pl = pl.p_cuts
+let reach pl = pl.p_reach
+let root_id pl = pl.p_root_id
+let node_count pl = pl.p_nodes
+let id_stride pl = pl.p_id_stride
+let sources pl = pl.p_sources
+let inputs pl = pl.p_inputs
+let slot_of pl id = Hashtbl.find_opt pl.p_slot_of id
+let queue_slots pl = pl.p_queue_slots
+let region_sources pl i = pl.p_region_sources.(i)
+let slot_ids pl = pl.p_slot_ids
 
 let pp_plan ppf pl =
   Format.fprintf ppf "@[<v>";
@@ -158,10 +724,75 @@ let pp_plan ppf pl =
   Format.fprintf ppf "@]"
 
 (* ------------------------------------------------------------------ *)
+(* Plan cache *)
+
+(* Keyed on the root node id: graphs are immutable after construction and
+   [Fuse.fuse_cached] returns a stable fused root, so the id identifies the
+   graph shape. Bounded crudely — a full reset at [max_cached_plans] — so
+   test suites churning through thousands of generated graphs cannot grow
+   the table (or pin their graphs against the GC) without bound. *)
+let plan_cache : (int, plan) Hashtbl.t = Hashtbl.create 64
+let cache_hits = ref 0
+let cache_misses = ref 0
+let max_cached_plans = 256
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+}
+
+let plan_cache_stats () =
+  { hits = !cache_hits; misses = !cache_misses; entries = Hashtbl.length plan_cache }
+
+let clear_plan_cache () = Hashtbl.reset plan_cache
+
+let plan_of root =
+  let key = Signal.id root in
+  match Hashtbl.find_opt plan_cache key with
+  | Some pl ->
+    incr cache_hits;
+    pl
+  | None ->
+    incr cache_misses;
+    let pl = plan root in
+    if Hashtbl.length plan_cache >= max_cached_plans then
+      Hashtbl.reset plan_cache;
+    Hashtbl.replace plan_cache key pl;
+    pl
+
+(* ------------------------------------------------------------------ *)
+(* Arenas *)
+
+let new_arena pl =
+  {
+    ar_values = Array.copy pl.p_defaults;
+    ar_stamps = Array.make pl.p_nodes 0;
+    ar_state = obj_array pl.p_n_state (fun i -> pl.p_state_init.(i) ());
+  }
+
+let clone_arena pl ar =
+  {
+    ar_values = Array.copy ar.ar_values;
+    ar_stamps = Array.copy ar.ar_stamps;
+    ar_state =
+      obj_array pl.p_n_state (fun i ->
+          if pl.p_state_copy.(i) then ar.ar_state.(i)
+          else pl.p_state_init.(i) ());
+  }
+
+(* Runs all of one region's ops for one round, in compiled order. *)
+let run_region pl x region_index r =
+  let ops = pl.p_ops.(region_index) in
+  for i = 0 to Array.length ops - 1 do
+    (Array.unsafe_get ops i) x r
+  done
+
+(* ------------------------------------------------------------------ *)
 (* DOT rendering with region clusters (felmc graph --compiled) *)
 
 let to_dot ?(label = "signal graph (compiled regions)") root =
-  let pl = plan root in
+  let pl = plan_of root in
   let nodes = Signal.reachable root in
   let buf = Buffer.create 1024 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -209,23 +840,11 @@ let to_dot ?(label = "signal graph (compiled regions)") root =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
-(* Instantiation *)
-
-(* A node supervisor usable at the node's value type from inside the
-   region's generic step code; the polymorphic field lets one record carry
-   a per-node Restart budget while being applied at whatever type the
-   node's cells have. *)
-type guarded = {
-  guard :
-    'a.
-    prev:'a -> reset:(unit -> unit) -> epoch:int -> (unit -> 'a Event.t) ->
-    'a Event.t;
-}
+(* Runtime instantiation (threads + mailboxes) *)
 
 type config = {
-  cfg_gen : int;  (* runtime generation stamping the arena cells *)
+  cfg_gen : int;  (* runtime generation stamping the input insts *)
   cfg_flood : bool;  (* flood dispatch: every node active every round *)
-  cfg_reach : Reach.t;
   cfg_stats : Stats.t;
   cfg_tracer : Trace.t option;
   cfg_capacity : int option;  (* region wake / input value mailbox bound *)
@@ -250,6 +869,7 @@ type runtime_region = {
 
 type 'a instance = {
   i_plan : plan;
+  i_arena : arena;
   i_regions : runtime_region list;
   i_out : 'a Event.stamped Multicast.t;  (* the root's display channel *)
   i_sources : (int * string) list;  (* runtime sources, topological order *)
@@ -257,472 +877,87 @@ type 'a instance = {
 
 let instantiate : type r. config -> r Signal.t -> r instance =
  fun cfg root ->
-  let pl = plan root in
-  let gen = cfg.cfg_gen in
+  let pl = plan_of root in
+  let arena = new_arena pl in
   let stats = cfg.cfg_stats in
-  let reach = cfg.cfg_reach in
-  let root_id = Signal.id root in
-  let order = Signal.reachable root in
-  (* Pass 1: one arena cell per node, seeded with the signal default. Cells
-     must all exist before ops are built because an async tap in one region
-     reads the inner node's cell of another. *)
-  List.iter
-    (fun (Signal.Pack s) ->
-      Signal.set_cell s ~gen
-        { Signal.cell_value = Signal.default s; cell_stamp = 0 })
-    order;
-  let cell : type x. x Signal.t -> x Signal.cell =
-   fun s ->
-    match Signal.get_cell s ~gen with
-    | Some c -> c
-    | None -> invalid_arg "Compile.instantiate: node outside the planned graph"
-  in
   let out : r Event.stamped Multicast.t =
     Multicast.create
-      ~name:(Printf.sprintf "out:%d:%s" root_id (Signal.name root))
+      ~name:(Printf.sprintf "out:%d:%s" pl.p_root_id (Signal.name root))
       ()
   in
-  (* Deterministic op order: primary key is the node's global topological
-     position, secondary key orders a node's extra ops (async tap, display
-     send) right after its member op. *)
-  let pos = Hashtbl.create 64 in
-  List.iteri (fun i (Signal.Pack s) -> Hashtbl.replace pos (Signal.id s) i) order;
-  let n_regions = List.length pl.p_regions in
-  let acc : ((int * int) * (round -> unit)) list array = Array.make n_regions [] in
-  let add_op ~node ~rank op =
-    let idx = Hashtbl.find pl.p_region_of node in
-    acc.(idx) <- ((Hashtbl.find pos node, rank), op) :: acc.(idx)
+  (* One pending-value mailbox per source slot; the op templates reach them
+     through [x_pop]/[x_push] so the same plan drives mailbox-backed
+     runtimes and queue-backed sessions alike. *)
+  let value_mbs : Obj.t Mailbox.t option array = Array.make (max pl.p_nodes 1) None in
+  List.iter
+    (fun (id, sl, bounded) ->
+      value_mbs.(sl) <-
+        Some
+          (Mailbox.create
+             ?capacity:(if bounded then cfg.cfg_capacity else None)
+             ~name:(Printf.sprintf "value:%d:%s" id pl.p_slot_names.(sl))
+             ()))
+    pl.p_queue_slots;
+  let value_mb sl =
+    match value_mbs.(sl) with
+    | Some mb -> mb
+    | None -> invalid_arg "Compile.instantiate: not a source slot"
   in
-  let active_of id =
-    if cfg.cfg_flood then fun (_ : round) -> true
-    else begin
-      let rs = Reach.reaching reach id in
-      fun (r : round) -> Reach.set_mem r.source rs
-    end
-  in
-  (* Bridges the root's account result (possibly mutation-adjusted epoch,
-     or a dropped emission) from its member op to the display-send op that
-     runs right after it in the same region step. *)
-  let root_stamp = ref None in
-  let finish ~id (r : round) ~changed =
-    let stamped =
-      cfg.cfg_account ~node:id ~epoch:r.epoch ~changed ~real:(id = root_id)
-    in
-    if id = root_id then root_stamp := stamped
-  in
-  (* A source member: woken rounds carrying its own source id consume one
-     value from the value mailbox; all other active rounds are quiescent.
-     Async/delay value mailboxes stay unbounded: their tap runs on a region
-     thread that may also host the async source itself, so blocking it on a
-     full mailbox could deadlock the region (the pipelined forwarder thread
-     can block there safely; see DESIGN.md). *)
-  let source_op : type x. x Signal.t -> bounded:bool -> x Mailbox.t =
-   fun s ~bounded ->
-    let id = Signal.id s in
-    let c = cell s in
-    let value_mb =
-      Mailbox.create
-        ?capacity:(if bounded then cfg.cfg_capacity else None)
-        ~name:(Printf.sprintf "value:%d:%s" id (Signal.name s))
-        ()
-    in
-    let active = active_of id in
-    add_op ~node:id ~rank:0 (fun r ->
-        if active r then begin
-          let changed =
-            if r.source = id then begin
-              c.Signal.cell_value <- Mailbox.recv value_mb;
-              c.Signal.cell_stamp <- r.epoch;
-              true
-            end
-            else false
+  let x =
+    {
+      x_arena = arena;
+      x_flood = cfg.cfg_flood;
+      x_stats = stats;
+      x_guards = Array.map (fun id -> cfg.cfg_guard id) pl.p_slot_ids;
+      x_account = cfg.cfg_account;
+      x_root_stamp = None;
+      x_pop = (fun sl -> Mailbox.recv (value_mb sl));
+      x_push = (fun sl v -> Mailbox.send (value_mb sl) v);
+      x_fire_async = cfg.cfg_fire_async;
+      x_delay =
+        (fun ~node ~slot ~seconds v ->
+          Cml.spawn (fun () ->
+              Cml.sleep seconds;
+              Mailbox.send (value_mb slot) v;
+              cfg.cfg_fire_async node));
+      x_display =
+        (fun ~epoch ~changed v ->
+          let event =
+            if changed then Event.Change (Obj.obj v : r)
+            else Event.No_change (Obj.obj v : r)
           in
-          finish ~id r ~changed
-        end);
-    value_mb
+          Multicast.send out { Event.epoch; event });
+    }
   in
-  (* A computing member: runs when the round reaches it; recomputes when
-     any dependency cell is dirty this epoch. The emitted body a pipelined
-     consumer would cache as [e_last] is exactly [cell_value]. *)
-  let build_node : type x. x Signal.t -> unit =
-   fun s ->
-    let id = Signal.id s in
-    match Signal.kind s with
-    | Signal.Constant -> ignore (source_op s ~bounded:true)
-    | Signal.Lift_list (_, []) ->
-      (* No incoming edges: behaves as a never-firing constant. *)
-      ignore (source_op s ~bounded:true)
-    | Signal.Input ->
-      let value_mb = source_op s ~bounded:true in
-      (* Value first, notification second, as in the pipelined push: when
-         the dispatcher wakes this source's cone, the region finds the
-         value waiting. The inst's out channel is never read in compiled
-         mode (display traffic flows through the region's display op); it
-         exists so [Runtime.inject] finds the push through the usual
-         generation-stamped slot. *)
+  (* Wire the input pushes. Value first, notification second, as in the
+     pipelined push: when the dispatcher wakes this source's cone, the
+     region finds the value waiting. The inst's out channel is never read
+     in compiled mode (display traffic flows through the display op); it
+     exists so [Runtime.inject] finds the push through the usual
+     generation-stamped slot. [Obj.repr] happens here, inside the typed
+     scope of the input's [Pack]. *)
+  List.iter
+    (fun (Signal.Pack s) ->
+      let id = Signal.id s in
+      let sl = Hashtbl.find pl.p_slot_of id in
       let push v =
-        Mailbox.send value_mb v;
+        Mailbox.send (value_mb sl) (Obj.repr v);
         cfg.cfg_notify id
       in
       Signal.set_inst s
         {
-          Signal.gen;
+          Signal.gen = cfg.cfg_gen;
           out =
             Multicast.create ~name:(Printf.sprintf "in:%d:%s" id (Signal.name s)) ();
           push = Some push;
-        }
-    | Signal.Async inner ->
-      let value_mb = source_op s ~bounded:false in
-      let ci = cell inner in
-      (* The tap replaces the pipelined forwarder thread: ordered right
-         after the inner node's op, it sees the freshly written cell and
-         registers a new global event per change — the Fig. 8(c) boundary.
-         [cell_stamp = epoch] iff the inner node changed this round. *)
-      add_op ~node:(Signal.id inner) ~rank:1 (fun r ->
-          if ci.Signal.cell_stamp = r.epoch then begin
-            Mailbox.send value_mb ci.Signal.cell_value;
-            cfg.cfg_fire_async id
-          end)
-    | Signal.Delay (d, inner) ->
-      let value_mb = source_op s ~bounded:false in
-      let ci = cell inner in
-      add_op ~node:(Signal.id inner) ~rank:1 (fun r ->
-          if ci.Signal.cell_stamp = r.epoch then begin
-            let v = ci.Signal.cell_value in
-            Cml.spawn (fun () ->
-                Cml.sleep d;
-                Mailbox.send value_mb v;
-                cfg.cfg_fire_async id)
-          end)
-    | Signal.Lift1 (f, a) ->
-      let c = cell s and ca = cell a in
-      let active = active_of id in
-      let g = cfg.cfg_guard id in
-      add_op ~node:id ~rank:0 (fun r ->
-          if active r then begin
-            let changed =
-              if ca.Signal.cell_stamp = r.epoch then begin
-                stats.Stats.applications <- stats.Stats.applications + 1;
-                match
-                  g.guard ~prev:c.Signal.cell_value ~reset:ignore ~epoch:r.epoch
-                    (fun () -> Event.Change (f ca.Signal.cell_value))
-                with
-                | Event.Change v ->
-                  c.Signal.cell_value <- v;
-                  c.Signal.cell_stamp <- r.epoch;
-                  true
-                | Event.No_change _ -> false
-              end
-              else false
-            in
-            finish ~id r ~changed
-          end)
-    | Signal.Lift2 (f, a, b) ->
-      let c = cell s and ca = cell a and cb = cell b in
-      let active = active_of id in
-      let g = cfg.cfg_guard id in
-      add_op ~node:id ~rank:0 (fun r ->
-          if active r then begin
-            let changed =
-              if
-                ca.Signal.cell_stamp = r.epoch || cb.Signal.cell_stamp = r.epoch
-              then begin
-                stats.Stats.applications <- stats.Stats.applications + 1;
-                match
-                  g.guard ~prev:c.Signal.cell_value ~reset:ignore ~epoch:r.epoch
-                    (fun () ->
-                      Event.Change (f ca.Signal.cell_value cb.Signal.cell_value))
-                with
-                | Event.Change v ->
-                  c.Signal.cell_value <- v;
-                  c.Signal.cell_stamp <- r.epoch;
-                  true
-                | Event.No_change _ -> false
-              end
-              else false
-            in
-            finish ~id r ~changed
-          end)
-    | Signal.Lift3 (f, a, b, d) ->
-      let c = cell s and ca = cell a and cb = cell b and cd = cell d in
-      let active = active_of id in
-      let g = cfg.cfg_guard id in
-      add_op ~node:id ~rank:0 (fun r ->
-          if active r then begin
-            let changed =
-              if
-                ca.Signal.cell_stamp = r.epoch || cb.Signal.cell_stamp = r.epoch
-                || cd.Signal.cell_stamp = r.epoch
-              then begin
-                stats.Stats.applications <- stats.Stats.applications + 1;
-                match
-                  g.guard ~prev:c.Signal.cell_value ~reset:ignore ~epoch:r.epoch
-                    (fun () ->
-                      Event.Change
-                        (f ca.Signal.cell_value cb.Signal.cell_value
-                           cd.Signal.cell_value))
-                with
-                | Event.Change v ->
-                  c.Signal.cell_value <- v;
-                  c.Signal.cell_stamp <- r.epoch;
-                  true
-                | Event.No_change _ -> false
-              end
-              else false
-            in
-            finish ~id r ~changed
-          end)
-    | Signal.Lift4 (f, a, b, d, e) ->
-      let c = cell s
-      and ca = cell a
-      and cb = cell b
-      and cd = cell d
-      and ce = cell e in
-      let active = active_of id in
-      let g = cfg.cfg_guard id in
-      add_op ~node:id ~rank:0 (fun r ->
-          if active r then begin
-            let changed =
-              if
-                ca.Signal.cell_stamp = r.epoch || cb.Signal.cell_stamp = r.epoch
-                || cd.Signal.cell_stamp = r.epoch
-                || ce.Signal.cell_stamp = r.epoch
-              then begin
-                stats.Stats.applications <- stats.Stats.applications + 1;
-                match
-                  g.guard ~prev:c.Signal.cell_value ~reset:ignore ~epoch:r.epoch
-                    (fun () ->
-                      Event.Change
-                        (f ca.Signal.cell_value cb.Signal.cell_value
-                           cd.Signal.cell_value ce.Signal.cell_value))
-                with
-                | Event.Change v ->
-                  c.Signal.cell_value <- v;
-                  c.Signal.cell_stamp <- r.epoch;
-                  true
-                | Event.No_change _ -> false
-              end
-              else false
-            in
-            finish ~id r ~changed
-          end)
-    | Signal.Lift_list (f, ds) ->
-      let c = cell s in
-      let cds = List.map cell ds in
-      let active = active_of id in
-      let g = cfg.cfg_guard id in
-      add_op ~node:id ~rank:0 (fun r ->
-          if active r then begin
-            let changed =
-              if
-                List.exists
-                  (fun cd -> cd.Signal.cell_stamp = r.epoch)
-                  cds
-              then begin
-                stats.Stats.applications <- stats.Stats.applications + 1;
-                match
-                  g.guard ~prev:c.Signal.cell_value ~reset:ignore ~epoch:r.epoch
-                    (fun () ->
-                      Event.Change
-                        (f (List.map (fun cd -> cd.Signal.cell_value) cds)))
-                with
-                | Event.Change v ->
-                  c.Signal.cell_value <- v;
-                  c.Signal.cell_stamp <- r.epoch;
-                  true
-                | Event.No_change _ -> false
-              end
-              else false
-            in
-            finish ~id r ~changed
-          end)
-    | Signal.Foldp (f, src) ->
-      let c = cell s and cs = cell src in
-      let active = active_of id in
-      let g = cfg.cfg_guard id in
-      let init = Signal.default s in
-      (* A [Restart] re-seeds the accumulator cell at the top of the next
-         round that reaches the node — the same observable schedule as the
-         pipelined deferral: downstream reads keep the last-good value
-         until the restarted fold runs again. *)
-      let restart = ref false in
-      add_op ~node:id ~rank:0 (fun r ->
-          if active r then begin
-            if !restart then begin
-              restart := false;
-              c.Signal.cell_value <- init
-            end;
-            let changed =
-              if cs.Signal.cell_stamp = r.epoch then begin
-                stats.Stats.fold_steps <- stats.Stats.fold_steps + 1;
-                match
-                  g.guard ~prev:c.Signal.cell_value
-                    ~reset:(fun () -> restart := true)
-                    ~epoch:r.epoch
-                    (fun () ->
-                      Event.Change (f cs.Signal.cell_value c.Signal.cell_value))
-                with
-                | Event.Change v ->
-                  c.Signal.cell_value <- v;
-                  c.Signal.cell_stamp <- r.epoch;
-                  true
-                | Event.No_change _ -> false
-              end
-              else false
-            in
-            finish ~id r ~changed
-          end)
-    | Signal.Merge (a, b) ->
-      let c = cell s and ca = cell a and cb = cell b in
-      let active = active_of id in
-      add_op ~node:id ~rank:0 (fun r ->
-          if active r then begin
-            let changed =
-              if ca.Signal.cell_stamp = r.epoch then begin
-                c.Signal.cell_value <- ca.Signal.cell_value;
-                c.Signal.cell_stamp <- r.epoch;
-                true
-              end
-              else if cb.Signal.cell_stamp = r.epoch then begin
-                c.Signal.cell_value <- cb.Signal.cell_value;
-                c.Signal.cell_stamp <- r.epoch;
-                true
-              end
-              else false
-            in
-            finish ~id r ~changed
-          end)
-    | Signal.Drop_repeats (eq, src) ->
-      let c = cell s and cs = cell src in
-      let active = active_of id in
-      let g = cfg.cfg_guard id in
-      add_op ~node:id ~rank:0 (fun r ->
-          if active r then begin
-            let changed =
-              if cs.Signal.cell_stamp = r.epoch then begin
-                (* The user-supplied equality can raise too. *)
-                match
-                  g.guard ~prev:c.Signal.cell_value ~reset:ignore ~epoch:r.epoch
-                    (fun () ->
-                      if eq cs.Signal.cell_value c.Signal.cell_value then
-                        Event.No_change c.Signal.cell_value
-                      else Event.Change cs.Signal.cell_value)
-                with
-                | Event.Change v ->
-                  c.Signal.cell_value <- v;
-                  c.Signal.cell_stamp <- r.epoch;
-                  true
-                | Event.No_change _ -> false
-              end
-              else false
-            in
-            finish ~id r ~changed
-          end)
-    | Signal.Sample_on (ticks, src) ->
-      let c = cell s and ct = cell ticks and cs = cell src in
-      let active = active_of id in
-      add_op ~node:id ~rank:0 (fun r ->
-          if active r then begin
-            let changed =
-              if ct.Signal.cell_stamp = r.epoch then begin
-                c.Signal.cell_value <- cs.Signal.cell_value;
-                c.Signal.cell_stamp <- r.epoch;
-                true
-              end
-              else false
-            in
-            finish ~id r ~changed
-          end)
-    | Signal.Keep_when (gate, src, _base) ->
-      let c = cell s and cg = cell gate and cs = cell src in
-      let active = active_of id in
-      (* Tracks the gate across the rounds that reach this node, exactly
-         like the pipelined loop's [gate_prev] parameter: emit while open,
-         and on the rising edge to resynchronize with the source. *)
-      let gate_prev = ref (Signal.default gate) in
-      add_op ~node:id ~rank:0 (fun r ->
-          if active r then begin
-            let gate_now = cg.Signal.cell_value in
-            let rising = gate_now && not !gate_prev in
-            let changed =
-              if gate_now && (cs.Signal.cell_stamp = r.epoch || rising) then begin
-                c.Signal.cell_value <- cs.Signal.cell_value;
-                c.Signal.cell_stamp <- r.epoch;
-                true
-              end
-              else false
-            in
-            gate_prev := gate_now;
-            finish ~id r ~changed
-          end)
-    | Signal.Composite (comp, dep) ->
-      let c = cell s and cd = cell dep in
-      let active = active_of id in
-      let g = cfg.cfg_guard id in
-      (* Fresh step per instantiation, as in the pipelined build: fused
-         stateful stages never leak state across runtimes. A [Restart]
-         swaps in a fresh step, re-seeding every fused stage. *)
-      let step = ref (comp.Signal.comp_make ()) in
-      add_op ~node:id ~rank:0 (fun r ->
-          if active r then begin
-            let changed =
-              if cd.Signal.cell_stamp = r.epoch then begin
-                stats.Stats.applications <- stats.Stats.applications + 1;
-                match
-                  g.guard ~prev:c.Signal.cell_value
-                    ~reset:(fun () -> step := comp.Signal.comp_make ())
-                    ~epoch:r.epoch
-                    (fun () ->
-                      match !step cd.Signal.cell_value with
-                      | Some w -> Event.Change w
-                      | None -> Event.No_change c.Signal.cell_value)
-                with
-                | Event.Change v ->
-                  c.Signal.cell_value <- v;
-                  c.Signal.cell_stamp <- r.epoch;
-                  true
-                | Event.No_change _ -> false
-              end
-              else false
-            in
-            finish ~id r ~changed
-          end)
-  in
-  List.iter (fun (Signal.Pack s) -> build_node s) order;
-  (* The display send: one real channel message per round that reaches the
-     root, ordered right after the root's member op. [root_stamp] is [Some]
-     exactly when that op ran, and carries the (possibly mutation-adjusted)
-     wire epoch; [None] after a dropped emission skips the send, as the
-     pipelined emit would have. *)
-  let root_cell = cell root in
-  add_op ~node:root_id ~rank:2 (fun r ->
-      match !root_stamp with
-      | None -> ()
-      | Some epoch ->
-        root_stamp := None;
-        let event =
-          if root_cell.Signal.cell_stamp = r.epoch then
-            Event.Change root_cell.Signal.cell_value
-          else Event.No_change root_cell.Signal.cell_value
-        in
-        Multicast.send out { Event.epoch; event });
-  (* Freeze each region's ops into execution order and spawn its step
-     thread: the entire pipelined cone of node wakeups, channel sends and
-     context switches collapses to one wake and one array sweep. *)
-  let name_of = Hashtbl.create 64 in
-  List.iter
-    (fun (Signal.Pack s) -> Hashtbl.replace name_of (Signal.id s) (Signal.name s))
-    order;
+        })
+    pl.p_inputs;
+  (* Spawn each region's step thread: the entire pipelined cone of node
+     wakeups, channel sends and context switches collapses to one wake and
+     one array sweep over the shared op templates. *)
   let rregions =
     List.map
       (fun rg ->
-        let ops =
-          Array.of_list
-            (List.map snd
-               (List.sort
-                  (fun ((k1 : int * int), _) (k2, _) -> compare k1 k2)
-                  acc.(rg.rg_index)))
-        in
         let wake =
           Mailbox.create ?capacity:cfg.cfg_capacity
             ~name:(Printf.sprintf "wake:r%d:%s" rg.rg_rep rg.rg_name)
@@ -743,9 +978,7 @@ let instantiate : type r. config -> r Signal.t -> r instance =
               | None -> ()
               | Some tr -> Trace.node_start tr ~node:rg.rg_rep ~epoch:r.epoch);
               stats.Stats.region_steps <- stats.Stats.region_steps + 1;
-              for i = 0 to Array.length ops - 1 do
-                (Array.unsafe_get ops i) r
-              done;
+              run_region pl x rg.rg_index r;
               (match cfg.cfg_tracer with
               | None -> ()
               | Some tr -> Trace.node_end tr ~node:rg.rg_rep ~epoch:r.epoch);
@@ -755,14 +988,14 @@ let instantiate : type r. config -> r Signal.t -> r instance =
         {
           rr_region = rg;
           rr_wake = wake;
-          rr_sources = Reach.union_reaching reach rg.rg_member_ids;
+          rr_sources = pl.p_region_sources.(rg.rg_index);
         })
       pl.p_regions
   in
-  let i_sources =
-    List.filter_map
-      (fun sid ->
-        Option.map (fun n -> (sid, n)) (Hashtbl.find_opt name_of sid))
-      (Reach.sources reach)
-  in
-  { i_plan = pl; i_regions = rregions; i_out = out; i_sources }
+  {
+    i_plan = pl;
+    i_arena = arena;
+    i_regions = rregions;
+    i_out = out;
+    i_sources = pl.p_sources;
+  }

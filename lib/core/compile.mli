@@ -1,17 +1,32 @@
 (** The compiled backend: synchronous regions as straight-line step
-    functions.
+    functions, split into a shared {e plan} and per-instance {e arenas}.
 
     The paper isolates all asynchrony at explicit [async]/[delay]
     boundaries, so everything between two boundaries is a deterministic
     synchronous region. The pipelined backend (Fig. 10) interprets such a
     region as one cooperative thread per node and one multicast channel per
     edge; this module instead partitions the graph into maximal synchronous
-    regions, topologically sorts each, and compiles it to a single op array
-    executed by one thread per region over a flat mutable arena
-    ({!Signal.cell}): [foldp] accumulators become arena slots, [No_change]
-    becomes a per-node dirty-bit skip, and fan-out/merge become plain
-    sequential reads and writes. Async boundaries keep their mailboxes and
-    threads, so supervision and tracing still see region-level spans.
+    regions, topologically sorts each, and compiles it to a single op array:
+    [foldp] accumulators become arena slots, [No_change] becomes a per-node
+    dirty-bit skip, and fan-out/merge become plain sequential reads and
+    writes. Async boundaries keep their mailboxes and threads, so
+    supervision and tracing still see region-level spans.
+
+    The compilation result is split in two so many concurrent instances can
+    share one graph:
+
+    - The {!plan} is the immutable per-graph-shape template: partitioning,
+      topological order, op arrays, slot layout, defaults, reachability.
+      Built once and cached ({!plan_of}, keyed on the built graph — pair it
+      with {!Fuse.fuse_cached} so fused roots are stable).
+    - The {!arena} is everything one instance owns: flat value/stamp/state
+      blocks. {!new_arena} is ~an array copy; {!clone_arena} snapshots a
+      running instance.
+
+    Ops close over slot {e indices}, never over cells, and receive the
+    instance's {!exec} context on every run, so the same plan drives the
+    thread-and-mailbox runtime instantiation below ({!instantiate}) and the
+    synchronous session layer ([Serve]) alike.
 
     Select it with [Runtime.start ~backend:Compiled]; this module holds the
     partitioning, the op compiler and the region threads, while the runtime
@@ -39,23 +54,72 @@ type region = {
   rg_member_ids : int list;
 }
 
-type plan = {
-  p_regions : region list;
-  p_region_of : (int, int) Hashtbl.t;  (** node id -> region index *)
-  p_cuts : (int * int) list;
-      (** [(inner, async)] dependency edges cut at async/delay boundaries:
-          they carry no synchronous round, only dispatcher re-entries. *)
-}
+type plan
+(** The compiled template for one graph shape: partitioning, slot layout,
+    defaults, op arrays, reachability. Immutable and instance-free — any
+    number of runtimes and sessions execute against one plan, each with its
+    own {!arena}. *)
 
 val plan : 'a Signal.t -> plan
-(** Partition the graph rooted here into maximal synchronous regions:
-    union-find over dependency edges, cutting the edge into every
-    [async]/[delay] node. Pure; deterministic for a given graph (regions
-    and members ordered by the {!Signal.reachable} topological order). *)
+(** Partition the graph rooted here into maximal synchronous regions
+    (union-find over dependency edges, cutting the edge into every
+    [async]/[delay] node) and compile each region's op array. Pure;
+    deterministic for a given graph (regions, members and ops ordered by
+    the {!Signal.reachable} topological order). Prefer {!plan_of}, which
+    caches the result per graph. *)
+
+val plan_of : 'a Signal.t -> plan
+(** [plan root], cached: keyed on the (built, immutable) graph's root node,
+    so repeated instantiations of one graph shape — one per user session,
+    say — pay the partition + compile cost once. The cache is bounded; see
+    {!plan_cache_stats}. *)
+
+type cache_stats = {
+  hits : int;
+  misses : int;  (** Monotonic since process start, unlike [entries]. *)
+  entries : int;  (** Current cache population. *)
+}
+
+val plan_cache_stats : unit -> cache_stats
+
+val clear_plan_cache : unit -> unit
+(** Drop every cached plan (the hit/miss counters keep counting). The next
+    {!plan_of} per graph recompiles; results are bit-identical — plans
+    carry no instance state. *)
 
 val regions : plan -> region list
 val region_of : plan -> int -> int option
 val cuts : plan -> (int * int) list
+(** [(inner, async)] dependency edges cut at async/delay boundaries: they
+    carry no synchronous round, only dispatcher re-entries. *)
+
+val reach : plan -> Reach.t
+(** The reachability analysis computed while planning, shared so runtimes
+    and sessions need not re-analyze the graph. *)
+
+val root_id : plan -> int
+val node_count : plan -> int
+
+val id_stride : plan -> int
+(** [1 + max node id] of the planned graph: multiply by a session index to
+    offset trace/stats node ids so per-session rows in a shared tracer
+    never collide (see [Serve.Session]). *)
+
+val sources : plan -> (int * string) list
+(** Runtime sources (id, name), topological order. *)
+
+val inputs : plan -> Signal.packed list
+(** The graph's [Input] nodes, for wiring external injection. *)
+
+val slot_of : plan -> int -> int option
+(** The arena slot assigned to a node id, if the node is in the plan. *)
+
+val region_sources : plan -> int -> Reach.set
+(** [region_sources plan i] is the set of sources reaching any member of
+    region [i] — the dispatcher's wake test for the region. *)
+
+val slot_ids : plan -> int array
+(** Slot -> node id. The plan's own array — treat as read-only. *)
 
 val pp_plan : Format.formatter -> plan -> unit
 (** One line per region ([region i (rep id name): members...]) followed by
@@ -65,7 +129,35 @@ val to_dot : ?label:string -> 'a Signal.t -> string
 (** Like {!Signal.to_dot}, with each synchronous region drawn as a dashed
     cluster ([felmc graph --compiled]). *)
 
-(** {1 Instantiation} *)
+(** {1 Arenas: per-instance state} *)
+
+type arena = {
+  ar_values : Obj.t array;  (** Slot -> the node's last emitted body. *)
+  ar_stamps : int array;
+      (** Slot -> epoch that last changed it; the dirty bit of a round is
+          [stamp = epoch]. *)
+  ar_state : Obj.t array;
+      (** Extra state slots: [foldp] restart flags and [keep_when] gate
+          history (plain data, copied by {!clone_arena}) and composite step
+          closures (re-created instead). *)
+}
+(** Values are [Obj.t] because the graph is heterogeneous; this is safe by
+    construction — slot [i] is only ever touched by the ops the plan
+    compiled for node [i], inside the typed scope of that node's kind. *)
+
+val new_arena : plan -> arena
+(** A fresh instance at the graph's defaults: value block copied from the
+    plan, stamps zeroed, state slots initialised. O(nodes) array work — no
+    graph traversal, no thread or channel creation. *)
+
+val clone_arena : plan -> arena -> arena
+(** Snapshot a {e quiescent} instance: values, stamps and plain state
+    (foldp restart flags, keep_when gates) are copied; composite step
+    closures are re-created from the plan, so fused [drop_repeats] state
+    resets to "first value always emits" in the clone (callers that need
+    exact clones should plan unfused graphs; see DESIGN.md). *)
+
+(** {1 Execution} *)
 
 type guarded = {
   guard :
@@ -77,10 +169,49 @@ type guarded = {
     region step; the polymorphic field lets one record carry a per-node
     [Restart] budget. *)
 
+type exec = {
+  x_arena : arena;
+  x_flood : bool;  (** Flood dispatch: every node active every round. *)
+  x_stats : Stats.t;
+  x_guards : guarded array;  (** Per slot. *)
+  x_account :
+    node:int -> epoch:int -> changed:bool -> real:bool -> int option;
+      (** Per-node emission accounting (see {!config.cfg_account}). *)
+  mutable x_root_stamp : int option;
+      (** Bridges the root's account result from its member op to the
+          display op that runs right after it in the same region step. *)
+  x_pop : int -> Obj.t;  (** Consume the pending value for a source slot. *)
+  x_push : int -> Obj.t -> unit;  (** Enqueue a value for a source slot. *)
+  x_fire_async : int -> unit;
+      (** Async boundary: register a global event for this source. *)
+  x_delay : node:int -> slot:int -> seconds:float -> Obj.t -> unit;
+      (** Delay boundary: deliver the value to [slot] and register a global
+          event for [node] after [seconds]. *)
+  x_display : epoch:int -> changed:bool -> Obj.t -> unit;
+      (** The root's display emission, one per round reaching the root. *)
+}
+(** The per-instance execution context threaded through every op: the arena
+    plus the environment hooks. One record per instance — the runtime binds
+    the hooks to mailboxes and [Cml] threads, [Serve] to plain queues
+    stepped synchronously. *)
+
+val run_region : plan -> exec -> int -> round -> unit
+(** [run_region plan x i r] runs all of region [i]'s ops for round [r], in
+    compiled (deterministic topological) order: read dependency slots,
+    recompute if any is dirty this epoch, write own slot, account the
+    emission. *)
+
+val queue_slots : plan -> (int * int * bool) list
+(** Source nodes needing a pending-value queue: [(node id, slot, bounded)].
+    Async/delay queues are unbounded ([bounded = false]): their tap runs on
+    the instance's own step path, so blocking it on a full queue could
+    deadlock the instance. *)
+
+(** {1 Runtime instantiation (threads + mailboxes)} *)
+
 type config = {
-  cfg_gen : int;  (** Runtime generation stamping the arena cells. *)
+  cfg_gen : int;  (** Runtime generation stamping the input insts. *)
   cfg_flood : bool;  (** Flood dispatch: every node active every round. *)
-  cfg_reach : Reach.t;
   cfg_stats : Stats.t;
   cfg_tracer : Trace.t option;
   cfg_capacity : int option;
@@ -113,6 +244,7 @@ type runtime_region = {
 
 type 'a instance = {
   i_plan : plan;
+  i_arena : arena;
   i_regions : runtime_region list;
   i_out : 'a Event.stamped Cml.Multicast.t;
       (** The root's display channel: the one real data channel left. *)
@@ -121,9 +253,7 @@ type 'a instance = {
 }
 
 val instantiate : config -> 'a Signal.t -> 'a instance
-(** Compile and spawn: one arena cell per node (generation-stamped, so a
-    second runtime re-initialises them), one op array and one step thread
-    per region. Executing a region step runs each member op in
-    deterministic topological order: read dependency cells, recompute if
-    any is dirty this epoch, write own cell, account the emission. Must be
-    called inside [Cml.run]. *)
+(** Fetch (or build) the cached plan, allocate a fresh arena, and spawn one
+    step thread per region, each looping [recv wake; run_region]. Input
+    nodes get generation-stamped push insts so [Runtime.inject] finds them.
+    Must be called inside [Cml.run]. *)

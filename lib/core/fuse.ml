@@ -334,3 +334,17 @@ let fuse root =
       if a' == a then s else S.with_kind s (S.Composite (c, a'))
   in
   rewrite root
+
+(* Fusion allocates fresh composite nodes on every pass, so two [fuse] calls
+   on the same root yield structurally equal but physically distinct graphs —
+   which would defeat any cache keyed on the fused root (Compile's plan
+   cache). Memoising the pass on the root node itself keeps the fused root
+   stable across [Runtime.start] and session-layer calls; the slot dies with
+   the graph, so nothing leaks. *)
+let fuse_cached root =
+  match S.get_fused root with
+  | Some f -> f
+  | None ->
+    let f = fuse root in
+    S.set_fused root f;
+    f

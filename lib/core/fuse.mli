@@ -29,3 +29,9 @@ val fuse : 'a Signal.t -> 'a Signal.t
     of it (same id) with rewritten dependencies, or a composite headed by
     it. Safe to call repeatedly and on overlapping graphs; each call is an
     independent pass. *)
+
+val fuse_cached : 'a Signal.t -> 'a Signal.t
+(** Like {!fuse}, but memoised on the root node: repeated calls return the
+    {e same} fused graph (physical equality), so downstream caches keyed on
+    the fused root — {!Compile.plan_of} — hit. Used by [Runtime.start] and
+    the session layer; call plain {!fuse} to force an independent pass. *)

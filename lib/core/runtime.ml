@@ -726,11 +726,20 @@ let start ?(backend : backend = Pipelined) ?(mode = Pipelined) ?dispatch
   let fuse = fuse && memoize in
   let backend : backend = if memoize then backend else Pipelined in
   let original_nodes = if fuse then List.length (Signal.reachable root) else 0 in
-  let root = if fuse then Fuse.fuse root else root in
+  (* [fuse_cached] keeps the fused root physically stable across starts of
+     the same graph, which is what lets [Compile.plan_of] hit its cache. *)
+  let root = if fuse then Fuse.fuse_cached root else root in
   incr generation;
   let stats = Stats.create () in
   let new_event = Mailbox.create ~name:"newEvent" () in
-  let reach = Reach.analyze root in
+  (* The compiled plan already ran the reachability analysis; reuse it so a
+     plan-cache hit skips the whole build-time analysis, not just the op
+     compilation. *)
+  let reach =
+    match backend with
+    | Compiled -> Compile.reach (Compile.plan_of root)
+    | Pipelined -> Reach.analyze root
+  in
   let ctx =
     {
       rt_gen = !generation;
@@ -812,7 +821,6 @@ let start ?(backend : backend = Pipelined) ?(mode = Pipelined) ?dispatch
         {
           Compile.cfg_gen = ctx.rt_gen;
           cfg_flood = (dispatch = Flood);
-          cfg_reach = reach;
           cfg_stats = stats;
           cfg_tracer = tracer;
           cfg_capacity = queue_capacity;

@@ -11,21 +11,10 @@ type 'a t = {
   node_kind : 'a kind;
   mutable node_inst : 'a inst option;
   mutable node_subst : 'a subst option;
-  mutable node_cell : 'a cell_slot option;
+  mutable node_fused : 'a t option;
 }
 
 and 'a subst = { subst_gen : int; subst_node : 'a t }
-
-(* The compiled backend's arena slot for this node: last emitted body plus
-   the epoch that last changed it (the dirty bit is [cell_stamp = epoch]).
-   Generation-stamped like [node_inst] so each [Runtime.start] sees a fresh
-   slot — stale accumulators can never leak across runtimes. *)
-and 'a cell = {
-  mutable cell_value : 'a;
-  mutable cell_stamp : int;
-}
-
-and 'a cell_slot = { cell_gen : int; cell : 'a cell }
 
 and 'a kind =
   | Constant
@@ -70,7 +59,7 @@ let make ?name ~fallback_name default kind =
     node_kind = kind;
     node_inst = None;
     node_subst = None;
-    node_cell = None;
+    node_fused = None;
   }
 
 let id t = t.node_id
@@ -88,12 +77,12 @@ let get_subst t ~pass =
 let set_subst t ~pass s =
   t.node_subst <- Some { subst_gen = pass; subst_node = s }
 
-let get_cell t ~gen =
-  match t.node_cell with
-  | Some { cell_gen; cell } when cell_gen = gen -> Some cell
-  | _ -> None
-
-let set_cell t ~gen c = t.node_cell <- Some { cell_gen = gen; cell = c }
+(* The cached result of fusing the graph rooted at [t]. Graphs are immutable
+   after construction and [Fuse.fuse] is deterministic, so unlike [inst] and
+   [subst] this slot needs no generation stamp: once computed it is valid for
+   the node's whole lifetime and dies with the graph. *)
+let get_fused t = t.node_fused
+let set_fused t f = t.node_fused <- Some f
 
 (* Rebuild a node around a new kind (same id/name/default) when a fusion
    pass rewrites its dependencies. Keeping the id stable makes node
@@ -101,7 +90,7 @@ let set_cell t ~gen c = t.node_cell <- Some { cell_gen = gen; cell = c }
    ids stay unique because the original node is no longer part of the
    rewritten graph. *)
 let with_kind t kind =
-  { t with node_kind = kind; node_inst = None; node_subst = None; node_cell = None }
+  { t with node_kind = kind; node_inst = None; node_subst = None; node_fused = None }
 
 let constant ?name v = make ?name ~fallback_name:"constant" v Constant
 

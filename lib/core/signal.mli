@@ -211,24 +211,15 @@ val kind : 'a t -> 'a kind
 val get_inst : 'a t -> 'a inst option
 val set_inst : 'a t -> 'a inst -> unit
 
-type 'a cell = {
-  mutable cell_value : 'a;  (** Last emitted body (compiled backend). *)
-  mutable cell_stamp : int;
-      (** Epoch of the last change; the per-node dirty bit of a compiled
-          region step is [cell_stamp = current epoch]. *)
-}
-(** The compiled backend's flat-arena slot for a node (see {!Compile}):
-    where a pipelined node keeps its state in a thread and re-derives
-    dependency values from channel messages, a compiled node reads and
-    writes these cells directly. *)
+val get_fused : 'a t -> 'a t option
+(** The cached {!Fuse.fuse} result for the graph rooted at this node, if one
+    was computed (see {!Fuse.fuse_cached}). Graphs are immutable and fusion
+    is deterministic, so the slot carries no generation stamp: it is valid
+    for the node's whole lifetime. Compiled-backend state no longer lives on
+    the nodes at all — it moved to per-instance arenas ({!Compile.arena}),
+    which is what lets many runtimes and sessions share one graph. *)
 
-val get_cell : 'a t -> gen:int -> 'a cell option
-(** The node's arena cell for runtime generation [gen], if that generation
-    instantiated one. Generation-stamped like {!get_inst}, so slots are
-    re-initialised on every {!Runtime.start} — a second runtime over the
-    same graph starts from the signal defaults again. *)
-
-val set_cell : 'a t -> gen:int -> 'a cell -> unit
+val set_fused : 'a t -> 'a t -> unit
 
 (** {2 Fusion support (used by {!Fuse})} *)
 

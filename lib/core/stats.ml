@@ -58,3 +58,13 @@ let pp ppf s =
         Format.fprintf ppf " regions=%d region_steps=%d" s.compiled_regions
           s.region_steps)
     (per_event s.messages s) (per_event s.switches s)
+
+(* A plain record copy: counters are immediate ints, so the copy shares
+   nothing with the original. Session cloning uses this so a clone's
+   counters continue from the parent's history instead of resetting. *)
+let copy s = { s with events = s.events }
+
+(* The label disambiguates instances sharing one sink — per-session stats
+   lines would otherwise be indistinguishable ("s3: events=..."). Partial
+   application gives a [%a]-compatible printer. *)
+let pp_labeled label ppf s = Format.fprintf ppf "%s: %a" label pp s

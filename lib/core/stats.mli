@@ -73,3 +73,13 @@ val total_flood_messages : t -> int
 
 val per_event : int -> t -> float
 (** [per_event total s] is [total / events] (0 when no events). *)
+
+val copy : t -> t
+(** An independent snapshot: mutating the copy never touches the original.
+    Used by [Serve.Dispatcher.clone] so a cloned session's counters
+    continue from its parent's. *)
+
+val pp_labeled : string -> Format.formatter -> t -> unit
+(** [pp_labeled label] prints [label: <pp>]. Use one label per instance
+    (e.g. ["s3"] for session 3) when several runtimes or sessions report
+    through one sink, so their rows do not collide. *)

@@ -1,0 +1,223 @@
+(* Multi-session event routing over one shared compiled plan.
+
+   The dispatcher is the serving counterpart of the runtime's global event
+   dispatcher (Fig. 11), generalised by a session id: external events are
+   routed [(session, source)] and dispatched strictly in arrival order, so
+   per-source ordering within a session is the global FIFO order restricted
+   to that session — the paper's ordering guarantee, per session. Async and
+   delay boundaries re-enter through the same queue (via [Session.env]),
+   which relaxes ordering between a session's async subgraph and its
+   synchronous part exactly as the single-session runtime does, while two
+   different sessions never synchronise on anything at all.
+
+   Delays use a virtual clock: the heap orders (due time, sequence) and
+   [drain] advances [now] to each due time once the ready queue is empty —
+   the same deterministic timer semantics as the Cml scheduler's wheel,
+   without running a scheduler. Everything here is synchronous and
+   single-threaded; no Cml.run is needed, which is what lets felmc serve
+   sessions (and the benches churn 10k of them) from plain code. *)
+
+module Signal = Elm_core.Signal
+module Reach = Elm_core.Reach
+module Stats = Elm_core.Stats
+module Trace = Elm_core.Trace
+module Fuse = Elm_core.Fuse
+module Compile = Elm_core.Compile
+module Runtime = Elm_core.Runtime
+module Pqueue = Cml.Pqueue
+
+type delayed = {
+  dl_sid : int;
+  dl_node : int;  (* the delay node to wake *)
+  dl_slot : int;  (* its value slot *)
+  dl_value : Obj.t;
+}
+
+type 'a t = {
+  d_root : 'a Signal.t;  (* the (possibly fused) graph all sessions run *)
+  d_plan : Compile.plan;
+  d_env : Session.env;
+  d_sessions : (int, 'a Session.t) Hashtbl.t;
+  d_ready : (int * int) Queue.t;  (* (session id, source id), FIFO *)
+  d_delays : ((float * int), delayed) Pqueue.t ref;
+  d_seq : int ref;  (* tie-break: equal due times stay FIFO *)
+  d_now : float ref;  (* virtual clock, advanced by drain *)
+  d_tracer : Trace.t option;
+  d_policy : Runtime.error_policy;
+  d_capacity : int option;
+  d_history : int option;
+  mutable d_next_sid : int;
+  mutable d_opened : int;
+  mutable d_closed : int;
+  mutable d_routed : int;  (* external injections accepted *)
+}
+
+type accounting = {
+  live : int;
+  opened : int;
+  closed : int;
+  routed : int;
+  idle : int;
+  pending_events : int;
+  pending_delays : int;
+}
+
+let create ?tracer ?(on_node_error = Runtime.Propagate) ?queue_capacity
+    ?history ?(fuse = true) root =
+  let root = if fuse then Fuse.fuse_cached root else root in
+  let plan = Compile.plan_of root in
+  let sessions = Hashtbl.create 64 in
+  let ready = Queue.create () in
+  let delays =
+    ref (Pqueue.empty ~compare:(fun (a : float * int) b -> compare a b))
+  in
+  let seq = ref 0 in
+  let now = ref 0.0 in
+  let env =
+    {
+      Session.env_fire =
+        (fun ~sid ~source ->
+          match Hashtbl.find_opt sessions sid with
+          | Some s when not (Session.closed s) ->
+            Session.mark_pending s;
+            Queue.push (sid, source) ready
+          | Some _ | None -> ());
+      env_delay =
+        (fun ~sid ~node ~slot ~seconds v ->
+          match Hashtbl.find_opt sessions sid with
+          | Some s when not (Session.closed s) ->
+            Session.mark_pending_delay s;
+            incr seq;
+            delays :=
+              Pqueue.insert !delays
+                (!now +. seconds, !seq)
+                { dl_sid = sid; dl_node = node; dl_slot = slot; dl_value = v }
+          | Some _ | None -> ());
+    }
+  in
+  {
+    d_root = root;
+    d_plan = plan;
+    d_env = env;
+    d_sessions = sessions;
+    d_ready = ready;
+    d_delays = delays;
+    d_seq = seq;
+    d_now = now;
+    d_tracer = tracer;
+    d_policy = on_node_error;
+    d_capacity = queue_capacity;
+    d_history = history;
+    d_next_sid = 0;
+    d_opened = 0;
+    d_closed = 0;
+    d_routed = 0;
+  }
+
+let root d = d.d_root
+let plan d = d.d_plan
+let now d = !(d.d_now)
+
+let fresh_sid d =
+  let sid = d.d_next_sid in
+  d.d_next_sid <- sid + 1;
+  sid
+
+let open_session d =
+  let sid = fresh_sid d in
+  let s =
+    Session.open_session ~sid ~env:d.d_env ?tracer:d.d_tracer
+      ~on_node_error:d.d_policy ?queue_capacity:d.d_capacity
+      ?history:d.d_history d.d_root
+  in
+  Hashtbl.replace d.d_sessions sid s;
+  d.d_opened <- d.d_opened + 1;
+  s
+
+let clone d src =
+  let sid = fresh_sid d in
+  let s = Session.clone ~sid src in
+  Hashtbl.replace d.d_sessions sid s;
+  d.d_opened <- d.d_opened + 1;
+  s
+
+let close d s =
+  if not (Session.closed s) then begin
+    Session.close s;
+    Hashtbl.remove d.d_sessions (Session.id s);
+    d.d_closed <- d.d_closed + 1
+  end
+
+let find d sid = Hashtbl.find_opt d.d_sessions sid
+
+(* Value first, routing second: the step pops the value its ready-queue
+   entry promised. One accepted injection = exactly one future [step]. *)
+let try_inject d s input v =
+  if Session.offer s input v then begin
+    Session.mark_pending s;
+    Queue.push (Session.id s, Signal.id input) d.d_ready;
+    d.d_routed <- d.d_routed + 1;
+    true
+  end
+  else false
+
+let inject d s input v =
+  if not (try_inject d s input v) then raise Session.Queue_full
+
+(* Drain to quiescence: dispatch ready events in FIFO order; when the
+   ready queue empties, advance the virtual clock to the next due delayed
+   value, re-queue its wake, and continue. Terminates because every step
+   consumes one queued event and delays only re-enter with strictly later
+   due times (drains are finite for programs whose delay chains are). *)
+let drain d =
+  let dispatched = ref 0 in
+  let rec loop () =
+    match Queue.take_opt d.d_ready with
+    | Some (sid, source) ->
+      (match find d sid with
+      | Some s ->
+        incr dispatched;
+        Session.step s ~source
+      | None -> ());
+      loop ()
+    | None -> (
+      match Pqueue.pop_min !(d.d_delays) with
+      | None -> ()
+      | Some ((due, _), dl, rest) ->
+        d.d_delays := rest;
+        if due > !(d.d_now) then d.d_now := due;
+        (match find d dl.dl_sid with
+        | Some s ->
+          Session.deliver_delayed s ~slot:dl.dl_slot dl.dl_value;
+          Session.mark_pending s;
+          Queue.push (dl.dl_sid, dl.dl_node) d.d_ready
+        | None -> ());
+        loop ())
+  in
+  loop ();
+  !dispatched
+
+let accounting d =
+  let idle = ref 0 and pend = ref 0 and pendd = ref 0 in
+  Hashtbl.iter
+    (fun _ s ->
+      if Session.is_idle s then incr idle;
+      pend := !pend + Session.pending s;
+      pendd := !pendd + Session.pending_delays s)
+    d.d_sessions;
+  {
+    live = Hashtbl.length d.d_sessions;
+    opened = d.d_opened;
+    closed = d.d_closed;
+    routed = d.d_routed;
+    idle = !idle;
+    pending_events = !pend;
+    pending_delays = !pendd;
+  }
+
+let iter_sessions d f = Hashtbl.iter (fun _ s -> f s) d.d_sessions
+
+let pp_accounting ppf a =
+  Format.fprintf ppf
+    "live=%d opened=%d closed=%d routed=%d idle=%d pending=%d delays=%d"
+    a.live a.opened a.closed a.routed a.idle a.pending_events a.pending_delays

@@ -1,0 +1,106 @@
+(** Multi-session event routing over one shared compiled plan.
+
+    The serving counterpart of the runtime's global event dispatcher
+    (Fig. 11), generalised by a session id: external events are routed
+    [(session, source)] and dispatched strictly in arrival order, so
+    per-source ordering {e within} a session is preserved while sessions
+    never synchronise with each other. Async and delay boundaries re-enter
+    through the same queue, relaxing ordering between a session's async
+    subgraph and its synchronous part exactly as the single-session
+    runtime does.
+
+    Everything is synchronous and single-threaded on a virtual clock —
+    no [Cml.run] required:
+
+    {[
+      let d = Dispatcher.create root in
+      let a = Dispatcher.open_session d in
+      let b = Dispatcher.open_session d in
+      Dispatcher.inject d a keyboard 'x';
+      ignore (Dispatcher.drain d);
+      assert (Session.current a <> Session.current b)  (* a moved, b did not *)
+    ]} *)
+
+module Signal = Elm_core.Signal
+module Trace = Elm_core.Trace
+module Compile = Elm_core.Compile
+module Runtime = Elm_core.Runtime
+
+type 'a t
+
+val create :
+  ?tracer:Trace.t ->
+  ?on_node_error:Runtime.error_policy ->
+  ?queue_capacity:int ->
+  ?history:int ->
+  ?fuse:bool ->
+  'a Signal.t ->
+  'a t
+(** Build (or fetch from the plan cache) the compiled plan for the graph
+    rooted here and create an empty dispatcher over it. [fuse] (default
+    true) runs {!Elm_core.Fuse.fuse_cached} first — note fused composite
+    state makes {!clone} approximate; pass [~fuse:false] for exact clones.
+    The options are applied to every session opened through this
+    dispatcher. A shared [tracer] gets per-session node ids (offset by
+    [Compile.id_stride]), so rows never collide. *)
+
+val root : 'a t -> 'a Signal.t
+(** The graph all sessions run (after fusion, if enabled) — use its input
+    nodes with {!inject}. *)
+
+val plan : 'a t -> Compile.plan
+
+(** {1 Session lifecycle} *)
+
+val open_session : 'a t -> 'a Session.t
+(** Open a fresh session at the graph's defaults: ~an array copy against
+    the shared plan; no threads or channels. *)
+
+val clone : 'a t -> 'a Session.t -> 'a Session.t
+(** Snapshot a quiescent session under a fresh id (see
+    {!Session.clone}). *)
+
+val close : 'a t -> 'a Session.t -> unit
+(** Close and unregister: queued values are dropped, later events for the
+    session are ignored. *)
+
+val find : 'a t -> int -> 'a Session.t option
+
+(** {1 Routing} *)
+
+val inject : 'a t -> 'a Session.t -> 'i Signal.t -> 'i -> unit
+(** Queue one external event for the given session and input node; it is
+    dispatched by the next {!drain}, after everything already queued.
+    Raises {!Session.Queue_full} when the input's bounded queue is full,
+    [Invalid_argument] if the node is not an input of the plan or the
+    session is closed. *)
+
+val try_inject : 'a t -> 'a Session.t -> 'i Signal.t -> 'i -> bool
+(** Like {!inject} but returns [false] (counting a drop against the
+    session) instead of raising on a full queue. *)
+
+val drain : 'a t -> int
+(** Dispatch queued events in FIFO order until quiescence, advancing the
+    virtual clock through due delayed values once the ready queue empties.
+    Returns the number of events dispatched. *)
+
+val now : 'a t -> float
+(** The virtual clock: the due time of the latest delayed value
+    delivered. *)
+
+(** {1 Accounting} *)
+
+type accounting = {
+  live : int;  (** Currently open sessions. *)
+  opened : int;  (** Sessions ever opened (including clones). *)
+  closed : int;
+  routed : int;  (** External injections accepted. *)
+  idle : int;  (** Live sessions with nothing in flight. *)
+  pending_events : int;  (** Routed events not yet dispatched. *)
+  pending_delays : int;  (** Values waiting in the delay heap. *)
+}
+
+val accounting : 'a t -> accounting
+val pp_accounting : Format.formatter -> accounting -> unit
+
+val iter_sessions : 'a t -> ('a Session.t -> unit) -> unit

@@ -1,0 +1,387 @@
+(* One live instance of a shared compiled plan.
+
+   A session is the serving layer's unit of isolation: the plan (op arrays,
+   slot layout, reachability — see Compile) is shared read-only across
+   every session of one graph shape; everything a session mutates lives in
+   its own arena, its own pending-value queues and its own counters.
+   Opening a session is therefore ~an array copy, and two sessions can
+   never observe each other's foldp state because no mutable word is
+   reachable from both.
+
+   Sessions are fully synchronous: no threads, no mailboxes, no Cml
+   scheduler. External events queue up (Dispatcher routes them); [step]
+   runs one event to completion by sweeping the plan's regions in index
+   order — which is topological order, so one sweep is exactly one settled
+   round of the compiled runtime. Async taps re-enter through the
+   dispatcher's ready queue ([env_fire]) and delay taps through its virtual
+   delay heap ([env_delay]), preserving the paper's boundary semantics:
+   order is maintained within the synchronous part and within each async
+   subgraph, but not between them. *)
+
+module Signal = Elm_core.Signal
+module Event = Elm_core.Event
+module Reach = Elm_core.Reach
+module Stats = Elm_core.Stats
+module Trace = Elm_core.Trace
+module Compile = Elm_core.Compile
+module Runtime = Elm_core.Runtime
+
+exception Queue_full
+
+type env = {
+  env_fire : sid:int -> source:int -> unit;
+  env_delay : sid:int -> node:int -> slot:int -> seconds:float -> Obj.t -> unit;
+}
+
+(* The display sink, separated from the session record so the exec's
+   display hook (created before the record) has something to write into. *)
+type 'a sink = {
+  mutable k_current : 'a;
+  mutable k_rev_changes : (int * 'a) list;  (* (epoch, value), newest first *)
+  mutable k_n_changes : int;
+  k_history : int option;
+}
+
+type 'a t = {
+  s_id : int;
+  s_plan : Compile.plan;
+  s_env : env;
+  s_policy : Runtime.error_policy;
+  s_exec : Compile.exec;
+  s_queues : Obj.t Queue.t option array;  (* per slot; [Some] on sources *)
+  s_bounded : bool array;  (* per slot; false on async/delay queues *)
+  s_capacity : int option;
+  s_stats : Stats.t;
+  s_tracer : Trace.t option;
+  s_offset : int;  (* sid * id_stride: per-session trace id offset *)
+  s_sink : 'a sink;
+  mutable s_epoch : int;  (* session-local event counter *)
+  mutable s_pending : int;  (* routed events not yet stepped *)
+  mutable s_pending_delays : int;  (* values in the dispatcher's heap *)
+  mutable s_dropped : int;  (* injections refused by a full queue *)
+  mutable s_closed : bool;
+}
+
+(* Bounded newest-first history, as in Runtime: capped at [2*cap]
+   transiently and truncated back to [cap]. *)
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let record_change k epoch v =
+  k.k_current <- v;
+  match k.k_history with
+  | Some 0 -> ()
+  | None ->
+    k.k_rev_changes <- (epoch, v) :: k.k_rev_changes;
+    k.k_n_changes <- k.k_n_changes + 1
+  | Some cap ->
+    if k.k_n_changes + 1 > 2 * cap then begin
+      k.k_rev_changes <- take cap ((epoch, v) :: k.k_rev_changes);
+      k.k_n_changes <- cap
+    end
+    else begin
+      k.k_rev_changes <- (epoch, v) :: k.k_rev_changes;
+      k.k_n_changes <- k.k_n_changes + 1
+    end
+
+(* Per-slot supervisors, mirroring the runtime's [make_guard]. [Propagate]
+   needs no per-node state, so every slot shares one record and opening a
+   session allocates nothing here (the default serving configuration);
+   [Isolate]/[Restart] carry per-node failure attribution and budgets. *)
+let make_guards ~policy ~stats ~tracer ~offset pl =
+  let n = Compile.node_count pl in
+  match (policy : Runtime.error_policy) with
+  | Runtime.Propagate ->
+    Array.make n { Compile.guard = (fun ~prev:_ ~reset:_ ~epoch:_ f -> f ()) }
+  | Runtime.Isolate | Runtime.Restart _ ->
+    let note id epoch =
+      stats.Stats.node_failures <- stats.Stats.node_failures + 1;
+      match tracer with
+      | None -> ()
+      | Some tr -> Trace.node_failure tr ~node:(offset + id) ~epoch
+    in
+    Array.map
+      (fun id ->
+        let left =
+          ref (match policy with Runtime.Restart b -> b | _ -> 0)
+        in
+        {
+          Compile.guard =
+            (fun ~prev ~reset ~epoch f ->
+              try f ()
+              with _ ->
+                note id epoch;
+                if !left > 0 then begin
+                  decr left;
+                  stats.Stats.node_restarts <- stats.Stats.node_restarts + 1;
+                  reset ()
+                end;
+                Event.No_change prev);
+        })
+      (Compile.slot_ids pl)
+
+let fresh_queues pl =
+  let n = Compile.node_count pl in
+  let queues = Array.make n None in
+  let bounded = Array.make n false in
+  List.iter
+    (fun (_id, sl, b) ->
+      queues.(sl) <- Some (Queue.create ());
+      bounded.(sl) <- b)
+    (Compile.queue_slots pl);
+  (queues, bounded)
+
+let queue_exn queues sl =
+  match queues.(sl) with
+  | Some q -> q
+  | None -> invalid_arg "Serve.Session: not a source slot"
+
+(* Shared by [open_session] and [clone]: everything but the arena and the
+   sink contents. *)
+let build : type r.
+    sid:int ->
+    env:env ->
+    policy:Runtime.error_policy ->
+    capacity:int option ->
+    tracer:Trace.t option ->
+    stats:Stats.t ->
+    sink:r sink ->
+    arena:Compile.arena ->
+    epoch:int ->
+    plan:Compile.plan ->
+    r t =
+ fun ~sid ~env ~policy ~capacity ~tracer ~stats ~sink ~arena ~epoch ~plan:pl ->
+  let queues, bounded = fresh_queues pl in
+  let offset = sid * Compile.id_stride pl in
+  (match tracer with
+  | None -> ()
+  | Some tr ->
+    List.iter
+      (fun rg ->
+        Trace.register_node tr
+          ~id:(offset + rg.Compile.rg_rep)
+          ~name:
+            (Printf.sprintf "s%d:region:%s(%d)" sid rg.Compile.rg_name
+               (List.length rg.Compile.rg_member_ids)))
+      (Compile.regions pl));
+  let x =
+    {
+      Compile.x_arena = arena;
+      x_flood = false;
+      x_stats = stats;
+      x_guards = make_guards ~policy ~stats ~tracer ~offset pl;
+      x_account =
+        (fun ~node:_ ~epoch ~changed:_ ~real ->
+          if real then stats.Stats.messages <- stats.Stats.messages + 1
+          else stats.Stats.elided_messages <- stats.Stats.elided_messages + 1;
+          Some epoch);
+      x_root_stamp = None;
+      x_pop = (fun sl -> Queue.pop (queue_exn queues sl));
+      x_push = (fun sl v -> Queue.push v (queue_exn queues sl));
+      x_fire_async =
+        (fun id ->
+          stats.Stats.async_events <- stats.Stats.async_events + 1;
+          env.env_fire ~sid ~source:id);
+      x_delay =
+        (fun ~node ~slot ~seconds v ->
+          env.env_delay ~sid ~node ~slot ~seconds v);
+      x_display =
+        (fun ~epoch ~changed v ->
+          (match tracer with
+          | None -> ()
+          | Some tr -> Trace.display tr ~epoch ~changed);
+          if changed then record_change sink epoch (Obj.obj v : r));
+    }
+  in
+  {
+    s_id = sid;
+    s_plan = pl;
+    s_env = env;
+    s_policy = policy;
+    s_exec = x;
+    s_queues = queues;
+    s_bounded = bounded;
+    s_capacity = capacity;
+    s_stats = stats;
+    s_tracer = tracer;
+    s_offset = offset;
+    s_sink = sink;
+    s_epoch = epoch;
+    s_pending = 0;
+    s_pending_delays = 0;
+    s_dropped = 0;
+    s_closed = false;
+  }
+
+let open_session ~sid ~env ?tracer ?(on_node_error = Runtime.Propagate)
+    ?queue_capacity ?history root =
+  (match queue_capacity with
+  | Some n when n < 1 ->
+    invalid_arg "Serve.Session.open_session: queue_capacity must be >= 1"
+  | _ -> ());
+  (match history with
+  | Some n when n < 0 ->
+    invalid_arg "Serve.Session.open_session: negative history"
+  | _ -> ());
+  let pl = Compile.plan_of root in
+  let sink =
+    {
+      k_current = Signal.default root;
+      k_rev_changes = [];
+      k_n_changes = 0;
+      k_history = history;
+    }
+  in
+  build ~sid ~env ~policy:on_node_error ~capacity:queue_capacity ~tracer
+    ~stats:(Stats.create ()) ~sink ~arena:(Compile.new_arena pl) ~epoch:0
+    ~plan:pl
+
+(* Cloning snapshots a quiescent session: with nothing pending, every
+   value/stamp/state word of the instance lives in the arena (the queues
+   are empty and the dispatcher holds nothing for it), so [clone_arena]
+   captures the whole observable state. In-flight events would live half in
+   the dispatcher's queues and half in the arena — there is no consistent
+   cut — hence the idleness requirement. *)
+let clone ~sid src =
+  if src.s_closed then invalid_arg "Serve.Session.clone: session is closed";
+  if src.s_pending > 0 || src.s_pending_delays > 0 then
+    invalid_arg "Serve.Session.clone: session has in-flight events";
+  let sink =
+    {
+      k_current = src.s_sink.k_current;
+      k_rev_changes = src.s_sink.k_rev_changes;
+      k_n_changes = src.s_sink.k_n_changes;
+      k_history = src.s_sink.k_history;
+    }
+  in
+  build ~sid ~env:src.s_env ~policy:src.s_policy ~capacity:src.s_capacity
+    ~tracer:src.s_tracer
+    ~stats:(Stats.copy src.s_stats)
+    ~sink
+    ~arena:(Compile.clone_arena src.s_plan src.s_exec.Compile.x_arena)
+    ~epoch:src.s_epoch ~plan:src.s_plan
+
+let close s =
+  s.s_closed <- true;
+  (* Drop queued values so a closed session pins no event payloads. *)
+  Array.iter (function Some q -> Queue.clear q | None -> ()) s.s_queues
+
+(* Deliver an external value for [input]. The caller (Dispatcher.inject)
+   routes the matching ready-queue entry; value first, routing second, so
+   the step finds the value waiting — the same protocol as the runtime's
+   input push. Returns [false] (and counts a drop) when the input's bounded
+   queue is full. *)
+let offer : type i. 'a t -> i Signal.t -> i -> bool =
+ fun s input v ->
+  if s.s_closed then invalid_arg "Serve.Session: session is closed";
+  (match Signal.kind input with
+  | Signal.Input -> ()
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Serve.Session: %s (node %d) is not an input"
+         (Signal.name input) (Signal.id input)));
+  match Compile.slot_of s.s_plan (Signal.id input) with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Serve.Session: %s (node %d) is not part of this plan"
+         (Signal.name input) (Signal.id input))
+  | Some sl -> (
+    let q = queue_exn s.s_queues sl in
+    match s.s_capacity with
+    | Some cap when s.s_bounded.(sl) && Queue.length q >= cap ->
+      s.s_dropped <- s.s_dropped + 1;
+      false
+    | _ ->
+      Queue.push (Obj.repr v) q;
+      true)
+
+(* Run one routed event to completion: bump the session-local epoch, sweep
+   the regions whose wake test passes in index (= topological) order. The
+   dispatcher's bookkeeping (cone size vs node count) settles the elision
+   invariant exactly as the runtime's dispatcher does, so
+   [messages + elided = nodes * events] holds per session. *)
+let step s ~source =
+  s.s_pending <- s.s_pending - 1;
+  if not s.s_closed then begin
+    s.s_epoch <- s.s_epoch + 1;
+    let st = s.s_stats in
+    st.Stats.events <- st.Stats.events + 1;
+    let r = { Compile.epoch = s.s_epoch; source } in
+    let reach = Compile.reach s.s_plan in
+    (match s.s_tracer with
+    | None -> ()
+    | Some tr ->
+      Trace.dispatch tr ~source:(s.s_offset + source) ~epoch:s.s_epoch
+        ~targets:(Reach.cone_size reach source));
+    List.iter
+      (fun rg ->
+        let i = rg.Compile.rg_index in
+        if Reach.set_mem source (Compile.region_sources s.s_plan i) then begin
+          st.Stats.notified_nodes <- st.Stats.notified_nodes + 1;
+          st.Stats.region_steps <- st.Stats.region_steps + 1;
+          (match s.s_tracer with
+          | None -> ()
+          | Some tr ->
+            Trace.node_start tr ~node:(s.s_offset + rg.Compile.rg_rep)
+              ~epoch:s.s_epoch);
+          Compile.run_region s.s_plan s.s_exec i r;
+          match s.s_tracer with
+          | None -> ()
+          | Some tr ->
+            Trace.node_end tr ~node:(s.s_offset + rg.Compile.rg_rep)
+              ~epoch:s.s_epoch
+        end)
+      (Compile.regions s.s_plan);
+    st.Stats.elided_messages <-
+      st.Stats.elided_messages
+      + (Compile.node_count s.s_plan - Reach.cone_size reach source)
+  end
+
+(* A delayed value coming back from the dispatcher's heap: park it in the
+   delay node's (unbounded) queue; the dispatcher routes the wake. *)
+let deliver_delayed s ~slot v =
+  s.s_pending_delays <- s.s_pending_delays - 1;
+  if not s.s_closed then Queue.push v (queue_exn s.s_queues slot)
+
+(* Dispatcher bookkeeping hooks. *)
+let mark_pending s = s.s_pending <- s.s_pending + 1
+let mark_pending_delay s = s.s_pending_delays <- s.s_pending_delays + 1
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let id s = s.s_id
+let current s = s.s_sink.k_current
+
+let changes s =
+  let l =
+    match s.s_sink.k_history with
+    | None -> s.s_sink.k_rev_changes
+    | Some cap -> take cap s.s_sink.k_rev_changes
+  in
+  List.rev l
+
+let stats s = s.s_stats
+let epoch s = s.s_epoch
+let pending s = s.s_pending
+let pending_delays s = s.s_pending_delays
+let dropped s = s.s_dropped
+let closed s = s.s_closed
+let is_idle s = s.s_pending = 0 && s.s_pending_delays = 0
+
+let pp_stats ppf s =
+  Stats.pp_labeled (Printf.sprintf "s%d" s.s_id) ppf s.s_stats
+
+(* The session's own memory: arena + queues + history + counters. The plan
+   is deliberately not behind any of these roots (ops and defaults are
+   reached only through [s_exec]'s closures over the shared plan, which we
+   exclude by rooting at the mutable parts), so the number approximates the
+   marginal footprint of one more idle session. *)
+let footprint_words s =
+  Obj.reachable_words
+    (Obj.repr
+       ( s.s_exec.Compile.x_arena,
+         s.s_queues,
+         s.s_sink.k_rev_changes,
+         s.s_stats ))

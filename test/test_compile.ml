@@ -241,6 +241,53 @@ let test_memoize_false_falls_back () =
   check_ints "still runs" [ 2 ] (values rt)
 
 (* ------------------------------------------------------------------ *)
+(* Plan cache: compiling a graph shape is paid once; later runtimes over
+   the same built graph reuse the cached plan (keyed on the fused root, so
+   Runtime.start's default fusion still hits). Clearing the cache forces a
+   recompile that must be observationally invisible. *)
+
+let test_plan_cache_hit_across_runtimes () =
+  let a = Signal.input ~name:"a" 0 in
+  let root = Signal.foldp ( + ) 0 (Signal.lift succ a) in
+  let drive () =
+    with_world (fun () ->
+        let rt = Runtime.start ~backend:Runtime.Compiled root in
+        List.iter (fun v -> Runtime.inject rt a v) [ 1; 2; 3 ];
+        rt)
+  in
+  Compile.clear_plan_cache ();
+  let before = Compile.plan_cache_stats () in
+  let first = drive () in
+  let after_first = Compile.plan_cache_stats () in
+  check_bool "first start compiles the plan (a miss)" true
+    (after_first.Compile.misses > before.Compile.misses);
+  let second = drive () in
+  let after_second = Compile.plan_cache_stats () in
+  check_bool "second start over the same graph hits the cache" true
+    (after_second.Compile.hits > after_first.Compile.hits);
+  check_int "no second compile" after_first.Compile.misses
+    after_second.Compile.misses;
+  check_bool "cache hit is observationally invisible" true
+    (Runtime.changes first = Runtime.changes second);
+  Compile.clear_plan_cache ();
+  let third = drive () in
+  let after_third = Compile.plan_cache_stats () in
+  check_bool "cleared cache recompiles" true
+    (after_third.Compile.misses > after_second.Compile.misses);
+  check_bool "bit-identical traces after the recompile" true
+    (Runtime.changes first = Runtime.changes third)
+
+let test_plan_cache_shares_plan_object () =
+  let a = Signal.input ~name:"a" 0 in
+  let root = Signal.lift2 ( + ) (Signal.lift succ a) (Signal.input ~name:"b" 0) in
+  Compile.clear_plan_cache ();
+  let p1 = Compile.plan_of root in
+  let p2 = Compile.plan_of root in
+  check_bool "same physical plan for the same built graph" true (p1 == p2);
+  check_bool "cache reports the entry" true
+    ((Compile.plan_cache_stats ()).Compile.entries >= 1)
+
+(* ------------------------------------------------------------------ *)
 (* Schedule exploration: the compiled backend's region threads interleave
    under the same chaos schedules, and every invariant must hold. *)
 
@@ -336,6 +383,13 @@ let () =
             test_trace_reports_region_rows;
           tc "memoize:false falls back to pipelined" `Quick
             test_memoize_false_falls_back;
+        ] );
+      ( "plan-cache",
+        [
+          tc "second runtime over one graph hits the cache" `Quick
+            test_plan_cache_hit_across_runtimes;
+          tc "plan_of shares one plan object" `Quick
+            test_plan_cache_shares_plan_object;
         ] );
       ( "explore",
         [

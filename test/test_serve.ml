@@ -1,0 +1,364 @@
+(* Tests for the serving layer (Elm_serve): many sessions over one shared
+   compiled plan. The properties that matter: a session's change trace is
+   bit-identical to a dedicated single-session compiled runtime fed the
+   same event sequence, no matter how injections into other sessions
+   interleave (isolation); clones continue exactly where their parent
+   stood; bounded input queues refuse instead of growing; the per-session
+   elision invariant balances; and shared tracers report per-session
+   rows. *)
+
+module Signal = Elm_core.Signal
+module Runtime = Elm_core.Runtime
+module Stats = Elm_core.Stats
+module Trace = Elm_core.Trace
+module Compile = Elm_core.Compile
+module Session = Elm_serve.Session
+module Dispatcher = Elm_serve.Dispatcher
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ints = Alcotest.(check (list int))
+
+let session_values s = List.map snd (Session.changes s)
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Isolation units *)
+
+let counter_graph () =
+  let a = Signal.input ~name:"a" 0 in
+  let root = Signal.foldp ( + ) 0 (Signal.lift succ a) in
+  (a, root)
+
+let test_sessions_isolated () =
+  let a, root = counter_graph () in
+  let d = Dispatcher.create root in
+  let s1 = Dispatcher.open_session d in
+  let s2 = Dispatcher.open_session d in
+  List.iter (fun v -> Dispatcher.inject d s1 a v) [ 1; 2; 3 ];
+  ignore (Dispatcher.drain d);
+  check_ints "s1 accumulated" [ 2; 5; 9 ] (session_values s1);
+  check_int "s2 never moved" 0 (Session.current s2);
+  check_int "s2 saw no events" 0 (Session.stats s2).Stats.events;
+  Dispatcher.inject d s2 a 10;
+  ignore (Dispatcher.drain d);
+  check_ints "s2 folds from its own default" [ 11 ] (session_values s2);
+  check_int "s1 unaffected by s2's event" 9 (Session.current s1)
+
+(* The same per-session event sequence produces the same per-session trace
+   regardless of how injections into other sessions interleave — checked
+   against a dedicated compiled Runtime fed the identical sequence, across
+   seeded interleavings (the serving analogue of the schedule explorer's
+   seeded schedules) and interior drains. *)
+let prop_isolated_under_interleavings =
+  QCheck.Test.make
+    ~name:"session trace = single-session runtime, any interleaving"
+    ~count:30 Gen_graph.arb_deterministic_shape_events
+    (fun (shape, events) ->
+      let reference =
+        Gen_graph.values
+          (Gen_graph.run_shape ~backend:Runtime.Compiled shape events)
+      in
+      List.for_all
+        (fun seed ->
+          let st = Random.State.make [| seed; shape |] in
+          let a, b, root = Gen_graph.build_shape shape in
+          let d = Dispatcher.create root in
+          let sessions = Array.init 3 (fun _ -> Dispatcher.open_session d) in
+          let remaining = Array.make 3 events in
+          let left () =
+            Array.exists (fun l -> l <> []) remaining
+          in
+          while left () do
+            let i = Random.State.int st 3 in
+            (match remaining.(i) with
+            | [] -> ()
+            | (to_a, v) :: rest ->
+              remaining.(i) <- rest;
+              Dispatcher.inject d sessions.(i) (if to_a then a else b) v);
+            if Random.State.int st 4 = 0 then ignore (Dispatcher.drain d)
+          done;
+          ignore (Dispatcher.drain d);
+          Array.for_all
+            (fun s -> session_values s = reference)
+            sessions)
+        [ 1; 2; 3; 4; 5 ])
+
+(* Per-session elision invariant: the root display message is the only real
+   one per event; everything else is elided in place or by the cone gap. *)
+let prop_session_accounting =
+  QCheck.Test.make ~name:"per session: messages + elided = nodes * events"
+    ~count:30 Gen_graph.arb_deterministic_shape_events
+    (fun (shape, events) ->
+      let a, b, root = Gen_graph.build_shape shape in
+      let d = Dispatcher.create root in
+      let s = Dispatcher.open_session d in
+      List.iter
+        (fun (to_a, v) -> Dispatcher.inject d s (if to_a then a else b) v)
+        events;
+      ignore (Dispatcher.drain d);
+      let st = Session.stats s in
+      st.Stats.messages + st.Stats.elided_messages
+      = Compile.node_count (Dispatcher.plan d) * st.Stats.events)
+
+(* ------------------------------------------------------------------ *)
+(* Cloning *)
+
+let test_clone_at_birth_equal () =
+  let a, root = counter_graph () in
+  let d = Dispatcher.create root in
+  let s1 = Dispatcher.open_session d in
+  let s2 = Dispatcher.clone d s1 in
+  List.iter
+    (fun v ->
+      Dispatcher.inject d s1 a v;
+      Dispatcher.inject d s2 a v)
+    [ 4; 5; 6 ];
+  ignore (Dispatcher.drain d);
+  check_bool "fresh clone behaves like a fresh session" true
+    (session_values s1 = session_values s2)
+
+let test_clone_resumes_parent_state () =
+  (* Unfused so every stateful slot (foldp accumulator, drop_repeats
+     previous value) is plain arena data and the clone is exact. *)
+  let a = Signal.input ~name:"a" 0 in
+  let root =
+    Signal.foldp ( + ) 0 (Signal.drop_repeats (Signal.lift (fun x -> x / 2) a))
+  in
+  let d = Dispatcher.create ~fuse:false root in
+  let s1 = Dispatcher.open_session d in
+  List.iter (fun v -> Dispatcher.inject d s1 a v) [ 2; 3; 4 ];
+  ignore (Dispatcher.drain d);
+  (* values seen: 1, 1 (dropped), 2 -> changes 1, 3 *)
+  let s2 = Dispatcher.clone d s1 in
+  check_int "clone starts at the parent's current" (Session.current s1)
+    (Session.current s2);
+  check_bool "clone inherits the change history" true
+    (Session.changes s1 = Session.changes s2);
+  (* Same suffix to both: identical continuations, including the
+     drop_repeats previous value (6/2 = 3 was never seen, 4/2 = 2 was). *)
+  List.iter
+    (fun v ->
+      Dispatcher.inject d s1 a v;
+      Dispatcher.inject d s2 a v)
+    [ 4; 6; 7 ];
+  ignore (Dispatcher.drain d);
+  check_bool "identical traces after the clone point" true
+    (session_values s1 = session_values s2);
+  (* and they are independent after the fork *)
+  Dispatcher.inject d s1 a 100;
+  ignore (Dispatcher.drain d);
+  check_bool "post-fork events do not leak" true
+    (Session.current s1 <> Session.current s2)
+
+let test_clone_requires_idle () =
+  let a, root = counter_graph () in
+  let d = Dispatcher.create root in
+  let s = Dispatcher.open_session d in
+  Dispatcher.inject d s a 1;
+  check_bool "pending event blocks clone" true
+    (try
+       ignore (Dispatcher.clone d s);
+       false
+     with Invalid_argument _ -> true);
+  ignore (Dispatcher.drain d);
+  check_bool "idle again: clone allowed" true
+    (Session.is_idle s
+    && Session.id (Dispatcher.clone d s) <> Session.id s)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queues and memory *)
+
+let test_bounded_input_queue () =
+  let a, root = counter_graph () in
+  let d = Dispatcher.create ~queue_capacity:2 root in
+  let s = Dispatcher.open_session d in
+  check_bool "first two accepted" true
+    (Dispatcher.try_inject d s a 1 && Dispatcher.try_inject d s a 2);
+  check_bool "third refused" false (Dispatcher.try_inject d s a 3);
+  check_int "drop counted" 1 (Session.dropped s);
+  check_bool "inject raises Queue_full" true
+    (try
+       Dispatcher.inject d s a 3;
+       false
+     with Session.Queue_full -> true);
+  ignore (Dispatcher.drain d);
+  check_ints "accepted events all dispatched" [ 2; 5 ] (session_values s);
+  check_bool "queue drained: accepts again" true (Dispatcher.try_inject d s a 9)
+
+let test_idle_footprint_stable () =
+  let a, root = counter_graph () in
+  let d = Dispatcher.create ~history:0 root in
+  let s = Dispatcher.open_session d in
+  Dispatcher.inject d s a 1;
+  ignore (Dispatcher.drain d);
+  let w1 = Session.footprint_words s in
+  for v = 2 to 200 do
+    Dispatcher.inject d s a v;
+    ignore (Dispatcher.drain d)
+  done;
+  let w2 = Session.footprint_words s in
+  check_int "idle footprint does not grow with traffic" w1 w2
+
+(* ------------------------------------------------------------------ *)
+(* Async/delay boundaries inside sessions *)
+
+let test_delay_virtual_clock () =
+  let b = Signal.input ~name:"b" 0 in
+  let root = Signal.delay 5.0 (Signal.lift (fun x -> (2 * x) + 1) b) in
+  let d = Dispatcher.create root in
+  let s = Dispatcher.open_session d in
+  Dispatcher.inject d s b 1;
+  Dispatcher.inject d s b 2;
+  check_int "nothing dispatched yet" 0 (Session.stats s).Stats.events;
+  ignore (Dispatcher.drain d);
+  check_ints "delayed changes in order" [ 3; 5 ] (session_values s);
+  check_bool "virtual clock advanced to the due time" true
+    (Dispatcher.now d = 5.0);
+  check_bool "session idle after drain" true (Session.is_idle s)
+
+let test_async_per_source_order () =
+  let a = Signal.input ~name:"a" 0 in
+  let b = Signal.input ~name:"b" 1 in
+  let root =
+    Signal.merge
+      (Signal.lift (fun x -> 2 * x) a)
+      (Signal.async (Signal.lift (fun x -> (2 * x) + 1) b))
+  in
+  let d = Dispatcher.create root in
+  let s = Dispatcher.open_session d in
+  for i = 1 to 4 do
+    Dispatcher.inject d s a i;
+    Dispatcher.inject d s b i
+  done;
+  ignore (Dispatcher.drain d);
+  let vs = session_values s in
+  let evens = List.filter (fun v -> v mod 2 = 0) vs in
+  let odds = List.filter (fun v -> v mod 2 = 1) vs in
+  check_ints "synchronous side in order" [ 2; 4; 6; 8 ] evens;
+  check_ints "async side in order" [ 3; 5; 7; 9 ] odds
+
+(* ------------------------------------------------------------------ *)
+(* Accounting and reporting *)
+
+let test_dispatcher_accounting () =
+  let a, root = counter_graph () in
+  let d = Dispatcher.create root in
+  let s1 = Dispatcher.open_session d in
+  let s2 = Dispatcher.open_session d in
+  let s3 = Dispatcher.clone d s1 in
+  Dispatcher.inject d s1 a 1;
+  let acc = Dispatcher.accounting d in
+  check_int "live" 3 acc.Dispatcher.live;
+  check_int "opened counts clones" 3 acc.Dispatcher.opened;
+  check_int "routed" 1 acc.Dispatcher.routed;
+  check_int "idle excludes the loaded session" 2 acc.Dispatcher.idle;
+  check_int "pending" 1 acc.Dispatcher.pending_events;
+  ignore (Dispatcher.drain d);
+  Dispatcher.close d s2;
+  let acc = Dispatcher.accounting d in
+  check_int "closed" 1 acc.Dispatcher.closed;
+  check_int "live after close" 2 acc.Dispatcher.live;
+  check_int "all idle after drain" 2 acc.Dispatcher.idle;
+  check_bool "find resolves live ids" true
+    (Dispatcher.find d (Session.id s1) <> None);
+  check_bool "find misses closed ids" true
+    (Dispatcher.find d (Session.id s2) = None);
+  ignore s3
+
+let test_closed_session_ignored () =
+  let a, root = counter_graph () in
+  let d = Dispatcher.create root in
+  let s = Dispatcher.open_session d in
+  Dispatcher.inject d s a 1;
+  Dispatcher.close d s;
+  ignore (Dispatcher.drain d);
+  check_int "no event dispatched into a closed session" 0
+    (Session.stats s).Stats.events;
+  check_bool "inject into closed session rejected" true
+    (try
+       Dispatcher.inject d s a 2;
+       false
+     with Invalid_argument _ -> true)
+
+let test_shared_tracer_per_session_rows () =
+  let tracer = Trace.create () in
+  let a, root = counter_graph () in
+  let d = Dispatcher.create ~tracer root in
+  let s1 = Dispatcher.open_session d in
+  let s2 = Dispatcher.open_session d in
+  Dispatcher.inject d s1 a 1;
+  Dispatcher.inject d s2 a 2;
+  ignore (Dispatcher.drain d);
+  let summary = Trace.summary tracer in
+  let names = List.map (fun ns -> ns.Trace.node_name) summary.Trace.nodes in
+  check_bool "session 0 has its own rows" true
+    (List.exists (fun n -> contains n "s0:region:") names);
+  check_bool "session 1 has its own rows" true
+    (List.exists (fun n -> contains n "s1:region:") names);
+  (* ids are offset by the plan's stride, so rows never collide *)
+  let ids = List.map (fun ns -> ns.Trace.node_id) summary.Trace.nodes in
+  let uniq = List.sort_uniq compare ids in
+  check_int "node ids unique across sessions" (List.length ids)
+    (List.length uniq);
+  List.iter
+    (fun ns ->
+      check_bool
+        (Printf.sprintf "row %s processed rounds" ns.Trace.node_name)
+        true (ns.Trace.rounds > 0))
+    summary.Trace.nodes;
+  check_bool "labeled stats lines distinguish sessions" true
+    (contains (Format.asprintf "%a" Session.pp_stats s1) "s0: events="
+    && contains (Format.asprintf "%a" Session.pp_stats s2) "s1: events=")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "serve"
+    [
+      ( "isolation",
+        [
+          tc "sessions never observe each other's foldp state" `Quick
+            test_sessions_isolated;
+          qc prop_isolated_under_interleavings;
+          qc prop_session_accounting;
+        ] );
+      ( "clone",
+        [
+          tc "clone at birth equals a fresh session" `Quick
+            test_clone_at_birth_equal;
+          tc "clone resumes the parent's exact state" `Quick
+            test_clone_resumes_parent_state;
+          tc "clone requires an idle session" `Quick test_clone_requires_idle;
+        ] );
+      ( "bounds",
+        [
+          tc "bounded input queue refuses overflow" `Quick
+            test_bounded_input_queue;
+          tc "idle footprint stable under traffic" `Quick
+            test_idle_footprint_stable;
+        ] );
+      ( "boundaries",
+        [
+          tc "delay delivers on the virtual clock" `Quick
+            test_delay_virtual_clock;
+          tc "async preserves per-source order" `Quick
+            test_async_per_source_order;
+        ] );
+      ( "accounting",
+        [
+          tc "dispatcher accounting tracks lifecycle" `Quick
+            test_dispatcher_accounting;
+          tc "closed sessions ignore events" `Quick test_closed_session_ignored;
+          tc "shared tracer reports per-session rows" `Quick
+            test_shared_tracer_per_session_rows;
+        ] );
+    ]
