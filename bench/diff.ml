@@ -8,11 +8,12 @@
      B13  fusion off/on messages-per-event ratio (Cone), per depth row
      B16  pipelined/compiled message and sequential-switch ratios, per K row
 
-   B17's open-speedup and churn/sec are derived from wall-clock timings,
-   so they are reported (and warned about) but never fail the diff — CI
-   runners are too noisy for a hard wall-clock bar, and the bench binary
-   itself already hard-gates the absolute open_speedup >= 10x floor. The
-   gated ratios above are counter-based and machine-independent. *)
+   B17's open-speedup and churn/sec, and B18's events/sec and domain
+   speedup, are derived from wall-clock timings, so they are reported (and
+   warned about) but never fail the diff — CI runners are too noisy for a
+   hard wall-clock bar, and the bench binary itself already hard-gates the
+   absolute open_speedup >= 10x floor and the hardware-scaled B18 speedup
+   bar. The gated ratios above are counter-based and machine-independent. *)
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
@@ -76,11 +77,31 @@ let collect doc =
                  ~path:[ "churn_sessions_per_sec" ] );
            ]))
   in
-  b11 @ b13 @ b16 @ b17
+  let b18 =
+    (* b18_domain_pool nests its per-width rows under "rows". *)
+    let b18_rows doc = Option.bind (Json.member "b18_domain_pool" doc) (Json.member "rows") in
+    let n = match b18_rows doc with Some (Json.Array l) -> List.length l | _ -> 0 in
+    let b18_metric ~idx ~path:p =
+      match Option.bind (b18_rows doc) (Json.index idx) with
+      | None -> None
+      | Some row -> Option.bind (Json.path p row) Json.to_float
+    in
+    List.concat
+      (List.init n (fun i ->
+           [
+             ( Printf.sprintf "b18.row%d.uniform_events_per_sec" i,
+               b18_metric ~idx:i ~path:[ "uniform_events_per_sec" ] );
+             ( Printf.sprintf "b18.row%d.speedup_vs_1_domain" i,
+               b18_metric ~idx:i ~path:[ "speedup_vs_1_domain" ] );
+           ]))
+  in
+  b11 @ b13 @ b16 @ b17 @ b18
 
-(* b17 metrics are wall-clock-derived and so only softly gated: warn,
-   don't fail. *)
-let soft name = String.length name >= 4 && String.sub name 0 4 = "b17."
+(* b17 and b18 metrics are wall-clock-derived and so only softly gated:
+   warn, don't fail. *)
+let soft name =
+  String.length name >= 4
+  && (String.sub name 0 4 = "b17." || String.sub name 0 4 = "b18.")
 
 let () =
   let baseline_path, current_path =

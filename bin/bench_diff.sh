@@ -11,8 +11,10 @@
 # flood, B13 fusion off vs on, B16 pipelined vs compiled, B17 session
 # open vs cold compile) — machine-independent, so a regression means the
 # code got worse, not the runner. Wall-clock numbers (micro_*, churn,
-# events/sec) are reported but only softly gated. To accept an intended
-# perf change, regenerate the baseline:
+# B17 events/sec, B18 domain-pool events/sec and speedup) are reported
+# but only softly gated — the bench binary itself hard-gates B18's
+# trace/stats oracles and its hardware-scaled speedup bar. To accept an
+# intended perf change, regenerate the baseline:
 #   dune exec bench/main.exe -- --json && cp BENCH_core.json bench/baseline.json
 set -eu
 cd "$(dirname "$0")/.."

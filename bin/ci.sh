@@ -38,6 +38,13 @@
 # bit-identical to a dedicated single-session compiled runtime (the
 # isolation oracle), clones must continue exactly as their parents,
 # and serving must actually hit the plan cache.
+# B18 gates domain-parallel serving (lib/serve/pool.ml): draining the
+# 10k-session B17 workload over a work-stealing domain pool must keep
+# every per-session change trace bit-identical to the sequential
+# dispatcher at 1/2/4 domains, per-domain Stats rows must merge back
+# to the session totals, and the events/sec speedup bar scales with
+# the runner (2x at 4 domains only where >= 4 cores exist, 1.2x at 2
+# domains on 2-3 core boxes, report-only on 1 core).
 # After the smoke gates, bench_diff compares the gated counter ratios
 # (B11/B13/B16/B17) against the committed bench/baseline.json and
 # fails on > 20% regression — see bin/bench_diff.sh for how to accept

@@ -413,7 +413,16 @@ let sessions_cmd =
             "Skip build-time fusion (clones of unfused graphs are exact; \
              see DESIGN.md).")
   in
-  let run file replay n print_stats no_fuse =
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"K"
+          ~doc:
+            "Drain sessions over a pool of $(docv) OCaml domains with work \
+             stealing (default 1: sequential). Per-session change traces \
+             are identical either way.")
+  in
+  let run file replay n print_stats no_fuse domains =
     or_die (fun () ->
         let program, ty = load_checked file in
         let events =
@@ -438,8 +447,16 @@ let sessions_cmd =
           let module D = Elm_serve.Dispatcher in
           let module S = Elm_serve.Session in
           (* Sessions run synchronously against the cached plan: no
-             scheduler, no threads — the whole replay is plain code. *)
-          let d = D.create ~fuse:(not no_fuse) root_signal in
+             scheduler, no threads — the whole replay is plain code.
+             --domains=K > 1 shards the drain across a domain pool; the
+             observable traces are the same (B18's oracle). *)
+          if domains < 1 then
+            raise (Invalid_argument "--domains must be >= 1");
+          let pool =
+            if domains > 1 then Some (Elm_serve.Pool.create ~domains ())
+            else None
+          in
+          let d = D.create ~fuse:(not no_fuse) ?pool root_signal in
           let sessions = List.init n (fun _ -> D.open_session d) in
           let skipped = ref 0 in
           List.iter
@@ -477,8 +494,29 @@ let sessions_cmd =
             Printf.printf "(%d trace events targeted unused inputs)\n" !skipped;
           if print_stats then begin
             Format.printf "accounting: %a@." D.pp_accounting (D.accounting d);
-            List.iter (fun s -> Format.printf "stats %a@." S.pp_stats s) sessions
-          end
+            List.iter (fun s -> Format.printf "stats %a@." S.pp_stats s) sessions;
+            (* With a pool, also show where the work ran: per-domain counter
+               rows (they merge back to the session totals) and the pool's
+               scheduling activity. *)
+            match pool with
+            | None -> ()
+            | Some p ->
+              Array.iteri
+                (fun i st ->
+                  Format.printf "stats %a@."
+                    (Elm_serve.Dispatcher.Stats.pp_labeled
+                       (Printf.sprintf "d%d" i))
+                    st)
+                (D.domain_stats d);
+              Array.iteri
+                (fun i w ->
+                  Printf.printf
+                    "domain d%d: tasks=%d steals=%d idle_probes=%d\n" i
+                    w.Elm_serve.Pool.ws_tasks w.Elm_serve.Pool.ws_steals
+                    w.Elm_serve.Pool.ws_idle_probes)
+                (Elm_serve.Pool.worker_stats p)
+          end;
+          Option.iter Elm_serve.Pool.close pool
         | v ->
           Printf.printf "-- %s : %s\n" (Filename.basename file)
             (Felm.Ty.to_string ty);
@@ -492,7 +530,8 @@ let sessions_cmd =
           arena copy, and the same replayed trace must produce identical \
           per-session change traces.")
     Term.(
-      const run $ file_arg $ replay_arg $ count_arg $ stats_arg $ no_fuse_arg)
+      const run $ file_arg $ replay_arg $ count_arg $ stats_arg $ no_fuse_arg
+      $ domains_arg)
 
 let () =
   let info =

@@ -730,8 +730,18 @@ let pp_plan ppf pl =
    [Fuse.fuse_cached] returns a stable fused root, so the id identifies the
    graph shape. Bounded crudely — a full reset at [max_cached_plans] — so
    test suites churning through thousands of generated graphs cannot grow
-   the table (or pin their graphs against the GC) without bound. *)
+   the table (or pin their graphs against the GC) without bound.
+
+   The table is shared by every domain (that sharing is the whole point of
+   the plan/arena split), so lookups and inserts are serialised by
+   [cache_lock] — a bare Hashtbl would be corrupted the moment two domains
+   compile concurrently, e.g. two pool workers both opening dispatchers.
+   The (pure, allocation-heavy) [plan] build itself runs *outside* the
+   lock; a race that builds the same plan twice is resolved by keeping the
+   first inserted plan, so every caller agrees on one canonical plan per
+   root and per-plan state (arenas, slot indices) stays interchangeable. *)
 let plan_cache : (int, plan) Hashtbl.t = Hashtbl.create 64
+let cache_lock = Mutex.create ()
 let cache_hits = ref 0
 let cache_misses = ref 0
 let max_cached_plans = 256
@@ -743,22 +753,45 @@ type cache_stats = {
 }
 
 let plan_cache_stats () =
-  { hits = !cache_hits; misses = !cache_misses; entries = Hashtbl.length plan_cache }
+  Mutex.lock cache_lock;
+  let s =
+    {
+      hits = !cache_hits;
+      misses = !cache_misses;
+      entries = Hashtbl.length plan_cache;
+    }
+  in
+  Mutex.unlock cache_lock;
+  s
 
-let clear_plan_cache () = Hashtbl.reset plan_cache
+let clear_plan_cache () =
+  Mutex.lock cache_lock;
+  Hashtbl.reset plan_cache;
+  Mutex.unlock cache_lock
 
 let plan_of root =
   let key = Signal.id root in
+  Mutex.lock cache_lock;
   match Hashtbl.find_opt plan_cache key with
   | Some pl ->
     incr cache_hits;
+    Mutex.unlock cache_lock;
     pl
   | None ->
     incr cache_misses;
+    Mutex.unlock cache_lock;
     let pl = plan root in
-    if Hashtbl.length plan_cache >= max_cached_plans then
-      Hashtbl.reset plan_cache;
-    Hashtbl.replace plan_cache key pl;
+    Mutex.lock cache_lock;
+    let pl =
+      match Hashtbl.find_opt plan_cache key with
+      | Some winner -> winner (* another domain built it first: keep theirs *)
+      | None ->
+        if Hashtbl.length plan_cache >= max_cached_plans then
+          Hashtbl.reset plan_cache;
+        Hashtbl.replace plan_cache key pl;
+        pl
+    in
+    Mutex.unlock cache_lock;
     pl
 
 (* ------------------------------------------------------------------ *)

@@ -212,12 +212,14 @@ let as_stage : type a. a S.t -> a stage option =
   | S.Sample_on _ | S.Keep_when _ ->
     None
 
-(* Distinguishes substitution slots of this pass from earlier passes. *)
-let pass_counter = ref 0
+(* Distinguishes substitution slots of this pass from earlier passes.
+   Atomic: two domains fusing (different graphs) concurrently must not tear
+   the counter into one shared pass id, or their substitution slots would
+   alias on any shared node. *)
+let pass_counter = Atomic.make 0
 
 let fuse root =
-  incr pass_counter;
-  let pass = !pass_counter in
+  let pass = Atomic.fetch_and_add pass_counter 1 + 1 in
   let nodes = S.reachable root in
   (* Subscriber (incoming-edge) counts over the original graph. A node used
      twice by the same dependent counts twice — it has two subscriptions. *)
@@ -340,11 +342,25 @@ let fuse root =
    which would defeat any cache keyed on the fused root (Compile's plan
    cache). Memoising the pass on the root node itself keeps the fused root
    stable across [Runtime.start] and session-layer calls; the slot dies with
-   the graph, so nothing leaks. *)
+   the graph, so nothing leaks.
+
+   The memo (and the pass it guards) must be serialised across domains: two
+   domains racing through the [None] arm would each run a rewrite and
+   publish *different* fused roots (fresh composite nodes, fresh ids) for
+   the same graph, so a plan compiled against one would silently not match
+   sessions opened against the other. The lock covers the whole
+   check-rewrite-publish sequence; the rewrite itself also writes [subst]
+   slots on shared nodes, which the same lock protects. *)
+let fuse_lock = Mutex.create ()
+
 let fuse_cached root =
-  match S.get_fused root with
-  | Some f -> f
-  | None ->
-    let f = fuse root in
-    S.set_fused root f;
-    f
+  Mutex.lock fuse_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock fuse_lock)
+    (fun () ->
+      match S.get_fused root with
+      | Some f -> f
+      | None ->
+        let f = fuse root in
+        S.set_fused root f;
+        f)

@@ -44,12 +44,13 @@ and ('b, 'a) composite = {
 
 type packed = Pack : 'a t -> packed
 
-let counter = ref 0
+let counter = Atomic.make 0
 
-(* The paper's [guid] (Fig. 9). *)
-let fresh_id () =
-  incr counter;
-  !counter
+(* The paper's [guid] (Fig. 9). Atomic so graphs may be built from several
+   domains concurrently (the serving layer compiles on whichever domain
+   first asks for a plan): a torn [incr] would hand two nodes the same id,
+   and both the plan cache and the fusion memo key on ids. *)
+let fresh_id () = Atomic.fetch_and_add counter 1 + 1
 
 let make ?name ~fallback_name default kind =
   {

@@ -64,6 +64,55 @@ let pp ppf s =
    counters continue from the parent's history instead of resetting. *)
 let copy s = { s with events = s.events }
 
+(* Counters are plain ints, never atomics: each instance is only ever
+   mutated by the one domain currently running its session (the pool pins a
+   session to a domain for the whole task), so merging — not sharing — is
+   the multi-domain story. [merge] folds a worker's accumulator into a
+   global view after the parallel phase; field-wise addition is exact
+   because every counter is a sum of per-event increments. *)
+let merge dst src =
+  dst.events <- dst.events + src.events;
+  dst.messages <- dst.messages + src.messages;
+  dst.elided_messages <- dst.elided_messages + src.elided_messages;
+  dst.notified_nodes <- dst.notified_nodes + src.notified_nodes;
+  dst.applications <- dst.applications + src.applications;
+  dst.recomputations <- dst.recomputations + src.recomputations;
+  dst.fold_steps <- dst.fold_steps + src.fold_steps;
+  dst.async_events <- dst.async_events + src.async_events;
+  dst.switches <- dst.switches + src.switches;
+  dst.fused_nodes <- dst.fused_nodes + src.fused_nodes;
+  dst.compiled_regions <- dst.compiled_regions + src.compiled_regions;
+  dst.region_steps <- dst.region_steps + src.region_steps;
+  dst.node_failures <- dst.node_failures + src.node_failures;
+  dst.node_restarts <- dst.node_restarts + src.node_restarts
+
+(* [add_delta dst ~before ~after] credits [dst] with the work done between
+   two snapshots of the same live instance. This is how per-domain stats
+   are attributed: a worker snapshots a session's counters ([copy]) before
+   stepping it, steps it, and adds the difference to its own domain row —
+   the session's counters themselves stay whole-session totals. *)
+let add_delta dst ~before ~after =
+  dst.events <- dst.events + (after.events - before.events);
+  dst.messages <- dst.messages + (after.messages - before.messages);
+  dst.elided_messages <-
+    dst.elided_messages + (after.elided_messages - before.elided_messages);
+  dst.notified_nodes <-
+    dst.notified_nodes + (after.notified_nodes - before.notified_nodes);
+  dst.applications <- dst.applications + (after.applications - before.applications);
+  dst.recomputations <-
+    dst.recomputations + (after.recomputations - before.recomputations);
+  dst.fold_steps <- dst.fold_steps + (after.fold_steps - before.fold_steps);
+  dst.async_events <- dst.async_events + (after.async_events - before.async_events);
+  dst.switches <- dst.switches + (after.switches - before.switches);
+  dst.fused_nodes <- dst.fused_nodes + (after.fused_nodes - before.fused_nodes);
+  dst.compiled_regions <-
+    dst.compiled_regions + (after.compiled_regions - before.compiled_regions);
+  dst.region_steps <- dst.region_steps + (after.region_steps - before.region_steps);
+  dst.node_failures <-
+    dst.node_failures + (after.node_failures - before.node_failures);
+  dst.node_restarts <-
+    dst.node_restarts + (after.node_restarts - before.node_restarts)
+
 (* The label disambiguates instances sharing one sink — per-session stats
    lines would otherwise be indistinguishable ("s3: events=..."). Partial
    application gives a [%a]-compatible printer. *)

@@ -79,6 +79,21 @@ val copy : t -> t
     Used by [Serve.Dispatcher.clone] so a cloned session's counters
     continue from its parent's. *)
 
+val merge : t -> t -> unit
+(** [merge dst src] adds every counter of [src] into [dst]. Exact: all
+    counters are sums of per-event increments, so per-domain accumulators
+    merged into one equal a single-domain run's totals (and the elision
+    invariant [messages + elided_messages = node_count * events] survives
+    the merge). Counters stay plain ints — a session is pinned to one
+    domain while being stepped, so instances are never mutated
+    concurrently; merging afterwards is the whole multi-domain story. *)
+
+val add_delta : t -> before:t -> after:t -> unit
+(** [add_delta dst ~before ~after] adds [after - before], field-wise, into
+    [dst]. [before] and [after] are {!copy} snapshots of the same live
+    instance; the pool uses this to attribute a step's work to the domain
+    that ran it without disturbing the session's own totals. *)
+
 val pp_labeled : string -> Format.formatter -> t -> unit
 (** [pp_labeled label] prints [label: <pp>]. Use one label per instance
     (e.g. ["s3"] for session 3) when several runtimes or sessions report

@@ -60,12 +60,23 @@ type node_acc = {
   lat : samples;  (* dispatch-to-emit, per processed round *)
 }
 
-type t = {
+(* One shard holds everything a single domain records: its own ring, its
+   own aggregates, its own hashtables. Recording never crosses shards, so
+   no recording path takes a lock or issues an atomic RMW — the only
+   synchronisation is the CAS that publishes a new shard the first time a
+   domain touches the tracer, and the read-only merge at export time.
+
+   Sharding by domain (not by session) is sound for span pairing because
+   the pool pins a session to one domain for the whole of each task: a
+   [Dispatch], the [Node_start]/[Node_end] spans it triggers, and the
+   closing [Display] all land in the same shard, so [dispatch_ts] lookups
+   and open-span bookkeeping behave exactly as in the single-domain
+   tracer. *)
+type shard = {
   cap : int;
   ring : record array;
   mutable next : int;  (* next slot to overwrite *)
   mutable written : int;  (* total records ever pushed *)
-  mutable pid : int;
   node_accs : (int, node_acc) Hashtbl.t;
   dispatch_ts : (int, float) Hashtbl.t;  (* epoch -> dispatch time *)
   disp_lat : samples;  (* event-to-display, per displayed round *)
@@ -77,17 +88,31 @@ type t = {
   queue_peaks : (string, int) Hashtbl.t;
 }
 
+type t = {
+  t_cap : int;
+  mutable t_pid : int;
+  (* id -> registered display name. Written by [register_node] (sessions
+     are opened outside the parallel phase, but the lock keeps the table
+     safe regardless); read at export. Kept outside the shards so a node
+     registered on the opening domain keeps its name even when another
+     domain ends up stepping it. *)
+  t_names : (int, string) Hashtbl.t;
+  t_names_lock : Mutex.t;
+  (* Immutable assoc list domain-id -> shard, replaced by CAS on first
+     touch from a new domain. Readers take a plain [Atomic.get]: the list
+     only ever grows, and a stale read just retries the CAS. *)
+  t_shards : (int * shard) list Atomic.t;
+}
+
 let null_record =
   { kind = Switch; ts = 0.0; node = -1; epoch = -1; chan = ""; value = 0 }
 
-let create ?(capacity = 65536) () =
-  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+let shard_create cap =
   {
-    cap = capacity;
-    ring = Array.make capacity null_record;
+    cap;
+    ring = Array.make cap null_record;
     next = 0;
     written = 0;
-    pid = 1;
     node_accs = Hashtbl.create 64;
     dispatch_ts = Hashtbl.create 1024;
     disp_lat = samples_create ();
@@ -99,23 +124,61 @@ let create ?(capacity = 65536) () =
     queue_peaks = Hashtbl.create 16;
   }
 
-let push t r =
-  t.ring.(t.next) <- r;
-  t.next <- (t.next + 1) mod t.cap;
-  t.written <- t.written + 1
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    t_cap = capacity;
+    t_pid = 1;
+    t_names = Hashtbl.create 64;
+    t_names_lock = Mutex.create ();
+    t_shards = Atomic.make [];
+  }
 
-let dropped t = max 0 (t.written - t.cap)
+let rec shard_of t =
+  let did = (Domain.self () :> int) in
+  let shards = Atomic.get t.t_shards in
+  match List.assoc_opt did shards with
+  | Some s -> s
+  | None ->
+    let s = shard_create t.t_cap in
+    if Atomic.compare_and_set t.t_shards shards ((did, s) :: shards) then s
+    else shard_of t
 
-let records t =
-  let n = min t.written t.cap in
+(* Shards ordered by domain id: exports must not depend on publication
+   (CAS-race) order. *)
+let shards t =
+  Atomic.get t.t_shards
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  |> List.map snd
+
+let push sh r =
+  sh.ring.(sh.next) <- r;
+  sh.next <- (sh.next + 1) mod sh.cap;
+  sh.written <- sh.written + 1
+
+let shard_dropped sh = max 0 (sh.written - sh.cap)
+
+let dropped t = List.fold_left (fun acc sh -> acc + shard_dropped sh) 0 (shards t)
+
+let shard_records sh =
+  let n = min sh.written sh.cap in
   (* Oldest record: slot [next] when the ring has wrapped, 0 otherwise. *)
-  let first = if t.written > t.cap then t.next else 0 in
-  List.init n (fun i -> t.ring.((first + i) mod t.cap))
+  let first = if sh.written > sh.cap then sh.next else 0 in
+  List.init n (fun i -> sh.ring.((first + i) mod sh.cap))
 
-let set_pid t pid = t.pid <- pid
+(* Merge-sort shard streams by timestamp. Each shard's stream is already
+   time-ordered (its domain recorded it sequentially), and the sort is
+   stable, so records at equal virtual timestamps keep their shard-order —
+   a single-domain run's export is bit-identical to the old
+   single-ring tracer's. *)
+let records t =
+  List.concat_map shard_records (shards t)
+  |> List.stable_sort (fun a b -> Float.compare a.ts b.ts)
 
-let node_acc t id =
-  match Hashtbl.find_opt t.node_accs id with
+let set_pid t pid = t.t_pid <- pid
+
+let node_acc sh id =
+  match Hashtbl.find_opt sh.node_accs id with
   | Some a -> a
   | None ->
     let a =
@@ -128,47 +191,64 @@ let node_acc t id =
         lat = samples_create ();
       }
     in
-    Hashtbl.replace t.node_accs id a;
+    Hashtbl.replace sh.node_accs id a;
     a
 
-let register_node t ~id ~name = (node_acc t id).acc_name <- name
+let register_node t ~id ~name =
+  Mutex.lock t.t_names_lock;
+  Hashtbl.replace t.t_names id name;
+  Mutex.unlock t.t_names_lock;
+  (* Also seed the registering domain's shard so a registered-but-idle
+     node still gets a (zero-round) summary row, as before sharding. *)
+  (node_acc (shard_of t) id).acc_name <- name
+
+let registered_name t id =
+  Mutex.lock t.t_names_lock;
+  let n = Hashtbl.find_opt t.t_names id in
+  Mutex.unlock t.t_names_lock;
+  n
 
 let node_start t ~node ~epoch =
+  let sh = shard_of t in
   let ts = Cml.now () in
-  push t { kind = Node_start; ts; node; epoch; chan = ""; value = 0 };
-  (node_acc t node).open_ts <- ts
+  push sh { kind = Node_start; ts; node; epoch; chan = ""; value = 0 };
+  (node_acc sh node).open_ts <- ts
 
 let node_end t ~node ~epoch =
+  let sh = shard_of t in
   let ts = Cml.now () in
-  push t { kind = Node_end; ts; node; epoch; chan = ""; value = 0 };
-  let a = node_acc t node in
+  push sh { kind = Node_end; ts; node; epoch; chan = ""; value = 0 };
+  let a = node_acc sh node in
   if not (Float.is_nan a.open_ts) then begin
     a.busy <- a.busy +. (ts -. a.open_ts);
     a.open_ts <- Float.nan
   end;
   a.rounds <- a.rounds + 1;
-  match Hashtbl.find_opt t.dispatch_ts epoch with
+  match Hashtbl.find_opt sh.dispatch_ts epoch with
   | Some t0 -> samples_add a.lat (ts -. t0)
   | None -> ()
 
 let node_failure t ~node ~epoch =
+  let sh = shard_of t in
   push
-    t
+    sh
     { kind = Node_fail; ts = Cml.now (); node; epoch; chan = ""; value = 0 };
-  t.n_failures <- t.n_failures + 1;
-  let a = node_acc t node in
+  sh.n_failures <- sh.n_failures + 1;
+  let a = node_acc sh node in
   a.failures <- a.failures + 1
 
 let dispatch t ~source ~epoch ~targets =
+  let sh = shard_of t in
   let ts = Cml.now () in
-  push t { kind = Dispatch; ts; node = source; epoch; chan = ""; value = targets };
-  t.n_events <- t.n_events + 1;
-  Hashtbl.replace t.dispatch_ts epoch ts
+  push sh { kind = Dispatch; ts; node = source; epoch; chan = ""; value = targets };
+  sh.n_events <- sh.n_events + 1;
+  Hashtbl.replace sh.dispatch_ts epoch ts
 
 let display t ~epoch ~changed =
+  let sh = shard_of t in
   let ts = Cml.now () in
   push
-    t
+    sh
     {
       kind = Display;
       ts;
@@ -177,33 +257,36 @@ let display t ~epoch ~changed =
       chan = "";
       value = (if changed then 1 else 0);
     };
-  t.n_displays <- t.n_displays + 1;
-  if changed then t.n_changes <- t.n_changes + 1;
-  match Hashtbl.find_opt t.dispatch_ts epoch with
-  | Some t0 -> samples_add t.disp_lat (ts -. t0)
+  sh.n_displays <- sh.n_displays + 1;
+  if changed then sh.n_changes <- sh.n_changes + 1;
+  match Hashtbl.find_opt sh.dispatch_ts epoch with
+  | Some t0 -> samples_add sh.disp_lat (ts -. t0)
   | None -> ()
 
-let bump_peak t chan depth =
-  match Hashtbl.find_opt t.queue_peaks chan with
+let bump_peak sh chan depth =
+  match Hashtbl.find_opt sh.queue_peaks chan with
   | Some d when d >= depth -> ()
-  | Some _ | None -> Hashtbl.replace t.queue_peaks chan depth
+  | Some _ | None -> Hashtbl.replace sh.queue_peaks chan depth
 
 let chan_send t ~chan ~depth =
+  let sh = shard_of t in
   push
-    t
+    sh
     { kind = Chan_send; ts = Cml.now (); node = -1; epoch = -1; chan; value = depth };
-  bump_peak t chan depth
+  bump_peak sh chan depth
 
 let chan_recv t ~chan ~depth =
+  let sh = shard_of t in
   push
-    t
+    sh
     { kind = Chan_recv; ts = Cml.now (); node = -1; epoch = -1; chan; value = depth }
 
 let switch t ~count =
+  let sh = shard_of t in
   push
-    t
+    sh
     { kind = Switch; ts = Cml.now (); node = -1; epoch = -1; chan = ""; value = count };
-  t.last_switches <- count
+  sh.last_switches <- count
 
 let attach t =
   Cml.Probe.set
@@ -245,11 +328,52 @@ type summary = {
   records_dropped : int;
 }
 
-let latencies t = samples_list t.disp_lat
+let latencies t = List.concat_map (fun sh -> samples_list sh.disp_lat) (shards t)
 
+(* Export-time merge across shards. Counters sum; latency samples
+   concatenate (percentiles are over the union); per-node accumulators
+   merge by id, summing rounds/busy/failures; queue peaks and the switch
+   high-water mark take the max. A registered name wins over the default
+   ["node-%d"] even when the registering and stepping domains differ. *)
 let summary t =
-  let sorted = samples_sorted t.disp_lat in
-  let n = Array.length sorted in
+  let shs = shards t in
+  let sum f = List.fold_left (fun acc sh -> acc + f sh) 0 shs in
+  let all_lat =
+    let a =
+      Array.concat (List.map (fun sh -> samples_sorted sh.disp_lat) shs)
+    in
+    Array.sort Float.compare a;
+    a
+  in
+  let n = Array.length all_lat in
+  let merged : (int, node_acc) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun sh ->
+      Hashtbl.iter
+        (fun id a ->
+          match Hashtbl.find_opt merged id with
+          | None ->
+            let m =
+              {
+                acc_name = a.acc_name;
+                rounds = a.rounds;
+                busy = a.busy;
+                open_ts = Float.nan;
+                failures = a.failures;
+                lat = samples_create ();
+              }
+            in
+            Array.iter (fun x -> samples_add m.lat x)
+              (Array.sub a.lat.data 0 a.lat.len);
+            Hashtbl.replace merged id m
+          | Some m ->
+            m.rounds <- m.rounds + a.rounds;
+            m.busy <- m.busy +. a.busy;
+            m.failures <- m.failures + a.failures;
+            Array.iter (fun x -> samples_add m.lat x)
+              (Array.sub a.lat.data 0 a.lat.len))
+        sh.node_accs)
+    shs;
   let nodes =
     Hashtbl.fold
       (fun id a acc ->
@@ -257,7 +381,10 @@ let summary t =
         let m = Array.length s in
         {
           node_id = id;
-          node_name = a.acc_name;
+          node_name =
+            (match registered_name t id with
+            | Some n -> n
+            | None -> a.acc_name);
           rounds = a.rounds;
           busy = a.busy;
           node_failures = a.failures;
@@ -266,24 +393,34 @@ let summary t =
           node_max = (if m = 0 then 0.0 else s.(m - 1));
         }
         :: acc)
-      t.node_accs []
+      merged []
     |> List.sort (fun a b -> compare (b.busy, b.node_id) (a.busy, a.node_id))
   in
+  let peaks_tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (sh : shard) ->
+      Hashtbl.iter
+        (fun name d ->
+          match Hashtbl.find_opt peaks_tbl name with
+          | Some d' when d' >= d -> ()
+          | Some _ | None -> Hashtbl.replace peaks_tbl name d)
+        sh.queue_peaks)
+    shs;
   let peaks =
-    Hashtbl.fold (fun name d acc -> (name, d) :: acc) t.queue_peaks []
+    Hashtbl.fold (fun name d acc -> (name, d) :: acc) peaks_tbl []
     |> List.sort (fun (na, da) (nb, db) -> compare (db, na) (da, nb))
   in
   {
-    events = t.n_events;
-    displays = t.n_displays;
-    changes = t.n_changes;
-    failures = t.n_failures;
-    p50 = percentile sorted 0.5;
-    p95 = percentile sorted 0.95;
-    max = (if n = 0 then 0.0 else sorted.(n - 1));
+    events = sum (fun sh -> sh.n_events);
+    displays = sum (fun sh -> sh.n_displays);
+    changes = sum (fun sh -> sh.n_changes);
+    failures = sum (fun sh -> sh.n_failures);
+    p50 = percentile all_lat 0.5;
+    p95 = percentile all_lat 0.95;
+    max = (if n = 0 then 0.0 else all_lat.(n - 1));
     nodes;
     queue_peaks = peaks;
-    switches = t.last_switches;
+    switches = List.fold_left (fun acc sh -> Stdlib.max acc sh.last_switches) 0 shs;
     records_dropped = dropped t;
   }
 
@@ -346,7 +483,7 @@ let pp_summary ppf s =
 let us ts = Json.of_float (ts *. 1e6)
 
 let to_chrome_json t =
-  let pid = Json.of_int t.pid in
+  let pid = Json.of_int t.t_pid in
   let meta name tid args =
     Json.Object
       [
@@ -357,24 +494,36 @@ let to_chrome_json t =
         ("args", Json.Object args);
       ]
   in
+  (* Known node ids across every shard, merged; a registered name wins. *)
+  let known : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun sh ->
+      Hashtbl.iter
+        (fun id a ->
+          if not (Hashtbl.mem known id) then Hashtbl.replace known id a.acc_name)
+        sh.node_accs)
+    (shards t);
+  Mutex.lock t.t_names_lock;
+  Hashtbl.iter (fun id name -> Hashtbl.replace known id name) t.t_names;
+  Mutex.unlock t.t_names_lock;
   let node_name id =
-    match Hashtbl.find_opt t.node_accs id with
-    | Some a -> a.acc_name
+    match Hashtbl.find_opt known id with
+    | Some n -> n
     | None -> Printf.sprintf "node-%d" id
   in
   let metadata =
     meta "process_name" 0
-      [ ("name", Json.of_string (Printf.sprintf "elm-frp runtime #%d" t.pid)) ]
+      [ ("name", Json.of_string (Printf.sprintf "elm-frp runtime #%d" t.t_pid)) ]
     :: meta "thread_name" 0 [ ("name", Json.of_string "dispatcher") ]
     :: meta "thread_name" 1 [ ("name", Json.of_string "display") ]
     :: (Hashtbl.fold
-          (fun id a acc ->
+          (fun id name acc ->
             meta "thread_name" (id + 2)
               [
-                ("name", Json.of_string (Printf.sprintf "%s (node %d)" a.acc_name id));
+                ("name", Json.of_string (Printf.sprintf "%s (node %d)" name id));
               ]
             :: acc)
-          t.node_accs []
+          known []
        |> List.sort compare)
   in
   let event r =

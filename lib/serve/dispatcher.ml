@@ -46,6 +46,15 @@ type 'a t = {
   d_policy : Runtime.error_policy;
   d_capacity : int option;
   d_history : int option;
+  d_pool : Pool.t option;  (* present: [drain] fans out over domains *)
+  d_in_parallel : bool ref;
+      (* true while pool workers are stepping sessions: boundary re-entries
+         route to session inboxes instead of [d_ready], and the delay heap
+         goes behind [d_delay_lock]. A ref (not a field) because the env
+         closures are built before the record. *)
+  d_delay_lock : Mutex.t;  (* guards d_delays + d_seq (workers schedule) *)
+  mutable d_domain_stats : Stats.t array;
+      (* per-worker-slot accumulators, grown lazily to the pool width *)
   mutable d_next_sid : int;
   mutable d_opened : int;
   mutable d_closed : int;
@@ -63,7 +72,7 @@ type accounting = {
 }
 
 let create ?tracer ?(on_node_error = Runtime.Propagate) ?queue_capacity
-    ?history ?(fuse = true) root =
+    ?history ?(fuse = true) ?pool root =
   let root = if fuse then Fuse.fuse_cached root else root in
   let plan = Compile.plan_of root in
   let sessions = Hashtbl.create 64 in
@@ -73,6 +82,8 @@ let create ?tracer ?(on_node_error = Runtime.Propagate) ?queue_capacity
   in
   let seq = ref 0 in
   let now = ref 0.0 in
+  let in_parallel = ref false in
+  let delay_lock = Mutex.create () in
   let env =
     {
       Session.env_fire =
@@ -80,18 +91,34 @@ let create ?tracer ?(on_node_error = Runtime.Propagate) ?queue_capacity
           match Hashtbl.find_opt sessions sid with
           | Some s when not (Session.closed s) ->
             Session.mark_pending s;
-            Queue.push (sid, source) ready
+            (* During a parallel round an async re-entry lands on its own
+               session's inbox: only the worker currently pinned to [sid]
+               calls this for [sid], so the push is single-writer, and the
+               task drains the inbox before returning — the re-entry runs
+               on the same domain, after everything already queued for the
+               session, exactly as the global FIFO would have ordered it.
+               (The sessions table is read-only while workers run:
+               open/close/clone are rejected mid-drain.) *)
+            if !in_parallel then Session.wake_push s source
+            else Queue.push (sid, source) ready
           | Some _ | None -> ());
       env_delay =
         (fun ~sid ~node ~slot ~seconds v ->
           match Hashtbl.find_opt sessions sid with
           | Some s when not (Session.closed s) ->
             Session.mark_pending_delay s;
+            (* Workers on different domains race to schedule; the lock
+               makes (heap, seq) updates atomic. A session's own delays
+               still get increasing seq numbers (its calls are ordered by
+               its single pinned domain), so per-session heap order — the
+               only order the oracle can observe — matches sequential. *)
+            Mutex.lock delay_lock;
             incr seq;
             delays :=
               Pqueue.insert !delays
                 (!now +. seconds, !seq)
-                { dl_sid = sid; dl_node = node; dl_slot = slot; dl_value = v }
+                { dl_sid = sid; dl_node = node; dl_slot = slot; dl_value = v };
+            Mutex.unlock delay_lock
           | Some _ | None -> ());
     }
   in
@@ -108,6 +135,10 @@ let create ?tracer ?(on_node_error = Runtime.Propagate) ?queue_capacity
     d_policy = on_node_error;
     d_capacity = queue_capacity;
     d_history = history;
+    d_pool = pool;
+    d_in_parallel = in_parallel;
+    d_delay_lock = delay_lock;
+    d_domain_stats = [||];
     d_next_sid = 0;
     d_opened = 0;
     d_closed = 0;
@@ -117,13 +148,23 @@ let create ?tracer ?(on_node_error = Runtime.Propagate) ?queue_capacity
 let root d = d.d_root
 let plan d = d.d_plan
 let now d = !(d.d_now)
+let pool d = d.d_pool
+let domain_stats d = d.d_domain_stats
 
 let fresh_sid d =
   let sid = d.d_next_sid in
   d.d_next_sid <- sid + 1;
   sid
 
+(* Lifecycle mutates the sessions table, which workers read lock-free
+   during a parallel round; nothing in a round can legitimately call these
+   (tasks run no user code), so a violation is a programming error. *)
+let check_not_parallel d what =
+  if !(d.d_in_parallel) then
+    invalid_arg (Printf.sprintf "Serve.Dispatcher.%s: parallel drain running" what)
+
 let open_session d =
+  check_not_parallel d "open_session";
   let sid = fresh_sid d in
   let s =
     Session.open_session ~sid ~env:d.d_env ?tracer:d.d_tracer
@@ -135,6 +176,7 @@ let open_session d =
   s
 
 let clone d src =
+  check_not_parallel d "clone";
   let sid = fresh_sid d in
   let s = Session.clone ~sid src in
   Hashtbl.replace d.d_sessions sid s;
@@ -142,6 +184,7 @@ let clone d src =
   s
 
 let close d s =
+  check_not_parallel d "close";
   if not (Session.closed s) then begin
     Session.close s;
     Hashtbl.remove d.d_sessions (Session.id s);
@@ -169,7 +212,7 @@ let inject d s input v =
    value, re-queue its wake, and continue. Terminates because every step
    consumes one queued event and delays only re-enter with strictly later
    due times (drains are finite for programs whose delay chains are). *)
-let drain d =
+let drain_sequential d =
   let dispatched = ref 0 in
   let rec loop () =
     match Queue.take_opt d.d_ready with
@@ -196,6 +239,140 @@ let drain d =
   in
   loop ();
   !dispatched
+
+(* ------------------------------------------------------------------ *)
+(* Parallel drain.
+
+   Why per-session traces cannot depend on the schedule: the sequential
+   drain's global FIFO, restricted to one session, is exactly that
+   session's arrival order — and that restriction is all any session can
+   observe (sessions share no mutable state). The parallel drain realises
+   precisely the same restriction: phase 1 deals the global FIFO into
+   per-session inboxes preserving order; a session task is pinned to one
+   domain and drains its inbox to quiescence, with async re-entries
+   appended at its own tail (same position the global queue would have
+   given them); delays are delivered only at global quiescence by the
+   coordinator, in (due, seq) heap order, at most one per session per
+   round so a session's delay wake never overtakes the ready events that
+   sequential dispatch would have drained first. Which domain runs a task,
+   and in which steal order, is therefore unobservable — the B18 oracle
+   checks this bit-for-bit against [drain_sequential] under many seeds. *)
+
+let ensure_domain_stats d n =
+  if Array.length d.d_domain_stats < n then
+    d.d_domain_stats <-
+      Array.init n (fun i ->
+          if i < Array.length d.d_domain_stats then d.d_domain_stats.(i)
+          else Stats.create ())
+
+(* Deal the global ready queue into per-session inboxes, returning the
+   sessions that became runnable in first-seen order (deterministic:
+   depends only on queue contents). *)
+let deal_ready d =
+  let runnable = ref [] in
+  let rec go () =
+    match Queue.take_opt d.d_ready with
+    | Some (sid, source) ->
+      (match find d sid with
+      | Some s ->
+        if not (Session.has_wakes s) then runnable := s :: !runnable;
+        Session.wake_push s source
+      | None -> ());
+      go ()
+    | None -> ()
+  in
+  go ();
+  List.rev !runnable
+
+(* At global quiescence: deliver the earliest batch of due delays — all
+   heap entries at the minimum due time, but at most one per session, in
+   (due, seq) order — into inboxes, advancing the virtual clock. At most
+   one per session because the sequential drain fully drains a session's
+   resulting events before its next delay pops; a second same-due delivery
+   in one round would let that wake overtake them. Returns the runnable
+   sessions in delivery order. *)
+let deliver_due_delays d =
+  match Pqueue.pop_min !(d.d_delays) with
+  | None -> []
+  | Some ((due, _), first, rest) ->
+    d.d_delays := rest;
+    if due > !(d.d_now) then d.d_now := due;
+    let seen = Hashtbl.create 8 in
+    let batch = ref [ first ] in
+    Hashtbl.replace seen first.dl_sid ();
+    let rec collect () =
+      match Pqueue.pop_min !(d.d_delays) with
+      | Some ((due', _), dl, rest') when due' = due && not (Hashtbl.mem seen dl.dl_sid)
+        ->
+        d.d_delays := rest';
+        Hashtbl.replace seen dl.dl_sid ();
+        batch := dl :: !batch;
+        collect ()
+      (* First entry that is later-due or a repeat session stays in the
+         heap (pop_min is non-destructive until we commit [rest']), and
+         everything behind it waits for the next round with it. *)
+      | Some _ | None -> ()
+    in
+    collect ();
+    List.rev !batch
+    |> List.filter_map (fun dl ->
+           match find d dl.dl_sid with
+           | Some s ->
+             Session.deliver_delayed s ~slot:dl.dl_slot dl.dl_value;
+             Session.mark_pending s;
+             let fresh = not (Session.has_wakes s) in
+             Session.wake_push s dl.dl_node;
+             if fresh then Some s else None
+           | None -> None)
+
+let drain_parallel ?(seed = 0) d =
+  let pool =
+    match d.d_pool with
+    | Some p -> p
+    | None -> invalid_arg "Serve.Dispatcher.drain_parallel: no pool"
+  in
+  check_not_parallel d "drain_parallel";
+  let n = Pool.domains pool in
+  ensure_domain_stats d n;
+  let dispatched = Atomic.make 0 in
+  let task_of s w =
+    let before = Stats.copy (Session.stats s) in
+    let rec go () =
+      match Session.wake_pop s with
+      | Some source ->
+        ignore (Atomic.fetch_and_add dispatched 1);
+        Session.step s ~source;
+        go ()
+      | None -> ()
+    in
+    go ();
+    Stats.add_delta d.d_domain_stats.(w) ~before ~after:(Session.stats s)
+  in
+  (* One round = one parallel sweep over the runnable sessions, then a
+     coordinator-sequential delay delivery. Terminates when a round ends
+     with nothing runnable and an empty (or all-future-quiet) heap — the
+     same quiescence the sequential drain reaches. *)
+  let rec rounds i runnable =
+    (match runnable with
+    | [] -> ()
+    | _ :: _ ->
+      d.d_in_parallel := true;
+      Fun.protect
+        ~finally:(fun () -> d.d_in_parallel := false)
+        (fun () ->
+          Pool.run ~seed:(seed + i) pool
+            (Array.of_list (List.map task_of runnable))));
+    match deliver_due_delays d with
+    | [] -> ()
+    | next -> rounds (i + 1) next
+  in
+  rounds 0 (deal_ready d);
+  Atomic.get dispatched
+
+let drain d =
+  match d.d_pool with
+  | Some _ -> drain_parallel d
+  | None -> drain_sequential d
 
 let accounting d =
   let idle = ref 0 and pend = ref 0 and pendd = ref 0 in

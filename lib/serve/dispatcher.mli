@@ -22,6 +22,7 @@
     ]} *)
 
 module Signal = Elm_core.Signal
+module Stats = Elm_core.Stats
 module Trace = Elm_core.Trace
 module Compile = Elm_core.Compile
 module Runtime = Elm_core.Runtime
@@ -34,6 +35,7 @@ val create :
   ?queue_capacity:int ->
   ?history:int ->
   ?fuse:bool ->
+  ?pool:Pool.t ->
   'a Signal.t ->
   'a t
 (** Build (or fetch from the plan cache) the compiled plan for the graph
@@ -80,9 +82,34 @@ val try_inject : 'a t -> 'a Session.t -> 'i Signal.t -> 'i -> bool
     session) instead of raising on a full queue. *)
 
 val drain : 'a t -> int
-(** Dispatch queued events in FIFO order until quiescence, advancing the
-    virtual clock through due delayed values once the ready queue empties.
-    Returns the number of events dispatched. *)
+(** Dispatch queued events until quiescence, advancing the virtual clock
+    through due delayed values once the ready queue empties. Returns the
+    number of events dispatched. Sequential FIFO when the dispatcher has
+    no pool; {!drain_parallel} (seed 0) when it does — per-session
+    observable traces are identical either way. *)
+
+val drain_parallel : ?seed:int -> 'a t -> int
+(** Drain by fanning the runnable sessions out over the dispatcher's
+    {!Pool} in rounds: each round runs one task per runnable session (a
+    task drains that session's inbox to quiescence on one domain — the
+    pinning that preserves per-(session,source) FIFO), then the
+    coordinator delivers the earliest batch of due delayed values (at most
+    one per session, in heap order) and starts the next round. [seed]
+    selects the pool's deal/steal schedule; per-session change traces are
+    bit-identical for every seed and equal to the sequential drain's —
+    the interleaving oracle in the test suite and bench B18 check exactly
+    this. Raises [Invalid_argument] if the dispatcher has no pool.
+    Session lifecycle calls ([open_session]/[clone]/[close]) are rejected
+    while a parallel drain is running. *)
+
+val pool : 'a t -> Pool.t option
+
+val domain_stats : 'a t -> Stats.t array
+(** Per-worker-slot counter accumulators: slot [w] holds the work executed
+    by pool worker [w] across parallel drains (attributed via
+    {!Elm_core.Stats.add_delta} snapshots around each task). Merging all
+    slots with {!Elm_core.Stats.merge} reproduces the totals of the same
+    drain run sequentially. Empty until the first parallel drain. *)
 
 val now : 'a t -> float
 (** The virtual clock: the due time of the latest delayed value

@@ -1,0 +1,63 @@
+(** A work-stealing pool of OCaml 5 domains for the serving layer.
+
+    The paper's async semantics deliberately decouple subgraphs so they may
+    run concurrently without changing observable per-source ordering
+    (Sections 1, 3.3); sessions — independent arenas over one shared
+    immutable plan — take that decoupling to its limit: they share nothing
+    mutable, so a batch of session tasks is embarrassingly parallel. This
+    pool runs such batches across [N] domains with lock-free (Atomic
+    cursor) work stealing for bursty imbalance, and with {e seeded} steal
+    schedules so an interleaving checker can replay many placements and
+    require bit-identical observable traces.
+
+    The pool knows nothing about sessions: tasks are [int -> unit]
+    closures receiving the executing worker's index (used by
+    {!Dispatcher.drain_parallel} to bill per-domain {!Elm_core.Stats}).
+    Tasks must not block and must not call {!run} reentrantly; a task's
+    own follow-up work (async re-entries) must be folded into the task
+    itself, which is exactly what draining a session inbox to quiescence
+    does. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains:n ()] spawns [n - 1] persistent worker domains; the
+    calling domain participates as worker 0 during {!run}. [domains]
+    defaults to [Domain.recommended_domain_count ()]. Raises
+    [Invalid_argument] when [n < 1]. Workers park on a condition variable
+    between batches — an idle pool burns no CPU. *)
+
+val domains : t -> int
+(** Worker count, including the caller's slot 0. *)
+
+val run : ?seed:int -> t -> (int -> unit) array -> unit
+(** [run ~seed t tasks] executes every task and returns when all have
+    finished (a barrier). Tasks are dealt round-robin (rotated by [seed])
+    into per-worker queues; idle workers steal from the others in a
+    [seed]-determined probe order, so the schedule — which domain runs
+    which task — is a deterministic function of [(seed, tasks, domains)]
+    up to claim races. If tasks raise, the first exception is re-raised
+    here after the batch completes; the rest are dropped. Raises
+    [Invalid_argument] on reentrant use or after {!close}. *)
+
+type worker_stats = {
+  ws_tasks : int;  (** Tasks this worker executed (own + stolen). *)
+  ws_steals : int;  (** Tasks taken from another worker's queue. *)
+  ws_idle_probes : int;
+      (** Steal probes that found an empty victim queue — a unitless proxy
+          for time spent looking for work rather than doing it. *)
+}
+
+val worker_stats : t -> worker_stats array
+(** Lifetime per-worker counters (index = worker), summed over batches
+    since creation or the last {!reset_worker_stats}. Read between runs —
+    counters are owner-written during a batch. *)
+
+val reset_worker_stats : t -> unit
+
+val total_steals : t -> int
+(** Sum of [ws_steals] over all workers. *)
+
+val close : t -> unit
+(** Wake and join every worker domain. Idempotent. The pool must be idle
+    (no {!run} in progress). *)

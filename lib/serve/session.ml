@@ -55,6 +55,10 @@ type 'a t = {
   s_tracer : Trace.t option;
   s_offset : int;  (* sid * id_stride: per-session trace id offset *)
   s_sink : 'a sink;
+  s_inbox : int Queue.t;
+      (* source-id wakes pinned to this session during a parallel drain:
+         the per-session restriction of the dispatcher's global FIFO. Only
+         the domain currently running this session's task touches it. *)
   mutable s_epoch : int;  (* session-local event counter *)
   mutable s_pending : int;  (* routed events not yet stepped *)
   mutable s_pending_delays : int;  (* values in the dispatcher's heap *)
@@ -207,6 +211,7 @@ let build : type r.
     s_tracer = tracer;
     s_offset = offset;
     s_sink = sink;
+    s_inbox = Queue.create ();
     s_epoch = epoch;
     s_pending = 0;
     s_pending_delays = 0;
@@ -347,6 +352,15 @@ let deliver_delayed s ~slot v =
 (* Dispatcher bookkeeping hooks. *)
 let mark_pending s = s.s_pending <- s.s_pending + 1
 let mark_pending_delay s = s.s_pending_delays <- s.s_pending_delays + 1
+
+(* Parallel-drain inbox. The dispatcher moves a session's share of the
+   global FIFO here before handing the session to a pool worker; async
+   re-entries append while the task runs. FIFO within the queue = the
+   global arrival order restricted to this session, which is all the
+   paper's per-(session,source) guarantee needs. *)
+let wake_push s source = Queue.push source s.s_inbox
+let wake_pop s = Queue.take_opt s.s_inbox
+let has_wakes s = not (Queue.is_empty s.s_inbox)
 
 (* ------------------------------------------------------------------ *)
 (* Accessors *)

@@ -128,3 +128,14 @@ val deliver_delayed : 'a t -> slot:int -> Obj.t -> unit
 
 val mark_pending : 'a t -> unit
 val mark_pending_delay : 'a t -> unit
+
+val wake_push : 'a t -> int -> unit
+(** Append a source-id wake to the session's parallel-drain inbox — the
+    per-session restriction of the dispatcher's global FIFO. Owned by the
+    domain currently running the session's task (or the coordinator
+    between rounds); never touched concurrently. *)
+
+val wake_pop : 'a t -> int option
+(** Take the oldest queued wake, if any. *)
+
+val has_wakes : 'a t -> bool

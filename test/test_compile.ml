@@ -287,6 +287,58 @@ let test_plan_cache_shares_plan_object () =
   check_bool "cache reports the entry" true
     ((Compile.plan_cache_stats ()).Compile.entries >= 1)
 
+(* Concurrent compilation: several domains hammer graph construction,
+   fusion memoisation and the plan cache at once. On the pre-Mutex code
+   this crashed or corrupted state three separate ways — torn [fresh_id]
+   increments handing two nodes one id (poisoning both memo keys),
+   unguarded [node_fused] publication, and racing Hashtbl writes inside
+   the bounded cache (including full [reset] churn past its capacity).
+   Each domain also re-resolves a shared graph's plan repeatedly: every
+   resolution must return the one canonical (physically equal) plan. *)
+let test_plan_cache_concurrent_compile () =
+  Compile.clear_plan_cache ();
+  let shared_in = Signal.input ~name:"shared" 0 in
+  let shared = Signal.foldp ( + ) 0 (Signal.lift succ shared_in) in
+  let shared_fused = Fuse.fuse_cached shared in
+  let canonical = Compile.plan_of shared_fused in
+  let failures = Atomic.make 0 in
+  let per_domain = 300 (* > max_cached_plans: forces reset churn *) in
+  let worker () =
+    for i = 1 to per_domain do
+      (* a fresh small graph: exercises fresh_id + fuse + plan build *)
+      let x = Signal.input ~name:"x" 0 in
+      let root =
+        Signal.lift2 ( + )
+          (Signal.lift (fun v -> (v * 3) + i) x)
+          (Signal.drop_repeats (Signal.lift (fun v -> v / 2) x))
+      in
+      let fused = Fuse.fuse_cached root in
+      let pl = Compile.plan_of fused in
+      if Compile.plan_of fused != pl then Atomic.incr failures;
+      (* the fusion memo must publish exactly one fused root *)
+      if Fuse.fuse_cached root != fused then Atomic.incr failures;
+      (* the shared graph's plan stays canonical under cross-domain races
+         (unless the bounded cache reset evicted it, in which case the
+         fresh plan must itself be stable) *)
+      let p = Compile.plan_of shared_fused in
+      if Compile.plan_of shared_fused != p then Atomic.incr failures;
+      ignore canonical
+    done
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join domains;
+  check_int "no torn plans or memo races" 0 (Atomic.get failures);
+  (* distinct graphs got distinct node ids: the shared plan still resolves
+     and drives a runtime correctly after the storm *)
+  let rt =
+    with_world (fun () ->
+        let rt = Runtime.start ~backend:Runtime.Compiled shared_fused in
+        List.iter (fun v -> Runtime.inject rt shared_in v) [ 1; 2 ];
+        rt)
+  in
+  check_ints "shared graph still correct after concurrent churn" [ 2; 5 ]
+    (values rt)
+
 (* ------------------------------------------------------------------ *)
 (* Schedule exploration: the compiled backend's region threads interleave
    under the same chaos schedules, and every invariant must hold. *)
@@ -390,6 +442,8 @@ let () =
             test_plan_cache_hit_across_runtimes;
           tc "plan_of shares one plan object" `Quick
             test_plan_cache_shares_plan_object;
+          tc "concurrent compile storm stays canonical" `Quick
+            test_plan_cache_concurrent_compile;
         ] );
       ( "explore",
         [

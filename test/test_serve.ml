@@ -14,6 +14,7 @@ module Trace = Elm_core.Trace
 module Compile = Elm_core.Compile
 module Session = Elm_serve.Session
 module Dispatcher = Elm_serve.Dispatcher
+module Pool = Elm_serve.Pool
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -318,6 +319,189 @@ let test_shared_tracer_per_session_rows () =
     && contains (Format.asprintf "%a" Session.pp_stats s2) "s1: events=")
 
 (* ------------------------------------------------------------------ *)
+(* Parallel drain: domain pool vs the sequential dispatcher *)
+
+(* Shared pools, one per width, reused across cases (workers are persistent
+   and park between runs, so reuse also exercises the epoch protocol).
+   Closed at process exit. *)
+let pools : (int, Pool.t) Hashtbl.t = Hashtbl.create 4
+
+let pool_of k =
+  match Hashtbl.find_opt pools k with
+  | Some p -> p
+  | None ->
+    let p = Pool.create ~domains:k () in
+    Hashtbl.replace pools k p;
+    p
+
+let () = at_exit (fun () -> Hashtbl.iter (fun _ p -> Pool.close p) pools)
+
+(* One deterministic serving run over 4 sessions of [shape]: the same
+   injection schedule (uniform round-robin with interior drains, or bursty
+   — everything into a hot session first) is replayed sequentially and
+   under every pool width/seed, and per-session change traces must agree
+   bit-for-bit, epochs included. The catalogue's async and delay shapes
+   ride along, so boundary re-entries and virtual-clock delivery cross the
+   pool path too. *)
+let run_serving ?pool ?(seed = 0) ~bursty shape events =
+  let a, b, root = Gen_graph.build_shape shape in
+  let d = Dispatcher.create ?pool root in
+  let sessions = Array.init 4 (fun _ -> Dispatcher.open_session d) in
+  let drain () =
+    match pool with
+    | Some _ -> ignore (Dispatcher.drain_parallel ~seed d)
+    | None -> ignore (Dispatcher.drain d)
+  in
+  let inject i e =
+    let to_a, v = e in
+    Dispatcher.inject d sessions.(i) (if to_a then a else b) v
+  in
+  if bursty then begin
+    List.iter (inject 0) events;
+    List.iteri (fun i e -> inject (1 + (i mod 3)) e) events;
+    drain ();
+    List.iteri (fun i e -> inject (i mod 4) e) events;
+    drain ()
+  end
+  else begin
+    List.iteri
+      (fun i e ->
+        inject (i mod 4) e;
+        if i mod 5 = 4 then drain ())
+      events;
+    drain ()
+  end;
+  (Array.map Session.changes sessions, d)
+
+let prop_pool_matches_sequential =
+  QCheck.Test.make
+    ~name:"pool drain = sequential drain, any width/seed/arrival pattern"
+    ~count:10 Gen_graph.arb_shape_events
+    (fun (shape, events) ->
+      List.for_all
+        (fun bursty ->
+          let reference, _ = run_serving ~bursty shape events in
+          List.for_all
+            (fun k ->
+              let pool = pool_of k in
+              List.for_all
+                (fun seed ->
+                  let got, _ =
+                    run_serving ~pool ~seed ~bursty shape events
+                  in
+                  got = reference)
+                [ 0; 1; 2 ])
+            [ 1; 2; 4 ])
+        [ false; true ])
+
+(* Counter attribution: the per-domain accumulators, merged, must equal
+   the per-session totals (the sessions did all the work; the domain rows
+   are just who ran it), and the merged elision invariant must balance. *)
+let test_domain_stats_balance () =
+  let a, root = counter_graph () in
+  let pool = pool_of 2 in
+  let d = Dispatcher.create ~pool root in
+  let sessions = Array.init 6 (fun _ -> Dispatcher.open_session d) in
+  for round = 1 to 3 do
+    Array.iter (fun s -> Dispatcher.inject d s a round) sessions;
+    ignore (Dispatcher.drain_parallel ~seed:round d)
+  done;
+  let merged = Stats.create () in
+  Array.iter (fun ds -> Stats.merge merged ds) (Dispatcher.domain_stats d);
+  let by_session = Stats.create () in
+  Array.iter (fun s -> Stats.merge by_session (Session.stats s)) sessions;
+  check_int "merged domain events = session events" by_session.Stats.events
+    merged.Stats.events;
+  check_int "merged domain messages = session messages"
+    by_session.Stats.messages merged.Stats.messages;
+  check_int "merged domain elided = session elided"
+    by_session.Stats.elided_messages merged.Stats.elided_messages;
+  check_int "merged elision invariant balances"
+    (Compile.node_count (Dispatcher.plan d) * merged.Stats.events)
+    (merged.Stats.messages + merged.Stats.elided_messages);
+  check_int "every event attributed to exactly one domain" 18
+    merged.Stats.events;
+  (* the pool did run tasks (6 per round, 3 rounds) *)
+  let ws = Pool.worker_stats pool in
+  check_bool "worker task counters advanced" true
+    (Array.fold_left (fun acc w -> acc + w.Pool.ws_tasks) 0 ws >= 18)
+
+let test_stats_merge_unit () =
+  let s1 = Stats.create () and s2 = Stats.create () in
+  s1.Stats.events <- 3;
+  s1.Stats.messages <- 7;
+  s1.Stats.elided_messages <- 2;
+  s2.Stats.events <- 5;
+  s2.Stats.messages <- 1;
+  s2.Stats.node_failures <- 4;
+  Stats.merge s1 s2;
+  check_int "events add" 8 s1.Stats.events;
+  check_int "messages add" 8 s1.Stats.messages;
+  check_int "elided add" 2 s1.Stats.elided_messages;
+  check_int "failures add" 4 s1.Stats.node_failures;
+  check_int "src untouched" 5 s2.Stats.events;
+  (* add_delta credits exactly the work between two snapshots *)
+  let live = Stats.create () in
+  live.Stats.events <- 10;
+  let before = Stats.copy live in
+  live.Stats.events <- 14;
+  live.Stats.fold_steps <- 3;
+  let acc = Stats.create () in
+  acc.Stats.events <- 100;
+  Stats.add_delta acc ~before ~after:live;
+  check_int "delta events" 104 acc.Stats.events;
+  check_int "delta fold_steps" 3 acc.Stats.fold_steps
+
+(* A shared tracer under the pool: per-domain shards must merge into the
+   same per-session rows a sequential drain produces. *)
+let test_tracer_under_pool () =
+  let run pool =
+    let tracer = Trace.create () in
+    let a, root = counter_graph () in
+    let d = Dispatcher.create ~tracer ?pool root in
+    let s1 = Dispatcher.open_session d in
+    let s2 = Dispatcher.open_session d in
+    for i = 1 to 5 do
+      Dispatcher.inject d s1 a i;
+      Dispatcher.inject d s2 a (10 * i)
+    done;
+    ignore (Dispatcher.drain d);
+    Trace.summary tracer
+  in
+  let seq = run None in
+  let par = run (Some (pool_of 2)) in
+  check_int "events survive the shard merge" seq.Trace.events par.Trace.events;
+  check_int "displays survive the shard merge" seq.Trace.displays
+    par.Trace.displays;
+  check_int "changes survive the shard merge" seq.Trace.changes
+    par.Trace.changes;
+  let names su =
+    List.sort compare (List.map (fun ns -> ns.Trace.node_name) su.Trace.nodes)
+  in
+  check_bool "per-session rows identical" true (names seq = names par);
+  let rounds su =
+    List.sort compare
+      (List.map (fun ns -> (ns.Trace.node_name, ns.Trace.rounds)) su.Trace.nodes)
+  in
+  check_bool "per-row round counts identical" true (rounds seq = rounds par)
+
+(* Lifecycle is frozen while workers run: not directly reachable from a
+   task, but the guard must at least reject a reentrant drain. *)
+let test_pool_misuse_rejected () =
+  let _, root = counter_graph () in
+  let d = Dispatcher.create root in
+  check_bool "drain_parallel without a pool rejected" true
+    (try
+       ignore (Dispatcher.drain_parallel d);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "zero-width pool rejected" true
+    (try
+       ignore (Pool.create ~domains:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let tc = Alcotest.test_case in
@@ -360,5 +544,14 @@ let () =
           tc "closed sessions ignore events" `Quick test_closed_session_ignored;
           tc "shared tracer reports per-session rows" `Quick
             test_shared_tracer_per_session_rows;
+        ] );
+      ( "parallel",
+        [
+          qc prop_pool_matches_sequential;
+          tc "per-domain stats merge to session totals" `Quick
+            test_domain_stats_balance;
+          tc "Stats.merge / add_delta arithmetic" `Quick test_stats_merge_unit;
+          tc "shared tracer shards merge cleanly" `Quick test_tracer_under_pool;
+          tc "pool misuse rejected" `Quick test_pool_misuse_rejected;
         ] );
     ]
