@@ -95,13 +95,49 @@ let collect doc =
                b18_metric ~idx:i ~path:[ "speedup_vs_1_domain" ] );
            ]))
   in
-  b11 @ b13 @ b16 @ b17 @ b18
+  let b19 =
+    (* b19_intra_session nests its per-width rows under "rows";
+       par_regions_per_event is counter-based and hard-gated, the
+       wall-clock pair is soft. *)
+    let b19_rows doc =
+      Option.bind (Json.member "b19_intra_session" doc) (Json.member "rows")
+    in
+    let n =
+      match b19_rows doc with Some (Json.Array l) -> List.length l | _ -> 0
+    in
+    let b19_metric ~idx ~path:p =
+      match Option.bind (b19_rows doc) (Json.index idx) with
+      | None -> None
+      | Some row -> Option.bind (Json.path p row) Json.to_float
+    in
+    List.concat
+      (List.init n (fun i ->
+           [
+             ( Printf.sprintf "b19.row%d.par_regions_per_event" i,
+               b19_metric ~idx:i ~path:[ "par_regions_per_event" ] );
+             ( Printf.sprintf "b19.row%d.events_per_sec" i,
+               b19_metric ~idx:i ~path:[ "events_per_sec" ] );
+             ( Printf.sprintf "b19.row%d.speedup_vs_1_domain" i,
+               b19_metric ~idx:i ~path:[ "speedup_vs_1_domain" ] );
+           ]))
+  in
+  b11 @ b13 @ b16 @ b17 @ b18 @ b19
 
-(* b17 and b18 metrics are wall-clock-derived and so only softly gated:
-   warn, don't fail. *)
+(* b17/b18 metrics and b19's wall-clock pair are timing-derived and so only
+   softly gated: warn, don't fail. b19's par_regions_per_event is a counter
+   ratio and stays hard. *)
 let soft name =
-  String.length name >= 4
-  && (String.sub name 0 4 = "b17." || String.sub name 0 4 = "b18.")
+  let prefixed p =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  let suffixed s =
+    String.length name >= String.length s
+    && String.sub name (String.length name - String.length s) (String.length s)
+       = s
+  in
+  prefixed "b17." || prefixed "b18."
+  || (prefixed "b19." && not (suffixed "par_regions_per_event"))
 
 let () =
   let baseline_path, current_path =

@@ -1228,6 +1228,233 @@ let b18_gates (rows, hw) =
       "B18: 1-core hardware - speedup reported, not gated (oracles still hard)."
 
 (* ------------------------------------------------------------------ *)
+(* B19: intra-session parallel region dispatch (Runtime.start ~domains).
+
+   B18 parallelises across sessions; B19 parallelises inside one: the
+   compiled plan's region groups (the SCC-condensed region dependency DAG,
+   cut at async/delay seams) of one event wave run concurrently on the
+   pool via [Pool.run_dag]. The workload is an async fan-out/fan-in: one
+   input fires [b19_width] async boundaries, each feeding a heavy
+   depth-[b19_depth] lift chain, re-joined behind a second async layer —
+   so every external event yields one wave with [b19_width]
+   data-independent heavy groups.
+
+   Headline metric: regions runnable in parallel per event = pool tasks /
+   external events (counter-based, machine-independent — single-group
+   waves run inline and never reach the pool). Hard gates: change traces
+   bit-identical to the 1-domain run at every width, per-domain
+   region-step attribution merging back to the runtime totals, dispatch
+   counts equal across widths, and the parallelism metric actually
+   exceeding 2. The wall-clock speedup is hardware-scaled like B18's and
+   report-only on 1 core. *)
+
+type b19_row = {
+  b19_domains : int;
+  b19_eps : float;  (* dispatched events (async re-entries included) /sec *)
+  b19_speedup : float;  (* vs this table's 1-domain row *)
+  b19_par_regions : float;  (* pool tasks per external event *)
+  b19_identical : bool;  (* change trace = 1-domain wave reference *)
+  b19_stats_balanced : bool;  (* domain rows merge to runtime region_steps *)
+  b19_dispatched : int;
+  b19_steals : int;
+  b19_tasks : int;
+}
+
+let b19_width = 8
+let b19_depth = 12
+let b19_spin = 2000
+
+let b19_build () =
+  let first = Signal.input ~name:"b19src" 0 in
+  let spin k x =
+    let acc = ref (x + k) in
+    for i = 1 to b19_spin do
+      acc := ((!acc * 31) + i) land 0x3fffffff
+    done;
+    !acc
+  in
+  let branch k =
+    let rec go d s =
+      if d = 0 then s
+      else
+        go (d - 1)
+          (Signal.lift ~name:(Printf.sprintf "b19.%d.%d" k d) (spin k) s)
+    in
+    (* async below and above the chain: the chain is its own region,
+       data-independent of its 7 siblings, and the shared join lives in a
+       separate downstream group *)
+    Signal.async (go b19_depth (Signal.async first))
+  in
+  let branches = List.init b19_width branch in
+  (first, Signal.lift_list (List.fold_left ( + ) 0) branches)
+
+(* One run: inject [events] external events, letting each settle (a virtual
+   sleep drains the async waves) so waves never batch across events — the
+   schedule is identical at every width. *)
+let b19_run ?pool ~events () =
+  let t0 = now_wall () in
+  let rt =
+    with_world (fun () ->
+        let first, root = b19_build () in
+        let rt =
+          match pool with
+          | Some p -> Runtime.start ~backend:Runtime.Compiled ~pool:p root
+          | None -> Runtime.start ~backend:Runtime.Compiled ~domains:1 root
+        in
+        for v = 1 to events do
+          Runtime.inject rt first v;
+          Cml.sleep 0.001
+        done;
+        rt)
+  in
+  let dt = now_wall () -. t0 in
+  let st = Runtime.stats rt in
+  let merged = Stats.create () in
+  Array.iter (fun ds -> Stats.merge merged ds) (Runtime.domain_stats rt);
+  let balanced = merged.Stats.region_steps = st.Stats.region_steps in
+  Runtime.stop rt;
+  ( Runtime.changes rt,
+    float_of_int st.Stats.events /. Float.max 1e-9 dt,
+    st.Stats.events,
+    balanced )
+
+let b19_measure ~domains ~events ~reference =
+  let pool = Serve_pool.create ~domains () in
+  let changes, eps, dispatched, balanced = b19_run ~pool ~events () in
+  let ws = Serve_pool.worker_stats pool in
+  let steals = Serve_pool.total_steals pool in
+  let tasks = Array.fold_left (fun acc w -> acc + w.Serve_pool.ws_tasks) 0 ws in
+  Serve_pool.close pool;
+  {
+    b19_domains = domains;
+    b19_eps = eps;
+    b19_speedup = 1.0;  (* filled in once the 1-domain row exists *)
+    b19_par_regions = float_of_int tasks /. float_of_int (max events 1);
+    b19_identical = changes = reference;
+    b19_stats_balanced = balanced;
+    b19_dispatched = dispatched;
+    b19_steals = steals;
+    b19_tasks = tasks;
+  }
+
+let bench_b19 ?(extra_domains = []) () =
+  section "B19 Runtime: intra-session parallel region dispatch";
+  let events = 150 in
+  let hw = Domain.recommended_domain_count () in
+  Printf.printf
+    "async fan-out/fan-in (%d branches x depth-%d heavy chains, %d events); \
+     hardware domains: %d\n"
+    b19_width b19_depth events hw;
+  let reference, seq_eps, seq_dispatched, _ = b19_run ~events () in
+  Printf.printf "1-domain wave (inline Kahn): %.0f events/s, %d dispatched\n"
+    seq_eps seq_dispatched;
+  let widths = List.sort_uniq compare ([ 1; 2; 4 ] @ extra_domains) in
+  let rows =
+    List.map (fun domains -> b19_measure ~domains ~events ~reference) widths
+  in
+  let base =
+    match List.find_opt (fun r -> r.b19_domains = 1) rows with
+    | Some r -> r.b19_eps
+    | None -> seq_eps
+  in
+  let rows =
+    List.map
+      (fun r -> { r with b19_speedup = r.b19_eps /. Float.max 1e-9 base })
+      rows
+  in
+  Printf.printf "%7s | %12s %8s | %7s | %5s %5s | %9s %7s\n" "domains"
+    "events/s" "speedup" "par/ev" "same" "stats" "tasks" "steals";
+  List.iter
+    (fun r ->
+      Printf.printf "%7d | %12.0f %7.2fx | %7.2f | %5b %5b | %9d %7d\n"
+        r.b19_domains r.b19_eps r.b19_speedup r.b19_par_regions
+        r.b19_identical r.b19_stats_balanced r.b19_tasks r.b19_steals)
+    rows;
+  (rows, hw)
+
+let b19_to_json (rows, hw) =
+  Json.Object
+    [
+      ("hw_domains", Json.of_int hw);
+      ("width", Json.of_int b19_width);
+      ( "rows",
+        Json.Array
+          (List.map
+             (fun r ->
+               Json.Object
+                 [
+                   ("domains", Json.of_int r.b19_domains);
+                   ("events_per_sec", Json.of_float r.b19_eps);
+                   ("speedup_vs_1_domain", Json.of_float r.b19_speedup);
+                   ("par_regions_per_event", Json.of_float r.b19_par_regions);
+                   ("changes_identical", Json.of_bool r.b19_identical);
+                   ("stats_balanced", Json.of_bool r.b19_stats_balanced);
+                   ("dispatched", Json.of_int r.b19_dispatched);
+                   ("steals", Json.of_int r.b19_steals);
+                   ("tasks", Json.of_int r.b19_tasks);
+                 ])
+             rows) );
+    ]
+
+let b19_gates (rows, hw) =
+  let expected = ref None in
+  List.iter
+    (fun r ->
+      if not r.b19_identical then begin
+        Printf.eprintf
+          "B19: %d-domain wave trace diverged from the 1-domain reference!\n"
+          r.b19_domains;
+        exit 1
+      end;
+      if not r.b19_stats_balanced then begin
+        Printf.eprintf
+          "B19: per-domain region steps do not merge to totals (%d domains)!\n"
+          r.b19_domains;
+        exit 1
+      end;
+      if r.b19_par_regions < 2.0 then begin
+        Printf.eprintf
+          "B19: only %.2f parallel regions/event at %d domains (graph is \
+           %d-wide)!\n"
+          r.b19_par_regions r.b19_domains b19_width;
+        exit 1
+      end;
+      match !expected with
+      | None -> expected := Some r.b19_dispatched
+      | Some n ->
+        if r.b19_dispatched <> n then begin
+          Printf.eprintf
+            "B19: dispatch counts differ across widths (%d vs %d)!\n" n
+            r.b19_dispatched;
+          exit 1
+        end)
+    rows;
+  let speedup_at k =
+    Option.map
+      (fun r -> r.b19_speedup)
+      (List.find_opt (fun r -> r.b19_domains = k) rows)
+  in
+  if hw >= 4 then begin
+    match speedup_at 4 with
+    | Some s when s < 1.4 ->
+      Printf.eprintf
+        "B19: %.2fx at 4 domains on %d-core hardware (need 1.4x)!\n" s hw;
+      exit 1
+    | _ -> ()
+  end
+  else if hw >= 2 then begin
+    match speedup_at 2 with
+    | Some s when s < 1.1 ->
+      Printf.eprintf
+        "B19: %.2fx at 2 domains on %d-core hardware (need 1.1x)!\n" s hw;
+      exit 1
+    | _ -> ()
+  end
+  else
+    print_endline
+      "B19: 1-core hardware - speedup reported, not gated (oracles still hard)."
+
+(* ------------------------------------------------------------------ *)
 (* B14: fault injection — supervision policies under crashing nodes.
 
    One source feeds a risky lift (crashes on every k-th event, modeling a
@@ -1740,7 +1967,7 @@ let b14_to_json rows =
        rows)
 
 let write_json ~path b11_rows (b12_sync, b12_async) b13_rows b14_rows
-    (b15_rows, b15_mutations_caught) b16_rows b17_rows b18 micro =
+    (b15_rows, b15_mutations_caught) b16_rows b17_rows b18 b19 micro =
   let doc =
     Json.Object
       [
@@ -1757,6 +1984,7 @@ let write_json ~path b11_rows (b12_sync, b12_async) b13_rows b14_rows
         ("b16_compiled_backend", b16_to_json b16_rows);
         ("b17_sessions", b17_to_json b17_rows);
         ("b18_domain_pool", b18_to_json b18);
+        ("b19_intra_session", b19_to_json b19);
         ( "b15_schedule_exploration",
           Json.Object
             [
@@ -1795,6 +2023,7 @@ let () =
   let emit_json = List.mem "--json" args in
   let explore_smoke = List.mem "--explore-smoke" args in
   let b18_smoke = List.mem "--b18-smoke" args in
+  let b19_smoke = List.mem "--b19-smoke" args in
   (* --domains=N adds an N-domain row to B18 beyond the standard 1/2/4. *)
   let extra_domains =
     List.filter_map
@@ -1816,6 +2045,13 @@ let () =
     print_endline "FElm domain-pool smoke (B18 only)";
     b18_gates (bench_b18 ~extra_domains ());
     print_endline "\nb18 smoke: OK";
+    exit 0
+  end;
+  if b19_smoke then begin
+    (* CI quick path: intra-session parallel dispatch alone, full oracles. *)
+    print_endline "FElm intra-session parallel dispatch smoke (B19 only)";
+    b19_gates (bench_b19 ~extra_domains ());
+    print_endline "\nb19 smoke: OK";
     exit 0
   end;
   if explore_smoke then begin
@@ -1988,8 +2224,14 @@ let () =
      speedup bar scales with the hardware (see b18_gates). *)
   let b18 = bench_b18 ~extra_domains () in
   b18_gates b18;
+  (* B19 gates: intra-session waves must be trace-identical to the
+     1-domain run at every width, per-domain region-step attribution must
+     merge back, and each event's wave must actually expose parallel
+     region groups (see b19_gates). *)
+  let b19 = bench_b19 ~extra_domains () in
+  b19_gates b19;
   let micro = if smoke then [] else micro_benchmarks () in
   if emit_json then
     write_json ~path:"BENCH_core.json" b11_rows b12 b13_rows b14_rows b15
-      b16_rows b17_rows b18 micro;
+      b16_rows b17_rows b18 b19 micro;
   print_endline "\ndone."

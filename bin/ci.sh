@@ -45,8 +45,16 @@
 # to the session totals, and the events/sec speedup bar scales with
 # the runner (2x at 4 domains only where >= 4 cores exist, 1.2x at 2
 # domains on 2-3 core boxes, report-only on 1 core).
+# B19 gates intra-session parallel dispatch (Runtime.start ~domains):
+# on the async fan-out/fan-in workload each event's wave must expose
+# > 2 data-independent region groups to the pool (pool tasks / events,
+# a counter ratio), change traces must be bit-identical to the
+# 1-domain run at every width, per-domain region-step attribution must
+# merge back to the runtime totals, and dispatch counts must agree
+# across widths; the wall-clock speedup bar is hardware-scaled like
+# B18's and report-only on 1 core.
 # After the smoke gates, bench_diff compares the gated counter ratios
-# (B11/B13/B16/B17) against the committed bench/baseline.json and
+# (B11/B13/B16/B17/B19) against the committed bench/baseline.json and
 # fails on > 20% regression — see bin/bench_diff.sh for how to accept
 # an intended perf change by regenerating the baseline.
 # The full run also writes BENCH_core.json (latency percentiles, trace

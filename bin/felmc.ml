@@ -233,8 +233,25 @@ let run_cmd =
              policy: random thread priorities with DEPTH seeded priority \
              change points. Overrides $(b,--sched-seed).")
   in
+  let run_domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"K"
+          ~doc:
+            "Intra-session parallel region dispatch (compiled backend \
+             only): batch queued events into waves and run each wave's \
+             data-independent region groups on a pool of $(docv) OCaml \
+             domains, respecting the plan's region dependency DAG. \
+             Displayed values and virtual times are bit-identical to the \
+             sequential dispatcher for every $(docv). $(b,--domains=1) \
+             runs the wave coordinator without a pool (the sequential \
+             wave baseline); with $(b,--backend=pipelined), \
+             $(b,--queue-capacity) or a scheduler mutation the option \
+             silently falls back to the threaded dispatcher.")
+  in
   let run file replay trace_out sequential print_stats no_fuse backend policy
-      capacity sched_seed sched_pct =
+      capacity sched_seed sched_pct domains =
     or_die (fun () ->
         let program, ty = load_checked file in
         let events =
@@ -258,10 +275,14 @@ let run_cmd =
           | None, Some seed -> Cml.Scheduler.Seeded_random seed
           | None, None -> Cml.Scheduler.Fifo
         in
+        (match domains with
+        | Some k when k < 1 ->
+          raise (Invalid_argument "--domains must be >= 1")
+        | _ -> ());
         let outcome =
           Felm.Interp.run ~policy:sched_policy ~backend ~mode ?tracer
             ~fuse:(not no_fuse) ~on_node_error:policy
-            ?queue_capacity:capacity program ~trace:events
+            ?queue_capacity:capacity ?domains program ~trace:events
         in
         Printf.printf "-- %s : %s\n" (Filename.basename file) (Felm.Ty.to_string ty);
         if outcome.Felm.Interp.displays = [] then
@@ -291,7 +312,7 @@ let run_cmd =
     Term.(
       const run $ file_arg $ replay_arg $ trace_out_arg $ seq_arg $ stats_arg
       $ no_fuse_arg $ backend_arg $ policy_arg $ capacity_arg $ sched_seed_arg
-      $ sched_pct_arg)
+      $ sched_pct_arg $ run_domains_arg)
 
 let compile_cmd =
   let out_arg =

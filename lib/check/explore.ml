@@ -101,6 +101,9 @@ type opts = {
   o_queue_capacity : int option;
   o_max_switches : int;
   o_mutate : Runtime.mutation option;
+  o_domains : int option;
+      (* intra-session parallel dispatch (compiled backend): the Domains
+         exploration axis — traces must not depend on the domain count *)
 }
 
 let run_once (type a) (p : a program) opts policy : outcome * int list =
@@ -110,9 +113,18 @@ let run_once (type a) (p : a program) opts policy : outcome * int list =
     | Some l -> l := epoch :: !l
     | None -> Hashtbl.add epochs node (ref [ epoch ])
   in
+  let rt_box = ref None in
+  let stop_rt () =
+    (* Release the runtime-owned domain pool (if [o_domains] made one):
+       the explorer starts hundreds of runtimes, so leaking worker domains
+       is not an option. Safe outside [Cml.run]; the change log and
+       counters stay readable after stop. *)
+    match !rt_box with
+    | Some rt -> Runtime.stop rt
+    | None -> ()
+  in
   let outcome =
     try
-      let rt_box = ref None in
       Sched.run ~policy ~max_switches:opts.o_max_switches (fun () ->
           let s = p.p_build () in
           let rt =
@@ -120,11 +132,12 @@ let run_once (type a) (p : a program) opts policy : outcome * int list =
               ?dispatch:opts.o_dispatch
               ~fuse:opts.o_fuse ~on_node_error:opts.o_on_node_error
               ?queue_capacity:opts.o_queue_capacity ~observer
-              ?mutate:opts.o_mutate s.root
+              ?mutate:opts.o_mutate ?domains:opts.o_domains s.root
           in
           rt_box := Some rt;
           s.drive rt);
       let rt = Option.get !rt_box in
+      stop_rt ();
       let stats = Runtime.stats rt in
       let changes = Runtime.changes rt in
       let classes =
@@ -158,7 +171,9 @@ let run_once (type a) (p : a program) opts policy : outcome * int list =
             Hashtbl.fold (fun n l acc -> (n, List.rev !l) :: acc) epochs []
             |> List.sort compare;
         }
-    with e -> Crashed (Printexc.to_string e)
+    with e ->
+      stop_rt ();
+      Crashed (Printexc.to_string e)
   in
   (outcome, Sched.decision_log ())
 
@@ -291,7 +306,7 @@ let run ?(schedules = 50) ?(seed = 0) ?invariants
     ?(backend : Runtime.backend = Runtime.Pipelined)
     ?(mode = Runtime.Pipelined) ?dispatch ?(fuse = true)
     ?(on_node_error = Runtime.Propagate) ?queue_capacity
-    ?(max_switches = 5_000_000) ?mutate p =
+    ?(max_switches = 5_000_000) ?mutate ?domains p =
   if Sched.running () then
     invalid_arg "Explore.run: must be called outside Cml.run";
   let opts =
@@ -304,6 +319,7 @@ let run ?(schedules = 50) ?(seed = 0) ?invariants
       o_queue_capacity = queue_capacity;
       o_max_switches = max_switches;
       o_mutate = mutate;
+      o_domains = domains;
     }
   in
   let wanted =

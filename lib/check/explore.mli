@@ -97,6 +97,7 @@ val run :
   ?queue_capacity:int ->
   ?max_switches:int ->
   ?mutate:Elm_core.Runtime.mutation ->
+  ?domains:int ->
   'a program ->
   report
 (** [run prog] executes one FIFO reference run, then [schedules] (default
@@ -112,6 +113,12 @@ val run :
     bounds each run, turning livelocks into {!No_deadlock} violations.
     [mutate] plants an ordering bug ({!Elm_core.Runtime.mutation}) in every
     run including the reference — used to prove the checker catches it.
+    [domains] is the Domains exploration axis: every run (reference
+    included) starts the runtime with intra-session parallel dispatch
+    ([Runtime.start ~domains], compiled backend) — the oracle that change
+    traces are independent of the domain count is the caller comparing
+    reports/traces across domain values, since each [run] holds its
+    [domains] fixed.
 
     The reference run is checked against the schedule-independent
     invariants ({!Accounting}, {!Node_epoch_order}, {!No_deadlock}); chaos

@@ -121,6 +121,35 @@ val region_sources : plan -> int -> Reach.set
 val slot_ids : plan -> int array
 (** Slot -> node id. The plan's own array — treat as read-only. *)
 
+val region_deps : plan -> (int * int) list
+(** Ordering edges [(producer, consumer)] between region indices: one per
+    async/delay seam whose endpoints live in different regions, plus
+    shared-source constraints (two regions woken by the same source must
+    run in index order — vacuous under the current partition, where a
+    source's synchronous cone is region-local, but encoded rather than
+    assumed). Deduplicated; may be cyclic (async cuts can point both ways
+    between two regions) — the group condensation below is the DAG. *)
+
+val group_count : plan -> int
+(** Number of region {e groups}: strongly connected components of the
+    {!region_deps} quotient graph. Groups are what intra-session parallel
+    dispatch schedules — regions of one group stay sequential (in index
+    order), distinct groups of one event wave may run concurrently once
+    their {!group_preds} finished. Numbered by smallest member region. *)
+
+val group_of : plan -> int -> int
+(** [group_of plan i] is the group of region [i]. *)
+
+val group_regions : plan -> int -> int list
+(** Member region indices of a group, ascending. *)
+
+val group_deps : plan -> (int * int) list
+(** {!region_deps} quotiented by the condensation: a true DAG over group
+    indices, deduplicated, no self-edges. *)
+
+val group_preds : plan -> int -> int list
+(** Predecessor groups of a group under {!group_deps}. *)
+
 val pp_plan : Format.formatter -> plan -> unit
 (** One line per region ([region i (rep id name): members...]) followed by
     the cut async edges. *)

@@ -1,22 +1,18 @@
-(** A work-stealing pool of OCaml 5 domains for the serving layer.
+(** A work-stealing pool of OCaml 5 domains.
 
     The paper's async semantics deliberately decouple subgraphs so they may
     run concurrently without changing observable per-source ordering
-    (Sections 1, 3.3); sessions — independent arenas over one shared
-    immutable plan — take that decoupling to its limit: they share nothing
-    mutable, so a batch of session tasks is embarrassingly parallel. This
-    pool runs such batches across [N] domains with lock-free (Atomic
-    cursor) work stealing for bursty imbalance, and with {e seeded} steal
-    schedules so an interleaving checker can replay many placements and
-    require bit-identical observable traces.
+    (Sections 1, 3.3). Two layers exploit that here: the serving layer runs
+    batches of independent session tasks (sessions share nothing mutable,
+    so a batch is embarrassingly parallel), and the compiled runtime runs
+    the data-independent region groups of one event wave, whose ordering
+    constraints form a dependency DAG ({!run_dag}).
 
-    The pool knows nothing about sessions: tasks are [int -> unit]
-    closures receiving the executing worker's index (used by
-    {!Dispatcher.drain_parallel} to bill per-domain {!Elm_core.Stats}).
-    Tasks must not block and must not call {!run} reentrantly; a task's
-    own follow-up work (async re-entries) must be folded into the task
-    itself, which is exactly what draining a session inbox to quiescence
-    does. *)
+    The pool knows nothing about either client: tasks are [int -> unit]
+    closures receiving the executing worker's index (used by callers to
+    bill per-domain {!Stats}). Tasks must not block and must not call
+    {!run}/{!run_dag} reentrantly; a task's own follow-up work must be
+    folded into the task itself or deferred to the next batch. *)
 
 type t
 
@@ -40,12 +36,27 @@ val run : ?seed:int -> t -> (int -> unit) array -> unit
     here after the batch completes; the rest are dropped. Raises
     [Invalid_argument] on reentrant use or after {!close}. *)
 
+val run_dag : ?seed:int -> t -> deps:int list array -> (int -> unit) array -> unit
+(** [run_dag ~seed t ~deps tasks] executes a dependency DAG of tasks and
+    returns when all have finished (a barrier). [deps.(i)] lists the
+    predecessors of task [i]: task [i] starts only after every listed task
+    finished (self-edges are ignored). Ready tasks are claimed from one
+    shared queue seeded with the roots (rotated by [seed]); the worker
+    that finishes a task's last predecessor makes it claimable, so any
+    topological execution order may be observed — callers must not depend
+    on more than the declared edges. Error capture is as in {!run}; a
+    failed task still releases its dependents so the barrier completes.
+    Raises [Invalid_argument] when [deps] and [tasks] differ in length,
+    a dependency index is out of range, the declared edges are cyclic,
+    on reentrant use, or after {!close}. *)
+
 type worker_stats = {
   ws_tasks : int;  (** Tasks this worker executed (own + stolen). *)
   ws_steals : int;  (** Tasks taken from another worker's queue. *)
   ws_idle_probes : int;
-      (** Steal probes that found an empty victim queue — a unitless proxy
-          for time spent looking for work rather than doing it. *)
+      (** Steal probes ({!run}) or empty ready-queue polls ({!run_dag})
+          that found no work — a unitless proxy for time spent looking for
+          work rather than doing it. *)
 }
 
 val worker_stats : t -> worker_stats array

@@ -65,6 +65,13 @@ type 'a t = {
   mutable n_messages : int;
   listeners : (float -> 'a -> unit) Queue.t;
   mutable sources : (int * string) list;
+  mutable stopped : bool;
+  owned_pool : Pool.t option;
+      (* a pool created by [start ~domains:k] (k > 1), closed by [stop];
+         a caller-supplied [?pool] is never closed here *)
+  d_stats : Stats.t array;
+      (* per-worker-slot attribution under intra-session parallel
+         dispatch; [[||]] otherwise *)
 }
 
 type ctx = {
@@ -83,7 +90,26 @@ type ctx = {
   mutable c_sources : (int * string) list;
 }
 
-let generation = ref 0
+(* Runtime generations are minted from an [Atomic.t]: [start] may be
+   called concurrently from several domains (pool workers opening
+   runtimes), and the previous plain [ref]/[incr] could hand two runtimes
+   the same generation — colliding every per-generation driver table in
+   lib/std. [fetch_and_add] makes minting a single atomic RMW. *)
+let generation = Atomic.make 0
+let fresh_generation () = 1 + Atomic.fetch_and_add generation 1
+
+(* Global stop hooks, run (with the runtime's generation) when a runtime
+   is stopped. Input-library drivers register one per module to drop their
+   per-generation state (held keys, ongoing touches) — without it, session
+   churn grows those tables without bound. Mutex-guarded: registration
+   happens at module init but may race with [stop] from another domain. *)
+let stop_hooks : (int -> unit) list ref = ref []
+let stop_hooks_lock = Mutex.create ()
+
+let on_stop f =
+  Mutex.lock stop_hooks_lock;
+  stop_hooks := f :: !stop_hooks;
+  Mutex.unlock stop_hooks_lock
 
 (* [id] identifies the emitting node for the tracer's Node_end record; the
    untraced path is one load and branch, no allocation. The observer (when
@@ -690,11 +716,481 @@ let push_bounded history lst count x =
     if count + 1 > 2 * cap then (take cap (x :: lst), cap)
     else (x :: lst, count + 1)
 
+(* ------------------------------------------------------------------ *)
+(* Intra-session parallel dispatch (wave mode).
+
+   [start ~domains:k] (or [~pool]) on the compiled backend replaces the
+   threaded region dispatcher with a coordinator that batches the queued
+   events into a {e wave}, runs the wave's active region groups — the
+   plan's SCC-condensed region dependency DAG, see [Compile.group_deps] —
+   on a domain pool via [Pool.run_dag], and then flushes every buffered
+   boundary effect in one canonical order.
+
+   Why this is exact (checked bit-for-bit by the explorer's Domains mode
+   and bench B19):
+
+   - Under cone dispatch one event wakes exactly one region (a source's
+     synchronous cone is region-local), so a wave's work partitions by
+     region group; two groups share no arena slot, no pending-value queue
+     and no scratch counters, so their op execution commutes.
+   - Every cross-group interaction is an async/delay seam or the display,
+     and none is consumed in the epoch that produces it: async fires
+     re-enter through [newEvent] as fresh dispatcher events, delays
+     through the timer, displays only leave the graph. Buffering those
+     effects during the wave and flushing them afterwards, stably ordered
+     by (admission epoch, group index), therefore reproduces exactly the
+     sequence a wave of size one — i.e. a sequential dispatcher — would
+     have produced.
+   - Epochs are assigned FIFO at admission by the coordinator, so
+     per-source event order is the paper's arrival order whatever the
+     wave boundaries or the domain count.
+
+   With [k = 1] no pool exists and a wave's groups run inline in a
+   deterministic topological order: the sequential baseline the oracle
+   compares against, with no pool or buffering overhead beyond the queue
+   swap itself. *)
+
+type weffect =
+  | W_push of int * Obj.t  (* pending value for a source slot *)
+  | W_fire of int  (* async boundary: register a global event *)
+  | W_delay of int * int * float * Obj.t  (* node, slot, seconds, value *)
+  | W_observe of int * int * bool  (* node, stamped epoch, changed *)
+  | W_display of int * bool * Obj.t  (* stamped epoch, changed, value *)
+
+type wgroup = {
+  wg_index : int;  (* group index in the plan *)
+  wg_regions : (int * Compile.region) array;  (* member regions, ascending *)
+  wg_exec : Compile.exec;
+  wg_stats : Stats.t;  (* scratch, owned by the task running the group *)
+  mutable wg_snap : Stats.t;  (* last state merged into the main stats *)
+  wg_epoch : int ref;  (* current round's epoch, tags buffered effects *)
+  wg_effects : (int * weffect) Queue.t;  (* (admission epoch, effect) *)
+  wg_rounds : Compile.round Queue.t;  (* this wave's work, coordinator-filled *)
+}
+
+(* [make_guard] without the ctx: bills failures into the group's scratch
+   stats (merged wave-by-wave by the coordinator) so concurrently running
+   groups never contend on a counter. Budget refs are per slot and a slot
+   belongs to exactly one group, so they are uncontended too. *)
+let make_wave_guard ~policy ~stats ~tracer ~id =
+  let left =
+    ref (match policy with Restart budget -> budget | Propagate | Isolate -> 0)
+  in
+  {
+    Compile.guard =
+      (fun ~prev ~reset ~epoch f ->
+        match policy with
+        | Propagate -> f ()
+        | Isolate | Restart _ -> (
+          try f ()
+          with _ ->
+            stats.Stats.node_failures <- stats.Stats.node_failures + 1;
+            (match tracer with
+            | None -> ()
+            | Some tr -> Trace.node_failure tr ~node:id ~epoch);
+            if !left > 0 then begin
+              decr left;
+              stats.Stats.node_restarts <- stats.Stats.node_restarts + 1;
+              reset ()
+            end;
+            Event.No_change prev));
+  }
+
+let start_wave : type r.
+    mode:mode ->
+    dispatch:dispatch ->
+    history:int option ->
+    tracer:Trace.t option ->
+    policy:error_policy ->
+    observer:(node:int -> epoch:int -> changed:bool -> unit) option ->
+    original_nodes:int ->
+    fuse:bool ->
+    pool:Pool.t option ->
+    owned_pool:Pool.t option ->
+    r Signal.t ->
+    r t =
+ fun ~mode ~dispatch ~history ~tracer ~policy ~observer ~original_nodes ~fuse
+     ~pool ~owned_pool root ->
+  let pl = Compile.plan_of root in
+  let reach = Compile.reach pl in
+  let gen = fresh_generation () in
+  let stats = Stats.create () in
+  let new_event = Mailbox.create ~name:"newEvent" () in
+  (match tracer with
+  | Some tr ->
+    Trace.set_pid tr gen;
+    Trace.attach tr
+  | None -> Cml.Probe.clear ());
+  let node_count = Reach.node_count reach in
+  stats.Stats.fused_nodes <- (if fuse then original_nodes - node_count else 0);
+  let regions = Array.of_list (Compile.regions pl) in
+  stats.Stats.compiled_regions <- Array.length regions;
+  (match tracer with
+  | None -> ()
+  | Some tr ->
+    Array.iter
+      (fun rg ->
+        Trace.register_node tr ~id:rg.Compile.rg_rep
+          ~name:
+            (Printf.sprintf "region:%s(%d)" rg.Compile.rg_name
+               (List.length rg.Compile.rg_member_ids)))
+      regions);
+  let arena = Compile.new_arena pl in
+  (* Plain per-slot pending-value queues (the mailbox-less counterpart of
+     the instantiate wiring): pushed by injectors and the coordinator's
+     flush — never during a wave — and popped only by the owning region's
+     source op inside one, so no queue is ever touched from two domains at
+     once. *)
+  let queues : Obj.t Queue.t option array =
+    Array.make (max (Compile.node_count pl) 1) None
+  in
+  List.iter
+    (fun (_id, sl, _bounded) -> queues.(sl) <- Some (Queue.create ()))
+    (Compile.queue_slots pl);
+  let queue_exn sl =
+    match queues.(sl) with
+    | Some q -> q
+    | None -> invalid_arg "Runtime: not a source slot"
+  in
+  let ngroups = Compile.group_count pl in
+  let groups =
+    Array.init ngroups (fun g ->
+        let wg_stats = Stats.create () in
+        let epoch_ref = ref 0 in
+        let effects = Queue.create () in
+        let x =
+          {
+            Compile.x_arena = arena;
+            x_flood = (dispatch = Flood);
+            x_stats = wg_stats;
+            x_guards =
+              Array.map
+                (fun id -> make_wave_guard ~policy ~stats:wg_stats ~tracer ~id)
+                (Compile.slot_ids pl);
+            x_account =
+              (fun ~node ~epoch ~changed ~real ->
+                if real then
+                  wg_stats.Stats.messages <- wg_stats.Stats.messages + 1
+                else
+                  wg_stats.Stats.elided_messages <-
+                    wg_stats.Stats.elided_messages + 1;
+                (* The observer itself is replayed by the coordinator: the
+                   checker's hooks are not thread-safe, and replaying in
+                   flush order keeps the calls in the same global order a
+                   sequential dispatcher would have made them. *)
+                if observer <> None then
+                  Queue.push (!epoch_ref, W_observe (node, epoch, changed)) effects;
+                Some epoch);
+            x_root_stamp = None;
+            x_pop = (fun sl -> Queue.pop (queue_exn sl));
+            x_push = (fun sl v -> Queue.push (!epoch_ref, W_push (sl, v)) effects);
+            x_fire_async = (fun id -> Queue.push (!epoch_ref, W_fire id) effects);
+            x_delay =
+              (fun ~node ~slot ~seconds v ->
+                Queue.push (!epoch_ref, W_delay (node, slot, seconds, v)) effects);
+            x_display =
+              (fun ~epoch ~changed v ->
+                Queue.push (!epoch_ref, W_display (epoch, changed, v)) effects);
+          }
+        in
+        {
+          wg_index = g;
+          wg_regions =
+            Array.of_list
+              (List.map (fun i -> (i, regions.(i))) (Compile.group_regions pl g));
+          wg_exec = x;
+          wg_stats;
+          wg_snap = Stats.copy wg_stats;
+          wg_epoch = epoch_ref;
+          wg_effects = effects;
+          wg_rounds = Queue.create ();
+        })
+  in
+  (* Wire the input pushes: value first, notification second, exactly as
+     the other backends do, so the wave finds the value waiting. *)
+  List.iter
+    (fun (Signal.Pack s) ->
+      let id = Signal.id s in
+      let sl =
+        match Compile.slot_of pl id with Some sl -> sl | None -> assert false
+      in
+      let push v =
+        Queue.push (Obj.repr v) (queue_exn sl);
+        Mailbox.send new_event id
+      in
+      Signal.set_inst s
+        {
+          Signal.gen;
+          out =
+            Multicast.create ~name:(Printf.sprintf "in:%d:%s" id (Signal.name s))
+              ();
+          push = Some push;
+        })
+    (Compile.inputs pl);
+  let nworkers = match pool with Some p -> Pool.domains p | None -> 1 in
+  let dstats = Array.init nworkers (fun _ -> Stats.create ()) in
+  let rt =
+    {
+      gen;
+      mode;
+      dispatch;
+      stats;
+      new_event;
+      nodes = node_count;
+      history;
+      current = Signal.default root;
+      rev_changes = [];
+      n_changes = 0;
+      rev_messages = [];
+      n_messages = 0;
+      listeners = Queue.create ();
+      sources = Compile.sources pl;
+      stopped = false;
+      owned_pool;
+      d_stats = dstats;
+    }
+  in
+  let nregions = Array.length regions in
+  let all_region_idxs = Array.init nregions Fun.id in
+  let cones = Hashtbl.create 16 in
+  List.iter
+    (fun src ->
+      let idxs = ref [] in
+      for i = nregions - 1 downto 0 do
+        if Reach.set_mem src (Compile.region_sources pl i) then
+          idxs := i :: !idxs
+      done;
+      Hashtbl.replace cones src (Array.of_list !idxs, Reach.cone_size reach src))
+    (Reach.sources reach);
+  (* Admit one event: assign the next epoch, bill the dispatch counters
+     exactly as the threaded dispatcher does, and append the round to each
+     active group's work queue. *)
+  let admit eid =
+    stats.events <- stats.events + 1;
+    let r = { Compile.epoch = stats.events; source = eid } in
+    let region_idxs, cone_sz =
+      match dispatch with
+      | Flood -> (all_region_idxs, node_count)
+      | Cone -> (
+        match Hashtbl.find_opt cones eid with Some c -> c | None -> ([||], 0))
+    in
+    stats.notified_nodes <- stats.notified_nodes + Array.length region_idxs;
+    stats.elided_messages <- stats.elided_messages + (node_count - cone_sz);
+    (match tracer with
+    | None -> ()
+    | Some tr ->
+      Trace.dispatch tr ~source:eid ~epoch:r.Compile.epoch
+        ~targets:(Array.length region_idxs));
+    match dispatch with
+    | Flood -> Array.iter (fun wg -> Queue.push r wg.wg_rounds) groups
+    | Cone ->
+      (* One woken region -> one group today; the [seen] list only matters
+         if a future partition lets one source wake several regions of one
+         group (the round must still be queued once). *)
+      let seen = ref [] in
+      Array.iter
+        (fun i ->
+          let g = Compile.group_of pl i in
+          if not (List.mem g !seen) then begin
+            seen := g :: !seen;
+            Queue.push r groups.(g).wg_rounds
+          end)
+        region_idxs
+  in
+  (* Run one group's share of the wave (worker [w]): its queued rounds in
+     epoch order, each sweeping the group's member regions in index order.
+     Per-domain attribution mirrors the serve layer: snapshot the scratch
+     before, bill the delta after. *)
+  let run_group wg w =
+    let before = Stats.copy wg.wg_stats in
+    let rec go () =
+      match Queue.take_opt wg.wg_rounds with
+      | None -> ()
+      | Some r ->
+        wg.wg_epoch := r.Compile.epoch;
+        Array.iter
+          (fun (i, rg) ->
+            let woken =
+              match dispatch with
+              | Flood -> true
+              | Cone ->
+                Reach.set_mem r.Compile.source (Compile.region_sources pl i)
+            in
+            if woken then begin
+              (match tracer with
+              | None -> ()
+              | Some tr ->
+                Trace.node_start tr ~node:rg.Compile.rg_rep
+                  ~epoch:r.Compile.epoch);
+              wg.wg_stats.Stats.region_steps <-
+                wg.wg_stats.Stats.region_steps + 1;
+              Compile.run_region pl wg.wg_exec i r;
+              match tracer with
+              | None -> ()
+              | Some tr ->
+                Trace.node_end tr ~node:rg.Compile.rg_rep ~epoch:r.Compile.epoch
+            end)
+          wg.wg_regions;
+        go ()
+    in
+    go ();
+    Stats.add_delta dstats.(w) ~before ~after:wg.wg_stats
+  in
+  (* Execute the wave's active groups under the plan's group DAG: on the
+     pool via the ready-queue DAG mode, or inline (K = 1) in
+     smallest-index-first Kahn order — both are topological orders of the
+     same DAG, and group results are schedule-independent (see above), so
+     the choice is unobservable. *)
+  let run_wave actives =
+    match actives with
+    | [] -> ()
+    | [ wg ] -> run_group wg 0
+    | _ -> (
+      let arr = Array.of_list actives in
+      let n = Array.length arr in
+      let pos = Hashtbl.create 8 in
+      Array.iteri (fun i wg -> Hashtbl.replace pos wg.wg_index i) arr;
+      let preds =
+        Array.map
+          (fun wg ->
+            List.filter_map
+              (fun g -> Hashtbl.find_opt pos g)
+              (Compile.group_preds pl wg.wg_index))
+          arr
+      in
+      match (if rt.stopped then None else pool) with
+      | Some p ->
+        Pool.run_dag ~seed:stats.events p ~deps:preds
+          (Array.map (fun wg w -> run_group wg w) arr)
+      | None ->
+        let unmet = Array.map List.length preds in
+        let succ = Array.make n [] in
+        Array.iteri
+          (fun i ps -> List.iter (fun p -> succ.(p) <- i :: succ.(p)) ps)
+          preds;
+        let module IS = Set.Make (Int) in
+        let ready = ref IS.empty in
+        Array.iteri (fun i c -> if c = 0 then ready := IS.add i !ready) unmet;
+        while not (IS.is_empty !ready) do
+          let i = IS.min_elt !ready in
+          ready := IS.remove i !ready;
+          run_group arr.(i) 0;
+          List.iter
+            (fun j ->
+              unmet.(j) <- unmet.(j) - 1;
+              if unmet.(j) = 0 then ready := IS.add j !ready)
+            succ.(i)
+        done)
+  in
+  (* Flush the wave: apply every buffered boundary effect in (admission
+     epoch, group index) order — [stable_sort] keeps each group's own
+     effect order within a round, so a value push always precedes its
+     paired fire and member observations precede their round's display.
+     This is the coordinator acting as the display loop, the async
+     boundary threads and the delay spawner of the threaded build, in the
+     order a sequential dispatcher would have interleaved them. *)
+  let flush actives =
+    let tagged =
+      List.concat_map
+        (fun wg ->
+          let l =
+            Queue.fold
+              (fun acc (ep, e) -> (ep, wg.wg_index, e) :: acc)
+              [] wg.wg_effects
+          in
+          Queue.clear wg.wg_effects;
+          List.rev l)
+        actives
+    in
+    let ordered =
+      List.stable_sort
+        (fun ((e1 : int), (g1 : int), _) (e2, g2, _) ->
+          if e1 <> e2 then compare e1 e2 else compare g1 g2)
+        tagged
+    in
+    List.iter
+      (fun (_ep, _g, eff) ->
+        match eff with
+        | W_push (sl, v) -> Queue.push v (queue_exn sl)
+        | W_fire id ->
+          stats.async_events <- stats.async_events + 1;
+          Mailbox.send new_event id
+        | W_delay (node, slot, seconds, v) ->
+          Cml.spawn (fun () ->
+              Cml.sleep seconds;
+              Queue.push v (queue_exn slot);
+              stats.async_events <- stats.async_events + 1;
+              Mailbox.send new_event node)
+        | W_observe (node, epoch, changed) -> (
+          match observer with None -> () | Some f -> f ~node ~epoch ~changed)
+        | W_display (epoch, changed, v) ->
+          (match tracer with
+          | None -> ()
+          | Some tr -> Trace.display tr ~epoch ~changed);
+          let time = Cml.now () in
+          let v : r = Obj.obj v in
+          let msg = if changed then Event.Change v else Event.No_change v in
+          let msgs, nm =
+            push_bounded rt.history rt.rev_messages rt.n_messages (time, msg)
+          in
+          rt.rev_messages <- msgs;
+          rt.n_messages <- nm;
+          if changed then begin
+            rt.current <- v;
+            let chs, nc =
+              push_bounded rt.history rt.rev_changes rt.n_changes (time, v)
+            in
+            rt.rev_changes <- chs;
+            rt.n_changes <- nc;
+            Queue.iter (fun f -> f time v) rt.listeners
+          end)
+      ordered;
+    List.iter
+      (fun wg ->
+        Stats.add_delta stats ~before:wg.wg_snap ~after:wg.wg_stats;
+        wg.wg_snap <- Stats.copy wg.wg_stats)
+      actives;
+    stats.switches <- Cml.Scheduler.switch_count ()
+  in
+  (* The coordinator: block for one event, then (in [Pipelined] mode)
+     sweep everything else already queued into the same wave. [Sequential]
+     keeps waves at size one — each event is fully displayed before the
+     next is admitted, the non-pipelined baseline by construction. *)
+  let glist = Array.to_list groups in
+  Cml.spawn (fun () ->
+      let rec serve () =
+        let eid = Mailbox.recv new_event in
+        admit eid;
+        (match mode with
+        | Sequential -> ()
+        | Pipelined ->
+          let rec drain_queued () =
+            match Mailbox.recv_opt new_event with
+            | Some eid ->
+              admit eid;
+              drain_queued ()
+            | None -> ()
+          in
+          drain_queued ());
+        let actives =
+          List.filter (fun wg -> not (Queue.is_empty wg.wg_rounds)) glist
+        in
+        run_wave actives;
+        flush actives;
+        serve ()
+      in
+      serve ());
+  rt
+
 let start ?(backend : backend = Pipelined) ?(mode = Pipelined) ?dispatch
     ?(memoize = true) ?history ?tracer ?(fuse = true)
-    ?(on_node_error = Propagate) ?queue_capacity ?observer ?mutate root =
+    ?(on_node_error = Propagate) ?queue_capacity ?observer ?mutate ?domains
+    ?pool root =
   if not (Cml.running ()) then
     invalid_arg "Runtime.start: must be called inside Cml.run";
+  (match domains with
+  | Some n when n < 1 -> invalid_arg "Runtime.start: domains must be >= 1"
+  | _ -> ());
   (match history with
   | Some n when n < 0 -> invalid_arg "Runtime.start: negative history"
   | _ -> ());
@@ -729,7 +1225,33 @@ let start ?(backend : backend = Pipelined) ?(mode = Pipelined) ?dispatch
   (* [fuse_cached] keeps the fused root physically stable across starts of
      the same graph, which is what lets [Compile.plan_of] hit its cache. *)
   let root = if fuse then Fuse.fuse_cached root else root in
-  incr generation;
+  (* Intra-session parallel dispatch: only the compiled backend has the
+     region-group DAG, and the wave coordinator supports neither planted
+     mutations nor mailbox capacities (its pending-value queues are plain
+     and unbounded by design — backpressure would block the coordinator
+     itself). Outside that envelope a [?domains]/[?pool] request silently
+     falls back to the threaded dispatcher, exactly as [Compiled] itself
+     falls back under [memoize:false]. *)
+  let use_wave =
+    (domains <> None || pool <> None)
+    && backend = Compiled && mutate = None && queue_capacity = None
+  in
+  if use_wave then begin
+    let owned_pool, wave_pool =
+      match pool with
+      | Some p -> (None, Some p)
+      | None -> (
+        match domains with
+        | Some k when k > 1 ->
+          let p = Pool.create ~domains:k () in
+          (Some p, Some p)
+        | _ -> (None, None))
+    in
+    start_wave ~mode ~dispatch ~history ~tracer ~policy:on_node_error ~observer
+      ~original_nodes ~fuse ~pool:wave_pool ~owned_pool root
+  end
+  else
+  let gen = fresh_generation () in
   let stats = Stats.create () in
   let new_event = Mailbox.create ~name:"newEvent" () in
   (* The compiled plan already ran the reachability analysis; reuse it so a
@@ -742,7 +1264,7 @@ let start ?(backend : backend = Pipelined) ?(mode = Pipelined) ?dispatch
   in
   let ctx =
     {
-      rt_gen = !generation;
+      rt_gen = gen;
       memoize;
       c_dispatch = dispatch;
       c_policy = on_node_error;
@@ -887,6 +1409,9 @@ let start ?(backend : backend = Pipelined) ?(mode = Pipelined) ?dispatch
       n_messages = 0;
       listeners = Queue.create ();
       sources = rt_sources;
+      stopped = false;
+      owned_pool = None;
+      d_stats = [||];
     }
   in
   let root_reach = Reach.reaching reach (Signal.id root) in
@@ -987,6 +1512,21 @@ let capped rt l = match rt.history with None -> l | Some cap -> take cap l
 
 let generation rt = rt.gen
 let current rt = rt.current
+
+(* Idempotent teardown: run the registered per-generation cleanup hooks
+   (std-lib driver tables) and close a pool this runtime created. The Cml
+   threads themselves die with the enclosing [Cml.run] scope, as always. *)
+let stop rt =
+  if not rt.stopped then begin
+    rt.stopped <- true;
+    Mutex.lock stop_hooks_lock;
+    let hooks = !stop_hooks in
+    Mutex.unlock stop_hooks_lock;
+    List.iter (fun f -> f rt.gen) hooks;
+    Option.iter Pool.close rt.owned_pool
+  end
+
+let domain_stats rt = rt.d_stats
 let changes rt = List.rev (capped rt rt.rev_changes)
 let message_log rt = List.rev (capped rt rt.rev_messages)
 let on_change rt f = Queue.add f rt.listeners

@@ -140,6 +140,8 @@ val start :
   ?queue_capacity:int ->
   ?observer:(node:int -> epoch:int -> changed:bool -> unit) ->
   ?mutate:mutation ->
+  ?domains:int ->
+  ?pool:Pool.t ->
   'a Signal.t ->
   'a t
 (** Instantiate the graph and spawn its threads. Must be called inside
@@ -195,9 +197,34 @@ val start :
 
     [mutate] plants one ordering bug (see {!mutation}); only the checker's
     mutation-coverage tests and benches pass it.
+
+    [domains]/[pool] enable {e intra-session parallel dispatch} on the
+    compiled backend: the threaded region dispatcher is replaced by a
+    coordinator that batches queued events into waves and runs each wave's
+    data-independent region groups (the plan's SCC-condensed dependency
+    DAG, {!Compile.group_deps}) concurrently on a domain pool, flushing
+    async/delay/display effects afterwards in (admission epoch, group)
+    order — change traces are bit-identical to the sequential dispatcher
+    (property-checked by [Check.Explore]'s [Domains] policy and gated by
+    bench B19). Region steps run atomically in virtual time: a step that
+    charges virtual cost ([Cml.sleep] inside a lift) delays the whole
+    wave's flush, so async programs with costly branches keep their
+    values and per-source order but may stamp displays later than the
+    threaded dispatcher would; such costs are only supported inline
+    (single-group waves or [~domains:1]) — on a pool worker the
+    scheduler is unavailable and the step fails under the node's
+    supervision policy. [~domains:k] with [k > 1] creates a private pool closed by
+    {!stop}; [~domains:1] runs waves inline with no pool (the sequential
+    wave baseline); [~pool] borrows a caller-owned pool (never closed
+    here) and takes precedence over [domains]. The wave coordinator
+    applies only when [backend = Compiled] and neither [mutate] nor
+    [queue_capacity] is given — otherwise the request silently falls back
+    to the threaded dispatcher, as [Compiled] itself does under
+    [memoize:false].
     @raise Invalid_argument outside a running scheduler, when [history]
     is negative, when a [Restart] budget is negative, when
-    [queue_capacity < 1], or when a [mutate] occurrence is [< 1]. *)
+    [queue_capacity < 1], when [domains < 1], or when a [mutate]
+    occurrence is [< 1]. *)
 
 val inject : _ t -> 'b Signal.t -> 'b -> unit
 (** [inject rt input v] delivers an external event: the new value [v] for
@@ -239,7 +266,35 @@ val stats : _ t -> Stats.t
 
 val generation : _ t -> int
 (** A number unique to this runtime instance; used by input libraries that
-    keep per-runtime driver state (e.g. the set of held keys). *)
+    keep per-runtime driver state (e.g. the set of held keys). Minted
+    atomically, so concurrent {!start}s from several domains never share a
+    generation. *)
+
+val fresh_generation : unit -> int
+(** Mint a generation without starting a runtime — exposed for stress
+    tests that assert mint uniqueness under concurrent domains. *)
+
+val stop : _ t -> unit
+(** Release the runtime's external resources: run every {!on_stop} hook
+    with this runtime's generation (dropping per-generation driver state
+    in the input libraries) and close the pool created by
+    [start ~domains:k] (a caller-supplied [?pool] is never closed).
+    Idempotent. The green threads themselves are owned by the enclosing
+    {!Cml.run} and end with it, as before — long-lived processes that
+    churn runtimes inside one scheduler must [stop] each one or driver
+    tables grow without bound. *)
+
+val on_stop : (int -> unit) -> unit
+(** Register a global hook run (with the runtime's generation) by every
+    {!stop}. Input-library drivers register one per module at init time to
+    free per-generation state. Hooks must be reentrant and fast; they may
+    run from whichever domain calls {!stop}. *)
+
+val domain_stats : _ t -> Stats.t array
+(** Per-worker-slot {!Stats} attribution under intra-session parallel
+    dispatch ([start ~domains]/[~pool]): index [w] accumulates the deltas
+    of region-group work executed by pool worker [w] (slot 0 doubles as
+    the coordinator under [~domains:1]). Empty for threaded runtimes. *)
 
 val source_ids : _ t -> (int * string) list
 (** Identifier and name of every source node registered with the

@@ -39,7 +39,7 @@ let build_signals (program : Program.t) g =
 
 let run_graph ?(policy = Cml.Scheduler.Fifo) ?backend
     ?(mode = Runtime.Pipelined) ?(memoize = true) ?tracer ?fuse ?on_node_error
-    ?queue_capacity program g root ~trace =
+    ?queue_capacity ?domains program g root ~trace =
   Sgraph.freeze g;
   match root with
   | Value.Vsignal root_id ->
@@ -54,7 +54,7 @@ let run_graph ?(policy = Cml.Scheduler.Fifo) ?backend
         let root_signal = Hashtbl.find table root_id in
         let rt =
           Runtime.start ?backend ~mode ~memoize ?tracer ?fuse ?on_node_error
-            ?queue_capacity root_signal
+            ?queue_capacity ?domains root_signal
         in
         stats := Some (Runtime.stats rt);
         final := Runtime.current rt;
@@ -86,16 +86,16 @@ let run_graph ?(policy = Cml.Scheduler.Fifo) ?backend
     { displays = []; final = v; stats = None; skipped_events = List.length trace }
 
 let run ?policy ?backend ?mode ?memoize ?tracer ?fuse ?on_node_error
-    ?queue_capacity program ~trace =
+    ?queue_capacity ?domains program ~trace =
   let g, root = Denote.run_program program in
   run_graph ?policy ?backend ?mode ?memoize ?tracer ?fuse ?on_node_error
-    ?queue_capacity program g root ~trace
+    ?queue_capacity ?domains program g root ~trace
 
-let run_source ?policy ?backend ?mode ?fuse ?on_node_error ?queue_capacity src
-    ~trace =
+let run_source ?policy ?backend ?mode ?fuse ?on_node_error ?queue_capacity
+    ?domains src ~trace =
   let program = Program.of_source src in
   ignore (Typecheck.check_program program);
   let events = Trace.parse trace in
   Trace.validate program events;
-  run ?policy ?backend ?mode ?fuse ?on_node_error ?queue_capacity program
-    ~trace:events
+  run ?policy ?backend ?mode ?fuse ?on_node_error ?queue_capacity ?domains
+    program ~trace:events

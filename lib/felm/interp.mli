@@ -30,6 +30,7 @@ val run :
   ?fuse:bool ->
   ?on_node_error:Elm_core.Runtime.error_policy ->
   ?queue_capacity:int ->
+  ?domains:int ->
   Program.t ->
   trace:Trace.event list ->
   outcome
@@ -45,7 +46,9 @@ val run :
     defaults to [Compiled], this API to [Pipelined]). [policy] selects the
     scheduler's interleaving strategy (default {!Cml.Scheduler.Fifo});
     [Seeded_random] / [Pct] replay the schedules the exploration harness
-    prints (see [felmc run --sched-seed]). *)
+    prints (see [felmc run --sched-seed]). [domains] enables intra-session
+    parallel region dispatch on the compiled backend
+    ([Runtime.start ~domains]; [felmc run --domains=K]). *)
 
 val run_graph :
   ?policy:Cml.Scheduler.policy ->
@@ -56,6 +59,7 @@ val run_graph :
   ?fuse:bool ->
   ?on_node_error:Elm_core.Runtime.error_policy ->
   ?queue_capacity:int ->
+  ?domains:int ->
   Program.t ->
   Sgraph.t ->
   Value.t ->
@@ -72,6 +76,7 @@ val run_source :
   ?fuse:bool ->
   ?on_node_error:Elm_core.Runtime.error_policy ->
   ?queue_capacity:int ->
+  ?domains:int ->
   string ->
   trace:string ->
   outcome

@@ -47,6 +47,9 @@ type 'a t = {
   d_capacity : int option;
   d_history : int option;
   d_pool : Pool.t option;  (* present: [drain] fans out over domains *)
+  d_intra : bool;
+      (* split each session's work by region group (plan group DAG) so one
+         session's independent groups also run concurrently; needs a pool *)
   d_in_parallel : bool ref;
       (* true while pool workers are stepping sessions: boundary re-entries
          route to session inboxes instead of [d_ready], and the delay heap
@@ -72,7 +75,9 @@ type accounting = {
 }
 
 let create ?tracer ?(on_node_error = Runtime.Propagate) ?queue_capacity
-    ?history ?(fuse = true) ?pool root =
+    ?history ?(fuse = true) ?pool ?(intra = false) root =
+  if intra && pool = None then
+    invalid_arg "Serve.Dispatcher.create: intra requires a pool";
   let root = if fuse then Fuse.fuse_cached root else root in
   let plan = Compile.plan_of root in
   let sessions = Hashtbl.create 64 in
@@ -136,6 +141,7 @@ let create ?tracer ?(on_node_error = Runtime.Propagate) ?queue_capacity
     d_capacity = queue_capacity;
     d_history = history;
     d_pool = pool;
+    d_intra = intra;
     d_in_parallel = in_parallel;
     d_delay_lock = delay_lock;
     d_domain_stats = [||];
@@ -369,8 +375,116 @@ let drain_parallel ?(seed = 0) d =
   rounds 0 (deal_ready d);
   Atomic.get dispatched
 
+(* ------------------------------------------------------------------ *)
+(* Intra-session parallel drain.
+
+   Like [drain_parallel], but each runnable session's admitted round is
+   further split by region group, so data-independent groups of one
+   session also run concurrently: one pool task per (session, active
+   group), scheduled under the plan's group DAG via [Pool.run_dag] (edges
+   only between groups of the same session — sessions stay independent).
+   The coordinator owns everything order-sensitive: it admits wakes
+   (assigning epochs and dispatch billing) before the barrier, and flushes
+   each session's buffered async/delay re-entries after it in (admission
+   epoch, group) order — so per-session traces remain bit-identical to
+   [drain_sequential], which the serve tests and bench B19 gate. *)
+
+let drain_intra ?(seed = 0) d =
+  let pool =
+    match d.d_pool with
+    | Some p -> p
+    | None -> invalid_arg "Serve.Dispatcher.drain_intra: no pool"
+  in
+  check_not_parallel d "drain_intra";
+  ensure_domain_stats d (Pool.domains pool);
+  let dispatched = ref 0 in
+  let admit_all s =
+    let rec go () =
+      match Session.wake_pop s with
+      | Some source ->
+        incr dispatched;
+        Session.admit s ~source;
+        go ()
+      | None -> ()
+    in
+    go ()
+  in
+  let schedule_delay s ~node ~slot ~seconds v =
+    Session.mark_pending_delay s;
+    Mutex.lock d.d_delay_lock;
+    incr d.d_seq;
+    d.d_delays :=
+      Pqueue.insert !(d.d_delays)
+        (!(d.d_now) +. seconds, !(d.d_seq))
+        { dl_sid = Session.id s; dl_node = node; dl_slot = slot; dl_value = v };
+    Mutex.unlock d.d_delay_lock
+  in
+  (* One sweep = admit every queued wake, run the (session x group) task
+     DAG, flush. Async re-entries queue the next sweep; delays are
+     delivered only once no session has wakes left, as in the sequential
+     drain. *)
+  let rec sweep i runnable =
+    match runnable with
+    | [] -> (
+      match deliver_due_delays d with [] -> () | next -> sweep (i + 1) next)
+    | _ ->
+      List.iter admit_all runnable;
+      let active =
+        List.filter (fun s -> Session.active_groups s <> []) runnable
+      in
+      let pos = Hashtbl.create 32 in
+      let count = ref 0 in
+      let rev_tasks = ref [] in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun g ->
+              Hashtbl.replace pos (Session.id s, g) !count;
+              incr count;
+              rev_tasks := (s, g) :: !rev_tasks)
+            (Session.active_groups s))
+        active;
+      let tasks = Array.of_list (List.rev !rev_tasks) in
+      let deps =
+        Array.map
+          (fun (s, g) ->
+            List.filter_map
+              (fun p -> Hashtbl.find_opt pos (Session.id s, p))
+              (Compile.group_preds d.d_plan g))
+          tasks
+      in
+      (match tasks with
+      | [||] -> ()
+      | _ ->
+        d.d_in_parallel := true;
+        Fun.protect
+          ~finally:(fun () -> d.d_in_parallel := false)
+          (fun () ->
+            Pool.run_dag ~seed:(seed + i) pool ~deps
+              (Array.map
+                 (fun (s, g) w ->
+                   Session.run_group s g ~dstats:d.d_domain_stats.(w))
+                 tasks)));
+      let next = ref [] in
+      List.iter
+        (fun s ->
+          Session.flush_groups s
+            ~fire:(fun source ->
+              Session.mark_pending s;
+              let fresh = not (Session.has_wakes s) in
+              Session.wake_push s source;
+              if fresh then next := s :: !next)
+            ~delay:(fun ~node ~slot ~seconds v ->
+              schedule_delay s ~node ~slot ~seconds v))
+        active;
+      sweep i (List.rev !next)
+  in
+  sweep 0 (deal_ready d);
+  !dispatched
+
 let drain d =
   match d.d_pool with
+  | Some _ when d.d_intra -> drain_intra d
   | Some _ -> drain_parallel d
   | None -> drain_sequential d
 

@@ -36,6 +36,7 @@ val create :
   ?history:int ->
   ?fuse:bool ->
   ?pool:Pool.t ->
+  ?intra:bool ->
   'a Signal.t ->
   'a t
 (** Build (or fetch from the plan cache) the compiled plan for the graph
@@ -44,7 +45,10 @@ val create :
     state makes {!clone} approximate; pass [~fuse:false] for exact clones.
     The options are applied to every session opened through this
     dispatcher. A shared [tracer] gets per-session node ids (offset by
-    [Compile.id_stride]), so rows never collide. *)
+    [Compile.id_stride]), so rows never collide. [intra] (default false;
+    requires [pool], else [Invalid_argument]) makes {!drain} use
+    {!drain_intra}: one session's data-independent region groups also run
+    concurrently. *)
 
 val root : 'a t -> 'a Signal.t
 (** The graph all sessions run (after fusion, if enabled) — use its input
@@ -101,6 +105,19 @@ val drain_parallel : ?seed:int -> 'a t -> int
     this. Raises [Invalid_argument] if the dispatcher has no pool.
     Session lifecycle calls ([open_session]/[clone]/[close]) are rejected
     while a parallel drain is running. *)
+
+val drain_intra : ?seed:int -> 'a t -> int
+(** Drain with {e intra-session} parallelism: each sweep admits every
+    queued wake coordinator-side ({!Session.admit} — epochs and dispatch
+    billing are assigned before anything runs), then executes one pool
+    task per (session, active region group) under the plan's group DAG
+    ({!Pool.run_dag}; edges only between groups of the same session), then
+    flushes each session's buffered async/delay re-entries in (admission
+    epoch, group) order. Delays are delivered only at global quiescence,
+    as in the other drains. Per-session change traces and counter totals
+    are bit-identical to {!drain} without a pool, for every [seed] and
+    domain count. Raises [Invalid_argument] if the dispatcher has no
+    pool. *)
 
 val pool : 'a t -> Pool.t option
 

@@ -42,6 +42,31 @@ type 'a sink = {
   k_history : int option;
 }
 
+(* Intra-session parallel stepping: the boundary effects a region-group
+   task buffers instead of performing, applied by the coordinator after the
+   group barrier in (admission epoch, group index) order — touching the
+   dispatcher's ready queue, the delay heap and the tracer's dispatch shard
+   from a worker would race (or shard-split the round). *)
+type geffect =
+  | G_push of int * Obj.t  (* pending value for a source slot *)
+  | G_fire of int  (* async boundary: re-enter as a fresh wake *)
+  | G_delay of int * int * float * Obj.t  (* node, slot, seconds, value *)
+  | G_display of int * bool  (* the tracer's display instant *)
+
+(* One region group's execution context: shares the session's arena (groups
+   touch disjoint slots) but owns its scratch counters, guards and effect
+   buffer, so two groups of one session can run on different domains with
+   no shared mutable word. *)
+type gexec = {
+  g_regions : (int * Compile.region) array;  (* member regions, ascending *)
+  g_exec : Compile.exec;
+  g_stats : Stats.t;  (* scratch, owned by the running task *)
+  mutable g_snap : Stats.t;  (* last state merged into the session stats *)
+  g_epoch : int ref;  (* current round's epoch, tags buffered effects *)
+  g_effects : (int * geffect) Queue.t;
+  g_rounds : Compile.round Queue.t;  (* this round's work, set by [admit] *)
+}
+
 type 'a t = {
   s_id : int;
   s_plan : Compile.plan;
@@ -59,6 +84,7 @@ type 'a t = {
       (* source-id wakes pinned to this session during a parallel drain:
          the per-session restriction of the dispatcher's global FIFO. Only
          the domain currently running this session's task touches it. *)
+  mutable s_gexecs : gexec array;  (* [||] until intra-mode is first used *)
   mutable s_epoch : int;  (* session-local event counter *)
   mutable s_pending : int;  (* routed events not yet stepped *)
   mutable s_pending_delays : int;  (* values in the dispatcher's heap *)
@@ -212,6 +238,7 @@ let build : type r.
     s_offset = offset;
     s_sink = sink;
     s_inbox = Queue.create ();
+    s_gexecs = [||];
     s_epoch = epoch;
     s_pending = 0;
     s_pending_delays = 0;
@@ -361,6 +388,181 @@ let mark_pending_delay s = s.s_pending_delays <- s.s_pending_delays + 1
 let wake_push s source = Queue.push source s.s_inbox
 let wake_pop s = Queue.take_opt s.s_inbox
 let has_wakes s = not (Queue.is_empty s.s_inbox)
+
+(* ------------------------------------------------------------------ *)
+(* Intra-session parallel stepping.
+
+   [admit] (coordinator) assigns the epoch and settles every deterministic
+   per-event counter (events, notified, region_steps, elided, the tracer's
+   dispatch row — all computable from the plan alone), queueing the round
+   on each woken region's group. [run_group] (a pool task, one per active
+   group, ordered by the plan's group DAG) performs the actual op
+   execution, billing value-dependent counters into the group's scratch
+   and buffering boundary effects. [flush_groups] (coordinator, after the
+   barrier) applies the buffered effects in (epoch, group) order — the
+   order a sequential [step] sweep would have performed them — and merges
+   the scratch deltas, so [stats] totals match sequential stepping
+   exactly. The root's sink is written directly by the root's group (the
+   single writer); the coordinator only reads it after the barrier. *)
+
+let ensure_gexecs : type r. r t -> unit =
+ fun s ->
+  if Array.length s.s_gexecs = 0 then begin
+    let pl = s.s_plan in
+    let regions = Array.of_list (Compile.regions pl) in
+    s.s_gexecs <-
+      Array.init (Compile.group_count pl) (fun g ->
+          let g_stats = Stats.create () in
+          let epoch_ref = ref 0 in
+          let effects = Queue.create () in
+          let x =
+            {
+              Compile.x_arena = s.s_exec.Compile.x_arena;
+              x_flood = false;
+              x_stats = g_stats;
+              x_guards =
+                make_guards ~policy:s.s_policy ~stats:g_stats ~tracer:s.s_tracer
+                  ~offset:s.s_offset pl;
+              x_account =
+                (fun ~node:_ ~epoch ~changed:_ ~real ->
+                  if real then g_stats.Stats.messages <- g_stats.Stats.messages + 1
+                  else
+                    g_stats.Stats.elided_messages <-
+                      g_stats.Stats.elided_messages + 1;
+                  Some epoch);
+              x_root_stamp = None;
+              x_pop = (fun sl -> Queue.pop (queue_exn s.s_queues sl));
+              x_push =
+                (fun sl v -> Queue.push (!epoch_ref, G_push (sl, v)) effects);
+              x_fire_async =
+                (fun id ->
+                  g_stats.Stats.async_events <- g_stats.Stats.async_events + 1;
+                  Queue.push (!epoch_ref, G_fire id) effects);
+              x_delay =
+                (fun ~node ~slot ~seconds v ->
+                  Queue.push (!epoch_ref, G_delay (node, slot, seconds, v)) effects);
+              x_display =
+                (fun ~epoch ~changed v ->
+                  if s.s_tracer <> None then
+                    Queue.push (!epoch_ref, G_display (epoch, changed)) effects;
+                  if changed then record_change s.s_sink epoch (Obj.obj v : r));
+            }
+          in
+          {
+            g_regions =
+              Array.of_list
+                (List.map (fun i -> (i, regions.(i))) (Compile.group_regions pl g));
+            g_exec = x;
+            g_stats;
+            g_snap = Stats.copy g_stats;
+            g_epoch = epoch_ref;
+            g_effects = effects;
+            g_rounds = Queue.create ();
+          })
+  end
+
+let admit s ~source =
+  s.s_pending <- s.s_pending - 1;
+  if not s.s_closed then begin
+    ensure_gexecs s;
+    s.s_epoch <- s.s_epoch + 1;
+    let st = s.s_stats in
+    st.Stats.events <- st.Stats.events + 1;
+    let r = { Compile.epoch = s.s_epoch; source } in
+    let reach = Compile.reach s.s_plan in
+    (match s.s_tracer with
+    | None -> ()
+    | Some tr ->
+      Trace.dispatch tr ~source:(s.s_offset + source) ~epoch:s.s_epoch
+        ~targets:(Reach.cone_size reach source));
+    let pushed = ref [] in
+    List.iter
+      (fun rg ->
+        let i = rg.Compile.rg_index in
+        if Reach.set_mem source (Compile.region_sources s.s_plan i) then begin
+          st.Stats.notified_nodes <- st.Stats.notified_nodes + 1;
+          st.Stats.region_steps <- st.Stats.region_steps + 1;
+          let g = Compile.group_of s.s_plan i in
+          if not (List.mem g !pushed) then begin
+            pushed := g :: !pushed;
+            Queue.push r s.s_gexecs.(g).g_rounds
+          end
+        end)
+      (Compile.regions s.s_plan);
+    st.Stats.elided_messages <-
+      st.Stats.elided_messages
+      + (Compile.node_count s.s_plan - Reach.cone_size reach source)
+  end
+
+let active_groups s =
+  let acc = ref [] in
+  Array.iteri
+    (fun g gx -> if not (Queue.is_empty gx.g_rounds) then acc := g :: !acc)
+    s.s_gexecs;
+  List.rev !acc
+
+let run_group s g ~dstats =
+  let gx = s.s_gexecs.(g) in
+  let before = Stats.copy gx.g_stats in
+  let rec go () =
+    match Queue.take_opt gx.g_rounds with
+    | None -> ()
+    | Some r ->
+      gx.g_epoch := r.Compile.epoch;
+      Array.iter
+        (fun (i, rg) ->
+          if Reach.set_mem r.Compile.source (Compile.region_sources s.s_plan i)
+          then begin
+            (match s.s_tracer with
+            | None -> ()
+            | Some tr ->
+              Trace.node_start tr ~node:(s.s_offset + rg.Compile.rg_rep)
+                ~epoch:r.Compile.epoch);
+            Compile.run_region s.s_plan gx.g_exec i r;
+            match s.s_tracer with
+            | None -> ()
+            | Some tr ->
+              Trace.node_end tr ~node:(s.s_offset + rg.Compile.rg_rep)
+                ~epoch:r.Compile.epoch
+          end)
+        gx.g_regions;
+      go ()
+  in
+  go ();
+  Stats.add_delta dstats ~before ~after:gx.g_stats
+
+let flush_groups s ~fire ~delay =
+  if Array.length s.s_gexecs > 0 then begin
+    let tagged = ref [] in
+    Array.iteri
+      (fun g gx ->
+        Queue.iter (fun (ep, eff) -> tagged := (ep, g, eff) :: !tagged)
+          gx.g_effects;
+        Queue.clear gx.g_effects)
+      s.s_gexecs;
+    let ordered =
+      List.stable_sort
+        (fun ((e1 : int), (g1 : int), _) (e2, g2, _) ->
+          if e1 <> e2 then compare e1 e2 else compare g1 g2)
+        (List.rev !tagged)
+    in
+    List.iter
+      (fun (_ep, _g, eff) ->
+        match eff with
+        | G_push (sl, v) -> Queue.push v (queue_exn s.s_queues sl)
+        | G_fire id -> fire id
+        | G_delay (node, slot, seconds, v) -> delay ~node ~slot ~seconds v
+        | G_display (epoch, changed) -> (
+          match s.s_tracer with
+          | None -> ()
+          | Some tr -> Trace.display tr ~epoch ~changed))
+      ordered;
+    Array.iter
+      (fun gx ->
+        Stats.add_delta s.s_stats ~before:gx.g_snap ~after:gx.g_stats;
+        gx.g_snap <- Stats.copy gx.g_stats)
+      s.s_gexecs
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Accessors *)

@@ -139,3 +139,43 @@ val wake_pop : 'a t -> int option
 (** Take the oldest queued wake, if any. *)
 
 val has_wakes : 'a t -> bool
+
+(** {2 Intra-session parallel stepping}
+
+    The dispatcher's [intra] mode splits one session's work by region
+    {e group} (the plan's SCC-condensed region dependency DAG,
+    {!Compile.group_deps}) so data-independent groups of one round can run
+    on different pool domains. Protocol per round: the coordinator
+    {!admit}s every queued wake (assigning epochs and settling the
+    deterministic per-event counters), schedules one task per
+    {!active_groups} entry under the plan's group-DAG edges
+    ({!Compile.group_preds}), each task calls {!run_group}, and after the
+    barrier the coordinator calls {!flush_groups} to apply buffered
+    async/delay re-entries in (admission epoch, group) order and merge the
+    scratch counters — totals and change traces are bit-identical to
+    {!step}ping the same wakes sequentially. *)
+
+val admit : 'a t -> source:int -> unit
+(** Coordinator-side admission of one routed wake: bump the session epoch,
+    bill events/notified/region_steps/elided and the tracer dispatch row,
+    and queue the round on each woken region's group. Closed sessions
+    consume the wake without effect, as {!step} does. *)
+
+val active_groups : 'a t -> int list
+(** Groups with admitted, not-yet-run rounds, ascending. *)
+
+val run_group : 'a t -> int -> dstats:Stats.t -> unit
+(** Run every admitted round of one group (pool-task side): member regions
+    in index order per round, value-dependent counters billed to the
+    group's scratch, boundary effects buffered. The delta is also added to
+    [dstats] — the caller's per-worker attribution slot. *)
+
+val flush_groups :
+  'a t ->
+  fire:(int -> unit) ->
+  delay:(node:int -> slot:int -> seconds:float -> Obj.t -> unit) ->
+  unit
+(** Coordinator-side: apply the buffered effects of every group in
+    (admission epoch, group index) order — [fire source] for async
+    re-entries, [delay] for heap scheduling — and merge each group's
+    scratch delta into {!stats}. *)

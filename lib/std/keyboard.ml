@@ -23,12 +23,26 @@ let shift =
   Signal.lift ~name:"Keyboard.shift" (fun keys -> List.mem shift_key keys) keys_down
 
 (* Held keys per runtime generation, so sequential sessions don't leak state
-   into each other. *)
+   into each other. Mutex-guarded: runtimes on different pool domains drive
+   their keyboards concurrently, and an unsynchronized Hashtbl resize under
+   that race corrupts the table. Entries are dropped by the [Runtime.stop]
+   hook below — without it, session churn grows the table without bound. *)
 let held : (int, int list) Hashtbl.t = Hashtbl.create 8
+let held_lock = Mutex.create ()
 
-let held_for rt = Option.value ~default:[] (Hashtbl.find_opt held (Runtime.generation rt))
+let with_held f =
+  Mutex.lock held_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock held_lock) f
 
-let set_held rt keys = Hashtbl.replace held (Runtime.generation rt) keys
+let () = Runtime.on_stop (fun gen -> with_held (fun () -> Hashtbl.remove held gen))
+let held_table_size () = with_held (fun () -> Hashtbl.length held)
+
+let held_for rt =
+  with_held (fun () ->
+      Option.value ~default:[] (Hashtbl.find_opt held (Runtime.generation rt)))
+
+let set_held rt keys =
+  with_held (fun () -> Hashtbl.replace held (Runtime.generation rt) keys)
 
 let press rt code =
   let keys = code :: List.filter (fun k -> k <> code) (held_for rt) in

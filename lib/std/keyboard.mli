@@ -37,3 +37,8 @@ val release : _ Elm_core.Runtime.t -> int -> unit
 
 val tap : _ Elm_core.Runtime.t -> int -> unit
 (** [press] then [release]. *)
+
+val held_table_size : unit -> int
+(** Number of runtime generations with driver state (test hook: after
+    [Runtime.stop]ping every runtime this returns to its prior value —
+    the stop hook frees the per-generation held-key entry). *)

@@ -13,14 +13,27 @@ type touch = {
 let touches = Signal.input ~name:"Touch.touches" []
 let taps = Signal.input ~name:"Touch.taps" (0, 0)
 
-(* Ongoing touches per runtime generation (same pattern as Keyboard.held). *)
+(* Ongoing touches per runtime generation (same pattern as Keyboard.held:
+   mutex against concurrent multi-domain drivers, entry dropped by the
+   [Runtime.stop] hook so churn can't leak). *)
 let ongoing : (int, touch list) Hashtbl.t = Hashtbl.create 8
+let ongoing_lock = Mutex.create ()
+
+let with_ongoing f =
+  Mutex.lock ongoing_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock ongoing_lock) f
+
+let () =
+  Runtime.on_stop (fun gen -> with_ongoing (fun () -> Hashtbl.remove ongoing gen))
+
+let ongoing_table_size () = with_ongoing (fun () -> Hashtbl.length ongoing)
 
 let ongoing_for rt =
-  Option.value ~default:[] (Hashtbl.find_opt ongoing (Runtime.generation rt))
+  with_ongoing (fun () ->
+      Option.value ~default:[] (Hashtbl.find_opt ongoing (Runtime.generation rt)))
 
 let set_ongoing rt ts =
-  Hashtbl.replace ongoing (Runtime.generation rt) ts;
+  with_ongoing (fun () -> Hashtbl.replace ongoing (Runtime.generation rt) ts);
   ignore (Runtime.try_inject rt touches ts)
 
 let touch_start rt ~id (x, y) =

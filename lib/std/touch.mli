@@ -22,3 +22,7 @@ val touch_start : _ Elm_core.Runtime.t -> id:int -> int * int -> unit
 val touch_move : _ Elm_core.Runtime.t -> id:int -> int * int -> unit
 val touch_end : _ Elm_core.Runtime.t -> id:int -> unit
 val tap : _ Elm_core.Runtime.t -> int * int -> unit
+
+val ongoing_table_size : unit -> int
+(** Number of runtime generations with driver state (test hook; see
+    {!Keyboard.held_table_size}). *)

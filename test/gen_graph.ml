@@ -104,17 +104,23 @@ let build_shape shape =
 
 let run_shape ?(backend : Runtime.backend = Runtime.Pipelined)
     ?(fuse = true) ?(mode = Runtime.Pipelined) ?(dispatch = Runtime.Cone)
-    ?policy ?on_node_error ?queue_capacity shape events =
-  with_world ?policy (fun () ->
-      let a, b, s = build_shape shape in
-      let rt =
-        Runtime.start ~backend ~fuse ~mode ~dispatch ?on_node_error
-          ?queue_capacity s
-      in
-      List.iter
-        (fun (left, v) -> Runtime.inject rt (if left then a else b) v)
-        events;
-      rt)
+    ?policy ?on_node_error ?queue_capacity ?domains ?pool shape events =
+  let rt =
+    with_world ?policy (fun () ->
+        let a, b, s = build_shape shape in
+        let rt =
+          Runtime.start ~backend ~fuse ~mode ~dispatch ?on_node_error
+            ?queue_capacity ?domains ?pool s
+        in
+        List.iter
+          (fun (left, v) -> Runtime.inject rt (if left then a else b) v)
+          events;
+        rt)
+  in
+  (* Release any runtime-owned domain pool (and run std-lib stop hooks);
+     the change log stays readable after stop. *)
+  Runtime.stop rt;
+  rt
 
 let entry_equal (t1, m1) (t2, m2) = t1 = t2 && Event.equal ( = ) m1 m2
 
