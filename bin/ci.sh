@@ -53,6 +53,13 @@
 # merge back to the runtime totals, and dispatch counts must agree
 # across widths; the wall-clock speedup bar is hardware-scaled like
 # B18's and report-only on 1 core.
+# B20 gates live graph upgrade (lib/core/upgrade): hot-swapping 10k
+# live sessions onto a freshly rebuilt identical plan mid-stream must
+# diff as an identity patch, drop zero events (one event per session
+# is queued across the seam on purpose), and leave every per-session
+# change trace bit-identical to a never-upgraded dispatcher fed the
+# same events; post-upgrade throughput vs cold start is wall-clock
+# and report-only.
 # After the smoke gates, bench_diff compares the gated counter ratios
 # (B11/B13/B16/B17/B19) against the committed bench/baseline.json and
 # fails on > 20% regression — see bin/bench_diff.sh for how to accept
@@ -91,4 +98,5 @@ if [ "$quick" -eq 1 ]; then
 fi
 
 dune exec bench/main.exe -- --smoke --json
+dune exec bench/main.exe -- --b20-smoke
 dune exec bench/diff.exe -- bench/baseline.json BENCH_core.json

@@ -443,7 +443,7 @@ let sessions_cmd =
              stealing (default 1: sequential). Per-session change traces \
              are identical either way.")
   in
-  let run file replay n print_stats no_fuse domains =
+  let run file replay n print_stats no_fuse domains upgrade_at =
     or_die (fun () ->
         let program, ty = load_checked file in
         let events =
@@ -458,13 +458,6 @@ let sessions_cmd =
         match root with
         | Felm.Value.Vsignal root_id ->
           Felm.Sgraph.freeze g;
-          let table = Felm.Interp.build_signals program g in
-          let root_signal = Hashtbl.find table root_id in
-          let inputs =
-            List.map
-              (fun (name, id) -> (name, Hashtbl.find table id))
-              (Felm.Sgraph.inputs g)
-          in
           let module D = Elm_serve.Dispatcher in
           let module S = Elm_serve.Session in
           (* Sessions run synchronously against the cached plan: no
@@ -473,23 +466,72 @@ let sessions_cmd =
              observable traces are the same (B18's oracle). *)
           if domains < 1 then
             raise (Invalid_argument "--domains must be >= 1");
+          (* Only unfused plans promise bit-identical traces across an
+             upgrade (fused composite state is re-created at the seam). *)
+          let no_fuse = no_fuse || upgrade_at <> None in
           let pool =
             if domains > 1 then Some (Elm_serve.Pool.create ~domains ())
             else None
           in
-          let d = D.create ~fuse:(not no_fuse) ?pool root_signal in
-          let sessions = List.init n (fun _ -> D.open_session d) in
+          let evs = Array.of_list events in
+          let n_ev = Array.length evs in
           let skipped = ref 0 in
-          List.iter
-            (fun ev ->
-              match List.assoc_opt ev.Felm.Trace.input inputs with
-              | None -> incr skipped
-              | Some input ->
-                List.iter
-                  (fun s -> D.inject d s input ev.Felm.Trace.value)
-                  sessions)
-            events;
-          ignore (D.drain d);
+          (* One full replay. With [upgrade_at = Some k] the first [k]
+             events drain, the graph is rebuilt from the same frozen FElm
+             program (structurally identical, fresh node ids) and — when
+             [upgrade] — hot-swapped under the live sessions, then the
+             rest replays into the new graph's inputs. [upgrade:false]
+             keeps the same split and drain pattern without the swap: the
+             replay-differential reference. *)
+          let run_once ~upgrade =
+            skipped := 0;
+            let inputs_of table =
+              List.map
+                (fun (name, id) -> (name, Hashtbl.find table id))
+                (Felm.Sgraph.inputs g)
+            in
+            let table = Felm.Interp.build_signals program g in
+            let d =
+              D.create ~fuse:(not no_fuse) ?pool (Hashtbl.find table root_id)
+            in
+            let sessions = List.init n (fun _ -> D.open_session d) in
+            let inject inputs lo hi =
+              for j = lo to hi - 1 do
+                let ev = evs.(j) in
+                match List.assoc_opt ev.Felm.Trace.input inputs with
+                | None -> incr skipped
+                | Some input ->
+                  List.iter
+                    (fun s -> D.inject d s input ev.Felm.Trace.value)
+                    sessions
+              done
+            in
+            let patch =
+              match upgrade_at with
+              | None ->
+                inject (inputs_of table) 0 n_ev;
+                None
+              | Some k ->
+                let k = max 0 (min k n_ev) in
+                inject (inputs_of table) 0 k;
+                ignore (D.drain d);
+                let inputs', patch =
+                  if upgrade then begin
+                    let table' = Felm.Interp.build_signals program g in
+                    let patch =
+                      D.upgrade_all d (Hashtbl.find table' root_id)
+                    in
+                    (inputs_of table', Some patch)
+                  end
+                  else (inputs_of table, None)
+                in
+                inject inputs' k n_ev;
+                patch
+            in
+            ignore (D.drain d);
+            (d, sessions, patch)
+          in
+          let d, sessions, patch = run_once ~upgrade:(upgrade_at <> None) in
           Printf.printf "-- %s : %s (%d sessions)\n" (Filename.basename file)
             (Felm.Ty.to_string ty) n;
           let shown s =
@@ -511,6 +553,27 @@ let sessions_cmd =
               Printf.printf "sessions: TRACES DIVERGED\n";
               exit 1
             end);
+          (match (upgrade_at, patch) with
+          | Some k, Some p ->
+            let k = max 0 (min k n_ev) in
+            Printf.printf "upgrade at %d: %d slots added, %d dropped\n" k
+              (List.length (Elm_core.Upgrade.added_slots p))
+              (List.length (Elm_core.Upgrade.dropped_slots p));
+            (* replay-differential: the same split without the swap *)
+            let _, ref_sessions, _ = run_once ~upgrade:false in
+            let got = match sessions with [] -> [] | s :: _ -> shown s in
+            let want =
+              match ref_sessions with [] -> [] | s :: _ -> shown s
+            in
+            if got = want then
+              Printf.printf
+                "upgrade at %d: trace identical to non-upgraded replay\n" k
+            else begin
+              Printf.printf
+                "upgrade at %d: TRACE DIVERGED from non-upgraded replay\n" k;
+              exit 1
+            end
+          | _ -> ());
           if !skipped > 0 then
             Printf.printf "(%d trace events targeted unused inputs)\n" !skipped;
           if print_stats then begin
@@ -543,16 +606,30 @@ let sessions_cmd =
             (Felm.Ty.to_string ty);
           Printf.printf "value: %s\n" (Felm.Value.show v))
   in
+  let upgrade_at_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "upgrade-at" ] ~docv:"N"
+          ~doc:
+            "After draining the first $(docv) replay events, rebuild the \
+             graph from the same program (structurally identical, fresh \
+             node ids) and hot-swap every live session onto it, then \
+             replay the rest. The resulting trace is checked against a \
+             non-upgraded replay with the same drain pattern. Implies \
+             $(b,--no-fuse).")
+  in
   Cmd.v
     (Cmd.info "sessions"
        ~doc:
          "Serve N isolated sessions of one FElm program over a shared \
           compiled plan: the graph is compiled once, each session is an \
           arena copy, and the same replayed trace must produce identical \
-          per-session change traces.")
+          per-session change traces. With $(b,--upgrade-at) the plan is \
+          hot-swapped mid-replay and the trace must not change.")
     Term.(
       const run $ file_arg $ replay_arg $ count_arg $ stats_arg $ no_fuse_arg
-      $ domains_arg)
+      $ domains_arg $ upgrade_at_arg)
 
 let () =
   let info =

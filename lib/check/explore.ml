@@ -382,6 +382,221 @@ let pp_report ppf r =
     r.r_violations;
   Format.fprintf ppf "@]"
 
+(* ------------------------------------------------------------------ *)
+(* Live-upgrade exploration.
+
+   The serve layer admits upgrades only between event waves, so the
+   schedule axis for upgrades is not thread interleaving but the upgrade
+   point: which prefix of the event stream has been injected — and
+   whether it has drained — when [Dispatcher.upgrade_all] runs.
+   [run_upgrade] sweeps every split point in both styles (quiescent: the
+   prefix fully drained; pending: the prefix still queued, exercising the
+   ready-queue and seam-mailbox remap), runs the suffix, and compares
+   each session's change trace against a never-upgraded run of the old
+   program — the replay-differential oracle. The programs this axis
+   accepts are those whose replacement is observationally equivalent
+   under correct migration (identity upgrades trivially; state-migrating
+   ones by construction, e.g. a re-biased foldp accumulator whose new
+   view undoes the bias), so any divergence, crash, accounting drift or
+   dropped event at any upgrade point is a bug — which is exactly how the
+   planted upgrade mutations (Stale_slot_map, Skip_migration,
+   Leak_seam_mailbox) get caught. *)
+
+module Upgrade = Elm_core.Upgrade
+module Dispatcher = Elm_serve.Dispatcher
+module Session = Elm_serve.Session
+module Pool = Elm_serve.Pool
+
+type 'a ugraph = {
+  ug_root : 'a Signal.t;
+  ug_inputs : int Signal.t array;
+}
+
+type 'a uprogram = {
+  u_name : string;
+  u_show : 'a -> string;
+  u_classify : ('a -> int option) option;
+  u_old : unit -> 'a ugraph;
+  u_new : unit -> 'a ugraph;
+  u_migrate : unit -> Upgrade.migration list;
+  u_events : (int * int) list;  (* (input index, value), arrival order *)
+}
+
+let upgrade_program ~name ?classify ~show ?(migrate = fun () -> [])
+    ~old_graph ~new_graph events =
+  {
+    u_name = name;
+    u_show = show;
+    u_classify = classify;
+    u_old = old_graph;
+    u_new = new_graph;
+    u_migrate = migrate;
+    u_events = events;
+  }
+
+(* One run's observation: per-session shown change traces, per-source
+   class projections, and the dispatcher's final accounting. *)
+type uobs = {
+  uo_traces : (int * string) list list;
+  uo_classes : (int * string list) list list;
+  uo_acc : Dispatcher.accounting;
+  uo_dropped : int;
+  uo_stepped : int;
+}
+
+let uclasses p changes =
+  match p.u_classify with
+  | None -> []
+  | Some classify ->
+    let tbl : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (_, v) ->
+        match classify v with
+        | None -> ()
+        | Some c -> (
+          let s = p.u_show v in
+          match Hashtbl.find_opt tbl c with
+          | Some l -> l := s :: !l
+          | None -> Hashtbl.add tbl c (ref [ s ])))
+      changes;
+    Hashtbl.fold (fun c l acc -> (c, List.rev !l) :: acc) tbl []
+    |> List.sort compare
+
+let uobserve p d sessions =
+  {
+    uo_traces =
+      List.map
+        (fun s ->
+          List.map (fun (e, v) -> (e, p.u_show v)) (Session.changes s))
+        sessions;
+    uo_classes = List.map (fun s -> uclasses p (Session.changes s)) sessions;
+    uo_acc = Dispatcher.accounting d;
+    uo_dropped = List.fold_left (fun t s -> t + Session.dropped s) 0 sessions;
+    uo_stepped = List.fold_left (fun t s -> t + Session.epoch s) 0 sessions;
+  }
+
+(* Two sessions per run: upgrades must preserve isolation as well as each
+   session's own trace. [upgrade_at = None] is the reference. *)
+let urun p ~fuse ~pool ~mutate ~upgrade_at =
+  try
+    let g = p.u_old () in
+    let d = Dispatcher.create ~fuse ?pool g.ug_root in
+    let s1 = Dispatcher.open_session d in
+    let s2 = Dispatcher.open_session d in
+    let evs = Array.of_list p.u_events in
+    let inject_range inputs lo hi =
+      for j = lo to hi - 1 do
+        let i, v = evs.(j) in
+        Dispatcher.inject d s1 inputs.(i) v;
+        Dispatcher.inject d s2 inputs.(i) v
+      done
+    in
+    (match upgrade_at with
+    | None -> inject_range g.ug_inputs 0 (Array.length evs)
+    | Some (k, quiesce) ->
+      inject_range g.ug_inputs 0 k;
+      if quiesce then ignore (Dispatcher.drain d);
+      let g' = p.u_new () in
+      ignore
+        (Dispatcher.upgrade_all ~migrate:(p.u_migrate ()) ?mutate d g'.ug_root);
+      inject_range g'.ug_inputs k (Array.length evs));
+    ignore (Dispatcher.drain d);
+    Ok (uobserve p d [ s1; s2 ])
+  with e -> Error (Printexc.to_string e)
+
+let ucheck p ~reference outcome ~where =
+  match outcome with
+  | Error msg ->
+    [ (No_deadlock, Printf.sprintf "%s: run did not complete: %s" where msg) ]
+  | Ok obs ->
+    let vs = ref [] in
+    let add inv detail =
+      vs := (inv, Printf.sprintf "%s: %s" where detail) :: !vs
+    in
+    if obs.uo_traces <> reference.uo_traces then
+      add Trace_equal
+        "change traces diverged from the never-upgraded reference";
+    if obs.uo_stepped <> reference.uo_stepped then
+      add No_deadlock
+        (Printf.sprintf "stepped %d events, reference stepped %d"
+           obs.uo_stepped reference.uo_stepped);
+    if p.u_classify <> None && obs.uo_classes <> reference.uo_classes then
+      add Per_source_order
+        "per-source class projections diverged from the reference";
+    let acc = obs.uo_acc in
+    if
+      acc.Dispatcher.pending_events <> 0
+      || acc.Dispatcher.pending_delays <> 0
+      || acc.Dispatcher.idle <> acc.Dispatcher.live
+      || obs.uo_dropped > 0
+    then
+      add Accounting
+        (Printf.sprintf
+           "after final drain: pending=%d delays=%d idle=%d/%d dropped=%d"
+           acc.Dispatcher.pending_events acc.Dispatcher.pending_delays
+           acc.Dispatcher.idle acc.Dispatcher.live obs.uo_dropped);
+    List.rev !vs
+
+let run_upgrade ?(fuse = false) ?mutate ?domains p =
+  if Sched.running () then
+    invalid_arg "Explore.run_upgrade: must be called outside Cml.run";
+  let with_pool f =
+    match domains with
+    | Some k when k > 1 ->
+      let pool = Pool.create ~domains:k () in
+      Fun.protect ~finally:(fun () -> Pool.close pool) (fun () -> f (Some pool))
+    | _ -> f None
+  in
+  with_pool (fun pool ->
+      let n = List.length p.u_events in
+      match urun p ~fuse ~pool ~mutate:None ~upgrade_at:None with
+      | Error msg ->
+        {
+          r_program = p.u_name;
+          r_schedules = 0;
+          r_violations =
+            [
+              {
+                v_invariant = No_deadlock;
+                v_policy = Sched.Fifo;
+                v_detail = "reference run crashed: " ^ msg;
+                v_decisions = [];
+              };
+            ];
+        }
+      | Ok reference ->
+        let violations = ref [] in
+        let runs = ref 0 in
+        List.iter
+          (fun quiesce ->
+            for k = 0 to n do
+              incr runs;
+              let where =
+                Printf.sprintf "upgrade at %d/%d (%s)" k n
+                  (if quiesce then "quiescent" else "pending events")
+              in
+              let outcome =
+                urun p ~fuse ~pool ~mutate ~upgrade_at:(Some (k, quiesce))
+              in
+              List.iter
+                (fun (inv, detail) ->
+                  violations :=
+                    {
+                      v_invariant = inv;
+                      v_policy = Sched.Fifo;
+                      v_detail = detail;
+                      v_decisions = [ k; (if quiesce then 1 else 0) ];
+                    }
+                    :: !violations)
+                (ucheck p ~reference outcome ~where)
+            done)
+          [ true; false ];
+        {
+          r_program = p.u_name;
+          r_schedules = !runs;
+          r_violations = List.rev !violations;
+        })
+
 let policy_of_env () =
   let seed =
     match Sys.getenv_opt "FELM_SCHED_SEED" with

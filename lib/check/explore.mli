@@ -147,3 +147,63 @@ val policy_of_env : unit -> Cml.Scheduler.policy option
     selects [Pct {seed = s; depth = d}]. This is how the replay seed printed
     by {!pp_report} reaches the test suite's shared graph harness
     ([Gen_graph.with_world]). Malformed values are ignored. *)
+
+(** {1 Live-upgrade exploration}
+
+    The serve layer admits upgrades only between event waves
+    ([Serve.Dispatcher.upgrade_all]), so the schedule axis for upgrades is
+    not thread interleaving but the {e upgrade point}: which prefix of the
+    event stream has been injected — and whether it has drained — when the
+    upgrade runs. {!run_upgrade} sweeps every split point in both styles
+    and compares each session's change trace, per-source projections and
+    accounting against a never-upgraded run of the old program: the
+    replay-differential oracle. *)
+
+type 'a ugraph = {
+  ug_root : 'a Elm_core.Signal.t;  (** the graph to serve *)
+  ug_inputs : int Elm_core.Signal.t array;
+      (** its input nodes, the injection targets of the event list *)
+}
+
+type 'a uprogram
+
+val upgrade_program :
+  name:string ->
+  ?classify:('a -> int option) ->
+  show:('a -> string) ->
+  ?migrate:(unit -> Elm_core.Upgrade.migration list) ->
+  old_graph:(unit -> 'a ugraph) ->
+  new_graph:(unit -> 'a ugraph) ->
+  (int * int) list ->
+  'a uprogram
+(** [upgrade_program ~name ~show ~old_graph ~new_graph events] packages an
+    upgrade scenario. Both builders must construct a {e fresh} graph per
+    call (the explorer re-instantiates per upgrade point); input index [i]
+    of the event list must denote the same logical input in both graphs'
+    [ug_inputs]. The replacement must be {e observationally equivalent} to
+    the old program under [migrate] — identity upgrades trivially are;
+    state-migrating scenarios arrange it by construction (e.g. a re-biased
+    [foldp] accumulator whose new view undoes the bias) — so that the
+    never-upgraded reference trace is the correct answer at {e every}
+    upgrade point. *)
+
+val run_upgrade :
+  ?fuse:bool ->
+  ?mutate:Elm_core.Runtime.mutation ->
+  ?domains:int ->
+  'a uprogram ->
+  report
+(** Sweep upgrades across every event-split point [k = 0..n], each in both
+    styles — {e quiescent} (prefix drained before upgrading) and
+    {e pending} (prefix still queued, exercising the ready-queue and
+    seam-mailbox remap) — over two sessions per run, then drain and check:
+    {!Trace_equal} and (with [classify]) {!Per_source_order} against the
+    never-upgraded reference, {!No_deadlock} (run completes, same events
+    stepped), {!Accounting} (nothing pending, every session idle, zero
+    dropped events). [fuse] defaults to [false]: fused composite state is
+    re-created on upgrade (the {!Elm_core.Compile.clone_arena}
+    approximation), so only unfused plans promise bit-identical traces.
+    [mutate] plants an upgrade bug on every upgrade
+    ({!Elm_core.Runtime.mutation}, occurrence counted per dispatcher);
+    [domains] drains through a worker pool of that size. Violations carry
+    [[k; style]] (style [1] = quiescent) in [v_decisions]. *)

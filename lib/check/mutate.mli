@@ -38,3 +38,36 @@ val all_caught :
   ?backend:Elm_core.Runtime.backend -> ?schedules:int -> ?seed:int -> unit ->
   bool
 (** [true] when every planted mutation produced at least one violation. *)
+
+(** {1 Upgrade mutations}
+
+    The same story for the live-upgrade path: each
+    {!Elm_core.Runtime.mutation} upgrade bug — a rotated slot map, a
+    skipped state migration, a leaked seam mailbox — is planted into
+    {!Explore.run_upgrade}'s upgrade-point sweep over a known-equivalent
+    replacement, and the replay-differential oracle must flag it. *)
+
+val upgrade_all : planted list
+(** The three planted upgrade bugs, occurrence [1] (each sweep run
+    performs exactly one upgrade per dispatcher). *)
+
+val upgrade_victim : unit -> int Explore.uprogram
+(** Identity upgrade of an all-int two-input diamond: every slot matches,
+    so the never-upgraded trace is exact at every upgrade point. Clean by
+    construction without a mutation. *)
+
+val migration_victim : unit -> int Explore.uprogram
+(** State-migrating upgrade: the replacement re-biases the [foldp]
+    accumulator and un-biases it in a view node, observationally identical
+    under the supplied migration — and off by exactly the bias when
+    [Skip_migration] drops it. *)
+
+val upgrade_catches :
+  ?domains:int -> unit -> (planted * Explore.report) list
+(** Run the upgrade-point sweep once per planted upgrade bug
+    ({!migration_victim} for [Skip_migration], {!upgrade_victim}
+    otherwise). *)
+
+val upgrade_all_caught : ?domains:int -> unit -> bool
+(** [true] when every planted upgrade bug produced at least one
+    violation. *)

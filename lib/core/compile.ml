@@ -146,6 +146,11 @@ type plan = {
   p_slot_of : (int, int) Hashtbl.t;  (* node id -> slot *)
   p_slot_ids : int array;  (* slot -> node id *)
   p_slot_names : string array;
+  p_keys : string array;
+      (* slot -> structural key: kind + name + dependency keys, occurrence-
+         disambiguated. Node ids are minted fresh per graph build, so two
+         builds of the same program share no ids — these keys are the
+         stable cross-plan identity live upgrades match slots on. *)
   p_id_stride : int;
       (* 1 + max node id: offset multiplier for per-session trace ids *)
   p_defaults : Obj.t array;  (* slot -> default value *)
@@ -154,6 +159,9 @@ type plan = {
   p_state_copy : bool array;
       (* true: plain data, [clone_arena] copies the slot; false: hidden
          mutable state (composite steps), re-initialised instead *)
+  p_state_node : int array;
+      (* state slot -> owning node id (each node allocates at most one);
+         upgrades remap state through the owner's structural key *)
   p_ops : (exec -> round -> unit) array array;
       (* region index -> op templates in execution order *)
   p_region_sources : Reach.set array;
@@ -274,14 +282,61 @@ let plan : type r. r Signal.t -> plan =
         Obj.repr (Signal.default s))
   in
   let id_stride = Array.fold_left (fun a id -> max a (id + 1)) 1 slot_ids in
+  (* Structural keys: the identity a slot keeps when the program is rebuilt
+     (node ids are minted fresh per build, so they cannot serve). A key is
+     kind + name + the dependency keys, computed deps-first over the same
+     deterministic topological order everything else uses; repeated
+     identical subtrees are disambiguated by an occurrence counter, which
+     matches across builds because the traversal order does. Long keys
+     (deep chains nest their whole ancestry) are digested to stay O(1) per
+     slot while remaining deterministic. *)
+  let keys =
+    let key_of = Hashtbl.create n in
+    let occurrences = Hashtbl.create n in
+    Array.map
+      (fun (Signal.Pack s) ->
+        let dep_keys =
+          List.map
+            (fun (Signal.Pack d) -> Hashtbl.find key_of (Signal.id d))
+            (Signal.deps s)
+        in
+        let extra =
+          match Signal.kind s with
+          | Signal.Delay (d, _) -> Printf.sprintf "@%h" d
+          | Signal.Composite (c, _) ->
+            "=" ^ String.concat "." c.Signal.comp_names
+          | _ -> ""
+        in
+        let raw =
+          Printf.sprintf "%s:%s%s(%s)" (Signal.kind_name s) (Signal.name s)
+            extra
+            (String.concat "," dep_keys)
+        in
+        let raw =
+          if String.length raw <= 120 then raw
+          else
+            Printf.sprintf "%s:%s~%s" (Signal.kind_name s) (Signal.name s)
+              (Digest.to_hex (Digest.string raw))
+        in
+        let occ =
+          match Hashtbl.find_opt occurrences raw with Some k -> k | None -> 0
+        in
+        Hashtbl.replace occurrences raw (occ + 1);
+        let key = if occ = 0 then raw else Printf.sprintf "%s#%d" raw occ in
+        Hashtbl.replace key_of (Signal.id s) key;
+        key)
+      order_arr
+  in
   let n_state = ref 0 in
   let state_inits = ref [] in
   let state_copies = ref [] in
-  let state_slot ~init ~copy =
+  let state_nodes = ref [] in
+  let state_slot ~node ~init ~copy =
     let k = !n_state in
     incr n_state;
     state_inits := init :: !state_inits;
     state_copies := copy :: !state_copies;
+    state_nodes := node :: !state_nodes;
     k
   in
   let queue_slots = ref [] in
@@ -499,7 +554,7 @@ let plan : type r. r Signal.t -> plan =
          pipelined deferral: downstream reads keep the last-good value
          until the restarted fold runs again. The flag is a plain bool
          state slot, so clones inherit a pending restart faithfully. *)
-      let k = state_slot ~init:(fun () -> Obj.repr false) ~copy:true in
+      let k = state_slot ~node:id ~init:(fun () -> Obj.repr false) ~copy:true in
       member ~id (fun x r ->
           let ar = x.x_arena in
           if (Obj.obj ar.ar_state.(k) : bool) then begin
@@ -585,7 +640,7 @@ let plan : type r. r Signal.t -> plan =
          and on the rising edge to resynchronize with the source. Plain
          bool state, copied on clone. *)
       let k =
-        state_slot
+        state_slot ~node:id
           ~init:(fun () -> Obj.repr (Signal.default gate))
           ~copy:true
       in
@@ -611,7 +666,7 @@ let plan : type r. r Signal.t -> plan =
          state, so [clone_arena] re-creates it rather than copying — the
          one approximation in an otherwise exact clone (see DESIGN.md). *)
       let k =
-        state_slot
+        state_slot ~node:id
           ~init:(fun () -> Obj.repr (comp.Signal.comp_make ()))
           ~copy:false
       in
@@ -791,6 +846,7 @@ let plan : type r. r Signal.t -> plan =
   in
   let state_init = Array.of_list (List.rev !state_inits) in
   let state_copy = Array.of_list (List.rev !state_copies) in
+  let state_node = Array.of_list (List.rev !state_nodes) in
   {
     p_regions = regions;
     p_region_of = region_of;
@@ -802,11 +858,13 @@ let plan : type r. r Signal.t -> plan =
     p_slot_of = slot_of;
     p_slot_ids = slot_ids;
     p_slot_names = slot_names;
+    p_keys = keys;
     p_id_stride = id_stride;
     p_defaults = defaults;
     p_n_state = !n_state;
     p_state_init = state_init;
     p_state_copy = state_copy;
+    p_state_node = state_node;
     p_ops = ops;
     p_region_sources = region_sources;
     p_region_deps = region_deps;
@@ -832,6 +890,14 @@ let slot_of pl id = Hashtbl.find_opt pl.p_slot_of id
 let queue_slots pl = pl.p_queue_slots
 let region_sources pl i = pl.p_region_sources.(i)
 let slot_ids pl = pl.p_slot_ids
+let slot_names pl = pl.p_slot_names
+let slot_keys pl = pl.p_keys
+let root_slot pl = pl.p_root_slot
+let defaults pl = pl.p_defaults
+let state_count pl = pl.p_n_state
+let state_node pl k = pl.p_state_node.(k)
+let state_copyable pl k = pl.p_state_copy.(k)
+let state_initial pl k = pl.p_state_init.(k) ()
 let region_deps pl = pl.p_region_deps
 let group_count pl = Array.length pl.p_group_regions
 let group_of pl i = pl.p_group_of.(i)
@@ -901,7 +967,14 @@ let plan_cache_stats () =
 let clear_plan_cache () =
   Mutex.lock cache_lock;
   Hashtbl.reset plan_cache;
-  Mutex.unlock cache_lock
+  Mutex.unlock cache_lock;
+  (* The fusion memos must fall with the plans: [fuse_cached] keyed the
+     cache on fused roots, and a memo that survives the reset keeps
+     resolving to a root whose plan is gone — every later [plan_of] on that
+     graph misses (or, across a live upgrade, silently serves the
+     pre-upgrade fused graph). Taken after [cache_lock] is released; the
+     two locks are never held together, so no ordering cycle. *)
+  Fuse.clear_memos ()
 
 let plan_of root =
   let key = Signal.id root in

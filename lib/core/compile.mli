@@ -83,9 +83,12 @@ type cache_stats = {
 val plan_cache_stats : unit -> cache_stats
 
 val clear_plan_cache : unit -> unit
-(** Drop every cached plan (the hit/miss counters keep counting). The next
-    {!plan_of} per graph recompiles; results are bit-identical — plans
-    carry no instance state. *)
+(** Drop every cached plan (the hit/miss counters keep counting) {e and}
+    the {!Fuse.fuse_cached} memos — a fusion memo that outlives the plans
+    would keep resolving to a fused root whose plan is gone, so every later
+    lookup on that graph misses (or serves a stale graph across a live
+    upgrade). The next {!plan_of} per graph recompiles; results are
+    bit-identical — plans carry no instance state. *)
 
 val regions : plan -> region list
 val region_of : plan -> int -> int option
@@ -120,6 +123,37 @@ val region_sources : plan -> int -> Reach.set
 
 val slot_ids : plan -> int array
 (** Slot -> node id. The plan's own array — treat as read-only. *)
+
+val slot_names : plan -> string array
+(** Slot -> node name. The plan's own array — treat as read-only. *)
+
+val slot_keys : plan -> string array
+(** Slot -> structural key: kind + name + dependency keys in the
+    deterministic topological order, occurrence-disambiguated for repeated
+    identical subtrees. Two builds of the same program produce identical
+    key arrays even though their node ids differ — this is the identity
+    {!Upgrade.diff} matches slots on across plans. The plan's own array —
+    treat as read-only. *)
+
+val root_slot : plan -> int
+(** The arena slot of the plan's root node. *)
+
+val defaults : plan -> Obj.t array
+(** Slot -> default value, as seeded into fresh arenas. The plan's own
+    array — treat as read-only. *)
+
+val state_count : plan -> int
+(** Number of extra state slots ([ar_state] length). *)
+
+val state_node : plan -> int -> int
+(** Owning node id of a state slot (each node allocates at most one). *)
+
+val state_copyable : plan -> int -> bool
+(** Whether a state slot is plain data ({!clone_arena} copies it) rather
+    than a hidden-state closure (re-initialised instead). *)
+
+val state_initial : plan -> int -> Obj.t
+(** A fresh initial value for a state slot. *)
 
 val region_deps : plan -> (int * int) list
 (** Ordering edges [(producer, consumer)] between region indices: one per

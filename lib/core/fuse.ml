@@ -353,6 +353,47 @@ let fuse root =
    slots on shared nodes, which the same lock protects. *)
 let fuse_lock = Mutex.create ()
 
+(* Every root whose fusion result is currently memoised, held weakly so the
+   registry never pins a dead graph against the GC (the plan cache's bounding
+   logic worries about exactly that). [clear_memos] walks the live entries
+   and drops their [node_fused] slots; collected entries are simply skipped.
+   Guarded by [fuse_lock], like the memo slots themselves. *)
+let memo_roots = ref (Weak.create 64)
+let memo_count = ref 0
+
+let register_memo root =
+  let w = !memo_roots in
+  if !memo_count >= Weak.length w then begin
+    (* Compact collected entries before growing: churn-heavy callers (one
+       throwaway graph per request) would otherwise double forever. *)
+    let live = ref [] in
+    for i = 0 to Weak.length w - 1 do
+      match Weak.get w i with
+      | Some p -> live := p :: !live
+      | None -> ()
+    done;
+    let n = List.length !live in
+    let w' = Weak.create (max 64 (2 * (n + 1))) in
+    List.iteri (fun i p -> Weak.set w' i (Some p)) !live;
+    memo_roots := w';
+    memo_count := n
+  end;
+  Weak.set !memo_roots !memo_count (Some (S.Pack root));
+  incr memo_count
+
+let clear_memos () =
+  Mutex.lock fuse_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock fuse_lock)
+    (fun () ->
+      let w = !memo_roots in
+      for i = 0 to !memo_count - 1 do
+        match Weak.get w i with
+        | Some (S.Pack root) -> S.clear_fused root
+        | None -> ()
+      done;
+      memo_count := 0)
+
 let fuse_cached root =
   Mutex.lock fuse_lock;
   Fun.protect
@@ -363,4 +404,5 @@ let fuse_cached root =
       | None ->
         let f = fuse root in
         S.set_fused root f;
+        register_memo root;
         f)

@@ -42,6 +42,21 @@ type mutation =
   | Reorder_wakeup of int
       (* hold the nth dispatcher wakeup and deliver it after the next round
          bound for the same node: an out-of-order mailbox admit *)
+  (* Upgrade mutations: planted by [Upgrade.diff]/[Dispatcher.upgrade_all]
+     (lib/serve) rather than by the dispatch path below — the runtime's
+     graph is fixed at [start], so these have no effect here beyond
+     occurrence validation. They live in this type so the checker passes
+     one [?mutate] spec through either seam. *)
+  | Stale_slot_map of int
+      (* rotate the nth upgrade's matched-slot mapping by one: values land
+         in the neighbouring slot, as if the remap table were stale *)
+  | Skip_migration of int
+      (* apply the nth upgrade without running user migrations: migrated
+         state keeps its old representation *)
+  | Leak_seam_mailbox of int
+      (* the nth upgrade forgets the sessions' pending-value queues instead
+         of transferring them onto the new slot layout: a leaked seam
+         mailbox whose promised values are gone *)
 
 type mut_state = {
   m_spec : mutation;
@@ -72,7 +87,20 @@ type 'a t = {
   d_stats : Stats.t array;
       (* per-worker-slot attribution under intra-session parallel
          dispatch; [[||]] otherwise *)
+  quiesce : (unit -> unit) Queue.t;
+      (* one-shot callbacks run by the dispatcher once no further global
+         events are queued — the wave-boundary seam live upgrades admit
+         at (see [at_quiescence]) *)
 }
+
+(* Run (and consume) every registered quiescence callback. Called by the
+   dispatcher thread only, between event waves, so callbacks observe a
+   settled graph under the wave coordinator and an empty event queue under
+   the threaded dispatcher. *)
+let drain_quiesce rt =
+  while not (Queue.is_empty rt.quiesce) do
+    (Queue.pop rt.quiesce) ()
+  done
 
 type ctx = {
   rt_gen : int;
@@ -948,6 +976,7 @@ let start_wave : type r.
       stopped = false;
       owned_pool;
       d_stats = dstats;
+      quiesce = Queue.create ();
     }
   in
   let nregions = Array.length regions in
@@ -1158,8 +1187,10 @@ let start_wave : type r.
      next is admitted, the non-pipelined baseline by construction. *)
   let glist = Array.to_list groups in
   Cml.spawn (fun () ->
-      let rec serve () =
-        let eid = Mailbox.recv new_event in
+      let rec serve pending =
+        let eid =
+          match pending with Some e -> e | None -> Mailbox.recv new_event
+        in
         admit eid;
         (match mode with
         | Sequential -> ()
@@ -1177,9 +1208,14 @@ let start_wave : type r.
         in
         run_wave actives;
         flush actives;
-        serve ()
+        (* Wave boundary: if the flush registered no follow-up events (and
+           none arrived meanwhile) the graph is settled — the quiescence
+           seam where [at_quiescence] callbacks (live upgrades) run. *)
+        let next = Mailbox.recv_opt new_event in
+        if next = None then drain_quiesce rt;
+        serve next
       in
-      serve ());
+      serve None);
   rt
 
 let start ?(backend : backend = Pipelined) ?(mode = Pipelined) ?dispatch
@@ -1195,7 +1231,10 @@ let start ?(backend : backend = Pipelined) ?(mode = Pipelined) ?dispatch
   | Some n when n < 0 -> invalid_arg "Runtime.start: negative history"
   | _ -> ());
   (match mutate with
-  | Some (Drop_no_change n | Skip_epoch n | Reorder_wakeup n) when n < 1 ->
+  | Some
+      ( Drop_no_change n | Skip_epoch n | Reorder_wakeup n | Stale_slot_map n
+      | Skip_migration n | Leak_seam_mailbox n )
+    when n < 1 ->
     invalid_arg "Runtime.start: mutation occurrence must be >= 1"
   | _ -> ());
   (match on_node_error with
@@ -1412,6 +1451,7 @@ let start ?(backend : backend = Pipelined) ?(mode = Pipelined) ?dispatch
       stopped = false;
       owned_pool = None;
       d_stats = [||];
+      quiesce = Queue.create ();
     }
   in
   let root_reach = Reach.reaching reach (Signal.id root) in
@@ -1461,8 +1501,10 @@ let start ?(backend : backend = Pipelined) ?(mode = Pipelined) ?dispatch
      waits for the display loop's acknowledgement — but only when the event
      can reach the display at all. *)
   Cml.spawn (fun () ->
-      let rec dispatch_loop () =
-        let eid = Mailbox.recv new_event in
+      let rec dispatch_loop pending =
+        let eid =
+          match pending with Some e -> e | None -> Mailbox.recv new_event
+        in
         stats.events <- stats.events + 1;
         let r = { epoch = stats.events; source = eid } in
         let targets =
@@ -1490,9 +1532,15 @@ let start ?(backend : backend = Pipelined) ?(mode = Pipelined) ?dispatch
         (match mode with
         | Sequential when reaches_root eid -> Mailbox.recv ack
         | Sequential | Pipelined -> ());
-        dispatch_loop ()
+        (* Event-queue quiescence: under [Sequential] the displayed event
+           has fully settled; under [Pipelined] node threads may still be
+           propagating, but no further global event is queued — the
+           strongest boundary this dispatcher can observe. *)
+        let next = Mailbox.recv_opt new_event in
+        if next = None then drain_quiesce rt;
+        dispatch_loop next
       in
-      dispatch_loop ());
+      dispatch_loop None);
   rt
 
 let try_inject rt input v =
@@ -1527,6 +1575,7 @@ let stop rt =
   end
 
 let domain_stats rt = rt.d_stats
+let at_quiescence rt f = Queue.add f rt.quiesce
 let changes rt = List.rev (capped rt rt.rev_changes)
 let message_log rt = List.rev (capped rt rt.rev_messages)
 let on_change rt f = Queue.add f rt.listeners

@@ -124,6 +124,21 @@ type mutation =
   | Reorder_wakeup of int
       (** Hold the nth dispatcher wakeup admit and deliver it after the next
           round bound for the same node — an out-of-order mailbox admit. *)
+  | Stale_slot_map of int
+      (** {e Upgrade mutation} (applied by [Serve.Dispatcher.upgrade_all],
+          not by this runtime): rotate the nth upgrade's matched-slot
+          mapping by one position, as if the remap table were stale —
+          values land in a neighbouring slot of the new arena layout. *)
+  | Skip_migration of int
+      (** {e Upgrade mutation}: apply the nth upgrade without running the
+          user-supplied [?migrate] functions, so migrated state keeps its
+          old representation under the new program's code. *)
+  | Leak_seam_mailbox of int
+      (** {e Upgrade mutation}: the nth upgrade forgets the old seam
+          mailboxes (the sessions' pending-value queues) instead of
+          transferring their contents onto the new slot layout, so the
+          remapped ready-queue entries promise values that are gone — the
+          next drain pops an empty queue. *)
 
 type 'a t
 (** A running instantiation of a signal graph with output type ['a]. *)
@@ -289,6 +304,21 @@ val on_stop : (int -> unit) -> unit
     {!stop}. Input-library drivers register one per module at init time to
     free per-generation state. Hooks must be reentrant and fast; they may
     run from whichever domain calls {!stop}. *)
+
+val at_quiescence : _ t -> (unit -> unit) -> unit
+(** Register a one-shot callback run by the dispatcher at its next
+    quiescent point: after an event wave has run and flushed with no
+    further global event queued (wave coordinator), or after a dispatched
+    event with an empty [newEvent] queue (threaded dispatcher — under
+    [Sequential] mode the displayed event has fully settled; under
+    [Pipelined] node threads may still be propagating downstream, so only
+    the event {e queue} is known empty). This is the seam where a live
+    graph upgrade is safe to admit: no round is mid-wave, so arena slots
+    and region state are not concurrently observed. Callbacks run on the
+    dispatcher thread in registration order and are dropped once run; they
+    must not block. If no further event ever arrives after registration,
+    the callback runs after the {e next} event's wave completes — register
+    before the final injection, or inject a dummy event to flush hooks. *)
 
 val domain_stats : _ t -> Stats.t array
 (** Per-worker-slot {!Stats} attribution under intra-session parallel

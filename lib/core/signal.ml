@@ -85,6 +85,12 @@ let set_subst t ~pass s =
 let get_fused t = t.node_fused
 let set_fused t f = t.node_fused <- Some f
 
+(* Drop the memoised fusion result. Only {!Fuse.clear_memos} calls this: the
+   slot is valid for the node's lifetime in steady state, but a live-upgrade
+   reseeds the plan cache, and a stale fused root would hand new sessions a
+   plan compiled against nodes the upgrade just replaced. *)
+let clear_fused t = t.node_fused <- None
+
 (* Rebuild a node around a new kind (same id/name/default) when a fusion
    pass rewrites its dependencies. Keeping the id stable makes node
    identities comparable across fused and unfused runs of the same graph;

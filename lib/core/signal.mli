@@ -221,6 +221,12 @@ val get_fused : 'a t -> 'a t option
 
 val set_fused : 'a t -> 'a t -> unit
 
+val clear_fused : 'a t -> unit
+(** Forget the memoised fusion result. Used only by {!Fuse.clear_memos} when
+    the plan cache is invalidated (live upgrade): a root whose memo survived
+    a cache reset would resolve to a stale fused graph and miss the plan
+    cache forever after. *)
+
 (** {2 Fusion support (used by {!Fuse})} *)
 
 val composite : ?name:string -> default:'a -> ('b, 'a) composite -> 'b t -> 'a t

@@ -24,6 +24,7 @@ module Trace = Elm_core.Trace
 module Fuse = Elm_core.Fuse
 module Compile = Elm_core.Compile
 module Runtime = Elm_core.Runtime
+module Upgrade = Elm_core.Upgrade
 module Pqueue = Cml.Pqueue
 
 type delayed = {
@@ -34,8 +35,11 @@ type delayed = {
 }
 
 type 'a t = {
-  d_root : 'a Signal.t;  (* the (possibly fused) graph all sessions run *)
-  d_plan : Compile.plan;
+  mutable d_root : 'a Signal.t;
+      (* the (possibly fused) graph all sessions run; [upgrade_all] swaps
+         it together with the plan between event waves *)
+  mutable d_plan : Compile.plan;
+  d_fuse : bool;  (* replayed on the replacement graph at upgrade *)
   d_env : Session.env;
   d_sessions : (int, 'a Session.t) Hashtbl.t;
   d_ready : (int * int) Queue.t;  (* (session id, source id), FIFO *)
@@ -62,6 +66,7 @@ type 'a t = {
   mutable d_opened : int;
   mutable d_closed : int;
   mutable d_routed : int;  (* external injections accepted *)
+  mutable d_upgrades : int;  (* upgrade_all calls: the mutation occurrence *)
 }
 
 type accounting = {
@@ -130,6 +135,7 @@ let create ?tracer ?(on_node_error = Runtime.Propagate) ?queue_capacity
   {
     d_root = root;
     d_plan = plan;
+    d_fuse = fuse;
     d_env = env;
     d_sessions = sessions;
     d_ready = ready;
@@ -149,6 +155,7 @@ let create ?tracer ?(on_node_error = Runtime.Propagate) ?queue_capacity
     d_opened = 0;
     d_closed = 0;
     d_routed = 0;
+    d_upgrades = 0;
   }
 
 let root d = d.d_root
@@ -212,6 +219,95 @@ let try_inject d s input v =
 
 let inject d s input v =
   if not (try_inject d s input v) then raise Session.Queue_full
+
+(* ------------------------------------------------------------------ *)
+(* Live upgrade.
+
+   Admission is wave-boundary only: [check_not_parallel] rejects an
+   upgrade while pool workers are stepping, and the synchronous drains
+   never call out to user code between steps, so every session's arena is
+   a consistent cut when we get here. Pending work survives: queued input
+   values transfer inside [Session.upgrade], and the global ready queue
+   and delay heap are rewritten below under the patch's node map — an
+   upgrade drops no accepted event unless its source was detached with
+   the subgraph that owned it (in which case the matching pending
+   counters come down, keeping the accounting invariant exact).
+
+   The shared plan cache is invalidated and reseeded: the old root's plan
+   entry and its fusion memo are dead the moment sessions stop serving
+   it, and a stale fusion memo would keep resolving future [fuse_cached]
+   calls on that graph to the pre-upgrade composite (see
+   Fuse.clear_memos). *)
+
+let upgrade_all ?migrate ?mutate d new_root =
+  check_not_parallel d "upgrade_all";
+  d.d_upgrades <- d.d_upgrades + 1;
+  let occ = d.d_upgrades in
+  let planted spec =
+    match (mutate : Runtime.mutation option) with
+    | Some m when m = spec occ -> true
+    | _ -> false
+  in
+  let stale_map = planted (fun n -> Runtime.Stale_slot_map n) in
+  let skip_migration = planted (fun n -> Runtime.Skip_migration n) in
+  let leak_mailbox = planted (fun n -> Runtime.Leak_seam_mailbox n) in
+  Compile.clear_plan_cache ();
+  let new_root = if d.d_fuse then Fuse.fuse_cached new_root else new_root in
+  let new_plan = Compile.plan_of new_root in
+  let patch = Upgrade.diff ?migrate d.d_plan new_plan in
+  Hashtbl.iter
+    (fun _ s -> Session.upgrade ~stale_map ~skip_migration ~leak_mailbox s patch)
+    d.d_sessions;
+  (* Ready queue: matched sources keep their FIFO positions under their
+     new node ids; wakes of detached sources are dropped with their
+     pending counters. *)
+  let entries = List.of_seq (Queue.to_seq d.d_ready) in
+  Queue.clear d.d_ready;
+  List.iter
+    (fun (sid, src) ->
+      match Upgrade.node_of_old patch src with
+      | Some src' -> Queue.push (sid, src') d.d_ready
+      | None -> (
+        match find d sid with
+        | Some s -> Session.drop_pending s
+        | None -> ()))
+    entries;
+  (* Delay heap: rebuilt under new node/slot ids, preserving (due, seq)
+     keys so virtual-time order is unchanged. In-flight values of
+     detached delay nodes are released with their pending counters.
+     (The drains run to quiescence, so the heap is empty at every legal
+     upgrade point today; the remap is kept exact anyway for any future
+     partial-drain mode.) *)
+  let rec drain_heap acc =
+    match Pqueue.pop_min !(d.d_delays) with
+    | None -> List.rev acc
+    | Some (key, dl, rest) ->
+      d.d_delays := rest;
+      drain_heap ((key, dl) :: acc)
+  in
+  List.iter
+    (fun (key, dl) ->
+      match Upgrade.node_of_old patch dl.dl_node with
+      | Some node' ->
+        let slot' =
+          (* a matched node's slot is matched with it *)
+          match Upgrade.new_slot_of_old patch dl.dl_slot with
+          | Some sl -> sl
+          | None -> assert false
+        in
+        d.d_delays :=
+          Pqueue.insert !(d.d_delays) key
+            { dl with dl_node = node'; dl_slot = slot' }
+      | None -> (
+        match find d dl.dl_sid with
+        | Some s -> Session.drop_pending_delay s
+        | None -> ()))
+    (drain_heap []);
+  d.d_root <- new_root;
+  d.d_plan <- new_plan;
+  patch
+
+let upgrades d = d.d_upgrades
 
 (* Drain to quiescence: dispatch ready events in FIFO order; when the
    ready queue empties, advance the virtual clock to the next due delayed

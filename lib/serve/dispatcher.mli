@@ -26,6 +26,7 @@ module Stats = Elm_core.Stats
 module Trace = Elm_core.Trace
 module Compile = Elm_core.Compile
 module Runtime = Elm_core.Runtime
+module Upgrade = Elm_core.Upgrade
 
 type 'a t
 
@@ -118,6 +119,42 @@ val drain_intra : ?seed:int -> 'a t -> int
     are bit-identical to {!drain} without a pool, for every [seed] and
     domain count. Raises [Invalid_argument] if the dispatcher has no
     pool. *)
+
+(** {1 Live upgrade} *)
+
+val upgrade_all :
+  ?migrate:Upgrade.migration list ->
+  ?mutate:Runtime.mutation ->
+  'a t ->
+  'a Signal.t ->
+  Upgrade.patch
+(** Swap every live session onto the graph rooted at the replacement
+    signal, between event waves. The replacement is fused iff the
+    dispatcher was created with [~fuse:true], the shared plan cache (and
+    the fusion memos with it) is invalidated and reseeded with the new
+    plan, and the patch ({!Upgrade.diff} against the current plan, with
+    the caller's [migrate] list) is applied to each session
+    ({!Session.upgrade}) — then the dispatcher's own seams are rewritten:
+    ready-queue entries and delay-heap wakes move to their matched new
+    node ids, and wakes of detached sources are released together with
+    their pending counters, so the accounting invariant stays exact and
+    no accepted event of a surviving subgraph is dropped. An identity
+    upgrade (structurally equal replacement, no migrations) is observably
+    a no-op at any drain point.
+
+    Admission is wave-boundary only: raises [Invalid_argument] during a
+    parallel drain ([check_not_parallel]); the sequential drains never
+    run user code between steps, so calling this between [drain]s — or
+    from a {!Runtime.at_quiescence} hook on a runtime-driven graph —
+    always sees consistent arenas.
+
+    [mutate] plants one of the upgrade bugs of the mutation-testing
+    catalogue ({!Runtime.mutation.Stale_slot_map},
+    [Skip_migration], [Leak_seam_mailbox]); the occurrence [n] counts
+    [upgrade_all] calls on this dispatcher. Not for applications. *)
+
+val upgrades : 'a t -> int
+(** Number of upgrades applied over this dispatcher's lifetime. *)
 
 val pool : 'a t -> Pool.t option
 

@@ -25,6 +25,7 @@ module Stats = Elm_core.Stats
 module Trace = Elm_core.Trace
 module Compile = Elm_core.Compile
 module Runtime = Elm_core.Runtime
+module Upgrade = Elm_core.Upgrade
 
 exception Queue_full
 
@@ -67,18 +68,24 @@ type gexec = {
   g_rounds : Compile.round Queue.t;  (* this round's work, set by [admit] *)
 }
 
+(* The plan-shaped fields are mutable for exactly one writer: [upgrade],
+   which swaps a session onto a new plan's layout between event waves.
+   Everything that names a slot or a node id (queues, bounds, the exec's
+   op closures, the trace id offset) changes together; the sink, stats and
+   epoch persist — an upgraded session keeps its history. *)
 type 'a t = {
   s_id : int;
-  s_plan : Compile.plan;
+  mutable s_plan : Compile.plan;
   s_env : env;
   s_policy : Runtime.error_policy;
-  s_exec : Compile.exec;
-  s_queues : Obj.t Queue.t option array;  (* per slot; [Some] on sources *)
-  s_bounded : bool array;  (* per slot; false on async/delay queues *)
+  mutable s_exec : Compile.exec;
+  mutable s_queues : Obj.t Queue.t option array;
+      (* per slot; [Some] on sources *)
+  mutable s_bounded : bool array;  (* per slot; false on async/delay queues *)
   s_capacity : int option;
   s_stats : Stats.t;
   s_tracer : Trace.t option;
-  s_offset : int;  (* sid * id_stride: per-session trace id offset *)
+  mutable s_offset : int;  (* sid * id_stride: per-session trace id offset *)
   s_sink : 'a sink;
   s_inbox : int Queue.t;
       (* source-id wakes pinned to this session during a parallel drain:
@@ -167,24 +174,8 @@ let queue_exn queues sl =
   | Some q -> q
   | None -> invalid_arg "Serve.Session: not a source slot"
 
-(* Shared by [open_session] and [clone]: everything but the arena and the
-   sink contents. *)
-let build : type r.
-    sid:int ->
-    env:env ->
-    policy:Runtime.error_policy ->
-    capacity:int option ->
-    tracer:Trace.t option ->
-    stats:Stats.t ->
-    sink:r sink ->
-    arena:Compile.arena ->
-    epoch:int ->
-    plan:Compile.plan ->
-    r t =
- fun ~sid ~env ~policy ~capacity ~tracer ~stats ~sink ~arena ~epoch ~plan:pl ->
-  let queues, bounded = fresh_queues pl in
-  let offset = sid * Compile.id_stride pl in
-  (match tracer with
+let register_regions ~tracer ~sid ~offset pl =
+  match tracer with
   | None -> ()
   | Some tr ->
     List.iter
@@ -194,9 +185,26 @@ let build : type r.
           ~name:
             (Printf.sprintf "s%d:region:%s(%d)" sid rg.Compile.rg_name
                (List.length rg.Compile.rg_member_ids)))
-      (Compile.regions pl));
-  let x =
-    {
+      (Compile.regions pl)
+
+(* The sequential execution context for one plan layout. Shared by [build]
+   and [upgrade]; every closure here captures the queue array and arena it
+   was built with, which is why an upgrade rebuilds the whole record rather
+   than patching fields. *)
+let make_exec : type r.
+    sid:int ->
+    env:env ->
+    policy:Runtime.error_policy ->
+    tracer:Trace.t option ->
+    stats:Stats.t ->
+    offset:int ->
+    queues:Obj.t Queue.t option array ->
+    sink:r sink ->
+    arena:Compile.arena ->
+    Compile.plan ->
+    Compile.exec =
+ fun ~sid ~env ~policy ~tracer ~stats ~offset ~queues ~sink ~arena pl ->
+  {
       Compile.x_arena = arena;
       x_flood = false;
       x_stats = stats;
@@ -222,7 +230,28 @@ let build : type r.
           | None -> ()
           | Some tr -> Trace.display tr ~epoch ~changed);
           if changed then record_change sink epoch (Obj.obj v : r));
-    }
+  }
+
+(* Shared by [open_session] and [clone]: everything but the arena and the
+   sink contents. *)
+let build : type r.
+    sid:int ->
+    env:env ->
+    policy:Runtime.error_policy ->
+    capacity:int option ->
+    tracer:Trace.t option ->
+    stats:Stats.t ->
+    sink:r sink ->
+    arena:Compile.arena ->
+    epoch:int ->
+    plan:Compile.plan ->
+    r t =
+ fun ~sid ~env ~policy ~capacity ~tracer ~stats ~sink ~arena ~epoch ~plan:pl ->
+  let queues, bounded = fresh_queues pl in
+  let offset = sid * Compile.id_stride pl in
+  register_regions ~tracer ~sid ~offset pl;
+  let x =
+    make_exec ~sid ~env ~policy ~tracer ~stats ~offset ~queues ~sink ~arena pl
   in
   {
     s_id = sid;
@@ -379,6 +408,65 @@ let deliver_delayed s ~slot v =
 (* Dispatcher bookkeeping hooks. *)
 let mark_pending s = s.s_pending <- s.s_pending + 1
 let mark_pending_delay s = s.s_pending_delays <- s.s_pending_delays + 1
+
+(* A routed event / heap entry discarded across an upgrade (its source was
+   detached): the matching future step/delivery will never happen, so the
+   counter comes down here instead. *)
+let drop_pending s = s.s_pending <- s.s_pending - 1
+let drop_pending_delay s = s.s_pending_delays <- s.s_pending_delays - 1
+
+(* Swap this session onto a new plan's layout. Called by
+   [Dispatcher.upgrade_all] between event waves — never mid-step, so the
+   arena is a consistent cut. Matched slots carry value/stamp (via the
+   patch's migrations), attached slots seed from defaults, and pending
+   values queued on matched source slots transfer to the new queue array
+   (a transfer may transiently overfill a bounded queue; upgrades never
+   drop accepted events). The sink, stats and epoch persist — an upgraded
+   session keeps its change history and its epoch numbering. *)
+let upgrade : type r.
+    ?stale_map:bool ->
+    ?skip_migration:bool ->
+    ?leak_mailbox:bool ->
+    r t ->
+    Upgrade.patch ->
+    unit =
+ fun ?(stale_map = false) ?(skip_migration = false) ?(leak_mailbox = false) s
+     patch ->
+  if not s.s_closed then begin
+    let np = Upgrade.new_plan patch in
+    let arena =
+      Upgrade.remap ~stale_map ~skip_migration patch s.s_exec.Compile.x_arena
+    in
+    let queues, bounded = fresh_queues np in
+    (* [leak_mailbox] is the planted Leak_seam_mailbox bug: the old seam
+       mailboxes (pending-value queues) are forgotten instead of
+       transferred, so the ready-queue entries the dispatcher remaps
+       promise values that are no longer there — the next drain pops an
+       empty queue and the no-deadlock oracle trips. *)
+    if not leak_mailbox then
+      Array.iteri
+        (fun old_sl q ->
+          match q with
+          | None -> ()
+          | Some q -> (
+            match Upgrade.new_slot_of_old patch old_sl with
+            | Some nsl -> (
+              match queues.(nsl) with
+              | Some nq -> Queue.transfer q nq
+              | None -> ())
+            | None -> ()))
+        s.s_queues;
+    let offset = s.s_id * Compile.id_stride np in
+    register_regions ~tracer:s.s_tracer ~sid:s.s_id ~offset np;
+    s.s_plan <- np;
+    s.s_queues <- queues;
+    s.s_bounded <- bounded;
+    s.s_offset <- offset;
+    s.s_gexecs <- [||];  (* rebuilt lazily against the new plan's groups *)
+    s.s_exec <-
+      make_exec ~sid:s.s_id ~env:s.s_env ~policy:s.s_policy ~tracer:s.s_tracer
+        ~stats:s.s_stats ~offset ~queues ~sink:s.s_sink ~arena np
+  end
 
 (* Parallel-drain inbox. The dispatcher moves a session's share of the
    global FIFO here before handing the session to a pool worker; async

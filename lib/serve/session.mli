@@ -19,6 +19,7 @@ module Stats = Elm_core.Stats
 module Trace = Elm_core.Trace
 module Compile = Elm_core.Compile
 module Runtime = Elm_core.Runtime
+module Upgrade = Elm_core.Upgrade
 
 exception Queue_full
 (** Raised by [Dispatcher.inject] when the target input's bounded queue is
@@ -128,6 +129,29 @@ val deliver_delayed : 'a t -> slot:int -> Obj.t -> unit
 
 val mark_pending : 'a t -> unit
 val mark_pending_delay : 'a t -> unit
+
+val drop_pending : 'a t -> unit
+(** A routed event discarded across an upgrade (its source node was
+    detached): the matching future [step] will never run, so the pending
+    counter comes down here. *)
+
+val drop_pending_delay : 'a t -> unit
+(** Likewise for a discarded delay-heap entry. *)
+
+val upgrade :
+  ?stale_map:bool ->
+  ?skip_migration:bool ->
+  ?leak_mailbox:bool ->
+  'a t ->
+  Upgrade.patch ->
+  unit
+(** Swap the session onto the patch's new plan: remap the arena
+    ({!Upgrade.remap}), rebuild queues and the execution context against
+    the new slot layout, transfer pending values queued on matched source
+    slots, re-register trace rows under the new id stride. The change
+    history, stats and epoch numbering persist. Called by
+    [Dispatcher.upgrade_all] between event waves; the flags plant the
+    mutation-catalogue upgrade bugs and are not for applications. *)
 
 val wake_push : 'a t -> int -> unit
 (** Append a source-id wake to the session's parallel-drain inbox — the

@@ -147,3 +147,77 @@ let arb_shape_events =
 let arb_deterministic_shape_events =
   QCheck.(
     pair (int_bound (deterministic_count - 1)) (list (pair bool (int_bound 7))))
+
+(* ------------------------------------------------------------------ *)
+(* Replay-differential upgrade harness (serve layer).
+
+   Record a trace, split the event stream, upgrade the live dispatcher to
+   a freshly rebuilt graph at the split, replay the suffix: the serve
+   drains are deterministic (parallel drains are bit-identical to
+   sequential — the B18/B19 oracles), so for an identity upgrade the
+   resulting trace must equal the never-upgraded run's at EVERY split
+   point, every [quiesce] style and every domain count. test_upgrade
+   drives this over the whole shape catalogue; the serve layer is
+   synchronous, so even the async/delay shapes compare bit-for-bit. *)
+
+module Serve_dispatcher = Elm_serve.Dispatcher
+module Serve_session = Elm_serve.Session
+module Serve_pool = Elm_serve.Pool
+
+(* Run [shape]'s graph through a dispatcher, upgrading to a freshly
+   rebuilt graph before event [k = upgrade_at mod (n+1)] ([quiesce]
+   selects whether the prefix drains first or stays queued across the
+   upgrade; [apply:false] performs the same split and drain pattern but
+   skips the upgrade itself — the replay-differential reference, since an
+   interior drain already reorders delay/async deliveries relative to the
+   single-drain run). Returns the change trace, the session, the
+   dispatcher and the applied patch. [fuse] defaults to [false]: only
+   unfused plans promise bit-identical traces across an upgrade
+   (composite step state is re-created, as in [Compile.clone_arena]). *)
+let serve_upgrade_run ?(fuse = false) ?pool ?(quiesce = true) ?migrate ?mutate
+    ?(apply = true) ~upgrade_at shape events =
+  let a, b, root = build_shape shape in
+  let d = Serve_dispatcher.create ~fuse ?pool root in
+  let drain () =
+    ignore
+      (match pool with
+      | Some _ -> Serve_dispatcher.drain_parallel d
+      | None -> Serve_dispatcher.drain d)
+  in
+  let s = Serve_dispatcher.open_session d in
+  let evs = Array.of_list events in
+  let n = Array.length evs in
+  let inject a b lo hi =
+    for j = lo to hi - 1 do
+      let left, v = evs.(j) in
+      Serve_dispatcher.inject d s (if left then a else b) v
+    done
+  in
+  let k = if n = 0 then 0 else upgrade_at mod (n + 1) in
+  inject a b 0 k;
+  if quiesce then drain ();
+  (* Post-upgrade injections must target the *new* graph's inputs: the old
+     signal ids are not in the new plan. *)
+  let patch =
+    if apply then begin
+      let a', b', root' = build_shape shape in
+      let patch = Serve_dispatcher.upgrade_all ?migrate ?mutate d root' in
+      inject a' b' k n;
+      Some patch
+    end
+    else begin
+      inject a b k n;
+      None
+    end
+  in
+  drain ();
+  (Serve_session.changes s, s, d, patch)
+
+(* Shape, events, split point and quiesce style for the identity-upgrade
+   property. *)
+let arb_upgrade_case =
+  QCheck.(
+    quad
+      (int_bound (shape_count - 1))
+      (list (pair bool (int_bound 7)))
+      small_nat bool)

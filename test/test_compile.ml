@@ -339,6 +339,30 @@ let test_plan_cache_concurrent_compile () =
   check_ints "shared graph still correct after concurrent churn" [ 2; 5 ]
     (values rt)
 
+(* Regression: [clear_plan_cache] used to leave the [Fuse.fuse_cached]
+   memos behind. A memoised fused root then outlived its plan, so the next
+   [fuse_cached] hit handed back the stale root and [plan_of] silently
+   repopulated the cache for it — and a live upgrade diffing "old plan vs
+   new plan" could see the same physical objects on both sides. Clearing
+   must drop both together. *)
+let test_clear_plan_cache_clears_fuse_memos () =
+  Compile.clear_plan_cache ();
+  let a = Signal.input ~name:"a" 0 in
+  let root =
+    Signal.foldp ( + ) 0 (Signal.lift succ (Signal.lift succ (Signal.lift succ a)))
+  in
+  let fused1 = Fuse.fuse_cached root in
+  check_bool "fusion actually rewrote the chain" true (fused1 != root);
+  check_bool "memo stable before the clear" true
+    (Fuse.fuse_cached root == fused1);
+  let p1 = Compile.plan_of fused1 in
+  Compile.clear_plan_cache ();
+  check_bool "fusion memo fell with the plan cache" true
+    (Fuse.fuse_cached root != fused1);
+  let fused2 = Fuse.fuse_cached root in
+  check_bool "plan recompiled fresh for the re-fused root" true
+    (Compile.plan_of fused2 != p1)
+
 (* ------------------------------------------------------------------ *)
 (* Schedule exploration: the compiled backend's region threads interleave
    under the same chaos schedules, and every invariant must hold. *)
@@ -444,6 +468,8 @@ let () =
             test_plan_cache_shares_plan_object;
           tc "concurrent compile storm stays canonical" `Quick
             test_plan_cache_concurrent_compile;
+          tc "clear_plan_cache drops the fusion memos too" `Quick
+            test_clear_plan_cache_clears_fuse_memos;
         ] );
       ( "explore",
         [
